@@ -1,0 +1,46 @@
+//! Backbone (certain-atom) extraction: one incremental SAT session vs a
+//! fresh solver per atom. The incremental path shares learnt clauses across
+//! the per-atom queries and prunes candidates by model intersection, so it
+//! wins increasingly as the theory grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use winslett_core::Workload;
+use winslett_logic::Wff;
+use winslett_theory::Theory;
+
+fn build_theory(r: usize, disjunctive: usize) -> Theory {
+    let mut w = Workload::new(13);
+    let (mut theory, _) = w.orders_theory(r);
+    for i in 0..disjunctive {
+        let u = w.disjunctive_insert(&mut theory, 2, i);
+        theory.assert_wff(&u.to_insert().omega);
+    }
+    theory
+}
+
+fn bench_backbone(c: &mut Criterion) {
+    let mut group = c.benchmark_group("certain_atoms");
+    group.sample_size(10);
+    for &r in &[64usize, 256, 1024] {
+        let theory = build_theory(r, 8);
+        group.bench_with_input(BenchmarkId::new("backbone", r), &(), |b, _| {
+            b.iter(|| {
+                let bb = theory.atom_backbone().expect("runs").expect("consistent");
+                bb.iter().filter(|v| v.is_some()).count()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("naive_per_atom", r), &(), |b, _| {
+            b.iter(|| {
+                theory
+                    .registry
+                    .iter()
+                    .filter(|(_, a)| theory.entails(&Wff::Atom(*a)))
+                    .count()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backbone);
+criterion_main!(benches);

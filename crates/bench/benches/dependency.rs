@@ -1,0 +1,53 @@
+//! E5 — dependency instantiation cost (§3.6).
+//!
+//! `fd_insert/worst/R` inserts a tuple whose key collides with every one of
+//! the `R` existing tuples (Step 6 emits Θ(R) instances — the paper's
+//! `O(gR)` worst case); `fd_insert/best/R` inserts a fresh-keyed tuple
+//! (no joins — the `O(g log R)` best case). The worst/best gap should grow
+//! linearly with `R`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use winslett_core::Workload;
+use winslett_gua::{GuaEngine, GuaOptions, SimplifyLevel};
+use winslett_ldml::Update;
+
+fn bench_fd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fd_insert");
+    group.sample_size(20);
+    for &r in &[256usize, 1024, 4096] {
+        for (case, shared) in [("worst", true), ("best", false)] {
+            group.bench_with_input(
+                BenchmarkId::new(case, r),
+                &(r, shared),
+                |b, &(r, shared)| {
+                    let mut w = Workload::new(11);
+                    let (mut theory, _) = if shared {
+                        w.fd_theory_worst(r)
+                    } else {
+                        w.fd_theory_best(r)
+                    };
+                    let updates: Vec<Update> =
+                        (0..16).map(|i| w.fd_insert(&mut theory, shared, i)).collect();
+                    let engine = GuaEngine::new(
+                        theory,
+                        GuaOptions::simplify_always(SimplifyLevel::None),
+                    );
+                    let mut live = engine.clone();
+                    let mut used = 0usize;
+                    b.iter(|| {
+                        if used == updates.len() {
+                            live = engine.clone();
+                            used = 0;
+                        }
+                        live.apply(&updates[used]).expect("applies");
+                        used += 1;
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fd);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! E2 — the price of deciding update equivalence.
+//!
+//! `equivalence/decider` runs the Theorem 3/4 criteria (SAT-backed);
+//! `equivalence/brute` enumerates every model of the universe. On this tiny
+//! universe they are comparable; the decider's advantage is that its cost
+//! depends on the *updates*, not the database, so it stays flat as the
+//! language grows (`equivalence/decider_wide` vs `equivalence/brute_wide`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use winslett_bench::experiments::Rng;
+use winslett_ldml::{equivalent_brute, equivalent_updates, Update};
+use winslett_logic::{AtomId, Formula, Wff};
+
+fn sample_pairs(n: usize, num_atoms: usize) -> Vec<(Update, Update)> {
+    let mut rng = Rng(99);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mk = |rng: &mut Rng| {
+            let a = AtomId(rng.below(num_atoms) as u32);
+            let b = AtomId(rng.below(num_atoms) as u32);
+            match rng.below(3) {
+                0 => Update::insert(Wff::Atom(a), Wff::Atom(b)),
+                1 => Update::insert(
+                    Formula::Or(vec![Wff::Atom(a), Wff::Atom(b)]),
+                    Wff::t(),
+                ),
+                _ => Update::delete(a, Wff::Atom(b)),
+            }
+        };
+        out.push((mk(&mut rng), mk(&mut rng)));
+    }
+    out
+}
+
+fn bench_equivalence(c: &mut Criterion) {
+    let pairs = sample_pairs(32, 4);
+    c.bench_function("equivalence/decider", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .filter(|(x, y)| equivalent_updates(x, y, 4).expect("small").equivalent)
+                .count()
+        });
+    });
+    c.bench_function("equivalence/brute", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .filter(|(x, y)| equivalent_brute(x, y, 4).expect("small"))
+                .count()
+        });
+    });
+
+    // Same updates, but embedded in a 16-atom language: brute force pays
+    // 2^16 per pair, the decider does not.
+    let pairs_wide = sample_pairs(8, 4);
+    c.bench_function("equivalence/decider_wide", |b| {
+        b.iter(|| {
+            pairs_wide
+                .iter()
+                .filter(|(x, y)| equivalent_updates(x, y, 16).expect("small").equivalent)
+                .count()
+        });
+    });
+    c.bench_function("equivalence/brute_wide", |b| {
+        b.iter(|| {
+            pairs_wide
+                .iter()
+                .filter(|(x, y)| equivalent_brute(x, y, 16).expect("small"))
+                .count()
+        });
+    });
+}
+
+criterion_group!(benches, bench_equivalence);
+criterion_main!(benches);

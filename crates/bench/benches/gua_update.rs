@@ -1,0 +1,81 @@
+//! E3/E4 — GUA update cost across the §3.6 parameters.
+//!
+//! `gua_update/R{R}/g{g}` measures one `GuaEngine::apply` of a conjunctive
+//! insert with `g` atom occurrences against a theory with `R` registered
+//! tuples in its largest predicate. The paper's claim: cost `O(g·log R)` —
+//! so the series should grow linearly along `g` and stay nearly flat
+//! along `R`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use winslett_core::Workload;
+use winslett_gua::{GuaEngine, GuaOptions, SimplifyLevel};
+use winslett_ldml::Update;
+
+fn bench_gua_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gua_update");
+    for &r in &[1024usize, 16384, 65536] {
+        for &g in &[1usize, 8, 64] {
+            group.throughput(Throughput::Elements(g as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("R{r}"), format!("g{g}")),
+                &(r, g),
+                |b, &(r, g)| {
+                    // Pre-build the theory and a pool of updates; iterate
+                    // over fresh engine clones so growth doesn't compound.
+                    let mut w = Workload::new(42);
+                    let (mut theory, atoms) = w.orders_theory(r);
+                    let updates: Vec<Update> = (0..64)
+                        .map(|i| w.conjunctive_insert(&mut theory, &atoms, g, i))
+                        .collect();
+                    let engine = GuaEngine::new(
+                        theory,
+                        GuaOptions::simplify_always(SimplifyLevel::None),
+                    );
+                    let mut i = 0usize;
+                    let mut live = engine.clone();
+                    let mut used = 0usize;
+                    b.iter(|| {
+                        if used == updates.len() {
+                            live = engine.clone();
+                            used = 0;
+                        }
+                        live.apply(&updates[i % updates.len()]).expect("applies");
+                        i += 1;
+                        used += 1;
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_gua_growth(c: &mut Criterion) {
+    // E4's time-side companion: a full 32-update burst, measuring the
+    // amortized cost of sustained update streams (store keeps growing).
+    let mut group = c.benchmark_group("gua_burst32");
+    for &g in &[2usize, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(g), &g, |b, &g| {
+            let mut w = Workload::new(7);
+            let (mut theory, atoms) = w.orders_theory(4096);
+            let updates: Vec<Update> = (0..32)
+                .map(|i| w.conjunctive_insert(&mut theory, &atoms, g, i))
+                .collect();
+            let engine = GuaEngine::new(
+                theory,
+                GuaOptions::simplify_always(SimplifyLevel::None),
+            );
+            b.iter(|| {
+                let mut live = engine.clone();
+                for u in &updates {
+                    live.apply(u).expect("applies");
+                }
+                live.theory.store.size_nodes()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gua_update, bench_gua_growth);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E1/E7 — GUA vs the possible-worlds baseline under branching updates.
+//!
+//! Applying `k` disjunctive inserts multiplies the world count by ~3 each
+//! time: the baseline's cost is exponential in `k` while GUA's is linear.
+//! The series `apply/gua/k` vs `apply/baseline/k` exhibits the crossover.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use winslett_core::Workload;
+use winslett_gua::{GuaEngine, GuaOptions, SimplifyLevel};
+use winslett_ldml::Update;
+use winslett_logic::ModelLimit;
+use winslett_theory::Theory;
+use winslett_worlds::WorldsEngine;
+
+fn setup(k: usize) -> (Theory, Vec<Update>) {
+    let mut w = Workload::new(23);
+    let (mut theory, _) = w.orders_theory(4);
+    let updates: Vec<Update> = (0..k)
+        .map(|i| w.disjunctive_insert(&mut theory, 2, i))
+        .collect();
+    (theory, updates)
+}
+
+fn bench_apply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("branching_apply");
+    group.sample_size(10);
+    for &k in &[2usize, 4, 6, 8] {
+        let (theory, updates) = setup(k);
+        group.bench_with_input(BenchmarkId::new("gua", k), &k, |b, _| {
+            b.iter(|| {
+                let mut engine = GuaEngine::new(
+                    theory.clone(),
+                    GuaOptions::simplify_always(SimplifyLevel::Fast),
+                );
+                for u in &updates {
+                    engine.apply(u).expect("applies");
+                }
+                engine.theory.store.size_nodes()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("baseline", k), &k, |b, _| {
+            b.iter(|| {
+                let mut worlds =
+                    WorldsEngine::from_theory(&theory, ModelLimit::default()).expect("worlds");
+                worlds.apply_all(&updates, &theory).expect("applies");
+                worlds.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apply);
+criterion_main!(benches);

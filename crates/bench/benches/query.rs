@@ -1,0 +1,52 @@
+//! Query-side benchmarks: certain/possible answering against databases of
+//! growing size, with and without residual incompleteness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use winslett_core::{DbOptions, LogicalDatabase, Workload};
+use winslett_gua::SimplifyLevel;
+
+fn build_db(r: usize, disjunctive: usize) -> LogicalDatabase {
+    let mut w = Workload::new(17);
+    let (mut theory, _) = w.orders_theory(r);
+    for i in 0..disjunctive {
+        let u = w.disjunctive_insert(&mut theory, 2, i);
+        // Loaded directly as a wff: initial incomplete information.
+        theory.assert_wff(&u.to_insert().omega);
+    }
+    LogicalDatabase::from_theory(
+        theory,
+        DbOptions {
+            simplify: SimplifyLevel::Fast,
+            ..DbOptions::default()
+        },
+    )
+}
+
+fn bench_ground_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("is_certain");
+    for &r in &[256usize, 4096, 16384] {
+        let mut db = build_db(r, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(r), &(), |b, _| {
+            b.iter(|| db.is_certain("Orders(100,32,1)").expect("parses"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_conjunctive_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conjunctive_query");
+    group.sample_size(20);
+    for &r in &[64usize, 256, 1024] {
+        let db = build_db(r, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(r), &(), |b, _| {
+            b.iter(|| {
+                let ans = db.query("Orders(?o, 32, ?q)").expect("valid query");
+                ans.possible.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ground_probe, bench_conjunctive_query);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E8 — the §4 replay-log strawman vs eager GUA+simplify.
+//!
+//! `replay_query/{n}` materializes and queries a replay database with an
+//! n-update log; `eager_query/{n}` queries the eagerly maintained theory.
+//! Replay cost grows with the log; eager stays flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use winslett_core::{ReplayDatabase, Workload};
+use winslett_gua::{GuaEngine, GuaOptions, SimplifyLevel};
+use winslett_logic::Wff;
+
+fn bench_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8");
+    group.sample_size(10);
+    for &n in &[8usize, 32, 128] {
+        let mut w = Workload::new(5);
+        let (theory, atoms) = w.orders_theory(16);
+        let mut eager = GuaEngine::new(
+            theory.clone(),
+            GuaOptions::simplify_always(SimplifyLevel::Fast),
+        );
+        let mut replay = ReplayDatabase::new(theory.clone());
+        let mut scratch = theory;
+        for i in 0..n {
+            let u = w.conjunctive_insert(&mut scratch, &atoms, 4, i);
+            eager.theory.vocab = scratch.vocab.clone();
+            eager.theory.atoms = scratch.atoms.clone();
+            eager.apply(&u).expect("applies");
+            replay.update_synced(u, &scratch);
+        }
+        let probe = Wff::Atom(atoms[0]);
+        group.bench_with_input(BenchmarkId::new("replay_query", n), &(), |b, _| {
+            b.iter(|| {
+                let t = replay.materialize().expect("replays");
+                t.entails(&probe)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("eager_query", n), &(), |b, _| {
+            b.iter(|| eager.theory.entails(&probe));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

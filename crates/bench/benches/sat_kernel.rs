@@ -1,0 +1,72 @@
+//! Substrate microbenchmarks: the SAT kernel and world enumeration that
+//! back every query, consistency check, and equivalence decision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use winslett_logic::{enumerate_models, Formula, Lit, ModelLimit, Solver, Var, Wff};
+use winslett_logic::{AtomId, BitSet};
+
+/// Pigeonhole(n+1 → n): classically hard UNSAT instances.
+fn pigeonhole(n: usize) -> (usize, Vec<Vec<Lit>>) {
+    let pigeons = n + 1;
+    let holes = n;
+    let var = |p: usize, h: usize| Var((p * holes + h) as u32);
+    let mut clauses = Vec::new();
+    for p in 0..pigeons {
+        clauses.push((0..holes).map(|h| Lit::pos(var(p, h))).collect());
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                clauses.push(vec![Lit::neg(var(p1, h)), Lit::neg(var(p2, h))]);
+            }
+        }
+    }
+    (pigeons * holes, clauses)
+}
+
+fn bench_sat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat");
+    for &n in &[5usize, 6, 7] {
+        let (nv, clauses) = pigeonhole(n);
+        group.bench_with_input(BenchmarkId::new("pigeonhole", n), &(), |b, _| {
+            b.iter(|| {
+                let mut s = Solver::new(nv);
+                for cl in &clauses {
+                    s.add_clause(cl);
+                }
+                assert!(!s.solve().is_sat());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumerate_worlds");
+    // k chained disjunctions: 3^k projected models.
+    for &k in &[4usize, 6, 8] {
+        let wffs: Vec<Wff> = (0..k)
+            .map(|i| {
+                Formula::Or(vec![
+                    Wff::Atom(AtomId((2 * i) as u32)),
+                    Wff::Atom(AtomId((2 * i + 1) as u32)),
+                ])
+            })
+            .collect();
+        let n = 2 * k;
+        let proj: BitSet = (0..n).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &(), |b, _| {
+            let refs: Vec<&Wff> = wffs.iter().collect();
+            b.iter(|| {
+                let models =
+                    enumerate_models(&refs, n, &proj, ModelLimit::default()).expect("bounded");
+                assert_eq!(models.len(), 3usize.pow(k as u32));
+                models.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sat, bench_enumeration);
+criterion_main!(benches);

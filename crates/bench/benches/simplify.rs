@@ -1,0 +1,86 @@
+//! E6 — the cost and payoff of §4 simplification.
+//!
+//! `churn/{level}` runs a fixed insert-disjunction + ASSERT churn at each
+//! simplification level (the update-side price). `query_after_churn/{level}`
+//! measures entailment latency on the resulting theory (the query-side
+//! payoff: simplified theories answer much faster).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use winslett_gua::{GuaEngine, GuaOptions, SimplifyLevel};
+use winslett_ldml::Update;
+use winslett_logic::{AtomId, Formula, Wff};
+use winslett_theory::Theory;
+
+fn build() -> (Theory, Vec<AtomId>) {
+    let mut t = Theory::new();
+    let r = t.declare_relation("R", 1).expect("fresh");
+    let mut ids = Vec::new();
+    for i in 0..6 {
+        let c = t.constant(&format!("c{i}"));
+        let id = t.atom(r, &[c]);
+        if i == 0 {
+            t.assert_atom(id);
+        } else {
+            t.assert_not_atom(id);
+        }
+        ids.push(id);
+    }
+    (t, ids)
+}
+
+fn churn(engine: &mut GuaEngine, ids: &[AtomId], steps: usize) {
+    for i in 0..steps {
+        let a = ids[i % ids.len()];
+        let b = ids[(i + 1) % ids.len()];
+        engine
+            .apply(&Update::insert(
+                Formula::Or(vec![Wff::Atom(a), Wff::Atom(b)]),
+                Wff::t(),
+            ))
+            .expect("applies");
+        engine
+            .apply(&Update::assert(Wff::Atom(ids[i % ids.len()])))
+            .expect("applies");
+    }
+}
+
+fn levels() -> [(&'static str, SimplifyLevel); 3] {
+    [
+        ("none", SimplifyLevel::None),
+        ("fast", SimplifyLevel::Fast),
+        ("full", SimplifyLevel::Full),
+    ]
+}
+
+fn bench_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("churn20");
+    group.sample_size(20);
+    for (label, level) in levels() {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &level, |b, &level| {
+            let (t, ids) = build();
+            b.iter(|| {
+                let mut engine = GuaEngine::new(t.clone(), GuaOptions::simplify_always(level));
+                churn(&mut engine, &ids, 20);
+                engine.theory.store.size_nodes()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_query_after_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_after_churn20");
+    for (label, level) in levels() {
+        let (t, ids) = build();
+        let mut engine = GuaEngine::new(t, GuaOptions::simplify_always(level));
+        churn(&mut engine, &ids, 20);
+        let probe = Wff::or2(Wff::Atom(ids[0]), Wff::Atom(ids[1]));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
+            b.iter(|| engine.theory.entails(&probe));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_churn, bench_query_after_churn);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Ablation of the §3.6 storage substrate.
+//!
+//! The paper's O(g·log R) bound for GUA hinges on renaming being O(1) per
+//! atom ("all occurrences … are linked together in a list whose head is an
+//! index entry, so that renaming may be done rapidly"). This bench compares
+//! the slot-indirected [`FormulaStore`] rename against the naive
+//! representation (a plain `Vec<Wff>` rewritten formula-by-formula) as the
+//! theory grows: the naive cost is Θ(total store size), the indexed cost is
+//! constant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use winslett_logic::{AtomId, Formula, Wff};
+use winslett_theory::FormulaStore;
+
+/// Builds `n` formulas, each mentioning atom 0 twice plus two others.
+fn formulas(n: usize) -> Vec<Wff> {
+    (0..n)
+        .map(|i| {
+            Formula::Or(vec![
+                Wff::Atom(AtomId(0)),
+                Formula::And(vec![
+                    Wff::Atom(AtomId((1 + i % 64) as u32)),
+                    Wff::Atom(AtomId(0)).not(),
+                ]),
+            ])
+        })
+        .collect()
+}
+
+fn bench_rename(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rename_atom");
+    for &n in &[64usize, 512, 4096] {
+        let wffs = formulas(n);
+
+        // Indexed store: O(1) per rename regardless of n.
+        group.bench_with_input(BenchmarkId::new("indexed", n), &(), |b, _| {
+            let mut store = FormulaStore::new();
+            for w in &wffs {
+                store.insert(w);
+            }
+            let mut next_fresh = 1_000u32;
+            b.iter(|| {
+                // Rename the *current* name of atom 0's slot to a fresh id
+                // each iteration (exactly GUA's usage pattern).
+                let from = AtomId(next_fresh - 1);
+                let from = if store.contains_atom(AtomId(0)) {
+                    AtomId(0)
+                } else {
+                    from
+                };
+                let to = AtomId(next_fresh);
+                next_fresh += 1;
+                store.rename_atom(from, to)
+            });
+        });
+
+        // Naive store: rewrite every formula, Θ(total size) per rename.
+        group.bench_with_input(BenchmarkId::new("naive", n), &(), |b, _| {
+            let mut naive: Vec<Wff> = wffs.clone();
+            let mut next_fresh = 1_000_000u32;
+            b.iter(|| {
+                let from = if naive.iter().any(|w| w.contains_atom(AtomId(0))) {
+                    AtomId(0)
+                } else {
+                    AtomId(next_fresh - 1)
+                };
+                let to = AtomId(next_fresh);
+                next_fresh += 1;
+                naive = naive.iter().map(|w| w.rename_atom(from, to)).collect();
+                naive.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rename);
+criterion_main!(benches);

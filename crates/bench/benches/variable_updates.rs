@@ -1,0 +1,60 @@
+//! Updates with variables (§4): expansion and simultaneous application.
+//!
+//! `expand/R` measures the range-restricted binding enumeration of a
+//! variable DELETE against a theory with `R` matching tuples (expected
+//! ~linear in the matches, via the per-predicate index). `apply/R`
+//! measures the full pipeline: expand + simultaneous GUA application.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use winslett_core::{VarStatement, Workload};
+use winslett_gua::{GuaEngine, GuaOptions, SimplifyLevel};
+use winslett_theory::Theory;
+
+fn theory_with_orders(r: usize) -> Theory {
+    let mut w = Workload::new(31);
+    let (theory, _) = w.orders_theory(r);
+    theory
+}
+
+fn bench_expand(c: &mut Criterion) {
+    let mut group = c.benchmark_group("var_expand");
+    for &r in &[64usize, 512, 4096] {
+        let theory = theory_with_orders(r);
+        group.bench_with_input(BenchmarkId::from_parameter(r), &(), |b, _| {
+            let stmt = VarStatement::parse("DELETE Orders(?o, ?p, ?q) WHERE T", &theory)
+                .expect("parses");
+            let mut scratch = theory.clone();
+            b.iter(|| {
+                let ground = stmt.expand(&mut scratch).expect("expands");
+                assert_eq!(ground.len(), r);
+                ground.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_apply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("var_apply_simultaneous");
+    group.sample_size(10);
+    for &r in &[16usize, 64, 256] {
+        let theory = theory_with_orders(r);
+        group.bench_with_input(BenchmarkId::from_parameter(r), &(), |b, _| {
+            let stmt = VarStatement::parse("DELETE Orders(?o, ?p, ?q) WHERE T", &theory)
+                .expect("parses");
+            b.iter(|| {
+                let mut engine = GuaEngine::new(
+                    theory.clone(),
+                    GuaOptions::simplify_always(SimplifyLevel::Fast),
+                );
+                let ground = stmt.expand(&mut engine.theory).expect("expands");
+                engine.apply_simultaneous(&ground).expect("applies");
+                engine.theory.store.size_nodes()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_expand, bench_apply);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! The experiment harness: regenerates every row recorded in
+//! EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run --release -p winslett-bench --bin harness            # all
+//! cargo run --release -p winslett-bench --bin harness -- e3 e5   # subset
+//! cargo run --release -p winslett-bench --bin harness -- --json  # JSON rows
+//! cargo run --release -p winslett-bench --bin harness -- --quick # small sizes
+//! cargo run --release -p winslett-bench --bin harness -- --out results/
+//! ```
+
+use winslett_bench::experiments;
+use winslett_bench::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_dir: Option<String> = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned());
+    let mut skip_next = false;
+    let selected: Vec<String> = args
+        .iter()
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--out" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
+        .map(|a| a.to_lowercase())
+        .collect();
+    let want = |id: &str| selected.is_empty() || selected.iter().any(|s| s == id);
+
+    let mut tables: Vec<Table> = Vec::new();
+    let scale = if quick { 1 } else { 4 };
+
+    if want("e1") {
+        tables.push(experiments::e1(40 * scale));
+    }
+    if want("e2") {
+        tables.push(experiments::e2(150 * scale));
+    }
+    if want("e3") {
+        tables.push(experiments::e3(50 * scale));
+    }
+    if want("e4") {
+        tables.push(experiments::e4(50 * scale));
+    }
+    if want("e5") {
+        tables.push(experiments::e5(5 * scale));
+    }
+    if want("e6") {
+        tables.push(experiments::e6(30 * scale));
+    }
+    if want("e7") {
+        tables.push(experiments::e7(if quick { 5 } else { 8 }));
+    }
+    if want("e8") {
+        tables.push(experiments::e8(if quick { 16 } else { 64 }));
+    }
+    if want("e9") {
+        tables.push(experiments::e9(if quick { 5 } else { 8 }));
+    }
+
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    for t in &tables {
+        if json {
+            println!("{}", serde_json::to_string(t).expect("serializable"));
+        } else {
+            println!("{}", t.render());
+        }
+        if let Some(dir) = &out_dir {
+            let path = format!("{dir}/{}.json", t.id.to_lowercase());
+            std::fs::write(&path, serde_json::to_string_pretty(t).expect("serializable"))
+                .expect("write result file");
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Experiment implementations for EXPERIMENTS.md.
+//!
+//! The paper (PODS 1986) has no tables or figures; its evaluation artifacts
+//! are theorems and the §3.6 cost analysis. Each experiment E1–E8 turns one
+//! of those claims into a measurable run. The functions here are shared by
+//! the `harness` binary (which prints the rows recorded in EXPERIMENTS.md)
+//! and the Criterion benches (which time the same hot paths rigorously).
+
+pub mod experiments;
+pub mod report;
+
+pub use report::Table;

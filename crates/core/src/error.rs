@@ -1,0 +1,91 @@
+//! Error type for the database façade.
+
+use std::fmt;
+
+/// Errors surfaced by [`crate::LogicalDatabase`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DbError {
+    /// From the theory layer.
+    Theory(winslett_theory::TheoryError),
+    /// From LDML parsing/validation.
+    Ldml(winslett_ldml::LdmlError),
+    /// From the update algorithm.
+    Gua(winslett_gua::GuaError),
+    /// From world materialization.
+    Worlds(winslett_worlds::WorldsError),
+    /// From the logic kernel (query parsing).
+    Logic(winslett_logic::LogicError),
+    /// A query used an unknown variable or malformed syntax.
+    Query {
+        /// Description of the defect.
+        message: String,
+    },
+    /// A null value was declared with an empty candidate domain.
+    EmptyNullDomain {
+        /// The null's name.
+        name: String,
+    },
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Theory(e) => write!(f, "{e}"),
+            DbError::Ldml(e) => write!(f, "{e}"),
+            DbError::Gua(e) => write!(f, "{e}"),
+            DbError::Worlds(e) => write!(f, "{e}"),
+            DbError::Logic(e) => write!(f, "{e}"),
+            DbError::Query { message } => write!(f, "query error: {message}"),
+            DbError::EmptyNullDomain { name } => {
+                write!(f, "null value `{name}` has an empty candidate domain")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<winslett_theory::TheoryError> for DbError {
+    fn from(e: winslett_theory::TheoryError) -> Self {
+        DbError::Theory(e)
+    }
+}
+
+impl From<winslett_ldml::LdmlError> for DbError {
+    fn from(e: winslett_ldml::LdmlError) -> Self {
+        DbError::Ldml(e)
+    }
+}
+
+impl From<winslett_gua::GuaError> for DbError {
+    fn from(e: winslett_gua::GuaError) -> Self {
+        DbError::Gua(e)
+    }
+}
+
+impl From<winslett_worlds::WorldsError> for DbError {
+    fn from(e: winslett_worlds::WorldsError) -> Self {
+        DbError::Worlds(e)
+    }
+}
+
+impl From<winslett_logic::LogicError> for DbError {
+    fn from(e: winslett_logic::LogicError) -> Self {
+        DbError::Logic(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: DbError = winslett_theory::TheoryError::Inconsistent.into();
+        assert!(e.to_string().contains("no models"));
+        let e = DbError::Query {
+            message: "variable ?x unbound".into(),
+        };
+        assert!(e.to_string().contains("?x"));
+    }
+}

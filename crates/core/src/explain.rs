@@ -1,0 +1,159 @@
+//! Explaining query verdicts with concrete worlds.
+//!
+//! In an incomplete database, "is φ true?" has three answers — certain,
+//! possible-but-uncertain, impossible — and the natural follow-up is
+//! *show me why*. An [`Explanation`] carries the verdict together with up
+//! to two witness worlds:
+//!
+//! * a **witness**: an alternative world where φ holds (present unless φ is
+//!   impossible);
+//! * a **counterexample**: an alternative world where φ fails (present
+//!   unless φ is certain).
+//!
+//! Each is found by one SAT call (`theory ∧ φ`, `theory ∧ ¬φ`) — no world
+//! enumeration.
+
+use crate::error::DbError;
+use winslett_logic::Wff;
+use winslett_theory::Theory;
+
+/// The three-valued verdict for a ground wff over an incomplete database.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// True in every alternative world.
+    Certain,
+    /// True in some worlds, false in others.
+    Uncertain,
+    /// False in every alternative world.
+    Impossible,
+    /// The database itself has no worlds.
+    Inconsistent,
+}
+
+/// A verdict together with its witnessing worlds (as sorted atom names).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Explanation {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// A world where the wff holds, if one exists.
+    pub witness: Option<Vec<String>>,
+    /// A world where the wff fails, if one exists.
+    pub counterexample: Option<Vec<String>>,
+}
+
+impl Explanation {
+    /// Renders the explanation as human-readable text.
+    pub fn describe(&self) -> String {
+        let fmt = |w: &Option<Vec<String>>| match w {
+            Some(atoms) => format!("{{{}}}", atoms.join(", ")),
+            None => "(none)".to_string(),
+        };
+        match self.verdict {
+            Verdict::Certain => format!(
+                "CERTAIN — holds in every world; e.g. {}",
+                fmt(&self.witness)
+            ),
+            Verdict::Uncertain => format!(
+                "POSSIBLE but not certain —\n  holds in   {}\n  fails in   {}",
+                fmt(&self.witness),
+                fmt(&self.counterexample)
+            ),
+            Verdict::Impossible => format!(
+                "IMPOSSIBLE — fails in every world; e.g. {}",
+                fmt(&self.counterexample)
+            ),
+            Verdict::Inconsistent => "INCONSISTENT — the database has no worlds".to_string(),
+        }
+    }
+}
+
+/// Explains a ground wff against a theory.
+pub fn explain(theory: &Theory, wff: &Wff) -> Result<Explanation, DbError> {
+    let witness_world = theory.find_world_where(wff);
+    let counter_world = theory.find_world_where(&wff.clone().not());
+    let render =
+        |w: &winslett_logic::BitSet| -> Vec<String> { theory.format_world(w) };
+    let verdict = match (&witness_world, &counter_world) {
+        (Some(_), Some(_)) => Verdict::Uncertain,
+        (Some(_), None) => Verdict::Certain,
+        (None, Some(_)) => Verdict::Impossible,
+        (None, None) => Verdict::Inconsistent,
+    };
+    Ok(Explanation {
+        verdict,
+        witness: witness_world.as_ref().map(render),
+        counterexample: counter_world.as_ref().map(render),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use winslett_logic::Formula;
+
+    fn sample() -> (Theory, Wff, Wff, Wff) {
+        let mut t = Theory::new();
+        let r = t.declare_relation("R", 1).unwrap();
+        let ca = t.constant("a");
+        let cb = t.constant("b");
+        let cc = t.constant("c");
+        let a = t.atom(r, &[ca]);
+        let b = t.atom(r, &[cb]);
+        let c = t.atom(r, &[cc]);
+        t.assert_atom(a);
+        t.assert_wff(&Formula::Or(vec![Wff::Atom(b), Wff::Atom(c)]));
+        (t, Wff::Atom(a), Wff::Atom(b), Wff::Atom(c))
+    }
+
+    #[test]
+    fn certain_wff() {
+        let (t, a, _, _) = sample();
+        let e = explain(&t, &a).unwrap();
+        assert_eq!(e.verdict, Verdict::Certain);
+        assert!(e.witness.is_some());
+        assert!(e.counterexample.is_none());
+        assert!(e.describe().contains("CERTAIN"));
+    }
+
+    #[test]
+    fn uncertain_wff_has_both_worlds() {
+        let (t, _, b, _) = sample();
+        let e = explain(&t, &b).unwrap();
+        assert_eq!(e.verdict, Verdict::Uncertain);
+        let w = e.witness.unwrap();
+        let cx = e.counterexample.unwrap();
+        assert!(w.contains(&"R(b)".to_string()));
+        assert!(!cx.contains(&"R(b)".to_string()));
+        // Both are genuine worlds: R(a) holds in each.
+        assert!(w.contains(&"R(a)".to_string()));
+        assert!(cx.contains(&"R(a)".to_string()));
+    }
+
+    #[test]
+    fn impossible_wff() {
+        let (t, a, _, _) = sample();
+        let e = explain(&t, &a.not()).unwrap();
+        assert_eq!(e.verdict, Verdict::Impossible);
+        assert!(e.witness.is_none());
+        assert!(e.counterexample.is_some());
+    }
+
+    #[test]
+    fn inconsistent_theory() {
+        let (mut t, a, _, _) = sample();
+        t.assert_wff(&a.clone().not());
+        let e = explain(&t, &a).unwrap();
+        assert_eq!(e.verdict, Verdict::Inconsistent);
+        assert!(e.describe().contains("INCONSISTENT"));
+    }
+
+    #[test]
+    fn compound_wff() {
+        let (t, _, b, c) = sample();
+        // b ∨ c is certain (it was loaded); b ∧ c is uncertain.
+        let e = explain(&t, &Formula::Or(vec![b.clone(), c.clone()])).unwrap();
+        assert_eq!(e.verdict, Verdict::Certain);
+        let e = explain(&t, &Formula::And(vec![b, c])).unwrap();
+        assert_eq!(e.verdict, Verdict::Uncertain);
+    }
+}

@@ -1,0 +1,36 @@
+//! # winslett-core
+//!
+//! The user-facing façade of the Winslett (PODS 1986) reproduction: a
+//! logical database with incomplete information, updated by GUA and
+//! queried by entailment.
+//!
+//! * [`LogicalDatabase`] — schema declaration, fact loading, textual LDML
+//!   execution, certain/possible wff checks, conjunctive [`Query`]
+//!   answering, world inspection, and the §3.5 type-axiom widening layer.
+//! * [`NullCatalog`] — null values via finite-domain Skolem expansion.
+//! * [`ReplayDatabase`] — the §4 strawman that logs updates and recomputes
+//!   on query (the comparison system of experiment E8).
+//! * [`Workload`] — deterministic workload generators for the experiment
+//!   harness and benches.
+
+pub mod db;
+pub mod error;
+pub mod explain;
+pub mod nulls;
+pub mod persist;
+pub mod query;
+pub mod relational;
+pub mod replay;
+pub mod vars;
+pub mod workload;
+
+pub use db::{DbOptions, LogicalDatabase};
+pub use error::DbError;
+pub use explain::{explain, Explanation, Verdict};
+pub use nulls::{NullCatalog, NullableArg};
+pub use persist::{dump_theory, load_theory, restore_theory, save_theory, TheoryDump};
+pub use query::{Answers, Query, QueryAtom, QueryTerm, SupportedAnswer};
+pub use relational::{certain_database, from_world, possible_database, RelationalDatabase};
+pub use replay::ReplayDatabase;
+pub use vars::{PatternWff, VarAtom, VarStatement, VarTerm, VarUpdate};
+pub use workload::Workload;

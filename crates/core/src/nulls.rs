@@ -1,0 +1,408 @@
+//! Null values via finite-domain Skolem expansion.
+//!
+//! The paper notes that GUA "can be extended to cover the case where null
+//! values appear in the theory as Skolem constants, in which case the
+//! theory may have an infinite set of models." With completion axioms over
+//! named constants, every attribute domain in play is finite, so a null
+//! value — "known to lie in a certain domain but whose value is currently
+//! unknown" (§1) — is faithfully represented by a *disjunction over its
+//! candidate values*: inserting `Orders(700, 32, @q)` with
+//! `@q ∈ {1, 5, 9}` becomes
+//!
+//! ```text
+//! INSERT Orders(700,32,1) ∨ Orders(700,32,5) ∨ Orders(700,32,9) WHERE T
+//! ```
+//!
+//! which yields one alternative world per candidate (plus combinations, if
+//! other constraints intervene) — exactly the world set the Skolem
+//! treatment denotes. Genuinely infinite domains are out of scope and
+//! documented as such in DESIGN.md.
+//!
+//! [`NullCatalog`] tracks declared nulls; [`NullCatalog::expand_insert`]
+//! builds the disjunctive ω; resolving a null later is an ordinary
+//! `ASSERT` (§3.2: "ASSERT is the usual method for removing incomplete
+//! information when more exact knowledge is obtained").
+
+use crate::error::DbError;
+use rustc_hash::FxHashMap;
+use winslett_ldml::Update;
+use winslett_logic::{Formula, Wff};
+use winslett_theory::Theory;
+
+/// An argument in a null-aware tuple: a concrete constant or a named null.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum NullableArg {
+    /// A known constant, by name.
+    Known(String),
+    /// A declared null value, by name (conventionally `@`-prefixed).
+    Null(String),
+}
+
+impl NullableArg {
+    /// Convenience constructor from `&str`, treating a leading `@` as a
+    /// null reference.
+    pub fn parse(s: &str) -> NullableArg {
+        if let Some(rest) = s.strip_prefix('@') {
+            NullableArg::Null(rest.to_owned())
+        } else {
+            NullableArg::Known(s.to_owned())
+        }
+    }
+}
+
+/// Declared null values and their candidate domains.
+#[derive(Clone, Default, Debug)]
+pub struct NullCatalog {
+    domains: FxHashMap<String, Vec<String>>,
+}
+
+impl NullCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a null with its candidate domain. Re-declaring replaces the
+    /// domain (e.g. after partial information narrows it).
+    pub fn declare(&mut self, name: &str, candidates: &[&str]) -> Result<(), DbError> {
+        if candidates.is_empty() {
+            return Err(DbError::EmptyNullDomain { name: name.into() });
+        }
+        self.domains
+            .insert(name.to_owned(), candidates.iter().map(|s| s.to_string()).collect());
+        Ok(())
+    }
+
+    /// The candidate domain of `name`.
+    pub fn domain(&self, name: &str) -> Option<&[String]> {
+        self.domains.get(name).map(Vec::as_slice)
+    }
+
+    /// Builds the INSERT update for a tuple containing nulls: the
+    /// disjunction over all combinations of candidate values. The number of
+    /// disjuncts is the product of the domain sizes — callers should keep
+    /// domains modest (the same constraint the Skolem treatment hides
+    /// inside its infinite model set).
+    pub fn expand_insert(
+        &self,
+        theory: &mut Theory,
+        pred: &str,
+        args: &[NullableArg],
+        phi: Wff,
+    ) -> Result<Update, DbError> {
+        let mut combos: Vec<Vec<String>> = vec![Vec::new()];
+        for arg in args {
+            let choices: Vec<String> = match arg {
+                NullableArg::Known(c) => vec![c.clone()],
+                NullableArg::Null(n) => self
+                    .domains
+                    .get(n)
+                    .ok_or_else(|| DbError::Query {
+                        message: format!("undeclared null `@{n}`"),
+                    })?
+                    .clone(),
+            };
+            let mut next = Vec::with_capacity(combos.len() * choices.len());
+            for combo in &combos {
+                for c in &choices {
+                    let mut extended = combo.clone();
+                    extended.push(c.clone());
+                    next.push(extended);
+                }
+            }
+            combos = next;
+        }
+        let mut atoms = Vec::with_capacity(combos.len());
+        for combo in &combos {
+            let refs: Vec<&str> = combo.iter().map(String::as_str).collect();
+            atoms.push(theory.atom_by_name(pred, &refs)?);
+        }
+        // Exactly-one expansion: a null *has* a single (unknown) value, so
+        // each alternative world adopts exactly one candidate tuple. A bare
+        // inclusive disjunction would also admit worlds with several
+        // candidates true, which the Skolem reading excludes.
+        let omega = if atoms.len() == 1 {
+            Wff::Atom(atoms[0])
+        } else {
+            let disjuncts: Vec<Wff> = (0..atoms.len())
+                .map(|i| {
+                    let mut parts = vec![Wff::Atom(atoms[i])];
+                    for (j, &other) in atoms.iter().enumerate() {
+                        if j != i {
+                            parts.push(Wff::Atom(other).not());
+                        }
+                    }
+                    Formula::And(parts)
+                })
+                .collect();
+            Formula::Or(disjuncts)
+        };
+        Ok(Update::Insert { omega, phi })
+    }
+}
+
+impl NullCatalog {
+    /// Builds the `ASSERT` that *narrows* a previously inserted null: the
+    /// tuple's value is not among `excluded`. Also shrinks the catalog's
+    /// domain for `null_name`, so later inserts using the same null see the
+    /// narrowed candidate set. `slot` is the argument position the null
+    /// occupied; `fixed` are the tuple's arguments with the null position's
+    /// entry ignored.
+    ///
+    /// Narrowing to a single candidate is the usual full resolution; that
+    /// can equally be done with a plain `ASSERT tuple` (§3.2: "ASSERT is
+    /// the usual method for removing incomplete information").
+    pub fn narrow(
+        &mut self,
+        theory: &mut Theory,
+        pred: &str,
+        fixed: &[&str],
+        slot: usize,
+        null_name: &str,
+        excluded: &[&str],
+    ) -> Result<Update, DbError> {
+        let domain = self
+            .domains
+            .get_mut(null_name)
+            .ok_or_else(|| DbError::Query {
+                message: format!("undeclared null `@{null_name}`"),
+            })?;
+        let remaining: Vec<String> = domain
+            .iter()
+            .filter(|c| !excluded.contains(&c.as_str()))
+            .cloned()
+            .collect();
+        if remaining.is_empty() {
+            return Err(DbError::EmptyNullDomain {
+                name: null_name.to_owned(),
+            });
+        }
+        *domain = remaining;
+
+        let mut negations = Vec::with_capacity(excluded.len());
+        for ex in excluded {
+            let mut args: Vec<&str> = fixed.to_vec();
+            if slot >= args.len() {
+                return Err(DbError::Query {
+                    message: format!("null slot {slot} out of range"),
+                });
+            }
+            args[slot] = ex;
+            let atom = theory.atom_by_name(pred, &args)?;
+            negations.push(Wff::Atom(atom).not());
+        }
+        Ok(Update::assert(Formula::And(negations)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use winslett_gua::GuaEngine;
+    use winslett_logic::ModelLimit;
+
+    fn theory() -> Theory {
+        let mut t = Theory::new();
+        t.declare_relation("Orders", 3).unwrap();
+        t
+    }
+
+    #[test]
+    fn declare_and_lookup() {
+        let mut cat = NullCatalog::new();
+        cat.declare("q", &["1", "5", "9"]).unwrap();
+        assert_eq!(cat.domain("q").unwrap().len(), 3);
+        assert!(cat.domain("z").is_none());
+        assert!(matches!(
+            cat.declare("bad", &[]),
+            Err(DbError::EmptyNullDomain { .. })
+        ));
+    }
+
+    #[test]
+    fn nullable_arg_parsing() {
+        assert_eq!(NullableArg::parse("32"), NullableArg::Known("32".into()));
+        assert_eq!(NullableArg::parse("@q"), NullableArg::Null("q".into()));
+    }
+
+    #[test]
+    fn expand_single_null_to_disjunction() {
+        let mut t = theory();
+        let mut cat = NullCatalog::new();
+        cat.declare("q", &["1", "5", "9"]).unwrap();
+        let u = cat
+            .expand_insert(
+                &mut t,
+                "Orders",
+                &[
+                    NullableArg::parse("700"),
+                    NullableArg::parse("32"),
+                    NullableArg::parse("@q"),
+                ],
+                Wff::t(),
+            )
+            .unwrap();
+        match &u {
+            Update::Insert { omega, .. } => match omega {
+                Formula::Or(parts) => assert_eq!(parts.len(), 3),
+                other => panic!("expected Or, got {other:?}"),
+            },
+            other => panic!("expected Insert, got {other:?}"),
+        }
+        // Applying it yields one world per candidate quantity.
+        let mut engine = GuaEngine::with_defaults(t);
+        engine.apply(&u).unwrap();
+        let worlds = engine
+            .theory
+            .alternative_worlds(ModelLimit::default())
+            .unwrap();
+        assert_eq!(worlds.len(), 3);
+    }
+
+    #[test]
+    fn expand_two_nulls_is_cross_product() {
+        let mut t = theory();
+        let mut cat = NullCatalog::new();
+        cat.declare("p", &["32", "33"]).unwrap();
+        cat.declare("q", &["1", "2"]).unwrap();
+        let u = cat
+            .expand_insert(
+                &mut t,
+                "Orders",
+                &[
+                    NullableArg::parse("700"),
+                    NullableArg::parse("@p"),
+                    NullableArg::parse("@q"),
+                ],
+                Wff::t(),
+            )
+            .unwrap();
+        match &u {
+            Update::Insert { omega: Formula::Or(parts), .. } => assert_eq!(parts.len(), 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Applying yields exactly one world per candidate pair.
+        let mut engine = GuaEngine::with_defaults(t);
+        engine.apply(&u).unwrap();
+        let worlds = engine
+            .theory
+            .alternative_worlds(ModelLimit::default())
+            .unwrap();
+        assert_eq!(worlds.len(), 4);
+    }
+
+    #[test]
+    fn no_nulls_yields_plain_insert() {
+        let mut t = theory();
+        let cat = NullCatalog::new();
+        let u = cat
+            .expand_insert(
+                &mut t,
+                "Orders",
+                &[
+                    NullableArg::parse("700"),
+                    NullableArg::parse("32"),
+                    NullableArg::parse("9"),
+                ],
+                Wff::t(),
+            )
+            .unwrap();
+        assert!(matches!(
+            u,
+            Update::Insert {
+                omega: Formula::Atom(_),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn undeclared_null_rejected() {
+        let mut t = theory();
+        let cat = NullCatalog::new();
+        let r = cat.expand_insert(
+            &mut t,
+            "Orders",
+            &[NullableArg::parse("@zzz"), NullableArg::parse("1"), NullableArg::parse("2")],
+            Wff::t(),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn narrow_excludes_candidates_and_shrinks_domain() {
+        let mut t = theory();
+        let mut cat = NullCatalog::new();
+        cat.declare("q", &["1", "5", "9"]).unwrap();
+        let insert = cat
+            .expand_insert(
+                &mut t,
+                "Orders",
+                &[
+                    NullableArg::parse("700"),
+                    NullableArg::parse("32"),
+                    NullableArg::parse("@q"),
+                ],
+                Wff::t(),
+            )
+            .unwrap();
+        let mut engine = GuaEngine::with_defaults(t);
+        engine.apply(&insert).unwrap();
+        assert_eq!(
+            engine
+                .theory
+                .alternative_worlds(ModelLimit::default())
+                .unwrap()
+                .len(),
+            3
+        );
+        // Evidence: the quantity was not 9.
+        let narrow = cat
+            .narrow(&mut engine.theory, "Orders", &["700", "32", ""], 2, "q", &["9"])
+            .unwrap();
+        engine.apply(&narrow).unwrap();
+        assert_eq!(
+            engine
+                .theory
+                .alternative_worlds(ModelLimit::default())
+                .unwrap()
+                .len(),
+            2
+        );
+        // Catalog domain shrank for future inserts.
+        assert_eq!(cat.domain("q").unwrap(), &["1".to_string(), "5".to_string()][..]);
+        // Narrowing away everything is an error.
+        assert!(matches!(
+            cat.narrow(&mut engine.theory, "Orders", &["700", "32", ""], 2, "q", &["1", "5"]),
+            Err(DbError::EmptyNullDomain { .. })
+        ));
+    }
+
+    #[test]
+    fn assert_resolves_null() {
+        let mut t = theory();
+        let mut cat = NullCatalog::new();
+        cat.declare("q", &["1", "5"]).unwrap();
+        let u = cat
+            .expand_insert(
+                &mut t,
+                "Orders",
+                &[
+                    NullableArg::parse("700"),
+                    NullableArg::parse("32"),
+                    NullableArg::parse("@q"),
+                ],
+                Wff::t(),
+            )
+            .unwrap();
+        let mut engine = GuaEngine::with_defaults(t);
+        engine.apply(&u).unwrap();
+        // More exact knowledge arrives: the quantity was 5.
+        engine.execute("ASSERT Orders(700,32,5)").unwrap();
+        let worlds = engine
+            .theory
+            .alternative_worlds(ModelLimit::default())
+            .unwrap();
+        assert_eq!(worlds.len(), 1);
+    }
+}

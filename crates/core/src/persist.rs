@@ -1,0 +1,425 @@
+//! Saving and loading logical databases.
+//!
+//! A [`Theory`] serializes to a self-contained JSON document holding the
+//! schema (attributes, relations, type axioms), the dependency axioms, the
+//! completion-axiom registry (as atom strings), and the non-axiomatic
+//! section (as wff strings in the concrete syntax of
+//! [`winslett_logic::parse_wff`]). Everything is name-based, so a dump is
+//! stable across interning orders and readable in a code review — the
+//! moral equivalent of a `.sql` dump for a logical database.
+//!
+//! Predicate constants minted by GUA are preserved (they carry the
+//! residual update history), and the fresh-name counter is bumped past
+//! them on load so future updates cannot collide.
+
+use crate::error::DbError;
+use serde::{Deserialize, Serialize};
+use winslett_logic::{display_wff, parse_wff, ParseContext, PredicateKind};
+use winslett_theory::{AtomPattern, Dependency, HeadFormula, Term, Theory};
+
+/// The serialized form of a theory.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TheoryDump {
+    /// Format version, for forward compatibility.
+    pub version: u32,
+    /// Attribute predicate names.
+    pub attributes: Vec<String>,
+    /// Relations: `(name, arity, type axiom attribute names if any)`.
+    pub relations: Vec<(String, usize, Option<Vec<String>>)>,
+    /// Predicate constants present in the store (names).
+    pub predicate_constants: Vec<String>,
+    /// Dependency axioms, in a portable structural form.
+    pub dependencies: Vec<DependencyDump>,
+    /// Registered atoms, as rendered atom strings (completion axioms).
+    pub registered: Vec<String>,
+    /// The non-axiomatic section, one wff string per formula.
+    pub wffs: Vec<String>,
+}
+
+/// Portable form of a template dependency.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DependencyDump {
+    /// Label.
+    pub name: String,
+    /// Number of variables.
+    pub num_vars: u16,
+    /// Body patterns: `(pred name, terms)` where a term is either
+    /// `{"v": i}` or `{"c": "name"}`.
+    pub body: Vec<(String, Vec<TermDump>)>,
+    /// Head, structurally.
+    pub head: HeadDump,
+}
+
+/// Portable term.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum TermDump {
+    /// Variable index.
+    V(u16),
+    /// Constant name.
+    C(String),
+}
+
+/// Portable head formula.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum HeadDump {
+    /// Truth constant.
+    Truth(bool),
+    /// Atom pattern.
+    Atom(String, Vec<TermDump>),
+    /// Equality.
+    Eq(TermDump, TermDump),
+    /// Negation.
+    Not(Box<HeadDump>),
+    /// Conjunction.
+    And(Vec<HeadDump>),
+    /// Disjunction.
+    Or(Vec<HeadDump>),
+}
+
+/// Serializes a theory to its dump form.
+pub fn dump_theory(theory: &Theory) -> TheoryDump {
+    let mut attributes = Vec::new();
+    let mut relations = Vec::new();
+    let mut predicate_constants = Vec::new();
+    for (pid, pred) in theory.vocab.predicates() {
+        match pred.kind {
+            PredicateKind::Attribute => attributes.push(pred.name.clone()),
+            PredicateKind::Relation => {
+                let ty = theory.schema.type_axiom(pid).map(|attrs| {
+                    attrs
+                        .iter()
+                        .map(|a| theory.vocab.predicate(*a).name.clone())
+                        .collect()
+                });
+                relations.push((pred.name.clone(), pred.arity, ty));
+            }
+            PredicateKind::PredicateConstant => {
+                predicate_constants.push(pred.name.clone());
+            }
+        }
+    }
+    let registered: Vec<String> = {
+        let mut v: Vec<_> = theory
+            .registry
+            .iter()
+            .map(|(_, a)| theory.atoms.resolve(a).display(&theory.vocab).to_string())
+            .collect();
+        v.sort();
+        v
+    };
+    let wffs: Vec<String> = theory
+        .store
+        .iter()
+        .map(|(_, w)| display_wff(&w, &theory.vocab, &theory.atoms).to_string())
+        .collect();
+    let dependencies = theory
+        .deps
+        .iter()
+        .map(|d| dump_dependency(d, theory))
+        .collect();
+    TheoryDump {
+        version: 1,
+        attributes,
+        relations,
+        predicate_constants,
+        dependencies,
+        registered,
+        wffs,
+    }
+}
+
+fn dump_term(t: &Term, theory: &Theory) -> TermDump {
+    match t {
+        Term::Var(v) => TermDump::V(*v),
+        Term::Cst(c) => TermDump::C(theory.vocab.constant_name(*c).to_owned()),
+    }
+}
+
+fn dump_head(h: &HeadFormula, theory: &Theory) -> HeadDump {
+    match h {
+        HeadFormula::Truth(b) => HeadDump::Truth(*b),
+        HeadFormula::Atom(a) => HeadDump::Atom(
+            theory.vocab.predicate(a.pred).name.clone(),
+            a.args.iter().map(|t| dump_term(t, theory)).collect(),
+        ),
+        HeadFormula::Eq(s, t) => HeadDump::Eq(dump_term(s, theory), dump_term(t, theory)),
+        HeadFormula::Not(x) => HeadDump::Not(Box::new(dump_head(x, theory))),
+        HeadFormula::And(xs) => HeadDump::And(xs.iter().map(|x| dump_head(x, theory)).collect()),
+        HeadFormula::Or(xs) => HeadDump::Or(xs.iter().map(|x| dump_head(x, theory)).collect()),
+    }
+}
+
+fn dump_dependency(d: &Dependency, theory: &Theory) -> DependencyDump {
+    DependencyDump {
+        name: d.name.clone(),
+        num_vars: d.num_vars,
+        body: d
+            .body
+            .iter()
+            .map(|g| {
+                (
+                    theory.vocab.predicate(g.pred).name.clone(),
+                    g.args.iter().map(|t| dump_term(t, theory)).collect(),
+                )
+            })
+            .collect(),
+        head: dump_head(&d.head, theory),
+    }
+}
+
+/// Serializes a theory to a JSON string.
+pub fn save_theory(theory: &Theory) -> Result<String, DbError> {
+    serde_json::to_string_pretty(&dump_theory(theory)).map_err(|e| DbError::Query {
+        message: format!("serialization failed: {e}"),
+    })
+}
+
+/// Reconstructs a theory from its dump form.
+pub fn restore_theory(dump: &TheoryDump) -> Result<Theory, DbError> {
+    if dump.version != 1 {
+        return Err(DbError::Query {
+            message: format!("unsupported dump version {}", dump.version),
+        });
+    }
+    let mut t = Theory::new();
+    let mut attr_ids = Vec::new();
+    for a in &dump.attributes {
+        attr_ids.push((a.clone(), t.declare_attribute(a)?));
+    }
+    for (name, arity, ty) in &dump.relations {
+        match ty {
+            None => {
+                t.declare_relation(name, *arity)?;
+            }
+            Some(attrs) => {
+                let ids: Result<Vec<_>, DbError> = attrs
+                    .iter()
+                    .map(|a| {
+                        attr_ids
+                            .iter()
+                            .find(|(n, _)| n == a)
+                            .map(|(_, id)| *id)
+                            .ok_or_else(|| DbError::Query {
+                                message: format!("type axiom references unknown attribute `{a}`"),
+                            })
+                    })
+                    .collect();
+                t.declare_typed_relation(name, &ids?)?;
+            }
+        }
+    }
+    for pc in &dump.predicate_constants {
+        t.vocab
+            .declare_predicate(pc, 0, PredicateKind::PredicateConstant)
+            .ok_or_else(|| DbError::Query {
+                message: format!("predicate constant `{pc}` conflicts with a relation"),
+            })?;
+    }
+    for d in &dump.dependencies {
+        let dep = restore_dependency(d, &mut t)?;
+        t.add_dependency(dep);
+    }
+    // The non-axiomatic section: parse each wff; this interns atoms and
+    // registers them.
+    for src in &dump.wffs {
+        let wff = {
+            let mut ctx = ParseContext {
+                vocab: &mut t.vocab,
+                atoms: &mut t.atoms,
+                declare: true, // constants may be new; predicates exist
+                allow_predicate_constants: true,
+            };
+            parse_wff(src, &mut ctx).map_err(DbError::from)?
+        };
+        t.assert_wff(&wff);
+    }
+    // Registered atoms beyond those in the section (e.g. freed by
+    // simplification): re-register explicitly.
+    for src in &dump.registered {
+        let wff = {
+            let mut ctx = ParseContext {
+                vocab: &mut t.vocab,
+                atoms: &mut t.atoms,
+                declare: true,
+                allow_predicate_constants: false,
+            };
+            parse_wff(src, &mut ctx).map_err(DbError::from)?
+        };
+        match wff {
+            winslett_logic::Formula::Atom(id) => {
+                t.register_atom(id);
+            }
+            other => {
+                return Err(DbError::Query {
+                    message: format!("registered entry `{src}` is not an atom: {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(t)
+}
+
+fn restore_term(t: &TermDump, theory: &mut Theory) -> Term {
+    match t {
+        TermDump::V(v) => Term::Var(*v),
+        TermDump::C(name) => Term::Cst(theory.constant(name)),
+    }
+}
+
+fn restore_head(h: &HeadDump, theory: &mut Theory) -> Result<HeadFormula, DbError> {
+    Ok(match h {
+        HeadDump::Truth(b) => HeadFormula::Truth(*b),
+        HeadDump::Atom(pred, args) => {
+            let p = theory
+                .vocab
+                .find_predicate(pred)
+                .ok_or_else(|| DbError::Query {
+                    message: format!("dependency references unknown predicate `{pred}`"),
+                })?;
+            let args = args.iter().map(|t| restore_term(t, theory)).collect();
+            HeadFormula::Atom(AtomPattern::new(p, args))
+        }
+        HeadDump::Eq(s, t) => {
+            HeadFormula::Eq(restore_term(s, theory), restore_term(t, theory))
+        }
+        HeadDump::Not(x) => HeadFormula::Not(Box::new(restore_head(x, theory)?)),
+        HeadDump::And(xs) => HeadFormula::And(
+            xs.iter()
+                .map(|x| restore_head(x, theory))
+                .collect::<Result<_, _>>()?,
+        ),
+        HeadDump::Or(xs) => HeadFormula::Or(
+            xs.iter()
+                .map(|x| restore_head(x, theory))
+                .collect::<Result<_, _>>()?,
+        ),
+    })
+}
+
+fn restore_dependency(d: &DependencyDump, theory: &mut Theory) -> Result<Dependency, DbError> {
+    let mut body = Vec::with_capacity(d.body.len());
+    for (pred, args) in &d.body {
+        let p = theory
+            .vocab
+            .find_predicate(pred)
+            .ok_or_else(|| DbError::Query {
+                message: format!("dependency references unknown predicate `{pred}`"),
+            })?;
+        let args = args.iter().map(|t| restore_term(t, theory)).collect();
+        body.push(AtomPattern::new(p, args));
+    }
+    let head = restore_head(&d.head, theory)?;
+    Dependency::new(d.name.clone(), d.num_vars, body, head).map_err(DbError::from)
+}
+
+/// Deserializes a theory from a JSON string produced by [`save_theory`].
+pub fn load_theory(json: &str) -> Result<Theory, DbError> {
+    let dump: TheoryDump = serde_json::from_str(json).map_err(|e| DbError::Query {
+        message: format!("deserialization failed: {e}"),
+    })?;
+    restore_theory(&dump)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use winslett_gua::GuaEngine;
+    use winslett_logic::ModelLimit;
+
+    fn sample_theory() -> Theory {
+        let mut t = Theory::new();
+        let part = t.declare_attribute("PartNo").unwrap();
+        let quan = t.declare_attribute("Quan").unwrap();
+        let instock = t.declare_typed_relation("InStock", &[part, quan]).unwrap();
+        let orders = t.declare_relation("Orders", 3).unwrap();
+        t.add_dependency(Dependency::functional("stock-fd", instock, 2, &[0]).unwrap());
+        let c32 = t.constant("32");
+        let c5 = t.constant("5");
+        let tup = t.atom(instock, &[c32, c5]);
+        let p32 = t.atom(part, &[c32]);
+        let q5 = t.atom(quan, &[c5]);
+        t.assert_atom(tup);
+        t.assert_atom(p32);
+        t.assert_atom(q5);
+        let o = {
+            let a = t.constant("700");
+            let b = t.constant("9");
+            t.atom(orders, &[a, c32, b])
+        };
+        let o2 = {
+            let a = t.constant("701");
+            let b = t.constant("9");
+            t.atom(orders, &[a, c32, b])
+        };
+        t.assert_wff(&winslett_logic::Formula::Or(vec![
+            winslett_logic::Wff::Atom(o),
+            winslett_logic::Wff::Atom(o2),
+        ]));
+        t
+    }
+
+    fn worlds_of(t: &Theory) -> Vec<Vec<String>> {
+        let mut out: Vec<Vec<String>> = t
+            .alternative_worlds(ModelLimit::default())
+            .unwrap()
+            .iter()
+            .map(|w| t.format_world(w))
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn roundtrip_preserves_worlds() {
+        let t = sample_theory();
+        let json = save_theory(&t).unwrap();
+        let restored = load_theory(&json).unwrap();
+        assert_eq!(worlds_of(&t), worlds_of(&restored));
+        assert_eq!(t.deps.len(), restored.deps.len());
+        assert_eq!(t.store.len(), restored.store.len());
+    }
+
+    #[test]
+    fn roundtrip_after_updates_preserves_worlds() {
+        // Including the predicate constants GUA leaves behind.
+        let t = sample_theory();
+        let mut engine = GuaEngine::new(
+            t,
+            winslett_gua::GuaOptions::simplify_always(winslett_gua::SimplifyLevel::None),
+        );
+        engine.execute("DELETE InStock(32,5) WHERE T").unwrap();
+        engine
+            .execute("INSERT Orders(702,32,1) | Orders(702,32,2) WHERE T")
+            .unwrap();
+        let json = save_theory(&engine.theory).unwrap();
+        let restored = load_theory(&json).unwrap();
+        assert_eq!(worlds_of(&engine.theory), worlds_of(&restored));
+        // And the restored theory keeps working: apply another update.
+        let mut engine2 = GuaEngine::with_defaults(restored);
+        engine2.execute("ASSERT Orders(702,32,1)").unwrap();
+        assert!(engine2.theory.is_consistent());
+    }
+
+    #[test]
+    fn dump_is_human_readable() {
+        let t = sample_theory();
+        let json = save_theory(&t).unwrap();
+        assert!(json.contains("InStock(32,5)"));
+        assert!(json.contains("Orders(700,32,9) | Orders(701,32,9)"));
+        assert!(json.contains("stock-fd"));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let t = sample_theory();
+        let mut dump = dump_theory(&t);
+        dump.version = 99;
+        assert!(restore_theory(&dump).is_err());
+    }
+
+    #[test]
+    fn garbage_json_rejected() {
+        assert!(load_theory("{not json").is_err());
+        assert!(load_theory("{}").is_err());
+    }
+}

@@ -1,0 +1,322 @@
+//! Bridging ordinary relational databases and extended relational theories.
+//!
+//! "Given a relational database, Reiter constructs a relational theory
+//! whose model corresponds to the world represented by the database" (§1).
+//! This module is that bridge in both directions:
+//!
+//! * [`RelationalDatabase`] — a plain complete-information database: named
+//!   relations holding tuples of strings;
+//! * [`RelationalDatabase::to_theory`] — the Reiter construction: a theory
+//!   with one certain fact per tuple whose single alternative world is the
+//!   database;
+//! * [`from_world`] — the inverse: render one alternative world of any
+//!   theory as a relational database;
+//! * [`certain_database`] / [`possible_database`] — the certain (tuples in
+//!   every world) and possible (tuples in some world) projections of an
+//!   incomplete database, the standard lower/upper readings.
+
+use crate::error::DbError;
+use std::collections::BTreeMap;
+use winslett_logic::{AtomId, BitSet, ModelLimit, PredicateKind};
+use winslett_theory::Theory;
+
+/// A complete-information relational database: relation name → set of
+/// tuples (each a vector of constant names).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct RelationalDatabase {
+    /// Relations, ordered by name for deterministic display.
+    pub relations: BTreeMap<String, Vec<Vec<String>>>,
+}
+
+impl RelationalDatabase {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a tuple to `relation`.
+    pub fn insert(&mut self, relation: &str, tuple: &[&str]) {
+        self.relations
+            .entry(relation.to_owned())
+            .or_default()
+            .push(tuple.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Total number of tuples.
+    pub fn len(&self) -> usize {
+        self.relations.values().map(Vec::len).sum()
+    }
+
+    /// Whether there are no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The Reiter construction: an extended relational theory whose single
+    /// alternative world is exactly this database. Relations are declared
+    /// untyped with arities inferred from the first tuple; ragged arities
+    /// are an error.
+    pub fn to_theory(&self) -> Result<Theory, DbError> {
+        let mut t = Theory::new();
+        for (name, tuples) in &self.relations {
+            let Some(first) = tuples.first() else {
+                continue;
+            };
+            let pred = t.declare_relation(name, first.len())?;
+            for tuple in tuples {
+                if tuple.len() != first.len() {
+                    return Err(DbError::Query {
+                        message: format!(
+                            "relation `{name}` has ragged tuples ({} vs {})",
+                            tuple.len(),
+                            first.len()
+                        ),
+                    });
+                }
+                let args: Vec<_> = tuple.iter().map(|c| t.constant(c)).collect();
+                let atom = t.atom(pred, &args);
+                t.assert_atom(atom);
+            }
+        }
+        Ok(t)
+    }
+
+    /// Sorts tuples for canonical comparison.
+    pub fn canonicalize(&mut self) {
+        for tuples in self.relations.values_mut() {
+            tuples.sort();
+            tuples.dedup();
+        }
+    }
+}
+
+/// Renders one alternative world of `theory` as a relational database.
+pub fn from_world(theory: &Theory, world: &BitSet) -> RelationalDatabase {
+    let mut db = RelationalDatabase::new();
+    for i in world.ones() {
+        if i >= theory.atoms.len() {
+            continue;
+        }
+        let ga = theory.atoms.resolve(AtomId(i as u32));
+        let pred = theory.vocab.predicate(ga.pred);
+        if pred.kind == PredicateKind::PredicateConstant {
+            continue;
+        }
+        let tuple: Vec<String> = ga
+            .args
+            .iter()
+            .map(|c| theory.vocab.constant_name(*c).to_owned())
+            .collect();
+        db.relations
+            .entry(pred.name.clone())
+            .or_default()
+            .push(tuple);
+    }
+    db.canonicalize();
+    db
+}
+
+/// The **certain** database: tuples true in every alternative world — the
+/// sure lower bound of the incomplete database. Computed from the theory's
+/// truth backbone in one incremental SAT session.
+pub fn certain_database(theory: &Theory, limit: ModelLimit) -> Result<RelationalDatabase, DbError> {
+    let _ = limit;
+    let Some(bb) = theory.atom_backbone()? else {
+        // Inconsistent theory: by convention the certain database is empty
+        // (there is no world to be certain about).
+        return Ok(RelationalDatabase::new());
+    };
+    let mut db = RelationalDatabase::new();
+    for (_, atom) in theory.registry.iter() {
+        if bb.get(atom.index()).copied().flatten() == Some(true) {
+            push_atom(theory, atom, &mut db);
+        }
+    }
+    db.canonicalize();
+    Ok(db)
+}
+
+/// The **possible** database: tuples true in at least one alternative
+/// world — the upper bound. Also backbone-driven: possible means "not
+/// certainly false".
+pub fn possible_database(
+    theory: &Theory,
+    limit: ModelLimit,
+) -> Result<RelationalDatabase, DbError> {
+    let _ = limit;
+    let Some(bb) = theory.atom_backbone()? else {
+        return Ok(RelationalDatabase::new());
+    };
+    let mut db = RelationalDatabase::new();
+    for (_, atom) in theory.registry.iter() {
+        if bb.get(atom.index()).copied().flatten() != Some(false) {
+            push_atom(theory, atom, &mut db);
+        }
+    }
+    db.canonicalize();
+    Ok(db)
+}
+
+fn push_atom(theory: &Theory, atom: AtomId, db: &mut RelationalDatabase) {
+    let ga = theory.atoms.resolve(atom);
+    let pred = theory.vocab.predicate(ga.pred);
+    let tuple: Vec<String> = ga
+        .args
+        .iter()
+        .map(|c| theory.vocab.constant_name(*c).to_owned())
+        .collect();
+    db.relations
+        .entry(pred.name.clone())
+        .or_default()
+        .push(tuple);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use winslett_logic::Wff;
+
+    fn sample_db() -> RelationalDatabase {
+        let mut db = RelationalDatabase::new();
+        db.insert("Orders", &["700", "32", "9"]);
+        db.insert("Orders", &["701", "33", "5"]);
+        db.insert("InStock", &["32", "1"]);
+        db
+    }
+
+    #[test]
+    fn reiter_construction_single_world() {
+        let db = sample_db();
+        let theory = db.to_theory().unwrap();
+        let worlds = theory.alternative_worlds(ModelLimit::default()).unwrap();
+        assert_eq!(worlds.len(), 1);
+        let mut back = from_world(&theory, &worlds[0]);
+        back.canonicalize();
+        let mut original = db.clone();
+        original.canonicalize();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn ragged_relation_rejected() {
+        let mut db = RelationalDatabase::new();
+        db.insert("R", &["a", "b"]);
+        db.insert("R", &["c"]);
+        assert!(db.to_theory().is_err());
+    }
+
+    #[test]
+    fn certain_and_possible_projections() {
+        // Start complete, then inject disjunctive information.
+        let db = sample_db();
+        let mut theory = db.to_theory().unwrap();
+        let orders = theory.vocab.find_predicate("Orders").unwrap();
+        let a = {
+            let c1 = theory.constant("800");
+            let c2 = theory.constant("40");
+            let c3 = theory.constant("1");
+            theory.atom(orders, &[c1, c2, c3])
+        };
+        let b = {
+            let c1 = theory.constant("800");
+            let c2 = theory.constant("41");
+            let c3 = theory.constant("1");
+            theory.atom(orders, &[c1, c2, c3])
+        };
+        theory.assert_wff(&winslett_logic::Formula::Or(vec![
+            Wff::Atom(a),
+            Wff::Atom(b),
+        ]));
+        let certain = certain_database(&theory, ModelLimit::default()).unwrap();
+        let possible = possible_database(&theory, ModelLimit::default()).unwrap();
+        // The two disjunctive tuples are possible but not certain.
+        assert_eq!(certain.relations["Orders"].len(), 2);
+        assert_eq!(possible.relations["Orders"].len(), 4);
+        assert_eq!(certain.relations["InStock"].len(), 1);
+    }
+
+    #[test]
+    fn backbone_projections_match_naive_entailment() {
+        // Cross-check the backbone-driven projections against per-atom
+        // entailment/consistency queries.
+        let db = sample_db();
+        let mut theory = db.to_theory().unwrap();
+        let orders = theory.vocab.find_predicate("Orders").unwrap();
+        let mk = |t: &mut Theory, x: &str, y: &str, z: &str| {
+            let c1 = t.constant(x);
+            let c2 = t.constant(y);
+            let c3 = t.constant(z);
+            t.atom(orders, &[c1, c2, c3])
+        };
+        let a = mk(&mut theory, "900", "50", "1");
+        let b = mk(&mut theory, "900", "51", "1");
+        theory.assert_wff(&winslett_logic::Formula::Or(vec![
+            Wff::Atom(a),
+            Wff::Atom(b),
+        ]));
+        let certain = certain_database(&theory, ModelLimit::default()).unwrap();
+        let possible = possible_database(&theory, ModelLimit::default()).unwrap();
+        for (_, atom) in theory.registry.iter() {
+            let ga = theory.atoms.resolve(atom).clone();
+            let name = theory.vocab.predicate(ga.pred).name.clone();
+            let tuple: Vec<String> = ga
+                .args
+                .iter()
+                .map(|c| theory.vocab.constant_name(*c).to_owned())
+                .collect();
+            let in_certain = certain
+                .relations
+                .get(&name)
+                .is_some_and(|ts| ts.contains(&tuple));
+            let in_possible = possible
+                .relations
+                .get(&name)
+                .is_some_and(|ts| ts.contains(&tuple));
+            assert_eq!(in_certain, theory.entails(&Wff::Atom(atom)), "{name}{tuple:?}");
+            assert_eq!(
+                in_possible,
+                theory.consistent_with(&Wff::Atom(atom)),
+                "{name}{tuple:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn inconsistent_theory_yields_empty_projections() {
+        let db = sample_db();
+        let mut theory = db.to_theory().unwrap();
+        theory.assert_wff(&Wff::f());
+        assert!(certain_database(&theory, ModelLimit::default())
+            .unwrap()
+            .is_empty());
+        assert!(possible_database(&theory, ModelLimit::default())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn empty_database_roundtrip() {
+        let db = RelationalDatabase::new();
+        assert!(db.is_empty());
+        let theory = db.to_theory().unwrap();
+        let worlds = theory.alternative_worlds(ModelLimit::default()).unwrap();
+        assert_eq!(worlds.len(), 1);
+        assert!(from_world(&theory, &worlds[0]).is_empty());
+    }
+
+    #[test]
+    fn world_rendering_skips_predicate_constants() {
+        let db = sample_db();
+        let mut theory = db.to_theory().unwrap();
+        let pc = theory.vocab.fresh_predicate_constant();
+        let pca = theory
+            .atoms
+            .intern(winslett_logic::GroundAtom::nullary(pc));
+        theory.assert_wff(&Wff::Atom(pca)); // pc true in the world
+        let worlds = theory.alternative_worlds(ModelLimit::default()).unwrap();
+        // Predicate constants are projected out of worlds already, but
+        // from_world double-checks by kind.
+        let back = from_world(&theory, &worlds[0]);
+        assert!(!back.relations.keys().any(|k| k.starts_with("__p")));
+    }
+}

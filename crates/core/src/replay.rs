@@ -1,0 +1,167 @@
+//! The replay-log strawman of §4.
+//!
+//! "It is in large part the possibility of heuristic simplification that
+//! makes the LDML algorithms more attractive than **simply keeping a record
+//! of past updates and recomputing the state of the theory on each new
+//! query**."
+//!
+//! [`ReplayDatabase`] is that alternative system, built to be compared
+//! against `LogicalDatabase` in experiment E8: updates are O(1) appends to
+//! a log; every query replays the whole log through GUA (no
+//! simplification) onto a scratch copy of the initial theory and then
+//! answers on the scratch theory. Query cost therefore grows with the log,
+//! while the GUA+simplify system pays per update and keeps queries cheap.
+
+use crate::error::DbError;
+use winslett_gua::{GuaEngine, GuaOptions, SimplifyLevel};
+use winslett_ldml::Update;
+use winslett_logic::Wff;
+use winslett_theory::{Theory, TheoryStats};
+
+/// A logical database that stores updates as a log and recomputes on query.
+#[derive(Clone, Debug)]
+pub struct ReplayDatabase {
+    initial: Theory,
+    log: Vec<Update>,
+}
+
+impl ReplayDatabase {
+    /// Wraps an initial theory.
+    pub fn new(initial: Theory) -> Self {
+        ReplayDatabase {
+            initial,
+            log: Vec::new(),
+        }
+    }
+
+    /// Records an update — O(1), no theory work at all. The update's atom
+    /// ids must be interned in this database's initial theory; if the
+    /// update was parsed against a *different* (richer) theory, use
+    /// [`ReplayDatabase::update_synced`].
+    pub fn update(&mut self, update: Update) {
+        self.log.push(update);
+    }
+
+    /// Records an update whose atoms were interned against `language` (a
+    /// theory sharing this database's lineage). The vocabulary and atom
+    /// table are append-only, so adopting the richer copies keeps every
+    /// previously logged id valid.
+    pub fn update_synced(&mut self, update: Update, language: &Theory) {
+        self.initial.vocab = language.vocab.clone();
+        self.initial.atoms = language.atoms.clone();
+        self.log.push(update);
+    }
+
+    /// Number of logged updates.
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Replays the log onto a scratch copy of the initial theory,
+    /// returning the materialized current theory. This is the per-query
+    /// cost the strawman pays.
+    pub fn materialize(&self) -> Result<Theory, DbError> {
+        let mut engine = GuaEngine::new(
+            self.initial.clone(),
+            GuaOptions::simplify_always(SimplifyLevel::None),
+        );
+        for u in &self.log {
+            engine.apply(u)?;
+        }
+        Ok(engine.theory)
+    }
+
+    /// Certain truth of a ground wff, by replay.
+    pub fn is_certain(&self, wff: &Wff) -> Result<bool, DbError> {
+        Ok(self.materialize()?.entails(wff))
+    }
+
+    /// Possible truth of a ground wff, by replay.
+    pub fn is_possible(&self, wff: &Wff) -> Result<bool, DbError> {
+        Ok(self.materialize()?.consistent_with(wff))
+    }
+
+    /// Stats of the materialized theory (useful to see unbounded growth).
+    pub fn materialized_stats(&self) -> Result<TheoryStats, DbError> {
+        Ok(self.materialize()?.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use winslett_logic::AtomId;
+
+    fn setup() -> (Theory, AtomId, AtomId) {
+        let mut t = Theory::new();
+        let r = t.declare_relation("R", 1).unwrap();
+        let ca = t.constant("a");
+        let cb = t.constant("b");
+        let a = t.atom(r, &[ca]);
+        let b = t.atom(r, &[cb]);
+        t.assert_atom(a);
+        t.assert_not_atom(b);
+        (t, a, b)
+    }
+
+    #[test]
+    fn replay_matches_eager_execution() {
+        let (t, a, b) = setup();
+        let updates = vec![
+            Update::delete(a, Wff::t()),
+            Update::insert(Wff::Atom(b), Wff::t()),
+            Update::insert(
+                winslett_logic::Formula::Or(vec![Wff::Atom(a), Wff::Atom(b)]),
+                Wff::t(),
+            ),
+        ];
+        // Eager path.
+        let mut eager = GuaEngine::with_defaults(t.clone());
+        for u in &updates {
+            eager.apply(u).unwrap();
+        }
+        // Replay path.
+        let mut replay = ReplayDatabase::new(t);
+        for u in &updates {
+            replay.update(u.clone());
+        }
+        for wff in [Wff::Atom(a), Wff::Atom(b), Wff::or2(Wff::Atom(a), Wff::Atom(b))] {
+            assert_eq!(
+                replay.is_certain(&wff).unwrap(),
+                eager.theory.entails(&wff),
+                "certainty mismatch on {wff:?}"
+            );
+            assert_eq!(
+                replay.is_possible(&wff).unwrap(),
+                eager.theory.consistent_with(&wff),
+                "possibility mismatch on {wff:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn updates_are_constant_time_appends() {
+        let (t, a, _) = setup();
+        let mut replay = ReplayDatabase::new(t);
+        for _ in 0..100 {
+            replay.update(Update::delete(a, Wff::t()));
+        }
+        assert_eq!(replay.log_len(), 100);
+    }
+
+    #[test]
+    fn materialized_theory_grows_with_log() {
+        let (t, a, b) = setup();
+        let mut replay = ReplayDatabase::new(t);
+        let mut sizes = Vec::new();
+        for i in 0..5 {
+            replay.update(Update::insert(
+                winslett_logic::Formula::Or(vec![Wff::Atom(a), Wff::Atom(b)]),
+                Wff::t(),
+            ));
+            let _ = i;
+            sizes.push(replay.materialized_stats().unwrap().store_nodes);
+        }
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]), "sizes: {sizes:?}");
+    }
+}

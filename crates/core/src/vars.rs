@@ -1,0 +1,659 @@
+//! LDML updates **with variables** (§4).
+//!
+//! "We concentrate on the concept of a ground update … updates with
+//! variables can be reduced to the problem of performing a set of ground
+//! updates simultaneously." This module is that reduction:
+//!
+//! ```text
+//! DELETE Orders(?o, 32, ?q) WHERE T
+//! MODIFY Stored(?p, bin1) TO BE Stored(?p, bin2) WHERE T
+//! INSERT Counted(?p, 0) WHERE Stored(?p, bin1)
+//! ```
+//!
+//! 1. the statement is parsed into patterns over `?`-variables;
+//! 2. *generator* atoms (the DELETE/MODIFY target, plus the positive
+//!    top-level conjuncts of the WHERE clause) are matched against the
+//!    registered atoms, producing the finite set of bindings — every
+//!    variable must occur in a generator (range restriction);
+//! 3. each binding grounds the statement into an ordinary [`Update`];
+//! 4. the resulting set is applied **simultaneously** via
+//!    [`winslett_gua::GuaEngine::apply_simultaneous`], whose agreement with
+//!    the per-world simultaneous semantics is property-tested.
+//!
+//! Sequential application would be wrong: with `MODIFY P(?x) TO BE Q(?x)`,
+//! an early instance could enable or disable a later instance's selection.
+
+use crate::error::DbError;
+use rustc_hash::FxHashSet;
+use winslett_ldml::Update;
+use winslett_logic::{AtomId, ConstId, Formula, GroundAtom, PredId, PredicateKind, Wff};
+use winslett_theory::Theory;
+
+/// A term in a variable-update pattern.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum VarTerm {
+    /// A variable, by index.
+    Var(u16),
+    /// An existing constant.
+    Cst(ConstId),
+    /// A constant name not yet in the vocabulary — legitimate in ω (an
+    /// update may introduce new values); it matches nothing when used in a
+    /// generator pattern.
+    New(String),
+}
+
+/// An atom pattern in a variable update.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VarAtom {
+    /// The predicate.
+    pub pred: PredId,
+    /// Argument terms (constants, variables, or new constant names).
+    pub args: Vec<VarTerm>,
+}
+
+/// A wff whose leaves are atom patterns.
+pub type PatternWff = Formula<VarAtom>;
+
+/// A parsed LDML statement with variables.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum VarUpdate {
+    /// `INSERT ω WHERE φ` — variables range over φ's positive conjuncts.
+    Insert {
+        /// Pattern ω.
+        omega: PatternWff,
+        /// Pattern φ.
+        phi: PatternWff,
+    },
+    /// `DELETE t WHERE φ` — variables range over t (and φ's positives).
+    Delete {
+        /// Target pattern.
+        t: VarAtom,
+        /// Pattern φ.
+        phi: PatternWff,
+    },
+    /// `MODIFY t TO BE ω WHERE φ`.
+    Modify {
+        /// Target pattern.
+        t: VarAtom,
+        /// Pattern ω.
+        omega: PatternWff,
+        /// Pattern φ.
+        phi: PatternWff,
+    },
+}
+
+/// A parsed variable update plus its variable names.
+#[derive(Clone, Debug)]
+pub struct VarStatement {
+    /// The statement.
+    pub update: VarUpdate,
+    /// Variable names, by index.
+    pub var_names: Vec<String>,
+}
+
+impl VarStatement {
+    /// Parses a variable LDML statement against a theory's vocabulary.
+    pub fn parse(src: &str, theory: &Theory) -> Result<VarStatement, DbError> {
+        let mut vars: Vec<String> = Vec::new();
+        let trimmed = src.trim();
+        let (keyword, rest) = split_first_word(trimmed);
+        let update = match keyword.to_ascii_uppercase().as_str() {
+            "INSERT" => {
+                let (omega_src, phi_src) =
+                    split_keyword(rest, "WHERE").ok_or_else(|| DbError::Query {
+                        message: "INSERT requires WHERE".into(),
+                    })?;
+                VarUpdate::Insert {
+                    omega: parse_pattern(omega_src, theory, &mut vars)?,
+                    phi: parse_pattern(phi_src, theory, &mut vars)?,
+                }
+            }
+            "DELETE" => {
+                let (t_src, phi_src) =
+                    split_keyword(rest, "WHERE").ok_or_else(|| DbError::Query {
+                        message: "DELETE requires WHERE".into(),
+                    })?;
+                let t = parse_target(t_src, theory, &mut vars)?;
+                VarUpdate::Delete {
+                    t,
+                    phi: parse_pattern(phi_src, theory, &mut vars)?,
+                }
+            }
+            "MODIFY" => {
+                let (t_src, rest2) =
+                    split_keyword(rest, "TO BE").ok_or_else(|| DbError::Query {
+                        message: "MODIFY requires TO BE".into(),
+                    })?;
+                let (omega_src, phi_src) =
+                    split_keyword(rest2, "WHERE").ok_or_else(|| DbError::Query {
+                        message: "MODIFY requires WHERE".into(),
+                    })?;
+                let t = parse_target(t_src, theory, &mut vars)?;
+                VarUpdate::Modify {
+                    t,
+                    omega: parse_pattern(omega_src, theory, &mut vars)?,
+                    phi: parse_pattern(phi_src, theory, &mut vars)?,
+                }
+            }
+            other => {
+                return Err(DbError::Query {
+                    message: format!("unsupported variable operator `{other}` (ASSERT takes no variables)"),
+                })
+            }
+        };
+        let stmt = VarStatement {
+            update,
+            var_names: vars,
+        };
+        stmt.check_range_restriction()?;
+        Ok(stmt)
+    }
+
+    /// The generator patterns: the DELETE/MODIFY target plus positive
+    /// top-level conjuncts of φ.
+    fn generators(&self) -> Vec<VarAtom> {
+        let mut out = Vec::new();
+        let phi = match &self.update {
+            VarUpdate::Insert { phi, .. } => phi,
+            VarUpdate::Delete { t, phi } => {
+                out.push(t.clone());
+                phi
+            }
+            VarUpdate::Modify { t, phi, .. } => {
+                out.push(t.clone());
+                phi
+            }
+        };
+        collect_positive_conjunct_atoms(phi, &mut out);
+        out
+    }
+
+    /// Range restriction: every variable occurs in a generator.
+    fn check_range_restriction(&self) -> Result<(), DbError> {
+        let mut covered: FxHashSet<u16> = FxHashSet::default();
+        for g in self.generators() {
+            for t in &g.args {
+                if let VarTerm::Var(v) = t {
+                    covered.insert(*v);
+                }
+            }
+        }
+        for v in 0..self.var_names.len() as u16 {
+            if !covered.contains(&v) {
+                return Err(DbError::Query {
+                    message: format!(
+                        "variable ?{} is not range-restricted (must occur in the target \
+                         or a positive conjunct of WHERE)",
+                        self.var_names[v as usize]
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Expands the statement into its set of ground updates over `theory`'s
+    /// registered atoms. The set is deduplicated and deterministic.
+    pub fn expand(&self, theory: &mut Theory) -> Result<Vec<Update>, DbError> {
+        let generators = self.generators();
+        let mut bindings: Vec<Vec<Option<ConstId>>> = Vec::new();
+        let mut env: Vec<Option<ConstId>> = vec![None; self.var_names.len()];
+        enumerate_bindings(&generators, 0, theory, &mut env, &mut bindings);
+        bindings.sort();
+        bindings.dedup();
+
+        let mut out: Vec<Update> = Vec::with_capacity(bindings.len());
+        let mut seen: FxHashSet<Update> = FxHashSet::default();
+        for binding in &bindings {
+            let u = match &self.update {
+                VarUpdate::Insert { omega, phi } => Update::Insert {
+                    omega: ground_wff(omega, binding, theory),
+                    phi: ground_wff(phi, binding, theory),
+                },
+                VarUpdate::Delete { t, phi } => Update::Delete {
+                    t: ground_atom(t, binding, theory),
+                    phi: ground_wff(phi, binding, theory),
+                },
+                VarUpdate::Modify { t, omega, phi } => Update::Modify {
+                    t: ground_atom(t, binding, theory),
+                    omega: ground_wff(omega, binding, theory),
+                    phi: ground_wff(phi, binding, theory),
+                },
+            };
+            if seen.insert(u.clone()) {
+                out.push(u);
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn split_first_word(s: &str) -> (&str, &str) {
+    match s.find(char::is_whitespace) {
+        Some(i) => (&s[..i], &s[i..]),
+        None => (s, ""),
+    }
+}
+
+/// Case-insensitive whole-word keyword split at parenthesis depth 0.
+fn split_keyword<'a>(s: &'a str, keyword: &str) -> Option<(&'a str, &'a str)> {
+    let bytes = s.as_bytes();
+    let upper = s.to_ascii_uppercase();
+    let ubytes = upper.as_bytes();
+    let kw = keyword.to_ascii_uppercase();
+    let kbytes = kw.as_bytes();
+    let mut depth = 0i32;
+    for i in 0..bytes.len() {
+        match bytes[i] {
+            b'(' => depth += 1,
+            b')' => depth -= 1,
+            _ => {
+                if depth == 0 && ubytes[i..].starts_with(kbytes) {
+                    let before_ok = i == 0 || bytes[i - 1].is_ascii_whitespace();
+                    let after = i + kbytes.len();
+                    let after_ok = after >= bytes.len() || bytes[after].is_ascii_whitespace();
+                    if before_ok && after_ok {
+                        return Some((&s[..i], &s[after..]));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+fn parse_target(src: &str, theory: &Theory, vars: &mut Vec<String>) -> Result<VarAtom, DbError> {
+    match parse_pattern(src, theory, vars)? {
+        Formula::Atom(a) => Ok(a),
+        _ => Err(DbError::Query {
+            message: "DELETE/MODIFY target must be a single atom pattern".into(),
+        }),
+    }
+}
+
+/// A compact recursive-descent parser for pattern wffs — the grammar of
+/// `winslett_logic::parse_wff` with `?var` terms added.
+fn parse_pattern(
+    src: &str,
+    theory: &Theory,
+    vars: &mut Vec<String>,
+) -> Result<PatternWff, DbError> {
+    let mut p = PatParser {
+        src: src.trim(),
+        pos: 0,
+        theory,
+        vars,
+    };
+    p.skip_ws();
+    let w = p.parse_iff()?;
+    p.skip_ws();
+    if p.pos != p.src.len() {
+        return Err(DbError::Query {
+            message: format!("trailing input in pattern at byte {}", p.pos),
+        });
+    }
+    Ok(w)
+}
+
+struct PatParser<'a> {
+    src: &'a str,
+    pos: usize,
+    theory: &'a Theory,
+    vars: &'a mut Vec<String>,
+}
+
+impl PatParser<'_> {
+    fn err(&self, m: impl Into<String>) -> DbError {
+        DbError::Query { message: m.into() }
+    }
+
+    fn skip_ws(&mut self) {
+        let b = self.src.as_bytes();
+        while self.pos < b.len() && b[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.src[self.pos..].starts_with(s) {
+            self.pos += s.len();
+            self.skip_ws();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_any(&mut self, opts: &[&str]) -> bool {
+        opts.iter().any(|s| self.eat(s))
+    }
+
+    fn parse_iff(&mut self) -> Result<PatternWff, DbError> {
+        let mut lhs = self.parse_imp()?;
+        while self.eat_any(&["<->", "↔"]) {
+            let rhs = self.parse_imp()?;
+            lhs = Formula::Iff(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_imp(&mut self) -> Result<PatternWff, DbError> {
+        let lhs = self.parse_or()?;
+        if self.eat_any(&["->", "→"]) {
+            let rhs = self.parse_imp()?;
+            Ok(Formula::Implies(Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<PatternWff, DbError> {
+        let mut parts = vec![self.parse_and()?];
+        while self.eat_any(&["\\/", "∨", "|"]) {
+            parts.push(self.parse_and()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("len checked")
+        } else {
+            Formula::Or(parts)
+        })
+    }
+
+    fn parse_and(&mut self) -> Result<PatternWff, DbError> {
+        let mut parts = vec![self.parse_neg()?];
+        while self.eat_any(&["/\\", "∧", "&"]) {
+            parts.push(self.parse_neg()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("len checked")
+        } else {
+            Formula::And(parts)
+        })
+    }
+
+    fn parse_neg(&mut self) -> Result<PatternWff, DbError> {
+        if self.eat_any(&["!", "~", "¬"]) {
+            Ok(Formula::Not(Box::new(self.parse_neg()?)))
+        } else {
+            self.parse_primary()
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<PatternWff, DbError> {
+        if self.eat("(") {
+            let inner = self.parse_iff()?;
+            if !self.eat(")") {
+                return Err(self.err("expected ')'"));
+            }
+            return Ok(inner);
+        }
+        let ident = self.parse_ident()?;
+        if ident == "T" && !self.src[self.pos..].starts_with('(') {
+            self.skip_ws();
+            return Ok(Formula::Truth(true));
+        }
+        if ident == "F" && !self.src[self.pos..].starts_with('(') {
+            self.skip_ws();
+            return Ok(Formula::Truth(false));
+        }
+        // Atom.
+        let pred = self
+            .theory
+            .vocab
+            .find_predicate(&ident)
+            .ok_or_else(|| self.err(format!("unknown predicate `{ident}`")))?;
+        let decl = self.theory.vocab.predicate(pred);
+        if decl.kind == PredicateKind::PredicateConstant {
+            return Err(self.err(format!(
+                "predicate constant `{ident}` may not appear in updates"
+            )));
+        }
+        let mut args = Vec::new();
+        if self.eat("(") {
+            loop {
+                self.skip_ws();
+                if self.src[self.pos..].starts_with('?') {
+                    self.pos += 1;
+                    let name = self.parse_ident()?;
+                    let idx = match self.vars.iter().position(|v| *v == name) {
+                        Some(i) => i,
+                        None => {
+                            self.vars.push(name);
+                            self.vars.len() - 1
+                        }
+                    };
+                    args.push(VarTerm::Var(idx as u16));
+                } else {
+                    let name = self.parse_ident()?;
+                    match self.theory.vocab.find_constant(&name) {
+                        Some(c) => args.push(VarTerm::Cst(c)),
+                        None => args.push(VarTerm::New(name)),
+                    }
+                }
+                self.skip_ws();
+                if self.eat(",") {
+                    continue;
+                }
+                if self.eat(")") {
+                    break;
+                }
+                return Err(self.err("expected ',' or ')'"));
+            }
+        }
+        if args.len() != decl.arity {
+            return Err(self.err(format!(
+                "predicate `{ident}` has arity {} but was given {} arguments",
+                decl.arity,
+                args.len()
+            )));
+        }
+        self.skip_ws();
+        Ok(Formula::Atom(VarAtom { pred, args }))
+    }
+
+    fn parse_ident(&mut self) -> Result<String, DbError> {
+        let b = self.src.as_bytes();
+        let start = self.pos;
+        while self.pos < b.len() {
+            let c = b[self.pos];
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'\'' || c == b'.' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err(format!("expected identifier at byte {start}")));
+        }
+        Ok(self.src[start..self.pos].to_owned())
+    }
+}
+
+fn collect_positive_conjunct_atoms(w: &PatternWff, out: &mut Vec<VarAtom>) {
+    match w {
+        Formula::Atom(a) => out.push(a.clone()),
+        Formula::And(xs) => {
+            for x in xs {
+                collect_positive_conjunct_atoms(x, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn enumerate_bindings(
+    generators: &[VarAtom],
+    pos: usize,
+    theory: &Theory,
+    env: &mut Vec<Option<ConstId>>,
+    out: &mut Vec<Vec<Option<ConstId>>>,
+) {
+    if pos == generators.len() {
+        out.push(env.clone());
+        return;
+    }
+    let pattern = &generators[pos];
+    let candidates: Vec<AtomId> = theory.registry.atoms_of(pattern.pred).collect();
+    for cand in candidates {
+        let ground = theory.atoms.resolve(cand).clone();
+        let mut trail: Vec<u16> = Vec::new();
+        if unify_pattern(pattern, &ground, env, &mut trail) {
+            enumerate_bindings(generators, pos + 1, theory, env, out);
+        }
+        for v in trail {
+            env[v as usize] = None;
+        }
+    }
+}
+
+fn unify_pattern(
+    pattern: &VarAtom,
+    ground: &GroundAtom,
+    env: &mut [Option<ConstId>],
+    trail: &mut Vec<u16>,
+) -> bool {
+    if pattern.pred != ground.pred || pattern.args.len() != ground.args.len() {
+        return false;
+    }
+    for (t, &c) in pattern.args.iter().zip(ground.args.iter()) {
+        match t {
+            VarTerm::New(_) => return false,
+            VarTerm::Cst(k) => {
+                if *k != c {
+                    return false;
+                }
+            }
+            VarTerm::Var(v) => match env[*v as usize] {
+                Some(bound) => {
+                    if bound != c {
+                        return false;
+                    }
+                }
+                None => {
+                    env[*v as usize] = Some(c);
+                    trail.push(*v);
+                }
+            },
+        }
+    }
+    true
+}
+
+fn ground_atom(a: &VarAtom, env: &[Option<ConstId>], theory: &mut Theory) -> AtomId {
+    let args: Vec<ConstId> = a
+        .args
+        .iter()
+        .map(|t| match t {
+            VarTerm::Cst(c) => *c,
+            VarTerm::Var(v) => env[*v as usize].expect("range-restricted"),
+            VarTerm::New(name) => theory.vocab.constant(name),
+        })
+        .collect();
+    theory.atoms.intern(GroundAtom::new(a.pred, &args))
+}
+
+fn ground_wff(w: &PatternWff, env: &[Option<ConstId>], theory: &mut Theory) -> Wff {
+    match w {
+        Formula::Truth(b) => Formula::Truth(*b),
+        Formula::Atom(a) => Formula::Atom(ground_atom(a, env, theory)),
+        Formula::Not(x) => Formula::Not(Box::new(ground_wff(x, env, theory))),
+        Formula::And(xs) => Formula::And(xs.iter().map(|x| ground_wff(x, env, theory)).collect()),
+        Formula::Or(xs) => Formula::Or(xs.iter().map(|x| ground_wff(x, env, theory)).collect()),
+        Formula::Implies(a, b) => Formula::Implies(
+            Box::new(ground_wff(a, env, theory)),
+            Box::new(ground_wff(b, env, theory)),
+        ),
+        Formula::Iff(a, b) => Formula::Iff(
+            Box::new(ground_wff(a, env, theory)),
+            Box::new(ground_wff(b, env, theory)),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn orders_theory() -> Theory {
+        let mut t = Theory::new();
+        let orders = t.declare_relation("Orders", 3).unwrap();
+        let add = |t: &mut Theory, o: &str, p: &str, q: &str| {
+            let co = t.constant(o);
+            let cp = t.constant(p);
+            let cq = t.constant(q);
+            let a = t.atom(orders, &[co, cp, cq]);
+            t.assert_atom(a);
+        };
+        add(&mut t, "700", "32", "9");
+        add(&mut t, "701", "32", "5");
+        add(&mut t, "702", "33", "5");
+        t
+    }
+
+    #[test]
+    fn parse_and_expand_delete() {
+        let mut t = orders_theory();
+        let stmt = VarStatement::parse("DELETE Orders(?o, 32, ?q) WHERE T", &t).unwrap();
+        assert_eq!(stmt.var_names, vec!["o", "q"]);
+        let updates = stmt.expand(&mut t).unwrap();
+        assert_eq!(updates.len(), 2); // orders 700 and 701 match part 32
+        assert!(updates.iter().all(|u| matches!(u, Update::Delete { .. })));
+    }
+
+    #[test]
+    fn expand_insert_ranges_over_where() {
+        let mut t = orders_theory();
+        let stmt =
+            VarStatement::parse("INSERT Orders(?o, 32, 0) WHERE Orders(?o, 32, ?q)", &t).unwrap();
+        let updates = stmt.expand(&mut t).unwrap();
+        // Bindings: (700,9) and (701,5) → two grounded inserts.
+        assert_eq!(updates.len(), 2);
+    }
+
+    #[test]
+    fn range_restriction_enforced() {
+        let t = orders_theory();
+        let r = VarStatement::parse("INSERT Orders(?o, 32, 1) WHERE T", &t);
+        assert!(matches!(r, Err(DbError::Query { .. })));
+        // Variables only under negation don't range either.
+        let r = VarStatement::parse("INSERT Orders(700,32,1) WHERE !Orders(?o,33,?q)", &t);
+        assert!(matches!(r, Err(DbError::Query { .. })));
+    }
+
+    #[test]
+    fn modify_with_shared_variable() {
+        let mut t = orders_theory();
+        let stmt = VarStatement::parse(
+            "MODIFY Orders(?o, 32, ?q) TO BE Orders(?o, 32, 0) WHERE T",
+            &t,
+        )
+        .unwrap();
+        let updates = stmt.expand(&mut t).unwrap();
+        assert_eq!(updates.len(), 2);
+        assert!(updates.iter().all(|u| matches!(u, Update::Modify { .. })));
+    }
+
+    #[test]
+    fn unknown_predicate_and_arity_errors() {
+        let t = orders_theory();
+        assert!(VarStatement::parse("DELETE Nope(?x) WHERE T", &t).is_err());
+        assert!(VarStatement::parse("DELETE Orders(?x, 32) WHERE T", &t).is_err());
+        assert!(VarStatement::parse("ASSERT Orders(?x, 32, 1)", &t).is_err());
+    }
+
+    #[test]
+    fn no_matches_expands_to_empty_set() {
+        let mut t = orders_theory();
+        let stmt = VarStatement::parse("DELETE Orders(?o, 99, ?q) WHERE T", &t).unwrap();
+        let updates = stmt.expand(&mut t).unwrap();
+        assert!(updates.is_empty());
+    }
+
+    #[test]
+    fn foreign_constant_in_pattern_matches_nothing() {
+        let mut t = orders_theory();
+        let stmt =
+            VarStatement::parse("DELETE Orders(?o, neverseen, ?q) WHERE T", &t).unwrap();
+        assert!(stmt.expand(&mut t).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,279 @@
+//! Workload generators for the experiments in EXPERIMENTS.md.
+//!
+//! Every experiment needs (a) a theory at a controllable size `R` (the
+//! §3.6 cost-model parameter: registered atoms of the largest predicate)
+//! and (b) updates at a controllable size `g` (atom occurrences in the
+//! update). The generators here are deterministic given a seed, so the
+//! harness output is reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use winslett_ldml::Update;
+use winslett_logic::{AtomId, Formula, Wff};
+use winslett_theory::{Dependency, Theory};
+
+/// A seeded workload generator.
+pub struct Workload {
+    rng: StdRng,
+}
+
+impl Workload {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Workload {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Builds the paper's order database at scale: `Orders(OrderNo,
+    /// PartNo, Quan)` with `r` certain tuples (so the cost-model `R` is
+    /// `r`), plus an `InStock(PartNo, Quan)` side relation. Returns the
+    /// theory and the Orders atoms.
+    pub fn orders_theory(&mut self, r: usize) -> (Theory, Vec<AtomId>) {
+        let mut t = Theory::new();
+        let orders = t.declare_relation("Orders", 3).expect("fresh schema");
+        let instock = t.declare_relation("InStock", 2).expect("fresh schema");
+        let mut atoms = Vec::with_capacity(r);
+        for i in 0..r {
+            let order_no = t.constant(&format!("{}", 100 + i));
+            let part_no = t.constant(&format!("{}", 32 + (i % 64)));
+            let quan = t.constant(&format!("{}", 1 + (i % 19)));
+            let a = t.atom(orders, &[order_no, part_no, quan]);
+            t.assert_atom(a);
+            atoms.push(a);
+        }
+        for p in 0..16.min(r.max(1)) {
+            let part_no = t.constant(&format!("{}", 32 + p));
+            let quan = t.constant(&format!("{}", 1 + (p % 19)));
+            let a = t.atom(instock, &[part_no, quan]);
+            t.assert_atom(a);
+        }
+        (t, atoms)
+    }
+
+    /// A fresh Orders atom not yet in the theory (forces Step 1 work).
+    pub fn fresh_orders_atom(&mut self, theory: &mut Theory, tag: usize) -> AtomId {
+        let orders = theory.vocab.find_predicate("Orders").expect("orders schema");
+        let order_no = theory.constant(&format!("n{}", tag));
+        let part_no = theory.constant(&format!("{}", 32 + (tag % 64)));
+        let quan = theory.constant(&format!("{}", 1 + (tag % 19)));
+        theory.atom(orders, &[order_no, part_no, quan])
+    }
+
+    /// An update with exactly `g` atom occurrences in ω (φ = T):
+    /// a conjunction of fresh and existing literals — non-branching, the
+    /// common case for E3/E4 scaling.
+    pub fn conjunctive_insert(
+        &mut self,
+        theory: &mut Theory,
+        existing: &[AtomId],
+        g: usize,
+        tag: usize,
+    ) -> Update {
+        let mut parts = Vec::with_capacity(g);
+        let mut used = rustc_hash::FxHashSet::default();
+        for k in 0..g {
+            let mut atom = if k % 2 == 0 || existing.is_empty() {
+                self.fresh_orders_atom(theory, tag * 4096 + k)
+            } else {
+                existing[self.rng.gen_range(0..existing.len())]
+            };
+            // Distinct atoms only: repeating an atom with opposite polarity
+            // would make ω unsatisfiable and wipe the database — a legal
+            // update, but not the workload E3/E4/E8 intend to measure.
+            if !used.insert(atom) {
+                atom = self.fresh_orders_atom(theory, tag * 4096 + 2048 + k);
+                used.insert(atom);
+            }
+            let lit = Wff::Atom(atom);
+            parts.push(if self.rng.gen_bool(0.3) { lit.not() } else { lit });
+        }
+        Update::Insert {
+            omega: if parts.len() == 1 {
+                parts.pop().expect("len checked")
+            } else {
+                Formula::And(parts)
+            },
+            phi: Wff::t(),
+        }
+    }
+
+    /// A branching update: ω is a disjunction of `width` fresh atoms.
+    pub fn disjunctive_insert(
+        &mut self,
+        theory: &mut Theory,
+        width: usize,
+        tag: usize,
+    ) -> Update {
+        let parts: Vec<Wff> = (0..width)
+            .map(|k| Wff::Atom(self.fresh_orders_atom(theory, tag * 4096 + 2048 + k)))
+            .collect();
+        Update::Insert {
+            omega: if parts.len() == 1 {
+                parts.into_iter().next().expect("width ≥ 1")
+            } else {
+                Formula::Or(parts)
+            },
+            phi: Wff::t(),
+        }
+    }
+
+    /// An `ASSERT` that pins one of the named atoms true — used to resolve
+    /// incompleteness in E6 mixes.
+    pub fn resolving_assert(&mut self, candidates: &[AtomId]) -> Option<Update> {
+        if candidates.is_empty() {
+            return None;
+        }
+        let a = candidates[self.rng.gen_range(0..candidates.len())];
+        Some(Update::assert(Wff::Atom(a)))
+    }
+
+    /// E5 worst case: a relation with an FD on column 0 where **every**
+    /// tuple shares the key — each inserted tuple conflicts with all `r`
+    /// existing tuples, so Step 6 instantiates Θ(r) dependency instances.
+    pub fn fd_theory_worst(&mut self, r: usize) -> (Theory, Vec<AtomId>) {
+        let mut t = Theory::new();
+        let p = t.declare_relation("P", 2).expect("fresh schema");
+        t.add_dependency(Dependency::functional("fd", p, 2, &[0]).expect("valid fd"));
+        let key = t.constant("shared");
+        let mut atoms = Vec::with_capacity(r);
+        // Registered but *false* conflicting tuples: the theory stays
+        // consistent while the matcher still sees all r tuples.
+        for i in 0..r {
+            let v = t.constant(&format!("v{i}"));
+            let a = t.atom(p, &[key, v]);
+            if i == 0 {
+                t.assert_atom(a);
+            } else {
+                t.assert_not_atom(a);
+            }
+            atoms.push(a);
+        }
+        (t, atoms)
+    }
+
+    /// E5 best case: same size, but every tuple has a unique key — an
+    /// inserted tuple with a fresh key conflicts with nothing.
+    pub fn fd_theory_best(&mut self, r: usize) -> (Theory, Vec<AtomId>) {
+        let mut t = Theory::new();
+        let p = t.declare_relation("P", 2).expect("fresh schema");
+        t.add_dependency(Dependency::functional("fd", p, 2, &[0]).expect("valid fd"));
+        let mut atoms = Vec::with_capacity(r);
+        for i in 0..r {
+            let k = t.constant(&format!("k{i}"));
+            let v = t.constant(&format!("v{i}"));
+            let a = t.atom(p, &[k, v]);
+            t.assert_atom(a);
+            atoms.push(a);
+        }
+        (t, atoms)
+    }
+
+    /// The FD-workload update: insert a tuple whose key matches the shared
+    /// key (worst) or is fresh (best).
+    pub fn fd_insert(&mut self, theory: &mut Theory, shared_key: bool, tag: usize) -> Update {
+        let p = theory.vocab.find_predicate("P").expect("fd schema");
+        let key = if shared_key {
+            theory.constant("shared")
+        } else {
+            theory.constant(&format!("fresh{tag}"))
+        };
+        let v = theory.constant(&format!("w{tag}"));
+        let a = theory.atom(p, &[key, v]);
+        Update::insert(Wff::Atom(a), Wff::t())
+    }
+
+    /// Returns a uniformly random element.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.rng.gen_range(0..xs.len())]
+    }
+
+    /// A random boolean with the given probability of `true`.
+    pub fn flip(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use winslett_gua::{GuaEngine, GuaOptions, SimplifyLevel};
+    use winslett_logic::ModelLimit;
+
+    #[test]
+    fn orders_theory_has_r_tuples() {
+        let mut w = Workload::new(7);
+        let (t, atoms) = w.orders_theory(50);
+        assert_eq!(atoms.len(), 50);
+        assert_eq!(t.registry.max_predicate_size(), 50);
+        assert!(t.is_consistent());
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let build = || {
+            let mut w = Workload::new(42);
+            let (mut t, atoms) = w.orders_theory(10);
+            let u = w.conjunctive_insert(&mut t, &atoms, 4, 0);
+            format!("{u:?}")
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn conjunctive_insert_has_g_occurrences() {
+        let mut w = Workload::new(3);
+        let (mut t, atoms) = w.orders_theory(10);
+        for g in [1, 2, 8, 16] {
+            let u = w.conjunctive_insert(&mut t, &atoms, g, g);
+            let form = u.to_insert();
+            assert_eq!(form.omega.num_atom_occurrences(), g);
+        }
+    }
+
+    #[test]
+    fn disjunctive_insert_branches() {
+        let mut w = Workload::new(4);
+        let (mut t, _) = w.orders_theory(4);
+        let u = w.disjunctive_insert(&mut t, 3, 0);
+        assert!(u.to_insert().may_branch());
+        let mut engine = GuaEngine::new(
+            t,
+            GuaOptions::simplify_always(SimplifyLevel::Fast),
+        );
+        engine.apply(&u).unwrap();
+        let worlds = engine
+            .theory
+            .alternative_worlds(ModelLimit::default())
+            .unwrap();
+        assert_eq!(worlds.len(), 7); // nonempty subsets of 3 atoms
+    }
+
+    #[test]
+    fn fd_worst_case_generates_conflicts() {
+        let mut w = Workload::new(5);
+        let (mut t, _) = w.fd_theory_worst(20);
+        assert!(t.is_consistent());
+        let u = w.fd_insert(&mut t, true, 0);
+        let mut engine = GuaEngine::new(
+            t,
+            GuaOptions::simplify_always(SimplifyLevel::None),
+        );
+        let report = engine.apply(&u).unwrap();
+        // The inserted tuple joins with every registered same-key tuple.
+        assert!(report.dep_instances >= 20, "got {}", report.dep_instances);
+    }
+
+    #[test]
+    fn fd_best_case_generates_no_conflicts() {
+        let mut w = Workload::new(5);
+        let (mut t, _) = w.fd_theory_best(20);
+        let u = w.fd_insert(&mut t, false, 0);
+        let mut engine = GuaEngine::new(
+            t,
+            GuaOptions::simplify_always(SimplifyLevel::None),
+        );
+        let report = engine.apply(&u).unwrap();
+        assert_eq!(report.dep_instances, 0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Error type for the GUA crate.
+
+use std::fmt;
+
+/// Errors raised while performing a ground update.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum GuaError {
+    /// An error from the theory layer.
+    Theory(winslett_theory::TheoryError),
+    /// An error from LDML (parsing or validation).
+    Ldml(winslett_ldml::LdmlError),
+}
+
+impl fmt::Display for GuaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GuaError::Theory(e) => write!(f, "{e}"),
+            GuaError::Ldml(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for GuaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GuaError::Theory(e) => Some(e),
+            GuaError::Ldml(e) => Some(e),
+        }
+    }
+}
+
+impl From<winslett_theory::TheoryError> for GuaError {
+    fn from(e: winslett_theory::TheoryError) -> Self {
+        GuaError::Theory(e)
+    }
+}
+
+impl From<winslett_ldml::LdmlError> for GuaError {
+    fn from(e: winslett_ldml::LdmlError) -> Self {
+        GuaError::Ldml(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_and_display() {
+        let e: GuaError = winslett_theory::TheoryError::Inconsistent.into();
+        assert!(e.to_string().contains("no models"));
+        let e: GuaError = winslett_ldml::LdmlError::TargetNotAtomic.into();
+        assert!(e.to_string().contains("atomic"));
+    }
+}

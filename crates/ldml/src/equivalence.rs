@@ -1,0 +1,434 @@
+//! Update equivalence — Theorems 2, 3, and 4 of §3.4.
+//!
+//! Two updates are *equivalent* when they produce the same set of
+//! alternative worlds from every extended relational theory (over the
+//! language or any extension of it — the extension quantifier is what makes
+//! per-model comparison sound, per Theorem 6). The theorems give decidable
+//! criteria; this module implements them with SAT-backed validity checks
+//! and exhaustive valuation enumeration over the (small) atom sets of the
+//! updates, plus a brute-force per-model checker used to cross-validate the
+//! deciders in tests.
+//!
+//! **Syntax matters here.** `INSERT p` and `INSERT p ∨ T` are *not*
+//! equivalent: the latter has two satisfying valuations over `{p}` and so
+//! branches. For this reason the deciders operate on the raw parse trees —
+//! callers must not constant-fold ω before deciding equivalence.
+
+use crate::error::LdmlError;
+use crate::semantics::{apply_update, canonicalize};
+use crate::update::Update;
+use rustc_hash::FxHashSet;
+use std::collections::BTreeSet;
+use winslett_logic::cnf;
+use winslett_logic::{AtomId, BitSet, Wff};
+
+/// Maximum distinct atoms in an ω for valuation enumeration.
+const MAX_ATOMS: usize = 24;
+
+/// Outcome of an equivalence decision, with the reason recorded for
+/// transcripts and the E2 harness.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EquivalenceVerdict {
+    /// Whether the updates are equivalent on every extended relational
+    /// theory.
+    pub equivalent: bool,
+    /// Which condition decided it, in the theorems' numbering.
+    pub reason: String,
+}
+
+impl EquivalenceVerdict {
+    fn yes(reason: impl Into<String>) -> Self {
+        EquivalenceVerdict {
+            equivalent: true,
+            reason: reason.into(),
+        }
+    }
+
+    fn no(reason: impl Into<String>) -> Self {
+        EquivalenceVerdict {
+            equivalent: false,
+            reason: reason.into(),
+        }
+    }
+}
+
+/// Theorem 2 (sufficient only): same selection clause, logically equivalent
+/// ω with identical atom sets.
+pub fn theorem2_sufficient(b1: &Update, b2: &Update, num_atoms: usize) -> bool {
+    let f1 = b1.to_insert();
+    let f2 = b2.to_insert();
+    f1.phi == f2.phi
+        && f1.omega.atom_set() == f2.omega.atom_set()
+        && cnf::equivalent(&f1.omega, &f2.omega, num_atoms)
+}
+
+/// The satisfying valuations of `w` over its own atom set, projected onto
+/// `proj`, encoded as masks over the sorted projection atoms.
+fn projected_valuations(
+    w: &Wff,
+    proj: &BTreeSet<AtomId>,
+) -> Result<FxHashSet<u32>, LdmlError> {
+    let atoms: Vec<AtomId> = w.atom_set().into_iter().collect();
+    if atoms.len() > MAX_ATOMS {
+        return Err(LdmlError::TooLarge {
+            atoms: atoms.len(),
+            max: MAX_ATOMS,
+        });
+    }
+    let proj_sorted: Vec<AtomId> = proj.iter().copied().collect();
+    let mut out = FxHashSet::default();
+    for mask in 0u32..(1u32 << atoms.len()) {
+        let ok = w.eval(&mut |a: &AtomId| {
+            let i = atoms.iter().position(|x| x == a).expect("atom in own set");
+            (mask >> i) & 1 == 1
+        });
+        if ok {
+            let mut pmask = 0u32;
+            for (j, p) in proj_sorted.iter().enumerate() {
+                if let Some(i) = atoms.iter().position(|x| x == p) {
+                    if (mask >> i) & 1 == 1 {
+                        pmask |= 1 << j;
+                    }
+                }
+                // Projection atoms not in w's atom set cannot occur: proj
+                // is an intersection with w's atoms at the call sites.
+            }
+            out.insert(pmask);
+        }
+    }
+    Ok(out)
+}
+
+/// Number of satisfying valuations of `w` over its atom set, capped at 2.
+fn satisfying_count_capped(w: &Wff) -> Result<u32, LdmlError> {
+    let atoms: Vec<AtomId> = w.atom_set().into_iter().collect();
+    if atoms.len() > MAX_ATOMS {
+        return Err(LdmlError::TooLarge {
+            atoms: atoms.len(),
+            max: MAX_ATOMS,
+        });
+    }
+    let mut count = 0u32;
+    for mask in 0u32..(1u32 << atoms.len()) {
+        let ok = w.eval(&mut |a: &AtomId| {
+            let i = atoms.iter().position(|x| x == a).expect("atom in own set");
+            (mask >> i) & 1 == 1
+        });
+        if ok {
+            count += 1;
+            if count >= 2 {
+                return Ok(2);
+            }
+        }
+    }
+    Ok(count)
+}
+
+/// Theorem 3: necessary and sufficient equivalence criteria for two INSERT
+/// updates sharing the selection clause `phi`.
+///
+/// `num_atoms` is the size of the interned-atom universe (for SAT).
+pub fn theorem3(
+    omega1: &Wff,
+    omega2: &Wff,
+    phi: &Wff,
+    num_atoms: usize,
+) -> Result<EquivalenceVerdict, LdmlError> {
+    if !cnf::satisfiable(&[phi], num_atoms) {
+        return Ok(EquivalenceVerdict::yes("φ unsatisfiable: both are no-ops"));
+    }
+    // The theorem's conditions presuppose satisfiable ω ("assume that ω1,
+    // and therefore ω2, is satisfiable, as otherwise the theorem follows
+    // immediately"): an unsatisfiable ω deletes every φ-model outright.
+    let s1 = satisfying_count_capped(omega1)? > 0;
+    let s2 = satisfying_count_capped(omega2)? > 0;
+    if !s1 || !s2 {
+        return Ok(if s1 == s2 {
+            EquivalenceVerdict::yes("both ω unsatisfiable: both kill every φ-model")
+        } else {
+            EquivalenceVerdict::no("exactly one ω is unsatisfiable")
+        });
+    }
+    let a1 = omega1.atom_set();
+    let a2 = omega2.atom_set();
+    let i: BTreeSet<AtomId> = a1.intersection(&a2).copied().collect();
+
+    // Condition (1): V1 = V2.
+    let v1 = projected_valuations(omega1, &i)?;
+    let v2 = projected_valuations(omega2, &i)?;
+    if v1 != v2 {
+        return Ok(EquivalenceVerdict::no(
+            "condition (1) fails: ω1 and ω2 admit different valuations on their shared atoms",
+        ));
+    }
+
+    // Conditions (2)/(3): one-sided atoms must be frozen by both ω and φ.
+    for (only, omega, which) in [
+        (a1.difference(&a2), omega1, "(2)"),
+        (a2.difference(&a1), omega2, "(3)"),
+    ] {
+        for &g in only {
+            let ga = Wff::Atom(g);
+            let pos = Wff::and2(
+                Wff::implies(omega.clone(), ga.clone()),
+                Wff::implies(phi.clone(), ga.clone()),
+            );
+            let neg = Wff::and2(
+                Wff::implies(omega.clone(), ga.clone().not()),
+                Wff::implies(phi.clone(), ga.not()),
+            );
+            if !cnf::valid(&pos, num_atoms) && !cnf::valid(&neg, num_atoms) {
+                return Ok(EquivalenceVerdict::no(format!(
+                    "condition {which} fails: atom {g} occurs on one side only and its value can change"
+                )));
+            }
+        }
+    }
+    Ok(EquivalenceVerdict::yes("Theorem 3 conditions (1)-(3) hold"))
+}
+
+/// Theorem 4: necessary and sufficient criteria for two INSERT updates with
+/// arbitrary selection clauses. (When the clauses coincide this reduces to
+/// Theorem 3.)
+pub fn theorem4(b1: &Update, b2: &Update, num_atoms: usize) -> Result<EquivalenceVerdict, LdmlError> {
+    let f1 = b1.to_insert();
+    let f2 = b2.to_insert();
+    let both = Wff::And(vec![f1.phi.clone(), f2.phi.clone()]);
+    let only1 = Wff::And(vec![f1.phi.clone(), f2.phi.clone().not()]);
+    let only2 = Wff::And(vec![f2.phi.clone(), f1.phi.clone().not()]);
+
+    // Condition (1): equivalence over the shared region, via Theorem 3.
+    let t3 = theorem3(&f1.omega, &f2.omega, &both, num_atoms)?;
+    if !t3.equivalent {
+        return Ok(EquivalenceVerdict::no(format!(
+            "condition (1) fails on the shared region: {}",
+            t3.reason
+        )));
+    }
+
+    // Conditions (2)+(3): in the region where only one update fires, it
+    // must be a no-op — ω already holds there and admits exactly one
+    // valuation.
+    for (region, omega, which) in [(&only1, &f1.omega, "B1"), (&only2, &f2.omega, "B2")] {
+        if !cnf::valid(&Wff::implies((*region).clone(), omega.clone()), num_atoms) {
+            return Ok(EquivalenceVerdict::no(format!(
+                "condition (2) fails: {which} fires alone in a world where its ω is not already true"
+            )));
+        }
+        if cnf::satisfiable(&[region], num_atoms) && satisfying_count_capped(omega)? != 1 {
+            return Ok(EquivalenceVerdict::no(format!(
+                "condition (3) fails: {which} fires alone and its ω is not uniquely satisfiable"
+            )));
+        }
+    }
+    Ok(EquivalenceVerdict::yes("Theorem 4 conditions (1)-(3) hold"))
+}
+
+/// Decides update equivalence using the theorems (Theorem 4, which subsumes
+/// Theorem 3).
+///
+/// ```
+/// use winslett_ldml::{equivalent_updates, Update};
+/// use winslett_logic::{AtomId, Formula, Wff};
+///
+/// // The paper's §3.4 example: INSERT p ≢ INSERT p ∨ T (raw Or — syntax
+/// // matters, so don't constant-fold ω).
+/// let b1 = Update::insert(Wff::Atom(AtomId(0)), Wff::t());
+/// let b2 = Update::insert(Formula::Or(vec![Wff::Atom(AtomId(0)), Wff::t()]), Wff::t());
+/// let verdict = equivalent_updates(&b1, &b2, 1)?;
+/// assert!(!verdict.equivalent);
+/// # Ok::<(), winslett_ldml::LdmlError>(())
+/// ```
+pub fn equivalent_updates(
+    b1: &Update,
+    b2: &Update,
+    num_atoms: usize,
+) -> Result<EquivalenceVerdict, LdmlError> {
+    theorem4(b1, b2, num_atoms)
+}
+
+/// Brute-force semantic equivalence: compares the `S` sets of the two
+/// updates on *every* model over atoms `0..universe`. Sound and complete
+/// because every model is realizable as a single-world extended relational
+/// theory (the construction in the proofs of Theorems 3 and 4), so
+/// per-model agreement on all models is exactly update equivalence.
+pub fn equivalent_brute(b1: &Update, b2: &Update, universe: usize) -> Result<bool, LdmlError> {
+    if universe > 20 {
+        return Err(LdmlError::TooLarge {
+            atoms: universe,
+            max: 20,
+        });
+    }
+    for mask in 0u64..(1u64 << universe) {
+        let m: BitSet = (0..universe).filter(|i| (mask >> i) & 1 == 1).collect();
+        let s1 = canonicalize(apply_update(b1, &m)?);
+        let s2 = canonicalize(apply_update(b2, &m)?);
+        if s1 != s2 {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use winslett_logic::Formula;
+
+    fn a(i: u32) -> Wff {
+        Formula::Atom(AtomId(i))
+    }
+
+    const N: usize = 4; // universe for SAT checks in these tests
+
+    fn check_against_brute(b1: &Update, b2: &Update) -> bool {
+        let decided = equivalent_updates(b1, b2, N).unwrap().equivalent;
+        let brute = equivalent_brute(b1, b2, N).unwrap();
+        assert_eq!(
+            decided, brute,
+            "theorem decision disagrees with brute force for {b1:?} vs {b2:?}"
+        );
+        decided
+    }
+
+    #[test]
+    fn paper_example_p_vs_p_or_t_not_equivalent() {
+        // §3.4: INSERT p WHERE T vs INSERT p ∨ T WHERE T differ on
+        // producing models where p is false. NOTE: raw Or, not the folding
+        // constructor.
+        let b1 = Update::insert(a(0), Wff::t());
+        let b2 = Update::insert(Formula::Or(vec![a(0), Wff::t()]), Wff::t());
+        assert!(!check_against_brute(&b1, &b2));
+    }
+
+    #[test]
+    fn paper_example_vacuous_selection_equivalent() {
+        // §3.4: INSERT p WHERE p∧q ≡ INSERT q WHERE p∧q.
+        let sel = Wff::and2(a(0), a(1));
+        let b1 = Update::insert(a(0), sel.clone());
+        let b2 = Update::insert(a(1), sel);
+        assert!(check_against_brute(&b1, &b2));
+    }
+
+    #[test]
+    fn theorem2_applies_to_reordered_omega() {
+        // ω1 = p ∧ q, ω2 = q ∧ p: logically equivalent, same atoms.
+        let b1 = Update::insert(Wff::And(vec![a(0), a(1)]), a(2));
+        let b2 = Update::insert(Wff::And(vec![a(1), a(0)]), a(2));
+        assert!(theorem2_sufficient(&b1, &b2, N));
+        assert!(check_against_brute(&b1, &b2));
+    }
+
+    #[test]
+    fn theorem2_is_only_sufficient() {
+        // The paper's own example of why Theorem 2 is not necessary:
+        // INSERT q WHERE p∧q ≡ INSERT p WHERE p∧q but ω's differ.
+        let sel = Wff::and2(a(0), a(1));
+        let b1 = Update::insert(a(1), sel.clone());
+        let b2 = Update::insert(a(0), sel);
+        assert!(!theorem2_sufficient(&b1, &b2, N));
+        assert!(equivalent_updates(&b1, &b2, N).unwrap().equivalent);
+    }
+
+    #[test]
+    fn t_vs_g_or_not_g_not_equivalent() {
+        // §3.2's motivating pair: INSERT T (no change) vs INSERT g ∨ ¬g
+        // (forget g).
+        let b1 = Update::insert(Wff::t(), Wff::t());
+        let b2 = Update::insert(Formula::Or(vec![a(0), a(0).not()]), Wff::t());
+        assert!(!check_against_brute(&b1, &b2));
+    }
+
+    #[test]
+    fn unsatisfiable_selection_makes_everything_equivalent() {
+        let phi = Wff::and2(a(0), a(0).not());
+        let b1 = Update::insert(a(1), phi.clone());
+        let b2 = Update::insert(a(2).not(), phi);
+        assert!(check_against_brute(&b1, &b2));
+    }
+
+    #[test]
+    fn different_selections_equivalent_when_lone_region_is_noop() {
+        // B1: INSERT p WHERE p∧q. B2: INSERT p WHERE q.
+        // Region where only B2 fires: q∧¬(p∧q) = q∧¬p — there B2 sets p
+        // true, changing the world, while B1 does nothing → not equivalent.
+        let b1 = Update::insert(a(0), Wff::and2(a(0), a(1)));
+        let b2 = Update::insert(a(0), a(1));
+        assert!(!check_against_brute(&b1, &b2));
+
+        // B1: INSERT p WHERE p∧q. B2: INSERT p WHERE p — in the lone
+        // region p∧¬q, ω=p already holds and is uniquely satisfiable:
+        // equivalent.
+        let b1 = Update::insert(a(0), Wff::and2(a(0), a(1)));
+        let b2 = Update::insert(a(0), a(0));
+        assert!(check_against_brute(&b1, &b2));
+    }
+
+    #[test]
+    fn delete_equals_modify_to_not_t() {
+        // §3.2: DELETE t WHERE φ∧t ≡ MODIFY t TO BE ¬t WHERE φ∧t.
+        let b1 = Update::delete(AtomId(0), a(1));
+        let b2 = Update::modify(AtomId(0), a(0).not(), a(1));
+        assert!(check_against_brute(&b1, &b2));
+    }
+
+    #[test]
+    fn assert_equals_insert_false() {
+        let b1 = Update::assert(a(0));
+        let b2 = Update::insert(Wff::f(), a(0).not());
+        assert!(check_against_brute(&b1, &b2));
+    }
+
+    #[test]
+    fn random_updates_cross_validated() {
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut equivalent_seen = 0;
+        for _ in 0..300 {
+            let b1 = random_update(&mut next);
+            let b2 = random_update(&mut next);
+            if check_against_brute(&b1, &b2) {
+                equivalent_seen += 1;
+            }
+            // Reflexivity.
+            assert!(check_against_brute(&b1, &b1));
+        }
+        // Sanity: the generator should produce at least a few equivalent
+        // pairs (mostly via unsatisfiable selections).
+        assert!(equivalent_seen > 0);
+    }
+
+    fn random_wff(next: &mut impl FnMut() -> u64, depth: usize) -> Wff {
+        if depth == 0 || next().is_multiple_of(3) {
+            return match next() % 6 {
+                0 => Wff::t(),
+                1 => Wff::f(),
+                _ => a((next() % N as u64) as u32),
+            };
+        }
+        match next() % 4 {
+            0 => random_wff(next, depth - 1).not(),
+            1 => Formula::And(vec![random_wff(next, depth - 1), random_wff(next, depth - 1)]),
+            2 => Formula::Or(vec![random_wff(next, depth - 1), random_wff(next, depth - 1)]),
+            _ => Wff::implies(random_wff(next, depth - 1), random_wff(next, depth - 1)),
+        }
+    }
+
+    fn random_update(next: &mut impl FnMut() -> u64) -> Update {
+        match next() % 4 {
+            0 => Update::insert(random_wff(next, 2), random_wff(next, 2)),
+            1 => Update::delete(AtomId((next() % N as u64) as u32), random_wff(next, 1)),
+            2 => Update::modify(
+                AtomId((next() % N as u64) as u32),
+                random_wff(next, 1),
+                random_wff(next, 1),
+            ),
+            _ => Update::assert(random_wff(next, 2)),
+        }
+    }
+}

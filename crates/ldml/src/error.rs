@@ -1,0 +1,77 @@
+//! Error types for LDML.
+
+use std::fmt;
+
+/// Errors raised while parsing or validating LDML updates.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LdmlError {
+    /// Malformed LDML statement.
+    Parse {
+        /// Description of the defect.
+        message: String,
+    },
+    /// The update mentions a predicate constant. Updates are wffs over L′,
+    /// which excludes predicate constants (§3.1).
+    PredicateConstantInUpdate {
+        /// Name of the predicate constant.
+        name: String,
+    },
+    /// DELETE/MODIFY require a ground *atomic* formula as target.
+    TargetNotAtomic,
+    /// An equivalence check needed to enumerate too many valuations.
+    TooLarge {
+        /// Number of atoms involved.
+        atoms: usize,
+        /// The supported maximum.
+        max: usize,
+    },
+    /// An error from the logic kernel (sub-wff parsing).
+    Logic(winslett_logic::LogicError),
+}
+
+impl fmt::Display for LdmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LdmlError::Parse { message } => write!(f, "LDML parse error: {message}"),
+            LdmlError::PredicateConstantInUpdate { name } => write!(
+                f,
+                "predicate constant `{name}` may not appear in an LDML update"
+            ),
+            LdmlError::TargetNotAtomic => {
+                write!(f, "DELETE/MODIFY target must be a ground atomic formula")
+            }
+            LdmlError::TooLarge { atoms, max } => write!(
+                f,
+                "equivalence check over {atoms} atoms exceeds the supported maximum of {max}"
+            ),
+            LdmlError::Logic(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LdmlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LdmlError::Logic(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<winslett_logic::LogicError> for LdmlError {
+    fn from(e: winslett_logic::LogicError) -> Self {
+        LdmlError::Logic(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(LdmlError::TargetNotAtomic.to_string().contains("atomic"));
+        let e = LdmlError::TooLarge { atoms: 30, max: 24 };
+        assert!(e.to_string().contains("30"));
+    }
+}

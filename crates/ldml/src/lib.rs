@@ -1,0 +1,31 @@
+//! # winslett-ldml
+//!
+//! LDML — the Logical Data Manipulation Language of Winslett (PODS 1986,
+//! §3): ground updates over extended relational theories.
+//!
+//! * [`Update`] — the four operators (`INSERT`, `DELETE`, `MODIFY`,
+//!   `ASSERT`) and their §3.2 reductions to INSERT form.
+//! * [`parse_update`] — the textual statement syntax used in the paper's
+//!   examples.
+//! * [`semantics`] — the §3.2 model-level definitions (the source of truth
+//!   against which the GUA algorithm is verified).
+//! * [`equivalence`] — Theorems 2–4: decidable criteria for when two
+//!   updates produce identical alternative worlds on every theory, plus a
+//!   brute-force per-model checker for cross-validation.
+
+pub mod equivalence;
+pub mod error;
+pub mod parser;
+pub mod semantics;
+pub mod update;
+
+pub use equivalence::{
+    equivalent_brute, equivalent_updates, theorem2_sufficient, theorem3, theorem4,
+    EquivalenceVerdict,
+};
+pub use error::LdmlError;
+pub use parser::parse_update;
+pub use semantics::{
+    apply_insert, apply_simultaneous, apply_update, apply_update_direct, canonicalize,
+};
+pub use update::{InsertForm, Update};

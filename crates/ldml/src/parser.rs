@@ -1,0 +1,305 @@
+//! Textual LDML statements.
+//!
+//! ```text
+//! INSERT <wff> WHERE <wff>
+//! DELETE <atom> WHERE <wff>            -- the "∧ t" conjunct is implicit
+//! MODIFY <atom> TO BE <wff> WHERE <wff>
+//! ASSERT <wff>
+//! ```
+//!
+//! Keywords are case-insensitive and must appear at parenthesis depth 0.
+//! Sub-wffs use the concrete syntax of [`winslett_logic::parse_wff`]. The
+//! paper's examples parse verbatim, e.g.
+//!
+//! ```text
+//! MODIFY Orders(700,32,9) TO BE Orders(700,32,1) WHERE InStock(32,1)
+//! INSERT Orders(800,32,1000) WHERE T
+//! ```
+
+use crate::error::LdmlError;
+use crate::update::Update;
+use winslett_logic::{parse_wff, Formula, ParseContext, Wff};
+
+/// Parses one LDML statement.
+///
+/// ```
+/// use winslett_ldml::{parse_update, Update};
+/// use winslett_logic::{AtomTable, ParseContext, Vocabulary};
+///
+/// let mut vocab = Vocabulary::new();
+/// let mut atoms = AtomTable::new();
+/// let mut ctx = ParseContext::permissive(&mut vocab, &mut atoms);
+/// let u = parse_update(
+///     "MODIFY Orders(700,32,9) TO BE Orders(700,32,1) WHERE InStock(32,1)",
+///     &mut ctx,
+/// )?;
+/// assert!(matches!(u, Update::Modify { .. }));
+/// # Ok::<(), winslett_ldml::LdmlError>(())
+/// ```
+pub fn parse_update(input: &str, ctx: &mut ParseContext<'_>) -> Result<Update, LdmlError> {
+    let trimmed = input.trim();
+    let (keyword, rest) = split_first_word(trimmed);
+    match keyword.to_ascii_uppercase().as_str() {
+        "INSERT" => {
+            let (omega_src, phi_src) = split_keyword(rest, "WHERE").ok_or_else(|| {
+                LdmlError::Parse {
+                    message: "INSERT requires a WHERE clause".into(),
+                }
+            })?;
+            let omega = parse_wff(omega_src.trim(), ctx)?;
+            let phi = parse_wff(phi_src.trim(), ctx)?;
+            Ok(Update::Insert { omega, phi })
+        }
+        "DELETE" => {
+            let (t_src, phi_src) = split_keyword(rest, "WHERE").ok_or_else(|| {
+                LdmlError::Parse {
+                    message: "DELETE requires a WHERE clause".into(),
+                }
+            })?;
+            let t = parse_atom(t_src.trim(), ctx)?;
+            let phi = parse_wff(phi_src.trim(), ctx)?;
+            // Accept both `DELETE t WHERE φ` and the paper's explicit
+            // `DELETE t WHERE φ ∧ t`: strip a top-level `∧ t` conjunct if
+            // present so the two spellings normalize identically.
+            let phi = strip_conjunct(phi, t);
+            Ok(Update::Delete { t, phi })
+        }
+        "MODIFY" => {
+            let (t_src, rest2) = split_keyword(rest, "TO BE").ok_or_else(|| {
+                LdmlError::Parse {
+                    message: "MODIFY requires a TO BE clause".into(),
+                }
+            })?;
+            let (omega_src, phi_src) = split_keyword(rest2, "WHERE").ok_or_else(|| {
+                LdmlError::Parse {
+                    message: "MODIFY requires a WHERE clause".into(),
+                }
+            })?;
+            let t = parse_atom(t_src.trim(), ctx)?;
+            let omega = parse_wff(omega_src.trim(), ctx)?;
+            let phi = parse_wff(phi_src.trim(), ctx)?;
+            let phi = strip_conjunct(phi, t);
+            Ok(Update::Modify { t, omega, phi })
+        }
+        "ASSERT" => {
+            let phi = parse_wff(rest.trim(), ctx)?;
+            Ok(Update::Assert { phi })
+        }
+        other => Err(LdmlError::Parse {
+            message: format!("unknown LDML operator `{other}`"),
+        }),
+    }
+}
+
+fn parse_atom(
+    src: &str,
+    ctx: &mut ParseContext<'_>,
+) -> Result<winslett_logic::AtomId, LdmlError> {
+    match parse_wff(src, ctx)? {
+        Formula::Atom(id) => Ok(id),
+        _ => Err(LdmlError::TargetNotAtomic),
+    }
+}
+
+fn split_first_word(s: &str) -> (&str, &str) {
+    match s.find(char::is_whitespace) {
+        Some(i) => (&s[..i], &s[i..]),
+        None => (s, ""),
+    }
+}
+
+/// Finds `keyword` (case-insensitive, whole-word, parenthesis depth 0) and
+/// splits around it.
+fn split_keyword<'a>(s: &'a str, keyword: &str) -> Option<(&'a str, &'a str)> {
+    let bytes = s.as_bytes();
+    let upper = s.to_ascii_uppercase();
+    let ubytes = upper.as_bytes();
+    let kw = keyword.to_ascii_uppercase();
+    let kbytes = kw.as_bytes();
+    let mut depth = 0i32;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' => depth += 1,
+            b')' => depth -= 1,
+            _ => {
+                if depth == 0 && ubytes[i..].starts_with(kbytes) {
+                    let before_ok = i == 0 || bytes[i - 1].is_ascii_whitespace();
+                    let after = i + kw.len();
+                    let after_ok =
+                        after >= bytes.len() || bytes[after].is_ascii_whitespace();
+                    if before_ok && after_ok {
+                        return Some((&s[..i], &s[after..]));
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Removes a top-level conjunct equal to `Atom(t)` from `phi`, if present.
+fn strip_conjunct(phi: Wff, t: winslett_logic::AtomId) -> Wff {
+    match phi {
+        Formula::And(parts) => {
+            let target = Wff::Atom(t);
+            let mut found = false;
+            let kept: Vec<Wff> = parts
+                .into_iter()
+                .filter(|p| {
+                    if !found && *p == target {
+                        found = true;
+                        false
+                    } else {
+                        true
+                    }
+                })
+                .collect();
+            Wff::and(kept)
+        }
+        other if other == Wff::Atom(t) => Wff::t(),
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use winslett_logic::{AtomTable, Vocabulary};
+
+    fn parse(src: &str) -> (Update, Vocabulary, AtomTable) {
+        let mut v = Vocabulary::new();
+        let mut t = AtomTable::new();
+        let mut ctx = ParseContext::permissive(&mut v, &mut t);
+        let u = parse_update(src, &mut ctx).unwrap();
+        (u, v, t)
+    }
+
+    #[test]
+    fn parses_paper_insert() {
+        let (u, _, _) = parse("INSERT Orders(800,32,1000) WHERE T");
+        match u {
+            Update::Insert { omega, phi } => {
+                assert!(matches!(omega, Formula::Atom(_)));
+                assert_eq!(phi, Wff::t());
+            }
+            other => panic!("expected insert, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_paper_modify() {
+        let (u, _, _) =
+            parse("MODIFY Orders(700,32,9) TO BE Orders(700,32,1) WHERE InStock(32,1)");
+        match u {
+            Update::Modify { t: _, omega, phi } => {
+                assert!(matches!(omega, Formula::Atom(_)));
+                assert!(matches!(phi, Formula::Atom(_)));
+            }
+            other => panic!("expected modify, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_paper_delete_with_explicit_t_conjunct() {
+        // The paper writes `DELETE Orders(700,32,9) WHERE T ∧ Orders(700,32,9)`;
+        // the explicit `∧ t` must be stripped from the stored φ.
+        let (u1, _, _) = parse("DELETE Orders(700,32,9) WHERE T & Orders(700,32,9)");
+        let (u2, _, _) = parse("DELETE Orders(700,32,9) WHERE T");
+        match (&u1, &u2) {
+            (Update::Delete { t: t1, phi: p1 }, Update::Delete { t: t2, phi: p2 }) => {
+                assert_eq!(t1, t2);
+                assert_eq!(p1, p2);
+                assert_eq!(*p1, Wff::t());
+            }
+            other => panic!("expected deletes, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_insert_with_disjunction() {
+        let (u, _, _) =
+            parse("INSERT Orders(100,32,1) | Orders(100,32,7) WHERE T");
+        match u {
+            Update::Insert { omega, .. } => assert!(matches!(omega, Formula::Or(_))),
+            other => panic!("expected insert, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_assert() {
+        let (u, _, _) = parse("ASSERT !InStock(32,1)");
+        assert!(matches!(u, Update::Assert { .. }));
+    }
+
+    #[test]
+    fn parses_insert_negated_atom() {
+        // Paper example: INSERT ¬InStock(32,1) WHERE T.
+        let (u, _, _) = parse("INSERT !InStock(32,1) WHERE T");
+        match u {
+            Update::Insert { omega, .. } => assert!(matches!(omega, Formula::Not(_))),
+            other => panic!("expected insert, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let (u, _, _) = parse("insert a where b");
+        assert!(matches!(u, Update::Insert { .. }));
+    }
+
+    #[test]
+    fn where_inside_parens_not_keyword() {
+        // An atom named `WHERE` inside parentheses must not split.
+        let mut v = Vocabulary::new();
+        let mut t = AtomTable::new();
+        let mut ctx = ParseContext::permissive(&mut v, &mut t);
+        let r = parse_update("INSERT (a & b) WHERE c", &mut ctx);
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn missing_where_rejected() {
+        let mut v = Vocabulary::new();
+        let mut t = AtomTable::new();
+        let mut ctx = ParseContext::permissive(&mut v, &mut t);
+        assert!(matches!(
+            parse_update("INSERT a", &mut ctx),
+            Err(LdmlError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn modify_requires_to_be() {
+        let mut v = Vocabulary::new();
+        let mut t = AtomTable::new();
+        let mut ctx = ParseContext::permissive(&mut v, &mut t);
+        assert!(matches!(
+            parse_update("MODIFY a WHERE b", &mut ctx),
+            Err(LdmlError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn non_atomic_delete_target_rejected() {
+        let mut v = Vocabulary::new();
+        let mut t = AtomTable::new();
+        let mut ctx = ParseContext::permissive(&mut v, &mut t);
+        assert!(matches!(
+            parse_update("DELETE (a & b) WHERE T", &mut ctx),
+            Err(LdmlError::TargetNotAtomic)
+        ));
+    }
+
+    #[test]
+    fn unknown_operator_rejected() {
+        let mut v = Vocabulary::new();
+        let mut t = AtomTable::new();
+        let mut ctx = ParseContext::permissive(&mut v, &mut t);
+        assert!(matches!(
+            parse_update("UPSERT a WHERE b", &mut ctx),
+            Err(LdmlError::Parse { .. })
+        ));
+    }
+}

@@ -1,0 +1,456 @@
+//! Model-level update semantics — the §3.2 definitions, verbatim.
+//!
+//! For a ground update `B` and a model `M`, these functions compute the set
+//! `S` of models produced by applying `B` to `M`. Models are total truth
+//! valuations represented as bitsets of true atoms over a fixed universe.
+//!
+//! Both the *direct* per-operator definitions and the INSERT-form reduction
+//! are implemented; `winslett-worlds` and the property tests verify that
+//! they coincide, which is the paper's claim that DELETE, MODIFY, and
+//! ASSERT "are special cases of INSERT".
+
+use crate::error::LdmlError;
+use crate::update::{InsertForm, Update};
+use winslett_logic::{AtomId, BitSet, Wff};
+
+/// Maximum number of distinct atoms in ω supported by exhaustive valuation
+/// enumeration. Updates are small by the paper's cost model (`g` counts
+/// their atom occurrences), so this is ample.
+pub const MAX_OMEGA_ATOMS: usize = 24;
+
+fn eval_in(w: &Wff, model: &BitSet) -> bool {
+    w.eval(&mut |a: &AtomId| model.get(a.index()))
+}
+
+/// All assignments to `atoms` that satisfy `omega`, returned as bit masks
+/// aligned with `atoms`.
+fn satisfying_masks(omega: &Wff, atoms: &[AtomId]) -> Result<Vec<u32>, LdmlError> {
+    if atoms.len() > MAX_OMEGA_ATOMS {
+        return Err(LdmlError::TooLarge {
+            atoms: atoms.len(),
+            max: MAX_OMEGA_ATOMS,
+        });
+    }
+    let mut out = Vec::new();
+    for mask in 0u32..(1u32 << atoms.len()) {
+        let ok = omega.eval(&mut |a: &AtomId| {
+            let i = atoms.iter().position(|x| x == a).expect("atom in set");
+            (mask >> i) & 1 == 1
+        });
+        if ok {
+            out.push(mask);
+        }
+    }
+    Ok(out)
+}
+
+/// Applies `INSERT ω WHERE φ` to a single model (§3.2):
+///
+/// * if `φ` is false in `M`, `S = {M}`;
+/// * otherwise `S` contains exactly every `M*` that (1) agrees with `M` on
+///   all atoms except possibly those of `ω`, and (2) satisfies `ω`.
+pub fn apply_insert(form: &InsertForm, model: &BitSet) -> Result<Vec<BitSet>, LdmlError> {
+    if !eval_in(&form.phi, model) {
+        return Ok(vec![model.clone()]);
+    }
+    let atoms: Vec<AtomId> = form.omega.atom_set().into_iter().collect();
+    let masks = satisfying_masks(&form.omega, &atoms)?;
+    let mut out = Vec::with_capacity(masks.len());
+    for mask in masks {
+        let mut m = model.clone();
+        for (i, a) in atoms.iter().enumerate() {
+            m.set(a.index(), (mask >> i) & 1 == 1);
+        }
+        out.push(m);
+    }
+    Ok(out)
+}
+
+/// Applies any LDML update to a single model, via its INSERT form.
+pub fn apply_update(update: &Update, model: &BitSet) -> Result<Vec<BitSet>, LdmlError> {
+    apply_insert(&update.to_insert(), model)
+}
+
+/// Applies an update using the §3.2 *direct* per-operator definitions
+/// (no reduction to INSERT). Used to cross-validate the reductions.
+pub fn apply_update_direct(update: &Update, model: &BitSet) -> Result<Vec<BitSet>, LdmlError> {
+    match update {
+        Update::Insert { omega, phi } => apply_insert(
+            &InsertForm {
+                omega: omega.clone(),
+                phi: phi.clone(),
+            },
+            model,
+        ),
+        Update::Assert { phi } => {
+            // If φ is false in M, S is empty; otherwise S = {M}.
+            if eval_in(phi, model) {
+                Ok(vec![model.clone()])
+            } else {
+                Ok(Vec::new())
+            }
+        }
+        Update::Delete { t, phi } => {
+            let selection = Wff::and2(phi.clone(), Wff::Atom(*t));
+            if !eval_in(&selection, model) {
+                return Ok(vec![model.clone()]);
+            }
+            let mut m = model.clone();
+            m.set(t.index(), false);
+            Ok(vec![m])
+        }
+        Update::Modify { t, omega, phi } => {
+            let selection = Wff::and2(phi.clone(), Wff::Atom(*t));
+            if !eval_in(&selection, model) {
+                return Ok(vec![model.clone()]);
+            }
+            // N = M with t := F; then insert ω relative to N.
+            let mut n = model.clone();
+            n.set(t.index(), false);
+            let atoms: Vec<AtomId> = omega.atom_set().into_iter().collect();
+            let masks = satisfying_masks(omega, &atoms)?;
+            let mut out = Vec::with_capacity(masks.len());
+            for mask in masks {
+                let mut m = n.clone();
+                for (i, a) in atoms.iter().enumerate() {
+                    m.set(a.index(), (mask >> i) & 1 == 1);
+                }
+                out.push(m);
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Applies a **set** of ground updates *simultaneously* to one model — the
+/// reduction target for updates with variables (§4: "updates with
+/// variables can be reduced to the problem of performing a set of ground
+/// updates simultaneously").
+///
+/// The semantics is the evident generalization of §3.2 (the paper names
+/// the reduction but does not spell it out; DESIGN.md records this as a
+/// definitional substitution):
+///
+/// * the *triggered* updates are those whose selection `φᵢ` holds in `M`;
+/// * `S` contains exactly the models `M*` that (1) agree with `M` on every
+///   atom outside the union of the triggered `ωᵢ`'s atom sets, and
+///   (2) satisfy **every** triggered `ωᵢ`;
+/// * with no triggered update, `S = {M}`; with a single update this is
+///   exactly [`apply_insert`] (tested).
+pub fn apply_simultaneous(
+    forms: &[InsertForm],
+    model: &BitSet,
+) -> Result<Vec<BitSet>, LdmlError> {
+    let triggered: Vec<&InsertForm> = forms
+        .iter()
+        .filter(|f| eval_in(&f.phi, model))
+        .collect();
+    if triggered.is_empty() {
+        return Ok(vec![model.clone()]);
+    }
+    let mut atom_set = std::collections::BTreeSet::new();
+    for f in &triggered {
+        atom_set.extend(f.omega.atom_set());
+    }
+    let atoms: Vec<AtomId> = atom_set.into_iter().collect();
+    let conjunction = Wff::And(triggered.iter().map(|f| f.omega.clone()).collect());
+    let masks = satisfying_masks(&conjunction, &atoms)?;
+    let mut out = Vec::with_capacity(masks.len());
+    for mask in masks {
+        let mut m = model.clone();
+        for (i, a) in atoms.iter().enumerate() {
+            m.set(a.index(), (mask >> i) & 1 == 1);
+        }
+        out.push(m);
+    }
+    Ok(out)
+}
+
+/// Canonicalizes a set of models: sorted and deduplicated, so two `S` sets
+/// can be compared for equality.
+pub fn canonicalize(mut models: Vec<BitSet>) -> Vec<BitSet> {
+    models.sort_by(|a, b| {
+        a.ones()
+            .collect::<Vec<_>>()
+            .cmp(&b.ones().collect::<Vec<_>>())
+    });
+    models.dedup();
+    models
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use winslett_logic::Formula;
+
+    fn a(i: u32) -> Wff {
+        Formula::Atom(AtomId(i))
+    }
+
+    fn model(bits: &[usize]) -> BitSet {
+        bits.iter().copied().collect()
+    }
+
+    #[test]
+    fn paper_insert_a_or_b_creates_three_models() {
+        // §3.2 example: inserting a ∨ b creates three models regardless of
+        // the original values of a and b.
+        for original in [model(&[]), model(&[0]), model(&[1]), model(&[0, 1])] {
+            let form = InsertForm {
+                omega: Wff::or2(a(0), a(1)),
+                phi: Wff::t(),
+            };
+            let s = canonicalize(apply_insert(&form, &original).unwrap());
+            assert_eq!(s.len(), 3);
+        }
+    }
+
+    #[test]
+    fn insert_skips_models_where_phi_false() {
+        let form = InsertForm {
+            omega: a(0),
+            phi: a(1),
+        };
+        let m = model(&[]); // φ = b is false
+        assert_eq!(apply_insert(&form, &m).unwrap(), vec![m]);
+    }
+
+    #[test]
+    fn insert_unsatisfiable_omega_kills_model() {
+        let form = InsertForm {
+            omega: Wff::f(),
+            phi: Wff::t(),
+        };
+        assert!(apply_insert(&form, &model(&[0])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn insert_t_changes_nothing() {
+        // ω = T has one satisfying valuation over zero atoms: M unchanged.
+        let form = InsertForm {
+            omega: Wff::t(),
+            phi: Wff::t(),
+        };
+        let m = model(&[0, 2]);
+        assert_eq!(apply_insert(&form, &m).unwrap(), vec![m]);
+    }
+
+    #[test]
+    fn insert_g_or_not_g_forgets_g() {
+        // ω = g ∨ ¬g reports that g is now unknown: two models result.
+        let form = InsertForm {
+            omega: Wff::or2(a(0), a(0).not()),
+            phi: Wff::t(),
+        };
+        let s = canonicalize(apply_insert(&form, &model(&[])).unwrap());
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn assert_direct_semantics() {
+        let u = Update::assert(a(0));
+        assert_eq!(
+            apply_update_direct(&u, &model(&[0])).unwrap(),
+            vec![model(&[0])]
+        );
+        assert!(apply_update_direct(&u, &model(&[])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn delete_direct_semantics() {
+        let u = Update::delete(AtomId(0), Wff::t());
+        // t true: removed.
+        assert_eq!(
+            apply_update_direct(&u, &model(&[0, 1])).unwrap(),
+            vec![model(&[1])]
+        );
+        // t false: unchanged.
+        assert_eq!(
+            apply_update_direct(&u, &model(&[1])).unwrap(),
+            vec![model(&[1])]
+        );
+    }
+
+    #[test]
+    fn modify_direct_semantics_paper_example() {
+        // MODIFY a TO BE a′ WHERE b ∧ a over worlds {a,b} and {a} (§3.3).
+        // Atoms: a = 0, b = 1, a′ = 2.
+        let u = Update::modify(AtomId(0), a(2), a(1));
+        // Model 1 {a, b}: selection true → a removed, a′ inserted.
+        assert_eq!(
+            canonicalize(apply_update_direct(&u, &model(&[0, 1])).unwrap()),
+            vec![model(&[1, 2])]
+        );
+        // Model 2 {a}: selection false (b false) → unchanged.
+        assert_eq!(
+            apply_update_direct(&u, &model(&[0])).unwrap(),
+            vec![model(&[0])]
+        );
+    }
+
+    #[test]
+    fn simultaneous_singleton_equals_apply_insert() {
+        let mut state = 0x5151_5151u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..200 {
+            let omega = random_wff(&mut next, 4, 2);
+            let phi = random_wff(&mut next, 4, 2);
+            let form = InsertForm { omega, phi };
+            let m: BitSet = (0..4usize).filter(|_| next() % 2 == 0).collect();
+            let single = canonicalize(apply_insert(&form, &m).unwrap());
+            let multi =
+                canonicalize(apply_simultaneous(std::slice::from_ref(&form), &m).unwrap());
+            assert_eq!(single, multi);
+        }
+    }
+
+    #[test]
+    fn simultaneous_freezes_untriggered_atoms() {
+        // U1: INSERT a WHERE T (fires). U2: INSERT ¬b WHERE c (does not
+        // fire in a world without c). b must stay untouched even though it
+        // appears in U2's ω.
+        let forms = vec![
+            InsertForm {
+                omega: a(0),
+                phi: Wff::t(),
+            },
+            InsertForm {
+                omega: a(1).not(),
+                phi: a(2),
+            },
+        ];
+        let m = model(&[1]); // b true, c false
+        let s = apply_simultaneous(&forms, &m).unwrap();
+        assert_eq!(s, vec![model(&[0, 1])]); // a set, b kept
+        // In a world with c, both fire: b removed too.
+        let m = model(&[1, 2]);
+        let s = apply_simultaneous(&forms, &m).unwrap();
+        assert_eq!(s, vec![model(&[0, 2])]);
+    }
+
+    #[test]
+    fn simultaneous_differs_from_sequential() {
+        // U1: INSERT a WHERE ¬b. U2: INSERT b WHERE ¬a. From the empty
+        // world, sequential U1;U2 gives {a, b}? No: after U1, a holds, so
+        // U2's ¬a is false → {a}. Simultaneous: both fire from the empty
+        // world → {a, b}. This is why variable updates need simultaneity.
+        let u1 = InsertForm {
+            omega: a(0),
+            phi: a(1).not(),
+        };
+        let u2 = InsertForm {
+            omega: a(1),
+            phi: a(0).not(),
+        };
+        let empty = model(&[]);
+        // Sequential.
+        let after1 = apply_insert(&u1, &empty).unwrap();
+        assert_eq!(after1, vec![model(&[0])]);
+        let after2 = apply_insert(&u2, &after1[0]).unwrap();
+        assert_eq!(after2, vec![model(&[0])]);
+        // Simultaneous.
+        let s = apply_simultaneous(&[u1, u2], &empty).unwrap();
+        assert_eq!(s, vec![model(&[0, 1])]);
+    }
+
+    #[test]
+    fn simultaneous_conflicting_updates_kill_model() {
+        // Both fire, ω1 ∧ ω2 unsatisfiable → the model dies.
+        let u1 = InsertForm {
+            omega: a(0),
+            phi: Wff::t(),
+        };
+        let u2 = InsertForm {
+            omega: a(0).not(),
+            phi: Wff::t(),
+        };
+        let s = apply_simultaneous(&[u1, u2], &model(&[])).unwrap();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn simultaneous_none_triggered_is_identity() {
+        let u1 = InsertForm {
+            omega: a(0),
+            phi: a(1),
+        };
+        let m = model(&[2]);
+        let s = apply_simultaneous(std::slice::from_ref(&u1), &m).unwrap();
+        assert_eq!(s, vec![m]);
+    }
+
+    /// The §3.2 reduction claims: DELETE/MODIFY/ASSERT via INSERT agree
+    /// with the direct definitions — except ASSERT on failing models, where
+    /// INSERT F produces the empty set via the branch rather than the
+    /// φ-false branch; both give ∅ overall, so they agree there too.
+    #[test]
+    fn reductions_agree_with_direct_definitions() {
+        let mut state = 0xABCDEF123456u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let universe = 5usize;
+        for _ in 0..500 {
+            let update = random_update(&mut next, universe);
+            let m: BitSet = (0..universe).filter(|_| next() % 2 == 0).collect();
+            let via_insert = canonicalize(apply_update(&update, &m).unwrap());
+            let direct = canonicalize(apply_update_direct(&update, &m).unwrap());
+            assert_eq!(
+                via_insert, direct,
+                "reduction mismatch for {update:?} on {m:?}"
+            );
+        }
+    }
+
+    fn random_wff(next: &mut impl FnMut() -> u64, universe: usize, depth: usize) -> Wff {
+        if depth == 0 || next().is_multiple_of(3) {
+            return match next() % 6 {
+                0 => Wff::t(),
+                1 => Wff::f(),
+                _ => a((next() % universe as u64) as u32),
+            };
+        }
+        match next() % 4 {
+            0 => random_wff(next, universe, depth - 1).not(),
+            1 => Wff::and2(
+                random_wff(next, universe, depth - 1),
+                random_wff(next, universe, depth - 1),
+            ),
+            2 => Wff::or2(
+                random_wff(next, universe, depth - 1),
+                random_wff(next, universe, depth - 1),
+            ),
+            _ => Wff::implies(
+                random_wff(next, universe, depth - 1),
+                random_wff(next, universe, depth - 1),
+            ),
+        }
+    }
+
+    fn random_update(next: &mut impl FnMut() -> u64, universe: usize) -> Update {
+        match next() % 4 {
+            0 => Update::insert(
+                random_wff(next, universe, 2),
+                random_wff(next, universe, 2),
+            ),
+            1 => Update::delete(
+                AtomId((next() % universe as u64) as u32),
+                random_wff(next, universe, 2),
+            ),
+            2 => Update::modify(
+                AtomId((next() % universe as u64) as u32),
+                random_wff(next, universe, 2),
+                random_wff(next, universe, 2),
+            ),
+            _ => Update::assert(random_wff(next, universe, 2)),
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! LDML ground updates (§3.1) and their reduction to INSERT form (§3.2).
+//!
+//! The four operators:
+//!
+//! ```text
+//! INSERT ω WHERE φ
+//! DELETE t WHERE φ ∧ t
+//! MODIFY t TO BE ω WHERE φ ∧ t
+//! ASSERT φ
+//! ```
+//!
+//! `ω` and `φ` are ground wffs over L′ (no predicate constants); `t` is a
+//! ground atomic formula. DELETE, MODIFY and ASSERT are special cases of
+//! INSERT (§3.2):
+//!
+//! * `DELETE t WHERE φ ∧ t`  ≡ `INSERT ¬t WHERE φ ∧ t`;
+//! * `MODIFY t TO BE ω WHERE φ ∧ t` ≡ `INSERT ω WHERE φ ∧ t` when `t`
+//!   appears in `ω`, else `INSERT (ω ∧ ¬t) WHERE φ ∧ t` — the MODIFY
+//!   semantics first forces `t` false, so when `ω` does not re-constrain
+//!   `t` the insertion must carry `¬t` itself. (The published text's
+//!   rendering of this clause is typographically corrupted; this is the
+//!   reduction that matches the §3.2 model-level definitions, and the
+//!   property tests in `winslett-worlds` verify it against them.)
+//! * `ASSERT φ` ≡ `INSERT F WHERE ¬φ`.
+//!
+//! Note the syntactic sensitivity the paper insists on: reductions preserve
+//! the *atom set* of `ω`, not merely its logical content — `INSERT T` and
+//! `INSERT g ∨ ¬g` are different updates.
+
+use crate::error::LdmlError;
+use winslett_logic::{AtomId, AtomTable, PredicateKind, Vocabulary, Wff};
+
+/// A ground LDML update.
+///
+/// ```
+/// use winslett_ldml::Update;
+/// use winslett_logic::{AtomId, Wff};
+///
+/// // DELETE t WHERE φ ∧ t reduces to INSERT ¬t WHERE φ ∧ t (§3.2).
+/// let t = AtomId(0);
+/// let phi = Wff::Atom(AtomId(1));
+/// let form = Update::delete(t, phi).to_insert();
+/// assert_eq!(form.omega, Wff::Atom(t).not());
+/// assert!(!form.may_branch());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Update {
+    /// `INSERT ω WHERE φ`.
+    Insert {
+        /// The wff to make true.
+        omega: Wff,
+        /// The selection clause.
+        phi: Wff,
+    },
+    /// `DELETE t WHERE φ ∧ t`. Only `φ` is stored; the conjunct `t` is
+    /// implicit in the operator form.
+    Delete {
+        /// The target tuple.
+        t: AtomId,
+        /// The extra selection clause `φ`.
+        phi: Wff,
+    },
+    /// `MODIFY t TO BE ω WHERE φ ∧ t`.
+    Modify {
+        /// The target tuple.
+        t: AtomId,
+        /// The replacement wff.
+        omega: Wff,
+        /// The extra selection clause `φ`.
+        phi: Wff,
+    },
+    /// `ASSERT φ`.
+    Assert {
+        /// The wff every surviving model must satisfy.
+        phi: Wff,
+    },
+}
+
+/// An update normalized to INSERT form.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct InsertForm {
+    /// The wff to make true.
+    pub omega: Wff,
+    /// The selection clause.
+    pub phi: Wff,
+}
+
+impl Update {
+    /// Convenience constructor for `INSERT ω WHERE φ`.
+    pub fn insert(omega: Wff, phi: Wff) -> Self {
+        Update::Insert { omega, phi }
+    }
+
+    /// Convenience constructor for `DELETE t WHERE φ ∧ t`.
+    pub fn delete(t: AtomId, phi: Wff) -> Self {
+        Update::Delete { t, phi }
+    }
+
+    /// Convenience constructor for `MODIFY t TO BE ω WHERE φ ∧ t`.
+    pub fn modify(t: AtomId, omega: Wff, phi: Wff) -> Self {
+        Update::Modify { t, omega, phi }
+    }
+
+    /// Convenience constructor for `ASSERT φ`.
+    pub fn assert(phi: Wff) -> Self {
+        Update::Assert { phi }
+    }
+
+    /// Reduces the update to INSERT form per §3.2.
+    pub fn to_insert(&self) -> InsertForm {
+        match self {
+            Update::Insert { omega, phi } => InsertForm {
+                omega: omega.clone(),
+                phi: phi.clone(),
+            },
+            Update::Delete { t, phi } => InsertForm {
+                omega: Wff::Atom(*t).not(),
+                phi: Wff::and2(phi.clone(), Wff::Atom(*t)),
+            },
+            Update::Modify { t, omega, phi } => {
+                let selection = Wff::and2(phi.clone(), Wff::Atom(*t));
+                if omega.contains_atom(*t) {
+                    InsertForm {
+                        omega: omega.clone(),
+                        phi: selection,
+                    }
+                } else {
+                    InsertForm {
+                        omega: Wff::and2(omega.clone(), Wff::Atom(*t).not()),
+                        phi: selection,
+                    }
+                }
+            }
+            Update::Assert { phi } => InsertForm {
+                omega: Wff::f(),
+                phi: phi.clone().not(),
+            },
+        }
+    }
+
+    /// The ω of the INSERT form (cloned).
+    pub fn omega(&self) -> Wff {
+        self.to_insert().omega
+    }
+
+    /// The φ of the INSERT form (cloned).
+    pub fn phi(&self) -> Wff {
+        self.to_insert().phi
+    }
+
+    /// Validates that the update is over L′: no predicate constants in ω or
+    /// φ (§3.1 defines L′ to exclude them).
+    pub fn validate(&self, vocab: &Vocabulary, atoms: &AtomTable) -> Result<(), LdmlError> {
+        let form = self.to_insert();
+        for w in [&form.omega, &form.phi] {
+            for a in w.atom_set() {
+                let pred = atoms.resolve(a).pred;
+                if vocab.predicate(pred).kind == PredicateKind::PredicateConstant {
+                    return Err(LdmlError::PredicateConstantInUpdate {
+                        name: vocab.predicate(pred).name.clone(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The paper's `g`: total ground-atom occurrences in the update (used
+    /// by the §3.6 cost model).
+    pub fn num_atom_occurrences(&self) -> usize {
+        let form = self.to_insert();
+        form.omega.num_atom_occurrences() + form.phi.num_atom_occurrences()
+    }
+}
+
+impl InsertForm {
+    /// Whether this insertion can *branch* (map one model to several):
+    /// branching requires ω to be satisfiable by more than one valuation of
+    /// its atoms (§3.2's "branching update"). Exhaustive up to 20 atoms,
+    /// conservatively `true` beyond.
+    pub fn may_branch(&self) -> bool {
+        self.may_branch_bounded(20)
+    }
+
+    /// Like [`InsertForm::may_branch`] but with a caller-chosen exhaustive
+    /// bound — used on hot update paths where an exact answer for large ω
+    /// is not worth 2^|atoms| evaluation.
+    pub fn may_branch_bounded(&self, max_atoms: usize) -> bool {
+        let atoms: Vec<AtomId> = self.omega.atom_set().into_iter().collect();
+        // Clamp to 20 regardless of the caller's bound: the sweep below
+        // uses u32 masks and 2^20 evaluations is already generous.
+        if atoms.len() > max_atoms.min(20) {
+            return true; // conservatively
+        }
+        let mut count = 0u32;
+        for mask in 0u32..(1 << atoms.len()) {
+            let ok = self.omega.eval(&mut |a: &AtomId| {
+                let i = atoms.iter().position(|x| x == a).expect("atom in set");
+                (mask >> i) & 1 == 1
+            });
+            if ok {
+                count += 1;
+                if count > 1 {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use winslett_logic::Formula;
+
+    fn a(i: u32) -> Wff {
+        Formula::Atom(AtomId(i))
+    }
+
+    #[test]
+    fn insert_passes_through() {
+        let u = Update::insert(Wff::or2(a(1), a(2)), a(3));
+        let f = u.to_insert();
+        assert_eq!(f.omega, Wff::or2(a(1), a(2)));
+        assert_eq!(f.phi, a(3));
+    }
+
+    #[test]
+    fn delete_reduces_to_insert_not_t() {
+        let u = Update::delete(AtomId(1), a(2));
+        let f = u.to_insert();
+        assert_eq!(f.omega, a(1).not());
+        assert_eq!(f.phi, Wff::and2(a(2), a(1)));
+    }
+
+    #[test]
+    fn modify_with_t_in_omega() {
+        // MODIFY t TO BE (t ∨ c) WHERE φ ∧ t.
+        let u = Update::modify(AtomId(1), Wff::or2(a(1), a(3)), a(2));
+        let f = u.to_insert();
+        assert_eq!(f.omega, Wff::or2(a(1), a(3)));
+        assert_eq!(f.phi, Wff::and2(a(2), a(1)));
+    }
+
+    #[test]
+    fn modify_without_t_in_omega_carries_not_t() {
+        // MODIFY a TO BE a′ WHERE b ∧ a — the §3.3 running example — must
+        // become INSERT (a′ ∧ ¬a) WHERE b ∧ a.
+        let u = Update::modify(AtomId(1), a(9), a(2));
+        let f = u.to_insert();
+        assert_eq!(f.omega, Wff::and2(a(9), a(1).not()));
+        assert_eq!(f.phi, Wff::and2(a(2), a(1)));
+        assert!(f.omega.contains_atom(AtomId(1)));
+    }
+
+    #[test]
+    fn assert_reduces_to_insert_false() {
+        let u = Update::assert(a(1));
+        let f = u.to_insert();
+        assert_eq!(f.omega, Wff::f());
+        assert_eq!(f.phi, a(1).not());
+    }
+
+    #[test]
+    fn atom_occurrence_count() {
+        let u = Update::insert(Wff::or2(a(1), a(2)), Wff::and2(a(1), a(3)));
+        assert_eq!(u.num_atom_occurrences(), 4);
+    }
+
+    #[test]
+    fn branching_detection() {
+        // a ∨ b has 3 satisfying valuations: branching.
+        assert!(Update::insert(Wff::or2(a(1), a(2)), Wff::t())
+            .to_insert()
+            .may_branch());
+        // a ∧ b has exactly one: non-branching.
+        assert!(!Update::insert(Wff::and2(a(1), a(2)), Wff::t())
+            .to_insert()
+            .may_branch());
+        // ¬a has one.
+        assert!(!Update::insert(a(1).not(), Wff::t()).to_insert().may_branch());
+        // T over no atoms has one (the empty valuation).
+        assert!(!Update::insert(Wff::t(), Wff::t()).to_insert().may_branch());
+        // g ∨ ¬g has two valuations — a branching no-op-looking update:
+        // this is the paper's point about T vs g ∨ ¬g.
+        assert!(Update::insert(Wff::or2(a(1), a(1).not()), Wff::t())
+            .to_insert()
+            .may_branch());
+    }
+
+    #[test]
+    fn validate_rejects_predicate_constants() {
+        let mut vocab = Vocabulary::new();
+        let mut atoms = AtomTable::new();
+        let pc = vocab.fresh_predicate_constant();
+        let id = atoms.intern(winslett_logic::GroundAtom::nullary(pc));
+        let r = vocab
+            .declare_predicate("R", 1, PredicateKind::Relation)
+            .unwrap();
+        let c = vocab.constant("x");
+        let ra = atoms.intern_app(r, &[c]);
+        let ok = Update::insert(Wff::Atom(ra), Wff::t());
+        assert!(ok.validate(&vocab, &atoms).is_ok());
+        let bad = Update::insert(Wff::Atom(id), Wff::t());
+        assert!(matches!(
+            bad.validate(&vocab, &atoms),
+            Err(LdmlError::PredicateConstantInUpdate { .. })
+        ));
+        let bad_phi = Update::insert(Wff::Atom(ra), Wff::Atom(id));
+        assert!(bad_phi.validate(&vocab, &atoms).is_err());
+    }
+}

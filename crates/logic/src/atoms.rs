@@ -1,0 +1,217 @@
+//! Interned ground atomic formulas.
+//!
+//! A ground atomic formula such as `Orders(700, 32, 9)` is a predicate
+//! applied to constants. The [`AtomTable`] interns each distinct atom once
+//! and hands out dense [`AtomId`]s; the table is the "index … per predicate,
+//! so that lookup and insertion time is O(log R)" required by the §3.6 cost
+//! model (we use hash maps for the global intern step and `BTreeMap`s for
+//! the per-predicate indices kept in `winslett-theory`).
+
+use crate::symbols::{ConstId, PredId, PredicateKind, Vocabulary};
+use crate::AtomId;
+use rustc_hash::FxHashMap;
+use smallvec::SmallVec;
+use std::fmt;
+
+/// A ground atomic formula: a predicate applied to zero or more constants.
+///
+/// Predicate constants are `GroundAtom`s with an empty argument list.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct GroundAtom {
+    /// The predicate being applied.
+    pub pred: PredId,
+    /// The constant arguments, in positional order.
+    pub args: SmallVec<[ConstId; 3]>,
+}
+
+impl GroundAtom {
+    /// Builds an atom from a predicate and argument slice.
+    pub fn new(pred: PredId, args: &[ConstId]) -> Self {
+        GroundAtom {
+            pred,
+            args: SmallVec::from_slice(args),
+        }
+    }
+
+    /// Builds a 0-ary atom (a predicate constant occurrence).
+    pub fn nullary(pred: PredId) -> Self {
+        GroundAtom {
+            pred,
+            args: SmallVec::new(),
+        }
+    }
+
+    /// Renders the atom using the names in `vocab`.
+    pub fn display<'a>(&'a self, vocab: &'a Vocabulary) -> AtomDisplay<'a> {
+        AtomDisplay { atom: self, vocab }
+    }
+}
+
+/// Helper returned by [`GroundAtom::display`].
+pub struct AtomDisplay<'a> {
+    atom: &'a GroundAtom,
+    vocab: &'a Vocabulary,
+}
+
+impl fmt::Display for AtomDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let p = self.vocab.predicate(self.atom.pred);
+        write!(f, "{}", p.name)?;
+        if !self.atom.args.is_empty() {
+            write!(f, "(")?;
+            for (i, a) in self.atom.args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{}", self.vocab.constant_name(*a))?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// Interning table for ground atoms.
+///
+/// Every distinct ground atom receives a dense [`AtomId`]; the id space is
+/// shared between ordinary atoms and predicate constants so that formulas,
+/// valuations, and SAT variables can all be indexed by one `u32`.
+#[derive(Clone, Default, Debug)]
+pub struct AtomTable {
+    atoms: Vec<GroundAtom>,
+    ids: FxHashMap<GroundAtom, AtomId>,
+}
+
+impl AtomTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `atom`, returning its id. Idempotent.
+    pub fn intern(&mut self, atom: GroundAtom) -> AtomId {
+        if let Some(&id) = self.ids.get(&atom) {
+            return id;
+        }
+        let id = AtomId(u32::try_from(self.atoms.len()).expect("atom table overflow"));
+        self.atoms.push(atom.clone());
+        self.ids.insert(atom, id);
+        id
+    }
+
+    /// Convenience: interns `pred(args…)`.
+    pub fn intern_app(&mut self, pred: PredId, args: &[ConstId]) -> AtomId {
+        self.intern(GroundAtom::new(pred, args))
+    }
+
+    /// Looks up an atom without interning it.
+    pub fn get(&self, atom: &GroundAtom) -> Option<AtomId> {
+        self.ids.get(atom).copied()
+    }
+
+    /// Returns the atom for `id`.
+    pub fn resolve(&self, id: AtomId) -> &GroundAtom {
+        &self.atoms[id.index()]
+    }
+
+    /// Number of interned atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Iterates over `(id, atom)` pairs in allocation order.
+    pub fn iter(&self) -> impl Iterator<Item = (AtomId, &GroundAtom)> {
+        self.atoms
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (AtomId(i as u32), a))
+    }
+
+    /// Whether `id` denotes a predicate-constant occurrence (checked against
+    /// the vocabulary's predicate kinds).
+    pub fn is_predicate_constant(&self, id: AtomId, vocab: &Vocabulary) -> bool {
+        vocab.predicate(self.resolve(id).pred).kind == PredicateKind::PredicateConstant
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::PredicateKind;
+
+    fn vocab_with_orders() -> (Vocabulary, PredId, Vec<ConstId>) {
+        let mut v = Vocabulary::new();
+        let p = v
+            .declare_predicate("Orders", 3, PredicateKind::Relation)
+            .unwrap();
+        let cs = ["700", "32", "9"].iter().map(|c| v.constant(c)).collect();
+        (v, p, cs)
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let (_, p, cs) = vocab_with_orders();
+        let mut t = AtomTable::new();
+        let a1 = t.intern_app(p, &cs);
+        let a2 = t.intern_app(p, &cs);
+        assert_eq!(a1, a2);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn distinct_args_distinct_ids() {
+        let (_, p, cs) = vocab_with_orders();
+        let mut t = AtomTable::new();
+        let a1 = t.intern_app(p, &cs);
+        let a2 = t.intern_app(p, &[cs[0], cs[1], cs[1]]);
+        assert_ne!(a1, a2);
+        assert_eq!(t.resolve(a1).args.as_slice(), cs.as_slice());
+    }
+
+    #[test]
+    fn display_matches_paper_syntax() {
+        let (v, p, cs) = vocab_with_orders();
+        let atom = GroundAtom::new(p, &cs);
+        assert_eq!(atom.display(&v).to_string(), "Orders(700,32,9)");
+    }
+
+    #[test]
+    fn nullary_atom_display_has_no_parens() {
+        let mut v = Vocabulary::new();
+        let p = v.fresh_predicate_constant();
+        let atom = GroundAtom::nullary(p);
+        let s = atom.display(&v).to_string();
+        assert!(s.starts_with("__p"));
+        assert!(!s.contains('('));
+    }
+
+    #[test]
+    fn predicate_constant_detection() {
+        let mut v = Vocabulary::new();
+        let r = v
+            .declare_predicate("R", 1, PredicateKind::Relation)
+            .unwrap();
+        let c = v.constant("a");
+        let pc = v.fresh_predicate_constant();
+        let mut t = AtomTable::new();
+        let ra = t.intern_app(r, &[c]);
+        let pa = t.intern(GroundAtom::nullary(pc));
+        assert!(!t.is_predicate_constant(ra, &v));
+        assert!(t.is_predicate_constant(pa, &v));
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let (_, p, cs) = vocab_with_orders();
+        let mut t = AtomTable::new();
+        let probe = GroundAtom::new(p, &cs);
+        assert_eq!(t.get(&probe), None);
+        let id = t.intern(probe.clone());
+        assert_eq!(t.get(&probe), Some(id));
+    }
+}

@@ -1,0 +1,275 @@
+//! A compact growable bitset.
+//!
+//! Alternative worlds are "truth valuations for all the ground atomic
+//! formulas of T" (§2) — a dense bit per atom. The possible-worlds baseline
+//! engine materializes many of these, so the representation matters: one
+//! `u64` word per 64 atoms, with fast equality/hashing so worlds can be
+//! deduplicated in hash sets.
+
+use std::fmt;
+
+const BITS: usize = 64;
+
+/// A fixed-capacity-free, growable set of bits.
+///
+/// Equality and hashing are *semantic*: two bitsets are equal iff they have
+/// the same set bits, regardless of logical length or capacity.
+#[derive(Clone, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+    /// Logical length in bits; bits at index ≥ `len` are always zero.
+    len: usize,
+}
+
+impl PartialEq for BitSet {
+    fn eq(&self, other: &Self) -> bool {
+        let (short, long) = if self.words.len() <= other.words.len() {
+            (&self.words, &other.words)
+        } else {
+            (&other.words, &self.words)
+        };
+        short
+            .iter()
+            .zip(long.iter())
+            .all(|(a, b)| a == b)
+            && long[short.len()..].iter().all(|&w| w == 0)
+    }
+}
+
+impl Eq for BitSet {}
+
+impl std::hash::Hash for BitSet {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Hash only up to the last nonzero word so equal sets hash equally.
+        let last = self.words.iter().rposition(|&w| w != 0).map_or(0, |i| i + 1);
+        self.words[..last].hash(state);
+    }
+}
+
+impl BitSet {
+    /// Creates an empty bitset of logical length 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a bitset of logical length `len`, all bits clear.
+    pub fn zeros(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(BITS)],
+            len,
+        }
+    }
+
+    /// Logical length in bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the logical length is 0.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Grows the logical length to at least `len` bits (new bits clear).
+    pub fn grow(&mut self, len: usize) {
+        if len > self.len {
+            self.len = len;
+            let need = len.div_ceil(BITS);
+            if need > self.words.len() {
+                self.words.resize(need, 0);
+            }
+        }
+    }
+
+    /// Returns bit `i`. Out-of-range bits read as `false`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        if i >= self.len {
+            return false;
+        }
+        (self.words[i / BITS] >> (i % BITS)) & 1 != 0
+    }
+
+    /// Sets bit `i` to `value`, growing if needed.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        if i >= self.len {
+            self.grow(i + 1);
+        }
+        let w = &mut self.words[i / BITS];
+        let mask = 1u64 << (i % BITS);
+        if value {
+            *w |= mask;
+        } else {
+            *w &= !mask;
+        }
+    }
+
+    /// Flips bit `i`, growing if needed.
+    #[inline]
+    pub fn toggle(&mut self, i: usize) {
+        let v = self.get(i);
+        self.set(i, !v);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates over the indices of set bits in increasing order.
+    pub fn ones(&self) -> Ones<'_> {
+        Ones {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Clears all bits, keeping the logical length.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// Restricts this set to bits also present in `mask` (bitwise AND).
+    ///
+    /// The logical length stays the same; mask bits beyond `mask.len()` are
+    /// treated as zero.
+    pub fn intersect_with(&mut self, mask: &BitSet) {
+        for (i, w) in self.words.iter_mut().enumerate() {
+            *w &= mask.words.get(i).copied().unwrap_or(0);
+        }
+    }
+
+    /// Returns a copy restricted to `mask` (used to project models onto the
+    /// externally visible atoms — dropping predicate constants).
+    pub fn masked(&self, mask: &BitSet) -> BitSet {
+        let mut out = self.clone();
+        out.intersect_with(mask);
+        out
+    }
+}
+
+/// Iterator over set-bit indices. See [`BitSet::ones`].
+pub struct Ones<'a> {
+    set: &'a BitSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let tz = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * BITS + tz);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitSet{{")?;
+        for (k, i) in self.ones().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{i}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = BitSet::new();
+        for i in iter {
+            s.set(i, true);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut b = BitSet::new();
+        b.set(0, true);
+        b.set(63, true);
+        b.set(64, true);
+        b.set(200, true);
+        assert!(b.get(0));
+        assert!(b.get(63));
+        assert!(b.get(64));
+        assert!(b.get(200));
+        assert!(!b.get(1));
+        assert!(!b.get(199));
+        assert!(!b.get(10_000));
+        assert_eq!(b.count_ones(), 4);
+    }
+
+    #[test]
+    fn ones_iterates_in_order() {
+        let b: BitSet = [5usize, 64, 3, 128].into_iter().collect();
+        let v: Vec<_> = b.ones().collect();
+        assert_eq!(v, vec![3, 5, 64, 128]);
+    }
+
+    #[test]
+    fn equality_ignores_trailing_capacity() {
+        let mut a = BitSet::zeros(10);
+        a.set(3, true);
+        let mut b = BitSet::new();
+        b.set(3, true);
+        b.grow(10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn toggle_flips() {
+        let mut b = BitSet::zeros(4);
+        b.toggle(2);
+        assert!(b.get(2));
+        b.toggle(2);
+        assert!(!b.get(2));
+    }
+
+    #[test]
+    fn masked_projects() {
+        let world: BitSet = [0usize, 1, 2, 3].into_iter().collect();
+        let visible: BitSet = [0usize, 2].into_iter().collect();
+        let proj = world.masked(&visible);
+        assert_eq!(proj.ones().collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn clear_keeps_length() {
+        let mut b: BitSet = [1usize, 65].into_iter().collect();
+        let len = b.len();
+        b.clear();
+        assert_eq!(b.len(), len);
+        assert_eq!(b.count_ones(), 0);
+    }
+
+    #[test]
+    fn set_false_beyond_len_grows_without_setting() {
+        let mut b = BitSet::new();
+        b.set(70, false);
+        assert_eq!(b.len(), 71);
+        assert_eq!(b.count_ones(), 0);
+    }
+}

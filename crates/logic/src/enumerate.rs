@@ -1,0 +1,284 @@
+//! Model enumeration — computing the alternative worlds of a set of wffs.
+//!
+//! An alternative world of a theory is "a set of truth valuations for all
+//! the ground atomic formulas of T of arity 1 or more, such that S holds
+//! for some model M of T" (§2). Operationally: enumerate the models of the
+//! conjunction of the theory's wffs, then project away predicate-constant
+//! variables — two models that agree on everything except predicate
+//! constants represent the same alternative world.
+//!
+//! Two engines are provided: [`enumerate_models`] (SAT with blocking
+//! clauses, projected onto a caller-chosen variable set) and
+//! [`enumerate_models_brute`] (exhaustive truth-table sweep), used to
+//! cross-validate each other in tests.
+
+use crate::bitset::BitSet;
+use crate::cnf::Tseitin;
+use crate::error::LogicError;
+use crate::sat::{Lit, SatResult, Var};
+use crate::{AtomId, Wff};
+
+/// Cap on the number of models an enumeration may produce.
+#[derive(Clone, Copy, Debug)]
+pub struct ModelLimit(pub usize);
+
+impl Default for ModelLimit {
+    fn default() -> Self {
+        // Generous for tests and the baseline engine; branching updates can
+        // double the world count, so callers doing repeated updates should
+        // set their own budget.
+        ModelLimit(1 << 20)
+    }
+}
+
+/// Enumerates the models of the conjunction of `wffs`, projected onto the
+/// atoms selected by `projection` (atom indices). Returns each projected
+/// model exactly once, sorted for determinism.
+///
+/// `num_atoms` is the size of the atom universe; every atom of every wff
+/// must lie below it. Atoms in the universe but not in any wff are *free*
+/// and will take both values, multiplying models — this is intentional: the
+/// universe is the completion-axiom atom list, and an atom unconstrained by
+/// the non-axiomatic section genuinely may be either true or false... except
+/// that in a legal extended relational theory every registered atom is
+/// mentioned somewhere. Callers control the universe.
+pub fn enumerate_models(
+    wffs: &[&Wff],
+    num_atoms: usize,
+    projection: &BitSet,
+    limit: ModelLimit,
+) -> Result<Vec<BitSet>, LogicError> {
+    let mut ts = Tseitin::new(num_atoms);
+    for w in wffs {
+        ts.assert_true(w);
+    }
+    let cnf = ts.finish();
+    let mut solver = cnf.into_solver();
+    let proj_vars: Vec<usize> = projection.ones().filter(|&i| i < num_atoms).collect();
+
+    let mut out: Vec<BitSet> = Vec::new();
+    loop {
+        match solver.solve() {
+            SatResult::Unsat => break,
+            SatResult::Sat(model) => {
+                let mut world = BitSet::zeros(num_atoms);
+                for &i in &proj_vars {
+                    if model[i] {
+                        world.set(i, true);
+                    }
+                }
+                // Block this projected model: at least one projected
+                // variable must differ.
+                let block: Vec<Lit> = proj_vars
+                    .iter()
+                    .map(|&i| Lit::new(Var(i as u32), !model[i]))
+                    .collect();
+                out.push(world);
+                if out.len() > limit.0 {
+                    return Err(LogicError::TooManyModels { limit: limit.0 });
+                }
+                if block.is_empty() || !solver.add_clause(&block) {
+                    break; // no projected vars, or blocking made it unsat
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        a.ones()
+            .collect::<Vec<_>>()
+            .cmp(&b.ones().collect::<Vec<_>>())
+    });
+    out.dedup();
+    Ok(out)
+}
+
+/// Exhaustively enumerates models by truth-table sweep (universe ≤ 24
+/// atoms). Used to cross-validate the SAT-based enumerator.
+pub fn enumerate_models_brute(
+    wffs: &[&Wff],
+    num_atoms: usize,
+    projection: &BitSet,
+) -> Result<Vec<BitSet>, LogicError> {
+    if num_atoms > 24 {
+        return Err(LogicError::TooManyModels { limit: 1 << 24 });
+    }
+    let mut out = Vec::new();
+    for mask in 0u64..(1u64 << num_atoms) {
+        let ok = wffs
+            .iter()
+            .all(|w| w.eval(&mut |a: &AtomId| (mask >> a.0) & 1 == 1));
+        if ok {
+            let mut world = BitSet::zeros(num_atoms);
+            for i in 0..num_atoms {
+                if (mask >> i) & 1 == 1 && projection.get(i) {
+                    world.set(i, true);
+                }
+            }
+            out.push(world);
+        }
+    }
+    out.sort_by(|a, b| {
+        a.ones()
+            .collect::<Vec<_>>()
+            .cmp(&b.ones().collect::<Vec<_>>())
+    });
+    out.dedup();
+    Ok(out)
+}
+
+/// The full projection (all atoms visible).
+pub fn full_projection(num_atoms: usize) -> BitSet {
+    (0..num_atoms).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::Formula;
+
+    fn a(i: u32) -> Wff {
+        Formula::Atom(AtomId(i))
+    }
+
+    fn check_agreement(wffs: &[&Wff], num_atoms: usize, projection: &BitSet) -> Vec<BitSet> {
+        let sat = enumerate_models(wffs, num_atoms, projection, ModelLimit::default()).unwrap();
+        let brute = enumerate_models_brute(wffs, num_atoms, projection).unwrap();
+        assert_eq!(sat, brute, "SAT and brute-force enumeration disagree");
+        sat
+    }
+
+    #[test]
+    fn paper_example_insert_a_or_b() {
+        // §3.2: inserting a ∨ b yields three (truth assignments to {a,b}):
+        // {a,b}, {a}, {b}.
+        let w = Wff::or2(a(0), a(1));
+        let models = check_agreement(&[&w], 2, &full_projection(2));
+        assert_eq!(models.len(), 3);
+    }
+
+    #[test]
+    fn paper_example_two_worlds() {
+        // §3.3: non-axiomatic section {a, a ∨ b} has models {a} and {a,b}.
+        let w1 = a(0);
+        let w2 = Wff::or2(a(0), a(1));
+        let models = check_agreement(&[&w1, &w2], 2, &full_projection(2));
+        assert_eq!(models.len(), 2);
+        let sizes: Vec<usize> = models.iter().map(BitSet::count_ones).collect();
+        assert!(sizes.contains(&1) && sizes.contains(&2));
+    }
+
+    #[test]
+    fn projection_merges_models() {
+        // Over {a, p} with no constraints there are 4 models but only 2
+        // projected worlds when p is invisible.
+        let w = Wff::t();
+        let mut proj = BitSet::zeros(2);
+        proj.set(0, true);
+        let models = check_agreement(&[&w], 2, &proj);
+        assert_eq!(models.len(), 2);
+    }
+
+    #[test]
+    fn unsat_theory_has_no_worlds() {
+        let w = Wff::and2(a(0), a(0).not());
+        let models = check_agreement(&[&w], 1, &full_projection(1));
+        assert!(models.is_empty());
+    }
+
+    #[test]
+    fn empty_projection_yields_single_world_if_sat() {
+        let w = Wff::or2(a(0), a(1));
+        let proj = BitSet::zeros(2);
+        let models = check_agreement(&[&w], 2, &proj);
+        assert_eq!(models.len(), 1);
+    }
+
+    #[test]
+    fn limit_enforced() {
+        let r = enumerate_models(&[&Wff::t()], 10, &full_projection(10), ModelLimit(5));
+        assert!(matches!(r, Err(LogicError::TooManyModels { limit: 5 })));
+    }
+
+    #[test]
+    fn paper_branching_example_four_worlds() {
+        // §3.3 branching example final theory over atoms {a=0, b=1, c=2,
+        // p_a=3, p_c=4}:
+        //   p_a, p_a ∨ b, ¬p_c,
+        //   (b ∧ p_a) → (c ∨ a),
+        //   ¬(b ∧ p_a) → (p_a ↔ a),
+        //   ¬(b ∧ p_a) → (p_c ↔ c)
+        // has 4 models / 4 alternative worlds (projection hides p_a, p_c):
+        //   {a}, {b,c}, {b,a}, {b,c,a}.
+        let pa = a(3);
+        let pc = a(4);
+        let sel = Wff::and2(a(1), pa.clone());
+        let wffs: Vec<Wff> = vec![
+            pa.clone(),
+            Wff::or2(pa.clone(), a(1)),
+            pc.clone().not(),
+            Wff::implies(sel.clone(), Wff::or2(a(2), a(0))),
+            Wff::implies(sel.clone().not(), Wff::iff(pa.clone(), a(0))),
+            Wff::implies(sel.not(), Wff::iff(pc, a(2))),
+        ];
+        let refs: Vec<&Wff> = wffs.iter().collect();
+        let mut proj = BitSet::zeros(5);
+        for i in 0..3 {
+            proj.set(i, true);
+        }
+        let models = check_agreement(&refs, 5, &proj);
+        let expected: Vec<BitSet> = vec![
+            [0usize].into_iter().collect(),
+            [0usize, 1].into_iter().collect(),
+            [0usize, 1, 2].into_iter().collect(),
+            [1usize, 2].into_iter().collect(),
+        ];
+        let mut expected = expected;
+        expected.sort_by_key(|x| x.ones().collect::<Vec<_>>());
+        assert_eq!(models, expected);
+    }
+
+    #[test]
+    fn random_formulas_agree() {
+        let mut state = 0xDEADBEEFu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..100 {
+            let n = 2 + (next() % 5) as usize;
+            let w = random_wff(&mut next, n, 3);
+            check_agreement(&[&w], n, &full_projection(n));
+        }
+    }
+
+    fn random_wff(next: &mut impl FnMut() -> u64, num_atoms: usize, depth: usize) -> Wff {
+        if depth == 0 || next().is_multiple_of(4) {
+            return match next() % 5 {
+                0 => Wff::t(),
+                1 => Wff::f(),
+                _ => a((next() % num_atoms as u64) as u32),
+            };
+        }
+        match next() % 5 {
+            0 => random_wff(next, num_atoms, depth - 1).not(),
+            1 => Wff::and2(
+                random_wff(next, num_atoms, depth - 1),
+                random_wff(next, num_atoms, depth - 1),
+            ),
+            2 => Wff::or2(
+                random_wff(next, num_atoms, depth - 1),
+                random_wff(next, num_atoms, depth - 1),
+            ),
+            3 => Wff::implies(
+                random_wff(next, num_atoms, depth - 1),
+                random_wff(next, num_atoms, depth - 1),
+            ),
+            _ => Wff::iff(
+                random_wff(next, num_atoms, depth - 1),
+                random_wff(next, num_atoms, depth - 1),
+            ),
+        }
+    }
+}

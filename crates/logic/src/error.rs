@@ -1,0 +1,98 @@
+//! Error types for the logic kernel.
+
+use std::fmt;
+
+/// Errors produced by the logic kernel: parsing, arity checking, and
+/// resource limits during model enumeration.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LogicError {
+    /// The parser encountered malformed input.
+    Parse {
+        /// Byte offset into the input where the error was detected.
+        offset: usize,
+        /// Human-readable description of what went wrong.
+        message: String,
+    },
+    /// A predicate was applied to the wrong number of arguments.
+    ArityMismatch {
+        /// Name of the predicate.
+        predicate: String,
+        /// Declared arity.
+        expected: usize,
+        /// Number of arguments supplied.
+        got: usize,
+    },
+    /// A name was looked up that the vocabulary does not contain.
+    UnknownSymbol {
+        /// The unresolved name.
+        name: String,
+        /// What kind of symbol was expected ("predicate" or "constant").
+        kind: &'static str,
+    },
+    /// Model enumeration exceeded the caller-supplied limit.
+    TooManyModels {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+    /// The formula mentions an atom outside the expected universe.
+    AtomOutOfUniverse {
+        /// Display form of the offending atom.
+        atom: String,
+    },
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            LogicError::ArityMismatch {
+                predicate,
+                expected,
+                got,
+            } => write!(
+                f,
+                "predicate `{predicate}` has arity {expected} but was applied to {got} arguments"
+            ),
+            LogicError::UnknownSymbol { name, kind } => {
+                write!(f, "unknown {kind} `{name}`")
+            }
+            LogicError::TooManyModels { limit } => {
+                write!(f, "model enumeration exceeded the limit of {limit} models")
+            }
+            LogicError::AtomOutOfUniverse { atom } => {
+                write!(f, "atom `{atom}` lies outside the theory's atom universe")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LogicError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LogicError::ArityMismatch {
+            predicate: "Orders".into(),
+            expected: 3,
+            got: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("Orders"));
+        assert!(s.contains('3'));
+        assert!(s.contains('2'));
+    }
+
+    #[test]
+    fn parse_error_reports_offset() {
+        let e = LogicError::Parse {
+            offset: 7,
+            message: "expected ')'".into(),
+        };
+        assert!(e.to_string().contains("byte 7"));
+    }
+}

@@ -1,0 +1,214 @@
+//! Negation normal form and small-formula semantic analysis.
+//!
+//! Utilities used by the §4 simplifier: pushing negations down to literals
+//! ([`to_nnf`]) and extracting *forced literals* from small formulas
+//! ([`forced_literals`]) — atoms whose truth value is the same in every
+//! satisfying valuation of the formula, so `f ≡ lit ∧ f[lit]` and the unit
+//! can be split out for propagation.
+
+use crate::formula::Formula;
+
+/// Converts a formula to negation normal form: negations appear only
+/// directly above atoms, and `→`/`↔` are expanded. Semantics-preserving.
+pub fn to_nnf<A: Copy + Ord>(w: &Formula<A>) -> Formula<A> {
+    nnf(w, false)
+}
+
+fn nnf<A: Copy + Ord>(w: &Formula<A>, negate: bool) -> Formula<A> {
+    match w {
+        Formula::Truth(b) => Formula::Truth(*b != negate),
+        Formula::Atom(a) => {
+            if negate {
+                Formula::Atom(*a).not()
+            } else {
+                Formula::Atom(*a)
+            }
+        }
+        Formula::Not(x) => nnf(x, !negate),
+        Formula::And(xs) => {
+            let parts: Vec<_> = xs.iter().map(|x| nnf(x, negate)).collect();
+            if negate {
+                Formula::or(parts)
+            } else {
+                Formula::and(parts)
+            }
+        }
+        Formula::Or(xs) => {
+            let parts: Vec<_> = xs.iter().map(|x| nnf(x, negate)).collect();
+            if negate {
+                Formula::and(parts)
+            } else {
+                Formula::or(parts)
+            }
+        }
+        Formula::Implies(a, b) => {
+            // a → b ≡ ¬a ∨ b; negated: a ∧ ¬b.
+            if negate {
+                Formula::and(vec![nnf(a, false), nnf(b, true)])
+            } else {
+                Formula::or(vec![nnf(a, true), nnf(b, false)])
+            }
+        }
+        Formula::Iff(a, b) => {
+            // a ↔ b ≡ (a ∧ b) ∨ (¬a ∧ ¬b); negated: (a ∧ ¬b) ∨ (¬a ∧ b).
+            if negate {
+                Formula::or(vec![
+                    Formula::and(vec![nnf(a, false), nnf(b, true)]),
+                    Formula::and(vec![nnf(a, true), nnf(b, false)]),
+                ])
+            } else {
+                Formula::or(vec![
+                    Formula::and(vec![nnf(a, false), nnf(b, false)]),
+                    Formula::and(vec![nnf(a, true), nnf(b, true)]),
+                ])
+            }
+        }
+    }
+}
+
+/// For a formula over at most `max_atoms` distinct atoms, computes the
+/// literals it forces: `(atom, value)` pairs such that every satisfying
+/// valuation assigns `atom := value`. Returns `None` when the formula is
+/// too large to sweep or has no satisfying valuation at all (the caller
+/// should treat unsatisfiable formulas separately).
+pub fn forced_literals<A: Copy + Ord>(
+    w: &Formula<A>,
+    max_atoms: usize,
+) -> Option<Vec<(A, bool)>> {
+    let atoms: Vec<A> = w.atom_set().into_iter().collect();
+    if atoms.len() > max_atoms || atoms.len() > 20 {
+        return None;
+    }
+    let mut always_true = vec![true; atoms.len()];
+    let mut always_false = vec![true; atoms.len()];
+    let mut satisfiable = false;
+    for mask in 0u32..(1u32 << atoms.len()) {
+        let ok = w.eval(&mut |a: &A| {
+            let i = atoms.iter().position(|x| x == a).expect("atom in set");
+            (mask >> i) & 1 == 1
+        });
+        if ok {
+            satisfiable = true;
+            for (i, _) in atoms.iter().enumerate() {
+                if (mask >> i) & 1 == 1 {
+                    always_false[i] = false;
+                } else {
+                    always_true[i] = false;
+                }
+            }
+        }
+    }
+    if !satisfiable {
+        return None;
+    }
+    let mut out = Vec::new();
+    for (i, &a) in atoms.iter().enumerate() {
+        if always_true[i] {
+            out.push((a, true));
+        } else if always_false[i] {
+            out.push((a, false));
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AtomId, Wff};
+
+    fn a(i: u32) -> Wff {
+        Formula::Atom(AtomId(i))
+    }
+
+    fn equivalent(x: &Wff, y: &Wff, n: usize) -> bool {
+        (0u32..(1 << n)).all(|mask| {
+            let mut env = |at: &AtomId| (mask >> at.0) & 1 == 1;
+            x.eval(&mut env) == y.eval(&mut env)
+        })
+    }
+
+    #[test]
+    fn nnf_pushes_negations_to_literals() {
+        let w = Wff::implies(Wff::and2(a(0), a(1)), Wff::iff(a(2), a(0))).not();
+        let n = to_nnf(&w);
+        assert!(equivalent(&w, &n, 3));
+        // No Not above anything but an atom.
+        fn check(w: &Wff) {
+            match w {
+                Formula::Not(x) => assert!(matches!(**x, Formula::Atom(_)), "bad NNF: {w:?}"),
+                Formula::And(xs) | Formula::Or(xs) => xs.iter().for_each(check),
+                Formula::Implies(_, _) | Formula::Iff(_, _) => {
+                    panic!("connective survived NNF: {w:?}")
+                }
+                _ => {}
+            }
+        }
+        check(&n);
+    }
+
+    #[test]
+    fn nnf_handles_truth_values() {
+        assert_eq!(to_nnf(&Wff::t().not()), Wff::f());
+        assert_eq!(to_nnf(&Wff::implies(a(0), Wff::f())), a(0).not());
+    }
+
+    #[test]
+    fn nnf_random_equivalence() {
+        let mut state = 77u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..200 {
+            let w = random(&mut next, 3);
+            assert!(equivalent(&w, &to_nnf(&w), 4), "nnf broke {w:?}");
+        }
+    }
+
+    fn random(next: &mut impl FnMut() -> u64, depth: usize) -> Wff {
+        if depth == 0 || next().is_multiple_of(3) {
+            return match next() % 6 {
+                0 => Wff::t(),
+                1 => Wff::f(),
+                _ => a((next() % 4) as u32),
+            };
+        }
+        match next() % 5 {
+            0 => random(next, depth - 1).not(),
+            1 => Formula::And(vec![random(next, depth - 1), random(next, depth - 1)]),
+            2 => Formula::Or(vec![random(next, depth - 1), random(next, depth - 1)]),
+            3 => Wff::implies(random(next, depth - 1), random(next, depth - 1)),
+            _ => Wff::iff(random(next, depth - 1), random(next, depth - 1)),
+        }
+    }
+
+    #[test]
+    fn forced_literals_found() {
+        // a ∧ (b ∨ c): forces a, nothing else.
+        let w = Formula::And(vec![a(0), Formula::Or(vec![a(1), a(2)])]);
+        let forced = forced_literals(&w, 8).unwrap();
+        assert_eq!(forced, vec![(AtomId(0), true)]);
+        // ¬a ∧ (a ∨ b): forces ¬a and b.
+        let w = Formula::And(vec![a(0).not(), Formula::Or(vec![a(0), a(1)])]);
+        let mut forced = forced_literals(&w, 8).unwrap();
+        forced.sort();
+        assert_eq!(forced, vec![(AtomId(0), false), (AtomId(1), true)]);
+    }
+
+    #[test]
+    fn forced_literals_none_when_free() {
+        let w = Formula::Or(vec![a(0), a(1)]);
+        assert_eq!(forced_literals(&w, 8).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn forced_literals_unsat_or_oversized() {
+        let w = Formula::And(vec![a(0), a(0).not()]);
+        assert_eq!(forced_literals(&w, 8), None); // unsat
+        let wide = Formula::Or((0..10).map(a).collect());
+        assert_eq!(forced_literals(&wide, 4), None); // too many atoms
+    }
+}

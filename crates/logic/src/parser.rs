@@ -1,0 +1,437 @@
+//! A parser for the concrete wff syntax used in the paper's examples.
+//!
+//! Grammar (precedence low → high; `→` is right-associative):
+//!
+//! ```text
+//! wff     := iff
+//! iff     := imp ( ("<->" | "↔") imp )*
+//! imp     := or  ( ("->"  | "→") imp )?
+//! or      := and ( ("|" | "∨" | "\/") and )*
+//! and     := neg ( ("&" | "∧" | "/\") neg )*
+//! neg     := ("!" | "~" | "¬") neg | primary
+//! primary := "T" | "F" | "(" wff ")" | atom
+//! atom    := IDENT [ "(" term ("," term)* ")" ]
+//! term    := IDENT | NUMBER
+//! ```
+//!
+//! `T`/`F` are the truth-value symbols of the language (§2 item 5); a bare
+//! identifier is a 0-ary predicate application. Parsing interns symbols and
+//! atoms through a [`ParseContext`], which either declares unknown symbols
+//! on the fly (handy in tests and examples) or rejects them (the strict mode
+//! used by the query layer, where predicate constants must stay invisible).
+
+use crate::atoms::{AtomTable, GroundAtom};
+use crate::error::LogicError;
+use crate::formula::Wff;
+use crate::symbols::{ConstId, PredicateKind, Vocabulary};
+
+/// Interning environment handed to [`parse_wff`].
+pub struct ParseContext<'a> {
+    /// The vocabulary to resolve (or extend with) predicates and constants.
+    pub vocab: &'a mut Vocabulary,
+    /// The atom table to intern atoms into.
+    pub atoms: &'a mut AtomTable,
+    /// When `true`, unknown predicates/constants are declared on first use;
+    /// when `false`, they raise [`LogicError::UnknownSymbol`].
+    pub declare: bool,
+    /// When `false`, predicate constants (`__p…` and any other 0-ary
+    /// predicate of kind [`PredicateKind::PredicateConstant`]) are rejected —
+    /// the paper requires that "they may not appear in any query posed to
+    /// the database".
+    pub allow_predicate_constants: bool,
+}
+
+impl<'a> ParseContext<'a> {
+    /// A permissive context: declare unknown symbols, allow predicate
+    /// constants.
+    pub fn permissive(vocab: &'a mut Vocabulary, atoms: &'a mut AtomTable) -> Self {
+        ParseContext {
+            vocab,
+            atoms,
+            declare: true,
+            allow_predicate_constants: true,
+        }
+    }
+
+    /// A strict context: every symbol must already exist and predicate
+    /// constants are rejected (suitable for user queries and updates).
+    pub fn strict(vocab: &'a mut Vocabulary, atoms: &'a mut AtomTable) -> Self {
+        ParseContext {
+            vocab,
+            atoms,
+            declare: false,
+            allow_predicate_constants: false,
+        }
+    }
+}
+
+/// Parses `input` as a ground wff, interning through `ctx`.
+///
+/// ```
+/// use winslett_logic::{parse_wff, AtomTable, ParseContext, Vocabulary};
+///
+/// let mut vocab = Vocabulary::new();
+/// let mut atoms = AtomTable::new();
+/// let mut ctx = ParseContext::permissive(&mut vocab, &mut atoms);
+/// let w = parse_wff("Orders(700,32,9) -> !InStock(32,1) | T", &mut ctx)?;
+/// assert_eq!(w.atom_set().len(), 2);
+/// # Ok::<(), winslett_logic::LogicError>(())
+/// ```
+pub fn parse_wff(input: &str, ctx: &mut ParseContext<'_>) -> Result<Wff, LogicError> {
+    let mut p = Parser {
+        src: input,
+        bytes: input.as_bytes(),
+        pos: 0,
+        ctx,
+    };
+    p.skip_ws();
+    let wff = p.parse_iff()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("unexpected trailing input"));
+    }
+    Ok(wff)
+}
+
+struct Parser<'a, 'b> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    ctx: &'a mut ParseContext<'b>,
+}
+
+impl Parser<'_, '_> {
+    fn err(&self, message: impl Into<String>) -> LogicError {
+        LogicError::Parse {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek_str(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s)
+    }
+
+    fn eat_str(&mut self, s: &str) -> bool {
+        if self.peek_str(s) {
+            self.pos += s.len();
+            self.skip_ws();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_any(&mut self, options: &[&str]) -> bool {
+        options.iter().any(|s| self.eat_str(s))
+    }
+
+    fn parse_iff(&mut self) -> Result<Wff, LogicError> {
+        let mut lhs = self.parse_imp()?;
+        while self.eat_any(&["<->", "↔"]) {
+            let rhs = self.parse_imp()?;
+            lhs = Wff::iff(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_imp(&mut self) -> Result<Wff, LogicError> {
+        let lhs = self.parse_or()?;
+        if self.eat_any(&["->", "→"]) {
+            let rhs = self.parse_imp()?; // right-associative
+            Ok(Wff::implies(lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Wff, LogicError> {
+        let mut parts = vec![self.parse_and()?];
+        while self.eat_any(&["\\/", "∨", "|"]) {
+            parts.push(self.parse_and()?);
+        }
+        if parts.len() == 1 {
+            Ok(parts.pop().expect("len checked"))
+        } else {
+            Ok(Wff::Or(parts))
+        }
+    }
+
+    fn parse_and(&mut self) -> Result<Wff, LogicError> {
+        let mut parts = vec![self.parse_neg()?];
+        while self.eat_any(&["/\\", "∧", "&"]) {
+            parts.push(self.parse_neg()?);
+        }
+        if parts.len() == 1 {
+            Ok(parts.pop().expect("len checked"))
+        } else {
+            Ok(Wff::And(parts))
+        }
+    }
+
+    fn parse_neg(&mut self) -> Result<Wff, LogicError> {
+        if self.eat_any(&["!", "~", "¬"]) {
+            Ok(self.parse_neg()?.not())
+        } else {
+            self.parse_primary()
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Wff, LogicError> {
+        if self.eat_str("(") {
+            let inner = self.parse_iff()?;
+            if !self.eat_str(")") {
+                return Err(self.err("expected ')'"));
+            }
+            return Ok(inner);
+        }
+        let ident = self.parse_ident()?;
+        // Truth values are reserved single letters.
+        if ident == "T" && !self.peek_str("(") {
+            self.skip_ws();
+            return Ok(Wff::t());
+        }
+        if ident == "F" && !self.peek_str("(") {
+            self.skip_ws();
+            return Ok(Wff::f());
+        }
+        self.parse_atom_rest(ident)
+    }
+
+    fn parse_atom_rest(&mut self, name: String) -> Result<Wff, LogicError> {
+        let mut args: Vec<ConstId> = Vec::new();
+        if self.peek_str("(") {
+            self.eat_str("(");
+            loop {
+                let term = self.parse_ident()?;
+                self.skip_ws();
+                let cid = if self.ctx.declare {
+                    self.ctx.vocab.constant(&term)
+                } else {
+                    self.ctx
+                        .vocab
+                        .find_constant(&term)
+                        .ok_or(LogicError::UnknownSymbol {
+                            name: term.clone(),
+                            kind: "constant",
+                        })?
+                };
+                args.push(cid);
+                if self.eat_str(",") {
+                    continue;
+                }
+                if self.eat_str(")") {
+                    break;
+                }
+                return Err(self.err("expected ',' or ')' in argument list"));
+            }
+        } else {
+            self.skip_ws();
+        }
+
+        let pred = match self.ctx.vocab.find_predicate(&name) {
+            Some(p) => {
+                let decl = self.ctx.vocab.predicate(p);
+                if decl.arity != args.len() {
+                    return Err(LogicError::ArityMismatch {
+                        predicate: name,
+                        expected: decl.arity,
+                        got: args.len(),
+                    });
+                }
+                if decl.kind == PredicateKind::PredicateConstant
+                    && !self.ctx.allow_predicate_constants
+                {
+                    return Err(LogicError::UnknownSymbol {
+                        name,
+                        kind: "predicate",
+                    });
+                }
+                p
+            }
+            None => {
+                if !self.ctx.declare {
+                    return Err(LogicError::UnknownSymbol {
+                        name,
+                        kind: "predicate",
+                    });
+                }
+                let kind = if args.is_empty() {
+                    PredicateKind::PredicateConstant
+                } else {
+                    PredicateKind::Relation
+                };
+                self.ctx
+                    .vocab
+                    .declare_predicate(&name, args.len(), kind)
+                    .ok_or(LogicError::UnknownSymbol {
+                        name,
+                        kind: "predicate",
+                    })?
+            }
+        };
+        let id = self.ctx.atoms.intern(GroundAtom {
+            pred,
+            args: args.into_iter().collect(),
+        });
+        Ok(Wff::Atom(id))
+    }
+
+    fn parse_ident(&mut self) -> Result<String, LogicError> {
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_alphanumeric() || b == b'_' || b == b'\'' || b == b'.' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected identifier"));
+        }
+        Ok(self.src[start..self.pos].to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::Formula;
+
+    fn setup() -> (Vocabulary, AtomTable) {
+        (Vocabulary::new(), AtomTable::new())
+    }
+
+    #[test]
+    fn parses_truth_values() {
+        let (mut v, mut t) = setup();
+        let mut ctx = ParseContext::permissive(&mut v, &mut t);
+        assert_eq!(parse_wff("T", &mut ctx).unwrap(), Wff::t());
+        assert_eq!(parse_wff("F", &mut ctx).unwrap(), Wff::f());
+    }
+
+    #[test]
+    fn parses_paper_example_atom() {
+        let (mut v, mut t) = setup();
+        let mut ctx = ParseContext::permissive(&mut v, &mut t);
+        let w = parse_wff("Orders(700,32,9)", &mut ctx).unwrap();
+        match w {
+            Formula::Atom(id) => {
+                let atom = t.resolve(id);
+                assert_eq!(v.predicate(atom.pred).name, "Orders");
+                assert_eq!(atom.args.len(), 3);
+            }
+            other => panic!("expected atom, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_not_and_or() {
+        let (mut v, mut t) = setup();
+        let mut ctx = ParseContext::permissive(&mut v, &mut t);
+        // !a & b | c  ==  ((!a & b) | c)
+        let w = parse_wff("!a & b | c", &mut ctx).unwrap();
+        match w {
+            Formula::Or(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(parts[0], Formula::And(_)));
+            }
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn implication_right_associative() {
+        let (mut v, mut t) = setup();
+        let mut ctx = ParseContext::permissive(&mut v, &mut t);
+        // a -> b -> c  ==  a -> (b -> c)
+        let w = parse_wff("a -> b -> c", &mut ctx).unwrap();
+        match w {
+            Formula::Implies(_, rhs) => assert!(matches!(*rhs, Formula::Implies(_, _))),
+            other => panic!("expected Implies, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unicode_connectives() {
+        let (mut v, mut t) = setup();
+        let mut ctx = ParseContext::permissive(&mut v, &mut t);
+        let w1 = parse_wff("¬a ∧ (b ∨ c) → d ↔ e", &mut ctx).unwrap();
+        let w2 = parse_wff("!a & (b | c) -> d <-> e", &mut ctx).unwrap();
+        assert_eq!(w1, w2);
+    }
+
+    #[test]
+    fn same_atom_interned_once() {
+        let (mut v, mut t) = setup();
+        let mut ctx = ParseContext::permissive(&mut v, &mut t);
+        let w = parse_wff("R(a) & R(a)", &mut ctx).unwrap();
+        assert_eq!(w.atom_set().len(), 1);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn strict_mode_rejects_unknown_symbols() {
+        let (mut v, mut t) = setup();
+        {
+            let mut ctx = ParseContext::permissive(&mut v, &mut t);
+            parse_wff("R(a)", &mut ctx).unwrap();
+        }
+        let mut strict = ParseContext::strict(&mut v, &mut t);
+        assert!(parse_wff("R(a)", &mut strict).is_ok());
+        assert!(matches!(
+            parse_wff("S(a)", &mut strict),
+            Err(LogicError::UnknownSymbol { kind: "predicate", .. })
+        ));
+        assert!(matches!(
+            parse_wff("R(zzz)", &mut strict),
+            Err(LogicError::UnknownSymbol { kind: "constant", .. })
+        ));
+    }
+
+    #[test]
+    fn strict_mode_rejects_predicate_constants() {
+        let (mut v, mut t) = setup();
+        let pc = v.fresh_predicate_constant();
+        let name = v.predicate(pc).name.clone();
+        let mut strict = ParseContext::strict(&mut v, &mut t);
+        assert!(parse_wff(&name, &mut strict).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let (mut v, mut t) = setup();
+        let mut ctx = ParseContext::permissive(&mut v, &mut t);
+        parse_wff("R(a,b)", &mut ctx).unwrap();
+        assert!(matches!(
+            parse_wff("R(a)", &mut ctx),
+            Err(LogicError::ArityMismatch { expected: 2, got: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let (mut v, mut t) = setup();
+        let mut ctx = ParseContext::permissive(&mut v, &mut t);
+        assert!(parse_wff("a b", &mut ctx).is_err());
+        assert!(parse_wff("(a", &mut ctx).is_err());
+        assert!(parse_wff("", &mut ctx).is_err());
+        assert!(parse_wff("&", &mut ctx).is_err());
+    }
+
+    #[test]
+    fn t_as_predicate_name_is_allowed_with_args() {
+        // `T(x)` is a relation named T, not the truth value.
+        let (mut v, mut t) = setup();
+        let mut ctx = ParseContext::permissive(&mut v, &mut t);
+        let w = parse_wff("T(x)", &mut ctx).unwrap();
+        assert!(matches!(w, Formula::Atom(_)));
+    }
+}

@@ -1,0 +1,210 @@
+//! Pretty-printing of wffs in the same concrete syntax the parser accepts,
+//! so that `parse(print(w)) == w` (up to the flattening the smart
+//! constructors perform — see the round-trip property test).
+
+use crate::atoms::AtomTable;
+use crate::formula::{Formula, Wff};
+use crate::symbols::Vocabulary;
+use std::fmt;
+
+/// Binding strength, used to decide where parentheses are required.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Prec {
+    Iff = 0,
+    Imp = 1,
+    Or = 2,
+    And = 3,
+    Neg = 4,
+    Atom = 5,
+}
+
+/// Lazily formats `wff` using the names in `vocab`/`atoms`.
+pub fn display_wff<'a>(wff: &'a Wff, vocab: &'a Vocabulary, atoms: &'a AtomTable) -> WffDisplay<'a> {
+    WffDisplay { wff, vocab, atoms }
+}
+
+/// Helper returned by [`display_wff`]; implements [`fmt::Display`].
+pub struct WffDisplay<'a> {
+    wff: &'a Wff,
+    vocab: &'a Vocabulary,
+    atoms: &'a AtomTable,
+}
+
+impl fmt::Display for WffDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_prec(self.wff, self.vocab, self.atoms, Prec::Iff, f)
+    }
+}
+
+fn write_prec(
+    w: &Wff,
+    vocab: &Vocabulary,
+    atoms: &AtomTable,
+    ambient: Prec,
+    f: &mut fmt::Formatter<'_>,
+) -> fmt::Result {
+    let mine = prec_of(w);
+    let need_parens = mine < ambient;
+    if need_parens {
+        write!(f, "(")?;
+    }
+    match w {
+        Formula::Truth(true) => write!(f, "T")?,
+        Formula::Truth(false) => write!(f, "F")?,
+        Formula::Atom(id) => write!(f, "{}", atoms.resolve(*id).display(vocab))?,
+        Formula::Not(x) => {
+            write!(f, "!")?;
+            write_prec(x, vocab, atoms, Prec::Neg, f)?;
+        }
+        Formula::And(xs) => {
+            if xs.is_empty() {
+                write!(f, "T")?;
+            }
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " & ")?;
+                }
+                write_prec(x, vocab, atoms, Prec::Neg, f)?;
+            }
+        }
+        Formula::Or(xs) => {
+            if xs.is_empty() {
+                write!(f, "F")?;
+            }
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                write_prec(x, vocab, atoms, Prec::And, f)?;
+            }
+        }
+        Formula::Implies(a, b) => {
+            write_prec(a, vocab, atoms, Prec::Or, f)?;
+            write!(f, " -> ")?;
+            // Right-associative: the rhs may be another implication without
+            // parentheses.
+            write_prec(b, vocab, atoms, Prec::Imp, f)?;
+        }
+        Formula::Iff(a, b) => {
+            write_prec(a, vocab, atoms, Prec::Imp, f)?;
+            write!(f, " <-> ")?;
+            write_prec(b, vocab, atoms, Prec::Imp, f)?;
+        }
+    }
+    if need_parens {
+        write!(f, ")")?;
+    }
+    Ok(())
+}
+
+fn prec_of(w: &Wff) -> Prec {
+    match w {
+        Formula::Truth(_) | Formula::Atom(_) => Prec::Atom,
+        Formula::Not(_) => Prec::Neg,
+        Formula::And(xs) => {
+            if xs.len() <= 1 {
+                Prec::Atom
+            } else {
+                Prec::And
+            }
+        }
+        Formula::Or(xs) => {
+            if xs.len() <= 1 {
+                Prec::Atom
+            } else {
+                Prec::Or
+            }
+        }
+        Formula::Implies(_, _) => Prec::Imp,
+        Formula::Iff(_, _) => Prec::Iff,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_wff, ParseContext};
+
+    fn roundtrip(src: &str) -> (String, Wff, Wff) {
+        let mut v = Vocabulary::new();
+        let mut t = AtomTable::new();
+        let mut ctx = ParseContext::permissive(&mut v, &mut t);
+        let w = parse_wff(src, &mut ctx).unwrap();
+        let printed = display_wff(&w, &v, &t).to_string();
+        let mut ctx2 = ParseContext::permissive(&mut v, &mut t);
+        let reparsed = parse_wff(&printed, &mut ctx2).unwrap();
+        (printed, w, reparsed)
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        for src in [
+            "T",
+            "F",
+            "Orders(700,32,9)",
+            "!a",
+            "a & b & c",
+            "a | b | c",
+            "a -> b",
+            "a <-> b",
+            "(a | b) & c",
+            "a | b & c",
+            "!(a -> b)",
+            "a -> b -> c",
+            "!(a <-> b) | (c & !d)",
+        ] {
+            let (printed, w, reparsed) = roundtrip(src);
+            assert_eq!(w, reparsed, "roundtrip failed for `{src}` via `{printed}`");
+        }
+    }
+
+    #[test]
+    fn printing_matches_paper_style() {
+        let mut v = Vocabulary::new();
+        let mut t = AtomTable::new();
+        let mut ctx = ParseContext::permissive(&mut v, &mut t);
+        let w = parse_wff("(b & p_a) -> (!a & a1)", &mut ctx).unwrap();
+        let s = display_wff(&w, &v, &t).to_string();
+        assert_eq!(s, "b & p_a -> !a & a1");
+    }
+
+    #[test]
+    fn nullary_atoms_and_truths_print_bare() {
+        let mut v = Vocabulary::new();
+        let mut t = AtomTable::new();
+        let mut ctx = ParseContext::permissive(&mut v, &mut t);
+        let w = parse_wff("p & T | F", &mut ctx).unwrap();
+        let s = display_wff(&w, &v, &t).to_string();
+        assert_eq!(s, "p & T | F");
+    }
+
+    #[test]
+    fn deeply_nested_roundtrip() {
+        let src = "((a -> b) <-> (c | (d & !e))) & !(f -> (g <-> h))";
+        let (printed, w, reparsed) = roundtrip(src);
+        assert_eq!(w, reparsed, "via `{printed}`");
+    }
+
+    #[test]
+    fn single_element_and_or_print_without_connective() {
+        // And/Or with one element print as the element itself.
+        let mut v = Vocabulary::new();
+        let mut t = AtomTable::new();
+        let mut ctx = ParseContext::permissive(&mut v, &mut t);
+        let a = parse_wff("a", &mut ctx).unwrap();
+        let one_and = Formula::And(vec![a.clone()]);
+        let s = display_wff(&one_and, &v, &t).to_string();
+        assert_eq!(s, "a");
+        let one_or = Formula::Or(vec![a]);
+        let s = display_wff(&one_or, &v, &t).to_string();
+        assert_eq!(s, "a");
+    }
+
+    #[test]
+    fn parens_preserved_where_needed() {
+        let (printed, _, _) = roundtrip("(a | b) & c");
+        assert!(printed.contains('('), "needed parens dropped: {printed}");
+        let (printed2, _, _) = roundtrip("a | b & c");
+        assert!(!printed2.contains('('), "spurious parens added: {printed2}");
+    }
+}

@@ -1,0 +1,186 @@
+//! Truth valuations over the atom universe.
+//!
+//! The paper's Theorem 3 works with *valuations*: "a set of truth
+//! assignments to all the ground atomic formulas of a wff". [`Valuation`]
+//! is a partial assignment — each atom is either unassigned or assigned a
+//! boolean — so it can represent both the total valuations of alternative
+//! worlds and the projected valuations `v₂ ⊆ v₁` of Theorem 3.
+
+use crate::bitset::BitSet;
+use crate::AtomId;
+
+/// A partial truth assignment over [`AtomId`]s.
+#[derive(Clone, PartialEq, Eq, Hash, Default, Debug)]
+pub struct Valuation {
+    values: BitSet,
+    defined: BitSet,
+}
+
+impl Valuation {
+    /// The empty (everywhere-undefined) valuation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A total valuation over atoms `0..n`, everything false.
+    pub fn all_false(n: usize) -> Self {
+        Valuation {
+            values: BitSet::zeros(n),
+            defined: (0..n).collect(),
+        }
+    }
+
+    /// Builds a total valuation over atoms `0..n` from the set of true atoms.
+    pub fn from_true_set(true_atoms: &BitSet, n: usize) -> Self {
+        let mut v = Valuation::all_false(n);
+        for i in true_atoms.ones() {
+            v.assign(AtomId(i as u32), true);
+        }
+        v
+    }
+
+    /// Assigns `atom := value`.
+    pub fn assign(&mut self, atom: AtomId, value: bool) {
+        self.values.set(atom.index(), value);
+        self.defined.set(atom.index(), true);
+    }
+
+    /// Removes any assignment for `atom`.
+    pub fn unassign(&mut self, atom: AtomId) {
+        self.values.set(atom.index(), false);
+        self.defined.set(atom.index(), false);
+    }
+
+    /// The value assigned to `atom`, if any.
+    pub fn get(&self, atom: AtomId) -> Option<bool> {
+        self.defined
+            .get(atom.index())
+            .then(|| self.values.get(atom.index()))
+    }
+
+    /// Whether `atom` has an assignment.
+    pub fn is_defined(&self, atom: AtomId) -> bool {
+        self.defined.get(atom.index())
+    }
+
+    /// Number of assigned atoms.
+    pub fn len(&self) -> usize {
+        self.defined.count_ones()
+    }
+
+    /// Whether no atom is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over `(atom, value)` pairs in atom order.
+    pub fn iter(&self) -> impl Iterator<Item = (AtomId, bool)> + '_ {
+        self.defined
+            .ones()
+            .map(move |i| (AtomId(i as u32), self.values.get(i)))
+    }
+
+    /// Restricts to the atoms in `atoms` — the projection `v₂` of Theorem 3.
+    pub fn project(&self, atoms: &BitSet) -> Valuation {
+        Valuation {
+            values: self.values.masked(atoms),
+            defined: self.defined.masked(atoms),
+        }
+    }
+
+    /// Whether `self` agrees with `other` on every atom where *both* are
+    /// defined.
+    pub fn agrees_with(&self, other: &Valuation) -> bool {
+        self.iter()
+            .all(|(a, v)| other.get(a).is_none_or(|w| w == v))
+    }
+
+    /// Whether every assignment of `other` also holds in `self`
+    /// (i.e. `other ⊆ self` as partial functions).
+    pub fn extends(&self, other: &Valuation) -> bool {
+        other.iter().all(|(a, v)| self.get(a) == Some(v))
+    }
+
+    /// The set of true atoms, as a bitset (the alternative-world snapshot).
+    pub fn true_set(&self) -> BitSet {
+        self.values.clone()
+    }
+}
+
+impl FromIterator<(AtomId, bool)> for Valuation {
+    fn from_iter<I: IntoIterator<Item = (AtomId, bool)>>(iter: I) -> Self {
+        let mut v = Valuation::new();
+        for (a, b) in iter {
+            v.assign(a, b);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assign_get_roundtrip() {
+        let mut v = Valuation::new();
+        assert_eq!(v.get(AtomId(3)), None);
+        v.assign(AtomId(3), true);
+        v.assign(AtomId(5), false);
+        assert_eq!(v.get(AtomId(3)), Some(true));
+        assert_eq!(v.get(AtomId(5)), Some(false));
+        assert_eq!(v.get(AtomId(4)), None);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn unassign_removes() {
+        let mut v = Valuation::new();
+        v.assign(AtomId(1), true);
+        v.unassign(AtomId(1));
+        assert_eq!(v.get(AtomId(1)), None);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn projection_restricts_domain() {
+        let v: Valuation = [(AtomId(0), true), (AtomId(1), false), (AtomId(2), true)]
+            .into_iter()
+            .collect();
+        let mask: BitSet = [0usize, 2].into_iter().collect();
+        let p = v.project(&mask);
+        assert_eq!(p.get(AtomId(0)), Some(true));
+        assert_eq!(p.get(AtomId(1)), None);
+        assert_eq!(p.get(AtomId(2)), Some(true));
+    }
+
+    #[test]
+    fn extends_and_agrees() {
+        let total: Valuation = [(AtomId(0), true), (AtomId(1), false)].into_iter().collect();
+        let partial: Valuation = [(AtomId(0), true)].into_iter().collect();
+        assert!(total.extends(&partial));
+        assert!(!partial.extends(&total));
+        assert!(partial.agrees_with(&total));
+        let conflicting: Valuation = [(AtomId(0), false)].into_iter().collect();
+        assert!(!conflicting.agrees_with(&total));
+    }
+
+    #[test]
+    fn all_false_is_total() {
+        let v = Valuation::all_false(4);
+        for i in 0..4 {
+            assert_eq!(v.get(AtomId(i)), Some(false));
+        }
+        assert_eq!(v.get(AtomId(4)), None);
+    }
+
+    #[test]
+    fn from_true_set_roundtrip() {
+        let trues: BitSet = [1usize, 3].into_iter().collect();
+        let v = Valuation::from_true_set(&trues, 5);
+        assert_eq!(v.get(AtomId(0)), Some(false));
+        assert_eq!(v.get(AtomId(1)), Some(true));
+        assert_eq!(v.get(AtomId(3)), Some(true));
+        assert_eq!(v.true_set().ones().collect::<Vec<_>>(), vec![1, 3]);
+    }
+}

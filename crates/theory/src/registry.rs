@@ -1,0 +1,150 @@
+//! The completion-axiom registry.
+//!
+//! An extended relational theory's completion axiom for predicate `P`
+//! enumerates exactly the tuples `P(c⃗)` that "appear elsewhere in T" (§2,
+//! item 2); every other ground atom of `P` is false in all models. Since
+//! the axioms "may be derived mechanically from the rest of T", we do not
+//! store them as formulas: the registry *is* the completion axioms — a
+//! per-predicate ordered index of registered atoms, giving the `O(log R)`
+//! lookup/insert of the §3.6 cost model (`R` = "the greatest number of
+//! distinct occurrences in T of any predicate").
+
+use rustc_hash::FxHashMap;
+use std::collections::BTreeSet;
+use winslett_logic::{AtomId, BitSet, ConstId, PredId};
+
+/// Per-predicate registered-atom indices plus a global registered set and
+/// the §3.6 "single separate index" from constants to the registered atoms
+/// mentioning them.
+#[derive(Clone, Default, Debug)]
+pub struct CompletionRegistry {
+    by_pred: FxHashMap<PredId, BTreeSet<AtomId>>,
+    by_const: FxHashMap<ConstId, BTreeSet<AtomId>>,
+    registered: BitSet,
+    count: usize,
+}
+
+impl CompletionRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `atom` (of predicate `pred`, with arguments `args`) as a
+    /// completion-axiom disjunct. Returns `true` if the atom was new. This
+    /// is GUA Step 1 / Step 2′ / Step 7's "add f to the completion axiom
+    /// for its predicate".
+    pub fn register(&mut self, pred: PredId, atom: AtomId, args: &[ConstId]) -> bool {
+        if self.registered.get(atom.index()) {
+            return false;
+        }
+        self.registered.set(atom.index(), true);
+        self.by_pred.entry(pred).or_default().insert(atom);
+        for &c in args {
+            self.by_const.entry(c).or_default().insert(atom);
+        }
+        self.count += 1;
+        true
+    }
+
+    /// Registered atoms that mention constant `c` — the constant index used
+    /// by GUA Step 5, case (2).
+    pub fn atoms_with_constant(&self, c: ConstId) -> impl Iterator<Item = AtomId> + '_ {
+        self.by_const
+            .get(&c)
+            .into_iter()
+            .flat_map(|set| set.iter().copied())
+    }
+
+    /// Whether `atom` is a disjunct of some completion axiom.
+    pub fn is_registered(&self, atom: AtomId) -> bool {
+        self.registered.get(atom.index())
+    }
+
+    /// The registered atoms of `pred`, in atom-id order.
+    pub fn atoms_of(&self, pred: PredId) -> impl Iterator<Item = AtomId> + '_ {
+        self.by_pred
+            .get(&pred)
+            .into_iter()
+            .flat_map(|set| set.iter().copied())
+    }
+
+    /// Number of registered atoms of `pred`.
+    pub fn count_of(&self, pred: PredId) -> usize {
+        self.by_pred.get(&pred).map_or(0, BTreeSet::len)
+    }
+
+    /// The paper's `R`: the largest per-predicate registered-atom count.
+    pub fn max_predicate_size(&self) -> usize {
+        self.by_pred.values().map(BTreeSet::len).max().unwrap_or(0)
+    }
+
+    /// Total number of registered atoms across all predicates.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The registered set as a bitset over atom ids.
+    pub fn registered_set(&self) -> &BitSet {
+        &self.registered
+    }
+
+    /// Iterates over all registered atoms grouped by predicate.
+    pub fn iter(&self) -> impl Iterator<Item = (PredId, AtomId)> + '_ {
+        self.by_pred
+            .iter()
+            .flat_map(|(&p, set)| set.iter().map(move |&a| (p, a)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_is_idempotent() {
+        let mut r = CompletionRegistry::new();
+        assert!(r.register(PredId(0), AtomId(3), &[]));
+        assert!(!r.register(PredId(0), AtomId(3), &[]));
+        assert_eq!(r.len(), 1);
+        assert!(r.is_registered(AtomId(3)));
+        assert!(!r.is_registered(AtomId(4)));
+    }
+
+    #[test]
+    fn per_predicate_indices() {
+        let mut r = CompletionRegistry::new();
+        r.register(PredId(0), AtomId(5), &[]);
+        r.register(PredId(0), AtomId(2), &[]);
+        r.register(PredId(1), AtomId(9), &[]);
+        assert_eq!(
+            r.atoms_of(PredId(0)).collect::<Vec<_>>(),
+            vec![AtomId(2), AtomId(5)]
+        );
+        assert_eq!(r.count_of(PredId(0)), 2);
+        assert_eq!(r.count_of(PredId(1)), 1);
+        assert_eq!(r.count_of(PredId(7)), 0);
+        assert_eq!(r.max_predicate_size(), 2);
+    }
+
+    #[test]
+    fn registered_set_is_bitset() {
+        let mut r = CompletionRegistry::new();
+        r.register(PredId(0), AtomId(1), &[]);
+        r.register(PredId(1), AtomId(4), &[]);
+        assert_eq!(r.registered_set().ones().collect::<Vec<_>>(), vec![1, 4]);
+    }
+
+    #[test]
+    fn empty_registry() {
+        let r = CompletionRegistry::new();
+        assert!(r.is_empty());
+        assert_eq!(r.max_predicate_size(), 0);
+        assert_eq!(r.atoms_of(PredId(0)).count(), 0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Size and cost-model statistics for a theory.
+
+use serde::{Deserialize, Serialize};
+
+/// A snapshot of theory sizes, used by the growth experiment (E4) and the
+/// simplification experiment (E6).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct TheoryStats {
+    /// Live formulas in the non-axiomatic section.
+    pub num_formulas: usize,
+    /// Total AST nodes over live formulas.
+    pub store_nodes: usize,
+    /// Interned atoms (universe size).
+    pub num_atoms: usize,
+    /// Atoms registered in completion axioms.
+    pub num_registered: usize,
+    /// The §3.6 `R`: max registered atoms of any single predicate.
+    pub max_predicate_size: usize,
+    /// Interned constants.
+    pub num_constants: usize,
+    /// Declared predicates (including predicate constants).
+    pub num_predicates: usize,
+    /// Dependency axioms.
+    pub num_dependencies: usize,
+}
+
+impl std::fmt::Display for TheoryStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} wffs / {} nodes, {} atoms ({} registered, R = {}), {} constants, {} predicates, {} dependencies",
+            self.num_formulas,
+            self.store_nodes,
+            self.num_atoms,
+            self.num_registered,
+            self.max_predicate_size,
+            self.num_constants,
+            self.num_predicates,
+            self.num_dependencies,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_key_numbers() {
+        let s = TheoryStats {
+            num_formulas: 3,
+            store_nodes: 17,
+            num_atoms: 5,
+            num_registered: 4,
+            max_predicate_size: 2,
+            num_constants: 6,
+            num_predicates: 2,
+            num_dependencies: 1,
+        };
+        let txt = s.to_string();
+        assert!(txt.contains("3 wffs"));
+        assert!(txt.contains("R = 2"));
+    }
+}

@@ -1,0 +1,121 @@
+//! The commutative diagram of §3.2, as an executable check.
+//!
+//! "We require that the diagram below be commutative: both paths from
+//! upper-left-hand corner to lower-right-hand corner must produce the same
+//! result":
+//!
+//! ```text
+//!   theory T ───────(update algorithm)──────▶ theory T′
+//!      │                                          │
+//!  (alternative worlds)                  (alternative worlds)
+//!      ▼                                          ▼
+//!   worlds(T) ──(per-world §3.2 semantics)──▶ worlds(T′)  (must be equal)
+//! ```
+//!
+//! [`check_commutes`] runs both paths and compares. This is Theorem 1
+//! (correctness + completeness of GUA) as a property that the test suite
+//! and experiment E1 exercise over randomized theories and updates.
+
+use crate::engine::WorldsEngine;
+use crate::error::WorldsError;
+use winslett_ldml::{canonicalize, Update};
+use winslett_logic::{BitSet, ModelLimit};
+use winslett_theory::Theory;
+
+/// Result of a diagram check.
+#[derive(Clone, Debug)]
+pub struct DiagramReport {
+    /// Whether both paths produced identical world sets.
+    pub commutes: bool,
+    /// Worlds from the lower path (per-world semantics — the definition).
+    pub expected: Vec<BitSet>,
+    /// Worlds from the upper path (the update algorithm's output theory).
+    pub actual: Vec<BitSet>,
+}
+
+impl DiagramReport {
+    /// Human-readable diff of the two world sets, using `theory` for names.
+    pub fn describe(&self, theory: &Theory) -> String {
+        if self.commutes {
+            return format!("diagram commutes ({} worlds)", self.expected.len());
+        }
+        let fmt = |ws: &[BitSet]| -> String {
+            ws.iter()
+                .map(|w| format!("{{{}}}", theory.format_world(w).join(", ")))
+                .collect::<Vec<_>>()
+                .join(" ; ")
+        };
+        format!(
+            "diagram DOES NOT commute:\n  expected (per-world semantics): {}\n  actual (algorithm): {}",
+            fmt(&self.expected),
+            fmt(&self.actual)
+        )
+    }
+}
+
+/// Runs both paths of the diagram for a sequence of updates.
+///
+/// * `before` — the theory prior to any update (the baseline path starts
+///   here);
+/// * `updates` — the updates, applied in order;
+/// * `after` — the theory produced by the update algorithm under test.
+///
+/// `before` and `after` must share an atom table (i.e. `before` is a clone
+/// of the theory taken before updating it in place), so world bitsets are
+/// comparable.
+pub fn check_commutes(
+    before: &Theory,
+    updates: &[Update],
+    after: &Theory,
+    limit: ModelLimit,
+) -> Result<DiagramReport, WorldsError> {
+    let mut engine = WorldsEngine::from_theory(before, limit)?;
+    // Rule 3 consults the type/dependency axioms, which are fixed across
+    // updates; `after` has the richer atom table for attribute lookups.
+    engine.apply_all(updates, after)?;
+    let expected = canonicalize(engine.worlds().to_vec());
+    let actual = canonicalize(after.alternative_worlds(limit)?);
+    Ok(DiagramReport {
+        commutes: expected == actual,
+        expected,
+        actual,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use winslett_logic::Wff;
+
+    #[test]
+    fn identical_theories_commute_under_no_updates() {
+        let mut t = Theory::new();
+        let r = t.declare_relation("R", 1).unwrap();
+        let c = t.constant("x");
+        let a = t.atom(r, &[c]);
+        t.assert_wff(&Wff::Atom(a));
+        let report = check_commutes(&t, &[], &t, ModelLimit::default()).unwrap();
+        assert!(report.commutes);
+        assert_eq!(report.expected.len(), 1);
+    }
+
+    #[test]
+    fn detects_a_wrong_update_algorithm() {
+        // A deliberately wrong "algorithm": INSERT ¬a implemented by just
+        // adding ¬a to the theory — inconsistent with the old wff `a`, so
+        // the after-theory has no worlds while the semantics says one.
+        let mut t = Theory::new();
+        let r = t.declare_relation("R", 1).unwrap();
+        let c = t.constant("x");
+        let a = t.atom(r, &[c]);
+        t.assert_wff(&Wff::Atom(a));
+        let before = t.clone();
+        t.assert_wff(&Wff::Atom(a).not()); // the naive, wrong move
+        let u = Update::insert(Wff::Atom(a).not(), Wff::t());
+        let report = check_commutes(&before, &[u], &t, ModelLimit::default()).unwrap();
+        assert!(!report.commutes);
+        assert_eq!(report.expected.len(), 1); // semantics: one world, a false
+        assert_eq!(report.actual.len(), 0); // naive theory: inconsistent
+        assert!(report.describe(&t).contains("DOES NOT"));
+    }
+}

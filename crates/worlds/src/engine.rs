@@ -1,0 +1,317 @@
+//! The possible-worlds baseline engine — the paper's "parallel computation
+//! method" (§3.2).
+//!
+//! "The correct answers to queries and updates are those obtained by
+//! storing a separate database for each alternative world and running query
+//! processing in parallel on each separate database, pooling the query
+//! results in a final step."
+//!
+//! [`WorldsEngine`] does exactly that: it materializes every alternative
+//! world of a theory and applies each LDML update world-by-world using the
+//! §3.2 model-level definitions, enforcing rule 3 (§3.5) — produced worlds
+//! must satisfy the type and dependency axioms. It is the semantic gold
+//! standard that GUA is verified against (experiment E1), and the
+//! exponential-cost comparison system of experiment E7.
+
+use crate::error::WorldsError;
+use winslett_ldml::{apply_update, canonicalize, Update};
+use winslett_logic::{BitSet, GroundAtom, ModelLimit};
+use winslett_theory::Theory;
+
+/// A materialized set of alternative worlds.
+///
+/// ```
+/// use winslett_ldml::Update;
+/// use winslett_logic::{Formula, ModelLimit, Wff};
+/// use winslett_theory::Theory;
+/// use winslett_worlds::WorldsEngine;
+///
+/// let mut t = Theory::new();
+/// let r = t.declare_relation("R", 1)?;
+/// let (ca, cb) = (t.constant("a"), t.constant("b"));
+/// let (a, b) = (t.atom(r, &[ca]), t.atom(r, &[cb]));
+/// t.assert_not_atom(a);
+/// t.assert_not_atom(b);
+///
+/// let mut worlds = WorldsEngine::from_theory(&t, ModelLimit::default())?;
+/// assert_eq!(worlds.len(), 1);
+/// // A branching insert, applied to every world per §3.2.
+/// worlds.apply(
+///     &Update::insert(Formula::Or(vec![Wff::Atom(a), Wff::Atom(b)]), Wff::t()),
+///     &t,
+/// )?;
+/// assert_eq!(worlds.len(), 3);
+/// assert!(worlds.entails(&Wff::or2(Wff::Atom(a), Wff::Atom(b))));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct WorldsEngine {
+    worlds: Vec<BitSet>,
+}
+
+impl WorldsEngine {
+    /// Materializes the alternative worlds of `theory`.
+    pub fn from_theory(theory: &Theory, limit: ModelLimit) -> Result<Self, WorldsError> {
+        let worlds = theory.alternative_worlds(limit)?;
+        Ok(WorldsEngine { worlds })
+    }
+
+    /// Builds an engine from explicit worlds (used in tests and workloads).
+    pub fn from_worlds(worlds: Vec<BitSet>) -> Self {
+        WorldsEngine {
+            worlds: canonicalize(worlds),
+        }
+    }
+
+    /// The current worlds, canonical (sorted, deduplicated).
+    pub fn worlds(&self) -> &[BitSet] {
+        &self.worlds
+    }
+
+    /// Number of distinct alternative worlds.
+    pub fn len(&self) -> usize {
+        self.worlds.len()
+    }
+
+    /// Whether no world remains (the database is inconsistent).
+    pub fn is_empty(&self) -> bool {
+        self.worlds.is_empty()
+    }
+
+    /// Whether `world` satisfies the type and dependency axioms of
+    /// `theory` — rule 3 of the §3.5 update semantics.
+    pub fn satisfies_axioms(theory: &Theory, world: &BitSet) -> bool {
+        // Type axioms: every true tuple's attribute atoms must be true.
+        for i in world.ones() {
+            if i >= theory.atoms.len() {
+                continue;
+            }
+            let ga = theory.atoms.resolve(winslett_logic::AtomId(i as u32)).clone();
+            if let Some(attrs) = theory.schema.type_axiom(ga.pred) {
+                for (&attr, &c) in attrs.iter().zip(ga.args.iter()) {
+                    let ok = theory
+                        .atoms
+                        .get(&GroundAtom::new(attr, &[c]))
+                        .map(|id| world.get(id.index()))
+                        .unwrap_or(false);
+                    if !ok {
+                        return false;
+                    }
+                }
+            }
+        }
+        // Dependency axioms.
+        theory
+            .deps
+            .iter()
+            .all(|dep| dep.holds_in_world(world, &theory.atoms))
+    }
+
+    /// Applies `update` to every world independently, enforcing rule 3,
+    /// then pools and canonicalizes — the definitionally correct update.
+    pub fn apply(&mut self, update: &Update, theory: &Theory) -> Result<(), WorldsError> {
+        let mut pooled: Vec<BitSet> = Vec::new();
+        for w in &self.worlds {
+            let produced = apply_update(update, w)?;
+            for m in produced {
+                if Self::satisfies_axioms(theory, &m) {
+                    pooled.push(m);
+                }
+            }
+        }
+        self.worlds = canonicalize(pooled);
+        Ok(())
+    }
+
+    /// Applies a sequence of updates.
+    pub fn apply_all(&mut self, updates: &[Update], theory: &Theory) -> Result<(), WorldsError> {
+        for u in updates {
+            self.apply(u, theory)?;
+        }
+        Ok(())
+    }
+
+    /// Applies a **set** of ground updates *simultaneously* to every world
+    /// (the §4 reduction target for updates with variables), enforcing
+    /// rule 3, then pools and canonicalizes.
+    pub fn apply_simultaneous(
+        &mut self,
+        updates: &[Update],
+        theory: &Theory,
+    ) -> Result<(), WorldsError> {
+        let forms: Vec<winslett_ldml::InsertForm> =
+            updates.iter().map(Update::to_insert).collect();
+        let mut pooled: Vec<BitSet> = Vec::new();
+        for w in &self.worlds {
+            let produced = winslett_ldml::apply_simultaneous(&forms, w)?;
+            for m in produced {
+                if Self::satisfies_axioms(theory, &m) {
+                    pooled.push(m);
+                }
+            }
+        }
+        self.worlds = canonicalize(pooled);
+        Ok(())
+    }
+
+    /// Certain truth of a wff: true in every world.
+    pub fn entails(&self, wff: &winslett_logic::Wff) -> bool {
+        self.worlds
+            .iter()
+            .all(|w| wff.eval(&mut |a: &winslett_logic::AtomId| w.get(a.index())))
+    }
+
+    /// Possible truth of a wff: true in some world.
+    pub fn consistent_with(&self, wff: &winslett_logic::Wff) -> bool {
+        self.worlds
+            .iter()
+            .any(|w| wff.eval(&mut |a: &winslett_logic::AtomId| w.get(a.index())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use winslett_logic::{AtomId, Wff};
+
+    /// The §3.3 running example: atoms a, b; worlds {a} and {a, b}.
+    fn paper_setup() -> (Theory, AtomId, AtomId, WorldsEngine) {
+        let mut t = Theory::new();
+        let r = t.declare_relation("Tup", 1).unwrap();
+        let ca = t.constant("a");
+        let cb = t.constant("b");
+        let a = t.atom(r, &[ca]);
+        let b = t.atom(r, &[cb]);
+        t.assert_wff(&Wff::Atom(a));
+        t.assert_wff(&Wff::or2(Wff::Atom(a), Wff::Atom(b)));
+        let e = WorldsEngine::from_theory(&t, ModelLimit::default()).unwrap();
+        (t, a, b, e)
+    }
+
+    #[test]
+    fn materializes_paper_worlds() {
+        let (_, _, _, e) = paper_setup();
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn nonbranching_modify_example() {
+        // §3.3: MODIFY a TO BE a′ WHERE b ∧ a ⇒ worlds {b, a′} and {a}.
+        let (mut t, a, b, mut e) = paper_setup();
+        let r = t.vocab.find_predicate("Tup").unwrap();
+        let ca2 = t.constant("a'");
+        let a2 = t.atom(r, &[ca2]);
+        let u = Update::modify(a, Wff::Atom(a2), Wff::Atom(b));
+        e.apply(&u, &t).unwrap();
+        assert_eq!(e.len(), 2);
+        let rendered: Vec<Vec<String>> = e.worlds().iter().map(|w| t.format_world(w)).collect();
+        assert!(rendered.contains(&vec!["Tup(a)".to_string()]));
+        assert!(rendered.contains(&vec!["Tup(a')".to_string(), "Tup(b)".to_string()]));
+    }
+
+    #[test]
+    fn branching_insert_example() {
+        // §3.3 branching example: MODIFY a TO BE (c ∨ a) WHERE b ∧ a over
+        // worlds {a,b} and {a} yields 4 worlds:
+        // {a}, {b,c}, {b,a}, {b,c,a}.
+        let (mut t, a, b, mut e) = paper_setup();
+        let r = t.vocab.find_predicate("Tup").unwrap();
+        let cc = t.constant("c");
+        let c = t.atom(r, &[cc]);
+        let u = Update::modify(a, Wff::Or(vec![Wff::Atom(c), Wff::Atom(a)]), Wff::Atom(b));
+        e.apply(&u, &t).unwrap();
+        assert_eq!(e.len(), 4);
+        let rendered: Vec<Vec<String>> = e.worlds().iter().map(|w| t.format_world(w)).collect();
+        for expect in [
+            vec!["Tup(a)".to_string()],
+            vec!["Tup(b)".to_string(), "Tup(c)".to_string()],
+            vec!["Tup(a)".to_string(), "Tup(b)".to_string()],
+            vec!["Tup(a)".to_string(), "Tup(b)".to_string(), "Tup(c)".to_string()],
+        ] {
+            assert!(rendered.contains(&expect), "missing world {expect:?}");
+        }
+    }
+
+    #[test]
+    fn assert_prunes_worlds() {
+        let (_, _, b, mut e) = paper_setup();
+        let t = paper_setup().0;
+        let u = Update::assert(Wff::Atom(b));
+        e.apply(&u, &t).unwrap();
+        assert_eq!(e.len(), 1);
+        assert!(e.entails(&Wff::Atom(b)));
+    }
+
+    #[test]
+    fn assert_can_empty_the_database() {
+        let (t, a, _, mut e) = paper_setup();
+        e.apply(&Update::assert(Wff::Atom(a).not()), &t).unwrap();
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn entails_and_consistent_with() {
+        let (_, a, b, e) = paper_setup();
+        assert!(e.entails(&Wff::Atom(a)));
+        assert!(!e.entails(&Wff::Atom(b)));
+        assert!(e.consistent_with(&Wff::Atom(b)));
+        assert!(e.consistent_with(&Wff::Atom(b).not()));
+        assert!(!e.consistent_with(&Wff::Atom(a).not()));
+    }
+
+    #[test]
+    fn type_axioms_filter_produced_worlds() {
+        let mut t = Theory::new();
+        let part = t.declare_attribute("PartNo").unwrap();
+        let instock = t.declare_typed_relation("InStock1", &[part]).unwrap();
+        let c32 = t.constant("32");
+        let atom = t.atom(instock, &[c32]);
+        let pa = t.atom(part, &[c32]);
+        // Start with an empty, consistent database (both atoms false).
+        t.assert_not_atom(atom);
+        t.assert_not_atom(pa);
+        let mut e = WorldsEngine::from_theory(&t, ModelLimit::default()).unwrap();
+        assert_eq!(e.len(), 1);
+        // Inserting InStock1(32) without PartNo(32) violates the type
+        // axiom: every produced world is filtered out (rule 3).
+        e.apply(&Update::insert(Wff::Atom(atom), Wff::t()), &t)
+            .unwrap();
+        assert!(e.is_empty());
+        // Inserting both together survives.
+        let mut e2 = WorldsEngine::from_theory(&t, ModelLimit::default()).unwrap();
+        e2.apply(
+            &Update::insert(Wff::and2(Wff::Atom(atom), Wff::Atom(pa)), Wff::t()),
+            &t,
+        )
+        .unwrap();
+        assert_eq!(e2.len(), 1);
+    }
+
+    #[test]
+    fn dependency_axioms_filter_produced_worlds() {
+        use winslett_theory::Dependency;
+        let mut t = Theory::new();
+        let p = t.declare_relation("P", 2).unwrap();
+        t.add_dependency(Dependency::functional("fd", p, 2, &[0]).unwrap());
+        let ca = t.constant("a");
+        let cb = t.constant("b");
+        let cc = t.constant("c");
+        let ab = t.atom(p, &[ca, cb]);
+        let ac = t.atom(p, &[ca, cc]);
+        t.assert_atom(ab);
+        t.assert_not_atom(ac);
+        let mut e = WorldsEngine::from_theory(&t, ModelLimit::default()).unwrap();
+        assert_eq!(e.len(), 1);
+        // Inserting P(a,c) while P(a,b) holds violates the FD.
+        e.apply(&Update::insert(Wff::Atom(ac), Wff::t()), &t).unwrap();
+        assert!(e.is_empty());
+        // Inserting P(a,c) while *deleting* P(a,b) is fine.
+        let mut e2 = WorldsEngine::from_theory(&t, ModelLimit::default()).unwrap();
+        e2.apply(
+            &Update::insert(Wff::and2(Wff::Atom(ac), Wff::Atom(ab).not()), Wff::t()),
+            &t,
+        )
+        .unwrap();
+        assert_eq!(e2.len(), 1);
+    }
+}

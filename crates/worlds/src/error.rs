@@ -1,0 +1,55 @@
+//! Error type for the worlds engine.
+
+use std::fmt;
+
+/// Errors from world materialization or per-world update application.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WorldsError {
+    /// An error from the theory layer (e.g. too many models).
+    Theory(winslett_theory::TheoryError),
+    /// An error from LDML (e.g. an oversized ω).
+    Ldml(winslett_ldml::LdmlError),
+}
+
+impl fmt::Display for WorldsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorldsError::Theory(e) => write!(f, "{e}"),
+            WorldsError::Ldml(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorldsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WorldsError::Theory(e) => Some(e),
+            WorldsError::Ldml(e) => Some(e),
+        }
+    }
+}
+
+impl From<winslett_theory::TheoryError> for WorldsError {
+    fn from(e: winslett_theory::TheoryError) -> Self {
+        WorldsError::Theory(e)
+    }
+}
+
+impl From<winslett_ldml::LdmlError> for WorldsError {
+    fn from(e: winslett_ldml::LdmlError) -> Self {
+        WorldsError::Ldml(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: WorldsError = winslett_theory::TheoryError::Inconsistent.into();
+        assert!(e.to_string().contains("no models"));
+        let e: WorldsError = winslett_ldml::LdmlError::TargetNotAtomic.into();
+        assert!(e.to_string().contains("atomic"));
+    }
+}

@@ -1,0 +1,22 @@
+//! # winslett-worlds
+//!
+//! Alternative worlds and the possible-worlds baseline of Winslett (PODS
+//! 1986, §3.2): the "parallel computation method" that *defines* correct
+//! query and update processing for databases with incomplete information.
+//!
+//! * [`WorldsEngine`] — materializes every alternative world of a theory
+//!   and applies LDML updates world-by-world (with §3.5 rule 3 filtering by
+//!   type and dependency axioms). Exponential, but definitionally correct.
+//! * [`check_commutes`] — the §3.2 commutative diagram as an executable
+//!   property: the update algorithm under test (GUA) must produce a theory
+//!   whose worlds equal the baseline's pooled worlds (Theorem 1/5).
+
+pub mod diagram;
+pub mod engine;
+pub mod pma;
+pub mod error;
+
+pub use diagram::{check_commutes, DiagramReport};
+pub use engine::WorldsEngine;
+pub use pma::{apply_insert_pma, apply_update_pma};
+pub use error::WorldsError;

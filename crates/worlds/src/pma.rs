@@ -1,0 +1,260 @@
+//! The Possible Models Approach (PMA) — the alternative update semantics
+//! the paper's §3.4 foreshadows.
+//!
+//! "In a future publication, we will examine other possible choices for
+//! update semantics" — that publication is Winslett's *Reasoning about
+//! Action using a Possible Models Approach* (AAAI 1988). Where the PODS
+//! 1986 semantics lets the atoms of ω take **every** satisfying valuation
+//! (the update "overrides all previous information about these ground
+//! atomic formulas"), the PMA keeps only the result models **minimally
+//! distant** from the original:
+//!
+//! > `S` contains exactly the models `M*` such that ω holds in `M*`, `M*`
+//! > agrees with `M` outside ω's atoms, and no other such model differs
+//! > from `M` on a strict subset of the atoms `M*` differs on.
+//!
+//! The classic discriminating case: inserting `a ∨ b` into a world where
+//! `a` already holds. PODS-1986 semantics forgets what it knew and
+//! produces three worlds ({a}, {b}, {a,b}); the PMA notices ω is already
+//! satisfied and keeps the world unchanged. Experiment E9 measures this
+//! divergence; `winslett-gua` implements only the 1986 semantics (the
+//! PMA's minimization is not expressible by altering Step 4's formula (1)
+//! alone — it needs a circumscription, which is why the 1988 paper is a
+//! separate paper).
+
+use crate::engine::WorldsEngine;
+use crate::error::WorldsError;
+use winslett_ldml::{canonicalize, InsertForm, LdmlError, Update};
+use winslett_logic::{AtomId, BitSet};
+use winslett_theory::Theory;
+
+/// Applies `INSERT ω WHERE φ` to one model under PMA (minimal-change)
+/// semantics.
+pub fn apply_insert_pma(form: &InsertForm, model: &BitSet) -> Result<Vec<BitSet>, LdmlError> {
+    let phi_true = form.phi.eval(&mut |a: &AtomId| model.get(a.index()));
+    if !phi_true {
+        return Ok(vec![model.clone()]);
+    }
+    let atoms: Vec<AtomId> = form.omega.atom_set().into_iter().collect();
+    if atoms.len() > 24 {
+        return Err(LdmlError::TooLarge {
+            atoms: atoms.len(),
+            max: 24,
+        });
+    }
+    // Collect candidate (mask, diff) pairs.
+    let mut candidates: Vec<(u32, u32)> = Vec::new();
+    for mask in 0u32..(1u32 << atoms.len()) {
+        let ok = form.omega.eval(&mut |a: &AtomId| {
+            let i = atoms.iter().position(|x| x == a).expect("atom in set");
+            (mask >> i) & 1 == 1
+        });
+        if ok {
+            let mut diff = 0u32;
+            for (i, a) in atoms.iter().enumerate() {
+                if ((mask >> i) & 1 == 1) != model.get(a.index()) {
+                    diff |= 1 << i;
+                }
+            }
+            candidates.push((mask, diff));
+        }
+    }
+    // Keep ⊆-minimal diffs.
+    let minimal: Vec<u32> = candidates
+        .iter()
+        .filter(|(_, d)| {
+            !candidates
+                .iter()
+                .any(|(_, d2)| *d2 != *d && (d2 & d) == *d2)
+        })
+        .map(|(m, _)| *m)
+        .collect();
+    let mut out = Vec::with_capacity(minimal.len());
+    for mask in minimal {
+        let mut m = model.clone();
+        for (i, a) in atoms.iter().enumerate() {
+            m.set(a.index(), (mask >> i) & 1 == 1);
+        }
+        out.push(m);
+    }
+    Ok(out)
+}
+
+/// Applies any LDML update under PMA semantics (via its INSERT form).
+pub fn apply_update_pma(update: &Update, model: &BitSet) -> Result<Vec<BitSet>, LdmlError> {
+    apply_insert_pma(&update.to_insert(), model)
+}
+
+impl WorldsEngine {
+    /// Applies `update` to every world under **PMA** (minimal-change)
+    /// semantics, enforcing rule 3, then pools — the comparison engine for
+    /// experiment E9.
+    pub fn apply_pma(&mut self, update: &Update, theory: &Theory) -> Result<(), WorldsError> {
+        let form = update.to_insert();
+        let mut pooled: Vec<BitSet> = Vec::new();
+        for w in self.worlds() {
+            let produced = apply_insert_pma(&form, w)?;
+            for m in produced {
+                if Self::satisfies_axioms(theory, &m) {
+                    pooled.push(m);
+                }
+            }
+        }
+        *self = WorldsEngine::from_worlds(canonicalize(pooled));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use winslett_logic::{Formula, Wff};
+
+    fn a(i: u32) -> Wff {
+        Formula::Atom(AtomId(i))
+    }
+
+    fn model(bits: &[usize]) -> BitSet {
+        bits.iter().copied().collect()
+    }
+
+    #[test]
+    fn classic_divergence_insert_a_or_b() {
+        // World {a}: ω = a ∨ b already holds → PMA keeps the world as-is;
+        // the 1986 semantics branches to 3 models.
+        let form = InsertForm {
+            omega: Formula::Or(vec![a(0), a(1)]),
+            phi: Wff::t(),
+        };
+        let m = model(&[0]);
+        let pma = canonicalize(apply_insert_pma(&form, &m).unwrap());
+        assert_eq!(pma, vec![model(&[0])]);
+        let w1986 = canonicalize(winslett_ldml::apply_insert(&form, &m).unwrap());
+        assert_eq!(w1986.len(), 3);
+    }
+
+    #[test]
+    fn pma_branches_when_change_is_needed() {
+        // World {}: ω = a ∨ b unsatisfied; minimal changes are {a} and {b}
+        // (not {a,b}, which differs on a superset).
+        let form = InsertForm {
+            omega: Formula::Or(vec![a(0), a(1)]),
+            phi: Wff::t(),
+        };
+        let pma = canonicalize(apply_insert_pma(&form, &model(&[])).unwrap());
+        assert_eq!(pma, vec![model(&[0]), model(&[1])]);
+    }
+
+    #[test]
+    fn pma_respects_selection_clause() {
+        let form = InsertForm {
+            omega: a(0),
+            phi: a(1),
+        };
+        let m = model(&[]); // φ false
+        assert_eq!(apply_insert_pma(&form, &m).unwrap(), vec![m]);
+    }
+
+    #[test]
+    fn pma_agrees_with_1986_on_definite_omega() {
+        // With a uniquely satisfiable ω the two semantics coincide.
+        let mut state = 0xABCD_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..100 {
+            let lits: Vec<Wff> = (0..3)
+                .map(|i| {
+                    if next() % 2 == 0 {
+                        a(i)
+                    } else {
+                        a(i).not()
+                    }
+                })
+                .collect();
+            let form = InsertForm {
+                omega: Formula::And(lits),
+                phi: Wff::t(),
+            };
+            let m: BitSet = (0..4usize).filter(|_| next() % 2 == 0).collect();
+            let pma = canonicalize(apply_insert_pma(&form, &m).unwrap());
+            let std = canonicalize(winslett_ldml::apply_insert(&form, &m).unwrap());
+            assert_eq!(pma, std);
+        }
+    }
+
+    #[test]
+    fn pma_unsatisfiable_omega_kills_model() {
+        let form = InsertForm {
+            omega: Wff::f(),
+            phi: Wff::t(),
+        };
+        assert!(apply_insert_pma(&form, &model(&[0])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn pma_result_is_subset_of_1986_result() {
+        // PMA minimization only ever *removes* models from the 1986 set.
+        let mut state = 0x1357_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..200 {
+            let w = random_wff(&mut next, 3);
+            let form = InsertForm {
+                omega: w,
+                phi: Wff::t(),
+            };
+            let m: BitSet = (0..4usize).filter(|_| next() % 2 == 0).collect();
+            let pma = canonicalize(apply_insert_pma(&form, &m).unwrap());
+            let std = canonicalize(winslett_ldml::apply_insert(&form, &m).unwrap());
+            for p in &pma {
+                assert!(std.contains(p), "PMA produced a non-1986 model");
+            }
+            // And PMA is nonempty whenever 1986 is.
+            assert_eq!(pma.is_empty(), std.is_empty());
+        }
+    }
+
+    fn random_wff(next: &mut impl FnMut() -> u64, depth: usize) -> Wff {
+        if depth == 0 || next().is_multiple_of(3) {
+            return match next() % 5 {
+                0 => Wff::t(),
+                1 => Wff::f(),
+                _ => a((next() % 4) as u32),
+            };
+        }
+        match next() % 4 {
+            0 => random_wff(next, depth - 1).not(),
+            1 => Formula::And(vec![random_wff(next, depth - 1), random_wff(next, depth - 1)]),
+            2 => Formula::Or(vec![random_wff(next, depth - 1), random_wff(next, depth - 1)]),
+            _ => Wff::implies(random_wff(next, depth - 1), random_wff(next, depth - 1)),
+        }
+    }
+
+    #[test]
+    fn engine_level_pma_update() {
+        let mut t = Theory::new();
+        let r = t.declare_relation("R", 1).unwrap();
+        let ca = t.constant("a");
+        let cb = t.constant("b");
+        let aa = t.atom(r, &[ca]);
+        let ab = t.atom(r, &[cb]);
+        t.assert_atom(aa);
+        t.assert_not_atom(ab);
+        let mut std_engine =
+            WorldsEngine::from_theory(&t, winslett_logic::ModelLimit::default()).unwrap();
+        let mut pma_engine = std_engine.clone();
+        let u = Update::insert(Formula::Or(vec![Wff::Atom(aa), Wff::Atom(ab)]), Wff::t());
+        std_engine.apply(&u, &t).unwrap();
+        pma_engine.apply_pma(&u, &t).unwrap();
+        assert_eq!(std_engine.len(), 3);
+        assert_eq!(pma_engine.len(), 1); // ω already held: no change
+    }
+}

@@ -1,0 +1,102 @@
+//! Update-equivalence explorer (§3.4).
+//!
+//! Runs the Theorem 2/3/4 deciders over a catalogue of update pairs —
+//! including every example the paper discusses — printing the verdict, the
+//! deciding condition, and a brute-force cross-check. "Such theorems tell
+//! us exactly when two updates look similar but really aren't, and when
+//! two different-looking updates really are the same."
+//!
+//! ```sh
+//! cargo run --example equivalence_explorer
+//! ```
+
+use winslett::ldml::{equivalent_brute, equivalent_updates, theorem2_sufficient, Update};
+use winslett::logic::{AtomId, Formula, Wff};
+
+fn atom(i: u32) -> Wff {
+    Wff::Atom(AtomId(i))
+}
+
+fn main() {
+    // Language: p = atom 0, q = atom 1, g = atom 2.
+    const NUM_ATOMS: usize = 3;
+    let p = || atom(0);
+    let q = || atom(1);
+    let g = || atom(2);
+
+    let catalogue: Vec<(&str, Update, Update)> = vec![
+        (
+            "paper §3.4: INSERT p WHERE T  vs  INSERT p ∨ T WHERE T",
+            Update::insert(p(), Wff::t()),
+            Update::insert(Formula::Or(vec![p(), Wff::t()]), Wff::t()),
+        ),
+        (
+            "paper §3.4: INSERT p WHERE p ∧ q  vs  INSERT q WHERE p ∧ q",
+            Update::insert(p(), Formula::And(vec![p(), q()])),
+            Update::insert(q(), Formula::And(vec![p(), q()])),
+        ),
+        (
+            "paper §3.2: INSERT T  vs  INSERT g ∨ ¬g (forgetting)",
+            Update::insert(Wff::t(), Wff::t()),
+            Update::insert(Formula::Or(vec![g(), g().not()]), Wff::t()),
+        ),
+        (
+            "reordered ω (Theorem 2 case): INSERT p ∧ q  vs  INSERT q ∧ p",
+            Update::insert(Formula::And(vec![p(), q()]), g()),
+            Update::insert(Formula::And(vec![q(), p()]), g()),
+        ),
+        (
+            "paper §3.2 reduction: DELETE g  vs  MODIFY g TO BE ¬g",
+            Update::delete(AtomId(2), Wff::t()),
+            Update::modify(AtomId(2), g().not(), Wff::t()),
+        ),
+        (
+            "paper §3.2 reduction: ASSERT p  vs  INSERT F WHERE ¬p",
+            Update::assert(p()),
+            Update::insert(Wff::f(), p().not()),
+        ),
+        (
+            "different selections, lone region a no-op: INSERT p WHERE p∧q  vs  INSERT p WHERE p",
+            Update::insert(p(), Formula::And(vec![p(), q()])),
+            Update::insert(p(), p()),
+        ),
+        (
+            "different selections, lone region NOT a no-op: INSERT p WHERE p∧q  vs  INSERT p WHERE q",
+            Update::insert(p(), Formula::And(vec![p(), q()])),
+            Update::insert(p(), q()),
+        ),
+        (
+            "unsatisfiable selections: INSERT p WHERE p∧¬p  vs  INSERT ¬q WHERE p∧¬p",
+            Update::insert(p(), Formula::And(vec![p(), p().not()])),
+            Update::insert(q().not(), Formula::And(vec![p(), p().not()])),
+        ),
+        (
+            "one-sided frozen atom: INSERT p∧q WHERE q  vs  INSERT p WHERE q",
+            Update::insert(Formula::And(vec![p(), q()]), q()),
+            Update::insert(p(), q()),
+        ),
+    ];
+
+    println!("{:<82} {:>6} {:>6}", "update pair", "thm", "brute");
+    println!("{}", "-".repeat(96));
+    for (label, b1, b2) in &catalogue {
+        let verdict = equivalent_updates(b1, b2, NUM_ATOMS).expect("small updates");
+        let brute = equivalent_brute(b1, b2, NUM_ATOMS).expect("small universe");
+        assert_eq!(
+            verdict.equivalent, brute,
+            "decider and brute force must agree on `{label}`"
+        );
+        let t2 = theorem2_sufficient(b1, b2, NUM_ATOMS);
+        println!(
+            "{:<82} {:>6} {:>6}",
+            label,
+            if verdict.equivalent { "EQ" } else { "NEQ" },
+            if brute { "EQ" } else { "NEQ" },
+        );
+        println!("    reason: {}{}", verdict.reason, if t2 { "  [Theorem 2 already sufficient]" } else { "" });
+    }
+    println!(
+        "\nAll {} verdicts cross-checked against per-model brute force.",
+        catalogue.len()
+    );
+}

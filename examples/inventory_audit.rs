@@ -1,0 +1,89 @@
+//! Inventory audit under incomplete information.
+//!
+//! The scenario the paper's introduction motivates: a database that must
+//! *record* uncertainty (an auditor knows one of several bins holds the
+//! part, a shipment's quantity is disputed), keep integrity while updating
+//! through it, and narrow to certainty as evidence arrives.
+//!
+//! Demonstrates: disjunctive loads, functional dependencies, constraint
+//! enforcement via `INSERT F WHERE …`, branching updates, ASSERT
+//! resolution, and certain/possible queries along the way.
+//!
+//! ```sh
+//! cargo run --example inventory_audit
+//! ```
+
+use winslett::db::LogicalDatabase;
+use winslett::theory::Dependency;
+
+fn show(db: &LogicalDatabase, label: &str) {
+    let worlds = db.world_names().expect("worlds enumerable");
+    println!("\n-- {label}: {} alternative world(s)", worlds.len());
+    for w in &worlds {
+        println!("   {{{}}}", w.join(", "));
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut db = LogicalDatabase::new();
+    // Stored(part, bin) — where a part is stored; each part sits in one bin.
+    let stored = db.declare_relation("Stored", 2)?;
+    // Counted(part, qty) — audited quantity; one count per part.
+    let counted = db.declare_relation("Counted", 2)?;
+    db.add_dependency(Dependency::functional("one-bin", stored, 2, &[0])?);
+    db.add_dependency(Dependency::functional("one-count", counted, 2, &[0])?);
+
+    // Known facts.
+    db.load_fact("Stored", &["widget", "bin1"])?;
+    db.load_fact("Counted", &["widget", "40"])?;
+
+    // The auditor knows the gadget is in bin2 or bin3, not which.
+    db.load_wff("(Stored(gadget,bin2) & !Stored(gadget,bin3)) | (Stored(gadget,bin3) & !Stored(gadget,bin2))")?;
+    show(&db, "after disjunctive load");
+
+    let ans = db.query("Stored(gadget, ?b)")?;
+    println!("gadget bin — certain: {:?}, possible: {:?}", ans.certain, ans.possible);
+
+    // A recount of the widget is disputed: 40 stands, or it is 38.
+    db.execute("MODIFY Counted(widget,40) TO BE Counted(widget,40) | Counted(widget,38) WHERE T")?;
+    show(&db, "after disputed recount (branching update)");
+    assert!(!db.is_certain("Counted(widget,40)")?);
+    assert!(db.is_certain("Counted(widget,40) | Counted(widget,38)")?);
+
+    // Business rule: every stored part must have a count. Enforce for the
+    // gadget: worlds without a gadget count are impossible once we record
+    // its count range.
+    db.execute("INSERT Counted(gadget,12) WHERE Stored(gadget,bin2)")?;
+    db.execute("INSERT Counted(gadget,15) WHERE Stored(gadget,bin3)")?;
+    show(&db, "after per-bin counts (selection clauses referencing other tuples)");
+
+    // Evidence arrives: bin3's camera shows the gadget.
+    db.execute("ASSERT Stored(gadget,bin3)")?;
+    show(&db, "after ASSERT Stored(gadget,bin3)");
+    let ans = db.query("Counted(gadget, ?q)")?;
+    println!("gadget count — certain: {:?}", ans.certain);
+    assert_eq!(ans.certain, vec![vec!["15".to_string()]]);
+
+    // The recount dispute resolves too.
+    db.execute("ASSERT !Counted(widget,38)")?;
+    show(&db, "fully resolved");
+    assert_eq!(db.world_names()?.len(), 1);
+
+    // An FD-violating update is caught: a second bin for the widget
+    // without vacating bin1 leaves no possible world.
+    let mut probe = db.clone();
+    probe.execute("INSERT Stored(widget,bin9) WHERE T")?;
+    println!(
+        "\nFD probe: inserting a second bin without vacating the first → consistent = {}",
+        probe.is_consistent()
+    );
+    assert!(!probe.is_consistent());
+
+    // The correct move (atomic): move the widget.
+    db.execute("INSERT Stored(widget,bin9) & !Stored(widget,bin1) WHERE T")?;
+    show(&db, "after atomic move to bin9");
+    assert!(db.is_certain("Stored(widget,bin9)")?);
+
+    println!("\nfinal stats: {}", db.stats());
+    Ok(())
+}

@@ -1,0 +1,205 @@
+//! An interactive LDML shell — the paper's update language as a REPL.
+//!
+//! ```sh
+//! cargo run --example ldml_repl
+//! ```
+//!
+//! ```text
+//! > .relation Orders/3
+//! > .fact Orders(700,32,9)
+//! > INSERT Orders(100,32,1) | Orders(100,32,7) WHERE T
+//! ok: 1 update (branching), 3 worlds
+//! > ?- Orders(?o, 32, ?q)
+//! certain : [700, 9]
+//! possible: [100, 1] [100, 7] [700, 9]
+//! > DELETE Orders(?o, 32, ?q) WHERE T          -- variables expand + apply simultaneously
+//! > .worlds
+//! > .save /tmp/db.json
+//! > .quit
+//! ```
+
+use std::io::{BufRead, Write as _};
+use winslett::db::{save_theory, LogicalDatabase};
+use winslett::gua::SimplifyLevel;
+
+const HELP: &str = "\
+LDML statements:
+  INSERT <wff> WHERE <wff>          DELETE <atom> WHERE <wff>
+  MODIFY <atom> TO BE <wff> WHERE <wff>          ASSERT <wff>
+  (terms may be ?variables: the statement expands over matching tuples
+   and the instances apply simultaneously)
+Queries:
+  ?- <atom> [& [!]<atom> ...]       e.g. ?- Orders(?o, 32, ?q) & !InStock(32, ?q)
+  ??- <query>                       same, with per-answer world-support counts
+Commands:
+  .relation Name/arity    declare a relation
+  .fact R(a,b,...)        load a certain fact
+  .wff <wff>              load an arbitrary ground wff (disjunctive info etc.)
+  .worlds                 list the alternative worlds
+  .certain                tuples true in every world
+  .possible               tuples true in some world
+  .explain <wff>          verdict + witness/counterexample worlds
+  .stats                  theory statistics
+  .simplify               run a full simplification pass
+  .save <path>            dump the theory as JSON
+  .help                   this text
+  .quit                   exit";
+
+fn main() {
+    let mut db = LogicalDatabase::new();
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    println!("winslett LDML shell — .help for commands");
+    loop {
+        print!("> ");
+        let _ = out.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() || line.starts_with("--") {
+            continue;
+        }
+        match run(&mut db, line) {
+            Ok(Reply::Quit) => break,
+            Ok(Reply::Text(t)) => println!("{t}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}
+
+enum Reply {
+    Text(String),
+    Quit,
+}
+
+fn run(db: &mut LogicalDatabase, line: &str) -> Result<Reply, Box<dyn std::error::Error>> {
+    if let Some(rest) = line.strip_prefix('.') {
+        let (cmd, arg) = match rest.find(char::is_whitespace) {
+            Some(i) => (&rest[..i], rest[i..].trim()),
+            None => (rest, ""),
+        };
+        return match cmd {
+            "help" => Ok(Reply::Text(HELP.into())),
+            "quit" | "exit" => Ok(Reply::Quit),
+            "relation" => {
+                let (name, arity) = arg.split_once('/').ok_or("usage: .relation Name/arity")?;
+                let arity: usize = arity.trim().parse()?;
+                db.declare_relation(name.trim(), arity)?;
+                Ok(Reply::Text(format!("declared {name}/{arity}")))
+            }
+            "fact" => {
+                let open = arg.find('(').ok_or("usage: .fact R(a,b,...)")?;
+                let name = arg[..open].trim();
+                let body = arg[open + 1..].trim_end_matches(')');
+                let args: Vec<&str> = body.split(',').map(str::trim).collect();
+                db.load_fact(name, &args)?;
+                Ok(Reply::Text("ok".into()))
+            }
+            "wff" => {
+                db.load_wff(arg)?;
+                Ok(Reply::Text("ok".into()))
+            }
+            "worlds" => {
+                let worlds = db.world_names()?;
+                let mut s = format!("{} alternative world(s)", worlds.len());
+                for w in worlds.iter().take(32) {
+                    s.push_str(&format!("\n  {{{}}}", w.join(", ")));
+                }
+                if worlds.len() > 32 {
+                    s.push_str("\n  …");
+                }
+                Ok(Reply::Text(s))
+            }
+            "explain" => Ok(Reply::Text(db.explain(arg)?.describe())),
+            "stats" => Ok(Reply::Text(db.stats().to_string())),
+            "certain" | "possible" => {
+                let rdb = if cmd == "certain" {
+                    db.certain_facts()?
+                } else {
+                    db.possible_facts()?
+                };
+                let mut out = String::new();
+                for (rel, tuples) in &rdb.relations {
+                    for t in tuples {
+                        out.push_str(&format!("{rel}({})\n", t.join(",")));
+                    }
+                }
+                if out.is_empty() {
+                    out = "(none)".into();
+                }
+                Ok(Reply::Text(out.trim_end().to_string()))
+            }
+            "simplify" => {
+                let r = db.simplify(SimplifyLevel::Full);
+                Ok(Reply::Text(format!(
+                    "{} → {} nodes, {} → {} wffs",
+                    r.nodes_before, r.nodes_after, r.formulas_before, r.formulas_after
+                )))
+            }
+            "save" => {
+                let json = save_theory(db.theory())?;
+                std::fs::write(arg, json)?;
+                Ok(Reply::Text(format!("saved to {arg}")))
+            }
+            other => Err(format!("unknown command .{other} (try .help)").into()),
+        };
+    }
+
+    if let Some(q) = line.strip_prefix("??-") {
+        let (supported, total) = db.query_with_support(q)?;
+        let mut out = format!("{total} world(s)");
+        for s in supported {
+            out.push_str(&format!(
+                "\n  [{}]  {}/{}{}",
+                s.row.join(", "),
+                s.support,
+                total,
+                if s.support == total { "  (certain)" } else { "" }
+            ));
+        }
+        return Ok(Reply::Text(out));
+    }
+
+    if let Some(q) = line.strip_prefix("?-") {
+        let ans = db.query(q)?;
+        let fmt = |rows: &[Vec<String>]| {
+            if rows.is_empty() {
+                "(none)".to_string()
+            } else {
+                rows.iter()
+                    .map(|r| format!("[{}]", r.join(", ")))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            }
+        };
+        return Ok(Reply::Text(format!(
+            "certain : {}\npossible: {}",
+            fmt(&ans.certain),
+            fmt(&ans.possible)
+        )));
+    }
+
+    // An LDML statement; route through the variable path when `?` appears.
+    if line.contains('?') {
+        let (n, report) = db.execute_variable(line)?;
+        let worlds = db.world_names()?.len();
+        Ok(Reply::Text(format!(
+            "ok: {n} ground instance(s){}, {worlds} world(s)",
+            if report.branching { " (branching)" } else { "" }
+        )))
+    } else {
+        let report = db.execute(line)?;
+        let worlds = db.world_names()?.len();
+        Ok(Reply::Text(format!(
+            "ok: 1 update{}, {worlds} world(s)",
+            if report.branching { " (branching)" } else { "" }
+        )))
+    }
+}

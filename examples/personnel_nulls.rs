@@ -1,0 +1,80 @@
+//! Null values in a personnel database.
+//!
+//! "Attribute values that are known to lie in a certain domain but whose
+//! value is currently unknown" (§1) — here, new hires whose department
+//! assignment is pending. Each null expands to an exactly-one disjunction
+//! over its candidate domain (the finite-domain Skolem treatment; see
+//! `winslett_core::nulls`), queries report certain vs possible answers,
+//! and ASSERT resolves nulls as HR decides.
+//!
+//! ```sh
+//! cargo run --example personnel_nulls
+//! ```
+
+use winslett::db::{LogicalDatabase, NullCatalog, NullableArg};
+use winslett::logic::Wff;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut db = LogicalDatabase::new();
+    db.declare_relation("WorksIn", 2)?; // WorksIn(person, dept)
+    db.declare_relation("Budget", 2)?; // Budget(dept, level)
+
+    db.load_fact("WorksIn", &["alice", "engineering"])?;
+    db.load_fact("Budget", &["engineering", "high"])?;
+    db.load_fact("Budget", &["sales", "low"])?;
+    db.load_fact("Budget", &["support", "low"])?;
+
+    // Bob is hired; the department is one of three.
+    let mut nulls = NullCatalog::new();
+    nulls.declare("bobdept", &["engineering", "sales", "support"])?;
+    let insert_bob = nulls.expand_insert(
+        db.theory_mut(),
+        "WorksIn",
+        &[NullableArg::parse("bob"), NullableArg::parse("@bobdept")],
+        Wff::t(),
+    )?;
+    db.update(&insert_bob)?;
+
+    println!("worlds after hiring bob with a null department:");
+    for w in db.world_names()? {
+        println!("  {{{}}}", w.join(", "));
+    }
+    assert_eq!(db.world_names()?.len(), 3);
+
+    // Queries under the null.
+    let ans = db.query("WorksIn(bob, ?d)")?;
+    println!("\nbob's department — certain: {:?}", ans.certain);
+    println!("bob's department — possible: {:?}", ans.possible);
+    assert!(ans.certain.is_empty());
+    assert_eq!(ans.possible.len(), 3);
+
+    // A join through the null: in which budget levels might bob sit?
+    let ans = db.query("WorksIn(bob, ?d) & Budget(?d, ?lvl)")?;
+    println!("\nbob's (dept, budget) possibilities: {:?}", ans.possible);
+
+    // Certain regardless of the null: bob works *somewhere* low-or-high.
+    assert!(db.is_certain(
+        "WorksIn(bob,engineering) | WorksIn(bob,sales) | WorksIn(bob,support)"
+    )?);
+    // Exactly-one: bob cannot be in two departments at once.
+    assert!(!db.is_possible("WorksIn(bob,sales) & WorksIn(bob,support)")?);
+
+    // Partial information first: "definitely not support".
+    db.execute("ASSERT !WorksIn(bob,support)")?;
+    println!("\nafter ruling out support: {} worlds", db.world_names()?.len());
+    assert_eq!(db.world_names()?.len(), 2);
+
+    // Full resolution.
+    db.execute("ASSERT WorksIn(bob,engineering)")?;
+    let ans = db.query("WorksIn(bob, ?d)")?;
+    println!("resolved: bob certainly in {:?}", ans.certain);
+    assert_eq!(ans.certain, vec![vec!["engineering".to_string()]]);
+
+    // Engineering head-count is now certain.
+    let ans = db.query("WorksIn(?p, engineering)")?;
+    println!("engineering staff: {:?}", ans.certain);
+    assert_eq!(ans.certain.len(), 2);
+
+    println!("\nfinal stats: {}", db.stats());
+    Ok(())
+}

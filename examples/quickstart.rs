@@ -1,0 +1,52 @@
+//! Quickstart: a five-minute tour of the library.
+//!
+//! Builds the paper's order database, runs the §3.1 example updates, asks
+//! certain/possible queries, and inspects the alternative worlds.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use winslett::db::LogicalDatabase;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Schema: Orders(OrderNo, PartNo, Quan) and InStock(PartNo, Quan).
+    let mut db = LogicalDatabase::new();
+    db.declare_relation("Orders", 3)?;
+    db.declare_relation("InStock", 2)?;
+
+    // 2. Complete-information facts.
+    db.load_fact("Orders", &["700", "32", "9"])?;
+    db.load_fact("InStock", &["32", "1"])?;
+    println!("loaded: {}", db.stats());
+
+    // 3. Incomplete information: a disjunctive insert (a *branching*
+    //    update). We know order 100 is for part 32, quantity 1 or 7.
+    db.execute("INSERT Orders(100,32,1) | Orders(100,32,7) WHERE T")?;
+    println!("\nafter disjunctive insert, alternative worlds:");
+    for w in db.world_names()? {
+        println!("  {{{}}}", w.join(", "));
+    }
+
+    // 4. Queries distinguish certain from possible answers.
+    let ans = db.query("Orders(?o, 32, ?q)")?;
+    println!("\nOrders(?o, 32, ?q):");
+    println!("  certain : {:?}", ans.certain);
+    println!("  possible: {:?}", ans.possible);
+
+    // 5. The paper's MODIFY example, guarded by stock.
+    db.execute("MODIFY Orders(700,32,9) TO BE Orders(700,32,1) WHERE InStock(32,1)")?;
+    println!("\nOrders(700,32,1) certain? {}", db.is_certain("Orders(700,32,1)")?);
+
+    // 6. ASSERT removes incompleteness when exact knowledge arrives.
+    db.execute("ASSERT Orders(100,32,7) & !Orders(100,32,1)")?;
+    println!("after ASSERT, worlds:");
+    for w in db.world_names()? {
+        println!("  {{{}}}", w.join(", "));
+    }
+    assert!(db.is_certain("Orders(100,32,7)")?);
+
+    // 7. Theory bookkeeping stays small thanks to §4 simplification.
+    println!("\nfinal: {}", db.stats());
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! Side-by-side comparison of the PODS-1986 update semantics and the PMA
+//! (minimal-change) semantics of Winslett's 1988 follow-up — the
+//! "other possible choices for update semantics" that §3.4 defers to a
+//! future publication.
+//!
+//! ```sh
+//! cargo run --example semantics_compare
+//! ```
+
+use winslett::ldml::Update;
+use winslett::logic::{Formula, ModelLimit, Wff};
+use winslett::theory::Theory;
+use winslett::worlds::WorldsEngine;
+
+fn show(label: &str, engine: &WorldsEngine, t: &Theory) {
+    println!("  {label}: {} world(s)", engine.len());
+    for w in engine.worlds() {
+        println!("    {{{}}}", t.format_world(w).join(", "));
+    }
+}
+
+fn main() {
+    // One relation, two tuples; `a` is known to hold.
+    let mut t = Theory::new();
+    let r = t.declare_relation("R", 1).expect("fresh schema");
+    let ca = t.constant("a");
+    let cb = t.constant("b");
+    let a = t.atom(r, &[ca]);
+    let b = t.atom(r, &[cb]);
+    t.assert_atom(a);
+    t.assert_not_atom(b);
+
+    let base = WorldsEngine::from_theory(&t, ModelLimit::default()).expect("one world");
+    println!("start:");
+    show("both", &base, &t);
+
+    // The discriminating update: INSERT R(a) ∨ R(b) — already satisfied.
+    let u = Update::insert(Formula::Or(vec![Wff::Atom(a), Wff::Atom(b)]), Wff::t());
+    println!("\nINSERT R(a) | R(b) WHERE T   (already true in the only world)");
+
+    let mut w1986 = base.clone();
+    w1986.apply(&u, &t).expect("1986 applies");
+    let mut pma = base.clone();
+    pma.apply_pma(&u, &t).expect("PMA applies");
+
+    println!("\nPODS-1986 semantics — ω overrides everything known about its atoms:");
+    show("1986", &w1986, &t);
+    println!("\nPMA (1988) — keep models minimally distant from the original:");
+    show("PMA", &pma, &t);
+
+    assert_eq!(w1986.len(), 3);
+    assert_eq!(pma.len(), 1);
+
+    // Where change is genuinely required, the two semantics differ in how
+    // much they allow: from the empty world, 1986 admits {a}, {b}, {a,b};
+    // PMA only the minimal {a} and {b}.
+    let mut t2 = Theory::new();
+    let r2 = t2.declare_relation("R", 1).expect("fresh schema");
+    let ca2 = t2.constant("a");
+    let cb2 = t2.constant("b");
+    let a2 = t2.atom(r2, &[ca2]);
+    let b2 = t2.atom(r2, &[cb2]);
+    t2.assert_not_atom(a2);
+    t2.assert_not_atom(b2);
+    let base2 = WorldsEngine::from_theory(&t2, ModelLimit::default()).expect("one world");
+    let u2 = Update::insert(Formula::Or(vec![Wff::Atom(a2), Wff::Atom(b2)]), Wff::t());
+
+    println!("\nfrom the empty world, same insert:");
+    let mut w1986 = base2.clone();
+    w1986.apply(&u2, &t2).expect("1986 applies");
+    let mut pma = base2.clone();
+    pma.apply_pma(&u2, &t2).expect("PMA applies");
+    show("1986", &w1986, &t2);
+    show("PMA ", &pma, &t2);
+    assert_eq!(w1986.len(), 3);
+    assert_eq!(pma.len(), 2);
+
+    println!(
+        "\nWhy the 1986 paper chose differently: its updates mean \"this wff is now\n\
+         the most exact and most recent state of knowledge about these atoms\" —\n\
+         INSERT g ∨ ¬g deliberately *forgets* g. PMA instead treats updates as\n\
+         changes to the world. Both are implemented here; GUA realizes the 1986\n\
+         semantics syntactically, and the worlds engine provides PMA for\n\
+         comparison (see EXPERIMENTS.md, E9)."
+    );
+}

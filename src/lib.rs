@@ -1,0 +1,55 @@
+//! # winslett
+//!
+//! Umbrella crate for the reproduction of Winslett, *"A Model-Theoretic
+//! Approach to Updating Logical Databases"* (PODS 1986). Re-exports the
+//! workspace crates under stable module names:
+//!
+//! * [`logic`] — ground FOL kernel (atoms, wffs, parser, CNF, SAT).
+//! * [`theory`] — extended relational theories and the §3.6 indexed store.
+//! * [`worlds`] — alternative worlds and the possible-worlds baseline.
+//! * [`ldml`] — the LDML update language and equivalence theorems.
+//! * [`gua`] — the Ground Update Algorithm and simplification.
+//! * [`db`] — the `LogicalDatabase` façade, queries, nulls, workloads.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour, and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the reproduction methodology.
+//!
+//! ```
+//! use winslett::db::LogicalDatabase;
+//!
+//! let mut db = LogicalDatabase::new();
+//! db.declare_relation("Orders", 3)?;
+//! db.declare_relation("InStock", 2)?;
+//! db.load_fact("Orders", &["700", "32", "9"])?;
+//! db.load_fact("InStock", &["32", "1"])?;
+//!
+//! // Incomplete information: a branching update.
+//! db.execute("INSERT Orders(100,32,1) | Orders(100,32,7) WHERE T")?;
+//! assert_eq!(db.world_names()?.len(), 3);
+//! assert!(db.is_possible("Orders(100,32,1)")?);
+//! assert!(!db.is_certain("Orders(100,32,1)")?);
+//!
+//! // The paper's MODIFY example.
+//! db.execute("MODIFY Orders(700,32,9) TO BE Orders(700,32,1) WHERE InStock(32,1)")?;
+//!
+//! // Exact knowledge arrives: ASSERT prunes worlds.
+//! db.execute("ASSERT Orders(100,32,7) & !Orders(100,32,1)")?;
+//! assert!(db.is_certain("Orders(100,32,7)")?);
+//!
+//! // Certain vs possible answers to conjunctive queries.
+//! let ans = db.query("Orders(?o, 32, ?q)")?;
+//! assert_eq!(ans.certain.len(), 2);
+//!
+//! // Updates with variables (§4): expanded to a set of ground updates and
+//! // applied simultaneously.
+//! db.execute_variable("DELETE Orders(?o, 32, ?q) WHERE T")?;
+//! assert!(db.is_certain("!Orders(100,32,7)")?);
+//! # Ok::<(), winslett::db::DbError>(())
+//! ```
+
+pub use winslett_core as db;
+pub use winslett_gua as gua;
+pub use winslett_ldml as ldml;
+pub use winslett_logic as logic;
+pub use winslett_theory as theory;
+pub use winslett_worlds as worlds;

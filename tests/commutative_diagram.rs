@@ -1,0 +1,165 @@
+//! Experiment E1 as a property: Theorems 1 and 5, proptest edition.
+//!
+//! For arbitrary small extended relational theories and arbitrary LDML
+//! update sequences, the theory produced by GUA must represent exactly the
+//! alternative worlds obtained by updating every world individually
+//! (the §3.2 commutative diagram), at every simplification level.
+
+use proptest::prelude::*;
+use winslett::gua::{GuaEngine, GuaOptions, SimplifyLevel};
+use winslett::ldml::Update;
+use winslett::logic::{AtomId, Formula, ModelLimit, Wff};
+use winslett::theory::Theory;
+use winslett::worlds::check_commutes;
+
+const NUM_ATOMS: usize = 5;
+
+/// A strategy producing wffs over atoms `0..NUM_ATOMS`.
+fn wff_strategy() -> impl Strategy<Value = Wff> {
+    let leaf = prop_oneof![
+        Just(Wff::t()),
+        Just(Wff::f()),
+        (0..NUM_ATOMS as u32).prop_map(|i| Wff::Atom(AtomId(i))),
+        (0..NUM_ATOMS as u32).prop_map(|i| Wff::Atom(AtomId(i)).not()),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|w: Wff| w.not()),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Formula::And),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Formula::Or),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Wff::implies(a, b)),
+            (inner.clone(), inner).prop_map(|(a, b)| Wff::iff(a, b)),
+        ]
+    })
+}
+
+fn update_strategy() -> impl Strategy<Value = Update> {
+    prop_oneof![
+        (wff_strategy(), wff_strategy()).prop_map(|(o, p)| Update::insert(o, p)),
+        (0..NUM_ATOMS as u32, wff_strategy())
+            .prop_map(|(t, p)| Update::delete(AtomId(t), p)),
+        (0..NUM_ATOMS as u32, wff_strategy(), wff_strategy())
+            .prop_map(|(t, o, p)| Update::modify(AtomId(t), o, p)),
+        wff_strategy().prop_map(Update::assert),
+    ]
+}
+
+fn build_theory(wffs: &[Wff]) -> Theory {
+    let mut t = Theory::new();
+    let r = t.declare_relation("R", 1).unwrap();
+    for i in 0..NUM_ATOMS {
+        let c = t.constant(&format!("c{i}"));
+        let id = t.atom(r, &[c]);
+        assert_eq!(id, AtomId(i as u32));
+    }
+    for w in wffs {
+        t.assert_wff(w);
+    }
+    // Register every atom so updates on unconstrained atoms are exercised
+    // too (a registered atom with no occurrences is free).
+    for i in 0..NUM_ATOMS {
+        t.register_atom(AtomId(i as u32));
+    }
+    t
+}
+
+fn check(level: SimplifyLevel, wffs: Vec<Wff>, updates: Vec<Update>) {
+    let theory = build_theory(&wffs);
+    if !theory.is_consistent() {
+        return;
+    }
+    let before = theory.clone();
+    let mut engine = GuaEngine::new(theory, GuaOptions::simplify_always(level));
+    for u in &updates {
+        engine.apply(u).expect("update applies");
+    }
+    let report = check_commutes(&before, &updates, &engine.theory, ModelLimit::default())
+        .expect("diagram runs");
+    assert!(
+        report.commutes,
+        "{}\nupdates: {updates:?}\nsection: {wffs:?}",
+        report.describe(&engine.theory)
+    );
+}
+
+fn check_result(
+    level: SimplifyLevel,
+    wffs: Vec<Wff>,
+    updates: Vec<Update>,
+) -> Result<(), TestCaseError> {
+    let theory = build_theory(&wffs);
+    if !theory.is_consistent() {
+        return Ok(());
+    }
+    let before = theory.clone();
+    let mut engine = GuaEngine::new(theory, GuaOptions::simplify_always(level));
+    for u in &updates {
+        engine.apply(u).expect("update applies");
+    }
+    let report = check_commutes(&before, &updates, &engine.theory, ModelLimit::default())
+        .expect("diagram runs");
+    prop_assert!(
+        report.commutes,
+        "{}\nupdates: {updates:?}\nsection: {wffs:?}",
+        report.describe(&engine.theory)
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn diagram_commutes_no_simplify(
+        wffs in prop::collection::vec(wff_strategy(), 1..4),
+        updates in prop::collection::vec(update_strategy(), 1..4),
+    ) {
+        check_result(SimplifyLevel::None, wffs, updates)?;
+    }
+
+    #[test]
+    fn diagram_commutes_fast_simplify(
+        wffs in prop::collection::vec(wff_strategy(), 1..4),
+        updates in prop::collection::vec(update_strategy(), 1..4),
+    ) {
+        check_result(SimplifyLevel::Fast, wffs, updates)?;
+    }
+
+    #[test]
+    fn diagram_commutes_full_simplify(
+        wffs in prop::collection::vec(wff_strategy(), 1..3),
+        updates in prop::collection::vec(update_strategy(), 1..3),
+    ) {
+        check_result(SimplifyLevel::Full, wffs, updates)?;
+    }
+}
+
+#[test]
+fn long_update_sequence_still_commutes() {
+    // A directed, longer sequence mixing all four operators.
+    let wffs = vec![
+        Wff::Atom(AtomId(0)),
+        Formula::Or(vec![Wff::Atom(AtomId(1)), Wff::Atom(AtomId(2))]),
+        Wff::Atom(AtomId(3)).not(),
+    ];
+    let updates = vec![
+        Update::insert(
+            Formula::Or(vec![Wff::Atom(AtomId(3)), Wff::Atom(AtomId(4))]),
+            Wff::Atom(AtomId(0)),
+        ),
+        Update::delete(AtomId(0), Wff::t()),
+        Update::modify(
+            AtomId(1),
+            Formula::Or(vec![Wff::Atom(AtomId(2)), Wff::Atom(AtomId(1))]),
+            Wff::t(),
+        ),
+        Update::assert(Formula::Or(vec![
+            Wff::Atom(AtomId(2)),
+            Wff::Atom(AtomId(4)),
+        ])),
+        Update::insert(Wff::Atom(AtomId(0)), Wff::Atom(AtomId(2))),
+        Update::assert(Wff::Atom(AtomId(4)).not()),
+    ];
+    check(SimplifyLevel::Fast, wffs, updates);
+}

@@ -1,0 +1,184 @@
+//! Experiment E2 as a property: the Theorem 2/3/4 equivalence deciders
+//! agree with brute-force per-model semantics on arbitrary update pairs.
+
+use proptest::prelude::*;
+use winslett::ldml::{
+    equivalent_brute, equivalent_updates, theorem2_sufficient, theorem3, Update,
+};
+use winslett::logic::{AtomId, Formula, Wff};
+
+const NUM_ATOMS: usize = 4;
+
+fn wff_strategy() -> impl Strategy<Value = Wff> {
+    let leaf = prop_oneof![
+        Just(Wff::t()),
+        Just(Wff::f()),
+        (0..NUM_ATOMS as u32).prop_map(|i| Wff::Atom(AtomId(i))),
+        (0..NUM_ATOMS as u32).prop_map(|i| Wff::Atom(AtomId(i)).not()),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|w: Wff| w.not()),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Formula::And),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Formula::Or),
+            (inner.clone(), inner).prop_map(|(a, b)| Wff::implies(a, b)),
+        ]
+    })
+}
+
+fn update_strategy() -> impl Strategy<Value = Update> {
+    prop_oneof![
+        (wff_strategy(), wff_strategy()).prop_map(|(o, p)| Update::insert(o, p)),
+        (0..NUM_ATOMS as u32, wff_strategy())
+            .prop_map(|(t, p)| Update::delete(AtomId(t), p)),
+        (0..NUM_ATOMS as u32, wff_strategy(), wff_strategy())
+            .prop_map(|(t, o, p)| Update::modify(AtomId(t), o, p)),
+        wff_strategy().prop_map(Update::assert),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Theorem 4 (which subsumes Theorem 3) agrees with brute force.
+    #[test]
+    fn decider_matches_brute_force(b1 in update_strategy(), b2 in update_strategy()) {
+        let decided = equivalent_updates(&b1, &b2, NUM_ATOMS).unwrap().equivalent;
+        let brute = equivalent_brute(&b1, &b2, NUM_ATOMS).unwrap();
+        prop_assert_eq!(decided, brute, "b1 = {:?}, b2 = {:?}", b1, b2);
+    }
+
+    /// Equivalence is reflexive and symmetric (as decided).
+    #[test]
+    fn decider_is_reflexive_and_symmetric(b1 in update_strategy(), b2 in update_strategy()) {
+        prop_assert!(equivalent_updates(&b1, &b1, NUM_ATOMS).unwrap().equivalent);
+        let ab = equivalent_updates(&b1, &b2, NUM_ATOMS).unwrap().equivalent;
+        let ba = equivalent_updates(&b2, &b1, NUM_ATOMS).unwrap().equivalent;
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Theorem 2 is sound: whenever its sufficient conditions hold, the
+    /// updates really are equivalent.
+    #[test]
+    fn theorem2_is_sound(o1 in wff_strategy(), o2 in wff_strategy(), phi in wff_strategy()) {
+        let b1 = Update::insert(o1, phi.clone());
+        let b2 = Update::insert(o2, phi);
+        if theorem2_sufficient(&b1, &b2, NUM_ATOMS) {
+            prop_assert!(equivalent_brute(&b1, &b2, NUM_ATOMS).unwrap());
+        }
+    }
+
+    /// Theorem 3 (shared φ) agrees with brute force on INSERT pairs.
+    #[test]
+    fn theorem3_matches_brute_force(
+        o1 in wff_strategy(),
+        o2 in wff_strategy(),
+        phi in wff_strategy(),
+    ) {
+        let verdict = theorem3(&o1, &o2, &phi, NUM_ATOMS).unwrap();
+        let b1 = Update::insert(o1, phi.clone());
+        let b2 = Update::insert(o2, phi);
+        let brute = equivalent_brute(&b1, &b2, NUM_ATOMS).unwrap();
+        prop_assert_eq!(verdict.equivalent, brute, "reason: {}", verdict.reason);
+    }
+
+    /// The §3.2 reductions are themselves equivalences: each operator is
+    /// equivalent (as an update) to its INSERT form.
+    #[test]
+    fn reductions_are_equivalences(b in update_strategy()) {
+        let form = b.to_insert();
+        let as_insert = Update::Insert { omega: form.omega, phi: form.phi };
+        prop_assert!(equivalent_brute(&b, &as_insert, NUM_ATOMS).unwrap());
+    }
+}
+
+/// Theorem 6: the equivalence verdict is the same whether or not the
+/// theories carry type and dependency axioms. Concretely: if the decider
+/// (which is axiom-agnostic) says EQUIVALENT, then applying the two updates
+/// to a *typed* theory with dependencies must yield identical worlds.
+#[test]
+fn theorem6_equivalence_survives_axioms() {
+    use winslett::gua::{GuaEngine, GuaOptions, SimplifyLevel};
+    use winslett::logic::ModelLimit;
+    use winslett::theory::{Dependency, Theory};
+
+    // A typed schema with a dependency: R(x) over attribute A, R ⊆ Q.
+    let build = || {
+        let mut t = Theory::new();
+        let attr = t.declare_attribute("A").unwrap();
+        let r = t.declare_typed_relation("R", &[attr]).unwrap();
+        let q = t.declare_relation("Q", 1).unwrap();
+        t.add_dependency(Dependency::inclusion("inc", r, 1, q, &[0]).unwrap());
+        let mut atoms = Vec::new();
+        for name in ["x", "y"] {
+            let c = t.constant(name);
+            let ra = t.atom(r, &[c]);
+            let qa = t.atom(q, &[c]);
+            let aa = t.atom(attr, &[c]);
+            atoms.extend([ra, qa, aa]);
+        }
+        // Legal start state: R(x), Q(x), A(x) hold; the y-family doesn't.
+        t.assert_atom(atoms[0]);
+        t.assert_atom(atoms[1]);
+        t.assert_atom(atoms[2]);
+        for &a in &atoms[3..] {
+            t.assert_not_atom(a);
+        }
+        assert!(t.check_axioms_redundant().is_ok());
+        (t, atoms)
+    };
+
+    let (probe_theory, atoms) = build();
+    let n = probe_theory.num_atoms();
+
+    let mut rng = 0x7E06_u64;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    let mut equivalent_pairs = 0;
+    for _ in 0..200 {
+        let mk = |next: &mut dyn FnMut() -> u64| {
+            let a = atoms[(next() % atoms.len() as u64) as usize];
+            let b = atoms[(next() % atoms.len() as u64) as usize];
+            match next() % 3 {
+                0 => Update::insert(Wff::Atom(a), Wff::Atom(b)),
+                1 => Update::delete(a, Wff::Atom(b)),
+                _ => Update::assert(Wff::Atom(a)),
+            }
+        };
+        let b1 = mk(&mut next);
+        let b2 = mk(&mut next);
+        if !equivalent_updates(&b1, &b2, n).unwrap().equivalent {
+            continue;
+        }
+        equivalent_pairs += 1;
+        // Equivalent without axioms ⇒ identical worlds on the typed theory.
+        let run = |u: &Update| {
+            let (t, _) = build();
+            let mut e = GuaEngine::new(
+                t,
+                GuaOptions::simplify_always(SimplifyLevel::Fast),
+            );
+            e.apply(u).unwrap();
+            e.theory.alternative_worlds(ModelLimit::default()).unwrap()
+        };
+        assert_eq!(run(&b1), run(&b2), "b1 = {b1:?}, b2 = {b2:?}");
+    }
+    assert!(equivalent_pairs > 0, "generator produced no equivalent pairs");
+}
+
+/// The paper's statement that DELETE ≡ MODIFY t TO BE ¬t (same φ).
+#[test]
+fn delete_equals_modify_to_not_t_for_all_targets() {
+    for t in 0..NUM_ATOMS as u32 {
+        for phi in [Wff::t(), Wff::Atom(AtomId((t + 1) % NUM_ATOMS as u32))] {
+            let b1 = Update::delete(AtomId(t), phi.clone());
+            let b2 = Update::modify(AtomId(t), Wff::Atom(AtomId(t)).not(), phi);
+            assert!(equivalent_brute(&b1, &b2, NUM_ATOMS).unwrap());
+            assert!(equivalent_updates(&b1, &b2, NUM_ATOMS).unwrap().equivalent);
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! A long scripted lifecycle — dozens of updates of every kind over a
+//! realistic schema, with the possible-worlds baseline shadowing the GUA
+//! engine at every step and agreeing on the worlds throughout. This is the
+//! "soak test" a downstream adopter would want: not one update in
+//! isolation, but a workload's worth of composed behaviour.
+
+use winslett::gua::{GuaEngine, GuaOptions, SimplifyLevel};
+use winslett::ldml::canonicalize;
+use winslett::logic::ModelLimit;
+use winslett::theory::{Dependency, Theory};
+use winslett::worlds::WorldsEngine;
+
+struct Shadowed {
+    engine: GuaEngine,
+    baseline: WorldsEngine,
+    steps: usize,
+}
+
+impl Shadowed {
+    fn new(theory: Theory, level: SimplifyLevel) -> Self {
+        let baseline = WorldsEngine::from_theory(&theory, ModelLimit::default()).unwrap();
+        Shadowed {
+            engine: GuaEngine::new(theory, GuaOptions::simplify_always(level)),
+            baseline,
+            steps: 0,
+        }
+    }
+
+    fn run(&mut self, src: &str) {
+        self.steps += 1;
+        let update = self.engine.parse(src).unwrap_or_else(|e| {
+            panic!("step {}: `{src}` failed to parse: {e}", self.steps)
+        });
+        self.engine
+            .apply(&update)
+            .unwrap_or_else(|e| panic!("step {}: `{src}` failed: {e}", self.steps));
+        self.baseline
+            .apply(&update, &self.engine.theory)
+            .unwrap_or_else(|e| panic!("step {}: baseline failed: {e}", self.steps));
+        self.check(src);
+    }
+
+    fn check(&self, src: &str) {
+        let ours = canonicalize(
+            self.engine
+                .theory
+                .alternative_worlds(ModelLimit::default())
+                .unwrap(),
+        );
+        let theirs = canonicalize(self.baseline.worlds().to_vec());
+        assert_eq!(
+            ours, theirs,
+            "step {} (`{src}`): GUA and baseline disagree",
+            self.steps
+        );
+    }
+
+    fn worlds(&self) -> usize {
+        self.baseline.len()
+    }
+}
+
+fn warehouse() -> Theory {
+    let mut t = Theory::new();
+    let stored = t.declare_relation("Stored", 2).unwrap(); // part, bin
+    t.declare_relation("Counted", 2).unwrap(); // part, qty
+    t.declare_relation("Ordered", 2).unwrap(); // part, qty
+    t.add_dependency(Dependency::functional("one-bin", stored, 2, &[0]).unwrap());
+    t
+}
+
+#[test]
+fn warehouse_lifecycle_fast_simplify() {
+    let mut s = Shadowed::new(warehouse(), SimplifyLevel::Fast);
+
+    // Phase 1: certain stock arrives.
+    s.run("INSERT Stored(widget,bin1) WHERE T");
+    s.run("INSERT Stored(gadget,bin2) WHERE T");
+    s.run("INSERT Counted(widget,40) WHERE T");
+    s.run("INSERT Counted(gadget,12) WHERE T");
+    assert_eq!(s.worlds(), 1);
+
+    // Phase 2: uncertainty creeps in.
+    s.run("INSERT (Stored(sprocket,bin1) & !Stored(sprocket,bin3)) | (Stored(sprocket,bin3) & !Stored(sprocket,bin1)) WHERE T");
+    assert_eq!(s.worlds(), 2);
+    s.run("INSERT Counted(widget,40) | Counted(widget,38) WHERE T");
+    assert_eq!(s.worlds(), 6); // {40},{38},{40,38} × 2 bins
+    s.run("INSERT Ordered(widget,100) WHERE Counted(widget,38)");
+
+    // Phase 3: conditional maintenance referencing other tuples.
+    s.run("INSERT Counted(sprocket,7) WHERE Stored(sprocket,bin1)");
+    s.run("INSERT Counted(sprocket,9) WHERE Stored(sprocket,bin3)");
+    s.run("MODIFY Counted(gadget,12) TO BE Counted(gadget,13) WHERE Stored(gadget,bin2)");
+
+    // Phase 4: resolution.
+    s.run("ASSERT Stored(sprocket,bin3)");
+    s.run("ASSERT Counted(widget,40) & !Counted(widget,38)");
+    assert_eq!(s.worlds(), 1);
+
+    // Phase 5: moves under the FD (atomic bin changes).
+    s.run("INSERT Stored(widget,bin4) & !Stored(widget,bin1) WHERE T");
+    s.run("DELETE Stored(gadget,bin2) WHERE T");
+    s.run("INSERT Stored(gadget,bin5) WHERE T");
+    assert_eq!(s.worlds(), 1);
+
+    // Phase 6: churn — forget and re-learn repeatedly.
+    for i in 0..8 {
+        s.run("INSERT Counted(widget,40) | Counted(widget,41) WHERE T");
+        if i % 2 == 0 {
+            s.run("ASSERT Counted(widget,40) & !Counted(widget,41)");
+        } else {
+            s.run("ASSERT Counted(widget,41) & !Counted(widget,40)");
+        }
+    }
+    assert_eq!(s.worlds(), 1);
+
+    // The engine's theory stayed compact through ~30 updates.
+    let stats = s.engine.theory.stats();
+    assert!(
+        stats.store_nodes < 400,
+        "store grew too large: {}",
+        stats
+    );
+
+    // Final sanity: the certain facts are what the story says.
+    assert!(s.engine.theory.is_consistent());
+    let mut final_db = winslett::db::LogicalDatabase::from_theory(
+        s.engine.theory.clone(),
+        winslett::db::DbOptions::default(),
+    );
+    assert!(final_db.is_certain("Stored(widget,bin4)").unwrap());
+    assert!(final_db.is_certain("Stored(gadget,bin5)").unwrap());
+    assert!(final_db.is_certain("Stored(sprocket,bin3)").unwrap());
+    assert!(final_db.is_certain("Counted(sprocket,9)").unwrap());
+    assert!(final_db.is_certain("Counted(gadget,13)").unwrap());
+    assert!(final_db.is_certain("Counted(widget,41)").unwrap());
+}
+
+#[test]
+fn warehouse_lifecycle_full_simplify_matches_none() {
+    // The same script at SimplifyLevel::Full and ::None must agree with
+    // each other world-for-world at the end.
+    let script = [
+        "INSERT Stored(widget,bin1) WHERE T",
+        "INSERT Counted(widget,40) | Counted(widget,38) WHERE T",
+        "INSERT Ordered(widget,100) WHERE Counted(widget,38)",
+        "MODIFY Stored(widget,bin1) TO BE Stored(widget,bin2) WHERE T",
+        "ASSERT Counted(widget,38) & !Counted(widget,40)",
+        "DELETE Ordered(widget,100) WHERE T",
+    ];
+    let run = |level: SimplifyLevel| {
+        let mut engine = GuaEngine::new(warehouse(), GuaOptions::simplify_always(level));
+        for src in script {
+            engine.execute(src).unwrap();
+        }
+        canonicalize(
+            engine
+                .theory
+                .alternative_worlds(ModelLimit::default())
+                .unwrap(),
+        )
+    };
+    let full = run(SimplifyLevel::Full);
+    let none = run(SimplifyLevel::None);
+    assert_eq!(full, none);
+    assert_eq!(full.len(), 1);
+}
+
+#[test]
+fn interleaved_variable_and_ground_updates() {
+    use winslett::db::LogicalDatabase;
+    let mut db = LogicalDatabase::new();
+    db.declare_relation("Stored", 2).unwrap();
+    db.declare_relation("Counted", 2).unwrap();
+    for (p, b) in [("w1", "bin1"), ("w2", "bin1"), ("w3", "bin2")] {
+        db.load_fact("Stored", &[p, b]).unwrap();
+    }
+    // Zero-count every part in bin1 (variable), then move bin1 to bin9
+    // (variable modify), then spot-fix one count (ground).
+    let (n, _) = db
+        .execute_variable("INSERT Counted(?p, 0) WHERE Stored(?p, bin1)")
+        .unwrap();
+    assert_eq!(n, 2); // only w1 and w2 sit in bin1
+    let (n, _) = db
+        .execute_variable("MODIFY Stored(?p, bin1) TO BE Stored(?p, bin9) WHERE T")
+        .unwrap();
+    assert_eq!(n, 2);
+    db.execute("MODIFY Counted(w1,0) TO BE Counted(w1,5) WHERE T")
+        .unwrap();
+
+    assert!(db.is_certain("Stored(w1,bin9) & Stored(w2,bin9) & Stored(w3,bin2)").unwrap());
+    assert!(db.is_certain("!Stored(w1,bin1) & !Stored(w2,bin1)").unwrap());
+    assert!(db.is_certain("Counted(w1,5) & Counted(w2,0)").unwrap());
+    assert!(db.is_certain("!Counted(w3,0)").unwrap()); // bin2 wasn't counted
+    assert_eq!(db.world_names().unwrap().len(), 1);
+}

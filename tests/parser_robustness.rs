@@ -1,0 +1,97 @@
+//! Robustness: no parser in the workspace may panic on arbitrary input —
+//! malformed text must come back as a typed error.
+
+use proptest::prelude::*;
+use winslett::db::LogicalDatabase;
+use winslett::ldml::parse_update;
+use winslett::logic::{parse_wff, AtomTable, ParseContext, Vocabulary};
+
+fn seeded_db() -> LogicalDatabase {
+    let mut db = LogicalDatabase::new();
+    db.declare_relation("Orders", 3).unwrap();
+    db.declare_relation("InStock", 2).unwrap();
+    db.load_fact("Orders", &["700", "32", "9"]).unwrap();
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The wff parser never panics, on any string.
+    #[test]
+    fn wff_parser_never_panics(input in ".{0,64}") {
+        let mut vocab = Vocabulary::new();
+        let mut atoms = AtomTable::new();
+        let mut ctx = ParseContext::permissive(&mut vocab, &mut atoms);
+        let _ = parse_wff(&input, &mut ctx);
+    }
+
+    /// The LDML statement parser never panics.
+    #[test]
+    fn ldml_parser_never_panics(input in ".{0,80}") {
+        let mut vocab = Vocabulary::new();
+        let mut atoms = AtomTable::new();
+        let mut ctx = ParseContext::permissive(&mut vocab, &mut atoms);
+        let _ = parse_update(&input, &mut ctx);
+    }
+
+    /// Mutated near-valid LDML statements never panic the full pipeline.
+    #[test]
+    fn mutated_statements_never_panic(
+        noise in ".{0,12}",
+        pos in 0usize..60,
+    ) {
+        let base = "MODIFY Orders(700,32,9) TO BE Orders(700,32,1) WHERE InStock(32,1)";
+        let cut = pos.min(base.len());
+        // Splice noise into the middle at a char boundary.
+        let mut boundary = cut;
+        while !base.is_char_boundary(boundary) {
+            boundary -= 1;
+        }
+        let mutated = format!("{}{}{}", &base[..boundary], noise, &base[boundary..]);
+        let mut db = seeded_db();
+        let _ = db.execute(&mutated);
+        let _ = db.execute_variable(&mutated);
+        // The database survives whatever happened.
+        let _ = db.world_names();
+    }
+
+    /// The query parser never panics.
+    #[test]
+    fn query_parser_never_panics(input in ".{0,64}") {
+        let db = seeded_db();
+        let _ = db.query(&input);
+    }
+}
+
+/// A gallery of specifically nasty inputs.
+#[test]
+fn nasty_inputs_return_errors() {
+    let mut db = seeded_db();
+    for src in [
+        "",
+        " ",
+        "(",
+        ")",
+        "((((((((((",
+        "INSERT",
+        "INSERT WHERE",
+        "INSERT WHERE WHERE",
+        "MODIFY TO BE WHERE",
+        "DELETE WHERE T",
+        "INSERT Orders(700,32,9 WHERE T",
+        "INSERT Orders(,,) WHERE T",
+        "INSERT Orders(700,32,9) WHERE",
+        "INSERT & WHERE T",
+        "ASSERT !!!!!",
+        "ASSERT ¬∧∨→↔",
+        "INSERT Orders(700,32,9) WHERE T trailing",
+        "?- ",
+        "INSERT T WHERE T WHERE T",
+    ] {
+        assert!(db.execute(src).is_err(), "`{src}` should be rejected");
+    }
+    // Unicode connectives in valid positions still work.
+    assert!(db.execute("ASSERT ¬InStock(99,99) ∧ T").is_ok());
+    assert!(db.is_consistent());
+}

@@ -1,0 +1,129 @@
+//! Cross-crate integration: saving/loading a database mid-lifecycle, and
+//! the relational-database bridge (Reiter construction + certain/possible
+//! projections) composed with updates.
+
+use winslett::db::{
+    certain_database, from_world, load_theory, possible_database, save_theory,
+    LogicalDatabase, RelationalDatabase,
+};
+use winslett::gua::GuaEngine;
+use winslett::logic::ModelLimit;
+
+#[test]
+fn full_lifecycle_save_load_resume() {
+    // Build a database, make it genuinely incomplete, save it, load it,
+    // keep updating it, and check the continuation matches an unsaved run.
+    let build = || {
+        let mut db = LogicalDatabase::new();
+        db.declare_relation("Orders", 3).unwrap();
+        db.declare_relation("InStock", 2).unwrap();
+        db.load_fact("Orders", &["700", "32", "9"]).unwrap();
+        db.load_fact("InStock", &["32", "1"]).unwrap();
+        db.execute("INSERT Orders(100,32,1) | Orders(100,32,7) WHERE T")
+            .unwrap();
+        db
+    };
+
+    let db = build();
+    let json = save_theory(db.theory()).unwrap();
+    let restored = load_theory(&json).unwrap();
+
+    // Same worlds after restore.
+    let mut a = db.world_names().unwrap();
+    let restored_db = LogicalDatabase::from_theory(restored, db.options());
+    let mut b = restored_db.world_names().unwrap();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b);
+
+    // Continue on both paths; results must agree.
+    let mut live = build();
+    live.execute("ASSERT Orders(100,32,7)").unwrap();
+    let mut resumed = restored_db;
+    resumed.execute("ASSERT Orders(100,32,7)").unwrap();
+    assert_eq!(
+        live.world_names().unwrap(),
+        resumed.world_names().unwrap()
+    );
+}
+
+#[test]
+fn relational_bridge_roundtrip_through_updates() {
+    // Ordinary database → theory (Reiter) → updates → certain/possible
+    // projections → plain databases again.
+    let mut rdb = RelationalDatabase::new();
+    rdb.insert("Emp", &["alice", "eng"]);
+    rdb.insert("Emp", &["bob", "sales"]);
+    rdb.insert("Dept", &["eng"]);
+    rdb.insert("Dept", &["sales"]);
+
+    let theory = rdb.to_theory().unwrap();
+    let mut engine = GuaEngine::with_defaults(theory);
+    // bob's department becomes uncertain.
+    engine
+        .execute("INSERT (Emp(bob,sales) & !Emp(bob,support)) | (Emp(bob,support) & !Emp(bob,sales)) WHERE T")
+        .unwrap();
+
+    let certain = certain_database(&engine.theory, ModelLimit::default()).unwrap();
+    let possible = possible_database(&engine.theory, ModelLimit::default()).unwrap();
+
+    // alice's row is certain; bob's rows are possible only.
+    assert!(certain.relations["Emp"].contains(&vec!["alice".to_string(), "eng".to_string()]));
+    assert!(!certain.relations["Emp"].iter().any(|t| t[0] == "bob"));
+    assert_eq!(
+        possible.relations["Emp"]
+            .iter()
+            .filter(|t| t[0] == "bob")
+            .count(),
+        2
+    );
+    // Departments untouched.
+    assert_eq!(certain.relations["Dept"].len(), 2);
+
+    // Every alternative world renders as a database "between" the bounds.
+    let worlds = engine
+        .theory
+        .alternative_worlds(ModelLimit::default())
+        .unwrap();
+    assert_eq!(worlds.len(), 2);
+    for w in &worlds {
+        let world_db = from_world(&engine.theory, w);
+        for (rel, tuples) in &certain.relations {
+            for t in tuples {
+                assert!(
+                    world_db.relations[rel].contains(t),
+                    "certain tuple {t:?} missing from a world"
+                );
+            }
+        }
+        for (rel, tuples) in &world_db.relations {
+            for t in tuples {
+                assert!(
+                    possible.relations[rel].contains(t),
+                    "world tuple {t:?} outside the possible bound"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn save_load_preserves_dependencies_and_schema() {
+    use winslett::theory::Dependency;
+    let mut db = LogicalDatabase::new();
+    let part = db.declare_attribute("PartNo").unwrap();
+    let quan = db.declare_attribute("Quan").unwrap();
+    let instock = db.declare_typed_relation("InStock", &[part, quan]).unwrap();
+    db.add_dependency(Dependency::functional("fd", instock, 2, &[0]).unwrap());
+    db.execute("INSERT InStock(32,5) WHERE T").unwrap();
+
+    let json = save_theory(db.theory()).unwrap();
+    let restored = load_theory(&json).unwrap();
+    assert_eq!(restored.deps.len(), 1);
+    assert!(restored.schema.has_type_axioms());
+
+    // The restored theory still enforces the FD through rule 3 semantics.
+    let mut engine = GuaEngine::with_defaults(restored);
+    engine.execute("INSERT InStock(32,9) & PartNo(32) & Quan(9) WHERE T").unwrap();
+    assert!(!engine.theory.is_consistent());
+}

@@ -1,0 +1,198 @@
+//! Experiment E6's soundness leg: simplification (§4) must never change
+//! the alternative worlds, at any level, on arbitrary sections — including
+//! sections containing predicate constants left behind by GUA — and it
+//! must actually shrink theories under realistic update churn.
+
+use proptest::prelude::*;
+use winslett::gua::{simplify, GuaEngine, GuaOptions, SimplifyLevel};
+use winslett::ldml::Update;
+use winslett::logic::{AtomId, Formula, GroundAtom, ModelLimit, Wff};
+use winslett::theory::Theory;
+
+const VISIBLE: usize = 4;
+const PCS: usize = 2;
+
+fn wff_strategy() -> impl Strategy<Value = Wff> {
+    let leaf = prop_oneof![
+        Just(Wff::t()),
+        Just(Wff::f()),
+        (0..(VISIBLE + PCS) as u32).prop_map(|i| Wff::Atom(AtomId(i))),
+        (0..(VISIBLE + PCS) as u32).prop_map(|i| Wff::Atom(AtomId(i)).not()),
+    ];
+    leaf.prop_recursive(3, 20, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|w: Wff| w.not()),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Formula::And),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Formula::Or),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Wff::implies(a, b)),
+            (inner.clone(), inner).prop_map(|(a, b)| Wff::iff(a, b)),
+        ]
+    })
+}
+
+/// Atoms 0..VISIBLE are relation atoms; VISIBLE..VISIBLE+PCS are predicate
+/// constants.
+fn build_theory(wffs: &[Wff]) -> Theory {
+    let mut t = Theory::new();
+    let r = t.declare_relation("R", 1).unwrap();
+    for i in 0..VISIBLE {
+        let c = t.constant(&format!("c{i}"));
+        let id = t.atom(r, &[c]);
+        assert_eq!(id, AtomId(i as u32));
+    }
+    for i in 0..PCS {
+        let pc = t.vocab.fresh_predicate_constant();
+        let id = t.atoms.intern(GroundAtom::nullary(pc));
+        assert_eq!(id, AtomId((VISIBLE + i) as u32));
+    }
+    for w in wffs {
+        t.assert_wff(w);
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn fast_simplification_preserves_worlds(
+        wffs in prop::collection::vec(wff_strategy(), 1..5),
+    ) {
+        let mut t = build_theory(&wffs);
+        let before = t.alternative_worlds(ModelLimit::default()).unwrap();
+        simplify(&mut t, SimplifyLevel::Fast);
+        let after = t.alternative_worlds(ModelLimit::default()).unwrap();
+        prop_assert_eq!(before, after, "section: {:?}", wffs);
+    }
+
+    #[test]
+    fn full_simplification_preserves_worlds(
+        wffs in prop::collection::vec(wff_strategy(), 1..5),
+    ) {
+        let mut t = build_theory(&wffs);
+        let before = t.alternative_worlds(ModelLimit::default()).unwrap();
+        simplify(&mut t, SimplifyLevel::Full);
+        let after = t.alternative_worlds(ModelLimit::default()).unwrap();
+        prop_assert_eq!(before, after, "section: {:?}", wffs);
+    }
+
+    /// Simplification usually shrinks, but eliminating a predicate
+    /// constant confined to one formula uses Shannon expansion
+    /// (∃p f ≡ f[p:=T] ∨ f[p:=F]), which may up to double that formula —
+    /// so the honest bound is 2× plus a constant. A second pass must not
+    /// blow up either (the expansion removed the atom, so it cannot
+    /// re-fire).
+    #[test]
+    fn simplification_size_is_bounded_and_settles(
+        wffs in prop::collection::vec(wff_strategy(), 1..5),
+    ) {
+        let mut t = build_theory(&wffs);
+        let r1 = simplify(&mut t, SimplifyLevel::Fast);
+        prop_assert!(r1.nodes_after <= 2 * r1.nodes_before + 4,
+            "grew from {} to {}", r1.nodes_before, r1.nodes_after);
+        let r2 = simplify(&mut t, SimplifyLevel::Fast);
+        prop_assert!(r2.nodes_after <= r2.nodes_before,
+            "second pass grew from {} to {}", r2.nodes_before, r2.nodes_after);
+    }
+}
+
+/// The E6 shape in miniature: under an insert/assert churn, the simplified
+/// engine's theory stays dramatically smaller than the unsimplified one,
+/// while representing the same worlds.
+#[test]
+fn simplification_bounds_growth_under_churn() {
+    let run = |level: SimplifyLevel| -> (usize, Vec<winslett::logic::BitSet>) {
+        let mut t = Theory::new();
+        let r = t.declare_relation("R", 1).unwrap();
+        let ca = t.constant("a");
+        let cb = t.constant("b");
+        let a = t.atom(r, &[ca]);
+        let b = t.atom(r, &[cb]);
+        t.assert_atom(a);
+        t.assert_not_atom(b);
+        let mut engine = GuaEngine::new(t, GuaOptions::simplify_always(level));
+        for i in 0..30 {
+            // Branch, then resolve — the paper's insert-then-ASSERT cycle.
+            engine
+                .apply(&Update::insert(
+                    Formula::Or(vec![Wff::Atom(a), Wff::Atom(b)]),
+                    Wff::t(),
+                ))
+                .unwrap();
+            let keep = if i % 2 == 0 { a } else { b };
+            engine
+                .apply(&Update::assert(Wff::Atom(keep)))
+                .unwrap();
+        }
+        (
+            engine.theory.store.size_nodes(),
+            engine
+                .theory
+                .alternative_worlds(ModelLimit::default())
+                .unwrap(),
+        )
+    };
+    let (nodes_none, worlds_none) = run(SimplifyLevel::None);
+    let (nodes_fast, worlds_fast) = run(SimplifyLevel::Fast);
+    assert_eq!(worlds_none, worlds_fast);
+    assert!(
+        nodes_fast * 5 < nodes_none,
+        "fast {nodes_fast} vs none {nodes_none}"
+    );
+}
+
+/// Simplification composes with further updates: simplify mid-stream, keep
+/// updating, worlds still match the never-simplified run.
+#[test]
+fn mid_stream_simplification_is_transparent() {
+    let build = || {
+        let mut t = Theory::new();
+        let r = t.declare_relation("R", 1).unwrap();
+        let ids: Vec<AtomId> = (0..3)
+            .map(|i| {
+                let c = t.constant(&format!("c{i}"));
+                t.atom(r, &[c])
+            })
+            .collect();
+        t.assert_atom(ids[0]);
+        t.assert_not_atom(ids[1]);
+        t.assert_not_atom(ids[2]);
+        (t, ids)
+    };
+    let updates = |ids: &[AtomId]| {
+        vec![
+            Update::insert(
+                Formula::Or(vec![Wff::Atom(ids[1]), Wff::Atom(ids[2])]),
+                Wff::Atom(ids[0]),
+            ),
+            Update::delete(ids[0], Wff::Atom(ids[1])),
+            Update::insert(Wff::Atom(ids[0]), Wff::Atom(ids[2])),
+        ]
+    };
+
+    let (t1, ids1) = build();
+    let mut plain = GuaEngine::new(
+        t1,
+        GuaOptions::simplify_always(SimplifyLevel::None),
+    );
+    for u in updates(&ids1) {
+        plain.apply(&u).unwrap();
+    }
+
+    let (t2, ids2) = build();
+    let mut mixed = GuaEngine::new(
+        t2,
+        GuaOptions::simplify_always(SimplifyLevel::None),
+    );
+    let us = updates(&ids2);
+    mixed.apply(&us[0]).unwrap();
+    mixed.simplify(SimplifyLevel::Full);
+    mixed.apply(&us[1]).unwrap();
+    mixed.simplify(SimplifyLevel::Fast);
+    mixed.apply(&us[2]).unwrap();
+
+    assert_eq!(
+        plain.theory.alternative_worlds(ModelLimit::default()).unwrap(),
+        mixed.theory.alternative_worlds(ModelLimit::default()).unwrap()
+    );
+}

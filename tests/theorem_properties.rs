@@ -1,0 +1,103 @@
+//! Direct executable versions of the paper's smaller formal claims —
+//! Lemma 1 and the §3.4 closing remark — over randomized theories.
+
+use proptest::prelude::*;
+use winslett::gua::{GuaEngine, GuaOptions, SimplifyLevel};
+use winslett::ldml::Update;
+use winslett::logic::{AtomId, Formula, ModelLimit, Wff};
+use winslett::theory::Theory;
+
+const NUM_ATOMS: usize = 4;
+
+fn wff_strategy() -> impl Strategy<Value = Wff> {
+    let leaf = prop_oneof![
+        Just(Wff::t()),
+        Just(Wff::f()),
+        (0..NUM_ATOMS as u32).prop_map(|i| Wff::Atom(AtomId(i))),
+        (0..NUM_ATOMS as u32).prop_map(|i| Wff::Atom(AtomId(i)).not()),
+    ];
+    leaf.prop_recursive(3, 20, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|w: Wff| w.not()),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Formula::And),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Formula::Or),
+            (inner.clone(), inner).prop_map(|(a, b)| Wff::implies(a, b)),
+        ]
+    })
+}
+
+/// Builds a theory over atoms `0..NUM_ATOMS` with the given section.
+fn build(wffs: &[Wff]) -> Theory {
+    let mut t = Theory::new();
+    let r = t.declare_relation("R", 1).unwrap();
+    for i in 0..NUM_ATOMS {
+        let c = t.constant(&format!("c{i}"));
+        let id = t.atom(r, &[c]);
+        assert_eq!(id, AtomId(i as u32));
+        t.register_atom(id);
+    }
+    for w in wffs {
+        t.assert_wff(w);
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// **Lemma 1.** "Adding the new disjunct … to α and adding ¬P(c…) to
+    /// the non-axiomatic section … produces a new theory with the same
+    /// models." In our representation: registering a brand-new atom and
+    /// asserting its negation leaves the alternative worlds unchanged.
+    #[test]
+    fn lemma1_completion_extension_preserves_worlds(
+        wffs in prop::collection::vec(wff_strategy(), 1..4),
+    ) {
+        let mut t = build(&wffs);
+        let before = t.alternative_worlds(ModelLimit::default()).unwrap();
+        // A fresh atom, never mentioned before.
+        let r = t.vocab.find_predicate("R").unwrap();
+        let c = t.constant("fresh");
+        let f = t.atom(r, &[c]);
+        t.register_atom(f);
+        t.assert_not_atom(f);
+        let after = t.alternative_worlds(ModelLimit::default()).unwrap();
+        // Worlds gain a (false) bit for the new atom but remain in 1–1
+        // correspondence; since the new atom is false everywhere, the
+        // bitsets compare equal under semantic equality.
+        prop_assert_eq!(before, after);
+    }
+
+    /// **§3.4 closing remark.** "If two extended relational theories have
+    /// the same axioms, then they will have identical sets of alternative
+    /// worlds after a series of updates iff the non-axiomatic sections of
+    /// the two theories are logically equivalent." We test the ⇐ direction
+    /// constructively: replace the section by a logically equivalent one
+    /// (double negation + reassociation), run the same updates, compare
+    /// worlds.
+    #[test]
+    fn syntactically_different_equivalent_sections_update_identically(
+        wffs in prop::collection::vec(wff_strategy(), 1..4),
+        omega in wff_strategy(),
+        phi in wff_strategy(),
+    ) {
+        let t1 = build(&wffs);
+        if !t1.is_consistent() {
+            return Ok(());
+        }
+        // A logically equivalent but syntactically different section.
+        let twisted: Vec<Wff> = wffs
+            .iter()
+            .map(|w| w.clone().not().not()) // ¬¬w
+            .collect();
+        let t2 = build(&twisted);
+
+        let u = Update::insert(omega, phi);
+        let run = |t: Theory| {
+            let mut e = GuaEngine::new(t, GuaOptions::simplify_always(SimplifyLevel::Fast));
+            e.apply(&u).unwrap();
+            e.theory.alternative_worlds(ModelLimit::default()).unwrap()
+        };
+        prop_assert_eq!(run(t1), run(t2));
+    }
+}

@@ -1,0 +1,83 @@
+//! Keeps `docs/TUTORIAL.md` honest: this test replays the tutorial's flow
+//! end to end. If an API in the tutorial changes, this breaks first.
+
+use winslett::db::{
+    load_theory, save_theory, LogicalDatabase, NullCatalog, NullableArg, RelationalDatabase,
+};
+use winslett::logic::Wff;
+
+#[test]
+fn tutorial_flow() -> Result<(), Box<dyn std::error::Error>> {
+    // §2: schema and facts.
+    let mut db = LogicalDatabase::new();
+    db.declare_relation("Stored", 2)?;
+    db.declare_relation("Counted", 2)?;
+    db.load_fact("Stored", &["widget", "bin1"])?;
+    db.load_fact("Counted", &["widget", "40"])?;
+    assert_eq!(db.world_names()?.len(), 1);
+
+    // §3: three ways in for incompleteness.
+    db.load_wff("Stored(gadget,bin2) | Stored(gadget,bin3)")?;
+    db.execute("INSERT Counted(widget,40) | Counted(widget,38) WHERE T")?;
+    let mut nulls = NullCatalog::new();
+    nulls.declare("qty", &["5", "6", "7"])?;
+    let u = nulls.expand_insert(
+        db.theory_mut(),
+        "Counted",
+        &[NullableArg::parse("sprocket"), NullableArg::parse("@qty")],
+        Wff::t(),
+    )?;
+    db.update(&u)?;
+    assert!(db.world_names()?.len() > 1);
+    let e = db.explain("Counted(widget,38)")?;
+    assert_eq!(e.verdict, winslett::db::Verdict::Uncertain);
+    assert!(e.witness.is_some() && e.counterexample.is_some());
+
+    // §4: updating through uncertainty.
+    db.execute("INSERT Counted(gadget,9) WHERE Stored(gadget,bin3)")?;
+    db.execute("MODIFY Counted(widget,40) TO BE Counted(widget,41) WHERE T")?;
+    db.execute("ASSERT Stored(gadget,bin3)")?;
+    assert!(db.is_certain("Stored(gadget,bin3)")?);
+    assert!(db.is_certain("Counted(gadget,9)")?);
+
+    // §5: variables + transactions.
+    db.execute_variable("MODIFY Stored(?p, bin1) TO BE Stored(?p, bin9) WHERE T")?;
+    assert!(db.is_certain("Stored(widget,bin9)")?);
+    db.execute_variable("DELETE Counted(?p, ?q) WHERE Stored(?p, bin9)")?;
+    assert!(db.is_certain("!Counted(widget,41)")?);
+
+    use winslett::theory::Dependency;
+    let stored = db.theory().vocab.find_predicate("Stored").unwrap();
+    db.add_dependency(Dependency::functional("one-bin", stored, 2, &[0])?);
+    // This would put the widget in two bins at once: refused, rolled back.
+    assert!(db.execute_atomic("INSERT Stored(widget,bin2) WHERE T").is_err());
+    assert!(db.is_certain("Stored(widget,bin9)")?);
+    db.transaction(&[
+        "DELETE Stored(widget,bin9) WHERE T",
+        "INSERT Stored(widget,bin2) WHERE T",
+    ])?;
+    assert!(db.is_certain("Stored(widget,bin2)")?);
+
+    // §6: queries.
+    assert!(db.is_certain("Stored(widget,bin2)")?);
+    let ans = db.query("Stored(?p, ?b) & !Counted(?p, 0)")?;
+    assert!(!ans.possible.is_empty());
+    let (rows, total) = db.query_with_support("Counted(sprocket, ?q)")?;
+    assert_eq!(rows.len(), 3);
+    assert!(rows.iter().all(|r| r.support < total)); // the null is unresolved
+    let lower = db.certain_facts()?;
+    let upper = db.possible_facts()?;
+    assert!(lower.len() <= upper.len());
+
+    // §7: persistence and interop.
+    let json = save_theory(db.theory())?;
+    let restored = load_theory(&json)?;
+    let restored_db = LogicalDatabase::from_theory(restored, db.options());
+    assert_eq!(db.world_names()?, restored_db.world_names()?);
+
+    let mut rdb = RelationalDatabase::new();
+    rdb.insert("Emp", &["alice", "eng"]);
+    let theory = rdb.to_theory()?;
+    assert!(theory.is_consistent());
+    Ok(())
+}
