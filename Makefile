@@ -1,0 +1,28 @@
+# Development pipeline. `make ci` is the gate: format check, clippy with
+# warnings denied, a release build, the test suite, and the ldml-lint
+# self-check over the example scripts.
+
+CARGO ?= cargo
+
+.PHONY: ci fmt fmt-check clippy build test lint
+
+ci: fmt-check clippy build test lint
+	@echo "ci: all checks passed"
+
+fmt:
+	$(CARGO) fmt
+
+fmt-check:
+	$(CARGO) fmt --check
+
+clippy:
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+build:
+	$(CARGO) build --release
+
+test:
+	$(CARGO) test -q
+
+lint:
+	$(CARGO) run --release -q -p winslett-analyze --bin ldml-lint -- --self-check examples/*.ldml

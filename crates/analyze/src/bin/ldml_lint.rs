@@ -1,0 +1,117 @@
+//! `ldml-lint` — pre-execution static analysis of `.ldml` scripts.
+//!
+//! ```text
+//! usage: ldml-lint [--self-check] [--deny-warnings] <script.ldml>...
+//! ```
+//!
+//! Prints rustc-style caret diagnostics for every finding. Exit status:
+//!
+//! * normal mode — `1` if any `E0xx` finding (or any finding at all under
+//!   `--deny-warnings`), `0` otherwise;
+//! * `--self-check` — compares the emitted codes of each script against its
+//!   `-- expect: <CODE>...` annotations; `1` on any mismatch or read
+//!   failure. A script without annotations must be clean. This is the mode
+//!   the `ci` target runs over `examples/*.ldml`.
+
+use std::io::{self, Write};
+use std::process::ExitCode;
+use winslett_analyze::{analyze_script, render_diagnostic, render_summary, Severity};
+
+fn main() -> ExitCode {
+    let mut self_check = false;
+    let mut deny_warnings = false;
+    let mut files: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--self-check" => self_check = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--help" | "-h" => {
+                println!("usage: ldml-lint [--self-check] [--deny-warnings] <script.ldml>...");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("ldml-lint: unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("ldml-lint: no input files (try --help)");
+        return ExitCode::FAILURE;
+    }
+
+    let stdout = io::stdout();
+    let mut out = stdout.lock();
+    match run(&mut out, self_check, deny_warnings, &files) {
+        Ok(true) => ExitCode::FAILURE,
+        Ok(false) => ExitCode::SUCCESS,
+        // The reader closed the pipe (e.g. `ldml-lint ... | head`): stop
+        // quietly instead of panicking on the next write.
+        Err(e) if e.kind() == io::ErrorKind::BrokenPipe => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ldml-lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Lints every file, writing to `out`; returns whether anything failed.
+fn run(
+    out: &mut impl Write,
+    self_check: bool,
+    deny_warnings: bool,
+    files: &[String],
+) -> io::Result<bool> {
+    let mut failed = false;
+    for file in files {
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("ldml-lint: cannot read `{file}`: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let report = analyze_script(&source);
+        for d in &report.diagnostics {
+            writeln!(out, "{}", render_diagnostic(file, &source, d))?;
+        }
+        writeln!(out, "{}", render_summary(file, &report.diagnostics))?;
+        if self_check {
+            if report.matches_expectations() {
+                writeln!(
+                    out,
+                    "{file}: self-check ok ({} expected finding(s))",
+                    report.expected.len()
+                )?;
+            } else {
+                let want: Vec<&str> = {
+                    let mut v = report.expected.clone();
+                    v.sort();
+                    v.into_iter().map(|c| c.as_str()).collect()
+                };
+                let got: Vec<&str> = report
+                    .emitted_codes()
+                    .into_iter()
+                    .map(|c| c.as_str())
+                    .collect();
+                eprintln!(
+                    "{file}: self-check FAILED: expected [{}], emitted [{}]",
+                    want.join(", "),
+                    got.join(", ")
+                );
+                failed = true;
+            }
+        } else {
+            let errors = report
+                .diagnostics
+                .iter()
+                .any(|d| d.severity == Severity::Error);
+            if errors || (deny_warnings && !report.diagnostics.is_empty()) {
+                failed = true;
+            }
+        }
+    }
+    Ok(failed)
+}

@@ -1,0 +1,320 @@
+//! The diagnostics framework: codes, severities, spans, fix hints.
+//!
+//! Every finding of the analyzer is a [`Diagnostic`] carrying a stable
+//! machine-readable [`Code`], a [`Severity`], the index of the offending
+//! statement, an optional source [`Span`] (byte range, attached by the
+//! script front-end), a human-readable message, and an optional
+//! machine-readable [`FixHint`]. A whole run is summarized by a [`Batch`].
+
+use std::fmt;
+use winslett_logic::Span;
+
+/// How bad a finding is.
+///
+/// `Error` findings describe statements that are *guaranteed* to destroy
+/// information (rule 3 of §3.5 filters every produced world) or that cannot
+/// be interpreted at all; `Warning` findings describe statements that are
+/// legal but almost certainly not what the author meant (no-ops,
+/// duplicates, §3.6 cost hazards).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// Suspicious but legal.
+    Warning,
+    /// Guaranteed-wrong or uninterpretable.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Stable diagnostic codes.
+///
+/// Warnings are `W0xx`, errors `E0xx`. The full catalogue, with the paper
+/// sections each check rests on, lives in `docs/analyzer.md`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Code {
+    /// The WHERE clause is unsatisfiable: the statement is a no-op (§3.2;
+    /// Theorem 3's first case).
+    W001,
+    /// The stored φ of a `DELETE`/`MODIFY` is a tautology: the condition
+    /// `φ ∧ t` reduces to `t` alone — the statement is unconditional.
+    W002,
+    /// Already-true INSERT: every world selected by φ already satisfies ω,
+    /// so the update is equivalent to `INSERT T` (Theorem 3).
+    W003,
+    /// The statement repeats the previous one (Theorem 4 equivalence);
+    /// single-update application is idempotent, so the repeat is redundant.
+    W004,
+    /// §3.6 cost hazard: the statement's atoms occur in a large share of
+    /// the non-axiomatic section, degrading `O(g log R)` toward a scan.
+    W005,
+    /// The WHERE clause is dead *under the current theory*: no alternative
+    /// world satisfies it, so the statement is a no-op on this database.
+    W006,
+    /// The statement could not be parsed or mentions unknown symbols.
+    E001,
+    /// ω is unsatisfiable in an INSERT/MODIFY: every selected world is
+    /// annihilated (only `ASSERT` should prune worlds).
+    E002,
+    /// A type-axiom instance (§3.5, item 4) is certainly violated: rule 3
+    /// filters every produced world.
+    E003,
+    /// A dependency-axiom instance (§3.5, item 5) is certainly violated:
+    /// rule 3 filters every produced world.
+    E004,
+}
+
+impl Code {
+    /// Every code the analyzer can emit, in catalogue order.
+    pub const ALL: [Code; 10] = [
+        Code::W001,
+        Code::W002,
+        Code::W003,
+        Code::W004,
+        Code::W005,
+        Code::W006,
+        Code::E001,
+        Code::E002,
+        Code::E003,
+        Code::E004,
+    ];
+
+    /// The stable textual form, e.g. `"W001"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::W001 => "W001",
+            Code::W002 => "W002",
+            Code::W003 => "W003",
+            Code::W004 => "W004",
+            Code::W005 => "W005",
+            Code::W006 => "W006",
+            Code::E001 => "E001",
+            Code::E002 => "E002",
+            Code::E003 => "E003",
+            Code::E004 => "E004",
+        }
+    }
+
+    /// Parses a code from its textual form.
+    pub fn parse(s: &str) -> Option<Code> {
+        Code::ALL.into_iter().find(|c| c.as_str() == s)
+    }
+
+    /// The severity this code always carries.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::W001 | Code::W002 | Code::W003 | Code::W004 | Code::W005 | Code::W006 => {
+                Severity::Warning
+            }
+            Code::E001 | Code::E002 | Code::E003 | Code::E004 => Severity::Error,
+        }
+    }
+
+    /// A one-line description of what the code means.
+    pub fn title(self) -> &'static str {
+        match self {
+            Code::W001 => "unsatisfiable WHERE clause: the statement is a no-op",
+            Code::W002 => "tautological WHERE clause: the DELETE/MODIFY is unconditional",
+            Code::W003 => "already-true INSERT: equivalent to INSERT T (Theorem 3)",
+            Code::W004 => "statement repeats the previous update (Theorem 4)",
+            Code::W005 => "§3.6 cost hazard: update touches a large share of the stored section",
+            Code::W006 => "WHERE clause is dead under the current theory",
+            Code::E001 => "statement could not be parsed",
+            Code::E002 => "unsatisfiable ω: every selected world is annihilated",
+            Code::E003 => "certain type-axiom violation: rule 3 filters every produced world",
+            Code::E004 => "certain dependency violation: rule 3 filters every produced world",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A machine-readable suggestion for repairing a diagnosed statement.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FixHint {
+    /// What to do, in one sentence.
+    pub summary: String,
+    /// Replacement text for the whole statement, when one exists.
+    /// `Some("")` means "delete the statement".
+    pub replacement: Option<String>,
+}
+
+impl FixHint {
+    /// A hint with no mechanical replacement.
+    pub fn advice(summary: impl Into<String>) -> Self {
+        FixHint {
+            summary: summary.into(),
+            replacement: None,
+        }
+    }
+
+    /// The canonical "delete this statement" hint.
+    pub fn delete_statement(summary: impl Into<String>) -> Self {
+        FixHint {
+            summary: summary.into(),
+            replacement: Some(String::new()),
+        }
+    }
+}
+
+/// One analyzer finding.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: Code,
+    /// Severity (always `code.severity()`).
+    pub severity: Severity,
+    /// Index of the offending statement within the analyzed program.
+    pub statement: usize,
+    /// Byte range in the source, when the statement came from a script.
+    pub span: Option<Span>,
+    /// Human-readable description of the finding.
+    pub message: String,
+    /// Optional repair suggestion.
+    pub fix: Option<FixHint>,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic for `statement` with no span and no fix.
+    pub fn new(code: Code, statement: usize, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            statement,
+            span: None,
+            message: message.into(),
+            fix: None,
+        }
+    }
+
+    /// Attaches a fix hint.
+    pub fn with_fix(mut self, fix: FixHint) -> Self {
+        self.fix = Some(fix);
+        self
+    }
+
+    /// Attaches a source span.
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = Some(span);
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] statement {}: {}",
+            self.severity, self.code, self.statement, self.message
+        )
+    }
+}
+
+/// Summary of one analyzer run over a program.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Batch {
+    /// Number of statements analyzed.
+    pub statements: usize,
+    /// All findings, in statement order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Batch {
+    /// Builds a batch summary.
+    pub fn new(statements: usize, diagnostics: Vec<Diagnostic>) -> Self {
+        Batch {
+            statements,
+            diagnostics,
+        }
+    }
+
+    /// Number of `Error`-severity findings.
+    pub fn errors(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of `Warning`-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Whether the run produced no findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// The worst severity present, if any finding exists.
+    pub fn worst(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+}
+
+impl fmt::Display for Batch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} statement(s): {} error(s), {} warning(s)",
+            self.statements,
+            self.errors(),
+            self.warnings()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip_and_have_fixed_severities() {
+        for c in Code::ALL {
+            assert_eq!(Code::parse(c.as_str()), Some(c));
+            let is_error = c.as_str().starts_with('E');
+            assert_eq!(c.severity() == Severity::Error, is_error, "{c}");
+            assert!(!c.title().is_empty());
+        }
+        assert_eq!(Code::parse("W999"), None);
+    }
+
+    #[test]
+    fn batch_counts() {
+        let b = Batch::new(
+            3,
+            vec![
+                Diagnostic::new(Code::W001, 0, "x"),
+                Diagnostic::new(Code::E003, 2, "y"),
+            ],
+        );
+        assert_eq!(b.errors(), 1);
+        assert_eq!(b.warnings(), 1);
+        assert_eq!(b.worst(), Some(Severity::Error));
+        assert!(!b.is_clean());
+        assert!(b.to_string().contains("1 error"));
+    }
+
+    #[test]
+    fn diagnostic_builders() {
+        let d = Diagnostic::new(Code::W002, 1, "msg")
+            .with_span(Span::new(3, 7))
+            .with_fix(FixHint::delete_statement("drop it"));
+        assert_eq!(d.span, Some(Span::new(3, 7)));
+        assert_eq!(d.fix.as_ref().unwrap().replacement.as_deref(), Some(""));
+        assert!(d.to_string().contains("W002"));
+    }
+}

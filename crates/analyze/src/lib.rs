@@ -1,0 +1,60 @@
+//! # winslett-analyze
+//!
+//! A pre-execution static analyzer for LDML update programs against an
+//! extended relational theory (Winslett, PODS 1986).
+//!
+//! The paper's update semantics make several classes of authoring mistakes
+//! *silently* destructive: an update whose produced worlds all violate the
+//! §3.5 type or dependency axioms annihilates the database (rule 3 filters
+//! every world), an unsatisfiable WHERE clause makes a statement a no-op,
+//! and an update whose atoms occur throughout the non-axiomatic section
+//! forfeits the §3.6 `O(g log R)` processing bound. This crate finds all of
+//! those *before* any update runs:
+//!
+//! 1. SAT-backed WHERE-clause checks (`W001`, `W002`, `W006`);
+//! 2. no-op / redundancy detection via the decidable equivalence criteria
+//!    of Theorems 3 and 4 (`W003`, `W004`);
+//! 3. schema and dependency conformance pre-checks (`E002`, `E003`,
+//!    `E004`);
+//! 4. §3.6 cost estimation (`W005`).
+//!
+//! Entry points:
+//!
+//! * [`analyze_program`] / [`analyze_batch`] — library API over parsed
+//!   [`winslett_ldml::Update`]s;
+//! * [`analyze_script`] — the `.ldml` script front-end, which also builds
+//!   the theory from declaration directives and attaches file-absolute
+//!   spans;
+//! * the `ldml-lint` binary — rustc-style caret diagnostics on script
+//!   files, with a `--self-check` mode driven by `-- expect:` annotations.
+//!
+//! The full diagnostic catalogue lives in `docs/analyzer.md`.
+//!
+//! ```
+//! use winslett_analyze::{analyze_program, Code};
+//! use winslett_ldml::Update;
+//! use winslett_logic::Wff;
+//! use winslett_theory::Theory;
+//!
+//! let mut t = Theory::new();
+//! let r = t.declare_relation("R", 1)?;
+//! let ca = t.constant("a");
+//! let a = t.atom(r, &[ca]);
+//! t.assert_atom(a);
+//!
+//! // INSERT R(a) WHERE R(a): every selected world already satisfies ω.
+//! let diags = analyze_program(&t, &[Update::insert(Wff::Atom(a), Wff::Atom(a))]);
+//! assert_eq!(diags.len(), 1);
+//! assert_eq!(diags[0].code, Code::W003);
+//! # Ok::<(), winslett_theory::TheoryError>(())
+//! ```
+
+pub mod diagnostics;
+pub mod passes;
+pub mod render;
+pub mod script;
+
+pub use diagnostics::{Batch, Code, Diagnostic, FixHint, Severity};
+pub use passes::{analyze_batch, analyze_program};
+pub use render::{render_diagnostic, render_summary};
+pub use script::{analyze_script, ScriptReport, ScriptStatement};

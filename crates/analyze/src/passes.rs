@@ -1,0 +1,607 @@
+//! The four analysis passes.
+//!
+//! 1. **WHERE-clause satisfiability** (`W001`, `W002`, `W006`) — SAT checks
+//!    on the selection clause of the §3.2 INSERT form.
+//! 2. **No-op / redundancy detection** (`W003`, `W004`) — the decidable
+//!    equivalence criteria of Theorems 3 and 4.
+//! 3. **Schema and dependency conformance** (`E002`, `E003`, `E004`) —
+//!    forced-literal analysis of ω joined against the §3.5 type and
+//!    dependency axioms: finds statements for which *every* produced world
+//!    is filtered by rule 3, annihilating the database.
+//! 4. **§3.6 cost estimation** (`W005`) — warns when a statement's atoms
+//!    occur in a large share of the non-axiomatic section, degrading the
+//!    indexed `O(g log R)` bound toward a scan.
+//!
+//! All passes are *static*: they inspect the update program and the initial
+//! theory, and never apply an update.
+
+use crate::diagnostics::{Batch, Code, Diagnostic, FixHint};
+use std::collections::BTreeMap;
+use winslett_ldml::{equivalent_updates, theorem3, InsertForm, Update};
+use winslett_logic::{cnf, display_wff, forced_literals, AtomId, Wff};
+use winslett_theory::{Theory, TheoryStats};
+
+/// Skip the Theorem 3/4 equivalence passes when an update mentions more
+/// atoms than this: the theorems' valuation projections are exponential in
+/// the atom count, and real LDML statements are tiny.
+const MAX_EQUIV_ATOMS: usize = 14;
+
+/// Pass 4 stays silent for theories smaller than this: scanning a handful
+/// of formulas is never a hazard.
+const MIN_SECTION_FOR_COST: usize = 8;
+
+/// Statically analyzes `program` against `theory`, returning all findings
+/// in statement order.
+///
+/// The statements are *not* applied: every check runs against the initial
+/// theory, which is what a pre-execution analyzer can soundly see. Order
+/// only matters to the duplicate-statement check (`W004`).
+pub fn analyze_program(theory: &Theory, program: &[Update]) -> Vec<Diagnostic> {
+    let mut scratch = theory.clone();
+    let backbone = theory.atom_backbone().ok().flatten();
+    let stats = theory.stats();
+    let consistent = theory.is_consistent();
+    let mut out = Vec::new();
+    for (i, u) in program.iter().enumerate() {
+        let form = u.to_insert();
+        let before = out.len();
+        check_where_clause(theory, consistent, i, u, &form, &mut out);
+        // A statement already established as a guaranteed no-op needs no
+        // further scrutiny.
+        let noop = out[before..]
+            .iter()
+            .any(|d| matches!(d.code, Code::W001 | Code::W006));
+        if noop {
+            continue;
+        }
+        check_noop(theory, i, u, &form, &mut out);
+        check_conformance(
+            theory,
+            &mut scratch,
+            backbone.as_deref(),
+            i,
+            u,
+            &form,
+            &mut out,
+        );
+        check_cost(theory, &stats, i, u, &form, &mut out);
+        if i > 0 {
+            check_duplicate(theory, i, u, &program[i - 1], &mut out);
+        }
+    }
+    out
+}
+
+/// [`analyze_program`] plus a [`Batch`] summary.
+pub fn analyze_batch(theory: &Theory, program: &[Update]) -> Batch {
+    Batch::new(program.len(), analyze_program(theory, program))
+}
+
+/// The SAT universe for checks involving `form`: the theory's atom count,
+/// stretched to cover any atoms interned after the theory snapshot.
+fn universe(theory: &Theory, form: &InsertForm) -> usize {
+    let mut n = theory.num_atoms();
+    for w in [&form.omega, &form.phi] {
+        w.for_each_atom(&mut |a: &AtomId| n = n.max(a.index() + 1));
+    }
+    n
+}
+
+fn show(theory: &Theory, w: &Wff) -> String {
+    display_wff(w, &theory.vocab, &theory.atoms).to_string()
+}
+
+fn op_name(u: &Update) -> &'static str {
+    match u {
+        Update::Insert { .. } => "INSERT",
+        Update::Delete { .. } => "DELETE",
+        Update::Modify { .. } => "MODIFY",
+        Update::Assert { .. } => "ASSERT",
+    }
+}
+
+/// Pass 1: `W001` (unsatisfiable condition), `W002` (tautological DELETE /
+/// MODIFY guard), `W006` (condition dead under the current theory).
+fn check_where_clause(
+    theory: &Theory,
+    consistent: bool,
+    statement: usize,
+    u: &Update,
+    form: &InsertForm,
+    out: &mut Vec<Diagnostic>,
+) {
+    let n = universe(theory, form);
+    if !cnf::satisfiable(&[&form.phi], n) {
+        let message = match u {
+            Update::Insert { phi, .. } => format!(
+                "this INSERT can never fire: its WHERE clause `{}` is unsatisfiable",
+                show(theory, phi)
+            ),
+            Update::Delete { .. } | Update::Modify { .. } => format!(
+                "this {} can never fire: its condition `{}` (φ conjoined with the target) \
+                 is unsatisfiable",
+                op_name(u),
+                show(theory, &form.phi)
+            ),
+            Update::Assert { phi } => format!(
+                "this ASSERT is vacuous: `{}` is valid, so every world already satisfies it",
+                show(theory, phi)
+            ),
+        };
+        out.push(Diagnostic::new(Code::W001, statement, message).with_fix(
+            FixHint::delete_statement("the statement has no effect on any world; delete it"),
+        ));
+        return;
+    }
+    if let Update::Delete { phi, .. } | Update::Modify { phi, .. } = u {
+        if cnf::valid(phi, n) {
+            out.push(
+                Diagnostic::new(
+                    Code::W002,
+                    statement,
+                    format!(
+                        "the WHERE clause of this {} is a tautology: `{} ∧ t` restricts \
+                         nothing beyond the target itself, so the statement applies to \
+                         every world containing the target",
+                        op_name(u),
+                        show(theory, phi)
+                    ),
+                )
+                .with_fix(FixHint::advice(
+                    "restrict φ if the operation should be conditional",
+                )),
+            );
+        }
+    }
+    // Atoms the theory has never interned cannot be judged against its
+    // models; skip the theory-relative check for them.
+    if consistent
+        && universe(theory, form) == theory.num_atoms()
+        && !theory.consistent_with(&form.phi)
+    {
+        out.push(
+            Diagnostic::new(
+                Code::W006,
+                statement,
+                format!(
+                    "no alternative world of the current theory satisfies `{}`: the {} is a \
+                     no-op on this database (though not on every database)",
+                    show(theory, &form.phi),
+                    op_name(u)
+                ),
+            )
+            .with_fix(FixHint::delete_statement(
+                "the statement selects no world of this database; delete it",
+            )),
+        );
+    }
+}
+
+/// Pass 2a: `W003` — already-true INSERT, via Theorem 3 against the
+/// canonical no-op `INSERT T WHERE φ`.
+fn check_noop(
+    theory: &Theory,
+    statement: usize,
+    u: &Update,
+    form: &InsertForm,
+    out: &mut Vec<Diagnostic>,
+) {
+    let Update::Insert { .. } = u else { return };
+    if form.omega.atom_set().len() > MAX_EQUIV_ATOMS {
+        return;
+    }
+    let n = universe(theory, form);
+    if let Ok(v) = theorem3(&form.omega, &Wff::t(), &form.phi, n) {
+        if v.equivalent {
+            out.push(
+                Diagnostic::new(
+                    Code::W003,
+                    statement,
+                    format!(
+                        "every world satisfying `{}` already satisfies `{}`: the INSERT is \
+                         equivalent to `INSERT T`, a no-op ({})",
+                        show(theory, &form.phi),
+                        show(theory, &form.omega),
+                        v.reason
+                    ),
+                )
+                .with_fix(FixHint::delete_statement(
+                    "the inserted wff is already guaranteed by the selection; delete the statement",
+                )),
+            );
+        }
+    }
+}
+
+/// Pass 2b: `W004` — the statement repeats its predecessor. A single LDML
+/// update is idempotent at the world level (a world already satisfying ω is
+/// its own unique minimal ω-model), so the repeat adds nothing.
+fn check_duplicate(
+    theory: &Theory,
+    statement: usize,
+    u: &Update,
+    prev: &Update,
+    out: &mut Vec<Diagnostic>,
+) {
+    let fu = u.to_insert();
+    let fp = prev.to_insert();
+    let mut atoms = fu.omega.atom_set();
+    atoms.extend(fu.phi.atom_set());
+    atoms.extend(fp.omega.atom_set());
+    atoms.extend(fp.phi.atom_set());
+    let verdict = if atoms.len() <= MAX_EQUIV_ATOMS {
+        let n = universe(theory, &fu).max(universe(theory, &fp));
+        match equivalent_updates(prev, u, n) {
+            Ok(v) if v.equivalent => Some(v.reason),
+            _ => None,
+        }
+    } else if u == prev {
+        Some("syntactically identical".to_string())
+    } else {
+        None
+    };
+    if let Some(reason) = verdict {
+        out.push(
+            Diagnostic::new(
+                Code::W004,
+                statement,
+                format!(
+                    "this statement repeats the previous one ({reason}); a single \
+                     LDML update is idempotent, so the repetition has no further effect"
+                ),
+            )
+            .with_fix(FixHint::delete_statement("delete the duplicate statement")),
+        );
+    }
+}
+
+/// Pass 3: `E002` (unsatisfiable ω), `E003` (certain type-axiom violation),
+/// `E004` (certain dependency violation).
+///
+/// The key observation: every world produced by `INSERT ω WHERE φ` (a) is a
+/// model of ω, hence satisfies every *forced literal* of ω, and (b) keeps
+/// the old value of every atom ω does not mention — in particular the
+/// theory's *certain* values persist. If an instantiated §3.5 axiom
+/// evaluates to false under those determined values alone, rule 3 filters
+/// every produced world: the statement annihilates the database.
+fn check_conformance(
+    theory: &Theory,
+    scratch: &mut Theory,
+    backbone: Option<&[Option<bool>]>,
+    statement: usize,
+    u: &Update,
+    form: &InsertForm,
+    out: &mut Vec<Diagnostic>,
+) {
+    let n = universe(theory, form);
+    if matches!(u, Update::Insert { .. } | Update::Modify { .. })
+        && !cnf::satisfiable(&[&form.omega], n)
+    {
+        out.push(
+            Diagnostic::new(
+                Code::E002,
+                statement,
+                format!(
+                    "ω `{}` of this {} is unsatisfiable: it has no models, so every world \
+                     selected by the WHERE clause is annihilated",
+                    show(theory, &form.omega),
+                    op_name(u)
+                ),
+            )
+            .with_fix(FixHint::advice(
+                "only ASSERT should prune worlds; make ω satisfiable or use ASSERT deliberately",
+            )),
+        );
+        return;
+    }
+    let Some(forced) = forced_literals(&form.omega, 20) else {
+        return;
+    };
+    let forced_map: BTreeMap<AtomId, bool> = forced.iter().copied().collect();
+    let omega_atoms = form.omega.atom_set();
+    // The value an atom certainly has in every produced world, if any.
+    let value_of = |a: AtomId| -> Option<bool> {
+        if let Some(&v) = forced_map.get(&a) {
+            return Some(v);
+        }
+        if omega_atoms.contains(&a) {
+            return None; // mentioned but not forced: can go either way
+        }
+        // Unmentioned atoms persist; unregistered atoms are pinned false.
+        if a.index() >= theory.num_atoms() || !theory.registry.is_registered(a) {
+            return Some(false);
+        }
+        backbone.and_then(|b| b.get(a.index()).copied().flatten())
+    };
+
+    let mut type_flagged = false;
+    for &(atom, v) in &forced {
+        if !v || type_flagged {
+            continue;
+        }
+        if let Some(axiom) = scratch.type_axiom_instance(atom) {
+            if certainly_false(&axiom, &value_of) {
+                out.push(
+                    Diagnostic::new(
+                        Code::E003,
+                        statement,
+                        format!(
+                            "inserting `{}` certainly violates its type axiom `{}`: some \
+                             attribute atom is false in every produced world, so rule 3 \
+                             (§3.5) filters all of them — the statement annihilates the \
+                             database",
+                            show(scratch, &Wff::Atom(atom)),
+                            show(scratch, &axiom)
+                        ),
+                    )
+                    .with_fix(FixHint::advice(
+                        "insert the required attribute atoms in the same ω, or load them as \
+                         facts first",
+                    )),
+                );
+                type_flagged = true;
+            }
+        }
+    }
+
+    'deps: for &(atom, v) in &forced {
+        if !v {
+            continue;
+        }
+        for dep in &theory.deps {
+            for inst in dep.instantiate(&scratch.registry, &mut scratch.atoms, Some(atom)) {
+                if certainly_false(&inst, &value_of) {
+                    out.push(
+                        Diagnostic::new(
+                            Code::E004,
+                            statement,
+                            format!(
+                                "inserting `{}` certainly violates dependency `{}`: the \
+                                 instance `{}` is false in every produced world, so rule 3 \
+                                 (§3.5) filters all of them — the statement annihilates the \
+                                 database",
+                                show(scratch, &Wff::Atom(atom)),
+                                dep.name,
+                                show(scratch, &inst)
+                            ),
+                        )
+                        .with_fix(FixHint::advice(
+                            "delete the conflicting tuple in the same statement \
+                             (INSERT new ∧ ¬old), as in the paper's §1 example",
+                        )),
+                    );
+                    break 'deps;
+                }
+            }
+        }
+    }
+}
+
+/// Whether `w` evaluates to false once every atom with a determined value
+/// is substituted — i.e. the determined values alone falsify it.
+fn certainly_false(w: &Wff, value_of: &impl Fn(AtomId) -> Option<bool>) -> bool {
+    let mut g = w.clone();
+    for a in w.atom_set() {
+        if let Some(v) = value_of(a) {
+            g = g.assign(a, v);
+        }
+    }
+    g.fold_constants() == Wff::f()
+}
+
+/// Pass 4: `W005` — §3.6 cost estimation.
+///
+/// The paper's per-statement cost is `O(g log R)` when every touched atom is
+/// reached through the completion-registry index (`g` = atom occurrences in
+/// the update, `R` = the largest relation). When the statement's atoms occur
+/// in a large share of the stored formulas, the renaming/simplification work
+/// is instead proportional to the non-axiomatic section itself — a scan.
+fn check_cost(
+    theory: &Theory,
+    stats: &TheoryStats,
+    statement: usize,
+    u: &Update,
+    form: &InsertForm,
+    out: &mut Vec<Diagnostic>,
+) {
+    if stats.num_formulas < MIN_SECTION_FOR_COST {
+        return;
+    }
+    let mut atoms = form.phi.atom_set();
+    atoms.extend(form.omega.atom_set());
+    let occ: usize = atoms.iter().map(|&a| theory.store.occurrences_of(a)).sum();
+    if occ >= 4 && occ * 2 >= stats.num_formulas {
+        let g = u.num_atom_occurrences();
+        out.push(
+            Diagnostic::new(
+                Code::W005,
+                statement,
+                format!(
+                    "the atoms of this {} occur {occ} time(s) across the {}-formula \
+                     non-axiomatic section: processing is proportional to the stored \
+                     section, not the indexed §3.6 bound O(g log R) (g = {g}, R = {})",
+                    op_name(u),
+                    stats.num_formulas,
+                    stats.max_predicate_size
+                ),
+            )
+            .with_fix(FixHint::advice(
+                "tighten the WHERE clause or split the update so it touches fewer stored \
+                 formulas; a simplification pass (§4) may also shrink the section first",
+            )),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use winslett_theory::Dependency;
+
+    /// `R/1` over constants a, b with `R(a)` certain-true, `R(b)`
+    /// certain-false.
+    fn base() -> (Theory, AtomId, AtomId) {
+        let mut t = Theory::new();
+        let r = t.declare_relation("R", 1).unwrap();
+        let ca = t.constant("a");
+        let cb = t.constant("b");
+        let a = t.atom(r, &[ca]);
+        let b = t.atom(r, &[cb]);
+        t.assert_atom(a);
+        t.assert_not_atom(b);
+        (t, a, b)
+    }
+
+    fn codes(theory: &Theory, program: &[Update]) -> Vec<Code> {
+        analyze_program(theory, program)
+            .into_iter()
+            .map(|d| d.code)
+            .collect()
+    }
+
+    #[test]
+    fn clean_insert_is_silent() {
+        let (t, _, b) = base();
+        let u = Update::insert(Wff::Atom(b), Wff::t());
+        assert!(codes(&t, &[u]).is_empty());
+    }
+
+    #[test]
+    fn w001_unsatisfiable_where() {
+        let (t, a, b) = base();
+        let phi = Wff::and2(Wff::Atom(a), Wff::Atom(a).not());
+        let u = Update::insert(Wff::Atom(b), phi);
+        assert_eq!(codes(&t, &[u]), vec![Code::W001]);
+        // A vacuous ASSERT is the same family.
+        let v = Update::assert(Wff::or2(Wff::Atom(a), Wff::Atom(a).not()));
+        assert_eq!(codes(&t, &[v]), vec![Code::W001]);
+    }
+
+    #[test]
+    fn w002_tautological_delete_guard() {
+        let (t, a, _) = base();
+        let u = Update::delete(a, Wff::or2(Wff::Atom(a), Wff::Atom(a).not()));
+        assert_eq!(codes(&t, &[u]), vec![Code::W002]);
+        let explicit = Update::delete(a, Wff::t());
+        assert_eq!(codes(&t, &[explicit]), vec![Code::W002]);
+    }
+
+    #[test]
+    fn w003_already_true_insert() {
+        let (t, a, _) = base();
+        let u = Update::insert(Wff::Atom(a), Wff::Atom(a));
+        let diags = analyze_program(&t, &[u]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::W003);
+        assert!(diags[0].message.contains("Theorem 3"));
+    }
+
+    #[test]
+    fn w004_duplicate_statement() {
+        let (t, _, b) = base();
+        let u = Update::insert(Wff::Atom(b), Wff::t());
+        assert_eq!(codes(&t, &[u.clone(), u]), vec![Code::W004]);
+    }
+
+    #[test]
+    fn w006_theory_dead_condition() {
+        let (t, _, b) = base();
+        // R(b) is certainly false, so no world satisfies the guard.
+        let u = Update::delete(b, Wff::t());
+        let got = codes(&t, &[u]);
+        assert!(got.contains(&Code::W006), "got {got:?}");
+    }
+
+    #[test]
+    fn e002_unsatisfiable_omega() {
+        let (t, a, b) = base();
+        let omega = Wff::and2(Wff::Atom(b), Wff::Atom(b).not());
+        let u = Update::insert(omega, Wff::Atom(a));
+        assert_eq!(codes(&t, &[u]), vec![Code::E002]);
+    }
+
+    #[test]
+    fn e003_certain_type_axiom_violation() {
+        let mut t = Theory::new();
+        let part = t.declare_attribute("PartNo").unwrap();
+        let instock = t.declare_typed_relation("InStock", &[part]).unwrap();
+        let c32 = t.constant("32");
+        let atom = t.atom(instock, &[c32]);
+        let pa = t.atom(part, &[c32]);
+        t.assert_not_atom(atom);
+        t.assert_not_atom(pa);
+        // Inserting InStock(32) while PartNo(32) stays false annihilates.
+        let bad = Update::insert(Wff::Atom(atom), Wff::t());
+        assert_eq!(codes(&t, &[bad]), vec![Code::E003]);
+        // Carrying the attribute atom in ω is fine.
+        let good = Update::insert(Wff::and2(Wff::Atom(atom), Wff::Atom(pa)), Wff::t());
+        assert_eq!(codes(&t, &[good]), Vec::<Code>::new());
+    }
+
+    #[test]
+    fn e004_certain_fd_violation() {
+        let mut t = Theory::new();
+        let p = t.declare_relation("P", 2).unwrap();
+        t.add_dependency(Dependency::functional("fd", p, 2, &[0]).unwrap());
+        let ca = t.constant("a");
+        let cb = t.constant("b");
+        let cc = t.constant("c");
+        let ab = t.atom(p, &[ca, cb]);
+        let ac = t.atom(p, &[ca, cc]);
+        t.assert_atom(ab);
+        t.assert_not_atom(ac);
+        // P(a,b) is certain; inserting P(a,c) violates the FD everywhere.
+        let bad = Update::insert(Wff::Atom(ac), Wff::t());
+        assert_eq!(codes(&t, &[bad]), vec![Code::E004]);
+        // The paper's §1 remedy: delete the old tuple in the same breath.
+        let good = Update::insert(Wff::and2(Wff::Atom(ac), Wff::Atom(ab).not()), Wff::t());
+        assert_eq!(codes(&t, &[good]), Vec::<Code>::new());
+    }
+
+    #[test]
+    fn w005_scan_cost_hazard() {
+        let mut t = Theory::new();
+        let r = t.declare_relation("R", 1).unwrap();
+        let hot = {
+            let c = t.constant("hot");
+            t.atom(r, &[c])
+        };
+        // Ten stored formulas all mentioning the hot atom.
+        for i in 0..10 {
+            let c = t.constant(&format!("x{i}"));
+            let other = t.atom(r, &[c]);
+            t.assert_wff(&Wff::or2(Wff::Atom(hot), Wff::Atom(other)));
+        }
+        let fresh = {
+            let c = t.constant("fresh");
+            t.atom(r, &[c])
+        };
+        let u = Update::insert(Wff::Atom(fresh), Wff::Atom(hot));
+        let got = codes(&t, &[u]);
+        assert!(got.contains(&Code::W005), "got {got:?}");
+        // A statement avoiding the hot atom stays quiet.
+        let quiet = Update::insert(Wff::Atom(fresh), Wff::t());
+        assert!(!codes(&t, &[quiet]).contains(&Code::W005));
+    }
+
+    #[test]
+    fn noop_statements_skip_later_passes() {
+        let (t, a, b) = base();
+        // Unsatisfiable guard *and* unsatisfiable ω: only W001 fires.
+        let u = Update::insert(
+            Wff::and2(Wff::Atom(b), Wff::Atom(b).not()),
+            Wff::and2(Wff::Atom(a), Wff::Atom(a).not()),
+        );
+        assert_eq!(codes(&t, &[u]), vec![Code::W001]);
+    }
+
+    #[test]
+    fn batch_summary_counts() {
+        let (t, a, _) = base();
+        let dup = Update::insert(Wff::Atom(a), Wff::Atom(a));
+        let batch = analyze_batch(&t, &[dup.clone(), dup]);
+        assert_eq!(batch.statements, 2);
+        assert_eq!(batch.errors(), 0);
+        assert!(batch.warnings() >= 2); // W003 on both, W004 on the second
+    }
+}

@@ -1,0 +1,104 @@
+//! Rustc-style textual rendering of diagnostics against script source.
+
+use crate::diagnostics::{Diagnostic, Severity};
+
+/// Renders one diagnostic the way rustc does:
+///
+/// ```text
+/// warning[W001]: this INSERT can never fire: ...
+///   --> examples/demo.ldml:4:13
+///    |
+///  4 | INSERT R(a) WHERE R(b) & !R(b)
+///    |             ^^^^^^^^^^^^^^^^^^
+///    = help: the statement has no effect on any world; delete it
+/// ```
+///
+/// `file` is the display name of the script and `source` its full text;
+/// the diagnostic's span must be file-absolute (as produced by
+/// [`crate::analyze_script`]). Diagnostics without spans render without the
+/// source excerpt.
+pub fn render_diagnostic(file: &str, source: &str, d: &Diagnostic) -> String {
+    let mut out = format!("{}[{}]: {}\n", d.severity, d.code, d.message);
+    if let Some(span) = d.span {
+        let start = span.start.min(source.len());
+        let line_start = source[..start].rfind('\n').map_or(0, |i| i + 1);
+        let line_end = source[start..]
+            .find('\n')
+            .map_or(source.len(), |i| start + i);
+        let line_no = source[..start].matches('\n').count() + 1;
+        let col = start - line_start + 1;
+        let line = &source[line_start..line_end];
+        let gutter = line_no.to_string().len().max(2);
+        out.push_str(&format!(
+            "{:gutter$}--> {file}:{line_no}:{col}\n",
+            "",
+            gutter = gutter
+        ));
+        out.push_str(&format!("{:gutter$} |\n", "", gutter = gutter));
+        out.push_str(&format!("{line_no:gutter$} | {line}\n", gutter = gutter));
+        let width = span.end.min(line_end).saturating_sub(start).max(1);
+        out.push_str(&format!(
+            "{:gutter$} | {:col_pad$}{}\n",
+            "",
+            "",
+            "^".repeat(width),
+            gutter = gutter,
+            col_pad = col - 1
+        ));
+    }
+    if let Some(fix) = &d.fix {
+        out.push_str(&format!("  = help: {}\n", fix.summary));
+        if let Some(rep) = &fix.replacement {
+            if rep.is_empty() {
+                out.push_str("  = fix: delete the statement\n");
+            } else {
+                out.push_str(&format!("  = fix: replace with `{rep}`\n"));
+            }
+        }
+    }
+    out
+}
+
+/// Renders the closing summary line for a batch of diagnostics.
+pub fn render_summary(file: &str, diagnostics: &[Diagnostic]) -> String {
+    let errors = diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diagnostics.len() - errors;
+    if diagnostics.is_empty() {
+        format!("{file}: clean")
+    } else {
+        format!("{file}: {errors} error(s), {warnings} warning(s)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze_script;
+
+    #[test]
+    fn renders_caret_under_where_clause() {
+        let src = ".relation R/1\nINSERT R(a) WHERE R(b) & !R(b)\n";
+        let r = analyze_script(src);
+        let text = render_diagnostic("demo.ldml", src, &r.diagnostics[0]);
+        assert!(text.starts_with("warning[W001]:"), "{text}");
+        assert!(text.contains("demo.ldml:2:13"), "{text}");
+        assert!(
+            text.contains(&"^".repeat("WHERE R(b) & !R(b)".len())),
+            "{text}"
+        );
+        assert!(text.contains("= help:"), "{text}");
+        assert!(text.contains("= fix: delete the statement"), "{text}");
+    }
+
+    #[test]
+    fn summary_counts() {
+        let src = ".relation R/1\nINSERT R(a) WHERE R(b) & !R(b)\n";
+        let r = analyze_script(src);
+        let s = render_summary("demo.ldml", &r.diagnostics);
+        assert_eq!(s, "demo.ldml: 0 error(s), 1 warning(s)");
+        assert_eq!(render_summary("x.ldml", &[]), "x.ldml: clean");
+    }
+}

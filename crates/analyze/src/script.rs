@@ -1,0 +1,361 @@
+//! The `.ldml` script front-end: parse a whole script, build the initial
+//! theory from its directives, analyze the update program, and attach
+//! file-absolute [`Span`]s to every diagnostic so callers can render
+//! rustc-style carets.
+//!
+//! Script syntax, line-oriented:
+//!
+//! ```text
+//! -- comment (also allowed trailing a line)
+//! .relation Orders/3              -- declare a relation
+//! .attribute PartNo               -- declare an attribute predicate
+//! .typed InStock(PartNo, Quan)    -- typed relation (type axioms, §3.5)
+//! .fd orders-qty Orders key 0,1   -- functional dependency (§3.5)
+//! .fact Orders(700,32,9)          -- certain fact
+//! .false InStock(32,1)            -- certainly-false tuple
+//! .wff InStock(32,5) | InStock(32,6)   -- arbitrary stored ground wff
+//! INSERT InStock(32,5) & PartNo(32) & Quan(5) WHERE T
+//! DELETE Orders(700,32,9) WHERE InStock(32,9)
+//! ```
+//!
+//! Directives describe the *initial* database; the LDML statements form the
+//! update program analyzed against it. A comment of the form
+//! `-- expect: W001 E004` anywhere in the file records the codes the script
+//! is expected to trigger — `ldml-lint --self-check` verifies the emitted
+//! codes match exactly (an annotation-free file must be clean).
+
+use crate::diagnostics::{Batch, Code, Diagnostic};
+use crate::passes::analyze_program;
+use winslett_ldml::{parse_update, Update};
+use winslett_logic::{parse_wff, ParseContext, Span};
+use winslett_theory::{Dependency, Theory};
+
+/// One meaningful script line (directive or LDML statement).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ScriptStatement {
+    /// The statement text, comments stripped.
+    pub text: String,
+    /// Byte range of `text` within the script source.
+    pub span: Span,
+}
+
+/// The result of analyzing a whole script.
+#[derive(Clone, Debug)]
+pub struct ScriptReport {
+    /// Every meaningful line, in order (directives and statements alike).
+    pub statements: Vec<ScriptStatement>,
+    /// All findings; `statement` indexes [`ScriptReport::statements`] and
+    /// every span is file-absolute.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Codes the script declares via `-- expect:` annotations.
+    pub expected: Vec<Code>,
+    /// The theory built from the directives.
+    pub theory: Theory,
+    /// The parsed update program (statements that failed to parse are
+    /// reported as `E001` and skipped).
+    pub program: Vec<Update>,
+}
+
+impl ScriptReport {
+    /// Batch summary over the script's statements.
+    pub fn batch(&self) -> Batch {
+        Batch::new(self.statements.len(), self.diagnostics.clone())
+    }
+
+    /// The emitted codes, sorted — the multiset `--self-check` compares
+    /// against [`ScriptReport::expected`].
+    pub fn emitted_codes(&self) -> Vec<Code> {
+        let mut v: Vec<Code> = self.diagnostics.iter().map(|d| d.code).collect();
+        v.sort();
+        v
+    }
+
+    /// Whether the emitted codes match the script's `expect:` annotations
+    /// exactly (an annotation-free script must emit nothing).
+    pub fn matches_expectations(&self) -> bool {
+        let mut want = self.expected.clone();
+        want.sort();
+        self.emitted_codes() == want
+    }
+}
+
+/// Parses and analyzes `source` as an `.ldml` script.
+pub fn analyze_script(source: &str) -> ScriptReport {
+    let mut theory = Theory::new();
+    let mut statements: Vec<ScriptStatement> = Vec::new();
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    let mut expected: Vec<Code> = Vec::new();
+    // (statement index, update) for every line that parsed as an update.
+    let mut program_map: Vec<usize> = Vec::new();
+    let mut program: Vec<Update> = Vec::new();
+
+    let mut offset = 0usize;
+    for line in source.split_inclusive('\n') {
+        let line_start = offset;
+        offset += line.len();
+        let content = line.strip_suffix('\n').unwrap_or(line);
+        let (code_part, comment) = match content.find("--") {
+            Some(i) => (&content[..i], &content[i..]),
+            None => (content, ""),
+        };
+        if let Some(i) = comment.find("expect:") {
+            for tok in comment[i + "expect:".len()..]
+                .split(|c: char| c.is_whitespace() || c == ',')
+                .filter(|t| !t.is_empty())
+            {
+                if let Some(c) = Code::parse(tok) {
+                    expected.push(c);
+                }
+            }
+        }
+        let text = code_part.trim();
+        if text.is_empty() {
+            continue;
+        }
+        let start = line_start + (text.as_ptr() as usize - content.as_ptr() as usize);
+        let span = Span::new(start, start + text.len());
+        let index = statements.len();
+        statements.push(ScriptStatement {
+            text: text.to_string(),
+            span,
+        });
+
+        if let Some(rest) = text.strip_prefix('.') {
+            if let Err(message) = run_directive(&mut theory, rest) {
+                diagnostics.push(Diagnostic::new(Code::E001, index, message).with_span(span));
+            }
+            continue;
+        }
+
+        let mut ctx = ParseContext {
+            vocab: &mut theory.vocab,
+            atoms: &mut theory.atoms,
+            declare: true,                    // new constants are normal in updates
+            allow_predicate_constants: false, // updates are wffs over L′ (§3.1)
+        };
+        match parse_update(text, &mut ctx) {
+            Ok(u) => {
+                program_map.push(index);
+                program.push(u);
+            }
+            Err(e) => {
+                let err_span = e.span().map(|s| s.shifted(span.start)).unwrap_or(span);
+                diagnostics
+                    .push(Diagnostic::new(Code::E001, index, e.to_string()).with_span(err_span));
+            }
+        }
+    }
+
+    for mut d in analyze_program(&theory, &program) {
+        let index = program_map[d.statement];
+        d.statement = index;
+        d.span = Some(pick_span(&statements[index], d.code));
+        diagnostics.push(d);
+    }
+    diagnostics.sort_by_key(|d| (d.statement, d.code));
+
+    ScriptReport {
+        statements,
+        diagnostics,
+        expected,
+        theory,
+        program,
+    }
+}
+
+/// Chooses the caret range for a program diagnostic: WHERE-clause findings
+/// point at the WHERE clause, everything else at the whole statement.
+fn pick_span(stmt: &ScriptStatement, code: Code) -> Span {
+    match code {
+        Code::W001 | Code::W002 | Code::W006 => match stmt.text.rfind("WHERE") {
+            Some(i) => Span::new(stmt.span.start + i, stmt.span.end),
+            None => stmt.span,
+        },
+        _ => stmt.span,
+    }
+}
+
+/// Executes one `.directive` (leading dot already stripped).
+fn run_directive(theory: &mut Theory, rest: &str) -> Result<(), String> {
+    let (cmd, arg) = match rest.find(char::is_whitespace) {
+        Some(i) => (&rest[..i], rest[i..].trim()),
+        None => (rest, ""),
+    };
+    match cmd {
+        "relation" => {
+            let (name, arity) = arg.split_once('/').ok_or("usage: .relation Name/arity")?;
+            let arity: usize = arity
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad arity: {e}"))?;
+            theory
+                .declare_relation(name.trim(), arity)
+                .map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        "attribute" => {
+            theory.declare_attribute(arg).map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        "typed" => {
+            let (name, attrs) = parse_application(arg)?;
+            let attr_ids = attrs
+                .iter()
+                .map(|a| {
+                    theory
+                        .vocab
+                        .find_predicate(a)
+                        .ok_or_else(|| format!("unknown attribute `{a}`"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            theory
+                .declare_typed_relation(name, &attr_ids)
+                .map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        "fd" => {
+            // .fd <name> <Rel> key <i[,j...]>
+            let mut words = arg.split_whitespace();
+            let (Some(name), Some(rel), Some("key"), Some(cols)) =
+                (words.next(), words.next(), words.next(), words.next())
+            else {
+                return Err("usage: .fd <name> <Rel> key <i[,j...]>".into());
+            };
+            let pred = theory
+                .vocab
+                .find_predicate(rel)
+                .ok_or_else(|| format!("unknown relation `{rel}`"))?;
+            let arity = theory.vocab.predicate(pred).arity;
+            let key: Vec<usize> = cols
+                .split(',')
+                .map(|c| c.trim().parse().map_err(|e| format!("bad key column: {e}")))
+                .collect::<Result<_, _>>()?;
+            let dep = Dependency::functional(name, pred, arity, &key).map_err(|e| e.to_string())?;
+            theory.add_dependency(dep);
+            Ok(())
+        }
+        "fact" | "false" => {
+            let (name, args) = parse_application(arg)?;
+            let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+            let atom = theory
+                .atom_by_name(name, &refs)
+                .map_err(|e| e.to_string())?;
+            if cmd == "fact" {
+                theory.assert_atom(atom);
+            } else {
+                theory.assert_not_atom(atom);
+            }
+            Ok(())
+        }
+        "wff" => {
+            let mut ctx = ParseContext {
+                vocab: &mut theory.vocab,
+                atoms: &mut theory.atoms,
+                declare: true,
+                allow_predicate_constants: false,
+            };
+            let wff = parse_wff(arg, &mut ctx).map_err(|e| e.to_string())?;
+            theory.assert_wff(&wff);
+            Ok(())
+        }
+        other => Err(format!("unknown directive `.{other}`")),
+    }
+}
+
+/// Splits `Name(a, b, c)` into the name and its arguments. `Name` alone is
+/// accepted with no arguments.
+fn parse_application(s: &str) -> Result<(&str, Vec<String>), String> {
+    let Some(open) = s.find('(') else {
+        if s.is_empty() {
+            return Err("expected `Name(args...)`".into());
+        }
+        return Ok((s, Vec::new()));
+    };
+    let name = s[..open].trim();
+    let inner = s[open + 1..]
+        .strip_suffix(')')
+        .ok_or("missing closing `)`")?;
+    if name.is_empty() {
+        return Err("expected `Name(args...)`".into());
+    }
+    let args = if inner.trim().is_empty() {
+        Vec::new()
+    } else {
+        inner.split(',').map(|a| a.trim().to_string()).collect()
+    };
+    Ok((name, args))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_theory_and_analyzes() {
+        let src = "\
+-- the paper's inventory vocabulary
+.relation Orders/3
+.fact Orders(700,32,9)
+INSERT Orders(100,32,1) WHERE T
+";
+        let r = analyze_script(src);
+        assert_eq!(r.statements.len(), 3);
+        assert_eq!(r.program.len(), 1);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        assert!(r.matches_expectations());
+    }
+
+    #[test]
+    fn attaches_file_absolute_spans() {
+        let src = ".relation R/1\nINSERT R(a) WHERE R(b) & !R(b)\n";
+        let r = analyze_script(src);
+        assert_eq!(r.diagnostics.len(), 1);
+        let d = &r.diagnostics[0];
+        assert_eq!(d.code, Code::W001);
+        let span = d.span.expect("script diagnostics carry spans");
+        // The caret points at the WHERE clause of the second line.
+        assert_eq!(&src[span.start..span.end], "WHERE R(b) & !R(b)");
+    }
+
+    #[test]
+    fn parse_failures_become_e001_with_spans() {
+        let src = ".relation R/1\nINSERT R(a) WHERE (R(a)\n.bogus x\n";
+        let r = analyze_script(src);
+        let codes = r.emitted_codes();
+        assert_eq!(codes, vec![Code::E001, Code::E001]);
+        assert!(r.program.is_empty());
+        for d in &r.diagnostics {
+            assert!(d.span.is_some());
+        }
+    }
+
+    #[test]
+    fn expectations_are_collected_and_compared() {
+        let src = "\
+.relation R/1
+.fact R(a)
+-- expect: W003
+INSERT R(a) WHERE R(a)
+";
+        let r = analyze_script(src);
+        assert_eq!(r.expected, vec![Code::W003]);
+        assert!(r.matches_expectations(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn typed_and_fd_directives() {
+        let src = "\
+.attribute PartNo
+.attribute Quan
+.typed InStock(PartNo, Quan)
+.relation Orders/2
+.fd orders-fd Orders key 0
+.fact Orders(700,32)
+.false InStock(32,5)
+";
+        let r = analyze_script(src);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        assert_eq!(r.theory.deps.len(), 1);
+        assert!(r.theory.schema.has_type_axioms());
+    }
+}

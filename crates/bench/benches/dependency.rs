@@ -26,12 +26,11 @@ fn bench_fd(c: &mut Criterion) {
                     } else {
                         w.fd_theory_best(r)
                     };
-                    let updates: Vec<Update> =
-                        (0..16).map(|i| w.fd_insert(&mut theory, shared, i)).collect();
-                    let engine = GuaEngine::new(
-                        theory,
-                        GuaOptions::simplify_always(SimplifyLevel::None),
-                    );
+                    let updates: Vec<Update> = (0..16)
+                        .map(|i| w.fd_insert(&mut theory, shared, i))
+                        .collect();
+                    let engine =
+                        GuaEngine::new(theory, GuaOptions::simplify_always(SimplifyLevel::None));
                     let mut live = engine.clone();
                     let mut used = 0usize;
                     b.iter(|| {

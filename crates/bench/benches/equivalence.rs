@@ -20,10 +20,7 @@ fn sample_pairs(n: usize, num_atoms: usize) -> Vec<(Update, Update)> {
             let b = AtomId(rng.below(num_atoms) as u32);
             match rng.below(3) {
                 0 => Update::insert(Wff::Atom(a), Wff::Atom(b)),
-                1 => Update::insert(
-                    Formula::Or(vec![Wff::Atom(a), Wff::Atom(b)]),
-                    Wff::t(),
-                ),
+                1 => Update::insert(Formula::Or(vec![Wff::Atom(a), Wff::Atom(b)]), Wff::t()),
                 _ => Update::delete(a, Wff::Atom(b)),
             }
         };

@@ -27,10 +27,8 @@ fn bench_gua_update(c: &mut Criterion) {
                     let updates: Vec<Update> = (0..64)
                         .map(|i| w.conjunctive_insert(&mut theory, &atoms, g, i))
                         .collect();
-                    let engine = GuaEngine::new(
-                        theory,
-                        GuaOptions::simplify_always(SimplifyLevel::None),
-                    );
+                    let engine =
+                        GuaEngine::new(theory, GuaOptions::simplify_always(SimplifyLevel::None));
                     let mut i = 0usize;
                     let mut live = engine.clone();
                     let mut used = 0usize;
@@ -61,10 +59,7 @@ fn bench_gua_growth(c: &mut Criterion) {
             let updates: Vec<Update> = (0..32)
                 .map(|i| w.conjunctive_insert(&mut theory, &atoms, g, i))
                 .collect();
-            let engine = GuaEngine::new(
-                theory,
-                GuaOptions::simplify_always(SimplifyLevel::None),
-            );
+            let engine = GuaEngine::new(theory, GuaOptions::simplify_always(SimplifyLevel::None));
             b.iter(|| {
                 let mut live = engine.clone();
                 for u in &updates {

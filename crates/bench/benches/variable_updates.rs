@@ -21,8 +21,8 @@ fn bench_expand(c: &mut Criterion) {
     for &r in &[64usize, 512, 4096] {
         let theory = theory_with_orders(r);
         group.bench_with_input(BenchmarkId::from_parameter(r), &(), |b, _| {
-            let stmt = VarStatement::parse("DELETE Orders(?o, ?p, ?q) WHERE T", &theory)
-                .expect("parses");
+            let stmt =
+                VarStatement::parse("DELETE Orders(?o, ?p, ?q) WHERE T", &theory).expect("parses");
             let mut scratch = theory.clone();
             b.iter(|| {
                 let ground = stmt.expand(&mut scratch).expect("expands");
@@ -40,8 +40,8 @@ fn bench_apply(c: &mut Criterion) {
     for &r in &[16usize, 64, 256] {
         let theory = theory_with_orders(r);
         group.bench_with_input(BenchmarkId::from_parameter(r), &(), |b, _| {
-            let stmt = VarStatement::parse("DELETE Orders(?o, ?p, ?q) WHERE T", &theory)
-                .expect("parses");
+            let stmt =
+                VarStatement::parse("DELETE Orders(?o, ?p, ?q) WHERE T", &theory).expect("parses");
             b.iter(|| {
                 let mut engine = GuaEngine::new(
                     theory.clone(),

@@ -80,8 +80,11 @@ fn main() {
         }
         if let Some(dir) = &out_dir {
             let path = format!("{dir}/{}.json", t.id.to_lowercase());
-            std::fs::write(&path, serde_json::to_string_pretty(t).expect("serializable"))
-                .expect("write result file");
+            std::fs::write(
+                &path,
+                serde_json::to_string_pretty(t).expect("serializable"),
+            )
+            .expect("write result file");
         }
     }
 }

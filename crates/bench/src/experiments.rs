@@ -44,9 +44,8 @@ pub fn e1(trials: usize) -> Table {
                 updates.push(u.clone());
                 engine.apply(&u).expect("update applies");
             }
-            let report =
-                check_commutes(&before, &updates, &engine.theory, ModelLimit::default())
-                    .expect("diagram runs");
+            let report = check_commutes(&before, &updates, &engine.theory, ModelLimit::default())
+                .expect("diagram runs");
             max_worlds = max_worlds.max(report.expected.len());
             if report.commutes {
                 agreements += 1;
@@ -70,7 +69,13 @@ pub fn e2(pairs: usize) -> Table {
     let mut table = Table::new(
         "E2",
         "update equivalence: theorem deciders vs per-model brute force",
-        &["pairs", "agreements", "equivalent", "decider µs/pair", "brute µs/pair"],
+        &[
+            "pairs",
+            "agreements",
+            "equivalent",
+            "decider µs/pair",
+            "brute µs/pair",
+        ],
     );
     let mut rng = Rng(0xE2_0001);
     let mut agreements = 0usize;
@@ -122,10 +127,8 @@ pub fn e3(reps: usize) -> Table {
             let updates: Vec<Update> = (0..reps)
                 .map(|i| w.conjunctive_insert(&mut theory, &atoms, g, i))
                 .collect();
-            let mut engine = GuaEngine::new(
-                theory,
-                GuaOptions::simplify_always(SimplifyLevel::None),
-            );
+            let mut engine =
+                GuaEngine::new(theory, GuaOptions::simplify_always(SimplifyLevel::None));
             let start = Instant::now();
             for u in &updates {
                 engine.apply(u).expect("update applies");
@@ -140,7 +143,9 @@ pub fn e3(reps: usize) -> Table {
             ]);
         }
     }
-    table.note("expected shape: µs/update ~ linear in g, ~flat in R (indices); last column ~constant-ish");
+    table.note(
+        "expected shape: µs/update ~ linear in g, ~flat in R (indices); last column ~constant-ish",
+    );
     table
 }
 
@@ -158,10 +163,8 @@ pub fn e4(reps: usize) -> Table {
             let updates: Vec<Update> = (0..reps)
                 .map(|i| w.conjunctive_insert(&mut theory, &atoms, g, i))
                 .collect();
-            let mut engine = GuaEngine::new(
-                theory,
-                GuaOptions::simplify_always(SimplifyLevel::None),
-            );
+            let mut engine =
+                GuaEngine::new(theory, GuaOptions::simplify_always(SimplifyLevel::None));
             let before = engine.theory.store.size_nodes();
             for u in &updates {
                 engine.apply(u).expect("update applies");
@@ -186,17 +189,22 @@ pub fn e5(reps: usize) -> Table {
     let mut table = Table::new(
         "E5",
         "FD instantiation: engineered worst vs best case",
-        &["R", "worst µs/upd", "best µs/upd", "worst/best", "worst instances"],
+        &[
+            "R",
+            "worst µs/upd",
+            "best µs/upd",
+            "worst/best",
+            "worst instances",
+        ],
     );
     for &r in &[64usize, 256, 1024, 4096] {
         // Worst case: every existing tuple shares the inserted key.
         let mut w = Workload::new(0xE5);
         let (mut theory, _) = w.fd_theory_worst(r);
-        let updates: Vec<Update> = (0..reps).map(|i| w.fd_insert(&mut theory, true, i)).collect();
-        let mut engine = GuaEngine::new(
-            theory,
-            GuaOptions::simplify_always(SimplifyLevel::None),
-        );
+        let updates: Vec<Update> = (0..reps)
+            .map(|i| w.fd_insert(&mut theory, true, i))
+            .collect();
+        let mut engine = GuaEngine::new(theory, GuaOptions::simplify_always(SimplifyLevel::None));
         let start = Instant::now();
         let mut instances = 0usize;
         for u in &updates {
@@ -208,11 +216,10 @@ pub fn e5(reps: usize) -> Table {
         // Best case: fresh keys, no joins.
         let mut w = Workload::new(0xE5);
         let (mut theory, _) = w.fd_theory_best(r);
-        let updates: Vec<Update> = (0..reps).map(|i| w.fd_insert(&mut theory, false, i)).collect();
-        let mut engine = GuaEngine::new(
-            theory,
-            GuaOptions::simplify_always(SimplifyLevel::None),
-        );
+        let updates: Vec<Update> = (0..reps)
+            .map(|i| w.fd_insert(&mut theory, false, i))
+            .collect();
+        let mut engine = GuaEngine::new(theory, GuaOptions::simplify_always(SimplifyLevel::None));
         let start = Instant::now();
         for u in &updates {
             engine.apply(u).expect("update applies");
@@ -237,7 +244,14 @@ pub fn e6(steps: usize) -> Table {
     let mut table = Table::new(
         "E6",
         "simplification under churn (insert-disjunction + ASSERT cycles)",
-        &["level", "steps", "final nodes", "final wffs", "update ms", "query µs"],
+        &[
+            "level",
+            "steps",
+            "final nodes",
+            "final wffs",
+            "update ms",
+            "query µs",
+        ],
     );
     for (label, level) in [
         ("none", SimplifyLevel::None),
@@ -300,7 +314,9 @@ pub fn e6(steps: usize) -> Table {
             fmt_us(query_time),
         ]);
     }
-    table.note("expected shape: nodes grow ~linearly with steps at level none; stay bounded at fast/full");
+    table.note(
+        "expected shape: nodes grow ~linearly with steps at level none; stay bounded at fast/full",
+    );
     table
 }
 
@@ -310,12 +326,21 @@ pub fn e7(max_k: usize) -> Table {
     let mut table = Table::new(
         "E7",
         "k branching updates: GUA vs possible-worlds baseline",
-        &["k", "worlds", "GUA µs", "baseline µs", "GUA query µs", "baseline query µs"],
+        &[
+            "k",
+            "worlds",
+            "GUA µs",
+            "baseline µs",
+            "GUA query µs",
+            "baseline query µs",
+        ],
     );
     for k in 1..=max_k {
         let mut w = Workload::new(0xE7);
         let (mut theory, _) = w.orders_theory(4);
-        let updates: Vec<Update> = (0..k).map(|i| w.disjunctive_insert(&mut theory, 2, i)).collect();
+        let updates: Vec<Update> = (0..k)
+            .map(|i| w.disjunctive_insert(&mut theory, 2, i))
+            .collect();
         let before = theory.clone();
 
         // GUA path (best of 3 to damp one-shot jitter).
@@ -343,18 +368,15 @@ pub fn e7(max_k: usize) -> Table {
 
         // Baseline path.
         let start = Instant::now();
-        let mut baseline = WorldsEngine::from_theory(&before, ModelLimit::default())
-            .expect("materializes");
+        let mut baseline =
+            WorldsEngine::from_theory(&before, ModelLimit::default()).expect("materializes");
         baseline
             .apply_all(&updates, &engine.theory)
             .expect("baseline applies");
         let baseline_time = start.elapsed();
 
         // A certain-truth probe on both.
-        let probe = {
-            
-            updates[0].to_insert().omega
-        };
+        let probe = { updates[0].to_insert().omega };
         let start = Instant::now();
         std::hint::black_box(engine.theory.entails(&probe));
         let gua_query = start.elapsed();
@@ -371,7 +393,9 @@ pub fn e7(max_k: usize) -> Table {
             fmt_us(baseline_query),
         ]);
     }
-    table.note("expected shape: worlds ≈ 3^k; baseline time exponential in k; GUA time ~linear in k");
+    table.note(
+        "expected shape: worlds ≈ 3^k; baseline time exponential in k; GUA time ~linear in k",
+    );
     table
 }
 
@@ -381,7 +405,13 @@ pub fn e8(max_log: usize) -> Table {
     let mut table = Table::new(
         "E8",
         "query cost vs update-log length: replay strawman vs GUA+simplify",
-        &["log len", "eager query µs", "replay query µs", "eager nodes", "replay nodes"],
+        &[
+            "log len",
+            "eager query µs",
+            "replay query µs",
+            "eager nodes",
+            "replay nodes",
+        ],
     );
     let mut len = 4usize;
     while len <= max_log {
@@ -422,7 +452,9 @@ pub fn e8(max_log: usize) -> Table {
         ]);
         len *= 2;
     }
-    table.note("expected shape: replay query cost grows ~linearly with log length; eager stays ~flat");
+    table.note(
+        "expected shape: replay query cost grows ~linearly with log length; eager stays ~flat",
+    );
     table
 }
 
@@ -434,7 +466,13 @@ pub fn e9(max_k: usize) -> Table {
     let mut table = Table::new(
         "E9",
         "semantics ablation: PODS-1986 vs PMA (minimal change)",
-        &["k", "1986 worlds", "PMA worlds", "1986 certain atoms", "PMA certain atoms"],
+        &[
+            "k",
+            "1986 worlds",
+            "PMA worlds",
+            "1986 certain atoms",
+            "PMA certain atoms",
+        ],
     );
     for k in 1..=max_k {
         let mut w = Workload::new(0xE9);
@@ -534,11 +572,11 @@ fn random_wff(rng: &mut Rng, num_atoms: usize, depth: usize) -> Wff {
 
 fn random_update_small(rng: &mut Rng, num_atoms: usize) -> Update {
     match rng.below(4) {
-        0 => Update::insert(
-            random_wff(rng, num_atoms, 2),
-            random_wff(rng, num_atoms, 2),
+        0 => Update::insert(random_wff(rng, num_atoms, 2), random_wff(rng, num_atoms, 2)),
+        1 => Update::delete(
+            AtomId(rng.below(num_atoms) as u32),
+            random_wff(rng, num_atoms, 1),
         ),
-        1 => Update::delete(AtomId(rng.below(num_atoms) as u32), random_wff(rng, num_atoms, 1)),
         2 => Update::modify(
             AtomId(rng.below(num_atoms) as u32),
             random_wff(rng, num_atoms, 1),
@@ -569,10 +607,7 @@ fn random_theory(rng: &mut Rng) -> (Theory, Vec<AtomId>) {
 
 fn random_update(rng: &mut Rng, ids: &[AtomId]) -> Update {
     match rng.below(4) {
-        0 => Update::insert(
-            random_wff(rng, ids.len(), 2),
-            random_wff(rng, ids.len(), 2),
-        ),
+        0 => Update::insert(random_wff(rng, ids.len(), 2), random_wff(rng, ids.len(), 2)),
         1 => Update::delete(ids[rng.below(ids.len())], random_wff(rng, ids.len(), 1)),
         2 => Update::modify(
             ids[rng.below(ids.len())],
@@ -633,9 +668,11 @@ mod tests {
     #[test]
     fn e8_replay_store_grows_with_log() {
         let t = e8(16);
-        let replay_nodes: Vec<usize> =
-            t.rows.iter().map(|r| r[4].parse().unwrap()).collect();
-        assert!(replay_nodes.windows(2).all(|w| w[0] < w[1]), "{replay_nodes:?}");
+        let replay_nodes: Vec<usize> = t.rows.iter().map(|r| r[4].parse().unwrap()).collect();
+        assert!(
+            replay_nodes.windows(2).all(|w| w[0] < w[1]),
+            "{replay_nodes:?}"
+        );
     }
 
     #[test]

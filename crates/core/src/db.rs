@@ -11,9 +11,7 @@ use crate::error::DbError;
 use crate::query::{Answers, Query};
 use winslett_gua::{GuaEngine, GuaOptions, SimplifyLevel, UpdateReport};
 use winslett_ldml::Update;
-use winslett_logic::{
-    parse_wff, AtomId, BitSet, Formula, ModelLimit, ParseContext, PredId, Wff,
-};
+use winslett_logic::{parse_wff, AtomId, BitSet, Formula, ModelLimit, ParseContext, PredId, Wff};
 use winslett_theory::{Dependency, Theory, TheoryStats};
 
 /// Configuration for a [`LogicalDatabase`].
@@ -86,10 +84,7 @@ impl LogicalDatabase {
     /// Creates an empty database with explicit options.
     pub fn with_options(options: DbOptions) -> Self {
         LogicalDatabase {
-            engine: GuaEngine::new(
-                Theory::new(),
-                GuaOptions::simplify_always(options.simplify),
-            ),
+            engine: GuaEngine::new(Theory::new(), GuaOptions::simplify_always(options.simplify)),
             options,
             log: Vec::new(),
         }
@@ -98,10 +93,7 @@ impl LogicalDatabase {
     /// Wraps an existing theory.
     pub fn from_theory(theory: Theory, options: DbOptions) -> Self {
         LogicalDatabase {
-            engine: GuaEngine::new(
-                theory,
-                GuaOptions::simplify_always(options.simplify),
-            ),
+            engine: GuaEngine::new(theory, GuaOptions::simplify_always(options.simplify)),
             options,
             log: Vec::new(),
         }
@@ -212,13 +204,12 @@ impl LogicalDatabase {
 
     /// Executes an update AST.
     pub fn update(&mut self, update: &Update) -> Result<UpdateReport, DbError> {
-        let effective = if self.options.widen_type_axioms
-            && self.engine.theory.schema.has_type_axioms()
-        {
-            self.widen(update)
-        } else {
-            update.clone()
-        };
+        let effective =
+            if self.options.widen_type_axioms && self.engine.theory.schema.has_type_axioms() {
+                self.widen(update)
+            } else {
+                update.clone()
+            };
         let report = self.engine.apply(&effective)?;
         self.log.push(effective);
         Ok(report)
@@ -236,13 +227,12 @@ impl LogicalDatabase {
     pub fn execute_variable(&mut self, src: &str) -> Result<(usize, UpdateReport), DbError> {
         let stmt = crate::vars::VarStatement::parse(src, &self.engine.theory)?;
         let ground = stmt.expand(&mut self.engine.theory)?;
-        let effective: Vec<Update> = if self.options.widen_type_axioms
-            && self.engine.theory.schema.has_type_axioms()
-        {
-            ground.iter().map(|u| self.widen(u)).collect()
-        } else {
-            ground
-        };
+        let effective: Vec<Update> =
+            if self.options.widen_type_axioms && self.engine.theory.schema.has_type_axioms() {
+                ground.iter().map(|u| self.widen(u)).collect()
+            } else {
+                ground
+            };
         let report = self.engine.apply_simultaneous(&effective)?;
         let n = effective.len();
         self.log.extend(effective);
@@ -597,7 +587,7 @@ mod tests {
         assert!(db.is_consistent());
         assert_eq!(db.world_names().unwrap(), before);
         assert_eq!(db.log().len(), 0); // the rejected update is not logged
-        // The legal atomic replacement goes through.
+                                       // The legal atomic replacement goes through.
         db.execute_atomic("INSERT Price(widget,12) & !Price(widget,10) WHERE T")
             .unwrap();
         assert!(db.is_certain("Price(widget,12)").unwrap());
@@ -608,10 +598,7 @@ mod tests {
         let mut db = orders_db();
         let before = db.world_names().unwrap();
         // Second statement fails (unknown predicate): everything rolls back.
-        let r = db.transaction(&[
-            "DELETE Orders(700,32,9) WHERE T",
-            "INSERT Nope(1) WHERE T",
-        ]);
+        let r = db.transaction(&["DELETE Orders(700,32,9) WHERE T", "INSERT Nope(1) WHERE T"]);
         assert!(r.is_err());
         assert_eq!(db.world_names().unwrap(), before);
         assert_eq!(db.log().len(), 0);

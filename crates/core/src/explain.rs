@@ -71,8 +71,7 @@ impl Explanation {
 pub fn explain(theory: &Theory, wff: &Wff) -> Result<Explanation, DbError> {
     let witness_world = theory.find_world_where(wff);
     let counter_world = theory.find_world_where(&wff.clone().not());
-    let render =
-        |w: &winslett_logic::BitSet| -> Vec<String> { theory.format_world(w) };
+    let render = |w: &winslett_logic::BitSet| -> Vec<String> { theory.format_world(w) };
     let verdict = match (&witness_world, &counter_world) {
         (Some(_), Some(_)) => Verdict::Uncertain,
         (Some(_), None) => Verdict::Certain,

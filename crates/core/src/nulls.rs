@@ -68,8 +68,10 @@ impl NullCatalog {
         if candidates.is_empty() {
             return Err(DbError::EmptyNullDomain { name: name.into() });
         }
-        self.domains
-            .insert(name.to_owned(), candidates.iter().map(|s| s.to_string()).collect());
+        self.domains.insert(
+            name.to_owned(),
+            candidates.iter().map(|s| s.to_string()).collect(),
+        );
         Ok(())
     }
 
@@ -278,7 +280,10 @@ mod tests {
             )
             .unwrap();
         match &u {
-            Update::Insert { omega: Formula::Or(parts), .. } => assert_eq!(parts.len(), 4),
+            Update::Insert {
+                omega: Formula::Or(parts),
+                ..
+            } => assert_eq!(parts.len(), 4),
             other => panic!("unexpected {other:?}"),
         }
         // Applying yields exactly one world per candidate pair.
@@ -323,7 +328,11 @@ mod tests {
         let r = cat.expand_insert(
             &mut t,
             "Orders",
-            &[NullableArg::parse("@zzz"), NullableArg::parse("1"), NullableArg::parse("2")],
+            &[
+                NullableArg::parse("@zzz"),
+                NullableArg::parse("1"),
+                NullableArg::parse("2"),
+            ],
             Wff::t(),
         );
         assert!(r.is_err());
@@ -358,7 +367,14 @@ mod tests {
         );
         // Evidence: the quantity was not 9.
         let narrow = cat
-            .narrow(&mut engine.theory, "Orders", &["700", "32", ""], 2, "q", &["9"])
+            .narrow(
+                &mut engine.theory,
+                "Orders",
+                &["700", "32", ""],
+                2,
+                "q",
+                &["9"],
+            )
             .unwrap();
         engine.apply(&narrow).unwrap();
         assert_eq!(
@@ -370,10 +386,20 @@ mod tests {
             2
         );
         // Catalog domain shrank for future inserts.
-        assert_eq!(cat.domain("q").unwrap(), &["1".to_string(), "5".to_string()][..]);
+        assert_eq!(
+            cat.domain("q").unwrap(),
+            &["1".to_string(), "5".to_string()][..]
+        );
         // Narrowing away everything is an error.
         assert!(matches!(
-            cat.narrow(&mut engine.theory, "Orders", &["700", "32", ""], 2, "q", &["1", "5"]),
+            cat.narrow(
+                &mut engine.theory,
+                "Orders",
+                &["700", "32", ""],
+                2,
+                "q",
+                &["1", "5"]
+            ),
             Err(DbError::EmptyNullDomain { .. })
         ));
     }

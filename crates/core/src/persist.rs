@@ -279,9 +279,7 @@ fn restore_head(h: &HeadDump, theory: &mut Theory) -> Result<HeadFormula, DbErro
             let args = args.iter().map(|t| restore_term(t, theory)).collect();
             HeadFormula::Atom(AtomPattern::new(p, args))
         }
-        HeadDump::Eq(s, t) => {
-            HeadFormula::Eq(restore_term(s, theory), restore_term(t, theory))
-        }
+        HeadDump::Eq(s, t) => HeadFormula::Eq(restore_term(s, theory), restore_term(t, theory)),
         HeadDump::Not(x) => HeadFormula::Not(Box::new(restore_head(x, theory)?)),
         HeadDump::And(xs) => HeadFormula::And(
             xs.iter()

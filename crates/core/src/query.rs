@@ -196,14 +196,7 @@ impl Query {
         let mut env: Vec<Option<ConstId>> = vec![None; self.num_vars as usize];
         let positives: Vec<&QueryAtom> = self.atoms.iter().filter(|a| !a.negated).collect();
         let mut seen: FxHashSet<Vec<ConstId>> = FxHashSet::default();
-        self.search(
-            theory,
-            &positives,
-            0,
-            &mut env,
-            &mut seen,
-            &mut answers,
-        )?;
+        self.search(theory, &positives, 0, &mut env, &mut seen, &mut answers)?;
         answers.certain.sort();
         answers.certain.dedup();
         answers.possible.sort();

@@ -272,7 +272,11 @@ mod tests {
                 .relations
                 .get(&name)
                 .is_some_and(|ts| ts.contains(&tuple));
-            assert_eq!(in_certain, theory.entails(&Wff::Atom(atom)), "{name}{tuple:?}");
+            assert_eq!(
+                in_certain,
+                theory.entails(&Wff::Atom(atom)),
+                "{name}{tuple:?}"
+            );
             assert_eq!(
                 in_possible,
                 theory.consistent_with(&Wff::Atom(atom)),
@@ -309,9 +313,7 @@ mod tests {
         let db = sample_db();
         let mut theory = db.to_theory().unwrap();
         let pc = theory.vocab.fresh_predicate_constant();
-        let pca = theory
-            .atoms
-            .intern(winslett_logic::GroundAtom::nullary(pc));
+        let pca = theory.atoms.intern(winslett_logic::GroundAtom::nullary(pc));
         theory.assert_wff(&Wff::Atom(pca)); // pc true in the world
         let worlds = theory.alternative_worlds(ModelLimit::default()).unwrap();
         // Predicate constants are projected out of worlds already, but

@@ -125,7 +125,11 @@ mod tests {
         for u in &updates {
             replay.update(u.clone());
         }
-        for wff in [Wff::Atom(a), Wff::Atom(b), Wff::or2(Wff::Atom(a), Wff::Atom(b))] {
+        for wff in [
+            Wff::Atom(a),
+            Wff::Atom(b),
+            Wff::or2(Wff::Atom(a), Wff::Atom(b)),
+        ] {
             assert_eq!(
                 replay.is_certain(&wff).unwrap(),
                 eager.theory.entails(&wff),

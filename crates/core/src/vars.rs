@@ -137,7 +137,9 @@ impl VarStatement {
             }
             other => {
                 return Err(DbError::Query {
-                    message: format!("unsupported variable operator `{other}` (ASSERT takes no variables)"),
+                    message: format!(
+                        "unsupported variable operator `{other}` (ASSERT takes no variables)"
+                    ),
                 })
             }
         };
@@ -652,8 +654,7 @@ mod tests {
     #[test]
     fn foreign_constant_in_pattern_matches_nothing() {
         let mut t = orders_theory();
-        let stmt =
-            VarStatement::parse("DELETE Orders(?o, neverseen, ?q) WHERE T", &t).unwrap();
+        let stmt = VarStatement::parse("DELETE Orders(?o, neverseen, ?q) WHERE T", &t).unwrap();
         assert!(stmt.expand(&mut t).unwrap().is_empty());
     }
 }

@@ -53,7 +53,10 @@ impl Workload {
 
     /// A fresh Orders atom not yet in the theory (forces Step 1 work).
     pub fn fresh_orders_atom(&mut self, theory: &mut Theory, tag: usize) -> AtomId {
-        let orders = theory.vocab.find_predicate("Orders").expect("orders schema");
+        let orders = theory
+            .vocab
+            .find_predicate("Orders")
+            .expect("orders schema");
         let order_no = theory.constant(&format!("n{}", tag));
         let part_no = theory.constant(&format!("{}", 32 + (tag % 64)));
         let quan = theory.constant(&format!("{}", 1 + (tag % 19)));
@@ -86,7 +89,11 @@ impl Workload {
                 used.insert(atom);
             }
             let lit = Wff::Atom(atom);
-            parts.push(if self.rng.gen_bool(0.3) { lit.not() } else { lit });
+            parts.push(if self.rng.gen_bool(0.3) {
+                lit.not()
+            } else {
+                lit
+            });
         }
         Update::Insert {
             omega: if parts.len() == 1 {
@@ -99,12 +106,7 @@ impl Workload {
     }
 
     /// A branching update: ω is a disjunction of `width` fresh atoms.
-    pub fn disjunctive_insert(
-        &mut self,
-        theory: &mut Theory,
-        width: usize,
-        tag: usize,
-    ) -> Update {
+    pub fn disjunctive_insert(&mut self, theory: &mut Theory, width: usize, tag: usize) -> Update {
         let parts: Vec<Wff> = (0..width)
             .map(|k| Wff::Atom(self.fresh_orders_atom(theory, tag * 4096 + 2048 + k)))
             .collect();
@@ -237,10 +239,7 @@ mod tests {
         let (mut t, _) = w.orders_theory(4);
         let u = w.disjunctive_insert(&mut t, 3, 0);
         assert!(u.to_insert().may_branch());
-        let mut engine = GuaEngine::new(
-            t,
-            GuaOptions::simplify_always(SimplifyLevel::Fast),
-        );
+        let mut engine = GuaEngine::new(t, GuaOptions::simplify_always(SimplifyLevel::Fast));
         engine.apply(&u).unwrap();
         let worlds = engine
             .theory
@@ -255,10 +254,7 @@ mod tests {
         let (mut t, _) = w.fd_theory_worst(20);
         assert!(t.is_consistent());
         let u = w.fd_insert(&mut t, true, 0);
-        let mut engine = GuaEngine::new(
-            t,
-            GuaOptions::simplify_always(SimplifyLevel::None),
-        );
+        let mut engine = GuaEngine::new(t, GuaOptions::simplify_always(SimplifyLevel::None));
         let report = engine.apply(&u).unwrap();
         // The inserted tuple joins with every registered same-key tuple.
         assert!(report.dep_instances >= 20, "got {}", report.dep_instances);
@@ -269,10 +265,7 @@ mod tests {
         let mut w = Workload::new(5);
         let (mut t, _) = w.fd_theory_best(20);
         let u = w.fd_insert(&mut t, false, 0);
-        let mut engine = GuaEngine::new(
-            t,
-            GuaOptions::simplify_always(SimplifyLevel::None),
-        );
+        let mut engine = GuaEngine::new(t, GuaOptions::simplify_always(SimplifyLevel::None));
         let report = engine.apply(&u).unwrap();
         assert_eq!(report.dep_instances, 0);
     }

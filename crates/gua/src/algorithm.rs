@@ -407,9 +407,13 @@ impl GuaEngine {
         let mut step567_atoms: Vec<AtomId> = Vec::new();
         if self.theory.schema.has_type_axioms() {
             for form in &forms {
-                let this_omega_atoms: Vec<AtomId> =
-                    form.omega.atom_set().into_iter().collect();
-                self.step5(&form.omega, &this_omega_atoms, &mut report, &mut step567_atoms);
+                let this_omega_atoms: Vec<AtomId> = form.omega.atom_set().into_iter().collect();
+                self.step5(
+                    &form.omega,
+                    &this_omega_atoms,
+                    &mut report,
+                    &mut step567_atoms,
+                );
             }
         }
         if !self.theory.deps.is_empty() {
@@ -509,8 +513,7 @@ impl GuaEngine {
         let deps = self.theory.deps.clone();
         for dep in &deps {
             for &f in omega_atoms {
-                let insts =
-                    dep.instantiate(&self.theory.registry, &mut self.theory.atoms, Some(f));
+                let insts = dep.instantiate(&self.theory.registry, &mut self.theory.atoms, Some(f));
                 for inst in insts {
                     self.add_axiom_instance(inst, new_atoms, &mut report.dep_instances);
                 }
@@ -543,12 +546,7 @@ impl GuaEngine {
         }
     }
 
-    fn add_axiom_instance(
-        &mut self,
-        inst: Wff,
-        new_atoms: &mut Vec<AtomId>,
-        counter: &mut usize,
-    ) {
+    fn add_axiom_instance(&mut self, inst: Wff, new_atoms: &mut Vec<AtomId>, counter: &mut usize) {
         if self.instantiated.insert(inst.clone()) {
             new_atoms.extend(inst.atom_set());
             self.theory.store.insert(&inst);
@@ -776,9 +774,7 @@ mod tests {
         // ¬b... make it interesting: DELETE b WHERE a — b removed wherever
         // a ∧ b holds.
         let mut engine = GuaEngine::with_defaults(t);
-        engine
-            .apply(&Update::delete(b, Wff::t()))
-            .unwrap();
+        engine.apply(&Update::delete(b, Wff::t())).unwrap();
         let worlds = worlds_of(&engine.theory);
         assert_eq!(worlds, vec![vec!["Tup(a)".to_string()]]);
     }
@@ -817,7 +813,10 @@ mod tests {
         assert!(trace.iter().any(|l| l.starts_with("Step 2")), "{trace:?}");
         assert!(trace.iter().any(|l| l.starts_with("Step 3")), "{trace:?}");
         assert!(trace.iter().any(|l| l.starts_with("Step 4")), "{trace:?}");
-        assert!(trace.iter().any(|l| l.contains("simplification")), "{trace:?}");
+        assert!(
+            trace.iter().any(|l| l.contains("simplification")),
+            "{trace:?}"
+        );
         // Taking drains; tracing off produces nothing.
         assert!(engine.take_trace().is_empty());
         engine.set_tracing(false);
@@ -847,8 +846,13 @@ mod tests {
         assert!(lazy.theory.store.size_nodes() > eager.theory.store.size_nodes());
         // ...but the worlds agree.
         assert_eq!(
-            lazy.theory.alternative_worlds(ModelLimit::default()).unwrap(),
-            eager.theory.alternative_worlds(ModelLimit::default()).unwrap()
+            lazy.theory
+                .alternative_worlds(ModelLimit::default())
+                .unwrap(),
+            eager
+                .theory
+                .alternative_worlds(ModelLimit::default())
+                .unwrap()
         );
         // An explicit pass resets the baseline and shrinks the store.
         let before = lazy.theory.store.size_nodes();
@@ -859,12 +863,8 @@ mod tests {
     #[test]
     fn one_shot_helper() {
         let (mut t, a, _) = paper_theory();
-        let report = apply_update(
-            &mut t,
-            &Update::delete(a, Wff::t()),
-            GuaOptions::default(),
-        )
-        .unwrap();
+        let report =
+            apply_update(&mut t, &Update::delete(a, Wff::t()), GuaOptions::default()).unwrap();
         assert!(report.g >= 1);
         assert_eq!(worlds_of(&t).len(), 2);
     }

@@ -124,10 +124,8 @@ pub fn simplify(theory: &mut Theory, level: SimplifyLevel) -> SimplifyReport {
         if !units.is_empty() {
             let mut next: Vec<Wff> = Vec::with_capacity(wffs.len());
             for w in wffs.drain(..) {
-                let unit_shape = matches!(
-                    &w,
-                    Formula::Atom(_)
-                ) || matches!(&w, Formula::Not(x) if matches!(x.as_ref(), Formula::Atom(_)));
+                let unit_shape = matches!(&w, Formula::Atom(_))
+                    || matches!(&w, Formula::Not(x) if matches!(x.as_ref(), Formula::Atom(_)));
                 if unit_shape {
                     next.push(w);
                     continue;
@@ -167,11 +165,7 @@ pub fn simplify(theory: &mut Theory, level: SimplifyLevel) -> SimplifyReport {
                     let mut reduced = w.clone();
                     for &(a, v) in &forced {
                         reduced = reduced.assign(a, v);
-                        extracted.push(if v {
-                            Wff::Atom(a)
-                        } else {
-                            Wff::Atom(a).not()
-                        });
+                        extracted.push(if v { Wff::Atom(a) } else { Wff::Atom(a).not() });
                         report.units_propagated += 1;
                     }
                     *w = reduced;

@@ -64,10 +64,7 @@ pub fn theorem2_sufficient(b1: &Update, b2: &Update, num_atoms: usize) -> bool {
 
 /// The satisfying valuations of `w` over its own atom set, projected onto
 /// `proj`, encoded as masks over the sorted projection atoms.
-fn projected_valuations(
-    w: &Wff,
-    proj: &BTreeSet<AtomId>,
-) -> Result<FxHashSet<u32>, LdmlError> {
+fn projected_valuations(w: &Wff, proj: &BTreeSet<AtomId>) -> Result<FxHashSet<u32>, LdmlError> {
     let atoms: Vec<AtomId> = w.atom_set().into_iter().collect();
     if atoms.len() > MAX_ATOMS {
         return Err(LdmlError::TooLarge {
@@ -190,7 +187,11 @@ pub fn theorem3(
 /// Theorem 4: necessary and sufficient criteria for two INSERT updates with
 /// arbitrary selection clauses. (When the clauses coincide this reduces to
 /// Theorem 3.)
-pub fn theorem4(b1: &Update, b2: &Update, num_atoms: usize) -> Result<EquivalenceVerdict, LdmlError> {
+pub fn theorem4(
+    b1: &Update,
+    b2: &Update,
+    num_atoms: usize,
+) -> Result<EquivalenceVerdict, LdmlError> {
     let f1 = b1.to_insert();
     let f2 = b2.to_insert();
     let both = Wff::And(vec![f1.phi.clone(), f2.phi.clone()]);
@@ -413,8 +414,14 @@ mod tests {
         }
         match next() % 4 {
             0 => random_wff(next, depth - 1).not(),
-            1 => Formula::And(vec![random_wff(next, depth - 1), random_wff(next, depth - 1)]),
-            2 => Formula::Or(vec![random_wff(next, depth - 1), random_wff(next, depth - 1)]),
+            1 => Formula::And(vec![
+                random_wff(next, depth - 1),
+                random_wff(next, depth - 1),
+            ]),
+            2 => Formula::Or(vec![
+                random_wff(next, depth - 1),
+                random_wff(next, depth - 1),
+            ]),
             _ => Wff::implies(random_wff(next, depth - 1), random_wff(next, depth - 1)),
         }
     }

@@ -1,6 +1,7 @@
 //! Error types for LDML.
 
 use std::fmt;
+use winslett_logic::Span;
 
 /// Errors raised while parsing or validating LDML updates.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -9,6 +10,8 @@ pub enum LdmlError {
     Parse {
         /// Description of the defect.
         message: String,
+        /// Byte range of the offending region within the statement.
+        span: Span,
     },
     /// The update mentions a predicate constant. Updates are wffs over L′,
     /// which excludes predicate constants (§3.1).
@@ -32,7 +35,7 @@ pub enum LdmlError {
 impl fmt::Display for LdmlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LdmlError::Parse { message } => write!(f, "LDML parse error: {message}"),
+            LdmlError::Parse { message, .. } => write!(f, "LDML parse error: {message}"),
             LdmlError::PredicateConstantInUpdate { name } => write!(
                 f,
                 "predicate constant `{name}` may not appear in an LDML update"
@@ -45,6 +48,17 @@ impl fmt::Display for LdmlError {
                 "equivalence check over {atoms} atoms exceeds the supported maximum of {max}"
             ),
             LdmlError::Logic(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl LdmlError {
+    /// The byte range within the statement this error points at, if any.
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            LdmlError::Parse { span, .. } => Some(*span),
+            LdmlError::Logic(e) => e.span(),
+            _ => None,
         }
     }
 }

@@ -18,7 +18,7 @@
 
 use crate::error::LdmlError;
 use crate::update::Update;
-use winslett_logic::{parse_wff, Formula, ParseContext, Wff};
+use winslett_logic::{parse_wff, Formula, ParseContext, Span, Wff};
 
 /// Parses one LDML statement.
 ///
@@ -38,26 +38,27 @@ use winslett_logic::{parse_wff, Formula, ParseContext, Wff};
 /// ```
 pub fn parse_update(input: &str, ctx: &mut ParseContext<'_>) -> Result<Update, LdmlError> {
     let trimmed = input.trim();
+    let stmt_span = span_of(input, trimmed);
     let (keyword, rest) = split_first_word(trimmed);
     match keyword.to_ascii_uppercase().as_str() {
         "INSERT" => {
-            let (omega_src, phi_src) = split_keyword(rest, "WHERE").ok_or_else(|| {
-                LdmlError::Parse {
+            let (omega_src, phi_src) =
+                split_keyword(rest, "WHERE").ok_or_else(|| LdmlError::Parse {
                     message: "INSERT requires a WHERE clause".into(),
-                }
-            })?;
-            let omega = parse_wff(omega_src.trim(), ctx)?;
-            let phi = parse_wff(phi_src.trim(), ctx)?;
+                    span: stmt_span,
+                })?;
+            let omega = parse_sub_wff(input, omega_src, ctx)?;
+            let phi = parse_sub_wff(input, phi_src, ctx)?;
             Ok(Update::Insert { omega, phi })
         }
         "DELETE" => {
-            let (t_src, phi_src) = split_keyword(rest, "WHERE").ok_or_else(|| {
-                LdmlError::Parse {
+            let (t_src, phi_src) =
+                split_keyword(rest, "WHERE").ok_or_else(|| LdmlError::Parse {
                     message: "DELETE requires a WHERE clause".into(),
-                }
-            })?;
-            let t = parse_atom(t_src.trim(), ctx)?;
-            let phi = parse_wff(phi_src.trim(), ctx)?;
+                    span: stmt_span,
+                })?;
+            let t = parse_atom(input, t_src, ctx)?;
+            let phi = parse_sub_wff(input, phi_src, ctx)?;
             // Accept both `DELETE t WHERE φ` and the paper's explicit
             // `DELETE t WHERE φ ∧ t`: strip a top-level `∧ t` conjunct if
             // present so the two spellings normalize identically.
@@ -65,37 +66,58 @@ pub fn parse_update(input: &str, ctx: &mut ParseContext<'_>) -> Result<Update, L
             Ok(Update::Delete { t, phi })
         }
         "MODIFY" => {
-            let (t_src, rest2) = split_keyword(rest, "TO BE").ok_or_else(|| {
-                LdmlError::Parse {
-                    message: "MODIFY requires a TO BE clause".into(),
-                }
+            let (t_src, rest2) = split_keyword(rest, "TO BE").ok_or_else(|| LdmlError::Parse {
+                message: "MODIFY requires a TO BE clause".into(),
+                span: stmt_span,
             })?;
-            let (omega_src, phi_src) = split_keyword(rest2, "WHERE").ok_or_else(|| {
-                LdmlError::Parse {
+            let (omega_src, phi_src) =
+                split_keyword(rest2, "WHERE").ok_or_else(|| LdmlError::Parse {
                     message: "MODIFY requires a WHERE clause".into(),
-                }
-            })?;
-            let t = parse_atom(t_src.trim(), ctx)?;
-            let omega = parse_wff(omega_src.trim(), ctx)?;
-            let phi = parse_wff(phi_src.trim(), ctx)?;
+                    span: stmt_span,
+                })?;
+            let t = parse_atom(input, t_src, ctx)?;
+            let omega = parse_sub_wff(input, omega_src, ctx)?;
+            let phi = parse_sub_wff(input, phi_src, ctx)?;
             let phi = strip_conjunct(phi, t);
             Ok(Update::Modify { t, omega, phi })
         }
         "ASSERT" => {
-            let phi = parse_wff(rest.trim(), ctx)?;
+            let phi = parse_sub_wff(input, rest, ctx)?;
             Ok(Update::Assert { phi })
         }
         other => Err(LdmlError::Parse {
             message: format!("unknown LDML operator `{other}`"),
+            span: span_of(input, keyword),
         }),
     }
 }
 
+/// Byte offset of `inner` within `outer`. `inner` must be a sub-slice of
+/// `outer` (every caller here slices it out of `outer` directly).
+fn offset_in(outer: &str, inner: &str) -> usize {
+    inner.as_ptr() as usize - outer.as_ptr() as usize
+}
+
+/// The span `inner` occupies within `outer`.
+fn span_of(outer: &str, inner: &str) -> Span {
+    let start = offset_in(outer, inner);
+    Span::new(start, start + inner.len())
+}
+
+/// Parses a sub-wff of `input`, rebasing any error location so it points
+/// into `input` rather than into the sub-slice.
+fn parse_sub_wff(input: &str, sub: &str, ctx: &mut ParseContext<'_>) -> Result<Wff, LdmlError> {
+    let trimmed = sub.trim();
+    let base = offset_in(input, trimmed);
+    parse_wff(trimmed, ctx).map_err(|e| LdmlError::Logic(e.with_base_offset(base)))
+}
+
 fn parse_atom(
-    src: &str,
+    input: &str,
+    sub: &str,
     ctx: &mut ParseContext<'_>,
 ) -> Result<winslett_logic::AtomId, LdmlError> {
-    match parse_wff(src, ctx)? {
+    match parse_sub_wff(input, sub, ctx)? {
         Formula::Atom(id) => Ok(id),
         _ => Err(LdmlError::TargetNotAtomic),
     }
@@ -104,7 +126,7 @@ fn parse_atom(
 fn split_first_word(s: &str) -> (&str, &str) {
     match s.find(char::is_whitespace) {
         Some(i) => (&s[..i], &s[i..]),
-        None => (s, ""),
+        None => (s, &s[s.len()..]),
     }
 }
 
@@ -126,8 +148,7 @@ fn split_keyword<'a>(s: &'a str, keyword: &str) -> Option<(&'a str, &'a str)> {
                 if depth == 0 && ubytes[i..].starts_with(kbytes) {
                     let before_ok = i == 0 || bytes[i - 1].is_ascii_whitespace();
                     let after = i + kw.len();
-                    let after_ok =
-                        after >= bytes.len() || bytes[after].is_ascii_whitespace();
+                    let after_ok = after >= bytes.len() || bytes[after].is_ascii_whitespace();
                     if before_ok && after_ok {
                         return Some((&s[..i], &s[after..]));
                     }
@@ -190,8 +211,7 @@ mod tests {
 
     #[test]
     fn parses_paper_modify() {
-        let (u, _, _) =
-            parse("MODIFY Orders(700,32,9) TO BE Orders(700,32,1) WHERE InStock(32,1)");
+        let (u, _, _) = parse("MODIFY Orders(700,32,9) TO BE Orders(700,32,1) WHERE InStock(32,1)");
         match u {
             Update::Modify { t: _, omega, phi } => {
                 assert!(matches!(omega, Formula::Atom(_)));
@@ -219,8 +239,7 @@ mod tests {
 
     #[test]
     fn parses_insert_with_disjunction() {
-        let (u, _, _) =
-            parse("INSERT Orders(100,32,1) | Orders(100,32,7) WHERE T");
+        let (u, _, _) = parse("INSERT Orders(100,32,1) | Orders(100,32,7) WHERE T");
         match u {
             Update::Insert { omega, .. } => assert!(matches!(omega, Formula::Or(_))),
             other => panic!("expected insert, got {other:?}"),
@@ -290,6 +309,33 @@ mod tests {
             parse_update("DELETE (a & b) WHERE T", &mut ctx),
             Err(LdmlError::TargetNotAtomic)
         ));
+    }
+
+    #[test]
+    fn errors_are_rebased_to_statement_offsets() {
+        let mut v = Vocabulary::new();
+        let mut t = AtomTable::new();
+        {
+            let mut ctx = ParseContext::permissive(&mut v, &mut t);
+            parse_update("INSERT R(a) WHERE T", &mut ctx).unwrap();
+        }
+        let mut strict = ParseContext::strict(&mut v, &mut t);
+        // `S` is unknown; its span must point into the full statement, not
+        // into the trimmed WHERE clause.
+        let src = "INSERT R(a) WHERE S(a)";
+        let err = parse_update(src, &mut strict).unwrap_err();
+        let span = err.span().expect("unknown symbol carries a span");
+        assert_eq!(&src[span.start..span.end], "S");
+
+        // A malformed sub-wff rebases its parse offset the same way.
+        let src2 = "INSERT R(a) WHERE (R(a)";
+        let err2 = parse_update(src2, &mut strict).unwrap_err();
+        let span2 = err2.span().expect("parse error carries a span");
+        assert!(span2.start >= 18, "offset {span2} not rebased in {src2:?}");
+
+        // Statement-level failures span the statement itself.
+        let err3 = parse_update("  INSERT R(a)  ", &mut strict).unwrap_err();
+        assert_eq!(err3.span(), Some(Span::new(2, 13)));
     }
 
     #[test]

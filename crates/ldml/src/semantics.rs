@@ -137,14 +137,8 @@ pub fn apply_update_direct(update: &Update, model: &BitSet) -> Result<Vec<BitSet
 ///   (2) satisfy **every** triggered `ωᵢ`;
 /// * with no triggered update, `S = {M}`; with a single update this is
 ///   exactly [`apply_insert`] (tested).
-pub fn apply_simultaneous(
-    forms: &[InsertForm],
-    model: &BitSet,
-) -> Result<Vec<BitSet>, LdmlError> {
-    let triggered: Vec<&InsertForm> = forms
-        .iter()
-        .filter(|f| eval_in(&f.phi, model))
-        .collect();
+pub fn apply_simultaneous(forms: &[InsertForm], model: &BitSet) -> Result<Vec<BitSet>, LdmlError> {
+    let triggered: Vec<&InsertForm> = forms.iter().filter(|f| eval_in(&f.phi, model)).collect();
     if triggered.is_empty() {
         return Ok(vec![model.clone()]);
     }
@@ -303,8 +297,7 @@ mod tests {
             let form = InsertForm { omega, phi };
             let m: BitSet = (0..4usize).filter(|_| next() % 2 == 0).collect();
             let single = canonicalize(apply_insert(&form, &m).unwrap());
-            let multi =
-                canonicalize(apply_simultaneous(std::slice::from_ref(&form), &m).unwrap());
+            let multi = canonicalize(apply_simultaneous(std::slice::from_ref(&form), &m).unwrap());
             assert_eq!(single, multi);
         }
     }
@@ -327,7 +320,7 @@ mod tests {
         let m = model(&[1]); // b true, c false
         let s = apply_simultaneous(&forms, &m).unwrap();
         assert_eq!(s, vec![model(&[0, 1])]); // a set, b kept
-        // In a world with c, both fire: b removed too.
+                                             // In a world with c, both fire: b removed too.
         let m = model(&[1, 2]);
         let s = apply_simultaneous(&forms, &m).unwrap();
         assert_eq!(s, vec![model(&[0, 2])]);
@@ -437,10 +430,7 @@ mod tests {
 
     fn random_update(next: &mut impl FnMut() -> u64, universe: usize) -> Update {
         match next() % 4 {
-            0 => Update::insert(
-                random_wff(next, universe, 2),
-                random_wff(next, universe, 2),
-            ),
+            0 => Update::insert(random_wff(next, universe, 2), random_wff(next, universe, 2)),
             1 => Update::delete(
                 AtomId((next() % universe as u64) as u32),
                 random_wff(next, universe, 2),

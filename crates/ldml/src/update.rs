@@ -279,7 +279,9 @@ mod tests {
             .to_insert()
             .may_branch());
         // ¬a has one.
-        assert!(!Update::insert(a(1).not(), Wff::t()).to_insert().may_branch());
+        assert!(!Update::insert(a(1).not(), Wff::t())
+            .to_insert()
+            .may_branch());
         // T over no atoms has one (the empty valuation).
         assert!(!Update::insert(Wff::t(), Wff::t()).to_insert().may_branch());
         // g ∨ ¬g has two valuations — a branching no-op-looking update:

@@ -28,10 +28,7 @@ impl PartialEq for BitSet {
         } else {
             (&other.words, &self.words)
         };
-        short
-            .iter()
-            .zip(long.iter())
-            .all(|(a, b)| a == b)
+        short.iter().zip(long.iter()).all(|(a, b)| a == b)
             && long[short.len()..].iter().all(|&w| w == 0)
     }
 }
@@ -41,7 +38,11 @@ impl Eq for BitSet {}
 impl std::hash::Hash for BitSet {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
         // Hash only up to the last nonzero word so equal sets hash equally.
-        let last = self.words.iter().rposition(|&w| w != 0).map_or(0, |i| i + 1);
+        let last = self
+            .words
+            .iter()
+            .rposition(|&w| w != 0)
+            .map_or(0, |i| i + 1);
         self.words[..last].hash(state);
     }
 }

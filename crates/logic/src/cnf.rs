@@ -260,9 +260,7 @@ mod tests {
     fn check_encoding(wff: &Wff, num_atoms: usize) {
         assert!(num_atoms <= 12);
         for mask in 0u32..(1 << num_atoms) {
-            let expected = wff
-                .clone()
-                .eval(&mut |x: &AtomId| (mask >> x.0) & 1 == 1);
+            let expected = wff.clone().eval(&mut |x: &AtomId| (mask >> x.0) & 1 == 1);
             let mut ts = Tseitin::new(num_atoms);
             ts.assert_true(wff);
             let cnf = ts.finish();

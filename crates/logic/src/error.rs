@@ -1,5 +1,6 @@
 //! Error types for the logic kernel.
 
+use crate::span::Span;
 use std::fmt;
 
 /// Errors produced by the logic kernel: parsing, arity checking, and
@@ -21,6 +22,8 @@ pub enum LogicError {
         expected: usize,
         /// Number of arguments supplied.
         got: usize,
+        /// Source range of the offending application.
+        span: Span,
     },
     /// A name was looked up that the vocabulary does not contain.
     UnknownSymbol {
@@ -28,6 +31,8 @@ pub enum LogicError {
         name: String,
         /// What kind of symbol was expected ("predicate" or "constant").
         kind: &'static str,
+        /// Source range of the unresolved name.
+        span: Span,
     },
     /// Model enumeration exceeded the caller-supplied limit.
     TooManyModels {
@@ -41,6 +46,53 @@ pub enum LogicError {
     },
 }
 
+impl LogicError {
+    /// The source range this error points at, if it carries one.
+    ///
+    /// [`LogicError::Parse`] yields a zero-width span at its offset; the
+    /// resource-limit errors have no source location.
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            LogicError::Parse { offset, .. } => Some(Span::point(*offset)),
+            LogicError::ArityMismatch { span, .. } | LogicError::UnknownSymbol { span, .. } => {
+                Some(*span)
+            }
+            LogicError::TooManyModels { .. } | LogicError::AtomOutOfUniverse { .. } => None,
+        }
+    }
+
+    /// Rebases any carried source location by `base` bytes.
+    ///
+    /// Used when a sub-slice of a larger statement was parsed: the error's
+    /// offsets, which are relative to the sub-slice, become offsets into the
+    /// enclosing statement.
+    pub fn with_base_offset(self, base: usize) -> Self {
+        match self {
+            LogicError::Parse { offset, message } => LogicError::Parse {
+                offset: offset + base,
+                message,
+            },
+            LogicError::ArityMismatch {
+                predicate,
+                expected,
+                got,
+                span,
+            } => LogicError::ArityMismatch {
+                predicate,
+                expected,
+                got,
+                span: span.shifted(base),
+            },
+            LogicError::UnknownSymbol { name, kind, span } => LogicError::UnknownSymbol {
+                name,
+                kind,
+                span: span.shifted(base),
+            },
+            other => other,
+        }
+    }
+}
+
 impl fmt::Display for LogicError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -51,11 +103,12 @@ impl fmt::Display for LogicError {
                 predicate,
                 expected,
                 got,
+                ..
             } => write!(
                 f,
                 "predicate `{predicate}` has arity {expected} but was applied to {got} arguments"
             ),
-            LogicError::UnknownSymbol { name, kind } => {
+            LogicError::UnknownSymbol { name, kind, .. } => {
                 write!(f, "unknown {kind} `{name}`")
             }
             LogicError::TooManyModels { limit } => {
@@ -80,11 +133,31 @@ mod tests {
             predicate: "Orders".into(),
             expected: 3,
             got: 2,
+            span: Span::new(0, 6),
         };
         let s = e.to_string();
         assert!(s.contains("Orders"));
         assert!(s.contains('3'));
         assert!(s.contains('2'));
+    }
+
+    #[test]
+    fn spans_rebase() {
+        let e = LogicError::UnknownSymbol {
+            name: "S".into(),
+            kind: "predicate",
+            span: Span::new(2, 3),
+        };
+        assert_eq!(e.span(), Some(Span::new(2, 3)));
+        assert_eq!(e.with_base_offset(10).span(), Some(Span::new(12, 13)));
+        let p = LogicError::Parse {
+            offset: 4,
+            message: "boom".into(),
+        };
+        assert_eq!(p.with_base_offset(3).span(), Some(Span::point(7)));
+        let l = LogicError::TooManyModels { limit: 9 };
+        assert_eq!(l.clone().with_base_offset(5), l);
+        assert_eq!(l.span(), None);
     }
 
     #[test]

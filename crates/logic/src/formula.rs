@@ -377,12 +377,7 @@ mod tests {
 
     #[test]
     fn eval_truth_tables() {
-        let assignments = [
-            (false, false),
-            (false, true),
-            (true, false),
-            (true, true),
-        ];
+        let assignments = [(false, false), (false, true), (true, false), (true, true)];
         for (va, vb) in assignments {
             let mut env = |x: &AtomId| if x.0 == 0 { va } else { vb };
             assert_eq!(Wff::and2(a(0), a(1)).eval(&mut env), va && vb);
@@ -451,10 +446,7 @@ mod tests {
     fn fold_constants_implication_and_iff() {
         assert_eq!(Wff::implies(Wff::f(), a(1)).fold_constants(), Wff::t());
         assert_eq!(Wff::implies(Wff::t(), a(1)).fold_constants(), a(1));
-        assert_eq!(
-            Wff::implies(a(1), Wff::f()).fold_constants(),
-            a(1).not()
-        );
+        assert_eq!(Wff::implies(a(1), Wff::f()).fold_constants(), a(1).not());
         assert_eq!(Wff::iff(Wff::t(), a(1)).fold_constants(), a(1));
         assert_eq!(Wff::iff(Wff::f(), a(1)).fold_constants(), a(1).not());
     }

@@ -32,7 +32,8 @@ impl Interner {
         if let Some(&id) = self.ids.get(name) {
             return id;
         }
-        let id = u32::try_from(self.names.len()).expect("interner overflow: more than u32::MAX symbols");
+        let id =
+            u32::try_from(self.names.len()).expect("interner overflow: more than u32::MAX symbols");
         let boxed: Box<str> = name.into();
         self.names.push(boxed.clone());
         self.ids.insert(boxed, id);

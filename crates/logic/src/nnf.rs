@@ -71,10 +71,7 @@ fn nnf<A: Copy + Ord>(w: &Formula<A>, negate: bool) -> Formula<A> {
 /// valuation assigns `atom := value`. Returns `None` when the formula is
 /// too large to sweep or has no satisfying valuation at all (the caller
 /// should treat unsatisfiable formulas separately).
-pub fn forced_literals<A: Copy + Ord>(
-    w: &Formula<A>,
-    max_atoms: usize,
-) -> Option<Vec<(A, bool)>> {
+pub fn forced_literals<A: Copy + Ord>(w: &Formula<A>, max_atoms: usize) -> Option<Vec<(A, bool)>> {
     let atoms: Vec<A> = w.atom_set().into_iter().collect();
     if atoms.len() > max_atoms || atoms.len() > 20 {
         return None;

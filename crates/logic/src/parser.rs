@@ -23,6 +23,7 @@
 use crate::atoms::{AtomTable, GroundAtom};
 use crate::error::LogicError;
 use crate::formula::Wff;
+use crate::span::Span;
 use crate::symbols::{ConstId, PredicateKind, Vocabulary};
 
 /// Interning environment handed to [`parse_wff`].
@@ -191,7 +192,7 @@ impl Parser<'_, '_> {
             }
             return Ok(inner);
         }
-        let ident = self.parse_ident()?;
+        let (ident, ident_span) = self.parse_ident()?;
         // Truth values are reserved single letters.
         if ident == "T" && !self.peek_str("(") {
             self.skip_ws();
@@ -201,15 +202,15 @@ impl Parser<'_, '_> {
             self.skip_ws();
             return Ok(Wff::f());
         }
-        self.parse_atom_rest(ident)
+        self.parse_atom_rest(ident, ident_span)
     }
 
-    fn parse_atom_rest(&mut self, name: String) -> Result<Wff, LogicError> {
+    fn parse_atom_rest(&mut self, name: String, name_span: Span) -> Result<Wff, LogicError> {
         let mut args: Vec<ConstId> = Vec::new();
         if self.peek_str("(") {
             self.eat_str("(");
             loop {
-                let term = self.parse_ident()?;
+                let (term, term_span) = self.parse_ident()?;
                 self.skip_ws();
                 let cid = if self.ctx.declare {
                     self.ctx.vocab.constant(&term)
@@ -220,6 +221,7 @@ impl Parser<'_, '_> {
                         .ok_or(LogicError::UnknownSymbol {
                             name: term.clone(),
                             kind: "constant",
+                            span: term_span,
                         })?
                 };
                 args.push(cid);
@@ -235,6 +237,9 @@ impl Parser<'_, '_> {
             self.skip_ws();
         }
 
+        // The full application `Name(args…)` for arity complaints; just the
+        // name for symbol-resolution complaints.
+        let application_span = Span::new(name_span.start, self.last_nonspace_end(name_span.end));
         let pred = match self.ctx.vocab.find_predicate(&name) {
             Some(p) => {
                 let decl = self.ctx.vocab.predicate(p);
@@ -243,6 +248,7 @@ impl Parser<'_, '_> {
                         predicate: name,
                         expected: decl.arity,
                         got: args.len(),
+                        span: application_span,
                     });
                 }
                 if decl.kind == PredicateKind::PredicateConstant
@@ -251,6 +257,7 @@ impl Parser<'_, '_> {
                     return Err(LogicError::UnknownSymbol {
                         name,
                         kind: "predicate",
+                        span: name_span,
                     });
                 }
                 p
@@ -260,6 +267,7 @@ impl Parser<'_, '_> {
                     return Err(LogicError::UnknownSymbol {
                         name,
                         kind: "predicate",
+                        span: name_span,
                     });
                 }
                 let kind = if args.is_empty() {
@@ -273,6 +281,7 @@ impl Parser<'_, '_> {
                     .ok_or(LogicError::UnknownSymbol {
                         name,
                         kind: "predicate",
+                        span: name_span,
                     })?
             }
         };
@@ -283,7 +292,7 @@ impl Parser<'_, '_> {
         Ok(Wff::Atom(id))
     }
 
-    fn parse_ident(&mut self) -> Result<String, LogicError> {
+    fn parse_ident(&mut self) -> Result<(String, Span), LogicError> {
         let start = self.pos;
         while self.pos < self.bytes.len() {
             let b = self.bytes[self.pos];
@@ -296,7 +305,19 @@ impl Parser<'_, '_> {
         if self.pos == start {
             return Err(self.err("expected identifier"));
         }
-        Ok(self.src[start..self.pos].to_owned())
+        let span = Span::new(start, self.pos);
+        Ok((self.src[start..self.pos].to_owned(), span))
+    }
+
+    /// End offset of the last non-whitespace byte consumed so far (at least
+    /// `floor`); `eat_str` skips trailing whitespace, so `self.pos` may sit
+    /// past the token that should close a span.
+    fn last_nonspace_end(&self, floor: usize) -> usize {
+        let mut end = self.pos;
+        while end > floor && self.bytes[end - 1].is_ascii_whitespace() {
+            end -= 1;
+        }
+        end.max(floor)
     }
 }
 
@@ -388,11 +409,17 @@ mod tests {
         assert!(parse_wff("R(a)", &mut strict).is_ok());
         assert!(matches!(
             parse_wff("S(a)", &mut strict),
-            Err(LogicError::UnknownSymbol { kind: "predicate", .. })
+            Err(LogicError::UnknownSymbol {
+                kind: "predicate",
+                ..
+            })
         ));
         assert!(matches!(
             parse_wff("R(zzz)", &mut strict),
-            Err(LogicError::UnknownSymbol { kind: "constant", .. })
+            Err(LogicError::UnknownSymbol {
+                kind: "constant",
+                ..
+            })
         ));
     }
 
@@ -412,7 +439,11 @@ mod tests {
         parse_wff("R(a,b)", &mut ctx).unwrap();
         assert!(matches!(
             parse_wff("R(a)", &mut ctx),
-            Err(LogicError::ArityMismatch { expected: 2, got: 1, .. })
+            Err(LogicError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            })
         ));
     }
 
@@ -424,6 +455,39 @@ mod tests {
         assert!(parse_wff("(a", &mut ctx).is_err());
         assert!(parse_wff("", &mut ctx).is_err());
         assert!(parse_wff("&", &mut ctx).is_err());
+    }
+
+    #[test]
+    fn errors_carry_spans() {
+        let (mut v, mut t) = setup();
+        {
+            let mut ctx = ParseContext::permissive(&mut v, &mut t);
+            parse_wff("R(a,b)", &mut ctx).unwrap();
+        }
+        let mut strict = ParseContext::strict(&mut v, &mut t);
+        // Unknown predicate: span covers just the name.
+        match parse_wff("R(a,b) & Sx(a)", &mut strict) {
+            Err(LogicError::UnknownSymbol { kind, span, .. }) => {
+                assert_eq!(kind, "predicate");
+                assert_eq!(span, Span::new(9, 11));
+            }
+            other => panic!("expected unknown predicate, got {other:?}"),
+        }
+        // Unknown constant: span covers the term.
+        match parse_wff("R(a,zz)", &mut strict) {
+            Err(LogicError::UnknownSymbol { kind, span, .. }) => {
+                assert_eq!(kind, "constant");
+                assert_eq!(span, Span::new(4, 6));
+            }
+            other => panic!("expected unknown constant, got {other:?}"),
+        }
+        // Arity mismatch: span covers the whole application.
+        match parse_wff("T & R(a)", &mut strict) {
+            Err(LogicError::ArityMismatch { span, .. }) => {
+                assert_eq!(span, Span::new(4, 8));
+            }
+            other => panic!("expected arity mismatch, got {other:?}"),
+        }
     }
 
     #[test]

@@ -19,7 +19,11 @@ enum Prec {
 }
 
 /// Lazily formats `wff` using the names in `vocab`/`atoms`.
-pub fn display_wff<'a>(wff: &'a Wff, vocab: &'a Vocabulary, atoms: &'a AtomTable) -> WffDisplay<'a> {
+pub fn display_wff<'a>(
+    wff: &'a Wff,
+    vocab: &'a Vocabulary,
+    atoms: &'a AtomTable,
+) -> WffDisplay<'a> {
     WffDisplay { wff, vocab, atoms }
 }
 

@@ -620,7 +620,8 @@ mod tests {
     fn check_model(model: &[bool], clauses: &[Vec<Lit>]) {
         for c in clauses {
             assert!(
-                c.iter().any(|&lit| model[lit.var().index()] == lit.is_pos()),
+                c.iter()
+                    .any(|&lit| model[lit.var().index()] == lit.is_pos()),
                 "model {model:?} violates clause {c:?}"
             );
         }
@@ -635,7 +636,11 @@ mod tests {
         if let SatResult::Sat(m) = &r {
             check_model(m, clauses);
         }
-        assert_eq!(r.is_sat(), brute_sat(num_vars, clauses), "disagrees with brute force");
+        assert_eq!(
+            r.is_sat(),
+            brute_sat(num_vars, clauses),
+            "disagrees with brute force"
+        );
         r
     }
 

@@ -1,0 +1,96 @@
+//! Byte-offset source spans.
+//!
+//! Parsers in this workspace operate on plain `&str` statements, but
+//! diagnostics (notably `ldml-lint`) want to point *into* the original
+//! source. A [`Span`] is a half-open byte range `start..end` into whatever
+//! string the producing parser was handed; [`Span::shifted`] rebases a span
+//! produced against a sub-slice onto the enclosing source.
+
+/// A half-open byte range `start..end` into some source string.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Span {
+    /// Byte offset of the first byte covered.
+    pub start: usize,
+    /// Byte offset one past the last byte covered.
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `start..end`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span {
+            start,
+            end: end.max(start),
+        }
+    }
+
+    /// A zero-width span at `offset` (a point of failure with no extent).
+    pub fn point(offset: usize) -> Self {
+        Span {
+            start: offset,
+            end: offset,
+        }
+    }
+
+    /// Number of bytes covered.
+    pub fn len(self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the span covers no bytes.
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+
+    /// The span rebased by `base` bytes: a span into a sub-slice becomes a
+    /// span into the string the sub-slice was cut from.
+    pub fn shifted(self, base: usize) -> Self {
+        Span {
+            start: self.start + base,
+            end: self.end + base,
+        }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Self {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Whether `offset` falls inside the span (or on a zero-width span's
+    /// point).
+    pub fn contains(self, offset: usize) -> bool {
+        (self.start..self.end).contains(&offset) || (self.is_empty() && offset == self.start)
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shifting_and_union() {
+        let s = Span::new(3, 7);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.shifted(10), Span::new(13, 17));
+        assert_eq!(s.to(Span::new(9, 12)), Span::new(3, 12));
+        assert!(s.contains(3));
+        assert!(!s.contains(7));
+    }
+
+    #[test]
+    fn point_spans() {
+        let p = Span::point(5);
+        assert!(p.is_empty());
+        assert!(p.contains(5));
+        assert_eq!(Span::new(8, 2), Span::new(8, 8), "end clamped to start");
+    }
+}

@@ -14,9 +14,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of an interned constant (a domain element such as `700`).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct ConstId(pub u32);
 
 impl ConstId {
@@ -34,9 +32,7 @@ impl fmt::Display for ConstId {
 }
 
 /// Identifier of an interned predicate.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct PredId(pub u32);
 
 impl PredId {
@@ -254,7 +250,10 @@ mod tests {
             Some(p)
         );
         // Conflicting arity: rejected.
-        assert_eq!(v.declare_predicate("Orders", 2, PredicateKind::Relation), None);
+        assert_eq!(
+            v.declare_predicate("Orders", 2, PredicateKind::Relation),
+            None
+        );
         assert_eq!(v.predicate(p).arity, 3);
         assert_eq!(v.predicate(p).name, "Orders");
     }
@@ -289,8 +288,10 @@ mod tests {
     #[test]
     fn predicate_iteration_order() {
         let mut v = Vocabulary::new();
-        v.declare_predicate("A", 1, PredicateKind::Attribute).unwrap();
-        v.declare_predicate("R", 2, PredicateKind::Relation).unwrap();
+        v.declare_predicate("A", 1, PredicateKind::Attribute)
+            .unwrap();
+        v.declare_predicate("R", 2, PredicateKind::Relation)
+            .unwrap();
         let names: Vec<_> = v.predicates().map(|(_, p)| p.name.clone()).collect();
         assert_eq!(names, vec!["A", "R"]);
     }

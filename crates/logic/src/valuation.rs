@@ -156,7 +156,9 @@ mod tests {
 
     #[test]
     fn extends_and_agrees() {
-        let total: Valuation = [(AtomId(0), true), (AtomId(1), false)].into_iter().collect();
+        let total: Valuation = [(AtomId(0), true), (AtomId(1), false)]
+            .into_iter()
+            .collect();
         let partial: Valuation = [(AtomId(0), true)].into_iter().collect();
         assert!(total.extends(&partial));
         assert!(!partial.extends(&total));

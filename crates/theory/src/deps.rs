@@ -198,10 +198,7 @@ impl Dependency {
         Dependency::new(
             name,
             next_var,
-            vec![
-                AtomPattern::new(pred, args1),
-                AtomPattern::new(pred, args2),
-            ],
+            vec![AtomPattern::new(pred, args1), AtomPattern::new(pred, args2)],
             head,
         )
     }
@@ -291,7 +288,15 @@ impl Dependency {
 
         match trigger {
             None => {
-                self.match_from(0, usize::MAX, registry, atoms, &mut env, &mut seen, &mut out);
+                self.match_from(
+                    0,
+                    usize::MAX,
+                    registry,
+                    atoms,
+                    &mut env,
+                    &mut seen,
+                    &mut out,
+                );
             }
             Some(t) => {
                 let ground = atoms.resolve(t).clone();
@@ -583,8 +588,12 @@ mod tests {
 
     fn fixture() -> Fixture {
         let mut vocab = Vocabulary::new();
-        let p = vocab.declare_predicate("P", 2, PredicateKind::Relation).unwrap();
-        let q = vocab.declare_predicate("Q", 1, PredicateKind::Relation).unwrap();
+        let p = vocab
+            .declare_predicate("P", 2, PredicateKind::Relation)
+            .unwrap();
+        let q = vocab
+            .declare_predicate("Q", 1, PredicateKind::Relation)
+            .unwrap();
         Fixture {
             vocab,
             atoms: AtomTable::new(),
@@ -689,11 +698,16 @@ mod tests {
         // instances.
         assert_eq!(insts.len(), 2);
         // A trigger with a unique key joins with nothing but itself.
-        let t_xy = f.atoms.get(&GroundAtom::new(
-            f.p,
-            &[f.vocab.find_constant("x").unwrap(), f.vocab.find_constant("y").unwrap()],
-        ))
-        .unwrap();
+        let t_xy = f
+            .atoms
+            .get(&GroundAtom::new(
+                f.p,
+                &[
+                    f.vocab.find_constant("x").unwrap(),
+                    f.vocab.find_constant("y").unwrap(),
+                ],
+            ))
+            .unwrap();
         let insts = dep.instantiate(&f.registry, &mut f.atoms, Some(t_xy));
         assert!(insts.is_empty());
     }
@@ -714,7 +728,9 @@ mod tests {
         // P(x,y): X = {0}, Y = {1} — degenerate MVD equivalent to
         // P(x,y) ∧ P(x,y') → P(x,y), vacuous head for y-swap... use arity 3.
         let mut vocab = Vocabulary::new();
-        let r = vocab.declare_predicate("R", 3, PredicateKind::Relation).unwrap();
+        let r = vocab
+            .declare_predicate("R", 3, PredicateKind::Relation)
+            .unwrap();
         let mut atoms = AtomTable::new();
         let mut registry = CompletionRegistry::new();
         let mut add = |vocab: &mut Vocabulary, args: [&str; 3]| {
@@ -742,8 +758,12 @@ mod tests {
         // theory, then the new wff P(a) → Q(a) should be added". The
         // trigger Q(a) unifies with the head, not the body.
         let mut vocab = Vocabulary::new();
-        let p = vocab.declare_predicate("P", 1, PredicateKind::Relation).unwrap();
-        let q = vocab.declare_predicate("Q", 1, PredicateKind::Relation).unwrap();
+        let p = vocab
+            .declare_predicate("P", 1, PredicateKind::Relation)
+            .unwrap();
+        let q = vocab
+            .declare_predicate("Q", 1, PredicateKind::Relation)
+            .unwrap();
         let mut atoms = AtomTable::new();
         let mut registry = CompletionRegistry::new();
         let ca = vocab.constant("a");
@@ -754,10 +774,7 @@ mod tests {
         let dep = Dependency::inclusion("inc", p, 1, q, &[0]).unwrap();
         let insts = dep.instantiate(&registry, &mut atoms, Some(qa));
         assert_eq!(insts.len(), 1);
-        assert_eq!(
-            insts[0],
-            Wff::implies(Wff::Atom(pa), Wff::Atom(qa))
-        );
+        assert_eq!(insts[0], Wff::implies(Wff::Atom(pa), Wff::Atom(qa)));
     }
 
     #[test]

@@ -146,7 +146,11 @@ mod tests {
         s.add_attribute(part, &v).unwrap();
         assert!(matches!(
             s.set_type_axiom(instock, vec![part], &v),
-            Err(TheoryError::TypeAxiomArity { expected: 2, got: 1, .. })
+            Err(TheoryError::TypeAxiomArity {
+                expected: 2,
+                got: 1,
+                ..
+            })
         ));
     }
 

@@ -146,9 +146,7 @@ impl FormulaStore {
 
     /// Whether `id` refers to a live formula.
     pub fn is_live(&self, id: FormulaId) -> bool {
-        self.formulas
-            .get(id.index())
-            .is_some_and(|sf| sf.live)
+        self.formulas.get(id.index()).is_some_and(|sf| sf.live)
     }
 
     /// Renames every occurrence of `from` to `to` in O(1) per slot (O(1)
@@ -179,11 +177,7 @@ impl FormulaStore {
     pub fn occurrences_of(&self, atom: AtomId) -> usize {
         self.atom_slots
             .get(&atom)
-            .map(|list| {
-                list.iter()
-                    .map(|s| self.slot_occurrences[s.index()])
-                    .sum()
-            })
+            .map(|list| list.iter().map(|s| self.slot_occurrences[s.index()]).sum())
             .unwrap_or(0)
     }
 
@@ -218,9 +212,7 @@ impl FormulaStore {
         let mut out: Vec<AtomId> = self
             .atom_slots
             .iter()
-            .filter(|(_, list)| {
-                list.iter().any(|s| self.slot_occurrences[s.index()] > 0)
-            })
+            .filter(|(_, list)| list.iter().any(|s| self.slot_occurrences[s.index()] > 0))
             .map(|(&a, _)| a)
             .collect();
         out.sort_unstable();
@@ -341,10 +333,7 @@ mod tests {
         let mut s = FormulaStore::new();
         let id = s.insert(&Wff::and2(a(5), a(3)));
         s.insert(&a(9));
-        assert_eq!(
-            s.live_atoms(),
-            vec![AtomId(3), AtomId(5), AtomId(9)]
-        );
+        assert_eq!(s.live_atoms(), vec![AtomId(3), AtomId(5), AtomId(9)]);
         s.remove(id);
         assert_eq!(s.live_atoms(), vec![AtomId(9)]);
     }

@@ -28,7 +28,7 @@ use crate::error::TheoryError;
 use crate::registry::CompletionRegistry;
 use crate::schema::Schema;
 use crate::stats::TheoryStats;
-use crate::store::{FormulaStore, FormulaId};
+use crate::store::{FormulaId, FormulaStore};
 use winslett_logic::cnf;
 use winslett_logic::{
     enumerate_models, AtomId, AtomTable, BitSet, ConstId, GroundAtom, ModelLimit, PredId,
@@ -487,7 +487,10 @@ mod tests {
         // Make it inconsistent.
         t.assert_wff(&Wff::Atom(a).not());
         assert!(!t.is_consistent());
-        assert!(t.alternative_worlds(ModelLimit::default()).unwrap().is_empty());
+        assert!(t
+            .alternative_worlds(ModelLimit::default())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -86,7 +86,10 @@ impl WorldsEngine {
             if i >= theory.atoms.len() {
                 continue;
             }
-            let ga = theory.atoms.resolve(winslett_logic::AtomId(i as u32)).clone();
+            let ga = theory
+                .atoms
+                .resolve(winslett_logic::AtomId(i as u32))
+                .clone();
             if let Some(attrs) = theory.schema.type_axiom(ga.pred) {
                 for (&attr, &c) in attrs.iter().zip(ga.args.iter()) {
                     let ok = theory
@@ -139,8 +142,7 @@ impl WorldsEngine {
         updates: &[Update],
         theory: &Theory,
     ) -> Result<(), WorldsError> {
-        let forms: Vec<winslett_ldml::InsertForm> =
-            updates.iter().map(Update::to_insert).collect();
+        let forms: Vec<winslett_ldml::InsertForm> = updates.iter().map(Update::to_insert).collect();
         let mut pooled: Vec<BitSet> = Vec::new();
         for w in &self.worlds {
             let produced = winslett_ldml::apply_simultaneous(&forms, w)?;
@@ -226,7 +228,11 @@ mod tests {
             vec!["Tup(a)".to_string()],
             vec!["Tup(b)".to_string(), "Tup(c)".to_string()],
             vec!["Tup(a)".to_string(), "Tup(b)".to_string()],
-            vec!["Tup(a)".to_string(), "Tup(b)".to_string(), "Tup(c)".to_string()],
+            vec![
+                "Tup(a)".to_string(),
+                "Tup(b)".to_string(),
+                "Tup(c)".to_string(),
+            ],
         ] {
             assert!(rendered.contains(&expect), "missing world {expect:?}");
         }
@@ -303,7 +309,8 @@ mod tests {
         let mut e = WorldsEngine::from_theory(&t, ModelLimit::default()).unwrap();
         assert_eq!(e.len(), 1);
         // Inserting P(a,c) while P(a,b) holds violates the FD.
-        e.apply(&Update::insert(Wff::Atom(ac), Wff::t()), &t).unwrap();
+        e.apply(&Update::insert(Wff::Atom(ac), Wff::t()), &t)
+            .unwrap();
         assert!(e.is_empty());
         // Inserting P(a,c) while *deleting* P(a,b) is fine.
         let mut e2 = WorldsEngine::from_theory(&t, ModelLimit::default()).unwrap();

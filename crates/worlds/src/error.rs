@@ -9,6 +9,14 @@ pub enum WorldsError {
     Theory(winslett_theory::TheoryError),
     /// An error from LDML (e.g. an oversized ω).
     Ldml(winslett_ldml::LdmlError),
+    /// The pre-flight analyzer rejected the update (see
+    /// [`crate::Preflight::Reject`]).
+    Rejected {
+        /// Stable diagnostic code, e.g. `"E003"`.
+        code: String,
+        /// The analyzer's message.
+        message: String,
+    },
 }
 
 impl fmt::Display for WorldsError {
@@ -16,6 +24,12 @@ impl fmt::Display for WorldsError {
         match self {
             WorldsError::Theory(e) => write!(f, "{e}"),
             WorldsError::Ldml(e) => write!(f, "{e}"),
+            WorldsError::Rejected { code, message } => {
+                write!(
+                    f,
+                    "update rejected by pre-flight analysis [{code}]: {message}"
+                )
+            }
         }
     }
 }
@@ -25,6 +39,7 @@ impl std::error::Error for WorldsError {
         match self {
             WorldsError::Theory(e) => Some(e),
             WorldsError::Ldml(e) => Some(e),
+            WorldsError::Rejected { .. } => None,
         }
     }
 }

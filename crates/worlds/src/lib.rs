@@ -11,12 +11,18 @@
 //!   property: the update algorithm under test (GUA) must produce a theory
 //!   whose worlds equal the baseline's pooled worlds (Theorem 1/5).
 
+//! * [`Preflight`] — an optional pre-execution gate that runs the
+//!   `winslett-analyze` static passes on each update before it is applied,
+//!   either warning or rejecting outright.
+
 pub mod diagram;
 pub mod engine;
-pub mod pma;
 pub mod error;
+pub mod pma;
+pub mod preflight;
 
 pub use diagram::{check_commutes, DiagramReport};
 pub use engine::WorldsEngine;
-pub use pma::{apply_insert_pma, apply_update_pma};
 pub use error::WorldsError;
+pub use pma::{apply_insert_pma, apply_update_pma};
+pub use preflight::Preflight;

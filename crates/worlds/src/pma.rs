@@ -167,13 +167,7 @@ mod tests {
         };
         for _ in 0..100 {
             let lits: Vec<Wff> = (0..3)
-                .map(|i| {
-                    if next() % 2 == 0 {
-                        a(i)
-                    } else {
-                        a(i).not()
-                    }
-                })
+                .map(|i| if next() % 2 == 0 { a(i) } else { a(i).not() })
                 .collect();
             let form = InsertForm {
                 omega: Formula::And(lits),
@@ -232,8 +226,14 @@ mod tests {
         }
         match next() % 4 {
             0 => random_wff(next, depth - 1).not(),
-            1 => Formula::And(vec![random_wff(next, depth - 1), random_wff(next, depth - 1)]),
-            2 => Formula::Or(vec![random_wff(next, depth - 1), random_wff(next, depth - 1)]),
+            1 => Formula::And(vec![
+                random_wff(next, depth - 1),
+                random_wff(next, depth - 1),
+            ]),
+            2 => Formula::Or(vec![
+                random_wff(next, depth - 1),
+                random_wff(next, depth - 1),
+            ]),
             _ => Wff::implies(random_wff(next, depth - 1), random_wff(next, depth - 1)),
         }
     }

@@ -1,0 +1,150 @@
+//! A pre-execution gate in front of [`WorldsEngine`]: run the
+//! `winslett-analyze` static passes on each update *before* applying it.
+//!
+//! The baseline engine silently realizes every destructive consequence of
+//! the §3.2/§3.5 semantics — an update whose produced worlds all violate
+//! the type or dependency axioms simply empties the database. The gate
+//! catches those statements up front: [`Preflight::Warn`] applies the
+//! update anyway but hands the findings back, [`Preflight::Reject`] refuses
+//! to apply any update with an `E0xx` finding.
+
+use crate::engine::WorldsEngine;
+use crate::error::WorldsError;
+use winslett_analyze::{analyze_program, Diagnostic, Severity};
+use winslett_ldml::Update;
+use winslett_theory::Theory;
+
+/// How strictly the gate treats the analyzer's findings.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Preflight {
+    /// No analysis: behave exactly like [`WorldsEngine::apply`].
+    #[default]
+    Off,
+    /// Analyze and report, but always apply the update.
+    Warn,
+    /// Refuse to apply an update with any `Error`-severity finding
+    /// (warnings are reported but do not block).
+    Reject,
+}
+
+impl WorldsEngine {
+    /// Applies `update` behind the `mode` pre-flight gate, returning the
+    /// analyzer's findings for the statement.
+    ///
+    /// Under [`Preflight::Reject`], an `E0xx` finding aborts with
+    /// [`WorldsError::Rejected`] and the engine's worlds are left
+    /// untouched.
+    ///
+    /// ```
+    /// use winslett_ldml::Update;
+    /// use winslett_logic::{ModelLimit, Wff};
+    /// use winslett_theory::Theory;
+    /// use winslett_worlds::{Preflight, WorldsEngine};
+    ///
+    /// let mut t = Theory::new();
+    /// let part = t.declare_attribute("PartNo")?;
+    /// let instock = t.declare_typed_relation("InStock", &[part])?;
+    /// let c32 = t.constant("32");
+    /// let atom = t.atom(instock, &[c32]);
+    /// let pa = t.atom(part, &[c32]);
+    /// t.assert_not_atom(atom);
+    /// t.assert_not_atom(pa);
+    ///
+    /// let mut e = WorldsEngine::from_theory(&t, ModelLimit::default())?;
+    /// // Inserting InStock(32) without PartNo(32) would annihilate the
+    /// // database; the gate refuses instead.
+    /// let u = Update::insert(Wff::Atom(atom), Wff::t());
+    /// assert!(e.apply_checked(&u, &t, Preflight::Reject).is_err());
+    /// assert_eq!(e.len(), 1); // untouched
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn apply_checked(
+        &mut self,
+        update: &Update,
+        theory: &Theory,
+        mode: Preflight,
+    ) -> Result<Vec<Diagnostic>, WorldsError> {
+        let diagnostics = match mode {
+            Preflight::Off => Vec::new(),
+            Preflight::Warn | Preflight::Reject => {
+                analyze_program(theory, std::slice::from_ref(update))
+            }
+        };
+        if mode == Preflight::Reject {
+            if let Some(d) = diagnostics.iter().find(|d| d.severity == Severity::Error) {
+                return Err(WorldsError::Rejected {
+                    code: d.code.as_str().to_string(),
+                    message: d.message.clone(),
+                });
+            }
+        }
+        self.apply(update, theory)?;
+        Ok(diagnostics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use winslett_analyze::Code;
+    use winslett_logic::{ModelLimit, Wff};
+
+    fn typed_setup() -> (Theory, Update, WorldsEngine) {
+        let mut t = Theory::new();
+        let part = t.declare_attribute("PartNo").unwrap();
+        let instock = t.declare_typed_relation("InStock", &[part]).unwrap();
+        let c32 = t.constant("32");
+        let atom = t.atom(instock, &[c32]);
+        let pa = t.atom(part, &[c32]);
+        t.assert_not_atom(atom);
+        t.assert_not_atom(pa);
+        let e = WorldsEngine::from_theory(&t, ModelLimit::default()).unwrap();
+        let bad = Update::insert(Wff::Atom(atom), Wff::t());
+        (t, bad, e)
+    }
+
+    #[test]
+    fn off_mode_behaves_like_apply() {
+        let (t, bad, mut e) = typed_setup();
+        let diags = e.apply_checked(&bad, &t, Preflight::Off).unwrap();
+        assert!(diags.is_empty());
+        assert!(e.is_empty()); // the annihilation went through
+    }
+
+    #[test]
+    fn warn_mode_reports_but_applies() {
+        let (t, bad, mut e) = typed_setup();
+        let diags = e.apply_checked(&bad, &t, Preflight::Warn).unwrap();
+        assert!(diags.iter().any(|d| d.code == Code::E003));
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn reject_mode_blocks_errors_and_keeps_worlds() {
+        let (t, bad, mut e) = typed_setup();
+        let err = e.apply_checked(&bad, &t, Preflight::Reject).unwrap_err();
+        match err {
+            WorldsError::Rejected { code, message } => {
+                assert_eq!(code, "E003");
+                assert!(message.contains("type axiom"));
+            }
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn reject_mode_lets_warnings_through() {
+        let mut t = Theory::new();
+        let r = t.declare_relation("R", 1).unwrap();
+        let ca = t.constant("a");
+        let a = t.atom(r, &[ca]);
+        t.assert_atom(a);
+        let mut e = WorldsEngine::from_theory(&t, ModelLimit::default()).unwrap();
+        // Already-true INSERT: W003, a warning — applied anyway.
+        let u = Update::insert(Wff::Atom(a), Wff::Atom(a));
+        let diags = e.apply_checked(&u, &t, Preflight::Reject).unwrap();
+        assert!(diags.iter().any(|d| d.code == Code::W003));
+        assert_eq!(e.len(), 1);
+    }
+}

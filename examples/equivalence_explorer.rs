@@ -93,7 +93,15 @@ fn main() {
             if verdict.equivalent { "EQ" } else { "NEQ" },
             if brute { "EQ" } else { "NEQ" },
         );
-        println!("    reason: {}{}", verdict.reason, if t2 { "  [Theorem 2 already sufficient]" } else { "" });
+        println!(
+            "    reason: {}{}",
+            verdict.reason,
+            if t2 {
+                "  [Theorem 2 already sufficient]"
+            } else {
+                ""
+            }
+        );
     }
     println!(
         "\nAll {} verdicts cross-checked against per-model brute force.",

@@ -42,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     show(&db, "after disjunctive load");
 
     let ans = db.query("Stored(gadget, ?b)")?;
-    println!("gadget bin — certain: {:?}, possible: {:?}", ans.certain, ans.possible);
+    println!(
+        "gadget bin — certain: {:?}, possible: {:?}",
+        ans.certain, ans.possible
+    );
 
     // A recount of the widget is disputed: 40 stands, or it is 38.
     db.execute("MODIFY Counted(widget,40) TO BE Counted(widget,40) | Counted(widget,38) WHERE T")?;
@@ -55,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // its count range.
     db.execute("INSERT Counted(gadget,12) WHERE Stored(gadget,bin2)")?;
     db.execute("INSERT Counted(gadget,15) WHERE Stored(gadget,bin3)")?;
-    show(&db, "after per-bin counts (selection clauses referencing other tuples)");
+    show(
+        &db,
+        "after per-bin counts (selection clauses referencing other tuples)",
+    );
 
     // Evidence arrives: bin3's camera shows the gadget.
     db.execute("ASSERT Stored(gadget,bin3)")?;

@@ -161,7 +161,11 @@ fn run(db: &mut LogicalDatabase, line: &str) -> Result<Reply, Box<dyn std::error
                 s.row.join(", "),
                 s.support,
                 total,
-                if s.support == total { "  (certain)" } else { "" }
+                if s.support == total {
+                    "  (certain)"
+                } else {
+                    ""
+                }
             ));
         }
         return Ok(Reply::Text(out));

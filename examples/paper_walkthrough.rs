@@ -60,10 +60,7 @@ fn main() {
         Formula::And(vec![Wff::Atom(a).not(), Wff::Atom(a2)]),
         Formula::And(vec![Wff::Atom(b), Wff::Atom(a)]),
     );
-    let mut engine = GuaEngine::new(
-        t,
-        GuaOptions::simplify_always(SimplifyLevel::None),
-    );
+    let mut engine = GuaEngine::new(t, GuaOptions::simplify_always(SimplifyLevel::None));
     engine.apply(&update).expect("update applies");
     print_theory(
         "§3.3 after MODIFY a TO BE a′ WHERE b ∧ a (raw GUA output)",
@@ -86,10 +83,7 @@ fn main() {
         Formula::Or(vec![Wff::Atom(c), Wff::Atom(a)]),
         Wff::Atom(b),
     );
-    let mut engine = GuaEngine::new(
-        t,
-        GuaOptions::simplify_always(SimplifyLevel::None),
-    );
+    let mut engine = GuaEngine::new(t, GuaOptions::simplify_always(SimplifyLevel::None));
     engine.set_tracing(true);
     let report = engine.apply(&update).expect("update applies");
     println!("\nGUA transcript:");
@@ -106,7 +100,10 @@ fn main() {
     );
 
     engine.simplify(SimplifyLevel::Full);
-    print_theory("…after §4 simplification (worlds unchanged)", &engine.theory);
+    print_theory(
+        "…after §4 simplification (worlds unchanged)",
+        &engine.theory,
+    );
 
     println!(
         "\nNote: the paper suggests the simplified section {{a ∨ b, b → (c ∨ a)}},\n\

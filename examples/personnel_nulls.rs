@@ -53,15 +53,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nbob's (dept, budget) possibilities: {:?}", ans.possible);
 
     // Certain regardless of the null: bob works *somewhere* low-or-high.
-    assert!(db.is_certain(
-        "WorksIn(bob,engineering) | WorksIn(bob,sales) | WorksIn(bob,support)"
-    )?);
+    assert!(db.is_certain("WorksIn(bob,engineering) | WorksIn(bob,sales) | WorksIn(bob,support)")?);
     // Exactly-one: bob cannot be in two departments at once.
     assert!(!db.is_possible("WorksIn(bob,sales) & WorksIn(bob,support)")?);
 
     // Partial information first: "definitely not support".
     db.execute("ASSERT !WorksIn(bob,support)")?;
-    println!("\nafter ruling out support: {} worlds", db.world_names()?.len());
+    println!(
+        "\nafter ruling out support: {} worlds",
+        db.world_names()?.len()
+    );
     assert_eq!(db.world_names()?.len(), 2);
 
     // Full resolution.

@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 5. The paper's MODIFY example, guarded by stock.
     db.execute("MODIFY Orders(700,32,9) TO BE Orders(700,32,1) WHERE InStock(32,1)")?;
-    println!("\nOrders(700,32,1) certain? {}", db.is_certain("Orders(700,32,1)")?);
+    println!(
+        "\nOrders(700,32,1) certain? {}",
+        db.is_certain("Orders(700,32,1)")?
+    );
 
     // 6. ASSERT removes incompleteness when exact knowledge arrives.
     db.execute("ASSERT Orders(100,32,7) & !Orders(100,32,1)")?;

@@ -10,6 +10,7 @@
 //! * [`ldml`] — the LDML update language and equivalence theorems.
 //! * [`gua`] — the Ground Update Algorithm and simplification.
 //! * [`db`] — the `LogicalDatabase` façade, queries, nulls, workloads.
+//! * [`analyze`] — the pre-execution static analyzer behind `ldml-lint`.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour, and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the reproduction methodology.
@@ -47,6 +48,7 @@
 //! # Ok::<(), winslett::db::DbError>(())
 //! ```
 
+pub use winslett_analyze as analyze;
 pub use winslett_core as db;
 pub use winslett_gua as gua;
 pub use winslett_ldml as ldml;

@@ -27,8 +27,7 @@ fn wff_strategy() -> impl Strategy<Value = Wff> {
             inner.clone().prop_map(|w: Wff| w.not()),
             prop::collection::vec(inner.clone(), 2..4).prop_map(Formula::And),
             prop::collection::vec(inner.clone(), 2..4).prop_map(Formula::Or),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Wff::implies(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Wff::implies(a, b)),
             (inner.clone(), inner).prop_map(|(a, b)| Wff::iff(a, b)),
         ]
     })
@@ -37,10 +36,12 @@ fn wff_strategy() -> impl Strategy<Value = Wff> {
 fn update_strategy() -> impl Strategy<Value = Update> {
     prop_oneof![
         (wff_strategy(), wff_strategy()).prop_map(|(o, p)| Update::insert(o, p)),
-        (0..NUM_ATOMS as u32, wff_strategy())
-            .prop_map(|(t, p)| Update::delete(AtomId(t), p)),
-        (0..NUM_ATOMS as u32, wff_strategy(), wff_strategy())
-            .prop_map(|(t, o, p)| Update::modify(AtomId(t), o, p)),
+        (0..NUM_ATOMS as u32, wff_strategy()).prop_map(|(t, p)| Update::delete(AtomId(t), p)),
+        (0..NUM_ATOMS as u32, wff_strategy(), wff_strategy()).prop_map(|(t, o, p)| Update::modify(
+            AtomId(t),
+            o,
+            p
+        )),
         wff_strategy().prop_map(Update::assert),
     ]
 }

@@ -98,7 +98,9 @@ fn null_value_workflow() {
     assert!(db
         .is_certain("Orders(801,34,5) | Orders(801,34,6) | Orders(801,34,7)")
         .unwrap());
-    assert!(!db.is_possible("Orders(801,34,5) & Orders(801,34,6)").unwrap());
+    assert!(!db
+        .is_possible("Orders(801,34,5) & Orders(801,34,6)")
+        .unwrap());
     // The null resolves.
     db.execute("ASSERT Orders(801,34,6)").unwrap();
     assert_eq!(
@@ -215,7 +217,9 @@ fn variable_updates_expand_and_apply_simultaneously() {
     db.load_fact("Orders", &["702", "32", "4"]).unwrap();
 
     // Variable DELETE: remove all orders for part 32 at once.
-    let (n, _) = db.execute_variable("DELETE Orders(?o, 32, ?q) WHERE T").unwrap();
+    let (n, _) = db
+        .execute_variable("DELETE Orders(?o, 32, ?q) WHERE T")
+        .unwrap();
     assert_eq!(n, 2); // orders 700 and 702
     assert!(db.is_certain("!Orders(700,32,9)").unwrap());
     assert!(db.is_certain("!Orders(702,32,4)").unwrap());
@@ -265,7 +269,10 @@ fn ast_level_updates_match_textual() {
     let mut db1 = order_db();
     let mut db2 = order_db();
     db1.execute("DELETE Orders(700,32,9) WHERE T").unwrap();
-    let t = db2.theory_mut().atom_by_name("Orders", &["700", "32", "9"]).unwrap();
+    let t = db2
+        .theory_mut()
+        .atom_by_name("Orders", &["700", "32", "9"])
+        .unwrap();
     db2.update(&Update::delete(t, Wff::t())).unwrap();
     assert_eq!(db1.world_names().unwrap(), db2.world_names().unwrap());
 }

@@ -2,9 +2,7 @@
 //! agree with brute-force per-model semantics on arbitrary update pairs.
 
 use proptest::prelude::*;
-use winslett::ldml::{
-    equivalent_brute, equivalent_updates, theorem2_sufficient, theorem3, Update,
-};
+use winslett::ldml::{equivalent_brute, equivalent_updates, theorem2_sufficient, theorem3, Update};
 use winslett::logic::{AtomId, Formula, Wff};
 
 const NUM_ATOMS: usize = 4;
@@ -29,10 +27,12 @@ fn wff_strategy() -> impl Strategy<Value = Wff> {
 fn update_strategy() -> impl Strategy<Value = Update> {
     prop_oneof![
         (wff_strategy(), wff_strategy()).prop_map(|(o, p)| Update::insert(o, p)),
-        (0..NUM_ATOMS as u32, wff_strategy())
-            .prop_map(|(t, p)| Update::delete(AtomId(t), p)),
-        (0..NUM_ATOMS as u32, wff_strategy(), wff_strategy())
-            .prop_map(|(t, o, p)| Update::modify(AtomId(t), o, p)),
+        (0..NUM_ATOMS as u32, wff_strategy()).prop_map(|(t, p)| Update::delete(AtomId(t), p)),
+        (0..NUM_ATOMS as u32, wff_strategy(), wff_strategy()).prop_map(|(t, o, p)| Update::modify(
+            AtomId(t),
+            o,
+            p
+        )),
         wff_strategy().prop_map(Update::assert),
     ]
 }
@@ -158,16 +158,16 @@ fn theorem6_equivalence_survives_axioms() {
         // Equivalent without axioms ⇒ identical worlds on the typed theory.
         let run = |u: &Update| {
             let (t, _) = build();
-            let mut e = GuaEngine::new(
-                t,
-                GuaOptions::simplify_always(SimplifyLevel::Fast),
-            );
+            let mut e = GuaEngine::new(t, GuaOptions::simplify_always(SimplifyLevel::Fast));
             e.apply(u).unwrap();
             e.theory.alternative_worlds(ModelLimit::default()).unwrap()
         };
         assert_eq!(run(&b1), run(&b2), "b1 = {b1:?}, b2 = {b2:?}");
     }
-    assert!(equivalent_pairs > 0, "generator produced no equivalent pairs");
+    assert!(
+        equivalent_pairs > 0,
+        "generator produced no equivalent pairs"
+    );
 }
 
 /// The paper's statement that DELETE ≡ MODIFY t TO BE ¬t (same φ).

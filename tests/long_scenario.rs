@@ -28,9 +28,10 @@ impl Shadowed {
 
     fn run(&mut self, src: &str) {
         self.steps += 1;
-        let update = self.engine.parse(src).unwrap_or_else(|e| {
-            panic!("step {}: `{src}` failed to parse: {e}", self.steps)
-        });
+        let update = self
+            .engine
+            .parse(src)
+            .unwrap_or_else(|e| panic!("step {}: `{src}` failed to parse: {e}", self.steps));
         self.engine
             .apply(&update)
             .unwrap_or_else(|e| panic!("step {}: `{src}` failed: {e}", self.steps));
@@ -116,11 +117,7 @@ fn warehouse_lifecycle_fast_simplify() {
 
     // The engine's theory stayed compact through ~30 updates.
     let stats = s.engine.theory.stats();
-    assert!(
-        stats.store_nodes < 400,
-        "store grew too large: {}",
-        stats
-    );
+    assert!(stats.store_nodes < 400, "store grew too large: {}", stats);
 
     // Final sanity: the certain facts are what the story says.
     assert!(s.engine.theory.is_consistent());
@@ -188,8 +185,12 @@ fn interleaved_variable_and_ground_updates() {
     db.execute("MODIFY Counted(w1,0) TO BE Counted(w1,5) WHERE T")
         .unwrap();
 
-    assert!(db.is_certain("Stored(w1,bin9) & Stored(w2,bin9) & Stored(w3,bin2)").unwrap());
-    assert!(db.is_certain("!Stored(w1,bin1) & !Stored(w2,bin1)").unwrap());
+    assert!(db
+        .is_certain("Stored(w1,bin9) & Stored(w2,bin9) & Stored(w3,bin2)")
+        .unwrap());
+    assert!(db
+        .is_certain("!Stored(w1,bin1) & !Stored(w2,bin1)")
+        .unwrap());
     assert!(db.is_certain("Counted(w1,5) & Counted(w2,0)").unwrap());
     assert!(db.is_certain("!Counted(w3,0)").unwrap()); // bin2 wasn't counted
     assert_eq!(db.world_names().unwrap().len(), 1);

@@ -85,9 +85,7 @@ fn section_3_2_t_versus_g_or_not_g() {
     // INSERT T: nothing changes.
     let (t, _) = build();
     let mut engine = GuaEngine::with_defaults(t);
-    engine
-        .apply(&Update::insert(Wff::t(), Wff::t()))
-        .unwrap();
+    engine.apply(&Update::insert(Wff::t(), Wff::t())).unwrap();
     assert_eq!(
         engine
             .theory
@@ -134,10 +132,7 @@ fn section_3_3_nonbranching_example() {
         Formula::And(vec![Wff::Atom(a).not(), Wff::Atom(a2)]),
         Formula::And(vec![Wff::Atom(b), Wff::Atom(a)]),
     );
-    let mut engine = GuaEngine::new(
-        t,
-        GuaOptions::simplify_always(SimplifyLevel::None),
-    );
+    let mut engine = GuaEngine::new(t, GuaOptions::simplify_always(SimplifyLevel::None));
     engine.apply(&u).unwrap();
     let mut worlds: Vec<Vec<String>> = engine
         .theory
@@ -178,10 +173,7 @@ fn section_3_3_branching_example() {
         Formula::Or(vec![Wff::Atom(c), Wff::Atom(a)]),
         Wff::Atom(b),
     );
-    let mut engine = GuaEngine::new(
-        t,
-        GuaOptions::simplify_always(SimplifyLevel::Full),
-    );
+    let mut engine = GuaEngine::new(t, GuaOptions::simplify_always(SimplifyLevel::Full));
     engine.apply(&u).unwrap();
     let mut worlds: Vec<Vec<String>> = engine
         .theory
@@ -196,7 +188,11 @@ fn section_3_3_branching_example() {
         vec![
             vec!["Tup(a)".to_string()],
             vec!["Tup(a)".to_string(), "Tup(b)".to_string()],
-            vec!["Tup(a)".to_string(), "Tup(b)".to_string(), "Tup(c)".to_string()],
+            vec![
+                "Tup(a)".to_string(),
+                "Tup(b)".to_string(),
+                "Tup(c)".to_string()
+            ],
             vec!["Tup(b)".to_string(), "Tup(c)".to_string()],
         ]
     );
@@ -213,7 +209,9 @@ fn section_3_3_branching_example() {
     ];
     let mut ref_theory = engine.theory.clone();
     ref_theory.store.replace_all(&paper_simplified);
-    let paper_worlds = ref_theory.alternative_worlds(ModelLimit::default()).unwrap();
+    let paper_worlds = ref_theory
+        .alternative_worlds(ModelLimit::default())
+        .unwrap();
     assert_eq!(paper_worlds.len(), 5, "the paper's form admits {{a,c}} too");
     let ours = engine
         .theory
@@ -284,7 +282,11 @@ fn section_3_5_spurious_equivalence() {
         Wff::t(),
     );
     // Not equivalent in general (Theorem 6 / extension quantification).
-    assert!(!equivalent_updates(&b1, &b2, t.num_atoms()).unwrap().equivalent);
+    assert!(
+        !equivalent_updates(&b1, &b2, t.num_atoms())
+            .unwrap()
+            .equivalent
+    );
     assert!(!equivalent_brute(&b1, &b2, t.num_atoms()).unwrap());
 
     // Yet on THIS typed theory both wipe the worlds (the spurious

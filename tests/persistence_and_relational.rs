@@ -3,8 +3,8 @@
 //! projections) composed with updates.
 
 use winslett::db::{
-    certain_database, from_world, load_theory, possible_database, save_theory,
-    LogicalDatabase, RelationalDatabase,
+    certain_database, from_world, load_theory, possible_database, save_theory, LogicalDatabase,
+    RelationalDatabase,
 };
 use winslett::gua::GuaEngine;
 use winslett::logic::ModelLimit;
@@ -41,10 +41,7 @@ fn full_lifecycle_save_load_resume() {
     live.execute("ASSERT Orders(100,32,7)").unwrap();
     let mut resumed = restored_db;
     resumed.execute("ASSERT Orders(100,32,7)").unwrap();
-    assert_eq!(
-        live.world_names().unwrap(),
-        resumed.world_names().unwrap()
-    );
+    assert_eq!(live.world_names().unwrap(), resumed.world_names().unwrap());
 }
 
 #[test]
@@ -124,6 +121,8 @@ fn save_load_preserves_dependencies_and_schema() {
 
     // The restored theory still enforces the FD through rule 3 semantics.
     let mut engine = GuaEngine::with_defaults(restored);
-    engine.execute("INSERT InStock(32,9) & PartNo(32) & Quan(9) WHERE T").unwrap();
+    engine
+        .execute("INSERT InStock(32,9) & PartNo(32) & Quan(9) WHERE T")
+        .unwrap();
     assert!(!engine.theory.is_consistent());
 }

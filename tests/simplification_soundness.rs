@@ -120,9 +120,7 @@ fn simplification_bounds_growth_under_churn() {
                 ))
                 .unwrap();
             let keep = if i % 2 == 0 { a } else { b };
-            engine
-                .apply(&Update::assert(Wff::Atom(keep)))
-                .unwrap();
+            engine.apply(&Update::assert(Wff::Atom(keep))).unwrap();
         }
         (
             engine.theory.store.size_nodes(),
@@ -171,19 +169,13 @@ fn mid_stream_simplification_is_transparent() {
     };
 
     let (t1, ids1) = build();
-    let mut plain = GuaEngine::new(
-        t1,
-        GuaOptions::simplify_always(SimplifyLevel::None),
-    );
+    let mut plain = GuaEngine::new(t1, GuaOptions::simplify_always(SimplifyLevel::None));
     for u in updates(&ids1) {
         plain.apply(&u).unwrap();
     }
 
     let (t2, ids2) = build();
-    let mut mixed = GuaEngine::new(
-        t2,
-        GuaOptions::simplify_always(SimplifyLevel::None),
-    );
+    let mut mixed = GuaEngine::new(t2, GuaOptions::simplify_always(SimplifyLevel::None));
     let us = updates(&ids2);
     mixed.apply(&us[0]).unwrap();
     mixed.simplify(SimplifyLevel::Full);
@@ -192,7 +184,13 @@ fn mid_stream_simplification_is_transparent() {
     mixed.apply(&us[2]).unwrap();
 
     assert_eq!(
-        plain.theory.alternative_worlds(ModelLimit::default()).unwrap(),
-        mixed.theory.alternative_worlds(ModelLimit::default()).unwrap()
+        plain
+            .theory
+            .alternative_worlds(ModelLimit::default())
+            .unwrap(),
+        mixed
+            .theory
+            .alternative_worlds(ModelLimit::default())
+            .unwrap()
     );
 }

@@ -32,18 +32,15 @@ fn ten_thousand_updates_bounded_growth() {
     let stats = engine.theory.stats();
     eprintln!("10k updates in {elapsed:?}; final {stats}");
     assert!(engine.theory.is_consistent() || !engine.theory.is_consistent()); // both legal
-    // The naive bound is ~(g + scaffolding) per update ≈ 35 nodes → 350k;
-    // with simplification the store must stay well under half of that.
+                                                                              // The naive bound is ~(g + scaffolding) per update ≈ 35 nodes → 350k;
+                                                                              // with simplification the store must stay well under half of that.
     assert!(
         stats.store_nodes < 175_000,
         "store grew to {} nodes",
         stats.store_nodes
     );
     // Sanity on throughput: ≥ 1k updates/sec even in the worst CI box.
-    assert!(
-        elapsed.as_secs_f64() < 10.0,
-        "10k updates took {elapsed:?}"
-    );
+    assert!(elapsed.as_secs_f64() < 10.0, "10k updates took {elapsed:?}");
 }
 
 /// Sustained branching + resolution at scale: alternating disjunctive
@@ -83,7 +80,5 @@ fn sustained_branch_resolve_cycles() {
     // certainty.
     assert!(engine.theory.is_consistent());
     let last_asserted = atoms[1999 % atoms.len()];
-    assert!(engine
-        .theory
-        .entails(&Wff::Atom(last_asserted)));
+    assert!(engine.theory.entails(&Wff::Atom(last_asserted)));
 }

@@ -50,7 +50,9 @@ fn tutorial_flow() -> Result<(), Box<dyn std::error::Error>> {
     let stored = db.theory().vocab.find_predicate("Stored").unwrap();
     db.add_dependency(Dependency::functional("one-bin", stored, 2, &[0])?);
     // This would put the widget in two bins at once: refused, rolled back.
-    assert!(db.execute_atomic("INSERT Stored(widget,bin2) WHERE T").is_err());
+    assert!(db
+        .execute_atomic("INSERT Stored(widget,bin2) WHERE T")
+        .is_err());
     assert!(db.is_certain("Stored(widget,bin9)")?);
     db.transaction(&[
         "DELETE Stored(widget,bin9) WHERE T",

@@ -1,0 +1,194 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the `Criterion` / `BenchmarkGroup` / `Bencher` surface the
+//! workspace's benches use, with a simple wall-clock measurement: each
+//! `iter` call auto-scales its iteration count until the batch takes a few
+//! milliseconds, then reports nanoseconds per iteration on stdout. There is
+//! no statistics engine, no HTML report, and no comparison with prior runs.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement entry point handed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(id);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; sampling here is automatic.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.text));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies a benchmark as `function_name/parameter`.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from the displayed parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+/// Throughput hints; accepted but not used in reports.
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timer handed to the benchmark closure.
+pub struct Bencher {
+    measured: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher { measured: None }
+    }
+
+    /// Times `routine`, growing the iteration count until the batch is long
+    /// enough to measure (or a cap is reached).
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || iters >= 1 << 13 {
+                self.measured = Some((iters, elapsed));
+                return;
+            }
+            iters *= 2;
+        }
+    }
+
+    fn report(&self, id: &str) {
+        match self.measured {
+            Some((iters, elapsed)) => {
+                let ns = elapsed.as_nanos() as f64 / iters as f64;
+                println!("bench {id:<48} {ns:>14.1} ns/iter ({iters} iters)");
+            }
+            None => println!("bench {id:<48} (no measurement)"),
+        }
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1u64 + 1)));
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(10).throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,575 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the slice of the proptest API this workspace uses: the
+//! [`Strategy`] trait (`prop_map`, `prop_recursive`, `boxed`), range and
+//! tuple strategies, [`Just`], `any::<T>()`, `prop::collection::vec`,
+//! simple `.{lo,hi}`-style string strategies, and the `proptest!`,
+//! `prop_oneof!`, `prop_assert!`, `prop_assert_eq!` macros.
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics with
+//! the case number and the assertion message. Generation is deterministic
+//! per test (the RNG is seeded from the test's module path and name).
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+// ----- deterministic rng ----------------------------------------------------
+
+/// Deterministic splitmix64 generator; seeded per test from its name.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from an arbitrary name (FNV-1a of the bytes).
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+// ----- core strategy abstraction --------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value. `size` loosely bounds recursive depth.
+    fn gen(&self, rng: &mut TestRng, size: u32) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy behind a cheaply clonable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+
+    /// Builds recursive values: `self` is the leaf case and `f` wraps an
+    /// inner strategy into one more level of structure. The depth bound is
+    /// honoured by nesting `depth` alternation layers, so generation always
+    /// terminates. `desired_size` and `expected_branch_size` are accepted
+    /// for API compatibility but unused (no shrinking here).
+    fn prop_recursive<F, S2>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        S2: Strategy<Value = Self::Value> + 'static,
+    {
+        let base = self.boxed();
+        let mut cur = base.clone();
+        for _ in 0..depth {
+            cur = union(vec![base.clone(), f(cur).boxed()]).boxed();
+        }
+        cur
+    }
+}
+
+/// Object-safe adapter so strategies can live behind `Rc<dyn …>`.
+trait DynStrategy<T> {
+    fn dyn_gen(&self, rng: &mut TestRng, size: u32) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_gen(&self, rng: &mut TestRng, size: u32) -> S::Value {
+        self.gen(rng, size)
+    }
+}
+
+/// A type-erased, clonable strategy handle.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn gen(&self, rng: &mut TestRng, size: u32) -> T {
+        self.0.dyn_gen(rng, size)
+    }
+}
+
+// ----- combinators ----------------------------------------------------------
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn gen(&self, rng: &mut TestRng, size: u32) -> O {
+        (self.f)(self.inner.gen(rng, size))
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen(&self, _rng: &mut TestRng, _size: u32) -> T {
+        self.0.clone()
+    }
+}
+
+/// Picks uniformly among the given strategies. At `size == 0` the first
+/// option is forced, which makes `prop_recursive` towers bottom out.
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+/// Builds a [`Union`] over type-erased strategies (used by `prop_oneof!`).
+pub fn union<T>(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+    assert!(!options.is_empty(), "union requires at least one strategy");
+    Union { options }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn gen(&self, rng: &mut TestRng, size: u32) -> T {
+        let idx = if size == 0 {
+            0
+        } else {
+            rng.below(self.options.len() as u64) as usize
+        };
+        self.options[idx].gen(rng, size.saturating_sub(1))
+    }
+}
+
+// ----- ranges, tuples, strings ----------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn gen(&self, rng: &mut TestRng, _size: u32) -> $t {
+                if self.start >= self.end {
+                    return self.start;
+                }
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn gen(&self, rng: &mut TestRng, _size: u32) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                if lo >= hi {
+                    return lo;
+                }
+                let span = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + rng.below(span.saturating_add(1)) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn gen(&self, rng: &mut TestRng, size: u32) -> Self::Value {
+                ($(self.$idx.gen(rng, size),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+}
+
+/// String-pattern strategy. Only the `.{lo,hi}` regex shape is interpreted
+/// (a string of `lo..=hi` arbitrary characters, biased toward characters
+/// that stress this workspace's parsers); any other pattern falls back to
+/// 0–16 arbitrary characters.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn gen(&self, rng: &mut TestRng, _size: u32) -> String {
+        let (lo, hi) = parse_dot_repeat(self).unwrap_or((0, 16));
+        let len = lo + rng.below((hi.saturating_sub(lo) as u64).saturating_add(1)) as usize;
+        (0..len).map(|_| random_char(rng)).collect()
+    }
+}
+
+fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+    let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (a, b) = rest.split_once(',')?;
+    Some((a.trim().parse().ok()?, b.trim().parse().ok()?))
+}
+
+fn random_char(rng: &mut TestRng) -> char {
+    const STRESS: &[char] = &[
+        '(', ')', '&', '|', '!', '-', '>', '<', ',', '.', '\'', '_', ' ', '∧', '∨', '¬', '→', '↔',
+        '"', '\\',
+    ];
+    match rng.below(4) {
+        0 => STRESS[rng.below(STRESS.len() as u64) as usize],
+        1 => (b'a' + rng.below(26) as u8) as char,
+        2 => (b'A' + rng.below(26) as u8) as char,
+        _ => char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap_or('x'),
+    }
+}
+
+// ----- any / Arbitrary ------------------------------------------------------
+
+/// Types with a canonical default strategy, reachable via [`any`].
+pub trait Arbitrary: Sized {
+    /// The strategy type [`any`] returns for this type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (e.g. `any::<bool>()`).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy behind `any::<bool>()`.
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn gen(&self, rng: &mut TestRng, _size: u32) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty => $any:ident),*) => {$(
+        /// Strategy behind `any::<$t>()`.
+        pub struct $any;
+
+        impl Strategy for $any {
+            type Value = $t;
+
+            fn gen(&self, rng: &mut TestRng, _size: u32) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = $any;
+
+            fn arbitrary() -> $any {
+                $any
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int! {
+    u8 => AnyU8, u16 => AnyU16, u32 => AnyU32, u64 => AnyU64, usize => AnyUsize,
+    i8 => AnyI8, i16 => AnyI16, i32 => AnyI32, i64 => AnyI64, isize => AnyIsize
+}
+
+// ----- prop:: namespace -----------------------------------------------------
+
+/// Namespaced strategy constructors (`prop::collection::vec` and friends).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Strategy returned by [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// A `Vec` of values from `element`, with a length drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn gen(&self, rng: &mut TestRng, size: u32) -> Vec<S::Value> {
+                let len = Strategy::gen(&self.size, rng, size);
+                (0..len).map(|_| self.element.gen(rng, size)).collect()
+            }
+        }
+    }
+}
+
+// ----- runner config --------------------------------------------------------
+
+/// Failure payload for a single property case. Real proptest distinguishes
+/// failures from rejections; here a case either passes or fails with a
+/// message, so a plain `String` carries everything. `prop_assert!` returns
+/// this, and `?` works inside `proptest!` bodies on
+/// `Result<(), TestCaseError>` helpers.
+pub type TestCaseError = String;
+
+/// Result type for fallible helpers called from `proptest!` bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Per-test configuration consumed by the `proptest!` macro.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+// ----- macros ---------------------------------------------------------------
+
+/// Uniform choice among heterogeneous strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::union(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Asserts inside a `proptest!` body; failures abort the case with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__pt_l, __pt_r) = (&$left, &$right);
+        if !(*__pt_l == *__pt_r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                __pt_l,
+                __pt_r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__pt_l, __pt_r) = (&$left, &$right);
+        if !(*__pt_l == *__pt_r) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, …) { body }`
+/// becomes a test that draws fresh arguments per case and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __pt_config = $cfg;
+                let mut __pt_rng = $crate::TestRng::from_name(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let ($($arg,)+) = ($($strat,)+);
+                for __pt_case in 0..__pt_config.cases {
+                    let __pt_size = 1 + (__pt_case % 24);
+                    let __pt_result = {
+                        $(let $arg = $crate::Strategy::gen(&$arg, &mut __pt_rng, __pt_size);)+
+                        (|| -> ::std::result::Result<(), ::std::string::String> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })()
+                    };
+                    if let ::std::result::Result::Err(__pt_message) = __pt_result {
+                        panic!(
+                            "proptest `{}` failed at case {}: {}",
+                            stringify!($name),
+                            __pt_case,
+                            __pt_message
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// One-stop import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        any, union, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+        TestCaseResult,
+    };
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Tree {
+        Leaf(u32),
+        Node(Vec<Tree>),
+    }
+
+    fn depth(t: &Tree) -> usize {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::from_name("ranges");
+        for _ in 0..200 {
+            let v = Strategy::gen(&(3u32..17), &mut rng, 8);
+            assert!((3..17).contains(&v));
+            let w = Strategy::gen(&(0usize..1), &mut rng, 8);
+            assert_eq!(w, 0);
+        }
+    }
+
+    #[test]
+    fn recursive_tower_is_depth_bounded() {
+        let leaf = (0u32..10).prop_map(Tree::Leaf).boxed();
+        let tree = leaf.prop_recursive(4, 32, 3, |inner| {
+            prop::collection::vec(inner, 2..4).prop_map(Tree::Node)
+        });
+        let mut rng = crate::TestRng::from_name("tree");
+        for _ in 0..100 {
+            let t = Strategy::gen(&tree, &mut rng, 16);
+            assert!(depth(&t) <= 4, "depth {} for {:?}", depth(&t), t);
+        }
+    }
+
+    #[test]
+    fn string_pattern_respects_bounds() {
+        let mut rng = crate::TestRng::from_name("strings");
+        for _ in 0..100 {
+            let s = Strategy::gen(&".{0,12}", &mut rng, 8);
+            assert!(s.chars().count() <= 12);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+        /// The macro pipeline itself: args bind, asserts run.
+        #[test]
+        fn macro_smoke(a in 0u32..64, b in any::<bool>(), s in ".{0,8}",) {
+            prop_assert!(a < 64, "a out of range: {}", a);
+            prop_assert_eq!(b, b);
+            prop_assert!(s.chars().count() <= 8);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_and_tuples(pair in (0u32..4, prop_oneof![Just(10u32), Just(20u32)])) {
+            prop_assert!(pair.0 < 4);
+            prop_assert!(pair.1 == 10 || pair.1 == 20);
+        }
+    }
+}

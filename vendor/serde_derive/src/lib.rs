@@ -1,0 +1,398 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against the
+//! in-tree `serde` stand-in's `to_value`/`from_value` traits, using only the
+//! compiler's `proc_macro` API (no `syn`/`quote`, which are unavailable
+//! offline). Supports the shapes this workspace actually derives on:
+//! non-generic named structs, tuple structs, and enums with unit or tuple
+//! variants.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Item {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct { name: String, fields: Vec<String> },
+    /// Tuple struct with `n` fields.
+    TupleStruct { name: String, arity: usize },
+    /// Enum: `(variant name, tuple arity)`, arity 0 for unit variants.
+    Enum {
+        name: String,
+        variants: Vec<(String, usize)>,
+    },
+}
+
+/// Derives `serde::Serialize` (value-tree flavor).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => {
+            let pushes: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{}])\n\
+                     }}\n\
+                 }}",
+                pushes.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let expr = if *arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let elems: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {expr} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, arity)| match arity {
+                    0 => format!(
+                        "{name}::{v} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    ),
+                    1 => format!(
+                        "{name}::{v}(f0) => ::serde::Value::Object(vec![(\
+                         ::std::string::String::from(\"{v}\"), \
+                         ::serde::Serialize::to_value(f0))]),"
+                    ),
+                    n => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let elems: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(vec![(\
+                             ::std::string::String::from(\"{v}\"), \
+                             ::serde::Value::Array(vec![{}]))]),",
+                            binders.join(", "),
+                            elems.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    emit(&body)
+}
+
+/// Derives `serde::Deserialize` (value-tree flavor).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::field(entries, \"{f}\")?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let entries = v.as_object().ok_or_else(|| \
+                             ::serde::DeError::new(\"expected object for {name}\"))?;\n\
+                         ::std::result::Result::Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join("\n")
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let expr = if *arity == 1 {
+                format!(
+                    "::std::result::Result::Ok({name}(\
+                     ::serde::Deserialize::from_value(v)?))"
+                )
+            } else {
+                let elems: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                format!(
+                    "let items = v.as_array().ok_or_else(|| \
+                         ::serde::DeError::new(\"expected array for {name}\"))?;\n\
+                     if items.len() != {arity} {{\n\
+                         return ::std::result::Result::Err(::serde::DeError::new(\
+                             \"tuple arity mismatch for {name}\"));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    elems.join(", ")
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{ {expr} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, n)| *n == 0)
+                .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let data_variants: Vec<&(String, usize)> =
+                variants.iter().filter(|(_, n)| *n > 0).collect();
+            let data_arms: Vec<String> = data_variants
+                .iter()
+                .map(|(v, arity)| {
+                    if *arity == 1 {
+                        format!(
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                             ::serde::Deserialize::from_value(val)?)),"
+                        )
+                    } else {
+                        let elems: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        format!(
+                            "\"{v}\" => {{\n\
+                                 let items = val.as_array().ok_or_else(|| \
+                                     ::serde::DeError::new(\"expected array for {name}::{v}\"))?;\n\
+                                 if items.len() != {arity} {{\n\
+                                     return ::std::result::Result::Err(::serde::DeError::new(\
+                                         \"variant arity mismatch for {name}::{v}\"));\n\
+                                 }}\n\
+                                 ::std::result::Result::Ok({name}::{v}({}))\n\
+                             }}",
+                            elems.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            let val_binder = if data_variants.is_empty() {
+                "_val"
+            } else {
+                "val"
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {}\n\
+                                 other => ::std::result::Result::Err(::serde::DeError::new(\
+                                     format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                                 let (key, {val_binder}) = &entries[0];\n\
+                                 match key.as_str() {{\n\
+                                     {}\n\
+                                     other => ::std::result::Result::Err(::serde::DeError::new(\
+                                         format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => ::std::result::Result::Err(::serde::DeError::new(\
+                                 \"expected a variant of {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                data_arms.join("\n")
+            )
+        }
+    };
+    emit(&body)
+}
+
+fn emit(body: &str) -> TokenStream {
+    let wrapped = format!("#[automatically_derived]\n{body}");
+    wrapped
+        .parse()
+        .unwrap_or_else(|e| panic!("serde_derive stand-in generated invalid code: {e}\n{wrapped}"))
+}
+
+// ----- item parsing ---------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stand-in: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stand-in: expected item name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stand-in does not support generic type `{name}`");
+    }
+    match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                fields: named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_top_level_fields(g.stream()),
+                }
+            }
+            other => panic!("serde_derive stand-in: unsupported struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: enum_variants(g.stream()),
+            },
+            other => panic!("serde_derive stand-in: unsupported enum body {other:?}"),
+        },
+        other => panic!("serde_derive stand-in: cannot derive for `{other}` items"),
+    }
+}
+
+/// Advances past `#[...]` attributes and `pub`/`pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' and the bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` field lists, angle-bracket aware.
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive stand-in: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive stand-in: expected ':' after field, got {other:?}"),
+        }
+        let mut angle = 0i64;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Counts comma-separated entries at the top level of a tuple-struct or
+/// tuple-variant field list (angle-bracket aware, trailing comma tolerant).
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut in_segment = false;
+    let mut angle = 0i64;
+    for tok in stream {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                in_segment = false;
+                continue;
+            }
+            _ => {}
+        }
+        if !in_segment {
+            count += 1;
+            in_segment = true;
+        }
+    }
+    count
+}
+
+/// Parses enum variants as `(name, tuple arity)` pairs.
+fn enum_variants(stream: TokenStream) -> Vec<(String, usize)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive stand-in: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let mut arity = 0usize;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    arity = count_top_level_fields(g.stream());
+                    i += 1;
+                }
+                Delimiter::Brace => {
+                    panic!("serde_derive stand-in: struct-like variant `{name}` unsupported")
+                }
+                _ => {}
+            }
+        }
+        // Skip to the variant separator (covers explicit discriminants).
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push((name, arity));
+    }
+    variants
+}

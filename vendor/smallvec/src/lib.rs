@@ -1,0 +1,231 @@
+//! Offline stand-in for `smallvec`.
+//!
+//! The real crate stores short vectors inline; this stand-in keeps the same
+//! API over a plain `Vec`. Call sites compile unchanged — only the inline
+//! storage optimization is absent, which no workspace code relies on for
+//! correctness.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, DerefMut};
+
+/// Backing-array marker: `SmallVec<[T; N]>` mirrors the real crate's type
+/// parameter shape.
+pub trait Array {
+    /// Element type.
+    type Item;
+    /// Inline capacity (advisory here).
+    fn size() -> usize;
+}
+
+impl<T, const N: usize> Array for [T; N] {
+    type Item = T;
+
+    fn size() -> usize {
+        N
+    }
+}
+
+/// A vector with the `smallvec::SmallVec` API, backed by `Vec`.
+pub struct SmallVec<A: Array> {
+    inner: Vec<A::Item>,
+}
+
+impl<A: Array> SmallVec<A> {
+    /// Creates an empty vector.
+    #[inline]
+    pub fn new() -> Self {
+        SmallVec { inner: Vec::new() }
+    }
+
+    /// Creates an empty vector with reserved capacity.
+    #[inline]
+    pub fn with_capacity(cap: usize) -> Self {
+        SmallVec {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Copies a slice into a new vector.
+    #[inline]
+    pub fn from_slice(slice: &[A::Item]) -> Self
+    where
+        A::Item: Clone,
+    {
+        SmallVec {
+            inner: slice.to_vec(),
+        }
+    }
+
+    /// Appends an element.
+    #[inline]
+    pub fn push(&mut self, value: A::Item) {
+        self.inner.push(value);
+    }
+
+    /// Removes and returns the last element.
+    #[inline]
+    pub fn pop(&mut self) -> Option<A::Item> {
+        self.inner.pop()
+    }
+
+    /// View as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[A::Item] {
+        &self.inner
+    }
+
+    /// Converts into a plain `Vec`.
+    #[inline]
+    pub fn into_vec(self) -> Vec<A::Item> {
+        self.inner
+    }
+}
+
+impl<A: Array> Default for SmallVec<A> {
+    fn default() -> Self {
+        SmallVec::new()
+    }
+}
+
+impl<A: Array> Deref for SmallVec<A> {
+    type Target = [A::Item];
+
+    #[inline]
+    fn deref(&self) -> &[A::Item] {
+        &self.inner
+    }
+}
+
+impl<A: Array> DerefMut for SmallVec<A> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [A::Item] {
+        &mut self.inner
+    }
+}
+
+impl<A: Array> Clone for SmallVec<A>
+where
+    A::Item: Clone,
+{
+    fn clone(&self) -> Self {
+        SmallVec {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<A: Array, B: Array> PartialEq<SmallVec<B>> for SmallVec<A>
+where
+    A::Item: PartialEq<B::Item>,
+{
+    fn eq(&self, other: &SmallVec<B>) -> bool {
+        self.inner[..] == other.inner[..]
+    }
+}
+
+impl<A: Array> Eq for SmallVec<A> where A::Item: Eq {}
+
+impl<A: Array> PartialOrd for SmallVec<A>
+where
+    A::Item: PartialOrd,
+{
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        self.inner.partial_cmp(&other.inner)
+    }
+}
+
+impl<A: Array> Ord for SmallVec<A>
+where
+    A::Item: Ord,
+{
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.inner.cmp(&other.inner)
+    }
+}
+
+impl<A: Array> Hash for SmallVec<A>
+where
+    A::Item: Hash,
+{
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.inner.hash(state);
+    }
+}
+
+impl<A: Array> fmt::Debug for SmallVec<A>
+where
+    A::Item: fmt::Debug,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<A: Array> FromIterator<A::Item> for SmallVec<A> {
+    fn from_iter<I: IntoIterator<Item = A::Item>>(iter: I) -> Self {
+        SmallVec {
+            inner: Vec::from_iter(iter),
+        }
+    }
+}
+
+impl<A: Array> Extend<A::Item> for SmallVec<A> {
+    fn extend<I: IntoIterator<Item = A::Item>>(&mut self, iter: I) {
+        self.inner.extend(iter);
+    }
+}
+
+impl<A: Array> IntoIterator for SmallVec<A> {
+    type Item = A::Item;
+    type IntoIter = std::vec::IntoIter<A::Item>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+
+impl<'a, A: Array> IntoIterator for &'a SmallVec<A> {
+    type Item = &'a A::Item;
+    type IntoIter = std::slice::Iter<'a, A::Item>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+impl<'a, A: Array> IntoIterator for &'a mut SmallVec<A> {
+    type Item = &'a mut A::Item;
+    type IntoIter = std::slice::IterMut<'a, A::Item>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter_mut()
+    }
+}
+
+/// `smallvec![]` construction macro, mirroring `vec![]`.
+#[macro_export]
+macro_rules! smallvec {
+    () => { $crate::SmallVec::new() };
+    ($($x:expr),+ $(,)?) => {{
+        let mut v = $crate::SmallVec::new();
+        $(v.push($x);)+
+        v
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let mut v: SmallVec<[u32; 3]> = SmallVec::from_slice(&[1, 2]);
+        v.push(3);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.as_slice(), &[1, 2, 3]);
+        assert_eq!(v.iter().sum::<u32>(), 6);
+        let w: SmallVec<[u32; 3]> = [1, 2, 3].into_iter().collect();
+        assert_eq!(v, w);
+    }
+}
