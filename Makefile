@@ -1,12 +1,13 @@
 # Development pipeline. `make ci` is the gate: format check, clippy with
-# warnings denied, a release build, the test suite, and the ldml-lint
-# self-check over the example scripts.
+# warnings denied, a release build, the test suite, the ldml-lint
+# self-check over the example scripts, and the worlds-bench smoke run
+# (which validates the BENCH_worlds.json shape).
 
 CARGO ?= cargo
 
-.PHONY: ci fmt fmt-check clippy build test lint
+.PHONY: ci fmt fmt-check clippy build test lint bench-smoke
 
-ci: fmt-check clippy build test lint
+ci: fmt-check clippy build test lint bench-smoke
 	@echo "ci: all checks passed"
 
 fmt:
@@ -26,3 +27,8 @@ test:
 
 lint:
 	$(CARGO) run --release -q -p winslett-analyze --bin ldml-lint -- --self-check examples/*.ldml
+
+# Small E7-style workload through the parallel worlds engine; the harness
+# writes BENCH_worlds.json and fails if its shape does not validate.
+bench-smoke:
+	$(CARGO) run --release -q -p winslett-bench --bin harness -- worlds --quick --out target/bench-smoke

@@ -9,8 +9,8 @@
 //! cargo run --release -p winslett-bench --bin harness -- --out results/
 //! ```
 
-use winslett_bench::experiments;
 use winslett_bench::Table;
+use winslett_bench::{experiments, worlds_bench};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -71,6 +71,27 @@ fn main() {
 
     if let Some(dir) = &out_dir {
         std::fs::create_dir_all(dir).expect("create output directory");
+    }
+
+    if want("worlds") {
+        let bench = worlds_bench::run_worlds_bench(if quick { 5 } else { 8 }, 4);
+        tables.push(worlds_bench::worlds_table(&bench));
+        let path = match &out_dir {
+            Some(dir) => format!("{dir}/BENCH_worlds.json"),
+            None => "BENCH_worlds.json".to_owned(),
+        };
+        let text = serde_json::to_string_pretty(&bench).expect("serializable");
+        std::fs::write(&path, &text).expect("write BENCH_worlds.json");
+        // Validate the emitted document by re-reading what actually landed
+        // on disk — the shape gate behind `make bench-smoke`.
+        let reread = std::fs::read_to_string(&path).expect("read back BENCH_worlds.json");
+        match worlds_bench::validate_worlds_bench(&reread) {
+            Ok(_) => eprintln!("{path}: shape OK"),
+            Err(e) => {
+                eprintln!("{path}: shape validation FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
     }
     for t in &tables {
         if json {

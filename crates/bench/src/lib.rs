@@ -8,5 +8,7 @@
 
 pub mod experiments;
 pub mod report;
+pub mod worlds_bench;
 
 pub use report::Table;
+pub use worlds_bench::{run_worlds_bench, validate_worlds_bench, worlds_table, WorldsBench};

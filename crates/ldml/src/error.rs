@@ -28,6 +28,14 @@ pub enum LdmlError {
         /// The supported maximum.
         max: usize,
     },
+    /// A wff evaluator was asked for an atom missing from the atom list it
+    /// was compiled against — the wff and its atom universe are out of
+    /// sync. This is a library-level invariant violation reported as an
+    /// error rather than a panic so callers embedding LDML stay up.
+    AtomNotInUniverse {
+        /// The raw id of the unexpected atom.
+        atom: u32,
+    },
     /// An error from the logic kernel (sub-wff parsing).
     Logic(winslett_logic::LogicError),
 }
@@ -46,6 +54,10 @@ impl fmt::Display for LdmlError {
             LdmlError::TooLarge { atoms, max } => write!(
                 f,
                 "equivalence check over {atoms} atoms exceeds the supported maximum of {max}"
+            ),
+            LdmlError::AtomNotInUniverse { atom } => write!(
+                f,
+                "atom #{atom} is not in the atom universe this wff was compiled against"
             ),
             LdmlError::Logic(e) => write!(f, "{e}"),
         }

@@ -26,6 +26,7 @@ pub use equivalence::{
 pub use error::LdmlError;
 pub use parser::parse_update;
 pub use semantics::{
-    apply_insert, apply_simultaneous, apply_update, apply_update_direct, canonicalize,
+    apply_insert, apply_simultaneous, apply_simultaneous_cached, apply_update, apply_update_direct,
+    canonicalize, satisfying_masks, CompiledInsert, SimultaneousCache,
 };
 pub use update::{InsertForm, Update};

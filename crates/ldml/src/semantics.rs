@@ -11,6 +11,7 @@
 
 use crate::error::LdmlError;
 use crate::update::{InsertForm, Update};
+use rustc_hash::FxHashMap;
 use winslett_logic::{AtomId, BitSet, Wff};
 
 /// Maximum number of distinct atoms in ω supported by exhaustive valuation
@@ -23,25 +24,115 @@ fn eval_in(w: &Wff, model: &BitSet) -> bool {
 }
 
 /// All assignments to `atoms` that satisfy `omega`, returned as bit masks
-/// aligned with `atoms`.
-fn satisfying_masks(omega: &Wff, atoms: &[AtomId]) -> Result<Vec<u32>, LdmlError> {
+/// aligned with `atoms` (bit `i` of a mask is the value of `atoms[i]`).
+///
+/// Errors with [`LdmlError::TooLarge`] when `atoms` exceeds
+/// [`MAX_OMEGA_ATOMS`], and with [`LdmlError::AtomNotInUniverse`] when
+/// `omega` mentions an atom missing from `atoms` — library code never
+/// panics on a wff/universe mismatch.
+pub fn satisfying_masks(omega: &Wff, atoms: &[AtomId]) -> Result<Vec<u32>, LdmlError> {
     if atoms.len() > MAX_OMEGA_ATOMS {
         return Err(LdmlError::TooLarge {
             atoms: atoms.len(),
             max: MAX_OMEGA_ATOMS,
         });
     }
+    // Prebuilt atom → bit-position map: the evaluator below runs 2^n times
+    // and a linear `position()` scan per atom lookup is O(g) inside it.
+    let index: FxHashMap<AtomId, usize> = atoms
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(i, a)| (a, i))
+        .collect();
     let mut out = Vec::new();
+    let mut missing: Option<AtomId> = None;
     for mask in 0u32..(1u32 << atoms.len()) {
-        let ok = omega.eval(&mut |a: &AtomId| {
-            let i = atoms.iter().position(|x| x == a).expect("atom in set");
-            (mask >> i) & 1 == 1
+        let ok = omega.eval(&mut |a: &AtomId| match index.get(a) {
+            Some(&i) => (mask >> i) & 1 == 1,
+            None => {
+                missing = Some(*a);
+                false
+            }
         });
+        if let Some(a) = missing {
+            return Err(LdmlError::AtomNotInUniverse { atom: a.0 });
+        }
         if ok {
             out.push(mask);
         }
     }
     Ok(out)
+}
+
+/// An LDML update compiled once for repeated per-model application.
+///
+/// [`apply_update`] re-runs the `to_insert()` reduction, the ω atom-set
+/// walk, and the O(2^g) [`satisfying_masks`] sweep for *every* model it is
+/// applied to. The possible-worlds engine applies the same update to every
+/// world, so that work is hoisted here: compile once, then
+/// [`CompiledInsert::apply`] is a cheap φ-evaluation plus one bitset clone
+/// per precomputed mask.
+///
+/// Note that compilation enumerates ω's valuations eagerly, so an ω with
+/// more than [`MAX_OMEGA_ATOMS`] atoms is rejected at compile time even if
+/// its φ would have been false in every model.
+#[derive(Clone, Debug)]
+pub struct CompiledInsert {
+    phi: Wff,
+    atoms: Vec<AtomId>,
+    masks: Vec<u32>,
+}
+
+impl CompiledInsert {
+    /// Compiles `update` via its INSERT form.
+    pub fn compile(update: &Update) -> Result<Self, LdmlError> {
+        Self::compile_form(&update.to_insert())
+    }
+
+    /// Compiles an explicit INSERT form.
+    pub fn compile_form(form: &InsertForm) -> Result<Self, LdmlError> {
+        let atoms: Vec<AtomId> = form.omega.atom_set().into_iter().collect();
+        let masks = satisfying_masks(&form.omega, &atoms)?;
+        Ok(CompiledInsert {
+            phi: form.phi.clone(),
+            atoms,
+            masks,
+        })
+    }
+
+    /// The selection clause φ.
+    pub fn phi(&self) -> &Wff {
+        &self.phi
+    }
+
+    /// Number of distinct atoms in ω.
+    pub fn num_atoms(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Number of satisfying valuations of ω (the branching factor).
+    pub fn num_masks(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Applies the compiled update to one model — the §3.2 semantics of
+    /// [`apply_insert`], with all per-update work already done. Infallible:
+    /// every failure mode is caught at compile time.
+    pub fn apply(&self, model: &BitSet) -> Vec<BitSet> {
+        if !eval_in(&self.phi, model) {
+            return vec![model.clone()];
+        }
+        let mut out = Vec::with_capacity(self.masks.len());
+        for &mask in &self.masks {
+            let mut m = model.clone();
+            for (i, a) in self.atoms.iter().enumerate() {
+                m.set(a.index(), (mask >> i) & 1 == 1);
+            }
+            out.push(m);
+        }
+        out
+    }
 }
 
 /// Applies `INSERT ω WHERE φ` to a single model (§3.2):
@@ -53,17 +144,7 @@ pub fn apply_insert(form: &InsertForm, model: &BitSet) -> Result<Vec<BitSet>, Ld
     if !eval_in(&form.phi, model) {
         return Ok(vec![model.clone()]);
     }
-    let atoms: Vec<AtomId> = form.omega.atom_set().into_iter().collect();
-    let masks = satisfying_masks(&form.omega, &atoms)?;
-    let mut out = Vec::with_capacity(masks.len());
-    for mask in masks {
-        let mut m = model.clone();
-        for (i, a) in atoms.iter().enumerate() {
-            m.set(a.index(), (mask >> i) & 1 == 1);
-        }
-        out.push(m);
-    }
-    Ok(out)
+    Ok(CompiledInsert::compile_form(form)?.apply(model))
 }
 
 /// Applies any LDML update to a single model, via its INSERT form.
@@ -160,14 +241,73 @@ pub fn apply_simultaneous(forms: &[InsertForm], model: &BitSet) -> Result<Vec<Bi
     Ok(out)
 }
 
+/// Memo table for [`apply_simultaneous_cached`]: the expensive part of a
+/// simultaneous application — the union atom list and the O(2^g) mask sweep
+/// over the conjunction of the triggered ωᵢ — depends only on *which*
+/// subset of the updates triggered, not on the model itself. Across many
+/// models (the possible-worlds engine applies one update set to every
+/// world) only a handful of distinct subsets occur, so the sweeps are
+/// cached per subset.
+#[derive(Clone, Debug, Default)]
+pub struct SimultaneousCache {
+    combos: FxHashMap<u128, (Vec<AtomId>, Vec<u32>)>,
+    /// Number of lookups served from the cache.
+    pub hits: u64,
+}
+
+/// [`apply_simultaneous`], with the per-triggered-subset compilation work
+/// memoized in `cache`. Produces exactly the same model set. Falls back to
+/// the uncached path when more than 128 forms are given (the subset key is
+/// a `u128` bitmask).
+pub fn apply_simultaneous_cached(
+    forms: &[InsertForm],
+    model: &BitSet,
+    cache: &mut SimultaneousCache,
+) -> Result<Vec<BitSet>, LdmlError> {
+    if forms.len() > 128 {
+        return apply_simultaneous(forms, model);
+    }
+    let mut key: u128 = 0;
+    for (i, f) in forms.iter().enumerate() {
+        if eval_in(&f.phi, model) {
+            key |= 1 << i;
+        }
+    }
+    if key == 0 {
+        return Ok(vec![model.clone()]);
+    }
+    if let std::collections::hash_map::Entry::Vacant(slot) = cache.combos.entry(key) {
+        let mut atom_set = std::collections::BTreeSet::new();
+        let mut omegas = Vec::new();
+        for (i, f) in forms.iter().enumerate() {
+            if (key >> i) & 1 == 1 {
+                atom_set.extend(f.omega.atom_set());
+                omegas.push(f.omega.clone());
+            }
+        }
+        let atoms: Vec<AtomId> = atom_set.into_iter().collect();
+        let masks = satisfying_masks(&Wff::And(omegas), &atoms)?;
+        slot.insert((atoms, masks));
+    } else {
+        cache.hits += 1;
+    }
+    let (atoms, masks) = &cache.combos[&key];
+    let mut out = Vec::with_capacity(masks.len());
+    for &mask in masks {
+        let mut m = model.clone();
+        for (i, a) in atoms.iter().enumerate() {
+            m.set(a.index(), (mask >> i) & 1 == 1);
+        }
+        out.push(m);
+    }
+    Ok(out)
+}
+
 /// Canonicalizes a set of models: sorted and deduplicated, so two `S` sets
-/// can be compared for equality.
+/// can be compared for equality. The order is lexicographic on the
+/// sequence of set-bit indices.
 pub fn canonicalize(mut models: Vec<BitSet>) -> Vec<BitSet> {
-    models.sort_by(|a, b| {
-        a.ones()
-            .collect::<Vec<_>>()
-            .cmp(&b.ones().collect::<Vec<_>>())
-    });
+    models.sort_by(|a, b| a.ones().cmp(b.ones()));
     models.dedup();
     models
 }
@@ -280,6 +420,85 @@ mod tests {
             apply_update_direct(&u, &model(&[0])).unwrap(),
             vec![model(&[0])]
         );
+    }
+
+    #[test]
+    fn satisfying_masks_reports_universe_mismatch_instead_of_panicking() {
+        // ω mentions atom 5, but the caller's atom list does not include
+        // it: library code must return an error, not panic.
+        let omega = Wff::or2(a(0), a(5));
+        let atoms = vec![AtomId(0)];
+        let r = satisfying_masks(&omega, &atoms);
+        assert!(matches!(r, Err(LdmlError::AtomNotInUniverse { atom: 5 })));
+    }
+
+    #[test]
+    fn compiled_insert_matches_apply_insert() {
+        let mut state = 0x70D0_5EEDu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..300 {
+            let form = InsertForm {
+                omega: random_wff(&mut next, 5, 2),
+                phi: random_wff(&mut next, 5, 2),
+            };
+            let compiled = CompiledInsert::compile_form(&form).unwrap();
+            for _ in 0..4 {
+                let m: BitSet = (0..5usize).filter(|_| next() % 2 == 0).collect();
+                let fresh = canonicalize(apply_insert(&form, &m).unwrap());
+                let hoisted = canonicalize(compiled.apply(&m));
+                assert_eq!(
+                    fresh, hoisted,
+                    "compiled path diverged for {form:?} on {m:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cached_simultaneous_matches_uncached() {
+        let mut state = 0xCAC4_E5EEu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..100 {
+            let forms: Vec<InsertForm> = (0..2 + (next() % 3) as usize)
+                .map(|_| InsertForm {
+                    omega: random_wff(&mut next, 4, 2),
+                    phi: random_wff(&mut next, 4, 2),
+                })
+                .collect();
+            let mut cache = SimultaneousCache::default();
+            for _ in 0..6 {
+                let m: BitSet = (0..4usize).filter(|_| next() % 2 == 0).collect();
+                let plain = canonicalize(apply_simultaneous(&forms, &m).unwrap());
+                let cached =
+                    canonicalize(apply_simultaneous_cached(&forms, &m, &mut cache).unwrap());
+                assert_eq!(plain, cached);
+            }
+        }
+    }
+
+    #[test]
+    fn simultaneous_cache_records_hits() {
+        let forms = vec![InsertForm {
+            omega: a(0),
+            phi: Wff::t(),
+        }];
+        let mut cache = SimultaneousCache::default();
+        let m = model(&[1]);
+        apply_simultaneous_cached(&forms, &m, &mut cache).unwrap();
+        assert_eq!(cache.hits, 0);
+        apply_simultaneous_cached(&forms, &m, &mut cache).unwrap();
+        apply_simultaneous_cached(&forms, &m, &mut cache).unwrap();
+        assert_eq!(cache.hits, 2);
     }
 
     #[test]

@@ -192,12 +192,20 @@ impl InsertForm {
         if atoms.len() > max_atoms.min(20) {
             return true; // conservatively
         }
+        // `atoms` is ω's own atom set, so every lookup hits; the prebuilt
+        // map keeps the 2^n sweep free of per-eval linear scans, and an
+        // (impossible) miss reads as `false` rather than panicking.
+        let index: rustc_hash::FxHashMap<AtomId, usize> = atoms
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, a)| (a, i))
+            .collect();
         let mut count = 0u32;
         for mask in 0u32..(1 << atoms.len()) {
-            let ok = self.omega.eval(&mut |a: &AtomId| {
-                let i = atoms.iter().position(|x| x == a).expect("atom in set");
-                (mask >> i) & 1 == 1
-            });
+            let ok = self
+                .omega
+                .eval(&mut |a: &AtomId| index.get(a).is_some_and(|&i| (mask >> i) & 1 == 1));
             if ok {
                 count += 1;
                 if count > 1 {

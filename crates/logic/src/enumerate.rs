@@ -19,6 +19,11 @@ use crate::sat::{Lit, SatResult, Var};
 use crate::{AtomId, Wff};
 
 /// Cap on the number of models an enumeration may produce.
+///
+/// The cap is **inclusive**: an enumeration with exactly `ModelLimit(n)`
+/// models succeeds and returns all `n`; discovering an `(n+1)`-th model
+/// aborts with [`LogicError::TooManyModels`] *before* the excess model is
+/// admitted to the result set.
 #[derive(Clone, Copy, Debug)]
 pub struct ModelLimit(pub usize);
 
@@ -73,10 +78,12 @@ pub fn enumerate_models(
                     .iter()
                     .map(|&i| Lit::new(Var(i as u32), !model[i]))
                     .collect();
-                out.push(world);
-                if out.len() > limit.0 {
+                if out.len() == limit.0 {
+                    // Inclusive cap: the model just found would be the
+                    // (limit+1)-th — abort without admitting it.
                     return Err(LogicError::TooManyModels { limit: limit.0 });
                 }
+                out.push(world);
                 if block.is_empty() || !solver.add_clause(&block) {
                     break; // no projected vars, or blocking made it unsat
                 }
@@ -197,6 +204,19 @@ mod tests {
     fn limit_enforced() {
         let r = enumerate_models(&[&Wff::t()], 10, &full_projection(10), ModelLimit(5));
         assert!(matches!(r, Err(LogicError::TooManyModels { limit: 5 })));
+    }
+
+    #[test]
+    fn limit_boundary_is_inclusive() {
+        // Free universe of 3 atoms has exactly 8 models.
+        let w = Wff::t();
+        // Exactly at the cap: all 8 models are returned.
+        let ok = enumerate_models(&[&w], 3, &full_projection(3), ModelLimit(8)).unwrap();
+        assert_eq!(ok.len(), 8);
+        // One below the cap: the 8th model must error, and must do so
+        // without having admitted a (limit+1)-th partial result.
+        let r = enumerate_models(&[&w], 3, &full_projection(3), ModelLimit(7));
+        assert!(matches!(r, Err(LogicError::TooManyModels { limit: 7 })));
     }
 
     #[test]

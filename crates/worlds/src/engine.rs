@@ -12,11 +12,66 @@
 //! must satisfy the type and dependency axioms. It is the semantic gold
 //! standard that GUA is verified against (experiment E1), and the
 //! exponential-cost comparison system of experiment E7.
+//!
+//! The engine takes the paper's phrase literally: updates are compiled once
+//! ([`CompiledInsert`]) and fanned out across OS threads, each worker
+//! applying the compiled update and the rule-3 filter to its slice of the
+//! world vector. A final merge pools the results into the canonical
+//! (sorted, deduplicated) world set. The result is byte-identical for every
+//! thread count — see `tests/commutative_diagram.rs` — so the commutative-
+//! diagram guarantee survives parallelization. `docs/worlds.md` describes
+//! the architecture.
 
 use crate::error::WorldsError;
-use winslett_ldml::{apply_update, canonicalize, Update};
-use winslett_logic::{BitSet, GroundAtom, ModelLimit};
+use rustc_hash::{FxHashMap, FxHashSet};
+use std::num::NonZeroUsize;
+use std::time::Instant;
+use winslett_ldml::{
+    apply_simultaneous_cached, CompiledInsert, InsertForm, SimultaneousCache, Update,
+};
+use winslett_logic::{AtomId, BitSet, GroundAtom, ModelLimit, Wff};
 use winslett_theory::Theory;
+
+/// In automatic mode, do not split the world vector into chunks smaller
+/// than this: below it, thread spawn overhead outweighs the per-world work.
+/// A [`WorldsEngine::with_threads`] override bypasses the heuristic.
+const MIN_WORLDS_PER_THREAD: usize = 128;
+
+/// Counters the engine maintains across `apply*` calls, for the bench
+/// harness (`BENCH_worlds.json`) and for tests. All counts are cumulative
+/// since construction or the last [`WorldsEngine::reset_stats`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Number of `apply` / `apply_simultaneous` calls.
+    pub applies: u64,
+    /// Total worlds fed into those applies.
+    pub worlds_in: u64,
+    /// Total worlds remaining after rule 3 and dedup.
+    pub worlds_out: u64,
+    /// Total candidate models produced by the §3.2 semantics, pre-filter.
+    pub models_produced: u64,
+    /// Candidate models discarded by rule 3 (type/dependency axioms).
+    pub rule3_filtered: u64,
+    /// Compilation work skipped because a cached compilation was reused —
+    /// repeated updates in [`WorldsEngine::apply_all`] and repeated
+    /// triggered-subset sweeps in [`WorldsEngine::apply_simultaneous`].
+    pub compile_reuse_hits: u64,
+    /// Worker threads used by the most recent apply.
+    pub last_threads: u64,
+    /// Wall time of the most recent apply, in nanoseconds.
+    pub last_apply_nanos: u64,
+    /// Cumulative wall time of all applies, in nanoseconds.
+    pub total_apply_nanos: u64,
+}
+
+/// Per-worker output of one parallel fan-out.
+#[derive(Default)]
+struct ChunkOut {
+    produced: Vec<BitSet>,
+    models_produced: u64,
+    rule3_filtered: u64,
+    reuse_hits: u64,
+}
 
 /// A materialized set of alternative worlds.
 ///
@@ -46,24 +101,69 @@ use winslett_theory::Theory;
 /// ```
 #[derive(Clone, Debug)]
 pub struct WorldsEngine {
-    worlds: Vec<BitSet>,
+    pub(crate) worlds: Vec<BitSet>,
+    threads: Option<NonZeroUsize>,
+    stats: EngineStats,
 }
 
 impl WorldsEngine {
     /// Materializes the alternative worlds of `theory`.
     pub fn from_theory(theory: &Theory, limit: ModelLimit) -> Result<Self, WorldsError> {
         let worlds = theory.alternative_worlds(limit)?;
-        Ok(WorldsEngine { worlds })
+        Ok(WorldsEngine {
+            worlds,
+            threads: None,
+            stats: EngineStats::default(),
+        })
     }
 
     /// Builds an engine from explicit worlds (used in tests and workloads).
     pub fn from_worlds(worlds: Vec<BitSet>) -> Self {
         WorldsEngine {
-            worlds: canonicalize(worlds),
+            worlds: Self::merge_canonical(vec![worlds]),
+            threads: None,
+            stats: EngineStats::default(),
         }
     }
 
-    /// The current worlds, canonical (sorted, deduplicated).
+    /// Pins the number of worker threads for every subsequent operation.
+    ///
+    /// `0` restores the default: [`std::thread::available_parallelism`],
+    /// scaled down for small world sets so tiny engines never pay thread
+    /// spawn overhead. A nonzero pin is exact — tests use `with_threads(1)`
+    /// and `with_threads(4)` to prove the result is thread-count
+    /// independent.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = NonZeroUsize::new(threads);
+        self
+    }
+
+    /// The counters accumulated so far. See [`EngineStats`].
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Zeroes all counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = EngineStats::default();
+    }
+
+    /// The number of worker threads an operation over `work_items` worlds
+    /// will use right now.
+    pub fn effective_threads(&self, work_items: usize) -> usize {
+        match self.threads {
+            Some(n) => n.get(),
+            None => {
+                let hw = std::thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(1);
+                hw.min(work_items.div_ceil(MIN_WORLDS_PER_THREAD)).max(1)
+            }
+        }
+    }
+
+    /// The current worlds, canonical (sorted, deduplicated; the order is
+    /// lexicographic on set-bit indices).
     pub fn worlds(&self) -> &[BitSet] {
         &self.worlds
     }
@@ -80,17 +180,32 @@ impl WorldsEngine {
 
     /// Whether `world` satisfies the type and dependency axioms of
     /// `theory` — rule 3 of the §3.5 update semantics.
-    pub fn satisfies_axioms(theory: &Theory, world: &BitSet) -> bool {
+    ///
+    /// Errors rather than guessing when the world and the theory disagree
+    /// about the atom universe: a world bit beyond the theory's atom table
+    /// is [`WorldsError::UniverseMismatch`] (a stale engine checked against
+    /// a theory that has since minted new atoms must not pass rule 3
+    /// vacuously), and a type axiom whose attribute list does not match the
+    /// atom's argument count is [`WorldsError::ArityMismatch`] (it must not
+    /// be zip-truncated).
+    pub fn satisfies_axioms(theory: &Theory, world: &BitSet) -> Result<bool, WorldsError> {
         // Type axioms: every true tuple's attribute atoms must be true.
         for i in world.ones() {
             if i >= theory.atoms.len() {
-                continue;
+                return Err(WorldsError::UniverseMismatch {
+                    atom_index: i,
+                    universe_size: theory.atoms.len(),
+                });
             }
-            let ga = theory
-                .atoms
-                .resolve(winslett_logic::AtomId(i as u32))
-                .clone();
+            let ga = theory.atoms.resolve(AtomId(i as u32)).clone();
             if let Some(attrs) = theory.schema.type_axiom(ga.pred) {
+                if attrs.len() != ga.args.len() {
+                    return Err(WorldsError::ArityMismatch {
+                        relation: theory.vocab.predicate(ga.pred).name.clone(),
+                        attrs: attrs.len(),
+                        args: ga.args.len(),
+                    });
+                }
                 for (&attr, &c) in attrs.iter().zip(ga.args.iter()) {
                     let ok = theory
                         .atoms
@@ -98,38 +213,137 @@ impl WorldsEngine {
                         .map(|id| world.get(id.index()))
                         .unwrap_or(false);
                     if !ok {
-                        return false;
+                        return Ok(false);
                     }
                 }
             }
         }
         // Dependency axioms.
-        theory
+        Ok(theory
             .deps
             .iter()
-            .all(|dep| dep.holds_in_world(world, &theory.atoms))
+            .all(|dep| dep.holds_in_world(world, &theory.atoms)))
+    }
+
+    /// Splits the world vector across `threads` scoped workers and collects
+    /// each worker's output in chunk order. With one thread (or ≤ 1 world)
+    /// the worker runs inline on the calling thread — the sequential path
+    /// and the parallel path execute the same code.
+    fn fan_out<F>(&self, threads: usize, worker: F) -> Result<Vec<ChunkOut>, WorldsError>
+    where
+        F: Fn(&[BitSet]) -> Result<ChunkOut, WorldsError> + Sync,
+    {
+        if threads <= 1 || self.worlds.len() <= 1 {
+            return Ok(vec![worker(&self.worlds)?]);
+        }
+        let chunk = self.worlds.len().div_ceil(threads);
+        let worker = &worker;
+        let results: Vec<Result<ChunkOut, WorldsError>> = std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .worlds
+                .chunks(chunk)
+                .map(|c| s.spawn(move || worker(c)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worlds worker panicked"))
+                .collect()
+        });
+        results.into_iter().collect()
+    }
+
+    /// Pools per-worker chunks into the canonical world set: hash-based
+    /// dedup (duplicates never reach the comparison sort), then one sort by
+    /// set-bit order. Produces exactly `winslett_ldml::canonicalize` of the
+    /// concatenation, without paying the comparator on duplicates.
+    fn merge_canonical(chunks: Vec<Vec<BitSet>>) -> Vec<BitSet> {
+        let cap = chunks.iter().map(Vec::len).sum();
+        let mut seen: FxHashSet<BitSet> =
+            FxHashSet::with_capacity_and_hasher(cap, Default::default());
+        for c in chunks {
+            seen.extend(c);
+        }
+        let mut pooled: Vec<BitSet> = seen.into_iter().collect();
+        pooled.sort_by(|a, b| a.ones().cmp(b.ones()));
+        pooled
+    }
+
+    /// Merges worker outputs into `self.worlds` and folds their counters
+    /// into the stats block.
+    fn finish_apply(&mut self, chunks: Vec<ChunkOut>, threads: usize, start: Instant) {
+        let worlds_in = self.worlds.len() as u64;
+        let mut produced = Vec::with_capacity(chunks.len());
+        for c in chunks {
+            self.stats.models_produced += c.models_produced;
+            self.stats.rule3_filtered += c.rule3_filtered;
+            self.stats.compile_reuse_hits += c.reuse_hits;
+            produced.push(c.produced);
+        }
+        self.worlds = Self::merge_canonical(produced);
+        let nanos = start.elapsed().as_nanos() as u64;
+        self.stats.applies += 1;
+        self.stats.worlds_in += worlds_in;
+        self.stats.worlds_out += self.worlds.len() as u64;
+        self.stats.last_threads = threads as u64;
+        self.stats.last_apply_nanos = nanos;
+        self.stats.total_apply_nanos += nanos;
     }
 
     /// Applies `update` to every world independently, enforcing rule 3,
     /// then pools and canonicalizes — the definitionally correct update.
+    ///
+    /// The update is compiled once ([`CompiledInsert`]) and the world
+    /// vector is fanned out across worker threads; see the module docs.
     pub fn apply(&mut self, update: &Update, theory: &Theory) -> Result<(), WorldsError> {
-        let mut pooled: Vec<BitSet> = Vec::new();
-        for w in &self.worlds {
-            let produced = apply_update(update, w)?;
-            for m in produced {
-                if Self::satisfies_axioms(theory, &m) {
-                    pooled.push(m);
+        let compiled = CompiledInsert::compile(update).map_err(WorldsError::Ldml)?;
+        self.apply_compiled(&compiled, theory)
+    }
+
+    /// Applies an already-compiled update — the hoisted hot path. Callers
+    /// replaying one update against many engines (or many times) compile
+    /// once and use this directly.
+    pub fn apply_compiled(
+        &mut self,
+        compiled: &CompiledInsert,
+        theory: &Theory,
+    ) -> Result<(), WorldsError> {
+        let start = Instant::now();
+        let threads = self.effective_threads(self.worlds.len());
+        let chunks = self.fan_out(threads, |worlds| {
+            let mut out = ChunkOut::default();
+            for w in worlds {
+                let produced = compiled.apply(w);
+                out.models_produced += produced.len() as u64;
+                for m in produced {
+                    if Self::satisfies_axioms(theory, &m)? {
+                        out.produced.push(m);
+                    } else {
+                        out.rule3_filtered += 1;
+                    }
                 }
             }
-        }
-        self.worlds = canonicalize(pooled);
+            Ok(out)
+        })?;
+        self.finish_apply(chunks, threads, start);
         Ok(())
     }
 
-    /// Applies a sequence of updates.
+    /// Applies a sequence of updates, reusing compilations for repeated
+    /// updates (reuse is visible as [`EngineStats::compile_reuse_hits`]).
     pub fn apply_all(&mut self, updates: &[Update], theory: &Theory) -> Result<(), WorldsError> {
+        let mut compiled: FxHashMap<&Update, CompiledInsert> = FxHashMap::default();
         for u in updates {
-            self.apply(u, theory)?;
+            match compiled.get(u) {
+                Some(c) => {
+                    self.stats.compile_reuse_hits += 1;
+                    self.apply_compiled(c, theory)?;
+                }
+                None => {
+                    let c = CompiledInsert::compile(u).map_err(WorldsError::Ldml)?;
+                    self.apply_compiled(&c, theory)?;
+                    compiled.insert(u, c);
+                }
+            }
         }
         Ok(())
     }
@@ -137,37 +351,91 @@ impl WorldsEngine {
     /// Applies a **set** of ground updates *simultaneously* to every world
     /// (the §4 reduction target for updates with variables), enforcing
     /// rule 3, then pools and canonicalizes.
+    ///
+    /// The O(2^g) valuation sweep depends only on which subset of the
+    /// updates triggered, so each worker memoizes sweeps per subset
+    /// ([`SimultaneousCache`]); hits count toward
+    /// [`EngineStats::compile_reuse_hits`].
     pub fn apply_simultaneous(
         &mut self,
         updates: &[Update],
         theory: &Theory,
     ) -> Result<(), WorldsError> {
-        let forms: Vec<winslett_ldml::InsertForm> = updates.iter().map(Update::to_insert).collect();
-        let mut pooled: Vec<BitSet> = Vec::new();
-        for w in &self.worlds {
-            let produced = winslett_ldml::apply_simultaneous(&forms, w)?;
-            for m in produced {
-                if Self::satisfies_axioms(theory, &m) {
-                    pooled.push(m);
+        let forms: Vec<InsertForm> = updates.iter().map(Update::to_insert).collect();
+        let start = Instant::now();
+        let threads = self.effective_threads(self.worlds.len());
+        let chunks = self.fan_out(threads, |worlds| {
+            let mut out = ChunkOut::default();
+            let mut cache = SimultaneousCache::default();
+            for w in worlds {
+                let produced = apply_simultaneous_cached(&forms, w, &mut cache)?;
+                out.models_produced += produced.len() as u64;
+                for m in produced {
+                    if Self::satisfies_axioms(theory, &m)? {
+                        out.produced.push(m);
+                    } else {
+                        out.rule3_filtered += 1;
+                    }
                 }
             }
-        }
-        self.worlds = canonicalize(pooled);
+            out.reuse_hits = cache.hits;
+            Ok(out)
+        })?;
+        self.finish_apply(chunks, threads, start);
         Ok(())
     }
 
+    /// Runs `predicate` over every world, in parallel, and reports whether
+    /// all (`conjunctive = true`) or any (`conjunctive = false`) hold.
+    fn par_query<F>(&self, conjunctive: bool, predicate: F) -> bool
+    where
+        F: Fn(&BitSet) -> bool + Sync,
+    {
+        let threads = self.effective_threads(self.worlds.len());
+        if threads <= 1 || self.worlds.len() <= 1 {
+            return if conjunctive {
+                self.worlds.iter().all(&predicate)
+            } else {
+                self.worlds.iter().any(&predicate)
+            };
+        }
+        let chunk = self.worlds.len().div_ceil(threads);
+        let predicate = &predicate;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .worlds
+                .chunks(chunk)
+                .map(|c| {
+                    s.spawn(move || {
+                        if conjunctive {
+                            c.iter().all(predicate)
+                        } else {
+                            c.iter().any(predicate)
+                        }
+                    })
+                })
+                .collect();
+            let mut verdict = conjunctive;
+            for h in handles {
+                let v = h.join().expect("worlds worker panicked");
+                if conjunctive {
+                    verdict &= v;
+                } else {
+                    verdict |= v;
+                }
+            }
+            verdict
+        })
+    }
+
     /// Certain truth of a wff: true in every world.
-    pub fn entails(&self, wff: &winslett_logic::Wff) -> bool {
-        self.worlds
-            .iter()
-            .all(|w| wff.eval(&mut |a: &winslett_logic::AtomId| w.get(a.index())))
+    pub fn entails(&self, wff: &Wff) -> bool {
+        self.par_query(true, |w| wff.eval(&mut |a: &AtomId| w.get(a.index())))
     }
 
     /// Possible truth of a wff: true in some world.
-    pub fn consistent_with(&self, wff: &winslett_logic::Wff) -> bool {
-        self.worlds
-            .iter()
-            .any(|w| wff.eval(&mut |a: &winslett_logic::AtomId| w.get(a.index())))
+    pub fn consistent_with(&self, wff: &Wff) -> bool {
+        self.par_query(false, |w| wff.eval(&mut |a: &AtomId| w.get(a.index())))
     }
 }
 
@@ -320,5 +588,123 @@ mod tests {
         )
         .unwrap();
         assert_eq!(e2.len(), 1);
+    }
+
+    #[test]
+    fn stale_engine_universe_mismatch_is_an_error_not_a_vacuous_pass() {
+        // A world with a set bit beyond the theory's atom table: the old
+        // code `continue`d past it, silently passing rule 3. It must be a
+        // UniverseMismatch error.
+        let (t, _, _, _) = paper_setup();
+        let stale_world: BitSet = [0usize, 100].into_iter().collect();
+        let r = WorldsEngine::satisfies_axioms(&t, &stale_world);
+        assert!(matches!(
+            r,
+            Err(WorldsError::UniverseMismatch {
+                atom_index: 100,
+                ..
+            })
+        ));
+        // The same error propagates out of the apply path.
+        let mut e = WorldsEngine::from_worlds(vec![stale_world]);
+        let err = e
+            .apply(&Update::insert(Wff::Atom(AtomId(0)), Wff::t()), &t)
+            .unwrap_err();
+        assert!(matches!(err, WorldsError::UniverseMismatch { .. }));
+    }
+
+    #[test]
+    fn type_axiom_arity_mismatch_is_an_error_not_a_zip_truncation() {
+        // Intern an atom whose argument count disagrees with its relation's
+        // type axiom (bypassing the checked constructors). The old code
+        // zip-truncated and checked only the shorter prefix.
+        let mut t = Theory::new();
+        let part = t.declare_attribute("PartNo").unwrap();
+        let instock = t.declare_typed_relation("InStock1", &[part]).unwrap();
+        let c1 = t.constant("1");
+        let c2 = t.constant("2");
+        let good = t.atom(instock, &[c1]);
+        t.assert_not_atom(good);
+        let crooked = t.atoms.intern(GroundAtom::new(instock, &[c1, c2]));
+        let mut world = BitSet::zeros(t.atoms.len());
+        world.set(crooked.index(), true);
+        let r = WorldsEngine::satisfies_axioms(&t, &world);
+        assert!(matches!(
+            r,
+            Err(WorldsError::ArityMismatch {
+                attrs: 1,
+                args: 2,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn pinned_thread_counts_produce_identical_worlds() {
+        // Deterministic mini version of the proptest in
+        // tests/commutative_diagram.rs: every pinned thread count yields
+        // byte-identical canonical world vectors.
+        let (mut t, a, b, e) = paper_setup();
+        let r = t.vocab.find_predicate("Tup").unwrap();
+        let cc = t.constant("c");
+        let c = t.atom(r, &[cc]);
+        let updates = vec![
+            Update::insert(Wff::or2(Wff::Atom(c), Wff::Atom(b)), Wff::t()),
+            Update::modify(a, Wff::or2(Wff::Atom(a), Wff::Atom(c)), Wff::t()),
+            Update::assert(Wff::or2(Wff::Atom(b), Wff::Atom(c))),
+        ];
+        let mut runs: Vec<Vec<BitSet>> = Vec::new();
+        for threads in [1usize, 2, 4, 7] {
+            let mut engine = e.clone().with_threads(threads);
+            engine.apply_all(&updates, &t).unwrap();
+            runs.push(engine.worlds().to_vec());
+        }
+        for r in &runs[1..] {
+            assert_eq!(&runs[0], r);
+        }
+    }
+
+    #[test]
+    fn stats_count_worlds_models_and_reuse() {
+        let (t, a, b, e) = paper_setup();
+        let mut e = e.with_threads(2);
+        let u = Update::insert(Wff::or2(Wff::Atom(a), Wff::Atom(b)), Wff::t());
+        // Same update twice: the second apply reuses the compilation.
+        e.apply_all(&[u.clone(), u], &t).unwrap();
+        let s = e.stats();
+        assert_eq!(s.applies, 2);
+        assert_eq!(s.compile_reuse_hits, 1);
+        assert_eq!(s.worlds_in, 2 + 3); // 2 worlds in, 3 after first apply
+        assert_eq!(s.worlds_out, 3 + 3);
+        // Each apply produced 3 models per world (a ∨ b has 3 valuations).
+        assert_eq!(s.models_produced, 3 * 2 + 3 * 3);
+        assert_eq!(s.rule3_filtered, 0);
+        assert_eq!(s.last_threads, 2);
+        assert!(s.total_apply_nanos >= s.last_apply_nanos);
+        e.reset_stats();
+        assert_eq!(e.stats(), &EngineStats::default());
+    }
+
+    #[test]
+    fn simultaneous_reuse_hits_are_counted() {
+        // 4 worlds, one update triggered everywhere: 3 of the 4 sweeps are
+        // cache hits (single worker).
+        let mut t = Theory::new();
+        let r = t.declare_relation("R", 1).unwrap();
+        let mut atoms = Vec::new();
+        for i in 0..2 {
+            let c = t.constant(&format!("c{i}"));
+            let id = t.atom(r, &[c]);
+            t.register_atom(id);
+            atoms.push(id);
+        }
+        t.assert_wff(&Wff::t());
+        let mut e = WorldsEngine::from_theory(&t, ModelLimit::default())
+            .unwrap()
+            .with_threads(1);
+        assert_eq!(e.len(), 4);
+        e.apply_simultaneous(&[Update::insert(Wff::Atom(atoms[0]), Wff::t())], &t)
+            .unwrap();
+        assert_eq!(e.stats().compile_reuse_hits, 3);
     }
 }

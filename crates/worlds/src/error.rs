@@ -17,6 +17,27 @@ pub enum WorldsError {
         /// The analyzer's message.
         message: String,
     },
+    /// A world mentions an atom outside the theory's atom table — the
+    /// engine's worlds and the theory it is being checked against were
+    /// built over different universes (e.g. a stale engine against a theory
+    /// that has since minted new atoms). Rule 3 cannot be decided for such
+    /// a world, so it is an error rather than a vacuous pass.
+    UniverseMismatch {
+        /// The offending atom index in the world.
+        atom_index: usize,
+        /// Size of the theory's atom table.
+        universe_size: usize,
+    },
+    /// A type axiom's attribute list and an atom's argument list disagree
+    /// in arity, so rule 3 cannot pair attributes with arguments.
+    ArityMismatch {
+        /// Name of the relation whose type axiom is malformed w.r.t. the atom.
+        relation: String,
+        /// Number of attributes in the type axiom.
+        attrs: usize,
+        /// Number of arguments in the atom.
+        args: usize,
+    },
 }
 
 impl fmt::Display for WorldsError {
@@ -30,6 +51,23 @@ impl fmt::Display for WorldsError {
                     "update rejected by pre-flight analysis [{code}]: {message}"
                 )
             }
+            WorldsError::UniverseMismatch {
+                atom_index,
+                universe_size,
+            } => write!(
+                f,
+                "world mentions atom #{atom_index} but the theory's atom table has only \
+                 {universe_size} atoms — engine and theory use different universes"
+            ),
+            WorldsError::ArityMismatch {
+                relation,
+                attrs,
+                args,
+            } => write!(
+                f,
+                "type axiom for `{relation}` lists {attrs} attributes but the atom has \
+                 {args} arguments"
+            ),
         }
     }
 }
@@ -39,7 +77,9 @@ impl std::error::Error for WorldsError {
         match self {
             WorldsError::Theory(e) => Some(e),
             WorldsError::Ldml(e) => Some(e),
-            WorldsError::Rejected { .. } => None,
+            WorldsError::Rejected { .. }
+            | WorldsError::UniverseMismatch { .. }
+            | WorldsError::ArityMismatch { .. } => None,
         }
     }
 }

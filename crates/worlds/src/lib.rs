@@ -22,7 +22,7 @@ pub mod pma;
 pub mod preflight;
 
 pub use diagram::{check_commutes, DiagramReport};
-pub use engine::WorldsEngine;
+pub use engine::{EngineStats, WorldsEngine};
 pub use error::WorldsError;
 pub use pma::{apply_insert_pma, apply_update_pma};
 pub use preflight::Preflight;

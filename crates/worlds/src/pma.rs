@@ -36,28 +36,17 @@ pub fn apply_insert_pma(form: &InsertForm, model: &BitSet) -> Result<Vec<BitSet>
         return Ok(vec![model.clone()]);
     }
     let atoms: Vec<AtomId> = form.omega.atom_set().into_iter().collect();
-    if atoms.len() > 24 {
-        return Err(LdmlError::TooLarge {
-            atoms: atoms.len(),
-            max: 24,
-        });
-    }
-    // Collect candidate (mask, diff) pairs.
+    // Collect candidate (mask, diff) pairs. `satisfying_masks` enforces the
+    // 24-atom cap and reports wff/universe mismatches as errors.
     let mut candidates: Vec<(u32, u32)> = Vec::new();
-    for mask in 0u32..(1u32 << atoms.len()) {
-        let ok = form.omega.eval(&mut |a: &AtomId| {
-            let i = atoms.iter().position(|x| x == a).expect("atom in set");
-            (mask >> i) & 1 == 1
-        });
-        if ok {
-            let mut diff = 0u32;
-            for (i, a) in atoms.iter().enumerate() {
-                if ((mask >> i) & 1 == 1) != model.get(a.index()) {
-                    diff |= 1 << i;
-                }
+    for mask in winslett_ldml::satisfying_masks(&form.omega, &atoms)? {
+        let mut diff = 0u32;
+        for (i, a) in atoms.iter().enumerate() {
+            if ((mask >> i) & 1 == 1) != model.get(a.index()) {
+                diff |= 1 << i;
             }
-            candidates.push((mask, diff));
         }
+        candidates.push((mask, diff));
     }
     // Keep ⊆-minimal diffs.
     let minimal: Vec<u32> = candidates
@@ -95,12 +84,12 @@ impl WorldsEngine {
         for w in self.worlds() {
             let produced = apply_insert_pma(&form, w)?;
             for m in produced {
-                if Self::satisfies_axioms(theory, &m) {
+                if Self::satisfies_axioms(theory, &m)? {
                     pooled.push(m);
                 }
             }
         }
-        *self = WorldsEngine::from_worlds(canonicalize(pooled));
+        self.worlds = canonicalize(pooled);
         Ok(())
     }
 }

@@ -10,7 +10,7 @@ use winslett::gua::{GuaEngine, GuaOptions, SimplifyLevel};
 use winslett::ldml::Update;
 use winslett::logic::{AtomId, Formula, ModelLimit, Wff};
 use winslett::theory::Theory;
-use winslett::worlds::check_commutes;
+use winslett::worlds::{check_commutes, WorldsEngine};
 
 const NUM_ATOMS: usize = 5;
 
@@ -108,6 +108,37 @@ fn check_result(
     Ok(())
 }
 
+/// Parallelization must not change semantics: `with_threads(1)` and
+/// `with_threads(4)` runs of the same update script yield byte-identical
+/// canonical world vectors and identical `entails` answers for every ω in
+/// the script. This is what keeps the §3.2 commutative diagram valid after
+/// the engine's thread fan-out.
+fn check_thread_independence(wffs: Vec<Wff>, updates: Vec<Update>) -> Result<(), TestCaseError> {
+    let theory = build_theory(&wffs);
+    if !theory.is_consistent() {
+        return Ok(());
+    }
+    let base = WorldsEngine::from_theory(&theory, ModelLimit::default()).expect("materializes");
+    let mut seq = base.clone().with_threads(1);
+    let mut par = base.with_threads(4);
+    seq.apply_all(&updates, &theory)
+        .expect("sequential applies");
+    par.apply_all(&updates, &theory).expect("parallel applies");
+    prop_assert_eq!(
+        seq.worlds(),
+        par.worlds(),
+        "thread counts 1 and 4 disagree on the world set\nupdates: {:?}\nsection: {:?}",
+        updates,
+        wffs
+    );
+    for u in &updates {
+        let omega = u.to_insert().omega;
+        prop_assert_eq!(seq.entails(&omega), par.entails(&omega));
+        prop_assert_eq!(seq.consistent_with(&omega), par.consistent_with(&omega));
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
@@ -133,6 +164,14 @@ proptest! {
         updates in prop::collection::vec(update_strategy(), 1..3),
     ) {
         check_result(SimplifyLevel::Full, wffs, updates)?;
+    }
+
+    #[test]
+    fn parallel_engine_is_thread_count_independent(
+        wffs in prop::collection::vec(wff_strategy(), 1..4),
+        updates in prop::collection::vec(update_strategy(), 1..5),
+    ) {
+        check_thread_independence(wffs, updates)?;
     }
 }
 
