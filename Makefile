@@ -1,13 +1,14 @@
 # Development pipeline. `make ci` is the gate: format check, clippy with
-# warnings denied, a release build, the test suite, the ldml-lint
-# self-check over the example scripts, and the worlds-bench smoke run
-# (which validates the BENCH_worlds.json shape).
+# warnings denied, a release build, the test suite, the WAL
+# fault-injection suite, the ldml-lint self-check over the example
+# scripts, and the bench smoke run (which validates the
+# BENCH_worlds.json and BENCH_wal.json shapes).
 
 CARGO ?= cargo
 
-.PHONY: ci fmt fmt-check clippy build test lint bench-smoke
+.PHONY: ci fmt fmt-check clippy build test faults lint bench-smoke
 
-ci: fmt-check clippy build test lint bench-smoke
+ci: fmt-check clippy build test faults lint bench-smoke
 	@echo "ci: all checks passed"
 
 fmt:
@@ -25,10 +26,17 @@ build:
 test:
 	$(CARGO) test -q
 
+# Exhaustive crash sweep: kills WAL writes at every byte boundary and
+# checks recovery lands on a legal prefix state. Release mode — the
+# sweep runs thousands of open/replay cycles.
+faults:
+	$(CARGO) test --release -q -p winslett --test wal_recovery
+
 lint:
 	$(CARGO) run --release -q -p winslett-analyze --bin ldml-lint -- --self-check examples/*.ldml
 
-# Small E7-style workload through the parallel worlds engine; the harness
-# writes BENCH_worlds.json and fails if its shape does not validate.
+# Small E7-style workload through the parallel worlds engine plus the WAL
+# commit-latency run; the harness writes BENCH_worlds.json and
+# BENCH_wal.json and fails if either shape does not validate.
 bench-smoke:
-	$(CARGO) run --release -q -p winslett-bench --bin harness -- worlds --quick --out target/bench-smoke
+	$(CARGO) run --release -q -p winslett-bench --bin harness -- worlds wal --quick --out target/bench-smoke

@@ -26,7 +26,9 @@ fn bench_replay(c: &mut Criterion) {
             eager.theory.vocab = scratch.vocab.clone();
             eager.theory.atoms = scratch.atoms.clone();
             eager.apply(&u).expect("applies");
-            replay.update_synced(u, &scratch);
+            replay
+                .update_synced(u, &scratch)
+                .expect("update shares the workload lineage");
         }
         let probe = Wff::Atom(atoms[0]);
         group.bench_with_input(BenchmarkId::new("replay_query", n), &(), |b, _| {

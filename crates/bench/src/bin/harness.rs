@@ -10,7 +10,7 @@
 //! ```
 
 use winslett_bench::Table;
-use winslett_bench::{experiments, worlds_bench};
+use winslett_bench::{experiments, wal_bench, worlds_bench};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -86,6 +86,25 @@ fn main() {
         // on disk — the shape gate behind `make bench-smoke`.
         let reread = std::fs::read_to_string(&path).expect("read back BENCH_worlds.json");
         match worlds_bench::validate_worlds_bench(&reread) {
+            Ok(_) => eprintln!("{path}: shape OK"),
+            Err(e) => {
+                eprintln!("{path}: shape validation FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if want("wal") {
+        let bench = wal_bench::run_wal_bench(if quick { 64 } else { 256 }, 8);
+        tables.push(wal_bench::wal_table(&bench));
+        let path = match &out_dir {
+            Some(dir) => format!("{dir}/BENCH_wal.json"),
+            None => "BENCH_wal.json".to_owned(),
+        };
+        let text = serde_json::to_string_pretty(&bench).expect("serializable");
+        std::fs::write(&path, &text).expect("write BENCH_wal.json");
+        // Same re-read-and-validate gate as BENCH_worlds.json.
+        let reread = std::fs::read_to_string(&path).expect("read back BENCH_wal.json");
+        match wal_bench::validate_wal_bench(&reread) {
             Ok(_) => eprintln!("{path}: shape OK"),
             Err(e) => {
                 eprintln!("{path}: shape validation FAILED: {e}");

@@ -433,7 +433,9 @@ pub fn e8(max_log: usize) -> Table {
             eager.theory.vocab = scratch.vocab.clone();
             eager.theory.atoms = scratch.atoms.clone();
             eager.apply(&u).expect("update applies");
-            replay.update_synced(u, &scratch);
+            replay
+                .update_synced(u, &scratch)
+                .expect("update shares the workload lineage");
         }
         let probe = Wff::Atom(atoms[0]);
         let start = Instant::now();

@@ -8,7 +8,9 @@
 
 pub mod experiments;
 pub mod report;
+pub mod wal_bench;
 pub mod worlds_bench;
 
 pub use report::Table;
+pub use wal_bench::{run_wal_bench, validate_wal_bench, wal_table, WalBench};
 pub use worlds_bench::{run_worlds_bench, validate_worlds_bench, worlds_table, WorldsBench};

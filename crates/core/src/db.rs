@@ -63,10 +63,10 @@ impl Default for DbOptions {
 /// ```
 #[derive(Clone, Debug)]
 pub struct LogicalDatabase {
-    engine: GuaEngine,
+    pub(crate) engine: GuaEngine,
     options: DbOptions,
     /// The update log (for provenance and the replay baseline).
-    log: Vec<Update>,
+    pub(crate) log: Vec<Update>,
 }
 
 impl Default for LogicalDatabase {
@@ -316,6 +316,33 @@ impl LogicalDatabase {
                 Err(e)
             }
         }
+    }
+
+    /// Parses one LDML statement against this database's language without
+    /// executing it (the WAL journals the parsed-and-widened form before
+    /// GUA runs).
+    pub fn parse_update(&mut self, src: &str) -> Result<Update, DbError> {
+        Ok(self.engine.parse(src)?)
+    }
+
+    /// The §3.5-widened form of `update`, as [`LogicalDatabase::update`]
+    /// would execute it. Identity when widening is off or no relation is
+    /// typed.
+    pub fn effective_update(&mut self, update: &Update) -> Update {
+        if self.options.widen_type_axioms && self.engine.theory.schema.has_type_axioms() {
+            self.widen(update)
+        } else {
+            update.clone()
+        }
+    }
+
+    /// Applies an update that has **already** been widened (or needs no
+    /// widening) — the WAL replay/execute path, which journals the
+    /// effective update and must not widen twice.
+    pub(crate) fn apply_effective(&mut self, effective: &Update) -> Result<UpdateReport, DbError> {
+        let report = self.engine.apply(effective)?;
+        self.log.push(effective.clone());
+        Ok(report)
     }
 
     /// The §3.5 widening layer: conjoin attribute atoms for positively

@@ -25,6 +25,39 @@ pub enum DbError {
         /// The null's name.
         name: String,
     },
+    /// A persisted artifact (theory dump or WAL) carries a format version
+    /// this build does not understand. Refusing loudly beats silently
+    /// misreading a future format.
+    UnsupportedVersion {
+        /// Which artifact: `"theory dump"` or `"wal"`.
+        what: &'static str,
+        /// The version found in the artifact.
+        found: u32,
+        /// The newest version this build supports.
+        supported: u32,
+    },
+    /// An update handed to [`crate::ReplayDatabase`] references atom ids
+    /// that were never interned in that database's theory — it was parsed
+    /// against a different (richer) theory. Use
+    /// [`crate::ReplayDatabase::update_synced`] to adopt the richer
+    /// language first.
+    ForeignUpdate {
+        /// The first out-of-range atom id in the update.
+        atom_id: u32,
+        /// The number of atoms interned in the replay theory.
+        num_atoms: usize,
+    },
+    /// A storage-layer failure (I/O error, or an injected fault in tests).
+    Storage {
+        /// Stringified cause.
+        message: String,
+    },
+    /// A persisted artifact is structurally corrupt beyond the WAL's
+    /// tolerate-and-truncate tail handling (e.g. bad magic bytes).
+    Corrupt {
+        /// What was found wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for DbError {
@@ -39,6 +72,22 @@ impl fmt::Display for DbError {
             DbError::EmptyNullDomain { name } => {
                 write!(f, "null value `{name}` has an empty candidate domain")
             }
+            DbError::UnsupportedVersion {
+                what,
+                found,
+                supported,
+            } => write!(
+                f,
+                "unsupported {what} version {found} (this build reads up to version {supported})"
+            ),
+            DbError::ForeignUpdate { atom_id, num_atoms } => write!(
+                f,
+                "update references atom id {atom_id} but only {num_atoms} atoms are interned \
+                 in this theory; the update was built against a different theory \
+                 (use update_synced)"
+            ),
+            DbError::Storage { message } => write!(f, "storage error: {message}"),
+            DbError::Corrupt { message } => write!(f, "corrupt artifact: {message}"),
         }
     }
 }
@@ -66,6 +115,14 @@ impl From<winslett_gua::GuaError> for DbError {
 impl From<winslett_worlds::WorldsError> for DbError {
     fn from(e: winslett_worlds::WorldsError) -> Self {
         DbError::Worlds(e)
+    }
+}
+
+impl From<std::io::Error> for DbError {
+    fn from(e: std::io::Error) -> Self {
+        DbError::Storage {
+            message: e.to_string(),
+        }
     }
 }
 

@@ -22,15 +22,22 @@ pub mod query;
 pub mod relational;
 pub mod replay;
 pub mod vars;
+pub mod wal;
 pub mod workload;
 
 pub use db::{DbOptions, LogicalDatabase};
 pub use error::DbError;
 pub use explain::{explain, Explanation, Verdict};
 pub use nulls::{NullCatalog, NullableArg};
-pub use persist::{dump_theory, load_theory, restore_theory, save_theory, TheoryDump};
+pub use persist::{
+    dump_theory, load_theory, restore_theory, save_theory, TheoryDump, DUMP_VERSION,
+};
 pub use query::{Answers, Query, QueryAtom, QueryTerm, SupportedAnswer};
 pub use relational::{certain_database, from_world, possible_database, RelationalDatabase};
-pub use replay::ReplayDatabase;
+pub use replay::{replay_updates, ReplayDatabase};
 pub use vars::{PatternWff, VarAtom, VarStatement, VarTerm, VarUpdate};
+pub use wal::{
+    DirStorage, DurableDatabase, FailpointStorage, MemStorage, RecoveryReport, Storage, SyncPolicy,
+    WalOptions, WalStats,
+};
 pub use workload::Workload;

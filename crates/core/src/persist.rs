@@ -17,11 +17,19 @@ use serde::{Deserialize, Serialize};
 use winslett_logic::{display_wff, parse_wff, ParseContext, PredicateKind};
 use winslett_theory::{AtomPattern, Dependency, HeadFormula, Term, Theory};
 
+/// The newest dump format version this build writes and reads.
+pub const DUMP_VERSION: u32 = 2;
+
 /// The serialized form of a theory.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize)]
 pub struct TheoryDump {
     /// Format version, for forward compatibility.
     pub version: u32,
+    /// The vocabulary's fresh-name counter at dump time (version ≥ 2).
+    /// Restoring it keeps GUA-minted predicate-constant names disjoint
+    /// from every name the saved theory ever used — including `__pN` names
+    /// that simplification freed, which appear nowhere else in the dump.
+    pub fresh_counter: u64,
     /// Attribute predicate names.
     pub attributes: Vec<String>,
     /// Relations: `(name, arity, type axiom attribute names if any)`.
@@ -34,6 +42,34 @@ pub struct TheoryDump {
     pub registered: Vec<String>,
     /// The non-axiomatic section, one wff string per formula.
     pub wffs: Vec<String>,
+}
+
+// Hand-written so a version-1 document (which predates `fresh_counter`)
+// still deserializes, defaulting the counter to 0; `restore_theory` then
+// reconstructs a safe counter from the minted names themselves.
+impl serde::Deserialize for TheoryDump {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| serde::DeError::new("expected object for TheoryDump"))?;
+        let fresh_counter = match serde::field(entries, "fresh_counter") {
+            Ok(fv) => serde::Deserialize::from_value(fv)?,
+            Err(_) => 0,
+        };
+        Ok(TheoryDump {
+            version: serde::Deserialize::from_value(serde::field(entries, "version")?)?,
+            fresh_counter,
+            attributes: serde::Deserialize::from_value(serde::field(entries, "attributes")?)?,
+            relations: serde::Deserialize::from_value(serde::field(entries, "relations")?)?,
+            predicate_constants: serde::Deserialize::from_value(serde::field(
+                entries,
+                "predicate_constants",
+            )?)?,
+            dependencies: serde::Deserialize::from_value(serde::field(entries, "dependencies")?)?,
+            registered: serde::Deserialize::from_value(serde::field(entries, "registered")?)?,
+            wffs: serde::Deserialize::from_value(serde::field(entries, "wffs")?)?,
+        })
+    }
 }
 
 /// Portable form of a template dependency.
@@ -118,7 +154,8 @@ pub fn dump_theory(theory: &Theory) -> TheoryDump {
         .map(|d| dump_dependency(d, theory))
         .collect();
     TheoryDump {
-        version: 1,
+        version: DUMP_VERSION,
+        fresh_counter: theory.vocab.fresh_counter(),
         attributes,
         relations,
         predicate_constants,
@@ -149,7 +186,7 @@ fn dump_head(h: &HeadFormula, theory: &Theory) -> HeadDump {
     }
 }
 
-fn dump_dependency(d: &Dependency, theory: &Theory) -> DependencyDump {
+pub(crate) fn dump_dependency(d: &Dependency, theory: &Theory) -> DependencyDump {
     DependencyDump {
         name: d.name.clone(),
         num_vars: d.num_vars,
@@ -176,9 +213,14 @@ pub fn save_theory(theory: &Theory) -> Result<String, DbError> {
 
 /// Reconstructs a theory from its dump form.
 pub fn restore_theory(dump: &TheoryDump) -> Result<Theory, DbError> {
-    if dump.version != 1 {
-        return Err(DbError::Query {
-            message: format!("unsupported dump version {}", dump.version),
+    // Version 1 dumps (no `fresh_counter` field) are still readable; any
+    // unknown or future version is refused with a structured error rather
+    // than silently misread.
+    if dump.version == 0 || dump.version > DUMP_VERSION {
+        return Err(DbError::UnsupportedVersion {
+            what: "theory dump",
+            found: dump.version,
+            supported: DUMP_VERSION,
         });
     }
     let mut t = Theory::new();
@@ -214,6 +256,20 @@ pub fn restore_theory(dump: &TheoryDump) -> Result<Theory, DbError> {
             .ok_or_else(|| DbError::Query {
                 message: format!("predicate constant `{pc}` conflicts with a relation"),
             })?;
+    }
+    // Restore the fresh-name counter. Version-1 dumps did not record it,
+    // so additionally bump past every `__p<N>…` name present in the dump
+    // — future mints must not reuse a number a GUA-minted constant
+    // carries, or renames of distinct atoms could be given colliding
+    // lineage tags.
+    t.vocab.bump_fresh_counter_to(dump.fresh_counter);
+    for pc in &dump.predicate_constants {
+        if let Some(digits) = pc.strip_prefix("__p") {
+            let digits: String = digits.chars().take_while(|c| c.is_ascii_digit()).collect();
+            if let Ok(n) = digits.parse::<u64>() {
+                t.vocab.bump_fresh_counter_to(n + 1);
+            }
+        }
     }
     for d in &dump.dependencies {
         let dep = restore_dependency(d, &mut t)?;
@@ -294,7 +350,10 @@ fn restore_head(h: &HeadDump, theory: &mut Theory) -> Result<HeadFormula, DbErro
     })
 }
 
-fn restore_dependency(d: &DependencyDump, theory: &mut Theory) -> Result<Dependency, DbError> {
+pub(crate) fn restore_dependency(
+    d: &DependencyDump,
+    theory: &mut Theory,
+) -> Result<Dependency, DbError> {
     let mut body = Vec::with_capacity(d.body.len());
     for (pred, args) in &d.body {
         let p = theory
@@ -408,11 +467,77 @@ mod tests {
     }
 
     #[test]
-    fn bad_version_rejected() {
+    fn bad_version_rejected_with_structured_error() {
         let t = sample_theory();
         let mut dump = dump_theory(&t);
         dump.version = 99;
-        assert!(restore_theory(&dump).is_err());
+        assert_eq!(
+            restore_theory(&dump).unwrap_err(),
+            DbError::UnsupportedVersion {
+                what: "theory dump",
+                found: 99,
+                supported: DUMP_VERSION,
+            }
+        );
+        dump.version = 0;
+        assert!(matches!(
+            restore_theory(&dump),
+            Err(DbError::UnsupportedVersion { found: 0, .. })
+        ));
+        // A JSON document with a future version is rejected through
+        // load_theory too (the field used to be accepted unchecked there).
+        let mut json = save_theory(&t).unwrap();
+        json = json.replacen(
+            &format!("\"version\": {DUMP_VERSION}"),
+            "\"version\": 77",
+            1,
+        );
+        assert!(matches!(
+            load_theory(&json),
+            Err(DbError::UnsupportedVersion { found: 77, .. })
+        ));
+    }
+
+    #[test]
+    fn fresh_counter_survives_roundtrip_and_cannot_collide() {
+        // GUA mints predicate constants; after save/load the restored
+        // vocabulary must keep minting names disjoint from the saved ones.
+        let t = sample_theory();
+        let mut engine = GuaEngine::new(
+            t,
+            winslett_gua::GuaOptions::simplify_always(winslett_gua::SimplifyLevel::None),
+        );
+        engine.execute("DELETE InStock(32,5) WHERE T").unwrap();
+        engine.execute("INSERT InStock(32,6) WHERE T").unwrap();
+        let saved_counter = engine.theory.vocab.fresh_counter();
+        assert!(saved_counter > 0);
+        let json = save_theory(&engine.theory).unwrap();
+        let restored = load_theory(&json).unwrap();
+        assert_eq!(restored.vocab.fresh_counter(), saved_counter);
+        // Fresh names minted post-restore are new to the restored theory.
+        let mut vocab = restored.vocab.clone();
+        let pid = vocab.fresh_predicate_constant();
+        assert!(restored
+            .vocab
+            .find_predicate(&vocab.predicate(pid).name)
+            .is_none());
+    }
+
+    #[test]
+    fn version1_dump_bumps_counter_past_minted_names() {
+        // A version-1 dump has no fresh_counter field; the loader must
+        // still move the counter past every `__pN…` name in the dump.
+        let t = sample_theory();
+        let mut engine = GuaEngine::new(
+            t,
+            winslett_gua::GuaOptions::simplify_always(winslett_gua::SimplifyLevel::None),
+        );
+        engine.execute("DELETE InStock(32,5) WHERE T").unwrap();
+        let mut dump = dump_theory(&engine.theory);
+        dump.version = 1;
+        dump.fresh_counter = 0; // as if absent from the JSON
+        let restored = restore_theory(&dump).unwrap();
+        assert!(restored.vocab.fresh_counter() >= engine.theory.vocab.fresh_counter());
     }
 
     #[test]

@@ -15,8 +15,43 @@
 use crate::error::DbError;
 use winslett_gua::{GuaEngine, GuaOptions, SimplifyLevel};
 use winslett_ldml::Update;
-use winslett_logic::Wff;
+use winslett_logic::{AtomId, Wff};
 use winslett_theory::{Theory, TheoryStats};
+
+/// Replays `updates` in order through GUA (no simplification — the §4
+/// strawman's configuration) onto a scratch copy of `initial`, returning
+/// the resulting theory. This is the single replay path shared by
+/// [`ReplayDatabase::materialize`] and the WAL recovery of
+/// [`crate::wal`]: recovery *is* the strawman's recomputation, run once at
+/// startup instead of per query.
+pub fn replay_updates(initial: &Theory, updates: &[Update]) -> Result<Theory, DbError> {
+    let mut engine = GuaEngine::new(
+        initial.clone(),
+        GuaOptions::simplify_always(SimplifyLevel::None),
+    );
+    for u in updates {
+        engine.apply(u)?;
+    }
+    Ok(engine.theory)
+}
+
+/// Checks that every atom id an update mentions is interned in `theory`.
+/// An id beyond the atom table is proof the update was built against a
+/// different theory; ids *within* range but minted by a different lineage
+/// cannot be detected — that is what [`ReplayDatabase::update_synced`]'s
+/// append-only-lineage contract exists for.
+fn first_foreign_atom(update: &Update, theory: &Theory) -> Option<AtomId> {
+    let form = update.to_insert();
+    let n = theory.num_atoms();
+    for w in [&form.omega, &form.phi] {
+        for a in w.atom_set() {
+            if a.index() >= n {
+                return Some(a);
+            }
+        }
+    }
+    None
+}
 
 /// A logical database that stores updates as a log and recomputes on query.
 #[derive(Clone, Debug)]
@@ -34,22 +69,39 @@ impl ReplayDatabase {
         }
     }
 
-    /// Records an update — O(1), no theory work at all. The update's atom
-    /// ids must be interned in this database's initial theory; if the
-    /// update was parsed against a *different* (richer) theory, use
-    /// [`ReplayDatabase::update_synced`].
-    pub fn update(&mut self, update: Update) {
+    /// Records an update — O(1) theory work. The update's atom ids must be
+    /// interned in this database's initial theory; an update parsed
+    /// against a *different* (richer) theory is rejected with
+    /// [`DbError::ForeignUpdate`] instead of being logged and silently
+    /// replayed as the wrong atoms later (use
+    /// [`ReplayDatabase::update_synced`] for that case).
+    pub fn update(&mut self, update: Update) -> Result<(), DbError> {
+        if let Some(a) = first_foreign_atom(&update, &self.initial) {
+            return Err(DbError::ForeignUpdate {
+                atom_id: a.0,
+                num_atoms: self.initial.num_atoms(),
+            });
+        }
         self.log.push(update);
+        Ok(())
     }
 
     /// Records an update whose atoms were interned against `language` (a
     /// theory sharing this database's lineage). The vocabulary and atom
     /// table are append-only, so adopting the richer copies keeps every
-    /// previously logged id valid.
-    pub fn update_synced(&mut self, update: Update, language: &Theory) {
+    /// previously logged id valid. An update whose ids exceed even
+    /// `language`'s atom table is rejected with [`DbError::ForeignUpdate`].
+    pub fn update_synced(&mut self, update: Update, language: &Theory) -> Result<(), DbError> {
+        if let Some(a) = first_foreign_atom(&update, language) {
+            return Err(DbError::ForeignUpdate {
+                atom_id: a.0,
+                num_atoms: language.num_atoms(),
+            });
+        }
         self.initial.vocab = language.vocab.clone();
         self.initial.atoms = language.atoms.clone();
         self.log.push(update);
+        Ok(())
     }
 
     /// Number of logged updates.
@@ -61,14 +113,7 @@ impl ReplayDatabase {
     /// returning the materialized current theory. This is the per-query
     /// cost the strawman pays.
     pub fn materialize(&self) -> Result<Theory, DbError> {
-        let mut engine = GuaEngine::new(
-            self.initial.clone(),
-            GuaOptions::simplify_always(SimplifyLevel::None),
-        );
-        for u in &self.log {
-            engine.apply(u)?;
-        }
-        Ok(engine.theory)
+        replay_updates(&self.initial, &self.log)
     }
 
     /// Certain truth of a ground wff, by replay.
@@ -123,7 +168,7 @@ mod tests {
         // Replay path.
         let mut replay = ReplayDatabase::new(t);
         for u in &updates {
-            replay.update(u.clone());
+            replay.update(u.clone()).unwrap();
         }
         for wff in [
             Wff::Atom(a),
@@ -148,7 +193,7 @@ mod tests {
         let (t, a, _) = setup();
         let mut replay = ReplayDatabase::new(t);
         for _ in 0..100 {
-            replay.update(Update::delete(a, Wff::t()));
+            replay.update(Update::delete(a, Wff::t())).unwrap();
         }
         assert_eq!(replay.log_len(), 100);
     }
@@ -159,13 +204,60 @@ mod tests {
         let mut replay = ReplayDatabase::new(t);
         let mut sizes = Vec::new();
         for i in 0..5 {
-            replay.update(Update::insert(
-                winslett_logic::Formula::Or(vec![Wff::Atom(a), Wff::Atom(b)]),
-                Wff::t(),
-            ));
+            replay
+                .update(Update::insert(
+                    winslett_logic::Formula::Or(vec![Wff::Atom(a), Wff::Atom(b)]),
+                    Wff::t(),
+                ))
+                .unwrap();
             let _ = i;
             sizes.push(replay.materialized_stats().unwrap().store_nodes);
         }
         assert!(sizes.windows(2).all(|w| w[0] < w[1]), "sizes: {sizes:?}");
+    }
+
+    #[test]
+    fn foreign_update_rejected_with_typed_error() {
+        // Regression for the documented footgun: an update parsed against
+        // a richer theory used to be logged silently and replayed as
+        // whatever atoms happened to occupy those ids (or panic). It must
+        // be refused up front.
+        let (t, _, _) = setup();
+        let mut richer = t.clone();
+        let extra = {
+            let r = richer.vocab.find_predicate("R").unwrap();
+            let c = richer.constant("zzz");
+            richer.atom(r, &[c])
+        };
+        let mut replay = ReplayDatabase::new(t);
+        let err = replay
+            .update(Update::insert(Wff::Atom(extra), Wff::t()))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DbError::ForeignUpdate {
+                atom_id: extra.0,
+                num_atoms: replay.initial.num_atoms(),
+            }
+        );
+        assert_eq!(replay.log_len(), 0); // nothing was logged
+                                         // The φ side is validated too.
+        let (t2, a, _) = setup();
+        let mut replay2 = ReplayDatabase::new(t2);
+        assert!(replay2
+            .update(Update::insert(Wff::Atom(a), Wff::Atom(extra)))
+            .is_err());
+        // update_synced with the matching richer language accepts it …
+        replay
+            .update_synced(Update::insert(Wff::Atom(extra), Wff::t()), &richer)
+            .unwrap();
+        assert_eq!(replay.log_len(), 1);
+        assert!(replay.is_certain(&Wff::Atom(extra)).unwrap());
+        // … but still rejects ids beyond even the synced language.
+        let bogus = winslett_logic::AtomId(10_000);
+        assert!(matches!(
+            replay.update_synced(Update::delete(bogus, Wff::t()), &richer),
+            Err(DbError::ForeignUpdate { .. })
+        ));
     }
 }

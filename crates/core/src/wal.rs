@@ -1,0 +1,1496 @@
+//! Durable write-ahead logging and crash recovery for [`LogicalDatabase`].
+//!
+//! The paper's §4 observes that "simply keeping a record of past updates
+//! and recomputing the state of the theory on each new query" is the
+//! strawman alternative to GUA-plus-simplification. A *write-ahead log* is
+//! that record put to honest work: every LDML update (and every schema
+//! change) is journaled — length-prefixed, CRC32-checksummed, versioned —
+//! **before** GUA applies it, so that after a crash the database state can
+//! be reconstructed by loading the latest [`TheoryDump`] snapshot and
+//! replaying the WAL suffix through the same replay path
+//! [`ReplayDatabase`](crate::ReplayDatabase) uses
+//! ([`replay_updates`]). Recovery truncates at the first torn or corrupt
+//! record, which gives the atomicity guarantee the fault-injection tests
+//! enforce: whatever byte a crash lands on, the recovered theory's
+//! alternative-world set equals the world set after some *prefix* of the
+//! acknowledged operations — never a third state.
+//!
+//! Layout on storage (two named files behind the [`Storage`] trait):
+//!
+//! ```text
+//! snapshot.json   { version, lsn, theory: TheoryDump }      (atomic replace)
+//! wal.log         "WWAL" ++ u32 version ++ record*          (append-only)
+//! record        = u32 payload_len ++ u32 crc32(payload) ++ payload
+//! payload       = JSON of { lsn, record: WalRecord }
+//! ```
+//!
+//! Records carry monotonically increasing LSNs; the snapshot stores the
+//! LSN up to which it is current, so a crash *between* writing a new
+//! snapshot and resetting the WAL is harmless — recovery skips records
+//! the snapshot already covers. Snapshot-triggered log compaction is
+//! keyed off [`Theory::store_nodes`] growth (the §3.6 store-size
+//! measure): when the live store has grown past a configurable factor of
+//! its size at the last snapshot, a checkpoint folds the log into a new
+//! snapshot.
+
+use crate::db::{DbOptions, LogicalDatabase};
+use crate::error::DbError;
+use crate::persist::{self, DependencyDump, TheoryDump};
+use crate::replay::replay_updates;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::collections::HashSet;
+use winslett_gua::UpdateReport;
+use winslett_ldml::Update;
+use winslett_logic::{display_wff, parse_wff, AtomId, Formula, ParseContext, PredId, Wff};
+use winslett_theory::{Dependency, Theory};
+
+/// WAL file name within a [`Storage`].
+pub const WAL_FILE: &str = "wal.log";
+/// Snapshot file name within a [`Storage`].
+pub const SNAPSHOT_FILE: &str = "snapshot.json";
+/// Magic bytes opening a WAL file.
+pub const WAL_MAGIC: [u8; 4] = *b"WWAL";
+/// The newest WAL format version this build writes and reads.
+pub const WAL_VERSION: u32 = 1;
+/// The newest snapshot format version this build writes and reads.
+pub const SNAPSHOT_VERSION: u32 = 1;
+/// Upper bound on a single record's payload; a larger length prefix is
+/// treated as tail corruption, not an allocation request.
+const MAX_RECORD_LEN: u32 = 1 << 26;
+
+// ----- CRC32 (IEEE, table-driven; no external dependency) -------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 (IEEE 802.3 polynomial) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ----- storage abstraction --------------------------------------------------
+
+/// A tiny named-file layer under the WAL: enough surface for an
+/// append-only log plus an atomically replaced snapshot, and small enough
+/// to shim with a deterministic fault injector ([`FailpointStorage`]).
+pub trait Storage {
+    /// Full contents of `name`, or `None` if it does not exist.
+    fn read(&self, name: &str) -> Result<Option<Vec<u8>>, DbError>;
+    /// Appends `data` to `name`, creating it if missing.
+    fn append(&mut self, name: &str, data: &[u8]) -> Result<(), DbError>;
+    /// Durably flushes `name` (fsync; no-op if it does not exist).
+    fn sync(&mut self, name: &str) -> Result<(), DbError>;
+    /// Atomically replaces the contents of `name` with `data`: after a
+    /// crash either the old or the new contents are visible, never a mix.
+    fn replace(&mut self, name: &str, data: &[u8]) -> Result<(), DbError>;
+}
+
+/// In-memory storage (tests, and the substrate of [`FailpointStorage`]).
+#[derive(Clone, Debug, Default)]
+pub struct MemStorage {
+    files: HashMap<String, Vec<u8>>,
+}
+
+impl MemStorage {
+    /// An empty storage.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Direct access to a file's bytes (test corruption helpers).
+    pub fn get(&self, name: &str) -> Option<&Vec<u8>> {
+        self.files.get(name)
+    }
+
+    /// Overwrites a file's bytes wholesale (test corruption helpers).
+    pub fn put(&mut self, name: &str, data: Vec<u8>) {
+        self.files.insert(name.to_string(), data);
+    }
+
+    /// Deletes a file (test helpers).
+    pub fn remove(&mut self, name: &str) {
+        self.files.remove(name);
+    }
+}
+
+impl Storage for MemStorage {
+    fn read(&self, name: &str) -> Result<Option<Vec<u8>>, DbError> {
+        Ok(self.files.get(name).cloned())
+    }
+
+    fn append(&mut self, name: &str, data: &[u8]) -> Result<(), DbError> {
+        self.files
+            .entry(name.to_string())
+            .or_default()
+            .extend_from_slice(data);
+        Ok(())
+    }
+
+    fn sync(&mut self, _name: &str) -> Result<(), DbError> {
+        Ok(())
+    }
+
+    fn replace(&mut self, name: &str, data: &[u8]) -> Result<(), DbError> {
+        self.files.insert(name.to_string(), data.to_vec());
+        Ok(())
+    }
+}
+
+/// Directory-backed storage: each name is a file under `dir`. Appends go
+/// through `O_APPEND`; [`Storage::sync`] is a real fsync;
+/// [`Storage::replace`] writes a temp file, fsyncs it, renames it into
+/// place, and fsyncs the directory.
+#[derive(Clone, Debug)]
+pub struct DirStorage {
+    dir: std::path::PathBuf,
+}
+
+impl DirStorage {
+    /// Opens (creating if needed) the directory.
+    pub fn new(dir: impl Into<std::path::PathBuf>) -> Result<Self, DbError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(DirStorage { dir })
+    }
+
+    fn path(&self, name: &str) -> std::path::PathBuf {
+        self.dir.join(name)
+    }
+}
+
+impl Storage for DirStorage {
+    fn read(&self, name: &str) -> Result<Option<Vec<u8>>, DbError> {
+        match std::fs::read(self.path(name)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn append(&mut self, name: &str, data: &[u8]) -> Result<(), DbError> {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.path(name))?;
+        f.write_all(data)?;
+        Ok(())
+    }
+
+    fn sync(&mut self, name: &str) -> Result<(), DbError> {
+        match std::fs::File::open(self.path(name)) {
+            Ok(f) => Ok(f.sync_all()?),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn replace(&mut self, name: &str, data: &[u8]) -> Result<(), DbError> {
+        let tmp = self.path(&format!("{name}.tmp"));
+        std::fs::write(&tmp, data)?;
+        std::fs::File::open(&tmp)?.sync_all()?;
+        std::fs::rename(&tmp, self.path(name))?;
+        if let Ok(d) = std::fs::File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic fault injection: behaves like [`MemStorage`] until a
+/// byte budget is exhausted, then tears the in-flight write at exactly
+/// that byte and fails every subsequent operation — a crash at a chosen
+/// kill point.
+///
+/// State is shared across clones (`Rc<RefCell<…>>`), so a test can keep a
+/// sibling handle, hand the storage to a [`DurableDatabase`], and — even
+/// if the crash fires inside `open` itself — read the surviving on-disk
+/// image back out with [`FailpointStorage::survivor`].
+///
+/// `replace` is modeled as atomic (temp-file-plus-rename semantics): its
+/// bytes are charged against the budget, but if the budget runs out the
+/// old contents survive untouched rather than being half-overwritten.
+#[derive(Clone, Debug)]
+pub struct FailpointStorage {
+    state: std::rc::Rc<std::cell::RefCell<FailState>>,
+}
+
+#[derive(Debug)]
+struct FailState {
+    inner: MemStorage,
+    budget: u64,
+    bytes_written: u64,
+    dead: bool,
+}
+
+impl FailState {
+    fn injected(&self) -> DbError {
+        DbError::Storage {
+            message: format!("injected crash after {} bytes", self.bytes_written),
+        }
+    }
+}
+
+impl FailpointStorage {
+    /// Storage that crashes once `kill_after_bytes` bytes have been
+    /// written (appends tear mid-record; replaces fail atomically).
+    pub fn new(kill_after_bytes: u64) -> Self {
+        FailpointStorage {
+            state: std::rc::Rc::new(std::cell::RefCell::new(FailState {
+                inner: MemStorage::new(),
+                budget: kill_after_bytes,
+                bytes_written: 0,
+                dead: false,
+            })),
+        }
+    }
+
+    /// Storage that never crashes (the probe run that measures how many
+    /// bytes a script writes in total).
+    pub fn unlimited() -> Self {
+        Self::new(u64::MAX)
+    }
+
+    /// Total bytes accepted so far (torn prefixes included).
+    pub fn bytes_written(&self) -> u64 {
+        self.state.borrow().bytes_written
+    }
+
+    /// Whether the injected crash has fired.
+    pub fn crashed(&self) -> bool {
+        self.state.borrow().dead
+    }
+
+    /// A copy of the surviving on-disk state, as recovery would see it.
+    pub fn survivor(&self) -> MemStorage {
+        self.state.borrow().inner.clone()
+    }
+}
+
+impl Storage for FailpointStorage {
+    fn read(&self, name: &str) -> Result<Option<Vec<u8>>, DbError> {
+        let st = self.state.borrow();
+        if st.dead {
+            return Err(st.injected());
+        }
+        st.inner.read(name)
+    }
+
+    fn append(&mut self, name: &str, data: &[u8]) -> Result<(), DbError> {
+        let mut st = self.state.borrow_mut();
+        if st.dead {
+            return Err(st.injected());
+        }
+        if (data.len() as u64) <= st.budget {
+            st.budget -= data.len() as u64;
+            st.bytes_written += data.len() as u64;
+            st.inner.append(name, data)
+        } else {
+            let keep = st.budget as usize;
+            st.inner.append(name, &data[..keep])?;
+            st.bytes_written += keep as u64;
+            st.budget = 0;
+            st.dead = true;
+            Err(st.injected())
+        }
+    }
+
+    fn sync(&mut self, _name: &str) -> Result<(), DbError> {
+        let st = self.state.borrow();
+        if st.dead {
+            return Err(st.injected());
+        }
+        Ok(())
+    }
+
+    fn replace(&mut self, name: &str, data: &[u8]) -> Result<(), DbError> {
+        let mut st = self.state.borrow_mut();
+        if st.dead {
+            return Err(st.injected());
+        }
+        if (data.len() as u64) <= st.budget {
+            st.budget -= data.len() as u64;
+            st.bytes_written += data.len() as u64;
+            st.inner.replace(name, data)
+        } else {
+            // The rename never happens: old contents survive.
+            st.bytes_written += st.budget;
+            st.budget = 0;
+            st.dead = true;
+            Err(st.injected())
+        }
+    }
+}
+
+// ----- record format --------------------------------------------------------
+
+/// A journaled update, rendered in the portable name-based concrete
+/// syntax of [`winslett_logic::parse_wff`] (the same convention as
+/// [`TheoryDump`]), so records survive re-interning.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum UpdateDump {
+    /// `INSERT ω WHERE φ` as `(ω, φ)`.
+    Insert(String, String),
+    /// `DELETE t WHERE φ ∧ t` as `(t, φ)`.
+    Delete(String, String),
+    /// `MODIFY t TO BE ω WHERE φ ∧ t` as `(t, ω, φ)`.
+    Modify(String, String, String),
+    /// `ASSERT φ` as `(φ)`.
+    Assert(String),
+}
+
+/// One journaled operation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum WalRecord {
+    /// `declare_attribute(name)`.
+    DeclareAttribute(String),
+    /// `declare_relation(name, arity)`.
+    DeclareRelation(String, usize),
+    /// `declare_typed_relation(name, attribute names)`.
+    DeclareTypedRelation(String, Vec<String>),
+    /// `add_dependency`, in the portable form of [`DependencyDump`].
+    AddDependency(DependencyDump),
+    /// `load_fact(pred, args)`.
+    LoadFact(String, Vec<String>),
+    /// `load_wff(src)`.
+    LoadWff(String),
+    /// One LDML update in its **effective** (§3.5-widened) form — exactly
+    /// what GUA applied, so recovery replays without re-widening.
+    Apply(UpdateDump),
+    /// Annuls the record at the given LSN: the live database journaled
+    /// the intent but GUA refused the operation, so recovery must skip
+    /// it instead of replaying a state the live system never reached.
+    Abort(u64),
+}
+
+/// A WAL entry: an operation stamped with its log sequence number.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WalEntry {
+    /// Position in the logical log (monotonic across compactions).
+    pub lsn: u64,
+    /// The journaled operation.
+    pub record: WalRecord,
+}
+
+/// The snapshot file: a theory dump plus the LSN it is current through.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WalSnapshot {
+    /// Snapshot format version.
+    pub version: u32,
+    /// Records with `lsn < self.lsn` are already folded into the dump.
+    pub lsn: u64,
+    /// The folded theory.
+    pub theory: TheoryDump,
+}
+
+fn wal_header() -> [u8; 8] {
+    let mut h = [0u8; 8];
+    h[..4].copy_from_slice(&WAL_MAGIC);
+    h[4..].copy_from_slice(&WAL_VERSION.to_le_bytes());
+    h
+}
+
+fn encode_entry(entry: &WalEntry) -> Result<Vec<u8>, DbError> {
+    let payload = serde_json::to_string(entry)
+        .map_err(|e| DbError::Query {
+            message: format!("wal record serialization failed: {e}"),
+        })?
+        .into_bytes();
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    Ok(out)
+}
+
+struct ParsedWal {
+    entries: Vec<WalEntry>,
+    /// `Some(reason)` if the tail was torn or corrupt and records were
+    /// dropped there.
+    truncated: Option<String>,
+}
+
+/// Decodes a WAL image, truncating at the first torn or corrupt record.
+/// Structural damage *before* any record can be read (bad magic, future
+/// version) is an error, not a truncation.
+fn parse_wal(bytes: &[u8]) -> Result<ParsedWal, DbError> {
+    let header = wal_header();
+    if bytes.len() < 8 {
+        return if header.starts_with(bytes) {
+            Ok(ParsedWal {
+                entries: Vec::new(),
+                truncated: Some(format!("wal header torn at byte {}", bytes.len())),
+            })
+        } else {
+            Err(DbError::Corrupt {
+                message: "wal header does not carry the WWAL magic".into(),
+            })
+        };
+    }
+    if bytes[..4] != WAL_MAGIC {
+        return Err(DbError::Corrupt {
+            message: "wal header does not carry the WWAL magic".into(),
+        });
+    }
+    let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    if version == 0 || version > WAL_VERSION {
+        return Err(DbError::UnsupportedVersion {
+            what: "wal",
+            found: version,
+            supported: WAL_VERSION,
+        });
+    }
+    let mut entries = Vec::new();
+    let mut truncated = None;
+    let mut offset = 8usize;
+    let mut prev_lsn: Option<u64> = None;
+    while offset < bytes.len() {
+        let rest = &bytes[offset..];
+        if rest.len() < 8 {
+            truncated = Some(format!("record header torn at offset {offset}"));
+            break;
+        }
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]);
+        let crc = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
+        if len > MAX_RECORD_LEN {
+            truncated = Some(format!(
+                "implausible record length {len} at offset {offset}"
+            ));
+            break;
+        }
+        let len = len as usize;
+        if rest.len() - 8 < len {
+            truncated = Some(format!("record payload torn at offset {offset}"));
+            break;
+        }
+        let payload = &rest[8..8 + len];
+        if crc32(payload) != crc {
+            truncated = Some(format!("checksum mismatch at offset {offset}"));
+            break;
+        }
+        let text = match std::str::from_utf8(payload) {
+            Ok(t) => t,
+            Err(_) => {
+                truncated = Some(format!("non-UTF-8 payload at offset {offset}"));
+                break;
+            }
+        };
+        let entry: WalEntry = match serde_json::from_str(text) {
+            Ok(e) => e,
+            Err(e) => {
+                truncated = Some(format!("undecodable payload at offset {offset}: {e}"));
+                break;
+            }
+        };
+        if let Some(p) = prev_lsn {
+            if entry.lsn != p + 1 {
+                truncated = Some(format!(
+                    "lsn discontinuity at offset {offset}: {} after {p}",
+                    entry.lsn
+                ));
+                break;
+            }
+        }
+        prev_lsn = Some(entry.lsn);
+        entries.push(entry);
+        offset += 8 + len;
+    }
+    Ok(ParsedWal { entries, truncated })
+}
+
+// ----- update rendering -----------------------------------------------------
+
+fn dump_update(u: &Update, t: &Theory) -> UpdateDump {
+    let wff = |w: &Wff| display_wff(w, &t.vocab, &t.atoms).to_string();
+    let atom = |a: AtomId| t.atoms.resolve(a).display(&t.vocab).to_string();
+    match u {
+        Update::Insert { omega, phi } => UpdateDump::Insert(wff(omega), wff(phi)),
+        Update::Delete { t: tt, phi } => UpdateDump::Delete(atom(*tt), wff(phi)),
+        Update::Modify { t: tt, omega, phi } => UpdateDump::Modify(atom(*tt), wff(omega), wff(phi)),
+        Update::Assert { phi } => UpdateDump::Assert(wff(phi)),
+    }
+}
+
+fn parse_wal_wff(src: &str, theory: &mut Theory) -> Result<Wff, DbError> {
+    let mut ctx = ParseContext {
+        vocab: &mut theory.vocab,
+        atoms: &mut theory.atoms,
+        declare: true, // constants may be new to the snapshot
+        allow_predicate_constants: true,
+    };
+    Ok(parse_wff(src, &mut ctx)?)
+}
+
+fn parse_wal_atom(src: &str, theory: &mut Theory) -> Result<AtomId, DbError> {
+    match parse_wal_wff(src, theory)? {
+        Formula::Atom(id) => Ok(id),
+        other => Err(DbError::Corrupt {
+            message: format!("journaled target `{src}` is not an atom: {other:?}"),
+        }),
+    }
+}
+
+fn restore_update(d: &UpdateDump, theory: &mut Theory) -> Result<Update, DbError> {
+    Ok(match d {
+        UpdateDump::Insert(omega, phi) => Update::Insert {
+            omega: parse_wal_wff(omega, theory)?,
+            phi: parse_wal_wff(phi, theory)?,
+        },
+        UpdateDump::Delete(t, phi) => Update::Delete {
+            t: parse_wal_atom(t, theory)?,
+            phi: parse_wal_wff(phi, theory)?,
+        },
+        UpdateDump::Modify(t, omega, phi) => Update::Modify {
+            t: parse_wal_atom(t, theory)?,
+            omega: parse_wal_wff(omega, theory)?,
+            phi: parse_wal_wff(phi, theory)?,
+        },
+        UpdateDump::Assert(phi) => Update::Assert {
+            phi: parse_wal_wff(phi, theory)?,
+        },
+    })
+}
+
+// ----- options, stats, reports ----------------------------------------------
+
+/// When WAL appends are made durable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// fsync after every record: smallest loss window, highest latency.
+    EveryRecord,
+    /// fsync once per `n` records (group commit), and at every explicit
+    /// [`DurableDatabase::sync`] or checkpoint.
+    GroupCommit(usize),
+    /// fsync only on explicit [`DurableDatabase::sync`] and checkpoints.
+    Manual,
+}
+
+/// WAL tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct WalOptions {
+    /// Commit durability policy.
+    pub policy: SyncPolicy,
+    /// Auto-checkpoint when the live store's node count exceeds this
+    /// factor of its count at the last snapshot; `None` disables
+    /// compaction.
+    pub compact_growth_factor: Option<f64>,
+    /// Node floor below which auto-compaction never triggers.
+    pub compact_min_nodes: usize,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        WalOptions {
+            policy: SyncPolicy::EveryRecord,
+            compact_growth_factor: Some(4.0),
+            compact_min_nodes: 256,
+        }
+    }
+}
+
+/// Counters kept by a [`DurableDatabase`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended (aborts included).
+    pub records: u64,
+    /// fsync calls issued.
+    pub syncs: u64,
+    /// Checkpoints taken (explicit and auto-compaction).
+    pub checkpoints: u64,
+    /// Bytes appended to the log.
+    pub bytes_appended: u64,
+}
+
+/// What [`DurableDatabase::open`] found and did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// LSN the snapshot was current through (0 if no snapshot).
+    pub snapshot_lsn: u64,
+    /// Intact records decoded from the WAL.
+    pub records_seen: usize,
+    /// Records replayed into the recovered state.
+    pub replayed: usize,
+    /// Records skipped: already covered by the snapshot, annulled by an
+    /// abort record, or the abort records themselves.
+    pub skipped: usize,
+    /// `Some(reason)` if a torn/corrupt tail was dropped.
+    pub truncated: Option<String>,
+    /// `Some(error)` if replay stopped early at a failing record; the
+    /// recovered state is the longest replayable prefix.
+    pub replay_error: Option<String>,
+    /// Whether `open` took a repair checkpoint (truncation or replay
+    /// error observed) to make the on-storage files consistent again.
+    pub repaired: bool,
+}
+
+// ----- the durable database -------------------------------------------------
+
+/// A [`LogicalDatabase`] whose every state transition is journaled to a
+/// [`Storage`] before GUA applies it, with snapshot-based log compaction
+/// and crash recovery.
+#[derive(Clone, Debug)]
+pub struct DurableDatabase<S: Storage> {
+    db: LogicalDatabase,
+    storage: S,
+    wal_options: WalOptions,
+    next_lsn: u64,
+    snapshot_lsn: u64,
+    unsynced: usize,
+    nodes_at_snapshot: usize,
+    stats: WalStats,
+}
+
+impl<S: Storage> DurableDatabase<S> {
+    /// Opens a durable database on `storage`: recovers if a snapshot or
+    /// WAL is present, otherwise initializes a fresh one. When recovery
+    /// observes a torn tail or a replay error, `open` takes a repair
+    /// checkpoint so the storage is consistent with the recovered state.
+    pub fn open(
+        mut storage: S,
+        db_options: DbOptions,
+        wal_options: WalOptions,
+    ) -> Result<(Self, RecoveryReport), DbError> {
+        let have_snapshot = storage.read(SNAPSHOT_FILE)?.is_some();
+        let wal_missing = storage.read(WAL_FILE)?.is_none();
+        if !have_snapshot && wal_missing {
+            storage.append(WAL_FILE, &wal_header())?;
+            let db = LogicalDatabase::with_options(db_options);
+            let nodes = db.theory().store_nodes();
+            let me = DurableDatabase {
+                db,
+                storage,
+                wal_options,
+                next_lsn: 0,
+                snapshot_lsn: 0,
+                unsynced: 0,
+                nodes_at_snapshot: nodes,
+                stats: WalStats::default(),
+            };
+            return Ok((me, RecoveryReport::default()));
+        }
+        let (db, next_lsn, snapshot_lsn, mut report) = Self::recover(&storage, db_options)?;
+        if wal_missing {
+            // Snapshot-only storage (e.g. the WAL was lost with the
+            // snapshot intact): start a fresh log.
+            storage.append(WAL_FILE, &wal_header())?;
+        }
+        let mut me = DurableDatabase {
+            db,
+            storage,
+            wal_options,
+            next_lsn,
+            snapshot_lsn,
+            unsynced: 0,
+            nodes_at_snapshot: 0,
+            stats: WalStats::default(),
+        };
+        me.nodes_at_snapshot = me.db.theory().store_nodes();
+        if report.truncated.is_some() || report.replay_error.is_some() {
+            me.checkpoint()?;
+            report.repaired = true;
+        }
+        Ok((me, report))
+    }
+
+    /// Loads the snapshot (if any) and replays the WAL suffix through the
+    /// §4 replay path, stopping at the first failing record.
+    fn recover(
+        storage: &S,
+        db_options: DbOptions,
+    ) -> Result<(LogicalDatabase, u64, u64, RecoveryReport), DbError> {
+        let (mut db, snapshot_lsn) = match storage.read(SNAPSHOT_FILE)? {
+            Some(bytes) => {
+                let text = String::from_utf8(bytes).map_err(|e| DbError::Corrupt {
+                    message: format!("snapshot is not UTF-8: {e}"),
+                })?;
+                let snap: WalSnapshot =
+                    serde_json::from_str(&text).map_err(|e| DbError::Corrupt {
+                        message: format!("snapshot does not parse: {e}"),
+                    })?;
+                if snap.version == 0 || snap.version > SNAPSHOT_VERSION {
+                    return Err(DbError::UnsupportedVersion {
+                        what: "wal snapshot",
+                        found: snap.version,
+                        supported: SNAPSHOT_VERSION,
+                    });
+                }
+                let theory = persist::restore_theory(&snap.theory)?;
+                (LogicalDatabase::from_theory(theory, db_options), snap.lsn)
+            }
+            None => (LogicalDatabase::with_options(db_options), 0),
+        };
+        let parsed = match storage.read(WAL_FILE)? {
+            Some(bytes) => parse_wal(&bytes)?,
+            None => ParsedWal {
+                entries: Vec::new(),
+                truncated: None,
+            },
+        };
+        let mut report = RecoveryReport {
+            snapshot_lsn,
+            records_seen: parsed.entries.len(),
+            truncated: parsed.truncated,
+            ..RecoveryReport::default()
+        };
+        let next_lsn = parsed
+            .entries
+            .last()
+            .map(|e| e.lsn + 1)
+            .unwrap_or(0)
+            .max(snapshot_lsn);
+        let aborted: HashSet<u64> = parsed
+            .entries
+            .iter()
+            .filter_map(|e| match e.record {
+                WalRecord::Abort(lsn) => Some(lsn),
+                _ => None,
+            })
+            .collect();
+        for entry in &parsed.entries {
+            if entry.lsn < snapshot_lsn
+                || aborted.contains(&entry.lsn)
+                || matches!(entry.record, WalRecord::Abort(_))
+            {
+                report.skipped += 1;
+                continue;
+            }
+            match Self::replay_entry(&mut db, &entry.record) {
+                Ok(()) => report.replayed += 1,
+                Err(e) => {
+                    report.replay_error = Some(e.to_string());
+                    break;
+                }
+            }
+        }
+        // Replay ran unsimplified (the §4 configuration); fold the store
+        // back down to what the live database would carry.
+        let _ = db.simplify(db_options.simplify);
+        Ok((db, next_lsn, snapshot_lsn, report))
+    }
+
+    fn replay_entry(db: &mut LogicalDatabase, record: &WalRecord) -> Result<(), DbError> {
+        match record {
+            WalRecord::DeclareAttribute(name) => {
+                db.declare_attribute(name)?;
+            }
+            WalRecord::DeclareRelation(name, arity) => {
+                db.declare_relation(name, *arity)?;
+            }
+            WalRecord::DeclareTypedRelation(name, attrs) => {
+                let ids: Result<Vec<PredId>, DbError> = attrs
+                    .iter()
+                    .map(|a| {
+                        db.theory()
+                            .vocab
+                            .find_predicate(a)
+                            .ok_or_else(|| DbError::Corrupt {
+                                message: format!(
+                                    "journaled type axiom references unknown attribute `{a}`"
+                                ),
+                            })
+                    })
+                    .collect();
+                db.declare_typed_relation(name, &ids?)?;
+            }
+            WalRecord::AddDependency(dd) => {
+                let dep = persist::restore_dependency(dd, db.theory_mut())?;
+                db.add_dependency(dep);
+            }
+            WalRecord::LoadFact(pred, args) => {
+                let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+                db.load_fact(pred, &refs)?;
+            }
+            WalRecord::LoadWff(src) => {
+                db.load_wff(src)?;
+            }
+            WalRecord::Apply(ud) => {
+                let u = restore_update(ud, db.theory_mut())?;
+                let theory = replay_updates(db.theory(), std::slice::from_ref(&u))?;
+                let options = db.options();
+                let mut log = std::mem::take(&mut db.log);
+                log.push(u);
+                *db = LogicalDatabase::from_theory(theory, options);
+                db.log = log;
+            }
+            WalRecord::Abort(_) => {}
+        }
+        Ok(())
+    }
+
+    // ----- journaling core --------------------------------------------------
+
+    fn append_entry(&mut self, record: WalRecord) -> Result<u64, DbError> {
+        let lsn = self.next_lsn;
+        let bytes = encode_entry(&WalEntry { lsn, record })?;
+        self.storage.append(WAL_FILE, &bytes)?;
+        self.next_lsn += 1;
+        self.unsynced += 1;
+        self.stats.records += 1;
+        self.stats.bytes_appended += bytes.len() as u64;
+        match self.wal_options.policy {
+            SyncPolicy::EveryRecord => self.sync()?,
+            SyncPolicy::GroupCommit(n) => {
+                if self.unsynced >= n.max(1) {
+                    self.sync()?;
+                }
+            }
+            SyncPolicy::Manual => {}
+        }
+        Ok(lsn)
+    }
+
+    /// Journal `record`, then run `apply` on the inner database. If GUA
+    /// refuses the operation, a compensating [`WalRecord::Abort`] is
+    /// appended (best-effort) so recovery will not replay a state the
+    /// live database never reached; if that append is itself lost in a
+    /// crash, the refused record is the WAL tail and recovery's replay
+    /// stops at the same deterministic error.
+    fn journaled<T>(
+        &mut self,
+        record: WalRecord,
+        apply: impl FnOnce(&mut LogicalDatabase) -> Result<T, DbError>,
+    ) -> Result<T, DbError> {
+        let lsn = self.append_entry(record)?;
+        let before = self.db.clone();
+        match apply(&mut self.db) {
+            Ok(v) => Ok(v),
+            Err(e) => {
+                // GUA's apply is not atomic in memory (a store-capacity
+                // error can strike mid-step), so restore the pre-intent
+                // state: live and recovered views must agree.
+                self.db = before;
+                if self.append_entry(WalRecord::Abort(lsn)).is_ok() {
+                    let _ = self.sync();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn maybe_compact(&mut self) -> Result<(), DbError> {
+        let Some(factor) = self.wal_options.compact_growth_factor else {
+            return Ok(());
+        };
+        let nodes = self.db.theory().store_nodes();
+        if nodes >= self.wal_options.compact_min_nodes
+            && nodes as f64 >= factor * self.nodes_at_snapshot.max(1) as f64
+        {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    // ----- public API -------------------------------------------------------
+
+    /// Declares a unary attribute predicate (journaled).
+    pub fn declare_attribute(&mut self, name: &str) -> Result<PredId, DbError> {
+        self.journaled(WalRecord::DeclareAttribute(name.to_string()), |db| {
+            db.declare_attribute(name)
+        })
+    }
+
+    /// Declares an untyped relation (journaled).
+    pub fn declare_relation(&mut self, name: &str, arity: usize) -> Result<PredId, DbError> {
+        self.journaled(WalRecord::DeclareRelation(name.to_string(), arity), |db| {
+            db.declare_relation(name, arity)
+        })
+    }
+
+    /// Declares a relation with a type axiom (journaled).
+    pub fn declare_typed_relation(
+        &mut self,
+        name: &str,
+        attrs: &[PredId],
+    ) -> Result<PredId, DbError> {
+        let attr_names: Vec<String> = attrs
+            .iter()
+            .map(|a| self.db.theory().vocab.predicate(*a).name.clone())
+            .collect();
+        self.journaled(
+            WalRecord::DeclareTypedRelation(name.to_string(), attr_names),
+            |db| db.declare_typed_relation(name, attrs),
+        )
+    }
+
+    /// Adds a dependency axiom (journaled).
+    pub fn add_dependency(&mut self, dep: Dependency) -> Result<(), DbError> {
+        let dump = persist::dump_dependency(&dep, self.db.theory());
+        self.journaled(WalRecord::AddDependency(dump), move |db| {
+            db.add_dependency(dep);
+            Ok(())
+        })
+    }
+
+    /// Loads a ground fact as certainly true (journaled).
+    pub fn load_fact(&mut self, pred: &str, args: &[&str]) -> Result<AtomId, DbError> {
+        let record = WalRecord::LoadFact(
+            pred.to_string(),
+            args.iter().map(|s| s.to_string()).collect(),
+        );
+        self.journaled(record, |db| db.load_fact(pred, args))
+    }
+
+    /// Loads an arbitrary ground wff into the initial state (journaled).
+    pub fn load_wff(&mut self, src: &str) -> Result<(), DbError> {
+        self.journaled(WalRecord::LoadWff(src.to_string()), |db| db.load_wff(src))
+    }
+
+    /// Parses and executes one LDML statement, journaling its effective
+    /// (widened) form before GUA applies it.
+    pub fn execute(&mut self, src: &str) -> Result<UpdateReport, DbError> {
+        let parsed = self.db.parse_update(src)?;
+        self.update(&parsed)
+    }
+
+    /// Executes an update AST, journaling its effective (widened) form
+    /// before GUA applies it.
+    pub fn update(&mut self, update: &Update) -> Result<UpdateReport, DbError> {
+        let effective = self.db.effective_update(update);
+        {
+            let t = self.db.theory();
+            effective.validate(&t.vocab, &t.atoms)?;
+        }
+        let dump = dump_update(&effective, self.db.theory());
+        let report = self.journaled(WalRecord::Apply(dump), move |db| {
+            db.apply_effective(&effective)
+        })?;
+        self.maybe_compact()?;
+        Ok(report)
+    }
+
+    /// Durably flushes all appended records (a group-commit sync point).
+    pub fn sync(&mut self) -> Result<(), DbError> {
+        if self.unsynced > 0 {
+            self.storage.sync(WAL_FILE)?;
+            self.stats.syncs += 1;
+            self.unsynced = 0;
+        }
+        Ok(())
+    }
+
+    /// Takes a snapshot of the current theory and resets the log: the
+    /// compaction step. Crash-safe in every window — the snapshot is
+    /// replaced atomically and carries the LSN through which it is
+    /// current, so an old WAL alongside a new snapshot merely replays
+    /// zero records.
+    pub fn checkpoint(&mut self) -> Result<(), DbError> {
+        self.sync()?;
+        let snap = WalSnapshot {
+            version: SNAPSHOT_VERSION,
+            lsn: self.next_lsn,
+            theory: persist::dump_theory(self.db.theory()),
+        };
+        let json = serde_json::to_string(&snap).map_err(|e| DbError::Query {
+            message: format!("snapshot serialization failed: {e}"),
+        })?;
+        self.storage.replace(SNAPSHOT_FILE, json.as_bytes())?;
+        self.storage.replace(WAL_FILE, &wal_header())?;
+        self.snapshot_lsn = self.next_lsn;
+        self.unsynced = 0;
+        self.nodes_at_snapshot = self.db.theory().store_nodes();
+        self.stats.checkpoints += 1;
+        Ok(())
+    }
+
+    /// The inner database, read-only.
+    pub fn db(&self) -> &LogicalDatabase {
+        &self.db
+    }
+
+    /// The inner database, mutable — **for queries only** (textual query
+    /// paths intern atoms and need `&mut`). Mutating state through this
+    /// handle bypasses the journal and will not survive recovery.
+    pub fn db_mut(&mut self) -> &mut LogicalDatabase {
+        &mut self.db
+    }
+
+    /// WAL counters.
+    pub fn stats(&self) -> WalStats {
+        self.stats
+    }
+
+    /// The LSN the next record will carry.
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// The LSN the on-storage snapshot is current through.
+    pub fn snapshot_lsn(&self) -> u64 {
+        self.snapshot_lsn
+    }
+
+    /// The storage, read-only.
+    pub fn storage(&self) -> &S {
+        &self.storage
+    }
+
+    /// Consumes the database, returning the storage (fault-injection
+    /// tests recover from the survivor of a crashed instance).
+    pub fn into_storage(self) -> S {
+        self.storage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use winslett_gua::SimplifyLevel;
+
+    fn opts_nocompact() -> WalOptions {
+        WalOptions {
+            policy: SyncPolicy::EveryRecord,
+            compact_growth_factor: None,
+            compact_min_nodes: 0,
+        }
+    }
+
+    fn world_set(db: &LogicalDatabase) -> BTreeSet<Vec<String>> {
+        db.world_names().unwrap().into_iter().collect()
+    }
+
+    /// Opens a fresh MemStorage database with the paper's Orders/InStock
+    /// schema journaled, plus two facts.
+    fn seeded(wal_options: WalOptions) -> DurableDatabase<MemStorage> {
+        let (mut ddb, report) =
+            DurableDatabase::open(MemStorage::new(), DbOptions::default(), wal_options).unwrap();
+        assert_eq!(report, RecoveryReport::default());
+        ddb.declare_relation("Orders", 3).unwrap();
+        ddb.declare_relation("InStock", 2).unwrap();
+        ddb.load_fact("Orders", &["700", "32", "9"]).unwrap();
+        ddb.load_fact("InStock", &["32", "1"]).unwrap();
+        ddb
+    }
+
+    fn reopen(storage: MemStorage) -> (DurableDatabase<MemStorage>, RecoveryReport) {
+        DurableDatabase::open(storage, DbOptions::default(), opts_nocompact()).unwrap()
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn entry_roundtrip_through_wire_format() {
+        let entry = WalEntry {
+            lsn: 7,
+            record: WalRecord::Apply(UpdateDump::Modify(
+                "Orders(700,32,9)".into(),
+                "Orders(700,32,1)".into(),
+                "InStock(32,1)".into(),
+            )),
+        };
+        let mut bytes = wal_header().to_vec();
+        bytes.extend_from_slice(&encode_entry(&entry).unwrap());
+        let parsed = parse_wal(&bytes).unwrap();
+        assert!(parsed.truncated.is_none());
+        assert_eq!(parsed.entries.len(), 1);
+        assert_eq!(parsed.entries[0].lsn, 7);
+        match &parsed.entries[0].record {
+            WalRecord::Apply(UpdateDump::Modify(t, o, p)) => {
+                assert_eq!(t, "Orders(700,32,9)");
+                assert_eq!(o, "Orders(700,32,1)");
+                assert_eq!(p, "InStock(32,1)");
+            }
+            other => panic!("wrong record: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reopen_recovers_schema_facts_and_updates() {
+        let mut ddb = seeded(opts_nocompact());
+        ddb.execute("MODIFY Orders(700,32,9) TO BE Orders(700,32,1) WHERE InStock(32,1)")
+            .unwrap();
+        ddb.execute("INSERT Orders(100,32,1) | Orders(100,32,7) WHERE T")
+            .unwrap();
+        let live = world_set(ddb.db());
+        assert!(live.len() > 1); // the disjunctive insert branched
+        let (recovered, report) = reopen(ddb.into_storage());
+        assert_eq!(world_set(recovered.db()), live);
+        assert_eq!(report.replayed, 6); // 2 declares + 2 facts + 2 updates
+        assert_eq!(report.truncated, None);
+        assert_eq!(report.replay_error, None);
+        assert!(!report.repaired);
+    }
+
+    #[test]
+    fn appends_after_reopen_continue_the_log() {
+        let mut ddb = seeded(opts_nocompact());
+        ddb.execute("DELETE Orders(700,32,9) WHERE T").unwrap();
+        let (mut ddb2, _) = reopen(ddb.into_storage());
+        ddb2.execute("INSERT InStock(33,5) WHERE T").unwrap();
+        let live = world_set(ddb2.db());
+        let (recovered, report) = reopen(ddb2.into_storage());
+        assert_eq!(world_set(recovered.db()), live);
+        assert_eq!(report.records_seen, 6);
+        assert_eq!(report.replayed, 6);
+    }
+
+    #[test]
+    fn checkpoint_folds_log_into_snapshot() {
+        let mut ddb = seeded(opts_nocompact());
+        ddb.execute("DELETE Orders(700,32,9) WHERE T").unwrap();
+        ddb.checkpoint().unwrap();
+        ddb.execute("INSERT Orders(800,32,5) WHERE T").unwrap();
+        let live = world_set(ddb.db());
+        assert_eq!(ddb.stats().checkpoints, 1);
+        let (recovered, report) = reopen(ddb.into_storage());
+        assert_eq!(world_set(recovered.db()), live);
+        assert_eq!(report.snapshot_lsn, 5);
+        assert_eq!(report.records_seen, 1); // only the post-checkpoint update
+        assert_eq!(report.replayed, 1);
+    }
+
+    #[test]
+    fn old_wal_alongside_new_snapshot_is_skipped() {
+        // Simulates a crash between snapshot replace and WAL reset: the
+        // snapshot is current but the log still holds folded records.
+        let mut ddb = seeded(opts_nocompact());
+        ddb.execute("DELETE Orders(700,32,9) WHERE T").unwrap();
+        let wal_before = ddb.storage().get(WAL_FILE).unwrap().clone();
+        ddb.checkpoint().unwrap();
+        let live = world_set(ddb.db());
+        let mut storage = ddb.into_storage();
+        storage.put(WAL_FILE, wal_before); // undo the WAL reset only
+        let (recovered, report) = reopen(storage);
+        assert_eq!(world_set(recovered.db()), live);
+        assert_eq!(report.records_seen, 5);
+        assert_eq!(report.replayed, 0);
+        assert_eq!(report.skipped, 5);
+    }
+
+    #[test]
+    fn empty_wal_recovers_to_empty_database() {
+        let (ddb, _) =
+            DurableDatabase::open(MemStorage::new(), DbOptions::default(), opts_nocompact())
+                .unwrap();
+        let (recovered, report) = reopen(ddb.into_storage());
+        assert_eq!(report.records_seen, 0);
+        assert_eq!(report.replayed, 0);
+        assert!(!report.repaired);
+        assert_eq!(world_set(recovered.db()).len(), 1); // the one empty world
+    }
+
+    #[test]
+    fn snapshot_only_storage_recovers() {
+        let mut ddb = seeded(opts_nocompact());
+        ddb.execute("DELETE Orders(700,32,9) WHERE T").unwrap();
+        ddb.checkpoint().unwrap();
+        let live = world_set(ddb.db());
+        let mut storage = ddb.into_storage();
+        storage.remove(WAL_FILE); // the log is lost; the snapshot survives
+        let (recovered, report) = reopen(storage);
+        assert_eq!(world_set(recovered.db()), live);
+        assert_eq!(report.records_seen, 0);
+        assert!(!report.repaired);
+        // And the reopened database can keep journaling.
+        let mut recovered = recovered;
+        recovered.execute("INSERT InStock(40,1) WHERE T").unwrap();
+        let live2 = world_set(recovered.db());
+        let (again, _) = reopen(recovered.into_storage());
+        assert_eq!(world_set(again.db()), live2);
+    }
+
+    #[test]
+    fn torn_trailing_record_is_truncated_and_repaired() {
+        let mut ddb = seeded(opts_nocompact());
+        ddb.execute("DELETE Orders(700,32,9) WHERE T").unwrap();
+        let before = world_set(ddb.db());
+        ddb.execute("INSERT Orders(900,40,1) WHERE T").unwrap();
+        let mut storage = ddb.into_storage();
+        // Tear the final record: drop its last 3 bytes.
+        let mut wal = storage.get(WAL_FILE).unwrap().clone();
+        let n = wal.len();
+        wal.truncate(n - 3);
+        storage.put(WAL_FILE, wal);
+        let (recovered, report) = reopen(storage);
+        assert_eq!(world_set(recovered.db()), before); // last update dropped
+        assert!(report.truncated.is_some(), "{report:?}");
+        assert!(report.repaired);
+        // The repair checkpoint made storage clean: reopening is quiet.
+        let (again, report2) = reopen(recovered.into_storage());
+        assert_eq!(report2.truncated, None);
+        assert!(!report2.repaired);
+        assert_eq!(world_set(again.db()), before);
+    }
+
+    #[test]
+    fn mid_file_checksum_damage_truncates_the_suffix() {
+        let mut ddb = seeded(opts_nocompact());
+        let after_schema = world_set(ddb.db());
+        let wal_schema_only = ddb.storage().get(WAL_FILE).unwrap().clone();
+        ddb.execute("DELETE Orders(700,32,9) WHERE T").unwrap();
+        let mut storage = ddb.into_storage();
+        let mut wal = storage.get(WAL_FILE).unwrap().clone();
+        // Flip one payload byte in the first post-schema record.
+        wal[wal_schema_only.len() + 10] ^= 0x01;
+        storage.put(WAL_FILE, wal);
+        let (recovered, report) = reopen(storage);
+        assert!(report
+            .truncated
+            .as_deref()
+            .unwrap()
+            .contains("checksum mismatch"));
+        assert_eq!(world_set(recovered.db()), after_schema);
+    }
+
+    #[test]
+    fn replay_error_mid_suffix_keeps_the_prefix() {
+        // Hand-build a WAL whose third update is refused by GUA (it
+        // mentions a predicate constant, which §3.1 excludes from L′):
+        // recovery must keep the two-record prefix and report the error.
+        let mut storage = MemStorage::new();
+        storage.append(WAL_FILE, &wal_header()).unwrap();
+        let records = [
+            WalRecord::DeclareRelation("R".into(), 1),
+            WalRecord::Apply(UpdateDump::Insert("R(a)".into(), "T".into())),
+            WalRecord::Apply(UpdateDump::Insert("__pc_bad".into(), "T".into())),
+            WalRecord::Apply(UpdateDump::Insert("R(b)".into(), "T".into())),
+        ];
+        for (lsn, record) in records.into_iter().enumerate() {
+            let entry = WalEntry {
+                lsn: lsn as u64,
+                record,
+            };
+            storage
+                .append(WAL_FILE, &encode_entry(&entry).unwrap())
+                .unwrap();
+        }
+        let (recovered, report) = reopen(storage);
+        assert!(report.replay_error.is_some(), "{report:?}");
+        assert_eq!(report.replayed, 2);
+        assert!(report.repaired);
+        let mut db = recovered;
+        assert!(db.db_mut().is_certain("R(a)").unwrap());
+        // The constant `b` never arrived: the suffix was not replayed.
+        assert!(db.db_mut().is_possible("R(b)").is_err());
+    }
+
+    #[test]
+    fn refused_update_is_annulled_by_an_abort_record() {
+        let mut ddb = seeded(opts_nocompact());
+        // Choke the formula store so GUA fails *after* the intent was
+        // journaled — the compensation path.
+        let len = ddb.db().theory().store.len() as u32;
+        ddb.db_mut().theory_mut().store.set_capacity(u32::MAX, len);
+        let err = ddb.execute("INSERT Orders(800,32,5) WHERE T");
+        assert!(err.is_err());
+        let live = world_set(ddb.db());
+        // Lift the cap and keep going; the aborted record must not be
+        // replayed on recovery.
+        ddb.db_mut()
+            .theory_mut()
+            .store
+            .set_capacity(u32::MAX, u32::MAX);
+        ddb.execute("DELETE Orders(700,32,9) WHERE T").unwrap();
+        let live2 = world_set(ddb.db());
+        assert_ne!(live, live2);
+        let (recovered, report) = reopen(ddb.into_storage());
+        assert_eq!(world_set(recovered.db()), live2);
+        assert_eq!(report.replay_error, None);
+        assert!(report.skipped >= 2); // the refused record and its abort
+    }
+
+    #[test]
+    fn auto_compaction_triggers_on_store_growth() {
+        let wal_options = WalOptions {
+            policy: SyncPolicy::GroupCommit(4),
+            compact_growth_factor: Some(1.1),
+            compact_min_nodes: 1,
+        };
+        let mut ddb = seeded(wal_options);
+        for i in 0..6 {
+            ddb.execute(&format!("INSERT InStock({}, {}) WHERE T", 50 + i, i))
+                .unwrap();
+        }
+        assert!(ddb.stats().checkpoints >= 1, "{:?}", ddb.stats());
+        let live = world_set(ddb.db());
+        let (recovered, _) = reopen(ddb.into_storage());
+        assert_eq!(world_set(recovered.db()), live);
+    }
+
+    #[test]
+    fn group_commit_syncs_less_often() {
+        let every = seeded(opts_nocompact());
+        let grouped = seeded(WalOptions {
+            policy: SyncPolicy::GroupCommit(8),
+            compact_growth_factor: None,
+            compact_min_nodes: 0,
+        });
+        assert_eq!(every.stats().records, grouped.stats().records);
+        assert!(every.stats().syncs > grouped.stats().syncs);
+        let mut grouped = grouped;
+        grouped.sync().unwrap(); // the explicit sync point flushes
+        assert_eq!(grouped.stats().syncs, 1);
+    }
+
+    #[test]
+    fn bad_magic_is_corrupt_not_truncated() {
+        let mut storage = MemStorage::new();
+        storage.put(WAL_FILE, b"NOPE0000".to_vec());
+        let err =
+            DurableDatabase::open(storage, DbOptions::default(), opts_nocompact()).unwrap_err();
+        assert!(matches!(err, DbError::Corrupt { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn future_wal_version_rejected() {
+        let mut storage = MemStorage::new();
+        let mut header = wal_header().to_vec();
+        header[4..].copy_from_slice(&99u32.to_le_bytes());
+        storage.put(WAL_FILE, header);
+        let err =
+            DurableDatabase::open(storage, DbOptions::default(), opts_nocompact()).unwrap_err();
+        assert_eq!(
+            err,
+            DbError::UnsupportedVersion {
+                what: "wal",
+                found: 99,
+                supported: WAL_VERSION,
+            }
+        );
+    }
+
+    #[test]
+    fn future_snapshot_version_rejected() {
+        let mut ddb = seeded(opts_nocompact());
+        ddb.checkpoint().unwrap();
+        let mut storage = ddb.into_storage();
+        let snap = String::from_utf8(storage.get(SNAPSHOT_FILE).unwrap().clone()).unwrap();
+        let snap = snap.replacen("\"version\":1", "\"version\":42", 1);
+        storage.put(SNAPSHOT_FILE, snap.into_bytes());
+        let err =
+            DurableDatabase::open(storage, DbOptions::default(), opts_nocompact()).unwrap_err();
+        assert_eq!(
+            err,
+            DbError::UnsupportedVersion {
+                what: "wal snapshot",
+                found: 42,
+                supported: SNAPSHOT_VERSION,
+            }
+        );
+    }
+
+    #[test]
+    fn widening_is_journaled_not_reapplied() {
+        // The journaled form is the §3.5-widened update; recovery must
+        // reach the same worlds without widening twice.
+        let (mut ddb, _) =
+            DurableDatabase::open(MemStorage::new(), DbOptions::default(), opts_nocompact())
+                .unwrap();
+        let part = ddb.declare_attribute("PartNo").unwrap();
+        let quan = ddb.declare_attribute("Quan").unwrap();
+        ddb.declare_typed_relation("InStock", &[part, quan])
+            .unwrap();
+        ddb.execute("INSERT InStock(32,5) WHERE T").unwrap();
+        assert!(ddb.db().is_consistent());
+        let live = world_set(ddb.db());
+        let (recovered, report) = reopen(ddb.into_storage());
+        assert_eq!(report.replay_error, None);
+        assert_eq!(world_set(recovered.db()), live);
+        let mut recovered = recovered;
+        assert!(recovered.db_mut().is_certain("PartNo(32)").unwrap());
+    }
+
+    #[test]
+    fn dependencies_and_wffs_are_journaled() {
+        let (mut ddb, _) =
+            DurableDatabase::open(MemStorage::new(), DbOptions::default(), opts_nocompact())
+                .unwrap();
+        let p = ddb.declare_relation("Price", 2).unwrap();
+        ddb.add_dependency(Dependency::functional("price-fd", p, 2, &[0]).unwrap())
+            .unwrap();
+        ddb.load_wff("Price(widget,10) | Price(widget,12)").unwrap();
+        let live = world_set(ddb.db());
+        let (recovered, report) = reopen(ddb.into_storage());
+        assert_eq!(report.replay_error, None);
+        assert_eq!(world_set(recovered.db()), live);
+        assert_eq!(recovered.db().theory().deps.len(), 1);
+        // The restored FD still bites: a second price for the same part
+        // violates it in every world (rule 3 weeds them all out).
+        let mut recovered = recovered;
+        recovered
+            .execute("INSERT Price(widget,11) WHERE T")
+            .unwrap();
+        assert!(!recovered.db().is_consistent());
+    }
+
+    #[test]
+    fn dir_storage_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("winslett-wal-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let storage = DirStorage::new(&dir).unwrap();
+        let (mut ddb, _) =
+            DurableDatabase::open(storage, DbOptions::default(), opts_nocompact()).unwrap();
+        ddb.declare_relation("R", 1).unwrap();
+        ddb.execute("INSERT R(a) | R(b) WHERE T").unwrap();
+        ddb.checkpoint().unwrap();
+        ddb.execute("ASSERT R(a)").unwrap();
+        let live = world_set(ddb.db());
+        drop(ddb);
+        let storage = DirStorage::new(&dir).unwrap();
+        let (recovered, report) =
+            DurableDatabase::open(storage, DbOptions::default(), opts_nocompact()).unwrap();
+        assert_eq!(report.replay_error, None);
+        assert_eq!(world_set(recovered.db()), live);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_simplifies_to_live_size_class() {
+        let mut ddb = seeded(WalOptions {
+            policy: SyncPolicy::Manual,
+            compact_growth_factor: None,
+            compact_min_nodes: 0,
+        });
+        for i in 0..4 {
+            ddb.execute(&format!("DELETE Orders(700,32,9) WHERE InStock(32,{i})"))
+                .unwrap();
+        }
+        ddb.sync().unwrap();
+        let live_nodes = ddb.db().theory().store_nodes();
+        let (recovered, _) = DurableDatabase::open(
+            ddb.into_storage(),
+            DbOptions {
+                simplify: SimplifyLevel::Fast,
+                ..DbOptions::default()
+            },
+            opts_nocompact(),
+        )
+        .unwrap();
+        // Replay runs unsimplified; the post-recovery pass folds the
+        // store back to the same order of magnitude as the live run.
+        assert!(
+            recovered.db().theory().store_nodes() <= live_nodes.max(1) * 4,
+            "recovered {} vs live {}",
+            recovered.db().theory().store_nodes(),
+            live_nodes
+        );
+    }
+}

@@ -303,7 +303,7 @@ impl GuaEngine {
         for &f in &all_atoms {
             if !self.theory.registry.is_registered(f) {
                 self.theory.register_atom(f);
-                self.theory.store.insert(&Wff::Atom(f).not());
+                self.theory.store.try_insert(&Wff::Atom(f).not())?;
                 report.completion_added += 1;
                 self.note(|t| {
                     format!(
@@ -327,7 +327,7 @@ impl GuaEngine {
                     let aa = self.theory.atoms.intern(GroundAtom::new(attr, &[c]));
                     if !self.theory.registry.is_registered(aa) {
                         self.theory.register_atom(aa);
-                        self.theory.store.insert(&Wff::Atom(aa).not());
+                        self.theory.store.try_insert(&Wff::Atom(aa).not())?;
                         report.completion_added += 1;
                     }
                 }
@@ -369,7 +369,7 @@ impl GuaEngine {
             .collect();
         for (form, phi_renamed) in forms.iter().zip(phis_renamed.iter()) {
             let wff = Wff::implies(phi_renamed.clone(), form.omega.clone());
-            self.theory.store.insert(&wff);
+            self.theory.store.try_insert(&wff)?;
             self.note(|t| {
                 format!(
                     "Step 3: added (φ)σ → ω:  {}",
@@ -394,7 +394,7 @@ impl GuaEngine {
                 .map(|f| Wff::iff(Wff::Atom(*f), Wff::Atom(sigma[f])))
                 .collect();
             let wff = Wff::implies(fired.not(), Wff::And(frame));
-            self.theory.store.insert(&wff);
+            self.theory.store.try_insert(&wff)?;
             self.note(|t| {
                 format!(
                     "Step 4: added frame formula ¬(φ)σ → ⋀(f ↔ p_f):  {}",
@@ -413,13 +413,13 @@ impl GuaEngine {
                     &this_omega_atoms,
                     &mut report,
                     &mut step567_atoms,
-                );
+                )?;
             }
         }
         if !self.theory.deps.is_empty() {
-            self.step6(&omega_atoms, &mut report, &mut step567_atoms);
+            self.step6(&omega_atoms, &mut report, &mut step567_atoms)?;
         }
-        self.step7(&step567_atoms, &mut report);
+        self.step7(&step567_atoms, &mut report)?;
 
         // ---- §4: simplification (amortized via growth threshold) ----------
         if self.options.simplify != SimplifyLevel::None {
@@ -450,7 +450,7 @@ impl GuaEngine {
         omega_atoms: &[AtomId],
         report: &mut UpdateReport,
         new_atoms: &mut Vec<AtomId>,
-    ) {
+    ) -> Result<(), GuaError> {
         let omega_conjuncts = positive_conjuncts(omega);
 
         // Case (1): P(c⃗) ∈ ω whose attribute atoms are not all guaranteed
@@ -469,7 +469,7 @@ impl GuaEngine {
             });
             if !all_guaranteed {
                 if let Some(inst) = self.theory.type_axiom_instance(f) {
-                    self.add_axiom_instance(inst, new_atoms, &mut report.type_instances);
+                    self.add_axiom_instance(inst, new_atoms, &mut report.type_instances)?;
                 }
             }
         }
@@ -496,11 +496,12 @@ impl GuaEngine {
                     .any(|(&attr, &arg)| attr == ga.pred && arg == c);
                 if uses_attr_at_c {
                     if let Some(inst) = self.theory.type_axiom_instance(tuple) {
-                        self.add_axiom_instance(inst, new_atoms, &mut report.type_instances);
+                        self.add_axiom_instance(inst, new_atoms, &mut report.type_instances)?;
                     }
                 }
             }
         }
+        Ok(())
     }
 
     /// Step 6: instantiate dependency axioms triggered by updated atoms.
@@ -509,25 +510,26 @@ impl GuaEngine {
         omega_atoms: &[AtomId],
         report: &mut UpdateReport,
         new_atoms: &mut Vec<AtomId>,
-    ) {
+    ) -> Result<(), GuaError> {
         let deps = self.theory.deps.clone();
         for dep in &deps {
             for &f in omega_atoms {
                 let insts = dep.instantiate(&self.theory.registry, &mut self.theory.atoms, Some(f));
                 for inst in insts {
-                    self.add_axiom_instance(inst, new_atoms, &mut report.dep_instances);
+                    self.add_axiom_instance(inst, new_atoms, &mut report.dep_instances)?;
                 }
             }
         }
+        Ok(())
     }
 
     /// Step 7: completion-axiom upkeep for atoms first introduced by Steps
     /// 5–6, including attribute atoms for their constants.
-    fn step7(&mut self, new_atoms: &[AtomId], report: &mut UpdateReport) {
+    fn step7(&mut self, new_atoms: &[AtomId], report: &mut UpdateReport) -> Result<(), GuaError> {
         for &a in new_atoms {
             if !self.theory.registry.is_registered(a) {
                 self.theory.register_atom(a);
-                self.theory.store.insert(&Wff::Atom(a).not());
+                self.theory.store.try_insert(&Wff::Atom(a).not())?;
                 report.completion_added += 1;
             }
             // Attribute completion for the constants of typed tuples.
@@ -538,18 +540,24 @@ impl GuaEngine {
                     let aa = self.theory.atoms.intern(GroundAtom::new(attr, &[c]));
                     if !self.theory.registry.is_registered(aa) {
                         self.theory.register_atom(aa);
-                        self.theory.store.insert(&Wff::Atom(aa).not());
+                        self.theory.store.try_insert(&Wff::Atom(aa).not())?;
                         report.completion_added += 1;
                     }
                 }
             }
         }
+        Ok(())
     }
 
-    fn add_axiom_instance(&mut self, inst: Wff, new_atoms: &mut Vec<AtomId>, counter: &mut usize) {
+    fn add_axiom_instance(
+        &mut self,
+        inst: Wff,
+        new_atoms: &mut Vec<AtomId>,
+        counter: &mut usize,
+    ) -> Result<(), GuaError> {
         if self.instantiated.insert(inst.clone()) {
             new_atoms.extend(inst.atom_set());
-            self.theory.store.insert(&inst);
+            self.theory.store.try_insert(&inst)?;
             *counter += 1;
             self.note(|t| {
                 format!(
@@ -558,6 +566,7 @@ impl GuaEngine {
                 )
             });
         }
+        Ok(())
     }
 
     /// Runs a standalone simplification pass (beyond the automatic

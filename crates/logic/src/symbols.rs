@@ -181,6 +181,21 @@ impl Vocabulary {
             .map(|(i, p)| (PredId(i as u32), p))
     }
 
+    /// The current value of the fresh-name counter (the `N` of the next
+    /// `__pN…` predicate constant to be minted). Persisted by the dump
+    /// format of `winslett-core` so a restored theory keeps minting names
+    /// disjoint from every name the saved theory ever used — including
+    /// names freed by simplification, which no longer appear in the dump.
+    pub fn fresh_counter(&self) -> u64 {
+        self.fresh_counter
+    }
+
+    /// Raises the fresh-name counter to at least `n`. Used on restore; the
+    /// counter never moves backwards.
+    pub fn bump_fresh_counter_to(&mut self, n: u64) {
+        self.fresh_counter = self.fresh_counter.max(n);
+    }
+
     /// Mints a brand-new 0-ary predicate constant, guaranteed not to clash
     /// with any existing predicate. Used by GUA Step 2.
     pub fn fresh_predicate_constant(&mut self) -> PredId {

@@ -57,6 +57,15 @@ pub enum TheoryError {
         /// Description of the violated axiom instance.
         axiom: String,
     },
+    /// The formula store ran out of dense `u32` identifier space (slots or
+    /// formula handles). Formerly a panic; surfaced as a typed error so a
+    /// long-lived server can refuse the write instead of aborting.
+    StoreCapacity {
+        /// Which table overflowed: `"slots"` or `"formulas"`.
+        what: &'static str,
+        /// The identifier limit that was hit.
+        limit: u64,
+    },
     /// An error bubbled up from the logic kernel.
     Logic(winslett_logic::LogicError),
 }
@@ -95,6 +104,10 @@ impl fmt::Display for TheoryError {
             TheoryError::AxiomsNotRedundant { axiom } => write!(
                 f,
                 "type/dependency axioms are not redundant: models violate `{axiom}`"
+            ),
+            TheoryError::StoreCapacity { what, limit } => write!(
+                f,
+                "formula store capacity exceeded: {what} table is full (limit {limit})"
             ),
             TheoryError::Logic(e) => write!(f, "{e}"),
         }

@@ -18,6 +18,7 @@
 //! predicate constant `p_f` is a single table write — O(1) regardless of
 //! how many occurrences `f` has.
 
+use crate::error::TheoryError;
 use rustc_hash::FxHashMap;
 use smallvec::SmallVec;
 use winslett_logic::{AtomId, Formula, Wff};
@@ -72,6 +73,11 @@ pub struct FormulaStore {
     live_nodes: usize,
     /// Number of live formulas.
     live_count: usize,
+    /// Identifier-space ceilings (`u32::MAX` unless lowered). Lowering them
+    /// makes the [`FormulaStore::try_insert`] capacity errors reachable in
+    /// tests and lets an operator quota a tenant's store.
+    max_slots: Option<u32>,
+    max_formulas: Option<u32>,
 }
 
 impl FormulaStore {
@@ -96,13 +102,31 @@ impl FormulaStore {
         self.live_nodes
     }
 
+    /// Lowers the identifier-space ceilings. Inserts that would need a slot
+    /// or formula id at or beyond a ceiling fail with
+    /// [`TheoryError::StoreCapacity`] instead of allocating. Used by tests
+    /// to make the (otherwise ~4-billion-insert) overflow path reachable,
+    /// and available to deployments that quota per-database growth.
+    pub fn set_capacity(&mut self, max_slots: u32, max_formulas: u32) {
+        self.max_slots = Some(max_slots);
+        self.max_formulas = Some(max_formulas);
+    }
+
+    fn slot_ceiling(&self) -> u64 {
+        self.max_slots.map_or(u64::from(u32::MAX), u64::from)
+    }
+
+    fn formula_ceiling(&self) -> u64 {
+        self.max_formulas.map_or(u64::from(u32::MAX), u64::from)
+    }
+
     fn slot_for(&mut self, atom: AtomId) -> SlotId {
         if let Some(list) = self.atom_slots.get(&atom) {
             if let Some(&s) = list.first() {
                 return s;
             }
         }
-        let s = SlotId(u32::try_from(self.slots.len()).expect("slot overflow"));
+        let s = SlotId(u32::try_from(self.slots.len()).expect("checked by try_insert"));
         self.slots.push(atom);
         self.slot_occurrences.push(0);
         self.atom_slots.entry(atom).or_default().push(s);
@@ -110,14 +134,47 @@ impl FormulaStore {
     }
 
     /// Inserts a wff, returning its handle.
+    ///
+    /// Panics if the store's identifier space is exhausted; fallible
+    /// callers (the GUA update path) use [`FormulaStore::try_insert`].
     pub fn insert(&mut self, wff: &Wff) -> FormulaId {
+        self.try_insert(wff)
+            .unwrap_or_else(|e| panic!("formula store insert failed: {e}"))
+    }
+
+    /// Inserts a wff, returning its handle — or a typed
+    /// [`TheoryError::StoreCapacity`] if the insert would exhaust the
+    /// `u32` slot or formula identifier space (or a configured quota)
+    /// rather than panicking mid-update.
+    pub fn try_insert(&mut self, wff: &Wff) -> Result<FormulaId, TheoryError> {
+        // Capacity is checked up front so a failed insert allocates
+        // nothing: the slot table must fit every atom of `wff` that does
+        // not already have a live binding, and the formula table one more
+        // entry.
+        if self.formulas.len() as u64 >= self.formula_ceiling() {
+            return Err(TheoryError::StoreCapacity {
+                what: "formulas",
+                limit: self.formula_ceiling(),
+            });
+        }
+        let new_slots = wff
+            .atom_set()
+            .into_iter()
+            .filter(|a| !self.atom_slots.contains_key(a))
+            .count() as u64;
+        if self.slots.len() as u64 + new_slots > self.slot_ceiling() {
+            return Err(TheoryError::StoreCapacity {
+                what: "slots",
+                limit: self.slot_ceiling(),
+            });
+        }
         let body = wff.map_atoms(&mut |a: &AtomId| {
             let s = self.slot_for(*a);
             self.slot_occurrences[s.index()] += 1;
             s
         });
         let nodes = body.size();
-        let id = FormulaId(u32::try_from(self.formulas.len()).expect("formula overflow"));
+        let id = FormulaId(u32::try_from(self.formulas.len()).expect("checked above"));
         self.live_nodes += nodes;
         self.live_count += 1;
         self.formulas.push(StoredFormula {
@@ -125,7 +182,7 @@ impl FormulaStore {
             nodes,
             live: true,
         });
-        id
+        Ok(id)
     }
 
     /// Removes a formula (used by simplification). Idempotent.
@@ -223,7 +280,10 @@ impl FormulaStore {
     /// simplifier after a rewrite pass). Slot and occurrence bookkeeping is
     /// rebuilt from scratch.
     pub fn replace_all(&mut self, wffs: &[Wff]) {
+        let (max_slots, max_formulas) = (self.max_slots, self.max_formulas);
         *self = FormulaStore::new();
+        self.max_slots = max_slots;
+        self.max_formulas = max_formulas;
         for w in wffs {
             self.insert(w);
         }
@@ -347,6 +407,97 @@ mod tests {
         assert_eq!(s.len(), 2);
         assert_eq!(s.occurrences_of(AtomId(3)), 2);
         assert!(!s.contains_atom(AtomId(2)));
+    }
+
+    #[test]
+    fn capacity_exhaustion_is_a_typed_error_not_a_panic() {
+        let mut s = FormulaStore::new();
+        s.set_capacity(2, 2);
+        s.insert(&Wff::and2(a(1), a(2))); // fills both slots
+        assert!(matches!(
+            s.try_insert(&a(3)),
+            Err(TheoryError::StoreCapacity {
+                what: "slots",
+                limit: 2
+            })
+        ));
+        // A wff over already-slotted atoms still fits (no new slots).
+        s.try_insert(&a(1)).unwrap();
+        // … and now the formula table is full.
+        assert!(matches!(
+            s.try_insert(&a(2)),
+            Err(TheoryError::StoreCapacity {
+                what: "formulas",
+                limit: 2
+            })
+        ));
+        // A failed insert must not have corrupted accounting.
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.occurrences_of(AtomId(1)), 2);
+        assert_eq!(s.occurrences_of(AtomId(3)), 0);
+        assert!(!s.contains_atom(AtomId(3)));
+    }
+
+    #[test]
+    fn failed_insert_allocates_nothing() {
+        // The capacity check runs before any slot allocation: a rejected
+        // wff must not leave partial slots behind (which would corrupt
+        // occurrence accounting for later renames).
+        let mut s = FormulaStore::new();
+        s.set_capacity(3, 10);
+        s.insert(&Wff::and2(a(1), a(2)));
+        // a(1) is slotted, but a(4) & a(5) need two new slots: only one fits.
+        assert!(s.try_insert(&Wff::and2(a(4), a(5))).is_err());
+        assert_eq!(s.occurrences_of(AtomId(4)), 0);
+        assert!(!s.contains_atom(AtomId(5)));
+        // The remaining slot is still usable.
+        s.try_insert(&a(4)).unwrap();
+        assert_eq!(s.occurrences_of(AtomId(4)), 1);
+    }
+
+    #[test]
+    fn occurrence_accounting_after_merge_remove_reinsert() {
+        // Regression: a merge rename (two slots now display one atom)
+        // followed by remove and re-insert must keep per-atom occurrence
+        // sums exact — `occurrences_of` drives simplification decisions
+        // and `contains_atom` drives predicate-constant visibility.
+        let mut s = FormulaStore::new();
+        let f1 = s.insert(&Wff::or2(a(1), a(1)));
+        let f2 = s.insert(&a(2));
+        s.rename_atom(AtomId(1), AtomId(2)); // merge: atom 2 has two slots
+        assert_eq!(s.occurrences_of(AtomId(2)), 3);
+        s.remove(f1);
+        assert_eq!(s.occurrences_of(AtomId(2)), 1);
+        // Re-insert through the merged binding: the occurrence lands on
+        // one of atom 2's slots and the total must reflect it.
+        let f3 = s.insert(&Wff::and2(a(2), a(3)));
+        assert_eq!(s.occurrences_of(AtomId(2)), 2);
+        assert_eq!(s.occurrences_of(AtomId(3)), 1);
+        assert_eq!(s.resolve(f3), Wff::and2(a(2), a(3)));
+        assert_eq!(s.resolve(f2), a(2));
+        // Removing everything zeroes the sums over *both* merged slots.
+        s.remove(f2);
+        s.remove(f3);
+        assert_eq!(s.occurrences_of(AtomId(2)), 0);
+        assert!(!s.contains_atom(AtomId(2)));
+        assert_eq!(s.live_atoms(), Vec::<AtomId>::new());
+    }
+
+    #[test]
+    fn replace_all_preserves_capacity_quota() {
+        let mut s = FormulaStore::new();
+        s.set_capacity(8, 8);
+        s.replace_all(&[a(1)]);
+        assert!(s
+            .try_insert(&Wff::and2(
+                a(2),
+                Wff::and2(a(3), Wff::and2(a(4), Wff::and2(a(5), a(6))))
+            ))
+            .is_ok());
+        // 6 slots used; 3 more distinct atoms exceed the 8-slot quota.
+        assert!(s
+            .try_insert(&Wff::and2(a(7), Wff::and2(a(8), a(9))))
+            .is_err());
     }
 
     #[test]

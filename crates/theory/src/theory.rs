@@ -391,6 +391,14 @@ impl Theory {
     // ----- reporting -------------------------------------------------------
 
     /// Current statistics (sizes, counts, the cost-model `R`).
+    /// Current size of the non-axiomatic section in AST nodes — the §3.6
+    /// store-size measure, exposed as a cheap accessor (no full
+    /// [`TheoryStats`] construction) for growth-triggered hooks such as
+    /// the WAL's snapshot compaction in `winslett-core`.
+    pub fn store_nodes(&self) -> usize {
+        self.store.size_nodes()
+    }
+
     pub fn stats(&self) -> TheoryStats {
         TheoryStats {
             num_formulas: self.store.len(),

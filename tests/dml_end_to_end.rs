@@ -150,7 +150,9 @@ fn replay_database_agrees_with_eager() {
     ];
     for s in scripts {
         db.execute(s).unwrap();
-        replay.update_synced(db.log().last().unwrap().clone(), db.theory());
+        replay
+            .update_synced(db.log().last().unwrap().clone(), db.theory())
+            .unwrap();
     }
     for probe in ["R(a)", "R(b)", "R(c)", "R(a) & R(b)", "R(c) | R(b)"] {
         let wff = db.parse_wff_strict(probe).unwrap();

@@ -1,0 +1,213 @@
+//! Fault-injection tests for the WAL: the atomicity invariant.
+//!
+//! A [`FailpointStorage`] kills writes at a chosen byte. For a fixed
+//! multi-update script we crash at **every** byte boundary the script ever
+//! writes, recover from the surviving image, and check — via
+//! [`WorldsEngine`] — that the recovered theory's alternative-world set
+//! equals the world set after some *prefix* of the acknowledged
+//! operations: pre-update or post-update for each update, never a third
+//! state. A proptest repeats the check over randomized scripts and kill
+//! points, including with aggressive auto-compaction so crashes land
+//! inside checkpoints too.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use winslett::db::wal::{
+    DurableDatabase, FailpointStorage, MemStorage, Storage, SyncPolicy, WalOptions,
+};
+use winslett::db::{DbOptions, LogicalDatabase};
+use winslett::logic::ModelLimit;
+use winslett::worlds::WorldsEngine;
+
+/// One scripted operation against a durable database.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    DeclareRelation(&'static str, usize),
+    LoadFact(&'static str, &'static [&'static str]),
+    Exec(&'static str),
+    Checkpoint,
+}
+
+fn apply_op<S: Storage>(
+    ddb: &mut DurableDatabase<S>,
+    op: &Op,
+) -> Result<(), winslett::db::DbError> {
+    match op {
+        Op::DeclareRelation(name, arity) => ddb.declare_relation(name, *arity).map(|_| ()),
+        Op::LoadFact(pred, args) => ddb.load_fact(pred, args).map(|_| ()),
+        Op::Exec(src) => ddb.execute(src).map(|_| ()),
+        Op::Checkpoint => ddb.checkpoint(),
+    }
+}
+
+/// The alternative-world set, materialized through the worlds engine and
+/// rendered name-based (atom ids differ across restores).
+fn world_set(db: &LogicalDatabase) -> BTreeSet<Vec<String>> {
+    let engine = WorldsEngine::from_theory(db.theory(), ModelLimit::default())
+        .expect("world materialization");
+    engine
+        .worlds()
+        .iter()
+        .map(|w| db.theory().format_world(w))
+        .collect()
+}
+
+/// Crash-free probe run: returns every prefix state's world set (the set
+/// of *legal* recovery outcomes) and the total bytes the script writes.
+fn probe(script: &[Op], wal_options: WalOptions) -> (Vec<BTreeSet<Vec<String>>>, u64) {
+    let storage = FailpointStorage::unlimited();
+    let handle = storage.clone();
+    let (mut ddb, _) =
+        DurableDatabase::open(storage, DbOptions::default(), wal_options).expect("probe open");
+    let mut states = vec![world_set(ddb.db())];
+    for op in script {
+        apply_op(&mut ddb, op).expect("probe op");
+        states.push(world_set(ddb.db()));
+    }
+    ddb.sync().expect("probe sync");
+    (states, handle.bytes_written())
+}
+
+/// Runs the script against storage that crashes after `kill` bytes and
+/// returns the surviving on-disk image.
+fn run_with_kill(script: &[Op], kill: u64, wal_options: WalOptions) -> MemStorage {
+    let storage = FailpointStorage::new(kill);
+    let handle = storage.clone();
+    if let Ok((mut ddb, _)) = DurableDatabase::open(storage, DbOptions::default(), wal_options) {
+        for op in script {
+            if apply_op(&mut ddb, op).is_err() {
+                break;
+            }
+        }
+        let _ = ddb.sync();
+    }
+    handle.survivor()
+}
+
+/// The invariant: recovery from the survivor of a crash at `kill` bytes
+/// must land on some prefix state — never a third state — and the
+/// recovered database must keep working.
+fn assert_atomic_at(
+    script: &[Op],
+    kill: u64,
+    wal_options: WalOptions,
+    legal: &[BTreeSet<Vec<String>>],
+) {
+    let survivor = run_with_kill(script, kill, wal_options);
+    let (recovered, report) = DurableDatabase::open(survivor, DbOptions::default(), wal_options)
+        .unwrap_or_else(|e| panic!("kill at byte {kill}: recovery failed: {e}"));
+    let recovered_worlds = world_set(recovered.db());
+    assert!(
+        legal.contains(&recovered_worlds),
+        "kill at byte {kill}: recovered a third state.\n report: {report:?}\n worlds: {recovered_worlds:?}\n legal: {legal:?}"
+    );
+}
+
+/// The fixed multi-update script of the exhaustive sweep: schema, facts,
+/// then updates of all four LDML operators, including a branching insert.
+const SCRIPT: &[Op] = &[
+    Op::DeclareRelation("Orders", 3),
+    Op::DeclareRelation("InStock", 2),
+    Op::LoadFact("Orders", &["700", "32", "9"]),
+    Op::LoadFact("InStock", &["32", "1"]),
+    Op::Exec("INSERT Orders(100,32,1) | Orders(100,32,7) WHERE T"),
+    Op::Exec("MODIFY Orders(700,32,9) TO BE Orders(700,32,1) WHERE InStock(32,1)"),
+    Op::Exec("ASSERT !Orders(100,32,7)"),
+    Op::Exec("DELETE InStock(32,1) WHERE T"),
+];
+
+fn nocompact() -> WalOptions {
+    WalOptions {
+        policy: SyncPolicy::EveryRecord,
+        compact_growth_factor: None,
+        compact_min_nodes: 0,
+    }
+}
+
+fn compact_aggressively() -> WalOptions {
+    WalOptions {
+        policy: SyncPolicy::GroupCommit(3),
+        compact_growth_factor: Some(1.05),
+        compact_min_nodes: 1,
+    }
+}
+
+#[test]
+fn exhaustive_kill_points_recover_to_a_prefix_state() {
+    let (legal, total) = probe(SCRIPT, nocompact());
+    assert!(total > 0);
+    // Every byte boundary the script ever writes, kill point 0 (nothing
+    // survives) through total (clean shutdown) inclusive.
+    for kill in 0..=total {
+        assert_atomic_at(SCRIPT, kill, nocompact(), &legal);
+    }
+}
+
+#[test]
+fn kill_points_inside_checkpoints_recover_to_a_prefix_state() {
+    // Aggressive auto-compaction interleaves snapshot replaces and WAL
+    // resets with the appends; crashes land in every checkpoint window.
+    // Coarser stride (plus both endpoints) keeps the debug-build runtime
+    // reasonable; the windows are hundreds of bytes wide, so stride 7
+    // still lands several kills inside each.
+    let wal_options = compact_aggressively();
+    let (legal, total) = probe(SCRIPT, wal_options);
+    let mut kills: Vec<u64> = (0..=total).step_by(7).collect();
+    kills.push(total);
+    for kill in kills {
+        assert_atomic_at(SCRIPT, kill, wal_options, &legal);
+    }
+}
+
+#[test]
+fn explicit_checkpoint_mid_script_is_crash_safe() {
+    let script: Vec<Op> = {
+        let mut v = SCRIPT[..6].to_vec();
+        v.push(Op::Checkpoint);
+        v.extend_from_slice(&SCRIPT[6..]);
+        v
+    };
+    let (legal, total) = probe(&script, nocompact());
+    let mut kills: Vec<u64> = (0..=total).step_by(5).collect();
+    kills.push(total);
+    for kill in kills {
+        assert_atomic_at(&script, kill, nocompact(), &legal);
+    }
+}
+
+/// Pool of independent operations for randomized scripts (each is valid
+/// whatever subset precedes it, so every prefix is a legal state).
+const OP_POOL: &[Op] = &[
+    Op::Exec("INSERT Orders(100,32,1) | Orders(100,32,7) WHERE T"),
+    Op::Exec("INSERT InStock(33,5) WHERE T"),
+    Op::Exec("DELETE Orders(700,32,9) WHERE T"),
+    Op::Exec("MODIFY InStock(32,1) TO BE InStock(32,0) WHERE T"),
+    Op::Exec("ASSERT Orders(700,32,9) | !Orders(700,32,9)"),
+    Op::Exec("INSERT Orders(200,40,2) WHERE InStock(32,1)"),
+    Op::Checkpoint,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The atomicity invariant over random scripts, kill points, sync
+    /// policies, and compaction settings.
+    #[test]
+    fn any_crash_recovers_to_a_prefix_state(
+        ops in prop::collection::vec(0..OP_POOL.len(), 1..6),
+        kill_permille in 0u64..=1000,
+        grouped in any::<bool>(),
+        compact in any::<bool>(),
+    ) {
+        let mut script: Vec<Op> = SCRIPT[..4].to_vec(); // schema + facts
+        script.extend(ops.iter().map(|&i| OP_POOL[i]));
+        let wal_options = WalOptions {
+            policy: if grouped { SyncPolicy::GroupCommit(4) } else { SyncPolicy::EveryRecord },
+            compact_growth_factor: if compact { Some(1.1) } else { None },
+            compact_min_nodes: 1,
+        };
+        let (legal, total) = probe(&script, wal_options);
+        let kill = total * kill_permille / 1000;
+        assert_atomic_at(&script, kill, wal_options, &legal);
+    }
+}
