@@ -39,4 +39,4 @@ lint:
 # commit-latency run; the harness writes BENCH_worlds.json and
 # BENCH_wal.json and fails if either shape does not validate.
 bench-smoke:
-	$(CARGO) run --release -q -p winslett-bench --bin harness -- worlds wal --quick --out target/bench-smoke
+	$(CARGO) run --release -q -p winslett-bench --bin harness -- worlds wal query --quick --out target/bench-smoke

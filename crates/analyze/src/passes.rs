@@ -17,8 +17,8 @@
 
 use crate::diagnostics::{Batch, Code, Diagnostic, FixHint};
 use std::collections::BTreeMap;
-use winslett_ldml::{equivalent_updates, theorem3, InsertForm, Update};
-use winslett_logic::{cnf, display_wff, forced_literals, AtomId, Wff};
+use winslett_ldml::{equivalent_updates_with, theorem3_with, InsertForm, Update};
+use winslett_logic::{display_wff, forced_literals, AtomId, EntailmentSession, Wff};
 use winslett_theory::{Theory, TheoryStats};
 
 /// Skip the Theorem 3/4 equivalence passes when an update mentions more
@@ -41,11 +41,20 @@ pub fn analyze_program(theory: &Theory, program: &[Update]) -> Vec<Diagnostic> {
     let backbone = theory.atom_backbone().ok().flatten();
     let stats = theory.stats();
     let consistent = theory.is_consistent();
+    // One formula-level entailment session, sized to cover every atom any
+    // statement mentions, serves every pure-SAT check in the program:
+    // each wff is Tseitin-encoded once and every check is an
+    // assumption-solve, so learnt clauses accumulate across statements.
+    let max_universe = program
+        .iter()
+        .map(|u| universe(theory, &u.to_insert()))
+        .fold(theory.num_atoms(), usize::max);
+    let mut session = EntailmentSession::new(max_universe);
     let mut out = Vec::new();
     for (i, u) in program.iter().enumerate() {
         let form = u.to_insert();
         let before = out.len();
-        check_where_clause(theory, consistent, i, u, &form, &mut out);
+        check_where_clause(theory, &mut session, consistent, i, u, &form, &mut out);
         // A statement already established as a guaranteed no-op needs no
         // further scrutiny.
         let noop = out[before..]
@@ -54,9 +63,10 @@ pub fn analyze_program(theory: &Theory, program: &[Update]) -> Vec<Diagnostic> {
         if noop {
             continue;
         }
-        check_noop(theory, i, u, &form, &mut out);
+        check_noop(theory, &mut session, i, u, &form, &mut out);
         check_conformance(
             theory,
+            &mut session,
             &mut scratch,
             backbone.as_deref(),
             i,
@@ -66,7 +76,7 @@ pub fn analyze_program(theory: &Theory, program: &[Update]) -> Vec<Diagnostic> {
         );
         check_cost(theory, &stats, i, u, &form, &mut out);
         if i > 0 {
-            check_duplicate(theory, i, u, &program[i - 1], &mut out);
+            check_duplicate(&mut session, i, u, &program[i - 1], &mut out);
         }
     }
     out
@@ -104,14 +114,14 @@ fn op_name(u: &Update) -> &'static str {
 /// MODIFY guard), `W006` (condition dead under the current theory).
 fn check_where_clause(
     theory: &Theory,
+    session: &mut EntailmentSession,
     consistent: bool,
     statement: usize,
     u: &Update,
     form: &InsertForm,
     out: &mut Vec<Diagnostic>,
 ) {
-    let n = universe(theory, form);
-    if !cnf::satisfiable(&[&form.phi], n) {
+    if !session.satisfiable(&form.phi) {
         let message = match u {
             Update::Insert { phi, .. } => format!(
                 "this INSERT can never fire: its WHERE clause `{}` is unsatisfiable",
@@ -134,7 +144,7 @@ fn check_where_clause(
         return;
     }
     if let Update::Delete { phi, .. } | Update::Modify { phi, .. } = u {
-        if cnf::valid(phi, n) {
+        if session.valid(phi) {
             out.push(
                 Diagnostic::new(
                     Code::W002,
@@ -181,6 +191,7 @@ fn check_where_clause(
 /// canonical no-op `INSERT T WHERE φ`.
 fn check_noop(
     theory: &Theory,
+    session: &mut EntailmentSession,
     statement: usize,
     u: &Update,
     form: &InsertForm,
@@ -190,8 +201,7 @@ fn check_noop(
     if form.omega.atom_set().len() > MAX_EQUIV_ATOMS {
         return;
     }
-    let n = universe(theory, form);
-    if let Ok(v) = theorem3(&form.omega, &Wff::t(), &form.phi, n) {
+    if let Ok(v) = theorem3_with(session, &form.omega, &Wff::t(), &form.phi) {
         if v.equivalent {
             out.push(
                 Diagnostic::new(
@@ -217,7 +227,7 @@ fn check_noop(
 /// update is idempotent at the world level (a world already satisfying ω is
 /// its own unique minimal ω-model), so the repeat adds nothing.
 fn check_duplicate(
-    theory: &Theory,
+    session: &mut EntailmentSession,
     statement: usize,
     u: &Update,
     prev: &Update,
@@ -230,8 +240,7 @@ fn check_duplicate(
     atoms.extend(fp.omega.atom_set());
     atoms.extend(fp.phi.atom_set());
     let verdict = if atoms.len() <= MAX_EQUIV_ATOMS {
-        let n = universe(theory, &fu).max(universe(theory, &fp));
-        match equivalent_updates(prev, u, n) {
+        match equivalent_updates_with(session, prev, u) {
             Ok(v) if v.equivalent => Some(v.reason),
             _ => None,
         }
@@ -264,8 +273,10 @@ fn check_duplicate(
 /// theory's *certain* values persist. If an instantiated §3.5 axiom
 /// evaluates to false under those determined values alone, rule 3 filters
 /// every produced world: the statement annihilates the database.
+#[allow(clippy::too_many_arguments)]
 fn check_conformance(
     theory: &Theory,
+    session: &mut EntailmentSession,
     scratch: &mut Theory,
     backbone: Option<&[Option<bool>]>,
     statement: usize,
@@ -273,9 +284,8 @@ fn check_conformance(
     form: &InsertForm,
     out: &mut Vec<Diagnostic>,
 ) {
-    let n = universe(theory, form);
     if matches!(u, Update::Insert { .. } | Update::Modify { .. })
-        && !cnf::satisfiable(&[&form.omega], n)
+        && !session.satisfiable(&form.omega)
     {
         out.push(
             Diagnostic::new(

@@ -1,0 +1,46 @@
+//! Fresh-solver-per-check vs incremental entailment session on repeated
+//! ground entailment — the microbenchmark behind the `query` experiment's
+//! wall-clock numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use winslett_core::Workload;
+use winslett_logic::{cnf, Wff};
+use winslett_theory::Theory;
+
+/// Orders(r) with a handful of disjunctive residual facts, plus the probe
+/// wffs the benches re-decide.
+fn build(r: usize) -> (Theory, Vec<Wff>) {
+    let mut w = Workload::new(0xE5);
+    let (mut theory, atoms) = w.orders_theory(r);
+    for i in 0..4 {
+        let u = w.disjunctive_insert(&mut theory, 2, i);
+        theory.assert_wff(&u.to_insert().omega);
+    }
+    let probes: Vec<Wff> = atoms.iter().take(16).map(|&a| Wff::Atom(a)).collect();
+    (theory, probes)
+}
+
+fn bench_repeated_entailment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repeated_entailment");
+    group.sample_size(20);
+    for &r in &[64usize, 256] {
+        let (theory, probes) = build(r);
+        let constraints = theory.model_constraints();
+        let refs: Vec<&Wff> = constraints.iter().collect();
+        let n = theory.num_atoms();
+        group.bench_with_input(BenchmarkId::new("fresh_solver", r), &(), |b, _| {
+            b.iter(|| probes.iter().filter(|w| cnf::entails(&refs, w, n)).count());
+        });
+        group.bench_with_input(BenchmarkId::new("session", r), &(), |b, _| {
+            // The session persists across iterations, as it does on the
+            // Theory: every check after the first probe set is pure
+            // assumption-solving.
+            let mut session = theory.fresh_entailment_session();
+            b.iter(|| probes.iter().filter(|w| session.entails(w)).count());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_repeated_entailment);
+criterion_main!(benches);

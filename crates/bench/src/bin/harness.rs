@@ -10,7 +10,7 @@
 //! ```
 
 use winslett_bench::Table;
-use winslett_bench::{experiments, wal_bench, worlds_bench};
+use winslett_bench::{experiments, query_bench, wal_bench, worlds_bench};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -105,6 +105,26 @@ fn main() {
         // Same re-read-and-validate gate as BENCH_worlds.json.
         let reread = std::fs::read_to_string(&path).expect("read back BENCH_wal.json");
         match wal_bench::validate_wal_bench(&reread) {
+            Ok(_) => eprintln!("{path}: shape OK"),
+            Err(e) => {
+                eprintln!("{path}: shape validation FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if want("query") {
+        let bench =
+            query_bench::run_query_bench(if quick { 24 } else { 64 }, if quick { 3 } else { 8 });
+        tables.push(query_bench::query_table(&bench));
+        let path = match &out_dir {
+            Some(dir) => format!("{dir}/BENCH_query.json"),
+            None => "BENCH_query.json".to_owned(),
+        };
+        let text = serde_json::to_string_pretty(&bench).expect("serializable");
+        std::fs::write(&path, &text).expect("write BENCH_query.json");
+        // Same re-read-and-validate gate as BENCH_worlds.json.
+        let reread = std::fs::read_to_string(&path).expect("read back BENCH_query.json");
+        match query_bench::validate_query_bench(&reread) {
             Ok(_) => eprintln!("{path}: shape OK"),
             Err(e) => {
                 eprintln!("{path}: shape validation FAILED: {e}");

@@ -190,18 +190,50 @@ impl Query {
     /// Evaluates the query against `theory`, returning certain and possible
     /// answers. Candidate bindings are generated from the registered atoms
     /// (anything outside the completion axioms is false everywhere), then
-    /// each fully instantiated query is decided by SAT entailment.
+    /// each fully instantiated query is decided by two assumption-solves
+    /// against the theory's shared entailment session — no per-binding
+    /// solver construction. When many candidates exist and the host has
+    /// spare cores, independent bindings fan out across scoped workers with
+    /// per-worker session clones (the worlds-engine pattern).
     pub fn evaluate(&self, theory: &Theory) -> Result<Answers, DbError> {
+        let candidates = self.candidate_instances(theory)?;
+        let verdicts = decide_candidates(theory, &candidates);
         let mut answers = Answers::default();
-        let mut env: Vec<Option<ConstId>> = vec![None; self.num_vars as usize];
-        let positives: Vec<&QueryAtom> = self.atoms.iter().filter(|a| !a.negated).collect();
-        let mut seen: FxHashSet<Vec<ConstId>> = FxHashSet::default();
-        self.search(theory, &positives, 0, &mut env, &mut seen, &mut answers)?;
+        for ((row, _), (possible, certain)) in candidates.into_iter().zip(verdicts) {
+            if possible {
+                if certain {
+                    answers.certain.push(row.clone());
+                }
+                answers.possible.push(row);
+            }
+        }
         answers.certain.sort();
         answers.certain.dedup();
         answers.possible.sort();
         answers.possible.dedup();
         Ok(answers)
+    }
+
+    /// Enumerates the distinct complete bindings of the query together with
+    /// their fully instantiated ground wffs — the SAT-free half of
+    /// [`Query::evaluate`]. Exposed so benchmarks can compare decision
+    /// strategies over identical candidate sets.
+    pub fn candidate_instances(&self, theory: &Theory) -> Result<Vec<(Vec<String>, Wff)>, DbError> {
+        let positives: Vec<&QueryAtom> = self.atoms.iter().filter(|a| !a.negated).collect();
+        // Candidate tables are built once per evaluation, not once per
+        // recursion level: `search` re-visits each positive atom once per
+        // partial binding above it.
+        let tables: Vec<Vec<AtomId>> = positives
+            .iter()
+            .map(|a| theory.registry.atoms_of(a.pred).collect())
+            .collect();
+        let mut env: Vec<Option<ConstId>> = vec![None; self.num_vars as usize];
+        let mut seen: FxHashSet<Vec<ConstId>> = FxHashSet::default();
+        let mut out = Vec::new();
+        self.search(
+            theory, &positives, &tables, 0, &mut env, &mut seen, &mut out,
+        )?;
+        Ok(out)
     }
 
     /// Evaluates the query with per-answer support counts: for each
@@ -217,14 +249,28 @@ impl Query {
         let worlds = theory.alternative_worlds(limit)?;
         let base = self.evaluate(theory)?;
         let mut out = Vec::with_capacity(base.possible.len());
-        // Recover each row's binding by re-instantiating from names.
+        // Recover each row's binding by re-instantiating from names. The
+        // instantiation checks inside `evaluate` already ran against one
+        // shared session, so this loop performs no further SAT work.
         for row in &base.possible {
             let env: Vec<Option<ConstId>> = row
                 .iter()
                 .map(|name| theory.vocab.find_constant(name))
                 .collect();
-            if env.iter().any(Option::is_none) {
-                continue; // cannot happen for rows we produced
+            if let Some(bad) = env.iter().position(Option::is_none) {
+                // Every row came from interned constants moments ago; a
+                // failed re-resolution means the vocabulary was mutated
+                // out from under us (or an internal invariant broke).
+                // Silently dropping the answer would corrupt the result
+                // set, so fail loudly instead.
+                debug_assert!(false, "constant `{}` failed to re-resolve", row[bad]);
+                return Err(DbError::Query {
+                    message: format!(
+                        "internal error: answer constant `{}` in row {row:?} \
+                         no longer resolves in the vocabulary",
+                        row[bad]
+                    ),
+                });
             }
             let wff = self.instantiate(theory, &env)?;
             let support = worlds
@@ -245,10 +291,11 @@ impl Query {
         &self,
         theory: &Theory,
         positives: &[&QueryAtom],
+        tables: &[Vec<AtomId>],
         pos: usize,
         env: &mut Vec<Option<ConstId>>,
         seen: &mut FxHashSet<Vec<ConstId>>,
-        answers: &mut Answers,
+        out: &mut Vec<(Vec<String>, Wff)>,
     ) -> Result<(), DbError> {
         if pos == positives.len() {
             let binding: Vec<ConstId> = env
@@ -263,21 +310,15 @@ impl Query {
                 .iter()
                 .map(|c| theory.vocab.constant_name(*c).to_owned())
                 .collect();
-            if theory.consistent_with(&wff) {
-                if theory.entails(&wff) {
-                    answers.certain.push(row.clone());
-                }
-                answers.possible.push(row);
-            }
+            out.push((row, wff));
             return Ok(());
         }
         let atom = positives[pos];
-        let candidates: Vec<AtomId> = theory.registry.atoms_of(atom.pred).collect();
-        for cand in candidates {
+        for &cand in &tables[pos] {
             let ground = theory.atoms.resolve(cand).clone();
             let mut trail = Vec::new();
             if unify_query(atom, &ground, env, &mut trail) {
-                self.search(theory, positives, pos + 1, env, seen, answers)?;
+                self.search(theory, positives, tables, pos + 1, env, seen, out)?;
             }
             for v in trail {
                 env[v as usize] = None;
@@ -325,6 +366,55 @@ impl Query {
             }
         }
         Ok(Wff::and(conjuncts))
+    }
+}
+
+/// Candidate count below which parallel decision is not worth the
+/// per-worker session rebuild.
+const PARALLEL_DECIDE_THRESHOLD: usize = 32;
+
+/// Decides one instantiated candidate against a session:
+/// `(possible, certain)`. Certainty is only probed when the candidate is
+/// possible — over an inconsistent theory nothing is possible, matching
+/// the legacy fresh-solver answers.
+fn decide_one(session: &mut winslett_logic::EntailmentSession, wff: &Wff) -> (bool, bool) {
+    let l = session.literal_for(wff);
+    let possible = session.satisfiable_under(&[l]);
+    let certain = possible && !session.satisfiable_under(&[l.negate()]);
+    (possible, certain)
+}
+
+/// Decides every candidate, sequentially through the theory's cached
+/// session or fanned across scoped workers with per-worker fresh sessions
+/// when the batch is large and cores are available. Results are indexed,
+/// so the outcome is identical for every thread count.
+fn decide_candidates(theory: &Theory, candidates: &[(Vec<String>, Wff)]) -> Vec<(bool, bool)> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if candidates.len() >= PARALLEL_DECIDE_THRESHOLD && threads > 1 {
+        let workers = threads.min(candidates.len());
+        let chunk = candidates.len().div_ceil(workers);
+        let mut verdicts = vec![(false, false); candidates.len()];
+        std::thread::scope(|scope| {
+            for (cand_chunk, out_chunk) in candidates.chunks(chunk).zip(verdicts.chunks_mut(chunk))
+            {
+                scope.spawn(move || {
+                    let mut session = theory.fresh_entailment_session();
+                    for ((_, wff), slot) in cand_chunk.iter().zip(out_chunk.iter_mut()) {
+                        *slot = decide_one(&mut session, wff);
+                    }
+                });
+            }
+        });
+        verdicts
+    } else {
+        theory.with_entailment_session(|s| {
+            candidates
+                .iter()
+                .map(|(_, wff)| decide_one(s, wff))
+                .collect()
+        })
     }
 }
 

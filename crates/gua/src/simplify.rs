@@ -27,8 +27,7 @@
 //! soundness leg).
 
 use rustc_hash::{FxHashMap, FxHashSet};
-use winslett_logic::cnf;
-use winslett_logic::{AtomId, Formula, Polarity, PredicateKind, Wff};
+use winslett_logic::{AtomId, EntailmentSession, Formula, Polarity, PredicateKind, Wff};
 use winslett_theory::Theory;
 
 /// How aggressively to simplify.
@@ -283,19 +282,26 @@ pub fn simplify(theory: &mut Theory, level: SimplifyLevel) -> SimplifyReport {
 
     // ---- Full: entailment-based redundancy removal -----------------------
     if level == SimplifyLevel::Full && wffs.len() > 1 {
-        let num_atoms = theory.num_atoms();
+        // One session encodes every wff once behind a selector literal;
+        // each absorption check "do the other alive wffs entail wff i?"
+        // is then a single assumption-solve under {s_j : j ≠ i alive} ∪
+        // {¬s_i} — n solves total where the fresh-solver approach paid
+        // O(n²) encodings. Duplicate wffs share a selector, which makes
+        // the assumption set contradictory and the verdict `removed`,
+        // matching what entailment-by-an-identical-copy concluded before.
+        let mut session = EntailmentSession::new(theory.num_atoms());
+        let selectors: Vec<_> = wffs.iter().map(|w| session.literal_for(w)).collect();
         // Largest formulas first: removing a big one is worth more.
         let mut order: Vec<usize> = (0..wffs.len()).collect();
         order.sort_by_key(|&i| std::cmp::Reverse(wffs[i].size()));
         let mut removed: Vec<bool> = vec![false; wffs.len()];
         for &i in &order {
-            let rest: Vec<&Wff> = wffs
-                .iter()
-                .enumerate()
-                .filter(|&(j, _)| j != i && !removed[j])
-                .map(|(_, w)| w)
+            let mut assumptions: Vec<_> = (0..wffs.len())
+                .filter(|&j| j != i && !removed[j])
+                .map(|j| selectors[j])
                 .collect();
-            if cnf::entails(&rest, &wffs[i], num_atoms) {
+            assumptions.push(selectors[i].negate());
+            if !session.satisfiable_under(&assumptions) {
                 removed[i] = true;
                 report.redundant_removed += 1;
             }

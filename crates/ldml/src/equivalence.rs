@@ -19,8 +19,7 @@ use crate::semantics::{apply_update, canonicalize};
 use crate::update::Update;
 use rustc_hash::FxHashSet;
 use std::collections::BTreeSet;
-use winslett_logic::cnf;
-use winslett_logic::{AtomId, BitSet, Wff};
+use winslett_logic::{AtomId, BitSet, EntailmentSession, Wff};
 
 /// Maximum distinct atoms in an ω for valuation enumeration.
 const MAX_ATOMS: usize = 24;
@@ -59,7 +58,7 @@ pub fn theorem2_sufficient(b1: &Update, b2: &Update, num_atoms: usize) -> bool {
     let f2 = b2.to_insert();
     f1.phi == f2.phi
         && f1.omega.atom_set() == f2.omega.atom_set()
-        && cnf::equivalent(&f1.omega, &f2.omega, num_atoms)
+        && EntailmentSession::new(num_atoms).equivalent(&f1.omega, &f2.omega)
 }
 
 /// The satisfying valuations of `w` over its own atom set, projected onto
@@ -131,7 +130,21 @@ pub fn theorem3(
     phi: &Wff,
     num_atoms: usize,
 ) -> Result<EquivalenceVerdict, LdmlError> {
-    if !cnf::satisfiable(&[phi], num_atoms) {
+    let mut session = EntailmentSession::new(num_atoms);
+    theorem3_with(&mut session, omega1, omega2, phi)
+}
+
+/// [`theorem3`] against a caller-supplied formula-level session, so batch
+/// checkers (the analyzer's duplicate/no-op lints) amortize the encoding
+/// across many decisions. The session must have an empty base and cover at
+/// least the atoms of all three wffs.
+pub fn theorem3_with(
+    session: &mut EntailmentSession,
+    omega1: &Wff,
+    omega2: &Wff,
+    phi: &Wff,
+) -> Result<EquivalenceVerdict, LdmlError> {
+    if !session.satisfiable(phi) {
         return Ok(EquivalenceVerdict::yes("φ unsatisfiable: both are no-ops"));
     }
     // The theorem's conditions presuppose satisfiable ω ("assume that ω1,
@@ -174,7 +187,7 @@ pub fn theorem3(
                 Wff::implies(omega.clone(), ga.clone().not()),
                 Wff::implies(phi.clone(), ga.not()),
             );
-            if !cnf::valid(&pos, num_atoms) && !cnf::valid(&neg, num_atoms) {
+            if !session.valid(&pos) && !session.valid(&neg) {
                 return Ok(EquivalenceVerdict::no(format!(
                     "condition {which} fails: atom {g} occurs on one side only and its value can change"
                 )));
@@ -192,6 +205,17 @@ pub fn theorem4(
     b2: &Update,
     num_atoms: usize,
 ) -> Result<EquivalenceVerdict, LdmlError> {
+    let mut session = EntailmentSession::new(num_atoms);
+    theorem4_with(&mut session, b1, b2)
+}
+
+/// [`theorem4`] against a caller-supplied formula-level session (empty
+/// base, universe covering both updates' atoms).
+pub fn theorem4_with(
+    session: &mut EntailmentSession,
+    b1: &Update,
+    b2: &Update,
+) -> Result<EquivalenceVerdict, LdmlError> {
     let f1 = b1.to_insert();
     let f2 = b2.to_insert();
     let both = Wff::And(vec![f1.phi.clone(), f2.phi.clone()]);
@@ -199,7 +223,7 @@ pub fn theorem4(
     let only2 = Wff::And(vec![f2.phi.clone(), f1.phi.clone().not()]);
 
     // Condition (1): equivalence over the shared region, via Theorem 3.
-    let t3 = theorem3(&f1.omega, &f2.omega, &both, num_atoms)?;
+    let t3 = theorem3_with(session, &f1.omega, &f2.omega, &both)?;
     if !t3.equivalent {
         return Ok(EquivalenceVerdict::no(format!(
             "condition (1) fails on the shared region: {}",
@@ -211,12 +235,12 @@ pub fn theorem4(
     // must be a no-op — ω already holds there and admits exactly one
     // valuation.
     for (region, omega, which) in [(&only1, &f1.omega, "B1"), (&only2, &f2.omega, "B2")] {
-        if !cnf::valid(&Wff::implies((*region).clone(), omega.clone()), num_atoms) {
+        if !session.valid(&Wff::implies((*region).clone(), omega.clone())) {
             return Ok(EquivalenceVerdict::no(format!(
                 "condition (2) fails: {which} fires alone in a world where its ω is not already true"
             )));
         }
-        if cnf::satisfiable(&[region], num_atoms) && satisfying_count_capped(omega)? != 1 {
+        if session.satisfiable(region) && satisfying_count_capped(omega)? != 1 {
             return Ok(EquivalenceVerdict::no(format!(
                 "condition (3) fails: {which} fires alone and its ω is not uniquely satisfiable"
             )));
@@ -246,6 +270,16 @@ pub fn equivalent_updates(
     num_atoms: usize,
 ) -> Result<EquivalenceVerdict, LdmlError> {
     theorem4(b1, b2, num_atoms)
+}
+
+/// [`equivalent_updates`] against a caller-supplied formula-level session,
+/// so a batch of pairwise checks shares one solver and its learnt clauses.
+pub fn equivalent_updates_with(
+    session: &mut EntailmentSession,
+    b1: &Update,
+    b2: &Update,
+) -> Result<EquivalenceVerdict, LdmlError> {
+    theorem4_with(session, b1, b2)
 }
 
 /// Brute-force semantic equivalence: compares the `S` sets of the two

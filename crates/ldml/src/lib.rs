@@ -20,8 +20,8 @@ pub mod semantics;
 pub mod update;
 
 pub use equivalence::{
-    equivalent_brute, equivalent_updates, theorem2_sufficient, theorem3, theorem4,
-    EquivalenceVerdict,
+    equivalent_brute, equivalent_updates, equivalent_updates_with, theorem2_sufficient, theorem3,
+    theorem3_with, theorem4, theorem4_with, EquivalenceVerdict,
 };
 pub use error::LdmlError;
 pub use parser::parse_update;

@@ -67,6 +67,19 @@ impl Tseitin {
         self.num_atoms
     }
 
+    /// Total number of variables allocated so far, auxiliaries included.
+    pub fn num_vars(&self) -> usize {
+        self.next_var as usize
+    }
+
+    /// Drains the clauses accumulated since the last call, leaving the
+    /// encoder ready for more input. Used by incremental consumers that
+    /// stream clauses into a live solver instead of calling
+    /// [`Tseitin::finish`].
+    pub fn take_clauses(&mut self) -> Vec<Vec<Lit>> {
+        std::mem::take(&mut self.clauses)
+    }
+
     fn fresh(&mut self) -> Var {
         let v = Var(self.next_var);
         self.next_var += 1;

@@ -37,6 +37,7 @@ pub mod nnf;
 pub mod parser;
 pub mod printer;
 pub mod sat;
+pub mod session;
 pub mod span;
 pub mod symbols;
 pub mod valuation;
@@ -52,6 +53,7 @@ pub use nnf::{forced_literals, to_nnf};
 pub use parser::{parse_wff, ParseContext};
 pub use printer::{display_wff, WffDisplay};
 pub use sat::{backbone, Lit, SatResult, Solver, Var};
+pub use session::{EntailmentSession, SessionStats};
 pub use span::Span;
 pub use symbols::{ConstId, PredId, Predicate, PredicateKind, Vocabulary};
 pub use valuation::Valuation;

@@ -152,6 +152,8 @@ pub struct Solver {
     pub decisions: u64,
     /// Statistics: number of literal propagations.
     pub propagations: u64,
+    /// Statistics: number of clauses learnt (and retained) from conflicts.
+    pub learnt_clauses: u64,
 }
 
 impl Solver {
@@ -175,6 +177,7 @@ impl Solver {
             conflicts: 0,
             decisions: 0,
             propagations: 0,
+            learnt_clauses: 0,
         }
     }
 
@@ -482,6 +485,7 @@ impl Solver {
                 let (learnt, back_level) = self.analyze(confl);
                 self.backtrack_to(back_level);
                 self.decay_activity();
+                self.learnt_clauses += 1;
                 let asserting = learnt[0];
                 if learnt.len() == 1 {
                     debug_assert_eq!(self.current_level(), 0);

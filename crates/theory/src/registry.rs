@@ -22,6 +22,9 @@ pub struct CompletionRegistry {
     by_const: FxHashMap<ConstId, BTreeSet<AtomId>>,
     registered: BitSet,
     count: usize,
+    /// Bumped on every successful registration; feeds
+    /// [`Theory::generation`](crate::Theory).
+    version: u64,
 }
 
 impl CompletionRegistry {
@@ -44,7 +47,14 @@ impl CompletionRegistry {
             self.by_const.entry(c).or_default().insert(atom);
         }
         self.count += 1;
+        self.version += 1;
         true
+    }
+
+    /// Monotone mutation counter: strictly increases on every new
+    /// registration.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Registered atoms that mention constant `c` — the constant index used

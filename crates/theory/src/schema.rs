@@ -22,6 +22,9 @@ pub struct Schema {
     /// Type axiom for each typed relation: the attribute predicate of each
     /// argument position.
     type_axioms: FxHashMap<PredId, Vec<PredId>>,
+    /// Bumped on every mutation; feeds
+    /// [`Theory::generation`](crate::Theory).
+    version: u64,
 }
 
 impl Schema {
@@ -40,8 +43,15 @@ impl Schema {
         }
         if !self.attributes.contains(&pred) {
             self.attributes.push(pred);
+            self.version += 1;
         }
         Ok(())
+    }
+
+    /// Monotone mutation counter: strictly increases on every schema
+    /// change.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Installs the type axiom for `relation`: argument `i` ranges over
@@ -68,6 +78,7 @@ impl Schema {
             }
         }
         self.type_axioms.insert(relation, attrs);
+        self.version += 1;
         Ok(())
     }
 

@@ -78,6 +78,10 @@ pub struct FormulaStore {
     /// tests and lets an operator quota a tenant's store.
     max_slots: Option<u32>,
     max_formulas: Option<u32>,
+    /// Bumped on every semantic mutation (insert, remove, rename,
+    /// replace_all); feeds [`Theory::generation`](crate::Theory) so cached
+    /// entailment sessions notice staleness.
+    version: u64,
 }
 
 impl FormulaStore {
@@ -100,6 +104,12 @@ impl FormulaStore {
     /// experiment E4 (O(g) growth per update).
     pub fn size_nodes(&self) -> usize {
         self.live_nodes
+    }
+
+    /// Monotone mutation counter: strictly increases on every insert,
+    /// remove, rename, and wholesale replacement.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Lowers the identifier-space ceilings. Inserts that would need a slot
@@ -177,6 +187,7 @@ impl FormulaStore {
         let id = FormulaId(u32::try_from(self.formulas.len()).expect("checked above"));
         self.live_nodes += nodes;
         self.live_count += 1;
+        self.version += 1;
         self.formulas.push(StoredFormula {
             body,
             nodes,
@@ -192,6 +203,7 @@ impl FormulaStore {
             sf.live = false;
             self.live_nodes -= sf.nodes;
             self.live_count -= 1;
+            self.version += 1;
             // Occurrence counts are decremented so `occurrences_of` stays
             // accurate for simplification decisions.
             let body = sf.body.clone();
@@ -215,6 +227,7 @@ impl FormulaStore {
         let Some(list) = self.atom_slots.remove(&from) else {
             return 0;
         };
+        self.version += 1;
         let mut occurrences = 0;
         for &s in &list {
             debug_assert_eq!(self.slots[s.index()], from);
@@ -281,9 +294,13 @@ impl FormulaStore {
     /// rebuilt from scratch.
     pub fn replace_all(&mut self, wffs: &[Wff]) {
         let (max_slots, max_formulas) = (self.max_slots, self.max_formulas);
+        let version = self.version;
         *self = FormulaStore::new();
         self.max_slots = max_slots;
         self.max_formulas = max_formulas;
+        // Carry the mutation counter forward (and advance it) so the reset
+        // cannot rewind a generation another component has already observed.
+        self.version = version + 1;
         for w in wffs {
             self.insert(w);
         }

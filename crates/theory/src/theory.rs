@@ -29,11 +29,58 @@ use crate::registry::CompletionRegistry;
 use crate::schema::Schema;
 use crate::stats::TheoryStats;
 use crate::store::{FormulaId, FormulaStore};
-use winslett_logic::cnf;
+use std::sync::Mutex;
 use winslett_logic::{
-    enumerate_models, AtomId, AtomTable, BitSet, ConstId, GroundAtom, ModelLimit, PredId,
-    PredicateKind, Vocabulary, Wff,
+    enumerate_models, AtomId, AtomTable, BitSet, ConstId, EntailmentSession, GroundAtom,
+    ModelLimit, PredId, PredicateKind, SessionStats, Vocabulary, Wff,
 };
+
+/// Interior-mutable cache holding the theory's [`EntailmentSession`].
+///
+/// Entailment methods take `&self`, and the worlds engine shares a
+/// `&Theory` across scoped threads, so the cache sits behind a `Mutex`
+/// (keeping `Theory: Sync`). Cloning a theory deliberately starts the
+/// clone with an empty cache — sessions are cheap to rebuild and carry
+/// solver state that must not be shared between diverging theories.
+#[derive(Default)]
+struct SessionSlot(Mutex<SlotInner>);
+
+#[derive(Default)]
+struct SlotInner {
+    /// The cached session, tagged with the generation it was built at.
+    cached: Option<(u64, EntailmentSession)>,
+    /// Sessions built (first use + rebuilds after invalidation).
+    rebuilds: u64,
+    /// Cached sessions discarded on generation mismatch.
+    invalidations: u64,
+    /// Counters accumulated from sessions that were retired.
+    retired: SessionStats,
+    /// Learnt-clause totals from retired sessions.
+    retired_learned: u64,
+}
+
+impl SessionSlot {
+    fn lock(&self) -> std::sync::MutexGuard<'_, SlotInner> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Clone for SessionSlot {
+    fn clone(&self) -> Self {
+        SessionSlot::default()
+    }
+}
+
+impl std::fmt::Debug for SessionSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("SessionSlot")
+            .field("cached", &inner.cached.as_ref().map(|(g, _)| *g))
+            .field("rebuilds", &inner.rebuilds)
+            .field("invalidations", &inner.invalidations)
+            .finish()
+    }
+}
 
 /// An extended relational theory.
 ///
@@ -66,6 +113,8 @@ pub struct Theory {
     pub registry: CompletionRegistry,
     /// The non-axiomatic section.
     pub store: FormulaStore,
+    /// Cached entailment session, invalidated on generation mismatch.
+    session: SessionSlot,
 }
 
 impl Theory {
@@ -229,18 +278,82 @@ impl Theory {
         enumerate_models(&refs, self.num_atoms(), &proj, limit).map_err(TheoryError::from)
     }
 
+    // ----- the incremental entailment session -----------------------------
+
+    /// A monotone counter covering every semantic mutation of the theory:
+    /// section inserts/removes/renames, completion-axiom registrations,
+    /// schema changes, dependency additions, and growth of the atom
+    /// universe or vocabulary. Each summand is itself monotone, so the sum
+    /// strictly increases whenever any component changes — the cached
+    /// session compares generations and rebuilds on mismatch.
+    pub fn generation(&self) -> u64 {
+        self.store.version()
+            + self.registry.version()
+            + self.schema.version()
+            + self.deps.len() as u64
+            + self.atoms.len() as u64
+            + self.vocab.num_constants() as u64
+            + self.vocab.num_predicates() as u64
+    }
+
+    /// Builds a fresh [`EntailmentSession`] over the current model
+    /// constraints, bypassing the cache. Used for per-worker session
+    /// clones in parallel query evaluation and by benchmarks.
+    pub fn fresh_entailment_session(&self) -> EntailmentSession {
+        let constraints = self.model_constraints();
+        EntailmentSession::with_base(self.num_atoms(), constraints.iter())
+    }
+
+    /// Runs `f` against the cached entailment session, (re)building it
+    /// first if none exists or the theory has mutated since it was built.
+    pub fn with_entailment_session<R>(&self, f: impl FnOnce(&mut EntailmentSession) -> R) -> R {
+        let generation = self.generation();
+        let mut slot = self.session.lock();
+        let stale = match &slot.cached {
+            Some((g, _)) => *g != generation,
+            None => true,
+        };
+        if stale {
+            if let Some((_, old)) = slot.cached.take() {
+                slot.invalidations += 1;
+                let st = old.stats();
+                slot.retired.base_wffs += st.base_wffs;
+                slot.retired.encoded_wffs += st.encoded_wffs;
+                slot.retired.encode_reuse_hits += st.encode_reuse_hits;
+                slot.retired.assumption_solves += st.assumption_solves;
+                slot.retired_learned += old.learned_retained();
+            }
+            slot.cached = Some((generation, self.fresh_entailment_session()));
+            slot.rebuilds += 1;
+        }
+        let (_, session) = slot.cached.as_mut().expect("just ensured");
+        f(session)
+    }
+
+    /// Cumulative session counters: retired sessions plus the live one.
+    fn session_counters(&self) -> (u64, u64, SessionStats, u64) {
+        let slot = self.session.lock();
+        let mut total = slot.retired;
+        let mut learned = slot.retired_learned;
+        if let Some((_, s)) = &slot.cached {
+            let st = s.stats();
+            total.base_wffs += st.base_wffs;
+            total.encoded_wffs += st.encoded_wffs;
+            total.encode_reuse_hits += st.encode_reuse_hits;
+            total.assumption_solves += st.assumption_solves;
+            learned += s.learned_retained();
+        }
+        (slot.rebuilds, slot.invalidations, total, learned)
+    }
+
     /// Whether the theory has at least one model.
     pub fn is_consistent(&self) -> bool {
-        let constraints = self.model_constraints();
-        let refs: Vec<&Wff> = constraints.iter().collect();
-        cnf::satisfiable(&refs, self.num_atoms())
+        self.with_entailment_session(|s| s.is_consistent())
     }
 
     /// Whether every model of the theory satisfies `wff` (certain truth).
     pub fn entails(&self, wff: &Wff) -> bool {
-        let constraints = self.model_constraints();
-        let refs: Vec<&Wff> = constraints.iter().collect();
-        cnf::entails(&refs, wff, self.num_atoms())
+        self.with_entailment_session(|s| s.entails(wff))
     }
 
     /// Computes the truth *backbone* of the theory over its atoms: for each
@@ -252,27 +365,22 @@ impl Theory {
     /// ask "which tuples are certain?" wholesale — used by the relational
     /// projections in `winslett-core`.
     pub fn atom_backbone(&self) -> Result<Option<Vec<Option<bool>>>, TheoryError> {
-        let constraints = self.model_constraints();
-        let mut ts = winslett_logic::Tseitin::new(self.num_atoms());
-        for w in &constraints {
-            ts.assert_true(w);
-        }
-        let mut solver = ts.finish().into_solver();
-        Ok(winslett_logic::backbone(&mut solver, self.num_atoms()))
+        // Activation literals of previously-encoded query wffs are free
+        // variables that never constrain the atoms, so the backbone over
+        // the first `num_atoms` variables is unaffected by session reuse.
+        let n = self.num_atoms();
+        Ok(self.with_entailment_session(|s| winslett_logic::backbone(s.solver_mut(), n)))
     }
 
     /// Finds one alternative world in which `wff` holds, if any — a
     /// *witness* for possibility (or, applied to `¬wff`, a counterexample
     /// to certainty). Returns the world projected onto visible atoms.
     pub fn find_world_where(&self, wff: &Wff) -> Option<BitSet> {
-        let constraints = self.model_constraints();
-        let mut ts = winslett_logic::Tseitin::new(self.num_atoms());
-        for w in &constraints {
-            ts.assert_true(w);
-        }
-        ts.assert_true(wff);
-        let mut solver = ts.finish().into_solver();
-        match solver.solve() {
+        let result = self.with_entailment_session(|s| {
+            let l = s.literal_for(wff);
+            s.solve_under(&[l])
+        });
+        match result {
             winslett_logic::SatResult::Sat(model) => {
                 let proj = self.visible_projection();
                 let mut world = BitSet::zeros(self.num_atoms());
@@ -289,10 +397,7 @@ impl Theory {
 
     /// Whether some model of the theory satisfies `wff` (possible truth).
     pub fn consistent_with(&self, wff: &Wff) -> bool {
-        let mut constraints = self.model_constraints();
-        constraints.push(wff.clone());
-        let refs: Vec<&Wff> = constraints.iter().collect();
-        cnf::satisfiable(&refs, self.num_atoms())
+        self.with_entailment_session(|s| s.consistent_with(wff))
     }
 
     // ----- §3.5 legality --------------------------------------------------
@@ -400,6 +505,7 @@ impl Theory {
     }
 
     pub fn stats(&self) -> TheoryStats {
+        let (rebuilds, invalidations, session, learned) = self.session_counters();
         TheoryStats {
             num_formulas: self.store.len(),
             store_nodes: self.store.size_nodes(),
@@ -409,6 +515,12 @@ impl Theory {
             num_constants: self.vocab.num_constants(),
             num_predicates: self.vocab.num_predicates(),
             num_dependencies: self.deps.len(),
+            session_rebuilds: rebuilds,
+            session_invalidations: invalidations,
+            session_assumption_solves: session.assumption_solves,
+            session_encodes: session.encoded_wffs,
+            session_encode_reuse_hits: session.encode_reuse_hits,
+            session_learned_retained: learned,
         }
     }
 
@@ -610,6 +722,74 @@ mod tests {
         assert_eq!(s.num_registered, 2);
         assert_eq!(s.max_predicate_size, 2);
         assert!(s.store_nodes >= 4);
+    }
+
+    #[test]
+    fn generation_bumps_on_every_mutation_class() {
+        let mut t = Theory::new();
+        let g0 = t.generation();
+        let r = t.declare_relation("P", 1).unwrap();
+        let g1 = t.generation();
+        assert!(g1 > g0, "predicate declaration must bump");
+        let c = t.constant("a");
+        let g2 = t.generation();
+        assert!(g2 > g1, "constant interning must bump");
+        let atom = t.atom(r, &[c]);
+        let g3 = t.generation();
+        assert!(g3 > g2, "atom interning must bump");
+        t.register_atom(atom);
+        let g4 = t.generation();
+        assert!(g4 > g3, "registration must bump");
+        let id = t.assert_wff(&Wff::Atom(atom));
+        let g5 = t.generation();
+        assert!(g5 > g4, "section insert must bump");
+        t.store.remove(id);
+        let g6 = t.generation();
+        assert!(g6 > g5, "section remove must bump");
+        t.store.replace_all(&[Wff::Atom(atom)]);
+        let g7 = t.generation();
+        assert!(g7 > g6, "replace_all must bump");
+        let attr = t.declare_attribute("A").unwrap();
+        let g8 = t.generation();
+        assert!(g8 > g7, "attribute declaration must bump");
+        t.declare_typed_relation("Q", &[attr]).unwrap();
+        let g9 = t.generation();
+        assert!(g9 > g8, "type axiom must bump");
+        t.add_dependency(crate::deps::Dependency::inclusion("d", r, 1, r, &[0]).unwrap());
+        assert!(t.generation() > g9, "dependency must bump");
+        // Read-only operations must not bump.
+        let g = t.generation();
+        let _ = t.is_consistent();
+        let _ = t.stats();
+        assert_eq!(t.generation(), g);
+    }
+
+    #[test]
+    fn cached_session_invalidates_on_mutation() {
+        let (mut t, a, b) = paper_theory();
+        assert!(t.entails(&Wff::Atom(a)));
+        assert!(!t.entails(&Wff::Atom(b)));
+        // Mutate: the cached session must not serve stale answers.
+        t.assert_wff(&Wff::Atom(b));
+        assert!(t.entails(&Wff::Atom(b)));
+        let stats = t.stats();
+        assert_eq!(stats.session_rebuilds, 2);
+        assert_eq!(stats.session_invalidations, 1);
+        assert!(stats.session_assumption_solves >= 3);
+        // Asking the same wff again reuses its activation literal.
+        assert!(t.entails(&Wff::Atom(b)));
+        assert!(t.stats().session_encode_reuse_hits >= 1);
+    }
+
+    #[test]
+    fn rename_invalidates_cached_session() {
+        let (mut t, a, b) = paper_theory();
+        assert!(t.entails(&Wff::Atom(a)));
+        // Rename a → b in the section: {b, b ∨ b}; a becomes unregistered
+        // only in the store, but the session must re-read the section.
+        t.store.rename_atom(a, b);
+        assert!(t.entails(&Wff::Atom(b)));
+        assert!(!t.entails(&Wff::Atom(a)));
     }
 
     #[test]

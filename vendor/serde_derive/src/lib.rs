@@ -5,13 +5,21 @@
 //! compiler's `proc_macro` API (no `syn`/`quote`, which are unavailable
 //! offline). Supports the shapes this workspace actually derives on:
 //! non-generic named structs, tuple structs, and enums with unit or tuple
-//! variants.
+//! variants. The only `#[serde(...)]` helper attribute recognized is
+//! `#[serde(default)]` on named struct fields: a missing field
+//! deserializes to `Default::default()` instead of erroring.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: tolerate absence during deserialization.
+    default: bool,
+}
+
 enum Item {
     /// Named-field struct: field identifiers in declaration order.
-    Struct { name: String, fields: Vec<String> },
+    Struct { name: String, fields: Vec<Field> },
     /// Tuple struct with `n` fields.
     TupleStruct { name: String, arity: usize },
     /// Enum: `(variant name, tuple arity)`, arity 0 for unit variants.
@@ -22,7 +30,7 @@ enum Item {
 }
 
 /// Derives `serde::Serialize` (value-tree flavor).
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let body = match &item {
@@ -30,6 +38,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let pushes: Vec<String> = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(::std::string::String::from(\"{f}\"), \
                          ::serde::Serialize::to_value(&self.{f}))"
@@ -103,7 +112,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives `serde::Deserialize` (value-tree flavor).
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let body = match &item {
@@ -111,10 +120,22 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             let inits: Vec<String> = fields
                 .iter()
                 .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_value(\
-                         ::serde::field(entries, \"{f}\")?)?,"
-                    )
+                    let (f, default) = (&f.name, f.default);
+                    if default {
+                        format!(
+                            "{f}: match ::serde::field(entries, \"{f}\") {{\n\
+                                 ::std::result::Result::Ok(v) => \
+                                     ::serde::Deserialize::from_value(v)?,\n\
+                                 ::std::result::Result::Err(_) => \
+                                     ::std::default::Default::default(),\n\
+                             }},"
+                        )
+                    } else {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(\
+                             ::serde::field(entries, \"{f}\")?)?,"
+                        )
+                    }
                 })
                 .collect();
             format!(
@@ -299,12 +320,40 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
     }
 }
 
-/// Parses `name: Type, ...` field lists, angle-bracket aware.
-fn named_fields(stream: TokenStream) -> Vec<String> {
+/// Whether the attribute starting at `tokens[i]` (a `#` followed by a
+/// bracketed group) is `#[serde(default)]`.
+fn is_serde_default_attr(tokens: &[TokenTree], i: usize) -> bool {
+    let Some(TokenTree::Group(g)) = tokens.get(i + 1) else {
+        return false;
+    };
+    if g.delimiter() != Delimiter::Bracket {
+        return false;
+    }
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    match (inner.first(), inner.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+            if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(a) if a.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+/// Parses `name: Type, ...` field lists, angle-bracket aware, noting
+/// `#[serde(default)]` markers.
+fn named_fields(stream: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut i = 0;
     let mut fields = Vec::new();
     while i < tokens.len() {
+        let mut default = false;
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            default |= is_serde_default_attr(&tokens, i);
+            i += 2; // '#' and the bracketed group
+        }
         skip_attrs_and_vis(&tokens, &mut i);
         let name = match tokens.get(i) {
             Some(TokenTree::Ident(id)) => id.to_string(),
@@ -329,7 +378,7 @@ fn named_fields(stream: TokenStream) -> Vec<String> {
             }
             i += 1;
         }
-        fields.push(name);
+        fields.push(Field { name, default });
     }
     fields
 }
