@@ -1,14 +1,15 @@
 # Development pipeline. `make ci` is the gate: format check, clippy with
 # warnings denied, a release build, the test suite, the WAL
 # fault-injection suite, the ldml-lint self-check over the example
-# scripts, and the bench smoke run (which validates the
-# BENCH_worlds.json and BENCH_wal.json shapes).
+# scripts, the bench smoke run (which validates the BENCH_*.json
+# shapes), and the server smoke run (a scripted client session against
+# an in-process winslett-serve instance).
 
 CARGO ?= cargo
 
-.PHONY: ci fmt fmt-check clippy build test faults lint bench-smoke
+.PHONY: ci fmt fmt-check clippy build test faults lint bench-smoke serve-smoke
 
-ci: fmt-check clippy build test faults lint bench-smoke
+ci: fmt-check clippy build test faults lint bench-smoke serve-smoke
 	@echo "ci: all checks passed"
 
 fmt:
@@ -35,8 +36,16 @@ faults:
 lint:
 	$(CARGO) run --release -q -p winslett-analyze --bin ldml-lint -- --self-check examples/*.ldml
 
-# Small E7-style workload through the parallel worlds engine plus the WAL
-# commit-latency run; the harness writes BENCH_worlds.json and
-# BENCH_wal.json and fails if either shape does not validate.
+# Small E7-style workload through the parallel worlds engine, the WAL
+# commit-latency run, the query-session run, and the server load run;
+# the harness writes the BENCH_*.json files and fails if any shape does
+# not validate.
 bench-smoke:
-	$(CARGO) run --release -q -p winslett-bench --bin harness -- worlds wal query --quick --out target/bench-smoke
+	$(CARGO) run --release -q -p winslett-bench --bin harness -- worlds wal query server --quick --out target/bench-smoke
+
+# Boots a winslett-serve instance on an ephemeral port and drives a full
+# scripted client session against it: schema declares, an LDML update, a
+# pinned snapshot query racing a later write, stats, checkpoint, graceful
+# shutdown, and a reopen of the flushed storage. Asserts every response.
+serve-smoke:
+	$(CARGO) run --release -q -p winslett-serve --bin winslett-serve -- smoke

@@ -10,7 +10,7 @@
 //! ```
 
 use winslett_bench::Table;
-use winslett_bench::{experiments, query_bench, wal_bench, worlds_bench};
+use winslett_bench::{experiments, query_bench, server_bench, wal_bench, worlds_bench};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -125,6 +125,28 @@ fn main() {
         // Same re-read-and-validate gate as BENCH_worlds.json.
         let reread = std::fs::read_to_string(&path).expect("read back BENCH_query.json");
         match query_bench::validate_query_bench(&reread) {
+            Ok(_) => eprintln!("{path}: shape OK"),
+            Err(e) => {
+                eprintln!("{path}: shape validation FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if want("server") {
+        let bench = server_bench::run_server_bench(
+            if quick { &[1, 2] } else { &[1, 2, 4] },
+            if quick { 150 } else { 1000 },
+        );
+        tables.push(server_bench::server_table(&bench));
+        let path = match &out_dir {
+            Some(dir) => format!("{dir}/BENCH_server.json"),
+            None => "BENCH_server.json".to_owned(),
+        };
+        let text = serde_json::to_string_pretty(&bench).expect("serializable");
+        std::fs::write(&path, &text).expect("write BENCH_server.json");
+        // Same re-read-and-validate gate as BENCH_worlds.json.
+        let reread = std::fs::read_to_string(&path).expect("read back BENCH_server.json");
+        match server_bench::validate_server_bench(&reread) {
             Ok(_) => eprintln!("{path}: shape OK"),
             Err(e) => {
                 eprintln!("{path}: shape validation FAILED: {e}");

@@ -9,10 +9,12 @@
 pub mod experiments;
 pub mod query_bench;
 pub mod report;
+pub mod server_bench;
 pub mod wal_bench;
 pub mod worlds_bench;
 
 pub use query_bench::{query_table, run_query_bench, validate_query_bench, QueryBench};
 pub use report::Table;
+pub use server_bench::{run_server_bench, server_table, validate_server_bench, ServerBench};
 pub use wal_bench::{run_wal_bench, validate_wal_bench, wal_table, WalBench};
 pub use worlds_bench::{run_worlds_bench, validate_worlds_bench, worlds_table, WorldsBench};

@@ -21,6 +21,7 @@ pub mod persist;
 pub mod query;
 pub mod relational;
 pub mod replay;
+pub mod snapshot;
 pub mod vars;
 pub mod wal;
 pub mod workload;
@@ -35,6 +36,7 @@ pub use persist::{
 pub use query::{Answers, Query, QueryAtom, QueryTerm, SupportedAnswer};
 pub use relational::{certain_database, from_world, possible_database, RelationalDatabase};
 pub use replay::{replay_updates, ReplayDatabase};
+pub use snapshot::{SnapshotReader, TheorySnapshot};
 pub use vars::{PatternWff, VarAtom, VarStatement, VarTerm, VarUpdate};
 pub use wal::{
     DirStorage, DurableDatabase, FailpointStorage, MemStorage, RecoveryReport, Storage, SyncPolicy,

@@ -214,6 +214,39 @@ impl Query {
         Ok(answers)
     }
 
+    /// Evaluates the query deciding every candidate against a
+    /// caller-provided [`EntailmentSession`](winslett_logic::EntailmentSession)
+    /// instead of the theory's shared cached one. This is the snapshot-read
+    /// path: a server connection pinning an `Arc<Theory>` snapshot keeps its
+    /// **own** session (encoded once per snapshot) and evaluates every query
+    /// against it, so concurrent readers never contend on the theory's
+    /// internal session mutex. The session must have been built over this
+    /// theory's model constraints (e.g. via
+    /// [`Theory::fresh_entailment_session`]); answers are then identical to
+    /// [`Query::evaluate`].
+    pub fn evaluate_with_session(
+        &self,
+        theory: &Theory,
+        session: &mut winslett_logic::EntailmentSession,
+    ) -> Result<Answers, DbError> {
+        let candidates = self.candidate_instances(theory)?;
+        let mut answers = Answers::default();
+        for (row, wff) in candidates {
+            let (possible, certain) = decide_one(session, &wff);
+            if possible {
+                if certain {
+                    answers.certain.push(row.clone());
+                }
+                answers.possible.push(row);
+            }
+        }
+        answers.certain.sort();
+        answers.certain.dedup();
+        answers.possible.sort();
+        answers.possible.dedup();
+        Ok(answers)
+    }
+
     /// Enumerates the distinct complete bindings of the query together with
     /// their fully instantiated ground wffs — the SAT-free half of
     /// [`Query::evaluate`]. Exposed so benchmarks can compare decision
@@ -378,10 +411,7 @@ const PARALLEL_DECIDE_THRESHOLD: usize = 32;
 /// possible — over an inconsistent theory nothing is possible, matching
 /// the legacy fresh-solver answers.
 fn decide_one(session: &mut winslett_logic::EntailmentSession, wff: &Wff) -> (bool, bool) {
-    let l = session.literal_for(wff);
-    let possible = session.satisfiable_under(&[l]);
-    let certain = possible && !session.satisfiable_under(&[l.negate()]);
-    (possible, certain)
+    session.decide(wff)
 }
 
 /// Decides every candidate, sequentially through the theory's cached

@@ -1,0 +1,327 @@
+//! MVCC-style snapshot reads: pin a theory generation, query it forever.
+//!
+//! The serving layer (`winslett-serve`) runs one writer and many readers.
+//! The writer owns the [`DurableDatabase`](crate::DurableDatabase) and,
+//! after each committed update, publishes an immutable [`TheorySnapshot`] —
+//! the theory cloned once and parked behind an `Arc`, stamped with the
+//! [`Theory::generation`] it was taken at. Readers clone the `Arc` (cheap)
+//! and never touch the writer again: a long analytical query runs against
+//! its pinned snapshot while the writer commits on.
+//!
+//! Reading still needs *mutable* machinery — parsing a wff interns atoms,
+//! and SAT solving mutates the solver — so each reader holds a
+//! [`SnapshotReader`]: a private copy of the snapshot's symbol tables plus
+//! a private [`EntailmentSession`] encoded **once per snapshot** and reused
+//! across every query the connection sends at that generation. Atoms a
+//! query mentions that the snapshot has never interned are outside every
+//! completion axiom, hence false in every world: the reader folds them to
+//! `F` before the session sees them, so answers agree exactly with what
+//! [`LogicalDatabase`](crate::LogicalDatabase) would say if the same
+//! question were asked at that generation.
+
+use crate::error::DbError;
+use crate::explain::{Explanation, Verdict};
+use crate::query::{Answers, Query};
+use std::sync::Arc;
+use winslett_logic::{
+    parse_wff, AtomTable, EntailmentSession, ParseContext, SatResult, SessionStats, Vocabulary, Wff,
+};
+use winslett_theory::Theory;
+
+/// An immutable, generation-stamped view of a theory, shared by `Arc`.
+///
+/// Cloning a `TheorySnapshot` clones the `Arc`, not the theory — handing
+/// the same snapshot to a hundred readers costs a hundred refcounts.
+#[derive(Clone, Debug)]
+pub struct TheorySnapshot {
+    theory: Arc<Theory>,
+    generation: u64,
+}
+
+impl TheorySnapshot {
+    /// Freezes `theory` into a snapshot (one clone; the only deep copy in
+    /// the snapshot lifecycle).
+    pub fn capture(theory: &Theory) -> Self {
+        Self::from_theory(theory.clone())
+    }
+
+    /// Wraps an owned theory without copying.
+    pub fn from_theory(theory: Theory) -> Self {
+        let generation = theory.generation();
+        TheorySnapshot {
+            theory: Arc::new(theory),
+            generation,
+        }
+    }
+
+    /// The frozen theory.
+    pub fn theory(&self) -> &Theory {
+        &self.theory
+    }
+
+    /// The [`Theory::generation`] this snapshot was taken at.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// A fresh per-connection reader over this snapshot.
+    pub fn reader(&self) -> SnapshotReader {
+        SnapshotReader::new(self.clone())
+    }
+}
+
+/// A private read session over one [`TheorySnapshot`].
+///
+/// Construction clones the snapshot's vocabulary and atom table (so query
+/// parsing can intern without mutating the shared theory) and encodes the
+/// theory into a dedicated [`EntailmentSession`]; every subsequent query
+/// is assumption-solves against that one encoding.
+pub struct SnapshotReader {
+    snapshot: TheorySnapshot,
+    /// Private language copy: interning a query's atoms must not race the
+    /// writer or other readers.
+    vocab: Vocabulary,
+    atoms: AtomTable,
+    session: EntailmentSession,
+    /// Atom-universe size of the underlying theory; atoms interned past
+    /// this bound by query parsing are false in every world.
+    universe: usize,
+}
+
+impl SnapshotReader {
+    /// Builds a reader (clones the symbol tables, encodes the session).
+    pub fn new(snapshot: TheorySnapshot) -> Self {
+        let theory = snapshot.theory();
+        SnapshotReader {
+            vocab: theory.vocab.clone(),
+            atoms: theory.atoms.clone(),
+            session: theory.fresh_entailment_session(),
+            universe: theory.num_atoms(),
+            snapshot,
+        }
+    }
+
+    /// The generation this reader is pinned at.
+    pub fn generation(&self) -> u64 {
+        self.snapshot.generation()
+    }
+
+    /// The pinned snapshot.
+    pub fn snapshot(&self) -> &TheorySnapshot {
+        &self.snapshot
+    }
+
+    /// Work counters of the private session.
+    pub fn session_stats(&self) -> SessionStats {
+        self.session.stats()
+    }
+
+    /// Parses a ground wff strictly against the private symbol tables and
+    /// folds atoms outside the snapshot's universe to `F` (they are
+    /// unregistered, hence false in every alternative world).
+    fn parse(&mut self, src: &str) -> Result<Wff, DbError> {
+        let mut ctx = ParseContext::strict(&mut self.vocab, &mut self.atoms);
+        let wff = parse_wff(src, &mut ctx)?;
+        let universe = self.universe;
+        Ok(wff.subst_atoms(&mut |a| {
+            if a.index() < universe {
+                Wff::Atom(*a)
+            } else {
+                Wff::f()
+            }
+        }))
+    }
+
+    /// Whether `src` is true in every alternative world of the snapshot.
+    pub fn is_certain(&mut self, src: &str) -> Result<bool, DbError> {
+        let wff = self.parse(src)?;
+        Ok(self.session.entails(&wff))
+    }
+
+    /// Whether `src` is true in some alternative world of the snapshot.
+    pub fn is_possible(&mut self, src: &str) -> Result<bool, DbError> {
+        let wff = self.parse(src)?;
+        Ok(self.session.consistent_with(&wff))
+    }
+
+    /// The `(possible, certain)` pair for `src` — one activation literal,
+    /// at most two solves.
+    pub fn decide(&mut self, src: &str) -> Result<(bool, bool), DbError> {
+        let wff = self.parse(src)?;
+        Ok(self.session.decide(&wff))
+    }
+
+    /// Explains `src`: three-valued verdict plus witness/counterexample
+    /// worlds, extracted from the private session (no world enumeration).
+    pub fn explain(&mut self, src: &str) -> Result<Explanation, DbError> {
+        let wff = self.parse(src)?;
+        let l = self.session.literal_for(&wff);
+        let witness = match self.session.solve_under(&[l]) {
+            SatResult::Sat(model) => Some(self.snapshot.theory().project_model_to_world(&model)),
+            SatResult::Unsat => None,
+        };
+        let counter = match self.session.solve_under(&[l.negate()]) {
+            SatResult::Sat(model) => Some(self.snapshot.theory().project_model_to_world(&model)),
+            SatResult::Unsat => None,
+        };
+        let verdict = match (&witness, &counter) {
+            (Some(_), Some(_)) => Verdict::Uncertain,
+            (Some(_), None) => Verdict::Certain,
+            (None, Some(_)) => Verdict::Impossible,
+            (None, None) => Verdict::Inconsistent,
+        };
+        let render = |w: &winslett_logic::BitSet| self.snapshot.theory().format_world(w);
+        Ok(Explanation {
+            verdict,
+            witness: witness.as_ref().map(render),
+            counterexample: counter.as_ref().map(render),
+        })
+    }
+
+    /// Runs a conjunctive query against the snapshot through the private
+    /// session ([`Query::evaluate_with_session`]).
+    pub fn query(&mut self, src: &str) -> Result<Answers, DbError> {
+        let q = Query::parse(src, self.snapshot.theory())?;
+        q.evaluate_with_session(self.snapshot.theory(), &mut self.session)
+    }
+
+    /// Whether the snapshot has at least one alternative world.
+    pub fn is_consistent(&mut self) -> bool {
+        self.session.is_consistent()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::LogicalDatabase;
+
+    fn orders_db() -> LogicalDatabase {
+        let mut db = LogicalDatabase::new();
+        db.declare_relation("Orders", 3).unwrap();
+        db.declare_relation("InStock", 2).unwrap();
+        db.load_fact("Orders", &["700", "32", "9"]).unwrap();
+        db.load_fact("InStock", &["32", "1"]).unwrap();
+        db
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_writes() {
+        let mut db = orders_db();
+        let snap = TheorySnapshot::capture(db.theory());
+        let pinned_gen = snap.generation();
+        db.execute("DELETE Orders(700,32,9) WHERE T").unwrap();
+        assert!(db.theory().generation() > pinned_gen);
+        // The live database no longer has the tuple; the snapshot still does.
+        assert!(db.is_certain("!Orders(700,32,9)").unwrap());
+        let mut reader = snap.reader();
+        assert!(reader.is_certain("Orders(700,32,9)").unwrap());
+        assert_eq!(reader.generation(), pinned_gen);
+    }
+
+    #[test]
+    fn reader_matches_live_database_verdicts() {
+        let mut db = orders_db();
+        db.execute("INSERT Orders(100,32,1) | Orders(100,32,7) WHERE T")
+            .unwrap();
+        let snap = TheorySnapshot::capture(db.theory());
+        let mut reader = snap.reader();
+        for wff in [
+            "Orders(700,32,9)",
+            "Orders(100,32,1)",
+            "Orders(100,32,1) | Orders(100,32,7)",
+            "!InStock(32,1)",
+            "Orders(100,32,1) & Orders(100,32,7)",
+        ] {
+            assert_eq!(
+                reader.is_certain(wff).unwrap(),
+                db.is_certain(wff).unwrap(),
+                "certain({wff})"
+            );
+            assert_eq!(
+                reader.is_possible(wff).unwrap(),
+                db.is_possible(wff).unwrap(),
+                "possible({wff})"
+            );
+            let (possible, certain) = reader.decide(wff).unwrap();
+            assert_eq!(possible, db.is_possible(wff).unwrap());
+            assert_eq!(certain, db.is_certain(wff).unwrap());
+        }
+    }
+
+    #[test]
+    fn reader_query_matches_live_query() {
+        let mut db = orders_db();
+        db.execute("INSERT Orders(800,32,5) WHERE T").unwrap();
+        db.execute("INSERT Orders(100,32,1) | Orders(100,32,7) WHERE T")
+            .unwrap();
+        let snap = TheorySnapshot::capture(db.theory());
+        let mut reader = snap.reader();
+        for q in [
+            "Orders(?o, 32, ?q)",
+            "Orders(?o, 32, ?q) & !InStock(32, ?q)",
+        ] {
+            assert_eq!(reader.query(q).unwrap(), db.query(q).unwrap(), "{q}");
+        }
+    }
+
+    #[test]
+    fn foreign_atoms_fold_to_false_not_error() {
+        let db = orders_db();
+        let snap = TheorySnapshot::capture(db.theory());
+        let mut reader = snap.reader();
+        // `Orders(700,32,1)` mentions only known constants but was never
+        // interned as an atom in the snapshot: certainly false, possibly
+        // false — and its negation certainly true.
+        assert!(!reader.is_possible("Orders(700,32,1)").unwrap());
+        assert!(reader.is_certain("!Orders(700,32,1)").unwrap());
+        // The shared theory's atom table is untouched by the probe.
+        assert_eq!(snap.theory().num_atoms(), reader.universe);
+        // Unknown predicates are still strict errors.
+        assert!(reader.is_certain("Nope(1)").is_err());
+    }
+
+    #[test]
+    fn reader_explain_matches_live_explain() {
+        let mut db = orders_db();
+        db.execute("INSERT Orders(100,32,1) | Orders(100,32,7) WHERE T")
+            .unwrap();
+        let snap = TheorySnapshot::capture(db.theory());
+        let mut reader = snap.reader();
+        for wff in ["Orders(700,32,9)", "Orders(100,32,1)", "!InStock(32,1)"] {
+            let live = db.explain(wff).unwrap();
+            let snap_e = reader.explain(wff).unwrap();
+            assert_eq!(live.verdict, snap_e.verdict, "{wff}");
+            // Witness worlds may differ (any model is a legal witness);
+            // presence/absence must agree.
+            assert_eq!(live.witness.is_some(), snap_e.witness.is_some());
+            assert_eq!(
+                live.counterexample.is_some(),
+                snap_e.counterexample.is_some()
+            );
+        }
+    }
+
+    #[test]
+    fn session_is_reused_across_queries_at_one_snapshot() {
+        let db = orders_db();
+        let snap = TheorySnapshot::capture(db.theory());
+        let mut reader = snap.reader();
+        reader.is_certain("Orders(700,32,9)").unwrap();
+        reader.is_certain("Orders(700,32,9)").unwrap();
+        reader.is_possible("Orders(700,32,9)").unwrap();
+        let stats = reader.session_stats();
+        // The wff was encoded once; later asks hit the literal cache.
+        assert_eq!(stats.encoded_wffs, 1);
+        assert!(stats.encode_reuse_hits >= 2);
+    }
+
+    #[test]
+    fn cloning_a_snapshot_shares_the_theory() {
+        let db = orders_db();
+        let snap = TheorySnapshot::capture(db.theory());
+        let other = snap.clone();
+        assert!(Arc::ptr_eq(&snap.theory, &other.theory));
+        assert_eq!(snap.generation(), other.generation());
+    }
+}

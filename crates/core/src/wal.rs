@@ -242,6 +242,11 @@ pub struct FailpointStorage {
 #[derive(Debug)]
 struct FailState {
     inner: MemStorage,
+    /// The durable image: what the platters hold. Appends land only in
+    /// `inner` (the OS page cache); `sync` copies the named file down,
+    /// and `replace` is durable by construction (temp file + fsync +
+    /// rename + directory fsync).
+    durable: MemStorage,
     budget: u64,
     bytes_written: u64,
     dead: bool,
@@ -262,6 +267,7 @@ impl FailpointStorage {
         FailpointStorage {
             state: std::rc::Rc::new(std::cell::RefCell::new(FailState {
                 inner: MemStorage::new(),
+                durable: MemStorage::new(),
                 budget: kill_after_bytes,
                 bytes_written: 0,
                 dead: false,
@@ -285,9 +291,18 @@ impl FailpointStorage {
         self.state.borrow().dead
     }
 
-    /// A copy of the surviving on-disk state, as recovery would see it.
+    /// A copy of the surviving on-disk state, as recovery would see it
+    /// after a **process** crash (the OS lived on, so buffered appends
+    /// reached the files even if never fsynced).
     pub fn survivor(&self) -> MemStorage {
         self.state.borrow().inner.clone()
+    }
+
+    /// A copy of the surviving on-disk state after a **power loss**: only
+    /// what a [`Storage::sync`] or an atomic [`Storage::replace`] made
+    /// durable. Appends that were never synced are gone.
+    pub fn power_loss_survivor(&self) -> MemStorage {
+        self.state.borrow().durable.clone()
     }
 }
 
@@ -319,10 +334,15 @@ impl Storage for FailpointStorage {
         }
     }
 
-    fn sync(&mut self, _name: &str) -> Result<(), DbError> {
-        let st = self.state.borrow();
+    fn sync(&mut self, name: &str) -> Result<(), DbError> {
+        let mut st = self.state.borrow_mut();
         if st.dead {
             return Err(st.injected());
+        }
+        // fsync: the cached file becomes the durable file.
+        match st.inner.get(name).cloned() {
+            Some(bytes) => st.durable.put(name, bytes),
+            None => st.durable.remove(name),
         }
         Ok(())
     }
@@ -335,7 +355,9 @@ impl Storage for FailpointStorage {
         if (data.len() as u64) <= st.budget {
             st.budget -= data.len() as u64;
             st.bytes_written += data.len() as u64;
-            st.inner.replace(name, data)
+            st.inner.replace(name, data)?;
+            // temp file + fsync + rename + dir fsync: durable on return.
+            st.durable.replace(name, data)
         } else {
             // The rename never happens: old contents survive.
             st.bytes_written += st.budget;
@@ -655,7 +677,10 @@ pub struct RecoveryReport {
 #[derive(Clone, Debug)]
 pub struct DurableDatabase<S: Storage> {
     db: LogicalDatabase,
-    storage: S,
+    /// `None` only after [`DurableDatabase::close`] /
+    /// [`DurableDatabase::into_storage`] moved the storage out (which is
+    /// what lets those methods coexist with the flush-on-[`Drop`] impl).
+    storage: Option<S>,
     wal_options: WalOptions,
     next_lsn: u64,
     snapshot_lsn: u64,
@@ -682,7 +707,7 @@ impl<S: Storage> DurableDatabase<S> {
             let nodes = db.theory().store_nodes();
             let me = DurableDatabase {
                 db,
-                storage,
+                storage: Some(storage),
                 wal_options,
                 next_lsn: 0,
                 snapshot_lsn: 0,
@@ -700,7 +725,7 @@ impl<S: Storage> DurableDatabase<S> {
         }
         let mut me = DurableDatabase {
             db,
-            storage,
+            storage: Some(storage),
             wal_options,
             next_lsn,
             snapshot_lsn,
@@ -843,10 +868,17 @@ impl<S: Storage> DurableDatabase<S> {
 
     // ----- journaling core --------------------------------------------------
 
+    /// The storage, mutable. Panics only if called after `close`/
+    /// `into_storage` moved it out — impossible from safe client code,
+    /// since both consume `self`.
+    fn storage_mut(&mut self) -> &mut S {
+        self.storage.as_mut().expect("storage moved out")
+    }
+
     fn append_entry(&mut self, record: WalRecord) -> Result<u64, DbError> {
         let lsn = self.next_lsn;
         let bytes = encode_entry(&WalEntry { lsn, record })?;
-        self.storage.append(WAL_FILE, &bytes)?;
+        self.storage_mut().append(WAL_FILE, &bytes)?;
         self.next_lsn += 1;
         self.unsynced += 1;
         self.stats.records += 1;
@@ -985,7 +1017,7 @@ impl<S: Storage> DurableDatabase<S> {
     /// Durably flushes all appended records (a group-commit sync point).
     pub fn sync(&mut self) -> Result<(), DbError> {
         if self.unsynced > 0 {
-            self.storage.sync(WAL_FILE)?;
+            self.storage_mut().sync(WAL_FILE)?;
             self.stats.syncs += 1;
             self.unsynced = 0;
         }
@@ -1007,8 +1039,8 @@ impl<S: Storage> DurableDatabase<S> {
         let json = serde_json::to_string(&snap).map_err(|e| DbError::Query {
             message: format!("snapshot serialization failed: {e}"),
         })?;
-        self.storage.replace(SNAPSHOT_FILE, json.as_bytes())?;
-        self.storage.replace(WAL_FILE, &wal_header())?;
+        self.storage_mut().replace(SNAPSHOT_FILE, json.as_bytes())?;
+        self.storage_mut().replace(WAL_FILE, &wal_header())?;
         self.snapshot_lsn = self.next_lsn;
         self.unsynced = 0;
         self.nodes_at_snapshot = self.db.theory().store_nodes();
@@ -1045,13 +1077,39 @@ impl<S: Storage> DurableDatabase<S> {
 
     /// The storage, read-only.
     pub fn storage(&self) -> &S {
-        &self.storage
+        self.storage.as_ref().expect("storage moved out")
     }
 
     /// Consumes the database, returning the storage (fault-injection
-    /// tests recover from the survivor of a crashed instance).
-    pub fn into_storage(self) -> S {
-        self.storage
+    /// tests recover from the survivor of a crashed instance). Unlike
+    /// [`DurableDatabase::close`] this deliberately does **not** flush —
+    /// it models pulling the plug on a live instance.
+    pub fn into_storage(mut self) -> S {
+        self.storage.take().expect("storage moved out")
+    }
+
+    /// Graceful shutdown: durably flushes any group-commit buffered
+    /// records, then returns the storage. Under
+    /// [`SyncPolicy::GroupCommit`] records appended since the last sync
+    /// point are only in the OS cache; a process that exits without this
+    /// call leans on the best-effort [`Drop`] flush, which cannot report
+    /// failure. Call `close` on every orderly shutdown path.
+    pub fn close(mut self) -> Result<S, DbError> {
+        self.sync()?;
+        Ok(self.storage.take().expect("storage moved out"))
+    }
+}
+
+impl<S: Storage> Drop for DurableDatabase<S> {
+    /// Best-effort flush of buffered records. Errors are swallowed (there
+    /// is no one to report them to in `drop`); shutdown paths that need
+    /// the sync to be *confirmed* must call [`DurableDatabase::close`].
+    fn drop(&mut self) {
+        if self.unsynced > 0 {
+            if let Some(storage) = self.storage.as_mut() {
+                let _ = storage.sync(WAL_FILE);
+            }
+        }
     }
 }
 
@@ -1492,5 +1550,65 @@ mod tests {
             recovered.db().theory().store_nodes(),
             live_nodes
         );
+    }
+
+    fn group_commit_opts() -> WalOptions {
+        WalOptions {
+            policy: SyncPolicy::GroupCommit(1024),
+            compact_growth_factor: None,
+            compact_min_nodes: 0,
+        }
+    }
+
+    fn fp_seeded(fp: &FailpointStorage) -> DurableDatabase<FailpointStorage> {
+        let (mut ddb, _) =
+            DurableDatabase::open(fp.clone(), DbOptions::default(), group_commit_opts()).unwrap();
+        ddb.declare_relation("Orders", 3).unwrap();
+        ddb.load_fact("Orders", &["700", "32", "9"]).unwrap();
+        ddb.execute("INSERT Orders(100,32,1) | Orders(100,32,7) WHERE T")
+            .unwrap();
+        ddb
+    }
+
+    #[test]
+    fn group_commit_buffer_lost_to_power_loss_kept_by_close() {
+        let fp = FailpointStorage::unlimited();
+        let ddb = fp_seeded(&fp);
+        let live = world_set(ddb.db());
+
+        // Power loss before any sync point: the whole buffered tail —
+        // every record since open — never reached the platters.
+        let (cold, _) = reopen(fp.power_loss_survivor());
+        assert_ne!(world_set(cold.db()), live);
+
+        // Graceful shutdown flushes the group-commit buffer; the same
+        // power-loss image now recovers the full state.
+        ddb.close().unwrap();
+        let (recovered, report) = reopen(fp.power_loss_survivor());
+        assert_eq!(world_set(recovered.db()), live);
+        assert_eq!(report.truncated, None);
+    }
+
+    #[test]
+    fn drop_flushes_group_commit_buffer_best_effort() {
+        let fp = FailpointStorage::unlimited();
+        let ddb = fp_seeded(&fp);
+        let live = world_set(ddb.db());
+        drop(ddb); // no close(): the Drop impl must still flush
+        let (recovered, _) = reopen(fp.power_loss_survivor());
+        assert_eq!(world_set(recovered.db()), live);
+    }
+
+    #[test]
+    fn into_storage_still_models_pulling_the_plug() {
+        let fp = FailpointStorage::unlimited();
+        let ddb = fp_seeded(&fp);
+        let live = world_set(ddb.db());
+        let _ = ddb.into_storage(); // crash simulation: must NOT flush
+        let (cold, _) = reopen(fp.power_loss_survivor());
+        assert_ne!(world_set(cold.db()), live);
+        // ...but the process-crash survivor (OS cache intact) has it all.
+        let (warm, _) = reopen(fp.survivor());
+        assert_eq!(world_set(warm.db()), live);
     }
 }

@@ -194,6 +194,19 @@ impl EntailmentSession {
         self.entails(wff)
     }
 
+    /// The standard query pair `(possible, certain)` for one wff: whether
+    /// some model of the base satisfies it, and whether every model does.
+    /// One activation literal, at most two assumption solves — certainty
+    /// is only probed when the wff is possible, so an inconsistent base
+    /// answers `(false, false)` exactly like the fresh-solver convention
+    /// the query engine and snapshot readers rely on.
+    pub fn decide(&mut self, wff: &Wff) -> (bool, bool) {
+        let l = self.literal_for(wff);
+        let possible = self.satisfiable_under(&[l]);
+        let certain = possible && !self.satisfiable_under(&[l.negate()]);
+        (possible, certain)
+    }
+
     /// Whether two wffs are logically equivalent (over the base; with an
     /// empty base, plain logical equivalence).
     pub fn equivalent(&mut self, a: &Wff, b: &Wff) -> bool {
@@ -279,6 +292,21 @@ mod tests {
         assert_eq!(st.encode_reuse_hits, 2);
         assert_eq!(st.assumption_solves, 3);
         assert_eq!(st.base_wffs, 1);
+    }
+
+    #[test]
+    fn decide_matches_the_individual_queries() {
+        let base = [a(0), Wff::or2(a(1), a(2))];
+        let mut s = EntailmentSession::with_base(3, base.iter());
+        for w in [a(0), a(1), Wff::and2(a(1), a(2)), a(0).not()] {
+            let (possible, certain) = s.decide(&w);
+            assert_eq!(possible, s.consistent_with(&w), "{w:?}");
+            assert_eq!(certain, s.entails(&w), "{w:?}");
+        }
+        // Inconsistent base: nothing possible, nothing certain via decide
+        // (the pair short-circuits instead of reporting vacuous truth).
+        let mut s = EntailmentSession::with_base(2, [a(0), a(0).not()].iter());
+        assert_eq!(s.decide(&a(1)), (false, false));
     }
 
     #[test]

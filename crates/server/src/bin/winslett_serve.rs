@@ -1,0 +1,375 @@
+//! The `winslett-serve` binary: serve a durable LDML database over TCP,
+//! talk to one from a line-oriented REPL, or run the CI smoke script.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+use winslett_core::{DbOptions, DirStorage, MemStorage, SyncPolicy, WalOptions};
+use winslett_serve::{Client, Server, ServerOptions};
+
+const USAGE: &str = "\
+winslett-serve — a concurrent LDML database server
+
+USAGE:
+  winslett-serve serve --dir PATH [--addr HOST:PORT] [--idle-secs N]
+                       [--max-conns N] [--group-commit N]
+  winslett-serve repl  --addr HOST:PORT
+  winslett-serve smoke
+
+serve   Serve a durable database from PATH (created if missing).
+        Default --addr 127.0.0.1:7171. SIGTERM/SIGINT and the protocol
+        Shutdown request both drain connections and flush the WAL.
+repl    Interactive client. Lines are LDML statements; prefixed
+        commands: query / check / explain / pin / unpin / stats /
+        checkpoint / shutdown / quit.
+smoke   In-process end-to-end session against an ephemeral-port server
+        (the `make serve-smoke` gate). Exits non-zero on any mismatch.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("repl") => cmd_repl(&args[1..]),
+        Some("smoke") => cmd_smoke(),
+        _ => {
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("winslett-serve: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parsed_flag<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>, String> {
+    match flag_value(args, name) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("bad value for {name}: {raw}")),
+    }
+}
+
+// ----- serve ----------------------------------------------------------------
+
+/// Set by the signal handler; a watcher thread turns it into a graceful
+/// shutdown request.
+static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    // `std` already links the platform libc; declaring `signal` directly
+    // avoids a vendored libc crate for two constants.
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    extern "C" fn on_signal(_sig: i32) {
+        SIGNALED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let dir = flag_value(args, "--dir").ok_or("serve requires --dir PATH")?;
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:7171");
+    let idle_secs: u64 = parsed_flag(args, "--idle-secs")?.unwrap_or(30);
+    let max_conns: usize = parsed_flag(args, "--max-conns")?.unwrap_or(64);
+    let group_commit: usize = parsed_flag(args, "--group-commit")?.unwrap_or(1);
+
+    let storage = DirStorage::new(dir).map_err(|e| e.to_string())?;
+    let wal_options = WalOptions {
+        policy: if group_commit <= 1 {
+            SyncPolicy::EveryRecord
+        } else {
+            SyncPolicy::GroupCommit(group_commit)
+        },
+        ..WalOptions::default()
+    };
+    let server_options = ServerOptions {
+        max_connections: max_conns,
+        idle_timeout: Duration::from_secs(idle_secs.max(1)),
+    };
+    let (server, report) = Server::bind(
+        addr,
+        storage,
+        DbOptions::default(),
+        wal_options,
+        server_options,
+    )
+    .map_err(|e| e.to_string())?;
+    if report.records_seen > 0 || report.snapshot_lsn > 0 {
+        eprintln!(
+            "recovered: snapshot lsn {}, {} wal records ({} replayed)",
+            report.snapshot_lsn, report.records_seen, report.replayed
+        );
+    }
+    eprintln!("serving on {}", server.local_addr());
+
+    install_signal_handlers();
+    let handle = server.handle();
+    std::thread::spawn(move || loop {
+        if SIGNALED.load(Ordering::SeqCst) {
+            eprintln!("signal received: draining");
+            handle.request_shutdown();
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    });
+
+    server.run().map(|_storage| ()).map_err(|e| e.to_string())?;
+    eprintln!("shut down cleanly; WAL flushed");
+    Ok(())
+}
+
+// ----- repl -----------------------------------------------------------------
+
+fn cmd_repl(args: &[String]) -> Result<(), String> {
+    let addr = flag_value(args, "--addr").ok_or("repl requires --addr HOST:PORT")?;
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    eprintln!("connected to {addr}; `quit` to leave, `help` for commands");
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        use std::io::BufRead;
+        if stdin
+            .lock()
+            .read_line(&mut line)
+            .map_err(|e| e.to_string())?
+            == 0
+        {
+            return Ok(()); // EOF
+        }
+        let input = line.trim();
+        if input.is_empty() {
+            continue;
+        }
+        let (cmd, rest) = match input.split_once(char::is_whitespace) {
+            Some((c, r)) => (c, r.trim()),
+            None => (input, ""),
+        };
+        let outcome = match (cmd.to_ascii_lowercase().as_str(), rest) {
+            ("quit" | "exit", _) => return Ok(()),
+            ("help", _) => {
+                eprintln!(
+                    "  <LDML statement>      journaled update\n  \
+                     query <pattern>       certain/possible rows\n  \
+                     check <wff>           entailment check\n  \
+                     explain <wff>         verdict + witness worlds\n  \
+                     pin | unpin           snapshot isolation\n  \
+                     stats | checkpoint | shutdown | quit"
+                );
+                continue;
+            }
+            ("query", src) => client.query(src).map(|r| {
+                format!(
+                    "certain: {:?}\npossible: {:?}  (gen {})",
+                    r.certain, r.possible, r.generation
+                )
+            }),
+            ("check", src) => client.check(src).map(|r| {
+                format!(
+                    "possible: {}, certain: {}  (gen {})",
+                    r.possible, r.certain, r.generation
+                )
+            }),
+            ("explain", src) => client.explain(src).map(|r| {
+                let mut out = format!("{:?}  (gen {})", r.verdict, r.generation);
+                if let Some(w) = r.witness {
+                    out.push_str(&format!("\n  witness: {{{}}}", w.join(", ")));
+                }
+                if let Some(c) = r.counterexample {
+                    out.push_str(&format!("\n  counterexample: {{{}}}", c.join(", ")));
+                }
+                out
+            }),
+            ("pin", _) => client.pin().map(|s| {
+                format!(
+                    "pinned generation {} ({} updates, last lsn {})",
+                    s.generation, s.updates_applied, s.last_lsn
+                )
+            }),
+            ("unpin", _) => client.unpin().map(|()| "unpinned".to_string()),
+            ("stats", _) => client.stats().map(|s| format!("{s:#?}")),
+            ("checkpoint", _) => client
+                .checkpoint()
+                .map(|c| format!("checkpointed through lsn {}", c.lsn)),
+            ("shutdown", _) => {
+                let r = client.shutdown().map(|()| "server draining".to_string());
+                print_outcome(r);
+                return Ok(());
+            }
+            ("declare", spec) => match spec.rsplit_once('/') {
+                Some((name, arity)) => match arity.parse::<u64>() {
+                    Ok(a) => client
+                        .declare_relation(name.trim(), a)
+                        .map(|x| format!("declared (lsn {})", x.lsn)),
+                    Err(_) => Err(winslett_serve::ClientError::Unexpected(format!(
+                        "bad arity in `{spec}` (want name/arity)"
+                    ))),
+                },
+                None => Err(winslett_serve::ClientError::Unexpected(format!(
+                    "bad declare `{spec}` (want name/arity)"
+                ))),
+            },
+            _ => client.execute(input).map(|x| {
+                format!(
+                    "ok: lsn {}, generation {}, {} nodes added",
+                    x.lsn, x.generation, x.nodes_added
+                )
+            }),
+        };
+        print_outcome(outcome);
+    }
+}
+
+fn print_outcome(outcome: Result<String, winslett_serve::ClientError>) {
+    match outcome {
+        Ok(text) => println!("{text}"),
+        Err(e) => eprintln!("error: {e}"),
+    }
+}
+
+// ----- smoke ----------------------------------------------------------------
+
+/// The `make serve-smoke` gate: an in-process server on an ephemeral
+/// port, one scripted session exercising every request kind, exact
+/// assertions on the replies.
+fn cmd_smoke() -> Result<(), String> {
+    let (server, _report) = Server::bind(
+        ("127.0.0.1", 0),
+        MemStorage::new(),
+        DbOptions::default(),
+        WalOptions {
+            policy: SyncPolicy::GroupCommit(8),
+            ..WalOptions::default()
+        },
+        ServerOptions {
+            max_connections: 8,
+            idle_timeout: Duration::from_secs(10),
+        },
+    )
+    .map_err(|e| format!("bind: {e}"))?;
+    let addr = server.local_addr();
+    let running = std::thread::spawn(move || server.run());
+
+    let mut c = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    c.ping().map_err(|e| format!("ping: {e}"))?;
+
+    // Schema + facts + a branching update through the journaled writer.
+    c.declare_relation("Orders", 3)
+        .map_err(|e| format!("declare: {e}"))?;
+    c.declare_relation("InStock", 2)
+        .map_err(|e| format!("declare: {e}"))?;
+    c.load_fact("Orders", &["700", "32", "9"])
+        .map_err(|e| format!("load: {e}"))?;
+    c.load_fact("InStock", &["32", "1"])
+        .map_err(|e| format!("load: {e}"))?;
+    let exec = c
+        .execute("INSERT Orders(100,32,1) | Orders(100,32,7) WHERE T")
+        .map_err(|e| format!("insert: {e}"))?;
+    expect(exec.lsn == 4, "disjunctive insert should be lsn 4")?;
+
+    // Pin a snapshot, then change the world under it.
+    let pinned = c.pin().map_err(|e| format!("pin: {e}"))?;
+    expect(pinned.updates_applied == 5, "5 acknowledged writes")?;
+    let mut writer = Client::connect(addr).map_err(|e| format!("connect2: {e}"))?;
+    writer
+        .execute("ASSERT Orders(100,32,7) & !Orders(100,32,1)")
+        .map_err(|e| format!("assert: {e}"))?;
+
+    // The pinned connection still sees the pre-ASSERT uncertainty...
+    let t = c
+        .check("Orders(100,32,1)")
+        .map_err(|e| format!("check: {e}"))?;
+    expect(
+        t.possible && !t.certain && t.generation == pinned.generation,
+        "pinned read must see the branching state at its generation",
+    )?;
+    let rows = c
+        .query("Orders(?o, 32, ?q)")
+        .map_err(|e| format!("query: {e}"))?;
+    expect(
+        rows.certain.len() == 1 && rows.possible.len() == 3,
+        "pinned query: 1 certain, 3 possible rows",
+    )?;
+
+    // ...while an unpinned connection sees the ASSERT's pruning.
+    let now = writer
+        .check("Orders(100,32,7)")
+        .map_err(|e| format!("check2: {e}"))?;
+    expect(
+        now.certain && now.generation > pinned.generation,
+        "latest read must see the ASSERT",
+    )?;
+    let ex = writer
+        .explain("Orders(100,32,1)")
+        .map_err(|e| format!("explain: {e}"))?;
+    expect(
+        ex.verdict == winslett_serve::WireVerdict::Impossible,
+        "ASSERT made Orders(100,32,1) impossible",
+    )?;
+
+    c.unpin().map_err(|e| format!("unpin: {e}"))?;
+    let after = c
+        .check("Orders(100,32,7)")
+        .map_err(|e| format!("check3: {e}"))?;
+    expect(after.certain, "after unpin the read follows the latest")?;
+
+    let stats = c.stats().map_err(|e| format!("stats: {e}"))?;
+    expect(stats.updates == 6, "6 acknowledged writes in stats")?;
+    expect(stats.accepted == 2, "two connections accepted")?;
+
+    let ckpt = c.checkpoint().map_err(|e| format!("checkpoint: {e}"))?;
+    expect(ckpt.lsn == 6, "checkpoint current through lsn 6")?;
+
+    c.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+    let storage = running
+        .join()
+        .map_err(|_| "server thread panicked".to_string())?
+        .map_err(|e| format!("run: {e}"))?;
+
+    // The group-commit buffer was flushed on shutdown: a reopen sees the
+    // full state.
+    let (db, _) =
+        winslett_core::DurableDatabase::open(storage, DbOptions::default(), WalOptions::default())
+            .map_err(|e| format!("reopen: {e}"))?;
+    let mut db = db;
+    let certain = db
+        .db_mut()
+        .is_certain("Orders(100,32,7)")
+        .map_err(|e| format!("reopen check: {e}"))?;
+    expect(certain, "reopened database remembers the ASSERT")?;
+
+    println!("serve-smoke: ok");
+    Ok(())
+}
+
+fn expect(cond: bool, what: &str) -> Result<(), String> {
+    if cond {
+        Ok(())
+    } else {
+        Err(format!("smoke assertion failed: {what}"))
+    }
+}

@@ -1,0 +1,195 @@
+//! A blocking client for the `winslett-serve` protocol.
+
+use crate::protocol::{
+    recv, send, CheckpointReply, ExecReply, ExplainReply, FrameError, QueryReply, Request,
+    Response, SnapshotReply, StatsReply, TruthReply, WireError,
+};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// What a client call can fail with.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClientError {
+    /// Transport-level failure (connect, frame, decode).
+    Frame(FrameError),
+    /// The server answered with a typed error.
+    Server(WireError),
+    /// The server answered, but not with the response kind the call
+    /// expected (a protocol bug, not a user error).
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Frame(e) => write!(f, "{e}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+            ClientError::Unexpected(m) => write!(f, "unexpected response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+/// One connection to a server; requests run strictly in order.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects (with Nagle disabled — requests are small and latency
+    /// matters more than throughput here).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(|e| FrameError::Io(e.to_string()))?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream })
+    }
+
+    /// Sets the read timeout for responses (`None` blocks forever).
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream
+            .set_read_timeout(timeout)
+            .map_err(|e| FrameError::Io(e.to_string()).into())
+    }
+
+    /// Sends one request, reads one response. The typed-error response is
+    /// passed through — use the convenience wrappers to turn it into
+    /// `Err`.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        send(&mut self.stream, request)?;
+        Ok(recv(&mut self.stream)?)
+    }
+
+    fn expect<T>(
+        &mut self,
+        request: Request,
+        pick: impl FnOnce(Response) -> Result<T, Response>,
+    ) -> Result<T, ClientError> {
+        match self.request(&request)? {
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => pick(other).map_err(|r| ClientError::Unexpected(format!("{r:?}"))),
+        }
+    }
+
+    /// Executes one LDML / schema / load statement on the writer.
+    pub fn execute(&mut self, src: &str) -> Result<ExecReply, ClientError> {
+        self.expect(Request::Execute(src.to_string()), |r| match r {
+            Response::Executed(x) => Ok(x),
+            other => Err(other),
+        })
+    }
+
+    /// Declares an untyped relation.
+    pub fn declare_relation(&mut self, name: &str, arity: u64) -> Result<ExecReply, ClientError> {
+        self.expect(
+            Request::DeclareRelation(name.to_string(), arity),
+            |r| match r {
+                Response::Executed(x) => Ok(x),
+                other => Err(other),
+            },
+        )
+    }
+
+    /// Declares a unary attribute predicate.
+    pub fn declare_attribute(&mut self, name: &str) -> Result<ExecReply, ClientError> {
+        self.expect(Request::DeclareAttribute(name.to_string()), |r| match r {
+            Response::Executed(x) => Ok(x),
+            other => Err(other),
+        })
+    }
+
+    /// Loads a ground fact as certainly true.
+    pub fn load_fact(&mut self, pred: &str, args: &[&str]) -> Result<ExecReply, ClientError> {
+        let args = args.iter().map(|s| s.to_string()).collect();
+        self.expect(Request::LoadFact(pred.to_string(), args), |r| match r {
+            Response::Executed(x) => Ok(x),
+            other => Err(other),
+        })
+    }
+
+    /// Loads an arbitrary ground wff into the initial state.
+    pub fn load_wff(&mut self, src: &str) -> Result<ExecReply, ClientError> {
+        self.expect(Request::LoadWff(src.to_string()), |r| match r {
+            Response::Executed(x) => Ok(x),
+            other => Err(other),
+        })
+    }
+
+    /// Runs a conjunctive query.
+    pub fn query(&mut self, src: &str) -> Result<QueryReply, ClientError> {
+        self.expect(Request::Query(src.to_string()), |r| match r {
+            Response::Rows(x) => Ok(x),
+            other => Err(other),
+        })
+    }
+
+    /// Entailment check: `(possible, certain)` plus the generation read.
+    pub fn check(&mut self, src: &str) -> Result<TruthReply, ClientError> {
+        self.expect(Request::Check(src.to_string()), |r| match r {
+            Response::Truth(x) => Ok(x),
+            other => Err(other),
+        })
+    }
+
+    /// Three-valued EXPLAIN.
+    pub fn explain(&mut self, src: &str) -> Result<ExplainReply, ClientError> {
+        self.expect(Request::Explain(src.to_string()), |r| match r {
+            Response::Explained(x) => Ok(x),
+            other => Err(other),
+        })
+    }
+
+    /// Pins the connection's reads to the current snapshot.
+    pub fn pin(&mut self) -> Result<SnapshotReply, ClientError> {
+        self.expect(Request::Pin, |r| match r {
+            Response::Pinned(x) => Ok(x),
+            other => Err(other),
+        })
+    }
+
+    /// Releases the pinned snapshot.
+    pub fn unpin(&mut self) -> Result<(), ClientError> {
+        self.expect(Request::Unpin, |r| match r {
+            Response::Unpinned => Ok(()),
+            other => Err(other),
+        })
+    }
+
+    /// Server + WAL counters.
+    pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
+        self.expect(Request::Stats, |r| match r {
+            Response::Stats(x) => Ok(x),
+            other => Err(other),
+        })
+    }
+
+    /// Forces a WAL checkpoint.
+    pub fn checkpoint(&mut self) -> Result<CheckpointReply, ClientError> {
+        self.expect(Request::Checkpoint, |r| match r {
+            Response::Checkpointed(x) => Ok(x),
+            other => Err(other),
+        })
+    }
+
+    /// Requests graceful shutdown (the server drains, flushes, exits).
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.expect(Request::Shutdown, |r| match r {
+            Response::ShuttingDown => Ok(()),
+            other => Err(other),
+        })
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.expect(Request::Ping, |r| match r {
+            Response::Pong => Ok(()),
+            other => Err(other),
+        })
+    }
+}

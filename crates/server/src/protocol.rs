@@ -1,0 +1,457 @@
+//! The wire protocol: length-prefixed, CRC-checked JSON frames.
+//!
+//! Framing deliberately mirrors the WAL record format of
+//! `winslett_core::wal` (and reuses its table-driven CRC32):
+//!
+//! ```text
+//! ┌───────────────┬───────────────┬─────────────────────┐
+//! │ len: u32 (LE) │ crc: u32 (LE) │ payload (len bytes)  │
+//! └───────────────┴───────────────┴─────────────────────┘
+//! ```
+//!
+//! where `crc = crc32(payload)` and the payload is one JSON-encoded
+//! [`Request`] or [`Response`]. Every defect a peer can inflict — torn
+//! header, torn payload, oversized length, checksum mismatch, unparsable
+//! JSON — decodes to a typed [`FrameError`], never a panic.
+
+use serde::{Deserialize, Serialize};
+use std::io::{ErrorKind, Read, Write};
+use winslett_core::wal::crc32;
+
+/// Hard ceiling on a frame payload (4 MiB): a length word above this is
+/// treated as garbage rather than obeyed as an allocation request.
+pub const MAX_FRAME_LEN: u32 = 1 << 22;
+
+/// Everything that can go wrong reading or decoding one frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The peer closed the connection at a frame boundary (clean EOF).
+    Closed,
+    /// The read timed out (idle connection or a stalled mid-frame peer).
+    TimedOut,
+    /// EOF struck inside a frame: `got` of `want` bytes arrived.
+    Torn {
+        /// Bytes received before the cut.
+        got: usize,
+        /// Bytes the frame promised.
+        want: usize,
+    },
+    /// The length word exceeds [`MAX_FRAME_LEN`].
+    Oversized {
+        /// The claimed payload length.
+        len: u32,
+    },
+    /// The payload checksum does not match the header.
+    BadCrc {
+        /// CRC the header promised.
+        expected: u32,
+        /// CRC of the bytes that arrived.
+        found: u32,
+    },
+    /// The payload is not valid JSON for the expected type (this is also
+    /// what an *unknown request kind* decodes to).
+    Decode(String),
+    /// Any other I/O failure, stringified.
+    Io(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::TimedOut => write!(f, "read timed out"),
+            FrameError::Torn { got, want } => {
+                write!(f, "torn frame: {got} of {want} bytes before EOF")
+            }
+            FrameError::Oversized { len } => {
+                write!(f, "oversized frame: {len} bytes (max {MAX_FRAME_LEN})")
+            }
+            FrameError::BadCrc { expected, found } => {
+                write!(
+                    f,
+                    "frame checksum mismatch: header {expected:#010x}, payload {found:#010x}"
+                )
+            }
+            FrameError::Decode(m) => write!(f, "undecodable frame: {m}"),
+            FrameError::Io(m) => write!(f, "frame i/o error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+fn io_error(e: std::io::Error) -> FrameError {
+    match e.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => FrameError::TimedOut,
+        _ => FrameError::Io(e.to_string()),
+    }
+}
+
+/// Reads until `buf` is full or EOF; returns bytes read (≤ `buf.len()`).
+fn fill(r: &mut impl Read, buf: &mut [u8]) -> Result<usize, FrameError> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => break,
+            Ok(n) => got += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(io_error(e)),
+        }
+    }
+    Ok(got)
+}
+
+/// Writes one frame around `payload`.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FrameError> {
+    debug_assert!(payload.len() as u64 <= MAX_FRAME_LEN as u64);
+    let mut frame = Vec::with_capacity(8 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame).map_err(io_error)?;
+    w.flush().map_err(io_error)
+}
+
+/// Reads one frame, verifying length bound and checksum.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
+    let mut header = [0u8; 8];
+    match fill(r, &mut header)? {
+        0 => return Err(FrameError::Closed),
+        8 => {}
+        got => return Err(FrameError::Torn { got, want: 8 }),
+    }
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    let expected = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized { len });
+    }
+    let mut payload = vec![0u8; len as usize];
+    let got = fill(r, &mut payload)?;
+    if got < len as usize {
+        return Err(FrameError::Torn {
+            got: 8 + got,
+            want: 8 + len as usize,
+        });
+    }
+    let found = crc32(&payload);
+    if found != expected {
+        return Err(FrameError::BadCrc { expected, found });
+    }
+    Ok(payload)
+}
+
+/// Serializes `value` into one frame.
+pub fn send<T: Serialize>(w: &mut impl Write, value: &T) -> Result<(), FrameError> {
+    let json = serde_json::to_string(value).map_err(|e| FrameError::Decode(e.to_string()))?;
+    write_frame(w, json.as_bytes())
+}
+
+/// Reads one frame and deserializes it as `T`.
+pub fn recv<T: Deserialize>(r: &mut impl Read) -> Result<T, FrameError> {
+    let payload = read_frame(r)?;
+    decode(&payload)
+}
+
+/// Deserializes an already-read payload as `T`.
+pub fn decode<T: Deserialize>(payload: &[u8]) -> Result<T, FrameError> {
+    let text =
+        std::str::from_utf8(payload).map_err(|e| FrameError::Decode(format!("not UTF-8: {e}")))?;
+    serde_json::from_str(text).map_err(|e| FrameError::Decode(e.to_string()))
+}
+
+// ----- request/response vocabulary ------------------------------------------
+
+/// One client request.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Execute one LDML statement (`INSERT`/`DELETE`/`MODIFY`/`ASSERT`)
+    /// through the journaled write path.
+    Execute(String),
+    /// Declare an untyped relation `(name, arity)` (journaled).
+    DeclareRelation(String, u64),
+    /// Declare a unary attribute predicate (journaled).
+    DeclareAttribute(String),
+    /// Load a ground fact `(predicate, args)` as certainly true
+    /// (journaled).
+    LoadFact(String, Vec<String>),
+    /// Load an arbitrary ground wff into the initial state (journaled).
+    LoadWff(String),
+    /// Run a conjunctive query (certain + possible answer sets).
+    Query(String),
+    /// Entailment check on a ground wff: `(possible, certain)`.
+    Check(String),
+    /// Three-valued EXPLAIN with witness/counterexample worlds.
+    Explain(String),
+    /// Pin the connection to the current snapshot: every later read runs
+    /// at this generation until `Unpin`.
+    Pin,
+    /// Release the pinned snapshot; reads follow the latest publication.
+    Unpin,
+    /// Server and WAL counters.
+    Stats,
+    /// Force a WAL checkpoint (snapshot + log reset).
+    Checkpoint,
+    /// Graceful shutdown: stop accepting, drain, flush the WAL.
+    Shutdown,
+    /// Liveness probe.
+    Ping,
+}
+
+/// What an [`Request::Execute`] did.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExecReply {
+    /// LSN of the journaled record — the serialization order of this
+    /// update among all acknowledged writes.
+    pub lsn: u64,
+    /// Theory generation after the update.
+    pub generation: u64,
+    /// Net store growth in AST nodes (the paper's O(g) claim).
+    pub nodes_added: i64,
+    /// Atoms newly added to completion axioms.
+    pub completion_added: u64,
+}
+
+/// Certain/possible rows for a conjunctive query.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QueryReply {
+    /// Substitutions true in every alternative world.
+    pub certain: Vec<Vec<String>>,
+    /// Substitutions true in some alternative world.
+    pub possible: Vec<Vec<String>>,
+    /// Generation of the snapshot the query ran against.
+    pub generation: u64,
+}
+
+/// The two-bit answer to an entailment check.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TruthReply {
+    /// True in some alternative world.
+    pub possible: bool,
+    /// True in every alternative world.
+    pub certain: bool,
+    /// Generation of the snapshot the check ran against.
+    pub generation: u64,
+}
+
+/// The verdict lattice of EXPLAIN, on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireVerdict {
+    /// True in every world.
+    Certain,
+    /// True in some worlds, false in others.
+    Uncertain,
+    /// False in every world.
+    Impossible,
+    /// The theory has no worlds at all.
+    Inconsistent,
+}
+
+/// An EXPLAIN result.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExplainReply {
+    /// The verdict.
+    pub verdict: WireVerdict,
+    /// A world (atom names) where the wff holds, if any.
+    pub witness: Option<Vec<String>>,
+    /// A world where the wff fails, if any.
+    pub counterexample: Option<Vec<String>>,
+    /// Generation of the snapshot explained against.
+    pub generation: u64,
+}
+
+/// The snapshot a `Pin` nailed down.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotReply {
+    /// Theory generation of the pinned snapshot.
+    pub generation: u64,
+    /// Acknowledged updates folded into this snapshot (a prefix count of
+    /// the LSN order).
+    pub updates_applied: u64,
+    /// LSN of the last update in the snapshot (0 if none).
+    pub last_lsn: u64,
+}
+
+/// Server + WAL counters, over the wire.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct StatsReply {
+    /// Connections accepted into service.
+    pub accepted: u64,
+    /// Connections refused with `Busy` at the admission gate.
+    pub rejected_busy: u64,
+    /// Requests served (all kinds).
+    pub requests: u64,
+    /// Updates acknowledged.
+    pub updates: u64,
+    /// Read requests (query/check/explain) served.
+    pub reads: u64,
+    /// Snapshots published by the writer.
+    pub snapshots_published: u64,
+    /// Connections closed by the idle timeout.
+    pub idle_closes: u64,
+    /// Malformed frames / undecodable requests observed.
+    pub protocol_errors: u64,
+    /// Current theory generation at the writer.
+    pub generation: u64,
+    /// Next WAL LSN.
+    pub next_lsn: u64,
+    /// WAL records appended.
+    pub wal_records: u64,
+    /// WAL fsyncs issued.
+    pub wal_syncs: u64,
+    /// WAL checkpoints taken.
+    pub wal_checkpoints: u64,
+}
+
+/// What a `Checkpoint` accomplished.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointReply {
+    /// LSN the on-storage snapshot is now current through.
+    pub lsn: u64,
+}
+
+/// Machine-readable failure category.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorKindWire {
+    /// The statement or wff did not parse / referenced unknown symbols.
+    Parse,
+    /// GUA (or schema validation) refused the operation.
+    Refused,
+    /// Admission control: too many concurrent connections.
+    Busy,
+    /// The frame decoded but the request is not usable (e.g. unknown
+    /// request kind, wrong payload shape).
+    BadRequest,
+    /// The server is draining for shutdown; no new writes.
+    ShuttingDown,
+    /// Storage-layer failure underneath the write path.
+    Storage,
+    /// Anything else; the message says what.
+    Internal,
+}
+
+/// A typed server-side error.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WireError {
+    /// The category.
+    pub kind: ErrorKindWire,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}: {}", self.kind, self.message)
+    }
+}
+
+/// One server response.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// `Execute` succeeded.
+    Executed(ExecReply),
+    /// `Query` result.
+    Rows(QueryReply),
+    /// `Check` result.
+    Truth(TruthReply),
+    /// `Explain` result.
+    Explained(ExplainReply),
+    /// `Pin` took a snapshot.
+    Pinned(SnapshotReply),
+    /// `Unpin` released it.
+    Unpinned,
+    /// `Stats` counters.
+    Stats(StatsReply),
+    /// `Checkpoint` completed.
+    Checkpointed(CheckpointReply),
+    /// `Shutdown` acknowledged; the server is draining.
+    ShuttingDown,
+    /// `Ping` reply.
+    Pong,
+    /// The request failed; the connection stays usable.
+    Error(WireError),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello frames").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), b"hello frames");
+        assert_eq!(read_frame(&mut r).unwrap_err(), FrameError::Closed);
+    }
+
+    #[test]
+    fn request_response_roundtrip() {
+        let mut buf = Vec::new();
+        send(&mut buf, &Request::Execute("INSERT R(1) WHERE T".into())).unwrap();
+        send(&mut buf, &Request::Pin).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(
+            recv::<Request>(&mut r).unwrap(),
+            Request::Execute("INSERT R(1) WHERE T".into())
+        );
+        assert_eq!(recv::<Request>(&mut r).unwrap(), Request::Pin);
+
+        let resp = Response::Truth(TruthReply {
+            possible: true,
+            certain: false,
+            generation: 7,
+        });
+        let mut buf = Vec::new();
+        send(&mut buf, &resp).unwrap();
+        assert_eq!(recv::<Response>(&mut &buf[..]).unwrap(), resp);
+    }
+
+    #[test]
+    fn torn_header_and_payload_are_typed() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"abcdef").unwrap();
+        // Cut inside the header.
+        assert!(matches!(
+            read_frame(&mut &buf[..5]),
+            Err(FrameError::Torn { got: 5, want: 8 })
+        ));
+        // Cut inside the payload.
+        assert!(matches!(
+            read_frame(&mut &buf[..10]),
+            Err(FrameError::Torn { got: 10, want: 14 })
+        ));
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_not_allocated() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(
+            read_frame(&mut &buf[..]).unwrap_err(),
+            FrameError::Oversized { len: u32::MAX }
+        );
+    }
+
+    #[test]
+    fn corrupted_payload_fails_crc() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"abcdef").unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0x40;
+        assert!(matches!(
+            read_frame(&mut &buf[..]),
+            Err(FrameError::BadCrc { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_request_kind_is_a_decode_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, br#"{"FlushCaches":[]}"#).unwrap();
+        assert!(matches!(
+            recv::<Request>(&mut &buf[..]),
+            Err(FrameError::Decode(_))
+        ));
+    }
+}

@@ -1,0 +1,562 @@
+//! The server: one writer thread-at-a-time, any number of snapshot
+//! readers, bounded admission, idle timeouts, graceful drain.
+//!
+//! ## Concurrency model
+//!
+//! * **Writes** serialize through a `Mutex<DurableDatabase>`. Each
+//!   acknowledged update is journaled (WAL) *before* GUA applies it, and
+//!   its reply carries the WAL LSN — the serialization order.
+//! * **Reads** never take the writer lock. After every update the writer
+//!   publishes a [`TheorySnapshot`] (theory cloned once behind an `Arc`)
+//!   into an `RwLock` slot; connections grab the `Arc` and answer from a
+//!   private [`SnapshotReader`] whose entailment session is encoded once
+//!   per snapshot and reused across queries. A connection may `Pin` its
+//!   snapshot, keeping a long analytical session on one generation while
+//!   the writer commits on.
+//! * **Admission** is a hard cap on live connections: the connection over
+//!   the cap receives a typed `Busy` error frame and a close — never a
+//!   silent hang.
+//! * **Shutdown** (protocol request or [`ServerHandle::request_shutdown`])
+//!   stops the accept loop, drains live connections (bounded by the idle
+//!   timeout), then closes the durable database — flushing any
+//!   group-commit buffered WAL records — and hands the storage back.
+
+use crate::protocol::{
+    read_frame, send, CheckpointReply, ErrorKindWire, ExecReply, ExplainReply, FrameError,
+    QueryReply, Request, Response, SnapshotReply, StatsReply, TruthReply, WireError, WireVerdict,
+};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+use winslett_core::explain::Verdict;
+use winslett_core::snapshot::{SnapshotReader, TheorySnapshot};
+use winslett_core::wal::{DurableDatabase, RecoveryReport, Storage, WalOptions};
+use winslett_core::{DbError, DbOptions};
+
+/// Tunables.
+#[derive(Clone, Debug)]
+pub struct ServerOptions {
+    /// Hard cap on concurrently served connections; the next connection
+    /// is refused with a typed `Busy` error.
+    pub max_connections: usize,
+    /// A connection idle (or stalled mid-frame) this long is closed.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            max_connections: 64,
+            idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Monotone counters, updated lock-free by connection threads.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted into service.
+    pub accepted: AtomicU64,
+    /// Connections refused at the admission gate.
+    pub rejected_busy: AtomicU64,
+    /// Requests served, all kinds.
+    pub requests: AtomicU64,
+    /// Updates acknowledged.
+    pub updates: AtomicU64,
+    /// Read requests (query/check/explain) served.
+    pub reads: AtomicU64,
+    /// Snapshots published by the writer.
+    pub snapshots_published: AtomicU64,
+    /// Connections closed by the idle timeout.
+    pub idle_closes: AtomicU64,
+    /// Malformed frames / undecodable requests observed.
+    pub protocol_errors: AtomicU64,
+}
+
+/// What the writer last published: an immutable snapshot plus its place
+/// in the acknowledged-update order.
+struct Published {
+    snapshot: TheorySnapshot,
+    updates_applied: u64,
+    last_lsn: u64,
+}
+
+struct Shared<S: Storage> {
+    writer: Mutex<Option<DurableDatabase<S>>>,
+    published: RwLock<Arc<Published>>,
+    stats: Arc<ServerStats>,
+    shutdown: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    options: ServerOptions,
+    addr: SocketAddr,
+}
+
+/// A cheap, clonable handle for poking a running server from outside its
+/// accept loop (signal handlers, tests, sibling threads).
+#[derive(Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    active: Arc<AtomicUsize>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Connections currently in service.
+    pub fn active_connections(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Requests a graceful shutdown: sets the flag and pokes the accept
+    /// loop awake with a throwaway connection.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake a blocking `accept` so it observes the flag. Errors are
+        // fine — the listener may already be gone.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+    }
+}
+
+/// The server: a bound listener plus the shared state its connection
+/// threads work against.
+pub struct Server<S: Storage + Send + 'static> {
+    listener: TcpListener,
+    shared: Arc<Shared<S>>,
+}
+
+impl<S: Storage + Send + 'static> Server<S> {
+    /// Binds `addr` (use port 0 for an ephemeral port) and opens (or
+    /// recovers) the durable database on `storage`.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        storage: S,
+        db_options: DbOptions,
+        wal_options: WalOptions,
+        options: ServerOptions,
+    ) -> Result<(Self, RecoveryReport), DbError> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let (db, report) = DurableDatabase::open(storage, db_options, wal_options)?;
+        let snapshot = TheorySnapshot::capture(db.db().theory());
+        let last_lsn = db.next_lsn().saturating_sub(1);
+        let shared = Arc::new(Shared {
+            writer: Mutex::new(Some(db)),
+            published: RwLock::new(Arc::new(Published {
+                snapshot,
+                updates_applied: 0,
+                last_lsn,
+            })),
+            stats: Arc::new(ServerStats::default()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            active: Arc::new(AtomicUsize::new(0)),
+            options,
+            addr,
+        });
+        Ok((Server { listener, shared }, report))
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A handle usable from other threads (shutdown, stats).
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            addr: self.shared.addr,
+            shutdown: Arc::clone(&self.shared.shutdown),
+            stats: Arc::clone(&self.shared.stats),
+            active: Arc::clone(&self.shared.active),
+        }
+    }
+
+    /// Serves until shutdown is requested, drains live connections, then
+    /// closes the durable database — **flushing buffered WAL records** —
+    /// and returns the storage (tests reopen it to inspect final state).
+    pub fn run(self) -> Result<S, DbError> {
+        let Server { listener, shared } = self;
+        loop {
+            let stream = match listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(_) if shared.shutdown.load(Ordering::SeqCst) => break,
+                Err(_) => continue,
+            };
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break; // the wake-up poke, or a late arrival during drain
+            }
+            // Admission gate: count ourselves in, back out if over cap.
+            let active = shared.active.fetch_add(1, Ordering::SeqCst) + 1;
+            if active > shared.options.max_connections {
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+                shared.stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                reject_busy(stream, active, shared.options.max_connections);
+                continue;
+            }
+            shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                Connection::new(stream, Arc::clone(&shared)).serve();
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+        drop(listener);
+        // Drain: connection threads exit on their own (request loop, idle
+        // timeout); writes arriving during the drain are refused.
+        while shared.active.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let db = shared
+            .writer
+            .lock()
+            .expect("writer lock poisoned")
+            .take()
+            .expect("writer closed twice");
+        db.close()
+    }
+}
+
+/// Sends the typed `Busy` rejection (best-effort) and closes.
+fn reject_busy(mut stream: TcpStream, active: usize, cap: usize) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = send(
+        &mut stream,
+        &Response::Error(WireError {
+            kind: ErrorKindWire::Busy,
+            message: format!("server busy: {active} connections, cap {cap}"),
+        }),
+    );
+}
+
+/// Per-connection state: the stream plus this connection's read sessions.
+struct Connection<S: Storage + Send + 'static> {
+    stream: TcpStream,
+    shared: Arc<Shared<S>>,
+    /// Set while the client holds a `Pin`: reads stay on this snapshot.
+    pinned: Option<SnapshotReader>,
+    /// Follow-the-latest reader, rebuilt only when the published
+    /// generation moves (so repeated reads reuse one entailment session).
+    latest: Option<SnapshotReader>,
+}
+
+impl<S: Storage + Send + 'static> Connection<S> {
+    fn new(stream: TcpStream, shared: Arc<Shared<S>>) -> Self {
+        Connection {
+            stream,
+            shared,
+            pinned: None,
+            latest: None,
+        }
+    }
+
+    fn serve(&mut self) {
+        let _ = self.stream.set_nodelay(true);
+        let _ = self
+            .stream
+            .set_read_timeout(Some(self.shared.options.idle_timeout));
+        loop {
+            let payload = match read_frame(&mut self.stream) {
+                Ok(p) => p,
+                Err(FrameError::Closed) => break,
+                Err(FrameError::TimedOut) => {
+                    self.shared
+                        .stats
+                        .idle_closes
+                        .fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                Err(e @ (FrameError::Oversized { .. } | FrameError::BadCrc { .. })) => {
+                    // The stream is not resynchronizable past a bad
+                    // length/checksum: answer with the typed error, close.
+                    self.shared
+                        .stats
+                        .protocol_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    let _ = send(
+                        &mut self.stream,
+                        &Response::Error(WireError {
+                            kind: ErrorKindWire::BadRequest,
+                            message: e.to_string(),
+                        }),
+                    );
+                    break;
+                }
+                Err(_) => {
+                    // Torn mid-frame or I/O failure: nothing to say to a
+                    // half-dead peer; clean close.
+                    self.shared
+                        .stats
+                        .protocol_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+            };
+            let request: Request = match crate::protocol::decode(&payload) {
+                Ok(r) => r,
+                Err(e) => {
+                    // The frame itself was intact, so the stream is still
+                    // synchronized: report and keep serving.
+                    self.shared
+                        .stats
+                        .protocol_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    let resp = Response::Error(WireError {
+                        kind: ErrorKindWire::BadRequest,
+                        message: e.to_string(),
+                    });
+                    if send(&mut self.stream, &resp).is_err() {
+                        break;
+                    }
+                    continue;
+                }
+            };
+            self.shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+            let is_shutdown = matches!(request, Request::Shutdown);
+            let response = self.dispatch(request);
+            if send(&mut self.stream, &response).is_err() {
+                break;
+            }
+            if is_shutdown {
+                break;
+            }
+        }
+    }
+
+    fn dispatch(&mut self, request: Request) -> Response {
+        match request {
+            Request::Execute(src) => self.write_op(|db| {
+                let report = db.execute(&src)?;
+                Ok((report.nodes_added as i64, report.completion_added as u64))
+            }),
+            Request::DeclareRelation(name, arity) => self.write_op(|db| {
+                db.declare_relation(&name, arity as usize)?;
+                Ok((0, 0))
+            }),
+            Request::DeclareAttribute(name) => self.write_op(|db| {
+                db.declare_attribute(&name)?;
+                Ok((0, 0))
+            }),
+            Request::LoadFact(pred, args) => self.write_op(|db| {
+                let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+                db.load_fact(&pred, &refs)?;
+                Ok((0, 0))
+            }),
+            Request::LoadWff(src) => self.write_op(|db| {
+                db.load_wff(&src)?;
+                Ok((0, 0))
+            }),
+            Request::Query(src) => self.read(|r| {
+                let generation = r.generation();
+                r.query(&src).map(|a| {
+                    Response::Rows(QueryReply {
+                        certain: a.certain,
+                        possible: a.possible,
+                        generation,
+                    })
+                })
+            }),
+            Request::Check(src) => self.read(|r| {
+                let generation = r.generation();
+                r.decide(&src).map(|(possible, certain)| {
+                    Response::Truth(TruthReply {
+                        possible,
+                        certain,
+                        generation,
+                    })
+                })
+            }),
+            Request::Explain(src) => self.read(|r| {
+                let generation = r.generation();
+                r.explain(&src).map(|e| {
+                    Response::Explained(ExplainReply {
+                        verdict: wire_verdict(e.verdict),
+                        witness: e.witness,
+                        counterexample: e.counterexample,
+                        generation,
+                    })
+                })
+            }),
+            Request::Pin => {
+                let published = Arc::clone(&self.shared.published.read().expect("published lock"));
+                let reply = SnapshotReply {
+                    generation: published.snapshot.generation(),
+                    updates_applied: published.updates_applied,
+                    last_lsn: published.last_lsn,
+                };
+                self.pinned = Some(published.snapshot.reader());
+                Response::Pinned(reply)
+            }
+            Request::Unpin => {
+                self.pinned = None;
+                Response::Unpinned
+            }
+            Request::Stats => self.stats(),
+            Request::Checkpoint => self.checkpoint(),
+            Request::Shutdown => {
+                self.shared.shutdown.store(true, Ordering::SeqCst);
+                // Wake the accept loop so the drain starts now.
+                let _ = TcpStream::connect_timeout(&self.shared.addr, Duration::from_secs(1));
+                Response::ShuttingDown
+            }
+            Request::Ping => Response::Pong,
+        }
+    }
+
+    /// Runs one journaled write under the writer lock, then publishes the
+    /// new snapshot for readers. `f` returns `(nodes_added,
+    /// completion_added)` for the reply.
+    fn write_op(
+        &mut self,
+        f: impl FnOnce(&mut DurableDatabase<S>) -> Result<(i64, u64), DbError>,
+    ) -> Response {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Response::Error(WireError {
+                kind: ErrorKindWire::ShuttingDown,
+                message: "server is draining; write refused".into(),
+            });
+        }
+        let mut guard = self.shared.writer.lock().expect("writer lock poisoned");
+        let Some(db) = guard.as_mut() else {
+            return Response::Error(WireError {
+                kind: ErrorKindWire::ShuttingDown,
+                message: "database already closed".into(),
+            });
+        };
+        let lsn = db.next_lsn();
+        match f(db) {
+            Ok((nodes_added, completion_added)) => {
+                let generation = db.db().theory().generation();
+                let snapshot = TheorySnapshot::capture(db.db().theory());
+                let prev = self.shared.published.read().expect("published lock");
+                let updates_applied = prev.updates_applied + 1;
+                drop(prev);
+                *self.shared.published.write().expect("published lock") = Arc::new(Published {
+                    snapshot,
+                    updates_applied,
+                    last_lsn: lsn,
+                });
+                self.shared
+                    .stats
+                    .snapshots_published
+                    .fetch_add(1, Ordering::Relaxed);
+                self.shared.stats.updates.fetch_add(1, Ordering::Relaxed);
+                Response::Executed(ExecReply {
+                    lsn,
+                    generation,
+                    nodes_added,
+                    completion_added,
+                })
+            }
+            Err(e) => Response::Error(wire_error(&e)),
+        }
+    }
+
+    /// Runs `f` against the connection's current read session: the pinned
+    /// snapshot if one is held, else a follow-the-latest reader rebuilt
+    /// only when the published generation has moved.
+    fn read(
+        &mut self,
+        f: impl FnOnce(&mut SnapshotReader) -> Result<Response, DbError>,
+    ) -> Response {
+        self.shared.stats.reads.fetch_add(1, Ordering::Relaxed);
+        let reader = if let Some(pinned) = self.pinned.as_mut() {
+            pinned
+        } else {
+            let published = Arc::clone(&self.shared.published.read().expect("published lock"));
+            let current = published.snapshot.generation();
+            let stale = self
+                .latest
+                .as_ref()
+                .is_none_or(|r| r.generation() != current);
+            if stale {
+                self.latest = Some(published.snapshot.reader());
+            }
+            self.latest.as_mut().expect("latest reader")
+        };
+        match f(reader) {
+            Ok(resp) => resp,
+            Err(e) => Response::Error(wire_error(&e)),
+        }
+    }
+
+    fn stats(&mut self) -> Response {
+        let s = &self.shared.stats;
+        let mut reply = StatsReply {
+            accepted: s.accepted.load(Ordering::Relaxed),
+            rejected_busy: s.rejected_busy.load(Ordering::Relaxed),
+            requests: s.requests.load(Ordering::Relaxed),
+            updates: s.updates.load(Ordering::Relaxed),
+            reads: s.reads.load(Ordering::Relaxed),
+            snapshots_published: s.snapshots_published.load(Ordering::Relaxed),
+            idle_closes: s.idle_closes.load(Ordering::Relaxed),
+            protocol_errors: s.protocol_errors.load(Ordering::Relaxed),
+            ..StatsReply::default()
+        };
+        if let Some(db) = self
+            .shared
+            .writer
+            .lock()
+            .expect("writer lock poisoned")
+            .as_ref()
+        {
+            let wal = db.stats();
+            reply.generation = db.db().theory().generation();
+            reply.next_lsn = db.next_lsn();
+            reply.wal_records = wal.records;
+            reply.wal_syncs = wal.syncs;
+            reply.wal_checkpoints = wal.checkpoints;
+        }
+        Response::Stats(reply)
+    }
+
+    fn checkpoint(&mut self) -> Response {
+        let mut guard = self.shared.writer.lock().expect("writer lock poisoned");
+        let Some(db) = guard.as_mut() else {
+            return Response::Error(WireError {
+                kind: ErrorKindWire::ShuttingDown,
+                message: "database already closed".into(),
+            });
+        };
+        match db.checkpoint() {
+            Ok(()) => Response::Checkpointed(CheckpointReply {
+                lsn: db.snapshot_lsn(),
+            }),
+            Err(e) => Response::Error(wire_error(&e)),
+        }
+    }
+}
+
+fn wire_verdict(v: Verdict) -> WireVerdict {
+    match v {
+        Verdict::Certain => WireVerdict::Certain,
+        Verdict::Uncertain => WireVerdict::Uncertain,
+        Verdict::Impossible => WireVerdict::Impossible,
+        Verdict::Inconsistent => WireVerdict::Inconsistent,
+    }
+}
+
+fn wire_error(e: &DbError) -> WireError {
+    let kind = match e {
+        DbError::Ldml(_)
+        | DbError::Logic(_)
+        | DbError::Query { .. }
+        | DbError::Gua(winslett_gua::GuaError::Ldml(_)) => ErrorKindWire::Parse,
+        DbError::Theory(_) | DbError::Gua(_) => ErrorKindWire::Refused,
+        DbError::Storage { .. } | DbError::Corrupt { .. } => ErrorKindWire::Storage,
+        _ => ErrorKindWire::Internal,
+    };
+    WireError {
+        kind,
+        message: e.to_string(),
+    }
+}

@@ -372,6 +372,22 @@ impl Theory {
         Ok(self.with_entailment_session(|s| winslett_logic::backbone(s.solver_mut(), n)))
     }
 
+    /// Projects a raw SAT model (which may carry Tseitin auxiliary
+    /// variables beyond the atom universe) onto the visible atoms,
+    /// yielding an alternative world. Shared by [`Theory::find_world_where`]
+    /// and the snapshot readers in `winslett-core`, which extract worlds
+    /// from their own per-connection sessions.
+    pub fn project_model_to_world(&self, model: &[bool]) -> BitSet {
+        let proj = self.visible_projection();
+        let mut world = BitSet::zeros(self.num_atoms());
+        for (i, &truth) in model.iter().enumerate().take(self.num_atoms()) {
+            if truth && proj.get(i) {
+                world.set(i, true);
+            }
+        }
+        world
+    }
+
     /// Finds one alternative world in which `wff` holds, if any — a
     /// *witness* for possibility (or, applied to `¬wff`, a counterexample
     /// to certainty). Returns the world projected onto visible atoms.
@@ -381,16 +397,7 @@ impl Theory {
             s.solve_under(&[l])
         });
         match result {
-            winslett_logic::SatResult::Sat(model) => {
-                let proj = self.visible_projection();
-                let mut world = BitSet::zeros(self.num_atoms());
-                for (i, &truth) in model.iter().enumerate().take(self.num_atoms()) {
-                    if truth && proj.get(i) {
-                        world.set(i, true);
-                    }
-                }
-                Some(world)
-            }
+            winslett_logic::SatResult::Sat(model) => Some(self.project_model_to_world(&model)),
             winslett_logic::SatResult::Unsat => None,
         }
     }

@@ -1,0 +1,235 @@
+//! Linearizability of `winslett-serve`: random interleaved client
+//! scripts against a live server must be explainable as ONE serial order
+//! of the acknowledged writes.
+//!
+//! The server acknowledges every write with its WAL LSN — the claimed
+//! serialization order. The test fans writer threads (and snapshot-read
+//! threads) against a live server, then:
+//!
+//! 1. replays the acknowledged updates in LSN order through the existing
+//!    [`replay_updates`] path (the §4 strawman, deliberately a different
+//!    code path from the server's GUA-with-simplification writer) and
+//!    checks the reopened post-shutdown database denotes **exactly** the
+//!    same set of alternative worlds;
+//! 2. checks every snapshot read (pinned at `updates_applied = k`)
+//!    returned exactly what the LSN-order prefix of length `k` entails —
+//!    snapshot reads are reads of a serial prefix, never a torn state.
+//!
+//! The server runs `SyncPolicy::GroupCommit`, so the final comparison
+//! also exercises the flush-on-close path: without it the reopened
+//! database would be missing the buffered WAL tail.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::net::SocketAddr;
+use std::sync::{Arc, Barrier};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use winslett::db::{
+    replay_updates, DbError, DbOptions, DurableDatabase, LogicalDatabase, MemStorage, SyncPolicy,
+    WalOptions,
+};
+use winslett_serve::{Client, Server, ServerOptions};
+
+/// The write pool: consistent-by-construction LDML over a tiny universe,
+/// so any interleaving is legal and the SAT work stays trivial.
+const POOL: &[&str] = &[
+    "INSERT R(1) WHERE T",
+    "INSERT R(2) | R(3) WHERE T",
+    "DELETE R(1) WHERE T",
+    "MODIFY R(2) TO BE R(4) WHERE T",
+    "INSERT S(1) WHERE R(1)",
+    "DELETE S(1) WHERE T",
+    "INSERT R(3) WHERE S(1)",
+];
+
+/// Wffs every snapshot read asks about.
+const PROBES: &[&str] = &["R(1)", "S(1)"];
+
+/// Writes acknowledged before the concurrent phase (the two declares).
+const SETUP_WRITES: u64 = 2;
+
+fn boot() -> (JoinHandle<Result<MemStorage, DbError>>, SocketAddr) {
+    let (server, _report) = Server::bind(
+        ("127.0.0.1", 0),
+        MemStorage::new(),
+        DbOptions::default(),
+        WalOptions {
+            policy: SyncPolicy::GroupCommit(4),
+            ..WalOptions::default()
+        },
+        ServerOptions {
+            max_connections: 32,
+            idle_timeout: Duration::from_secs(10),
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    (std::thread::spawn(move || server.run()), addr)
+}
+
+/// One pinned snapshot read: the prefix length it was promised and what
+/// it answered for each probe — `None` when the snapshot's vocabulary
+/// does not even contain the probe's constants yet (a strict parse
+/// error, which the serial prefix must reproduce too).
+#[derive(Debug)]
+struct PinnedRead {
+    updates_applied: u64,
+    truths: Vec<Option<(bool, bool)>>,
+}
+
+/// Replays the first `prefix` acknowledged updates in LSN order through
+/// the §4 path and returns a queryable database.
+fn replayed_prefix(sources: &[&str], prefix: usize) -> LogicalDatabase {
+    let mut parse_db = LogicalDatabase::new();
+    parse_db.declare_relation("R", 1).expect("declare R");
+    parse_db.declare_relation("S", 1).expect("declare S");
+    let updates: Vec<_> = sources[..prefix]
+        .iter()
+        .map(|src| parse_db.parse_update(src).expect("parse acked update"))
+        .collect();
+    let theory = replay_updates(parse_db.theory(), &updates).expect("replay acked updates");
+    LogicalDatabase::from_theory(theory, DbOptions::default())
+}
+
+fn world_set(db: &LogicalDatabase) -> BTreeSet<Vec<String>> {
+    db.world_names().expect("worlds").into_iter().collect()
+}
+
+/// Runs one full scenario; returns nothing, panics on any violation.
+fn run_scenario(writer_scripts: Vec<Vec<usize>>, readers: usize) {
+    let (running, addr) = boot();
+
+    let mut setup = Client::connect(addr).expect("connect setup");
+    setup.declare_relation("R", 1).expect("declare R");
+    setup.declare_relation("S", 1).expect("declare S");
+
+    let barrier = Arc::new(Barrier::new(writer_scripts.len() + readers));
+    let mut writer_handles = Vec::new();
+    for script in writer_scripts {
+        let barrier = Arc::clone(&barrier);
+        writer_handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect writer");
+            barrier.wait();
+            let mut acked: Vec<(u64, usize)> = Vec::new();
+            for idx in script {
+                let reply = client.execute(POOL[idx]).expect("execute");
+                acked.push((reply.lsn, idx));
+            }
+            acked
+        }));
+    }
+    let mut reader_handles = Vec::new();
+    for _ in 0..readers {
+        let barrier = Arc::clone(&barrier);
+        reader_handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect reader");
+            barrier.wait();
+            let mut reads = Vec::new();
+            for _ in 0..3 {
+                let pin = client.pin().expect("pin");
+                let mut truths = Vec::new();
+                for probe in PROBES {
+                    match client.check(probe) {
+                        Ok(t) => {
+                            assert_eq!(
+                                t.generation, pin.generation,
+                                "pinned read answered at a different generation"
+                            );
+                            truths.push(Some((t.possible, t.certain)));
+                        }
+                        Err(winslett_serve::ClientError::Server(e)) => {
+                            assert_eq!(
+                                e.kind,
+                                winslett_serve::ErrorKindWire::Parse,
+                                "only strict-parse errors are legal: {e}"
+                            );
+                            truths.push(None);
+                        }
+                        Err(e) => panic!("check transport failure: {e}"),
+                    }
+                }
+                client.unpin().expect("unpin");
+                reads.push(PinnedRead {
+                    updates_applied: pin.updates_applied,
+                    truths,
+                });
+            }
+            reads
+        }));
+    }
+
+    let mut acked: Vec<(u64, usize)> = Vec::new();
+    for h in writer_handles {
+        acked.extend(h.join().expect("writer thread"));
+    }
+    let reads: Vec<PinnedRead> = reader_handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("reader thread"))
+        .collect();
+
+    setup.shutdown().expect("shutdown");
+    let storage = running.join().expect("server thread").expect("run");
+
+    // The acknowledged LSNs are the serialization witness: unique and
+    // contiguous after the two setup declares.
+    acked.sort();
+    let lsns: Vec<u64> = acked.iter().map(|&(lsn, _)| lsn).collect();
+    let expected: Vec<u64> = (SETUP_WRITES..SETUP_WRITES + acked.len() as u64).collect();
+    assert_eq!(lsns, expected, "acked LSNs must be a contiguous sequence");
+    let sources: Vec<&str> = acked.iter().map(|&(_, idx)| POOL[idx]).collect();
+
+    // (1) Final state == serial replay of the acked updates in LSN order.
+    // Reopening from the returned storage also proves the group-commit
+    // buffer was flushed by the graceful shutdown.
+    let (reopened, report) =
+        DurableDatabase::open(storage, DbOptions::default(), WalOptions::default())
+            .expect("reopen");
+    assert_eq!(report.truncated, None, "shutdown must not tear the WAL");
+    let serial = replayed_prefix(&sources, sources.len());
+    assert_eq!(
+        world_set(reopened.db()),
+        world_set(&serial),
+        "final state is not the serial replay of the acknowledged updates"
+    );
+
+    // (2) Every pinned read saw exactly the LSN-prefix state it pinned.
+    for read in &reads {
+        assert!(read.updates_applied >= SETUP_WRITES);
+        let prefix = (read.updates_applied - SETUP_WRITES) as usize;
+        let mut at_pin = replayed_prefix(&sources, prefix);
+        for (probe, got) in PROBES.iter().zip(&read.truths) {
+            let want = match (at_pin.is_possible(probe), at_pin.is_certain(probe)) {
+                (Ok(p), Ok(c)) => Some((p, c)),
+                _ => None,
+            };
+            assert_eq!(
+                *got, want,
+                "snapshot read of {probe} at prefix {prefix} diverged from the serial prefix"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn interleaved_clients_linearize(
+        writer_scripts in prop::collection::vec(
+            prop::collection::vec(0..POOL.len(), 1..4),
+            1..4,
+        ),
+        readers in 1..3usize,
+    ) {
+        run_scenario(writer_scripts, readers);
+    }
+}
+
+/// A deterministic worst-case shape on top of the random sweep: maximum
+/// writer fan-in with every pool statement in play.
+#[test]
+fn dense_interleaving_linearizes() {
+    let scripts = vec![vec![0, 1, 2, 3], vec![4, 5, 6, 0], vec![2, 1, 0, 5]];
+    run_scenario(scripts, 2);
+}
