@@ -7,9 +7,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt fmt-check clippy build test faults lint bench-smoke serve-smoke
+.PHONY: ci fmt fmt-check clippy build test faults lint lint-conflicts bench-smoke serve-smoke
 
-ci: fmt-check clippy build test faults lint bench-smoke serve-smoke
+ci: fmt-check clippy build test faults lint lint-conflicts bench-smoke serve-smoke
 	@echo "ci: all checks passed"
 
 fmt:
@@ -20,6 +20,10 @@ fmt-check:
 
 clippy:
 	$(CARGO) clippy --workspace --all-targets -- -D warnings
+	# unwrap/expect gate: crates/analyze and crates/server carry
+	# `#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]`,
+	# so this lib/bin pass (no cfg(test)) promotes any hit to an error.
+	$(CARGO) clippy -p winslett-analyze -p winslett-serve --lib --bins -- -D warnings
 
 build:
 	$(CARGO) build --release
@@ -36,12 +40,18 @@ faults:
 lint:
 	$(CARGO) run --release -q -p winslett-analyze --bin ldml-lint -- --self-check examples/*.ldml
 
+# The footprint/commutativity pass (W007–W010) over the same scripts:
+# emitted conflict codes must match each script's `-- expect-conflicts:`
+# annotations exactly.
+lint-conflicts:
+	$(CARGO) run --release -q -p winslett-analyze --bin ldml-lint -- --conflicts --self-check examples/*.ldml
+
 # Small E7-style workload through the parallel worlds engine, the WAL
 # commit-latency run, the query-session run, and the server load run;
 # the harness writes the BENCH_*.json files and fails if any shape does
 # not validate.
 bench-smoke:
-	$(CARGO) run --release -q -p winslett-bench --bin harness -- worlds wal query server --quick --out target/bench-smoke
+	$(CARGO) run --release -q -p winslett-bench --bin harness -- worlds wal query server conflicts --quick --out target/bench-smoke
 
 # Boots a winslett-serve instance on an ephemeral port and drives a full
 # scripted client session against it: schema declares, an LDML update, a

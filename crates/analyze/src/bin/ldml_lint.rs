@@ -1,7 +1,8 @@
 //! `ldml-lint` — pre-execution static analysis of `.ldml` scripts.
 //!
 //! ```text
-//! usage: ldml-lint [--self-check] [--deny-warnings] <script.ldml>...
+//! usage: ldml-lint [--self-check] [--deny-warnings] [--conflicts]
+//!                  [--conflicts-dot] <script.ldml>...
 //! ```
 //!
 //! Prints rustc-style caret diagnostics for every finding. Exit status:
@@ -12,21 +13,43 @@
 //!   `-- expect: <CODE>...` annotations; `1` on any mismatch or read
 //!   failure. A script without annotations must be clean. This is the mode
 //!   the `ci` target runs over `examples/*.ldml`.
+//!
+//! `--conflicts` additionally runs the footprint/commutativity pass
+//! (`W007`–`W010`) and prints the per-statement read/write report and the
+//! pairwise conflict graph. Under `--self-check` the pass's codes are
+//! matched against `-- expect-conflicts:` annotations. `--conflicts-dot`
+//! implies `--conflicts` and emits the graph as Graphviz `dot` instead of
+//! the textual report.
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 use std::io::{self, Write};
 use std::process::ExitCode;
-use winslett_analyze::{analyze_script, render_diagnostic, render_summary, Severity};
+use winslett_analyze::{
+    analyze_script_with, render_diagnostic, render_summary, ConflictOptions, ScriptOptions,
+    Severity,
+};
+
+const USAGE: &str = "usage: ldml-lint [--self-check] [--deny-warnings] [--conflicts] \
+[--conflicts-dot] <script.ldml>...";
 
 fn main() -> ExitCode {
     let mut self_check = false;
     let mut deny_warnings = false;
+    let mut conflicts = false;
+    let mut dot = false;
     let mut files: Vec<String> = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--self-check" => self_check = true,
             "--deny-warnings" => deny_warnings = true,
+            "--conflicts" => conflicts = true,
+            "--conflicts-dot" => {
+                conflicts = true;
+                dot = true;
+            }
             "--help" | "-h" => {
-                println!("usage: ldml-lint [--self-check] [--deny-warnings] <script.ldml>...");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other if other.starts_with('-') => {
@@ -41,9 +64,12 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    let options = ScriptOptions {
+        conflicts: conflicts.then(ConflictOptions::default),
+    };
     let stdout = io::stdout();
     let mut out = stdout.lock();
-    match run(&mut out, self_check, deny_warnings, &files) {
+    match run(&mut out, self_check, deny_warnings, dot, &options, &files) {
         Ok(true) => ExitCode::FAILURE,
         Ok(false) => ExitCode::SUCCESS,
         // The reader closed the pipe (e.g. `ldml-lint ... | head`): stop
@@ -61,6 +87,8 @@ fn run(
     out: &mut impl Write,
     self_check: bool,
     deny_warnings: bool,
+    dot: bool,
+    options: &ScriptOptions,
     files: &[String],
 ) -> io::Result<bool> {
     let mut failed = false;
@@ -73,24 +101,35 @@ fn run(
                 continue;
             }
         };
-        let report = analyze_script(&source);
+        let report = analyze_script_with(&source, options);
         for d in &report.diagnostics {
             writeln!(out, "{}", render_diagnostic(file, &source, d))?;
         }
         writeln!(out, "{}", render_summary(file, &report.diagnostics))?;
+        if let Some(analysis) = &report.conflicts {
+            if dot {
+                writeln!(out, "{}", analysis.to_dot(Some(&report.program_map)))?;
+            } else {
+                writeln!(
+                    out,
+                    "{}",
+                    analysis.render_report(&report.theory, Some(&report.program_map))
+                )?;
+            }
+        }
         if self_check {
             if report.matches_expectations() {
                 writeln!(
                     out,
                     "{file}: self-check ok ({} expected finding(s))",
-                    report.expected.len()
+                    report.expected_codes().len()
                 )?;
             } else {
-                let want: Vec<&str> = {
-                    let mut v = report.expected.clone();
-                    v.sort();
-                    v.into_iter().map(|c| c.as_str()).collect()
-                };
+                let want: Vec<&str> = report
+                    .expected_codes()
+                    .into_iter()
+                    .map(|c| c.as_str())
+                    .collect();
                 let got: Vec<&str> = report
                     .emitted_codes()
                     .into_iter()

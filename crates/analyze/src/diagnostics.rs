@@ -57,6 +57,24 @@ pub enum Code {
     /// The WHERE clause is dead *under the current theory*: no alternative
     /// world satisfies it, so the statement is a no-op on this database.
     W006,
+    /// Order-sensitive pair: two statements whose footprints conflict and
+    /// whose commutation could not be proven — reordering them may change
+    /// the result. Emitted only under conflict analysis (`--conflicts`).
+    W007,
+    /// Statement subsumed by a *non-adjacent* earlier statement: it is
+    /// Theorem-4 equivalent to an earlier one and every statement in
+    /// between is independent of it, so it can be commuted back to be
+    /// adjacent and collapsed by idempotence (the non-adjacent completion
+    /// of W004). Emitted only under conflict analysis.
+    W008,
+    /// Serialization hazard: one statement conflicts with more than K
+    /// others — a future lock-contention hotspot. Emitted only under
+    /// conflict analysis.
+    W009,
+    /// Provably-commutative block: a maximal run of ≥2 pairwise-independent
+    /// statements, safe to batch or reorder. Emitted only under conflict
+    /// analysis.
+    W010,
     /// The statement could not be parsed or mentions unknown symbols.
     E001,
     /// ω is unsatisfiable in an INSERT/MODIFY: every selected world is
@@ -72,13 +90,17 @@ pub enum Code {
 
 impl Code {
     /// Every code the analyzer can emit, in catalogue order.
-    pub const ALL: [Code; 10] = [
+    pub const ALL: [Code; 14] = [
         Code::W001,
         Code::W002,
         Code::W003,
         Code::W004,
         Code::W005,
         Code::W006,
+        Code::W007,
+        Code::W008,
+        Code::W009,
+        Code::W010,
         Code::E001,
         Code::E002,
         Code::E003,
@@ -94,6 +116,10 @@ impl Code {
             Code::W004 => "W004",
             Code::W005 => "W005",
             Code::W006 => "W006",
+            Code::W007 => "W007",
+            Code::W008 => "W008",
+            Code::W009 => "W009",
+            Code::W010 => "W010",
             Code::E001 => "E001",
             Code::E002 => "E002",
             Code::E003 => "E003",
@@ -109,9 +135,16 @@ impl Code {
     /// The severity this code always carries.
     pub fn severity(self) -> Severity {
         match self {
-            Code::W001 | Code::W002 | Code::W003 | Code::W004 | Code::W005 | Code::W006 => {
-                Severity::Warning
-            }
+            Code::W001
+            | Code::W002
+            | Code::W003
+            | Code::W004
+            | Code::W005
+            | Code::W006
+            | Code::W007
+            | Code::W008
+            | Code::W009
+            | Code::W010 => Severity::Warning,
             Code::E001 | Code::E002 | Code::E003 | Code::E004 => Severity::Error,
         }
     }
@@ -125,6 +158,10 @@ impl Code {
             Code::W004 => "statement repeats the previous update (Theorem 4)",
             Code::W005 => "§3.6 cost hazard: update touches a large share of the stored section",
             Code::W006 => "WHERE clause is dead under the current theory",
+            Code::W007 => "order-sensitive pair: reordering these statements may change the result",
+            Code::W008 => "statement subsumed by a non-adjacent earlier statement",
+            Code::W009 => "serialization hazard: statement conflicts with many others",
+            Code::W010 => "provably-commutative block: safe to batch or reorder",
             Code::E001 => "statement could not be parsed",
             Code::E002 => "unsatisfiable ω: every selected world is annihilated",
             Code::E003 => "certain type-axiom violation: rule 3 filters every produced world",

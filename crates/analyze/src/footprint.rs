@@ -1,0 +1,819 @@
+//! Footprint and commutativity analysis: the conflict graph of a script.
+//!
+//! For every statement the pass computes an [`AccessSet`] footprint from
+//! its §3.2 INSERT form (reads = atoms(φ), writes = atoms(ω); see
+//! `winslett_ldml::footprint`), widened against the theory's §3.5 axioms:
+//! a write into a predicate constrained by a type axiom or template
+//! dependency is conservatively treated as world-pruning, because rule 3
+//! filtering couples atoms *across* predicates (with an FD of key 0,
+//! `DELETE Orders(700,32)` and `INSERT Orders(700,33)` do not commute even
+//! though their atom sets are disjoint).
+//!
+//! Pairs whose footprints are not syntactically independent are
+//! **escalated** (under a per-pair atom budget) to an exact commutativity
+//! decision: Theorem-4 equivalence implies trivial commutation, and
+//! otherwise `commutes_brute` composes both orders over the joint atom set
+//! through the model-level semantics. Escalation is skipped for
+//! axiom-constrained statements, where the per-model argument is unsound.
+//!
+//! The result is a [`ConflictAnalysis`]: the pairwise conflict edges, the
+//! degree of each statement, maximal provably-commutative blocks, and the
+//! `W007`–`W010` diagnostics. [`ConflictAnalyzer`] packages the same
+//! footprint computation as a stateful handle over raw statement text for
+//! the server's write scheduler (`winslett-serve` coalesces runs of
+//! pairwise-independent queued writes into one group-commit batch).
+
+use crate::diagnostics::{Code, Diagnostic, FixHint};
+use crate::passes::{universe, MAX_EQUIV_ATOMS};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use winslett_ldml::{
+    commutes_brute, equivalent_updates_with, parse_update, update_footprint, Update,
+};
+use winslett_logic::{
+    display_wff, AccessSet, AtomId, AtomTable, EntailmentSession, ParseContext, PredId, Vocabulary,
+    Wff,
+};
+use winslett_theory::{HeadFormula, Theory};
+
+/// Tuning knobs for [`analyze_conflicts`].
+#[derive(Clone, Debug)]
+pub struct ConflictOptions {
+    /// Escalate syntactic conflicts to an exact commutativity decision
+    /// (Theorem-4 equivalence, then brute-force composition over the joint
+    /// atom set).
+    pub escalate: bool,
+    /// Per-pair budget: joint atom sets larger than this are not escalated
+    /// (the pair stays a conflict, conservatively).
+    pub max_pair_atoms: usize,
+    /// `W009` fires on statements conflicting with more than this many
+    /// others.
+    pub hazard_threshold: usize,
+}
+
+impl Default for ConflictOptions {
+    fn default() -> Self {
+        ConflictOptions {
+            escalate: true,
+            max_pair_atoms: 12,
+            hazard_threshold: 4,
+        }
+    }
+}
+
+/// One statement's footprint, as the conflict pass sees it.
+#[derive(Clone, Debug)]
+pub struct StatementFootprint {
+    /// The (possibly widened) access set.
+    pub access: AccessSet,
+    /// Whether the raw footprint was widened because the statement writes
+    /// into a predicate constrained by a type axiom or dependency.
+    pub constrained: bool,
+}
+
+/// A conflicting pair `(a, b)` with `a < b`.
+#[derive(Clone, Debug)]
+pub struct ConflictEdge {
+    /// Earlier statement (program index).
+    pub a: usize,
+    /// Later statement (program index).
+    pub b: usize,
+    /// Atoms witnessing the syntactic conflict (empty when the conflict is
+    /// pruning- or axiom-induced).
+    pub shared: Vec<AtomId>,
+    /// Whether either endpoint may prune worlds.
+    pub pruning: bool,
+    /// Escalation verdict: `Some(true)` — proven commutative (the edge is
+    /// harmless for reordering), `Some(false)` — proven order-sensitive,
+    /// `None` — not decided (escalation off, budget exceeded, or
+    /// axiom-constrained).
+    pub commutes: Option<bool>,
+    /// How the verdict was reached, for reports.
+    pub reason: String,
+}
+
+/// The conflict graph of an update program.
+#[derive(Clone, Debug)]
+pub struct ConflictAnalysis {
+    /// Per-statement footprints, in program order.
+    pub footprints: Vec<StatementFootprint>,
+    /// All syntactically-conflicting pairs, `a < b`, lexicographic.
+    pub edges: Vec<ConflictEdge>,
+    /// Non-adjacent subsumptions `(earlier, later, reason)` for `W008`.
+    pub subsumed: Vec<(usize, usize, String)>,
+    /// The options the analysis ran with.
+    pub options: ConflictOptions,
+}
+
+impl ConflictAnalysis {
+    /// Number of statements analyzed.
+    pub fn len(&self) -> usize {
+        self.footprints.len()
+    }
+
+    /// Whether the program was empty.
+    pub fn is_empty(&self) -> bool {
+        self.footprints.is_empty()
+    }
+
+    /// The edge between `i` and `j`, if they conflict syntactically.
+    pub fn edge(&self, i: usize, j: usize) -> Option<&ConflictEdge> {
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        self.edges.iter().find(|e| e.a == a && e.b == b)
+    }
+
+    /// Whether `i` and `j` are known to commute: either syntactically
+    /// independent or escalated to a commutativity proof.
+    pub fn independent(&self, i: usize, j: usize) -> bool {
+        i == j
+            || match self.edge(i, j) {
+                None => true,
+                Some(e) => e.commutes == Some(true),
+            }
+    }
+
+    /// Number of statements `i` is order-sensitive against (conflicting
+    /// edges not proven commutative).
+    pub fn degree(&self, i: usize) -> usize {
+        self.edges
+            .iter()
+            .filter(|e| (e.a == i || e.b == i) && e.commutes != Some(true))
+            .count()
+    }
+
+    /// Maximal runs `(start, end)` (inclusive) of ≥ 2 consecutive
+    /// statements that pairwise commute — safe to batch or reorder. Runs
+    /// are greedy and disjoint.
+    pub fn blocks(&self) -> Vec<(usize, usize)> {
+        let n = self.len();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < n {
+            let mut j = i;
+            while j + 1 < n && (i..=j).all(|k| self.independent(k, j + 1)) {
+                j += 1;
+            }
+            if j > i {
+                out.push((i, j));
+            }
+            i = j + 1;
+        }
+        out
+    }
+
+    /// The `W007`–`W010` diagnostics of this graph. `index_map` translates
+    /// program indices to display indices (scripts pass their
+    /// statement-line map; library callers pass `None` for identity);
+    /// both `Diagnostic::statement` and in-message statement references use
+    /// the mapped numbering.
+    pub fn diagnostics(&self, index_map: Option<&[usize]>) -> Vec<Diagnostic> {
+        let disp = |i: usize| index_map.map_or(i, |m| m[i]);
+        let mut out = Vec::new();
+
+        // W007: adjacent order-sensitive pairs — the reorderings a write
+        // scheduler (or an editor) would actually consider.
+        for e in &self.edges {
+            if e.b != e.a + 1 || e.commutes == Some(true) {
+                continue;
+            }
+            let proof = match e.commutes {
+                Some(false) => "order-sensitivity is proven by composing both orders",
+                _ => "commutation could not be proven under the analysis budget",
+            };
+            out.push(
+                Diagnostic::new(
+                    Code::W007,
+                    disp(e.b),
+                    format!(
+                        "statements {} and {} conflict ({}); {proof}: swapping them may \
+                         change the resulting theory",
+                        disp(e.a),
+                        disp(e.b),
+                        e.reason
+                    ),
+                )
+                .with_fix(FixHint::advice(
+                    "keep order-sensitive statements in their intended order; only \
+                     provably-commutative neighbours are safe to swap or batch",
+                )),
+            );
+        }
+
+        // W008: non-adjacent subsumption (the completion of W004).
+        for (i, j, reason) in &self.subsumed {
+            out.push(
+                Diagnostic::new(
+                    Code::W008,
+                    disp(*j),
+                    format!(
+                        "this statement repeats statement {} ({reason}) and every statement \
+                         in between commutes with it, so it can be moved back adjacent and \
+                         collapsed by idempotence — the repetition has no effect",
+                        disp(*i)
+                    ),
+                )
+                .with_fix(FixHint::delete_statement("delete the duplicate statement")),
+            );
+        }
+
+        // W009: serialization hazards.
+        for i in 0..self.len() {
+            let d = self.degree(i);
+            if d > self.options.hazard_threshold {
+                out.push(
+                    Diagnostic::new(
+                        Code::W009,
+                        disp(i),
+                        format!(
+                            "this statement is order-sensitive against {d} other statement(s) \
+                             (threshold {}): it serializes most of the script and will be a \
+                             lock-contention hotspot under concurrent writers",
+                            self.options.hazard_threshold
+                        ),
+                    )
+                    .with_fix(FixHint::advice(
+                        "narrow ω/φ to fewer atoms, or split the statement so each piece \
+                         touches one region",
+                    )),
+                );
+            }
+        }
+
+        // W010: provably-commutative blocks.
+        for (s, e) in self.blocks() {
+            out.push(
+                Diagnostic::new(
+                    Code::W010,
+                    disp(s),
+                    format!(
+                        "statements {}..={} pairwise commute: the block is safe to batch \
+                         into one group commit or reorder freely",
+                        disp(s),
+                        disp(e)
+                    ),
+                )
+                .with_fix(FixHint::advice(
+                    "a batching executor may apply this block with a single fsync and \
+                     snapshot publication",
+                )),
+            );
+        }
+        out
+    }
+
+    /// Human-readable conflict report (the `ldml-lint --conflicts` body).
+    pub fn render_report(&self, theory: &Theory, index_map: Option<&[usize]>) -> String {
+        let disp = |i: usize| index_map.map_or(i, |m| m[i]);
+        let atom = |a: AtomId| display_wff(&Wff::Atom(a), &theory.vocab, &theory.atoms).to_string();
+        let set = |s: &BTreeSet<AtomId>| {
+            if s.is_empty() {
+                "∅".to_string()
+            } else {
+                s.iter().map(|&a| atom(a)).collect::<Vec<_>>().join(", ")
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "conflict analysis: {} statement(s), {} conflicting pair(s)",
+            self.len(),
+            self.edges.len()
+        );
+        for (i, fp) in self.footprints.iter().enumerate() {
+            let mut tags = Vec::new();
+            if fp.access.is_noop() {
+                tags.push("no-op");
+            }
+            if fp.access.prunes {
+                tags.push("prunes-worlds");
+            }
+            if fp.constrained {
+                tags.push("axiom-constrained");
+            }
+            let tags = if tags.is_empty() {
+                String::new()
+            } else {
+                format!("  [{}]", tags.join(", "))
+            };
+            let _ = writeln!(
+                out,
+                "  statement {}: reads {{{}}} writes {{{}}}{tags}",
+                disp(i),
+                set(&fp.access.reads),
+                set(&fp.access.writes)
+            );
+        }
+        for e in &self.edges {
+            let verdict = match e.commutes {
+                Some(true) => "commutes (proven)",
+                Some(false) => "order-sensitive (proven)",
+                None => "order-sensitive (assumed)",
+            };
+            let shared = if e.shared.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    " on {{{}}}",
+                    e.shared
+                        .iter()
+                        .map(|&a| atom(a))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            };
+            let _ = writeln!(
+                out,
+                "  {} ↔ {}: {verdict}{shared} — {}",
+                disp(e.a),
+                disp(e.b),
+                e.reason
+            );
+        }
+        for (s, e) in self.blocks() {
+            let _ = writeln!(
+                out,
+                "  commutative block: statements {}..={}",
+                disp(s),
+                disp(e)
+            );
+        }
+        out
+    }
+
+    /// Graphviz rendering of the conflict graph (`--conflicts-dot`): solid
+    /// red edges are order-sensitive pairs, dashed green edges are
+    /// escalated-and-proven-commutative pairs; independent pairs have no
+    /// edge.
+    pub fn to_dot(&self, index_map: Option<&[usize]>) -> String {
+        let disp = |i: usize| index_map.map_or(i, |m| m[i]);
+        let mut out = String::from("graph conflicts {\n  node [shape=box];\n");
+        for i in 0..self.len() {
+            let fp = &self.footprints[i];
+            let style = if fp.access.prunes {
+                " style=filled fillcolor=mistyrose"
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "  s{} [label=\"statement {}\"{style}];", i, disp(i));
+        }
+        for e in &self.edges {
+            let attrs = if e.commutes == Some(true) {
+                "color=darkgreen style=dashed label=\"commutes\""
+            } else {
+                "color=red"
+            };
+            let _ = writeln!(out, "  s{} -- s{} [{attrs}];", e.a, e.b);
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Predicates coupled by the theory's §3.5 axioms: typed relations with
+/// their attribute predicates, and every predicate mentioned in a
+/// dependency body or head.
+pub fn constrained_predicates(theory: &Theory) -> BTreeSet<PredId> {
+    let mut out = BTreeSet::new();
+    for (rel, attrs) in theory.schema.type_axioms() {
+        out.insert(rel);
+        out.extend(attrs.iter().copied());
+    }
+    for dep in &theory.deps {
+        for pat in &dep.body {
+            out.insert(pat.pred);
+        }
+        head_preds(&dep.head, &mut out);
+    }
+    out
+}
+
+fn head_preds(h: &HeadFormula, out: &mut BTreeSet<PredId>) {
+    match h {
+        HeadFormula::Truth(_) | HeadFormula::Eq(_, _) => {}
+        HeadFormula::Atom(p) => {
+            out.insert(p.pred);
+        }
+        HeadFormula::Not(x) => head_preds(x, out),
+        HeadFormula::And(xs) | HeadFormula::Or(xs) => {
+            for x in xs {
+                head_preds(x, out);
+            }
+        }
+    }
+}
+
+/// The footprint of one statement against `theory`, widened for axiom
+/// coupling: a write into a constrained predicate is treated as pruning
+/// (rule 3 can delete worlds based on atoms the statement never mentions).
+pub fn statement_footprint(
+    theory: &Theory,
+    constrained: &BTreeSet<PredId>,
+    u: &Update,
+) -> StatementFootprint {
+    let access = update_footprint(u);
+    let hits_axioms = access
+        .writes
+        .iter()
+        .any(|&a| constrained.contains(&theory.atoms.resolve(a).pred));
+    let access = if hits_axioms {
+        access.with_prunes(true)
+    } else {
+        access
+    };
+    StatementFootprint {
+        access,
+        constrained: hits_axioms,
+    }
+}
+
+/// Builds the conflict graph of `program` against `theory`.
+///
+/// Two statements are independent iff each one's write set is disjoint
+/// from the other's read∪write set (with the pruning/axiom widenings
+/// above); conflicting pairs are escalated per `options`. The analysis is
+/// static — no update is applied.
+pub fn analyze_conflicts(
+    theory: &Theory,
+    program: &[Update],
+    options: &ConflictOptions,
+) -> ConflictAnalysis {
+    let constrained = constrained_predicates(theory);
+    let footprints: Vec<StatementFootprint> = program
+        .iter()
+        .map(|u| statement_footprint(theory, &constrained, u))
+        .collect();
+
+    // One entailment session serves every Theorem-4 escalation, exactly as
+    // in `analyze_program`.
+    let max_universe = program
+        .iter()
+        .map(|u| universe(theory, &u.to_insert()))
+        .fold(theory.num_atoms(), usize::max);
+    let mut session = EntailmentSession::new(max_universe);
+
+    let joint_atoms = |a: &Update, b: &Update| -> usize {
+        let mut s: BTreeSet<AtomId> = BTreeSet::new();
+        for u in [a, b] {
+            let f = u.to_insert();
+            s.extend(f.omega.atom_set());
+            s.extend(f.phi.atom_set());
+        }
+        s.len()
+    };
+
+    let mut edges = Vec::new();
+    for i in 0..program.len() {
+        for j in (i + 1)..program.len() {
+            let (fi, fj) = (&footprints[i], &footprints[j]);
+            if fi.access.independent(&fj.access) {
+                continue;
+            }
+            let shared = fi.access.conflict_witness(&fj.access).unwrap_or_default();
+            let pruning = fi.access.prunes || fj.access.prunes;
+            let mut commutes = None;
+            let mut reason = if fi.constrained || fj.constrained {
+                "write into an axiom-constrained predicate: rule 3 filtering may couple \
+                 the pair through atoms outside both footprints"
+                    .to_string()
+            } else if pruning {
+                "a world-pruning statement conflicts with every effectful statement".to_string()
+            } else {
+                "overlapping footprints".to_string()
+            };
+            let escalatable = options.escalate && !fi.constrained && !fj.constrained;
+            if escalatable && joint_atoms(&program[i], &program[j]) <= options.max_pair_atoms {
+                if let Ok(v) = equivalent_updates_with(&mut session, &program[i], &program[j]) {
+                    if v.equivalent {
+                        commutes = Some(true);
+                        reason = format!("equivalent updates commute trivially ({})", v.reason);
+                    }
+                }
+                if commutes.is_none() {
+                    if let Ok(c) = commutes_brute(&program[i], &program[j], options.max_pair_atoms)
+                    {
+                        commutes = Some(c);
+                        reason = if c {
+                            "both application orders produce the same world set on every \
+                             model (exact composition over the joint atoms)"
+                                .to_string()
+                        } else {
+                            "the two application orders produce different world sets on \
+                             some model"
+                                .to_string()
+                        };
+                    }
+                }
+            }
+            edges.push(ConflictEdge {
+                a: i,
+                b: j,
+                shared,
+                pruning,
+                commutes,
+                reason,
+            });
+        }
+    }
+
+    let analysis = ConflictAnalysis {
+        footprints,
+        edges,
+        subsumed: Vec::new(),
+        options: options.clone(),
+    };
+
+    // W008: a statement Theorem-4 equivalent to its *nearest* equivalent
+    // predecessor, with every intervening statement commuting with it, is
+    // subsumed (commute the repeat back through the independent middle,
+    // then apply single-update idempotence). The adjacent case is W004's.
+    let mut subsumed = Vec::new();
+    for j in 1..program.len() {
+        let fj = program[j].to_insert();
+        let mut j_atoms = fj.omega.atom_set();
+        j_atoms.extend(fj.phi.atom_set());
+        for i in (0..j).rev() {
+            let equivalent = if joint_atoms(&program[i], &program[j]) <= MAX_EQUIV_ATOMS
+                && j_atoms.len() <= MAX_EQUIV_ATOMS
+            {
+                match equivalent_updates_with(&mut session, &program[i], &program[j]) {
+                    Ok(v) if v.equivalent => Some(v.reason),
+                    _ => None,
+                }
+            } else if program[i] == program[j] {
+                Some("syntactically identical".to_string())
+            } else {
+                None
+            };
+            let Some(reason) = equivalent else { continue };
+            // Nearest equivalent predecessor decides: adjacent is W004's
+            // case, non-adjacent needs the middle to commute with j.
+            if i + 1 != j && ((i + 1)..j).all(|k| analysis.independent(k, j)) {
+                subsumed.push((i, j, reason));
+            }
+            break;
+        }
+    }
+
+    ConflictAnalysis {
+        subsumed,
+        ..analysis
+    }
+}
+
+/// A stateful footprint extractor over raw LDML statement text, for
+/// runtime consumers (the `winslett-serve` write scheduler).
+///
+/// The handle owns a private [`Vocabulary`] and [`AtomTable`]; parsing
+/// interns symbols into them with `declare: true`, so atom identities are
+/// consistent *across* calls on the same handle and footprint disjointness
+/// is meaningful for any batch of statements it has seen.
+///
+/// ```
+/// use winslett_analyze::ConflictAnalyzer;
+///
+/// let mut cx = ConflictAnalyzer::new();
+/// let a = cx.footprint("INSERT InStock(p3) WHERE T").unwrap();
+/// let b = cx.footprint("INSERT InStock(p7) WHERE T").unwrap();
+/// let c = cx.footprint("DELETE InStock(p3) WHERE T").unwrap();
+/// assert!(a.independent(&b)); // constant-argument refinement
+/// assert!(!a.independent(&c));
+/// assert!(cx.footprint("not ldml at all").is_none()); // barrier
+/// ```
+#[derive(Default)]
+pub struct ConflictAnalyzer {
+    vocab: Vocabulary,
+    atoms: AtomTable,
+}
+
+impl ConflictAnalyzer {
+    /// A fresh handle with an empty private vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parses `src` and returns its footprint, or `None` when the
+    /// statement cannot be parsed — callers must treat `None` as a
+    /// barrier that conflicts with everything.
+    ///
+    /// The private vocabulary carries no §3.5 axioms, so this footprint is
+    /// the raw L′ one; it is the right tool for *grouping* consecutive
+    /// writes (apply order preserved), not for reordering statements
+    /// against a theory with dependencies.
+    pub fn footprint(&mut self, src: &str) -> Option<AccessSet> {
+        let mut ctx = ParseContext {
+            vocab: &mut self.vocab,
+            atoms: &mut self.atoms,
+            declare: true,
+            allow_predicate_constants: false,
+        };
+        let update = parse_update(src, &mut ctx).ok()?;
+        Some(update_footprint(&update))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use winslett_theory::Dependency;
+
+    fn setup() -> (Theory, Vec<AtomId>) {
+        let mut t = Theory::new();
+        let r = t.declare_relation("R", 1).unwrap();
+        let atoms = ["a", "b", "c", "d"]
+            .iter()
+            .map(|n| {
+                let c = t.constant(n);
+                t.atom(r, &[c])
+            })
+            .collect();
+        (t, atoms)
+    }
+
+    fn w(a: AtomId) -> Wff {
+        Wff::Atom(a)
+    }
+
+    #[test]
+    fn disjoint_statements_have_no_edges() {
+        let (t, a) = setup();
+        let program = vec![
+            Update::insert(w(a[0]), Wff::t()),
+            Update::insert(w(a[1]), Wff::t()),
+            Update::insert(w(a[2]), Wff::t()),
+        ];
+        let an = analyze_conflicts(&t, &program, &ConflictOptions::default());
+        assert!(an.edges.is_empty());
+        assert_eq!(an.blocks(), vec![(0, 2)]);
+        let codes: Vec<Code> = an.diagnostics(None).iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![Code::W010]);
+    }
+
+    #[test]
+    fn write_read_conflict_is_order_sensitive() {
+        let (t, a) = setup();
+        // s0 writes R(a); s1's guard reads R(a): proven order-sensitive.
+        let program = vec![
+            Update::insert(w(a[0]), Wff::t()),
+            Update::insert(w(a[1]), w(a[0])),
+        ];
+        let an = analyze_conflicts(&t, &program, &ConflictOptions::default());
+        assert_eq!(an.edges.len(), 1);
+        assert_eq!(an.edges[0].commutes, Some(false));
+        assert!(!an.independent(0, 1));
+        let codes: Vec<Code> = an.diagnostics(None).iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![Code::W007]);
+    }
+
+    #[test]
+    fn escalation_proves_commutation_of_syntactic_conflicts() {
+        let (t, a) = setup();
+        // Both insert R(a): write-write overlap, but identical updates
+        // commute trivially (Theorem 4 equivalence)... and form a W004
+        // pair, which the conflict pass leaves to analyze_program.
+        let program = vec![
+            Update::insert(w(a[0]), Wff::t()),
+            Update::insert(w(a[0]), Wff::t()),
+        ];
+        let an = analyze_conflicts(&t, &program, &ConflictOptions::default());
+        assert_eq!(an.edges.len(), 1);
+        assert_eq!(an.edges[0].commutes, Some(true));
+        assert!(an.independent(0, 1));
+        // The proven pair forms a commutative block.
+        let codes: Vec<Code> = an.diagnostics(None).iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![Code::W010]);
+        // With escalation off the same pair is an assumed conflict.
+        let off = ConflictOptions {
+            escalate: false,
+            ..ConflictOptions::default()
+        };
+        let an = analyze_conflicts(&t, &program, &off);
+        assert_eq!(an.edges[0].commutes, None);
+        let codes: Vec<Code> = an.diagnostics(None).iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![Code::W007]);
+    }
+
+    #[test]
+    fn w008_nonadjacent_duplicate() {
+        let (t, a) = setup();
+        // s0 and s2 identical, s1 independent of both.
+        let program = vec![
+            Update::insert(w(a[0]), Wff::t()),
+            Update::insert(w(a[1]), Wff::t()),
+            Update::insert(w(a[0]), Wff::t()),
+        ];
+        let an = analyze_conflicts(&t, &program, &ConflictOptions::default());
+        assert_eq!(an.subsumed.len(), 1);
+        assert_eq!((an.subsumed[0].0, an.subsumed[0].1), (0, 2));
+        let codes: Vec<Code> = an.diagnostics(None).iter().map(|d| d.code).collect();
+        assert!(codes.contains(&Code::W008), "{codes:?}");
+        // A conflicting intermediate blocks the subsumption.
+        let program = vec![
+            Update::insert(w(a[0]), Wff::t()),
+            Update::delete(a[0], Wff::t()),
+            Update::insert(w(a[0]), Wff::t()),
+        ];
+        let an = analyze_conflicts(&t, &program, &ConflictOptions::default());
+        assert!(an.subsumed.is_empty());
+    }
+
+    #[test]
+    fn w009_hazard_degree() {
+        let (t, a) = setup();
+        // An ASSERT prunes worlds and conflicts with every effectful
+        // statement around it.
+        let mut program = vec![Update::assert(w(a[0]))];
+        for &atom in a.iter().take(4) {
+            program.push(Update::insert(w(atom), Wff::t()));
+        }
+        program.push(Update::delete(a[1], Wff::t()));
+        let opts = ConflictOptions {
+            escalate: false,
+            hazard_threshold: 4,
+            ..ConflictOptions::default()
+        };
+        let an = analyze_conflicts(&t, &program, &opts);
+        assert!(an.degree(0) > 4, "degree {}", an.degree(0));
+        let codes: Vec<Code> = an.diagnostics(None).iter().map(|d| d.code).collect();
+        assert!(codes.contains(&Code::W009), "{codes:?}");
+        // Escalation discharges the pairs whose writes miss the ASSERT's
+        // guard atom: only INSERT a0 remains genuinely order-sensitive.
+        let an = analyze_conflicts(&t, &program, &ConflictOptions::default());
+        assert_eq!(an.degree(0), 1);
+    }
+
+    #[test]
+    fn axiom_constrained_writes_are_conservative() {
+        let mut t = Theory::new();
+        let p = t.declare_relation("P", 2).unwrap();
+        t.add_dependency(Dependency::functional("fd", p, 2, &[0]).unwrap());
+        let ca = t.constant("a");
+        let cb = t.constant("b");
+        let cc = t.constant("c");
+        let ab = t.atom(p, &[ca, cb]);
+        let ac = t.atom(p, &[ca, cc]);
+        // Disjoint atom sets — but the FD couples them through rule 3:
+        // DELETE P(a,b) then INSERT P(a,c) differs from the reverse order.
+        let program = vec![
+            Update::delete(ab, Wff::t()),
+            Update::insert(w(ac), Wff::t()),
+        ];
+        let an = analyze_conflicts(&t, &program, &ConflictOptions::default());
+        assert!(an.footprints[0].constrained && an.footprints[1].constrained);
+        assert_eq!(an.edges.len(), 1);
+        assert_eq!(an.edges[0].commutes, None, "must not escalate");
+        assert!(!an.independent(0, 1));
+    }
+
+    #[test]
+    fn report_and_dot_render() {
+        let (t, a) = setup();
+        let program = vec![
+            Update::insert(w(a[0]), Wff::t()),
+            Update::insert(w(a[1]), w(a[0])),
+            Update::insert(w(a[2]), Wff::t()),
+        ];
+        let an = analyze_conflicts(&t, &program, &ConflictOptions::default());
+        let report = an.render_report(&t, None);
+        assert!(
+            report.contains("statement 0: reads {∅} writes {R(a)}"),
+            "{report}"
+        );
+        assert!(report.contains("0 ↔ 1"), "{report}");
+        let dot = an.to_dot(None);
+        assert!(dot.starts_with("graph conflicts {"));
+        assert!(dot.contains("s0 -- s1 [color=red]"), "{dot}");
+        assert!(!dot.contains("s0 -- s2"), "{dot}");
+    }
+
+    #[test]
+    fn index_map_remaps_statement_numbers() {
+        let (t, a) = setup();
+        let program = vec![
+            Update::insert(w(a[0]), Wff::t()),
+            Update::insert(w(a[1]), w(a[0])),
+        ];
+        let an = analyze_conflicts(&t, &program, &ConflictOptions::default());
+        let map = vec![7, 9];
+        let diags = an.diagnostics(Some(&map));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].statement, 9);
+        assert!(
+            diags[0].message.contains("statements 7 and 9"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn conflict_analyzer_handle_over_text() {
+        let mut cx = ConflictAnalyzer::new();
+        let a = cx.footprint("INSERT Stock(p3) WHERE T").unwrap();
+        let b = cx.footprint("INSERT Stock(p7) WHERE T").unwrap();
+        let c = cx.footprint("DELETE Stock(p3) WHERE Ord(p3)").unwrap();
+        assert!(a.independent(&b));
+        assert!(!a.independent(&c));
+        assert!(b.independent(&c));
+        assert!(cx.footprint(".relation R/1").is_none());
+        assert!(cx.footprint("INSERT R(a WHERE T").is_none());
+    }
+}

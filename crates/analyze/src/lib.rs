@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //! # winslett-analyze
 //!
 //! A pre-execution static analyzer for LDML update programs against an
@@ -16,17 +17,24 @@
 //!    of Theorems 3 and 4 (`W003`, `W004`);
 //! 3. schema and dependency conformance pre-checks (`E002`, `E003`,
 //!    `E004`);
-//! 4. §3.6 cost estimation (`W005`).
+//! 4. §3.6 cost estimation (`W005`);
+//! 5. footprint/commutativity analysis (`W007`–`W010`) — per-statement
+//!    read/write sets, the pairwise conflict graph, and SAT-backed
+//!    commutativity escalation (opt-in; see [`analyze_conflicts`]).
 //!
 //! Entry points:
 //!
 //! * [`analyze_program`] / [`analyze_batch`] — library API over parsed
 //!   [`winslett_ldml::Update`]s;
-//! * [`analyze_script`] — the `.ldml` script front-end, which also builds
-//!   the theory from declaration directives and attaches file-absolute
-//!   spans;
+//! * [`analyze_script`] / [`analyze_script_with`] — the `.ldml` script
+//!   front-end, which also builds the theory from declaration directives
+//!   and attaches file-absolute spans;
+//! * [`analyze_conflicts`] — the conflict graph of a program, plus
+//!   [`ConflictAnalyzer`], the raw-text footprint handle the
+//!   `winslett-serve` write scheduler batches with;
 //! * the `ldml-lint` binary — rustc-style caret diagnostics on script
-//!   files, with a `--self-check` mode driven by `-- expect:` annotations.
+//!   files, with a `--self-check` mode driven by `-- expect:` annotations
+//!   (and `-- expect-conflicts:` under `--conflicts`).
 //!
 //! The full diagnostic catalogue lives in `docs/analyzer.md`.
 //!
@@ -50,11 +58,18 @@
 //! ```
 
 pub mod diagnostics;
+pub mod footprint;
 pub mod passes;
 pub mod render;
 pub mod script;
 
 pub use diagnostics::{Batch, Code, Diagnostic, FixHint, Severity};
+pub use footprint::{
+    analyze_conflicts, constrained_predicates, statement_footprint, ConflictAnalysis,
+    ConflictAnalyzer, ConflictEdge, ConflictOptions, StatementFootprint,
+};
 pub use passes::{analyze_batch, analyze_program};
 pub use render::{render_diagnostic, render_summary};
-pub use script::{analyze_script, ScriptReport, ScriptStatement};
+pub use script::{
+    analyze_script, analyze_script_with, ScriptOptions, ScriptReport, ScriptStatement,
+};

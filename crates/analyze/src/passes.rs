@@ -24,7 +24,7 @@ use winslett_theory::{Theory, TheoryStats};
 /// Skip the Theorem 3/4 equivalence passes when an update mentions more
 /// atoms than this: the theorems' valuation projections are exponential in
 /// the atom count, and real LDML statements are tiny.
-const MAX_EQUIV_ATOMS: usize = 14;
+pub(crate) const MAX_EQUIV_ATOMS: usize = 14;
 
 /// Pass 4 stays silent for theories smaller than this: scanning a handful
 /// of formulas is never a hazard.
@@ -89,7 +89,7 @@ pub fn analyze_batch(theory: &Theory, program: &[Update]) -> Batch {
 
 /// The SAT universe for checks involving `form`: the theory's atom count,
 /// stretched to cover any atoms interned after the theory snapshot.
-fn universe(theory: &Theory, form: &InsertForm) -> usize {
+pub(crate) fn universe(theory: &Theory, form: &InsertForm) -> usize {
     let mut n = theory.num_atoms();
     for w in [&form.omega, &form.phi] {
         w.for_each_atom(&mut |a: &AtomId| n = n.max(a.index() + 1));
@@ -226,6 +226,13 @@ fn check_noop(
 /// Pass 2b: `W004` — the statement repeats its predecessor. A single LDML
 /// update is idempotent at the world level (a world already satisfying ω is
 /// its own unique minimal ω-model), so the repeat adds nothing.
+///
+/// Deliberately *adjacent-only*: without footprints there is no cheap way
+/// to know whether the statements in between interfere with the repeat.
+/// The conflict pass closes that blind spot — [`crate::analyze_conflicts`]
+/// reports a repeat separated by provably-independent intermediates as
+/// `W008`, and leaves the adjacent case here so base-lint users keep
+/// getting `W004` without opting into conflict analysis.
 fn check_duplicate(
     session: &mut EntailmentSession,
     statement: usize,

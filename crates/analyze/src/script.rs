@@ -25,10 +25,21 @@
 //! codes match exactly (an annotation-free file must be clean).
 
 use crate::diagnostics::{Batch, Code, Diagnostic};
+use crate::footprint::{analyze_conflicts, ConflictAnalysis, ConflictOptions};
 use crate::passes::analyze_program;
 use winslett_ldml::{parse_update, Update};
 use winslett_logic::{parse_wff, ParseContext, Span};
 use winslett_theory::{Dependency, Theory};
+
+/// Front-end options for [`analyze_script_with`].
+#[derive(Clone, Debug, Default)]
+pub struct ScriptOptions {
+    /// Run the footprint/commutativity pass (`W007`–`W010`) with these
+    /// options. `None` (the default, and what [`analyze_script`] uses)
+    /// skips conflict analysis entirely, so scripts stay clean under the
+    /// base lints even when they contain batchable blocks.
+    pub conflicts: Option<ConflictOptions>,
+}
 
 /// One meaningful script line (directive or LDML statement).
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -49,11 +60,18 @@ pub struct ScriptReport {
     pub diagnostics: Vec<Diagnostic>,
     /// Codes the script declares via `-- expect:` annotations.
     pub expected: Vec<Code>,
+    /// Codes the script declares via `-- expect-conflicts:` annotations —
+    /// expected *only* when the conflict pass runs.
+    pub expected_conflicts: Vec<Code>,
     /// The theory built from the directives.
     pub theory: Theory,
     /// The parsed update program (statements that failed to parse are
     /// reported as `E001` and skipped).
     pub program: Vec<Update>,
+    /// Maps program indices to statement indices (the display numbering).
+    pub program_map: Vec<usize>,
+    /// The conflict graph, when the pass ran.
+    pub conflicts: Option<ConflictAnalysis>,
 }
 
 impl ScriptReport {
@@ -71,23 +89,52 @@ impl ScriptReport {
     }
 
     /// Whether the emitted codes match the script's `expect:` annotations
-    /// exactly (an annotation-free script must emit nothing).
+    /// exactly (an annotation-free script must emit nothing). When the
+    /// conflict pass ran, the `expect-conflicts:` annotations join the
+    /// expected multiset.
     pub fn matches_expectations(&self) -> bool {
+        self.emitted_codes() == self.expected_codes()
+    }
+
+    /// The sorted code multiset the script expects for the mode it was
+    /// analyzed in.
+    pub fn expected_codes(&self) -> Vec<Code> {
         let mut want = self.expected.clone();
+        if self.conflicts.is_some() {
+            want.extend(self.expected_conflicts.iter().copied());
+        }
         want.sort();
-        self.emitted_codes() == want
+        want
     }
 }
 
-/// Parses and analyzes `source` as an `.ldml` script.
+/// Parses and analyzes `source` as an `.ldml` script with the default
+/// options (no conflict analysis).
 pub fn analyze_script(source: &str) -> ScriptReport {
+    analyze_script_with(source, &ScriptOptions::default())
+}
+
+/// Parses and analyzes `source` as an `.ldml` script.
+pub fn analyze_script_with(source: &str, options: &ScriptOptions) -> ScriptReport {
     let mut theory = Theory::new();
     let mut statements: Vec<ScriptStatement> = Vec::new();
     let mut diagnostics: Vec<Diagnostic> = Vec::new();
     let mut expected: Vec<Code> = Vec::new();
+    let mut expected_conflicts: Vec<Code> = Vec::new();
     // (statement index, update) for every line that parsed as an update.
     let mut program_map: Vec<usize> = Vec::new();
     let mut program: Vec<Update> = Vec::new();
+
+    let collect_codes = |into: &mut Vec<Code>, toks: &str| {
+        for tok in toks
+            .split(|c: char| c.is_whitespace() || c == ',')
+            .filter(|t| !t.is_empty())
+        {
+            if let Some(c) = Code::parse(tok) {
+                into.push(c);
+            }
+        }
+    };
 
     let mut offset = 0usize;
     for line in source.split_inclusive('\n') {
@@ -98,15 +145,20 @@ pub fn analyze_script(source: &str) -> ScriptReport {
             Some(i) => (&content[..i], &content[i..]),
             None => (content, ""),
         };
+        // `expect-conflicts:` is carved out first so its codes never leak
+        // into the plain `expect:` list when both share a comment.
+        let (comment, conflict_part) = match comment.find("expect-conflicts:") {
+            Some(i) => (
+                &comment[..i],
+                Some(&comment[i + "expect-conflicts:".len()..]),
+            ),
+            None => (comment, None),
+        };
+        if let Some(toks) = conflict_part {
+            collect_codes(&mut expected_conflicts, toks);
+        }
         if let Some(i) = comment.find("expect:") {
-            for tok in comment[i + "expect:".len()..]
-                .split(|c: char| c.is_whitespace() || c == ',')
-                .filter(|t| !t.is_empty())
-            {
-                if let Some(c) = Code::parse(tok) {
-                    expected.push(c);
-                }
-            }
+            collect_codes(&mut expected, &comment[i + "expect:".len()..]);
         }
         let text = code_part.trim();
         if text.is_empty() {
@@ -152,14 +204,27 @@ pub fn analyze_script(source: &str) -> ScriptReport {
         d.span = Some(pick_span(&statements[index], d.code));
         diagnostics.push(d);
     }
+    let conflicts = options.conflicts.as_ref().map(|copts| {
+        let analysis = analyze_conflicts(&theory, &program, copts);
+        // `diagnostics(..)` already maps statement numbers to the script's
+        // display indices; only the spans remain to attach.
+        for mut d in analysis.diagnostics(Some(&program_map)) {
+            d.span = Some(pick_span(&statements[d.statement], d.code));
+            diagnostics.push(d);
+        }
+        analysis
+    });
     diagnostics.sort_by_key(|d| (d.statement, d.code));
 
     ScriptReport {
         statements,
         diagnostics,
         expected,
+        expected_conflicts,
         theory,
         program,
+        program_map,
+        conflicts,
     }
 }
 
@@ -340,6 +405,71 @@ INSERT R(a) WHERE R(a)
         let r = analyze_script(src);
         assert_eq!(r.expected, vec![Code::W003]);
         assert!(r.matches_expectations(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn conflicts_mode_emits_and_expects_conflict_codes() {
+        let src = "\
+.relation R/1
+-- expect-conflicts: W010
+INSERT R(a) WHERE T
+INSERT R(b) WHERE T
+";
+        // Default mode: no conflict codes, and expect-conflicts is inert.
+        let plain = analyze_script(src);
+        assert!(plain.diagnostics.is_empty(), "{:?}", plain.diagnostics);
+        assert_eq!(plain.expected_conflicts, vec![Code::W010]);
+        assert!(plain.conflicts.is_none());
+        assert!(plain.matches_expectations());
+        // Conflicts mode: W010 fires on the independent pair and the
+        // expectation multiset includes the conflict annotations.
+        let opts = ScriptOptions {
+            conflicts: Some(ConflictOptions::default()),
+        };
+        let r = analyze_script_with(src, &opts);
+        assert_eq!(r.emitted_codes(), vec![Code::W010]);
+        assert!(r.matches_expectations(), "{:?}", r.diagnostics);
+        assert!(r.conflicts.is_some());
+        assert!(r.diagnostics[0].span.is_some());
+    }
+
+    #[test]
+    fn shared_comment_keeps_expect_lists_apart() {
+        let src = "\
+.relation R/1
+INSERT R(b) WHERE R(a)   -- expect: W006 expect-conflicts: W007
+DELETE R(a) WHERE T      -- expect: W002
+";
+        let r = analyze_script(src);
+        assert_eq!(r.expected, vec![Code::W006, Code::W002]);
+        assert_eq!(r.expected_conflicts, vec![Code::W007]);
+    }
+
+    #[test]
+    fn conflict_statement_numbers_use_script_indices() {
+        let src = "\
+.relation R/1
+.fact R(a)
+INSERT R(b) WHERE T
+DELETE R(b) WHERE R(a)
+";
+        let opts = ScriptOptions {
+            conflicts: Some(ConflictOptions::default()),
+        };
+        let r = analyze_script_with(src, &opts);
+        let w007: Vec<_> = r
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == Code::W007)
+            .collect();
+        assert_eq!(w007.len(), 1, "{:?}", r.diagnostics);
+        // Statements 0 and 1 are directives; the updates are 2 and 3.
+        assert_eq!(w007[0].statement, 3);
+        assert!(
+            w007[0].message.contains("statements 2 and 3"),
+            "{}",
+            w007[0].message
+        );
     }
 
     #[test]

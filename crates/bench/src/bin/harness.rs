@@ -10,7 +10,9 @@
 //! ```
 
 use winslett_bench::Table;
-use winslett_bench::{experiments, query_bench, server_bench, wal_bench, worlds_bench};
+use winslett_bench::{
+    conflicts_bench, experiments, query_bench, server_bench, wal_bench, worlds_bench,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -147,6 +149,31 @@ fn main() {
         // Same re-read-and-validate gate as BENCH_worlds.json.
         let reread = std::fs::read_to_string(&path).expect("read back BENCH_server.json");
         match server_bench::validate_server_bench(&reread) {
+            Ok(_) => eprintln!("{path}: shape OK"),
+            Err(e) => {
+                eprintln!("{path}: shape validation FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if want("conflicts") {
+        // ≥3 writers: with the leader serving from inside the writer pool,
+        // queued depth maxes out at writers − 1, and coalescing needs ≥2
+        // jobs queued together.
+        let bench = conflicts_bench::run_conflicts_bench(
+            if quick { 3 } else { 4 },
+            if quick { 150 } else { 1000 },
+        );
+        tables.push(conflicts_bench::conflicts_table(&bench));
+        let path = match &out_dir {
+            Some(dir) => format!("{dir}/BENCH_conflicts.json"),
+            None => "BENCH_conflicts.json".to_owned(),
+        };
+        let text = serde_json::to_string_pretty(&bench).expect("serializable");
+        std::fs::write(&path, &text).expect("write BENCH_conflicts.json");
+        // Same re-read-and-validate gate as BENCH_worlds.json.
+        let reread = std::fs::read_to_string(&path).expect("read back BENCH_conflicts.json");
+        match conflicts_bench::validate_conflicts_bench(&reread) {
             Ok(_) => eprintln!("{path}: shape OK"),
             Err(e) => {
                 eprintln!("{path}: shape validation FAILED: {e}");

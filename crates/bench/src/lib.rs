@@ -6,6 +6,7 @@
 //! the `harness` binary (which prints the rows recorded in EXPERIMENTS.md)
 //! and the Criterion benches (which time the same hot paths rigorously).
 
+pub mod conflicts_bench;
 pub mod experiments;
 pub mod query_bench;
 pub mod report;
@@ -13,6 +14,9 @@ pub mod server_bench;
 pub mod wal_bench;
 pub mod worlds_bench;
 
+pub use conflicts_bench::{
+    conflicts_table, run_conflicts_bench, validate_conflicts_bench, ConflictsBench,
+};
 pub use query_bench::{query_table, run_query_bench, validate_query_bench, QueryBench};
 pub use report::Table;
 pub use server_bench::{run_server_bench, server_table, validate_server_bench, ServerBench};

@@ -108,6 +108,7 @@ fn boot() -> (
         ServerOptions {
             max_connections: 64,
             idle_timeout: Duration::from_secs(30),
+            ..ServerOptions::default()
         },
     )
     .expect("bench server bind");

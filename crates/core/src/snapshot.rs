@@ -282,6 +282,57 @@ mod tests {
     }
 
     #[test]
+    fn declared_but_empty_relation_folds_closed_world() {
+        // A relation that was declared but never populated interns no
+        // atoms, so every ground atom over it sits outside the snapshot's
+        // universe: certainly false under completion, not a parse error.
+        let mut db = orders_db();
+        db.declare_relation("Discontinued", 1).unwrap();
+        let snap = TheorySnapshot::capture(db.theory());
+        let mut reader = snap.reader();
+        assert!(!reader.is_possible("Discontinued(32)").unwrap());
+        assert!(reader.is_certain("!Discontinued(32)").unwrap());
+        // Exactly what the live database answers for the same probe.
+        assert_eq!(
+            reader.is_certain("!Discontinued(32)").unwrap(),
+            db.is_certain("!Discontinued(32)").unwrap()
+        );
+        // Folding composes under connectives: the dead disjunct drops out.
+        assert!(reader
+            .is_certain("Orders(700,32,9) | Discontinued(32)")
+            .unwrap());
+        assert!(!reader
+            .is_possible("Orders(700,32,9) & Discontinued(32)")
+            .unwrap());
+    }
+
+    #[test]
+    fn atoms_minted_after_pin_stay_false_in_the_snapshot() {
+        let mut db = orders_db();
+        let snap = TheorySnapshot::capture(db.theory());
+        // `Orders(700,32,1)` uses only constants the snapshot knows, but
+        // the atom itself is interned by this later write: it exists in
+        // the live theory, not in the pinned universe.
+        db.execute("INSERT Orders(700,32,1) WHERE T").unwrap();
+        assert!(db.is_certain("Orders(700,32,1)").unwrap());
+        let mut reader = snap.reader();
+        assert!(!reader.is_possible("Orders(700,32,1)").unwrap());
+        assert!(reader.is_certain("!Orders(700,32,1)").unwrap());
+        // The probe interned the atom only in the reader's private table;
+        // the shared snapshot stays frozen, and a second reader over the
+        // same snapshot starts from the pinned universe again.
+        assert_eq!(snap.theory().num_atoms(), reader.universe);
+        let mut second = snap.reader();
+        assert_eq!(second.universe, reader.universe);
+        assert!(!second.is_possible("Orders(700,32,1)").unwrap());
+        // Constants minted after the pin are a different case: the strict
+        // parse has never seen them, so the probe is an error, not a
+        // silent false.
+        db.execute("INSERT Orders(900,32,1) WHERE T").unwrap();
+        assert!(reader.is_certain("Orders(900,32,1)").is_err());
+    }
+
+    #[test]
     fn reader_explain_matches_live_explain() {
         let mut db = orders_db();
         db.execute("INSERT Orders(100,32,1) | Orders(100,32,7) WHERE T")

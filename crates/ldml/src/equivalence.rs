@@ -282,6 +282,67 @@ pub fn equivalent_updates_with(
     theorem4_with(session, b1, b2)
 }
 
+/// The canonical world set of applying `first` then `second` to model `m`.
+fn compose_orders(first: &Update, second: &Update, m: &BitSet) -> Result<Vec<BitSet>, LdmlError> {
+    let mut out = Vec::new();
+    for w in apply_update(first, m)? {
+        out.extend(apply_update(second, &w)?);
+    }
+    Ok(canonicalize(out))
+}
+
+/// Exact bounded commutativity: whether `b1;b2` and `b2;b1` produce the
+/// same world set from **every** model. Enumeration runs over the joint
+/// atom set of the two updates only — atoms mentioned by neither update
+/// persist identically under both orders and cannot influence either ω or
+/// φ, so agreement over the joint atoms is agreement over every model
+/// (and, since every model is realizable as a single-world theory, over
+/// every extended relational theory without dependency or type axioms).
+///
+/// `max_atoms` is the per-pair budget: joint atom sets larger than it (or
+/// than the global cap of 20) return [`LdmlError::TooLarge`] so callers
+/// can fall back to a conservative answer.
+///
+/// ```
+/// use winslett_ldml::{commutes_brute, Update};
+/// use winslett_logic::{AtomId, Wff};
+///
+/// let b1 = Update::insert(Wff::Atom(AtomId(0)), Wff::t());
+/// let b2 = Update::insert(Wff::Atom(AtomId(1)), Wff::t());
+/// assert!(commutes_brute(&b1, &b2, 12)?);
+/// // INSERT p and DELETE p do not commute.
+/// let b3 = Update::delete(AtomId(0), Wff::t());
+/// assert!(!commutes_brute(&b1, &b3, 12)?);
+/// # Ok::<(), winslett_ldml::LdmlError>(())
+/// ```
+pub fn commutes_brute(b1: &Update, b2: &Update, max_atoms: usize) -> Result<bool, LdmlError> {
+    let f1 = b1.to_insert();
+    let f2 = b2.to_insert();
+    let mut joint: BTreeSet<AtomId> = BTreeSet::new();
+    for w in [&f1.omega, &f1.phi, &f2.omega, &f2.phi] {
+        joint.extend(w.atom_set());
+    }
+    let atoms: Vec<AtomId> = joint.into_iter().collect();
+    if atoms.len() > max_atoms.min(20) {
+        return Err(LdmlError::TooLarge {
+            atoms: atoms.len(),
+            max: max_atoms.min(20),
+        });
+    }
+    for mask in 0u64..(1u64 << atoms.len()) {
+        let m: BitSet = atoms
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (mask >> i) & 1 == 1)
+            .map(|(_, a)| a.index())
+            .collect();
+        if compose_orders(b1, b2, &m)? != compose_orders(b2, b1, &m)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
 /// Brute-force semantic equivalence: compares the `S` sets of the two
 /// updates on *every* model over atoms `0..universe`. Sound and complete
 /// because every model is realizable as a single-world extended relational
@@ -412,6 +473,62 @@ mod tests {
         let b1 = Update::assert(a(0));
         let b2 = Update::insert(Wff::f(), a(0).not());
         assert!(check_against_brute(&b1, &b2));
+    }
+
+    #[test]
+    fn commutes_brute_basics() {
+        // Disjoint inserts commute.
+        let b1 = Update::insert(a(0), Wff::t());
+        let b2 = Update::insert(a(1), Wff::t());
+        assert!(commutes_brute(&b1, &b2, 12).unwrap());
+        // Insert vs delete of the same atom: order-sensitive.
+        let b3 = Update::delete(AtomId(0), Wff::t());
+        assert!(!commutes_brute(&b1, &b3, 12).unwrap());
+        // Write into the other's guard: order-sensitive.
+        let b4 = Update::insert(a(1), a(0));
+        assert!(!commutes_brute(&b1, &b4, 12).unwrap());
+        // Equivalent updates trivially commute.
+        let b5 = Update::insert(a(0), Wff::t());
+        assert!(commutes_brute(&b1, &b5, 12).unwrap());
+        // Budget exceeded reports TooLarge rather than guessing.
+        let wide = Wff::And((0..15).map(a).collect());
+        let b6 = Update::insert(wide.clone(), Wff::t());
+        let b7 = Update::insert(wide, Wff::t());
+        assert!(matches!(
+            commutes_brute(&b6, &b7, 8),
+            Err(LdmlError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn footprint_independence_implies_commutation() {
+        // The soundness direction the conflict analyzer relies on, checked
+        // against the model-level semantics over random update pairs.
+        let mut state = 0x0DDB_A11C_0FFE_E000u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut independent_seen = 0;
+        for _ in 0..400 {
+            let b1 = random_update(&mut next);
+            let b2 = random_update(&mut next);
+            let f1 = crate::footprint::update_footprint(&b1);
+            let f2 = crate::footprint::update_footprint(&b2);
+            if f1.independent(&f2) {
+                independent_seen += 1;
+                assert!(
+                    commutes_brute(&b1, &b2, 20).unwrap(),
+                    "independent footprints must commute: {b1:?} vs {b2:?}"
+                );
+            }
+        }
+        assert!(
+            independent_seen > 0,
+            "generator produced no independent pairs"
+        );
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! Update footprints: the read/write [`AccessSet`] of an LDML statement.
+//!
+//! Computed from the §3.2 INSERT form `INSERT ω WHERE φ`:
+//!
+//! * **reads** = atoms(φ) — the selection clause observes their current
+//!   values (for DELETE/MODIFY this includes the target tuple `t`, which
+//!   the reduction conjoins into φ);
+//! * **writes** = atoms(ω) — the insertion replaces their values with the
+//!   satisfying valuations of ω, *regardless* of their old values, while
+//!   every unmentioned atom persists (the minimal-change frame). ω atoms
+//!   are therefore pure writes, not read-writes.
+//! * **prunes** — when ω is unsatisfiable (every `ASSERT`, by the
+//!   `INSERT F WHERE ¬φ` reduction), selected worlds are deleted outright.
+//!   World deletion is visible to *any* other statement through the
+//!   theory's world set, so a pruning statement conflicts with everything.
+//!
+//! Soundness of the resulting independence check (each statement's write
+//! set disjoint from the other's read∪write set, neither pruning) is per
+//! world: the two updates rewrite disjoint coordinates, and neither can
+//! change the other's φ value, so both application orders produce the same
+//! world set. `commutes_brute` in [`crate::equivalence`] cross-validates
+//! this against the model-level semantics, and the workspace proptests
+//! check it through the §4 replay path.
+//!
+//! **Caveat (axiom coupling):** this footprint is over L′ syntax only. At
+//! the theory level, type axioms and template dependencies (§3.5 rule 3)
+//! can filter produced worlds, coupling atoms of *different* predicates —
+//! e.g. with an FD of key 0, `DELETE Orders(700,32)` and
+//! `INSERT Orders(700,33)` do not commute even though their atom sets are
+//! disjoint. Consumers analyzing statements against a theory with
+//! dependency or type axioms must widen the footprint accordingly (the
+//! analyzer conservatively marks writes into constrained predicates as
+//! pruning; see `winslett-analyze`).
+
+use crate::update::Update;
+use rustc_hash::FxHashMap;
+use winslett_logic::{AccessSet, AtomId, Wff};
+
+/// Atom cap for the exact ω-satisfiability sweep; above it the footprint
+/// conservatively reports `prunes = true`.
+const MAX_SAT_SWEEP_ATOMS: usize = 20;
+
+/// Whether `w` has at least one satisfying valuation over its own atom
+/// set. `None` when the atom set exceeds [`MAX_SAT_SWEEP_ATOMS`].
+fn satisfiable_bounded(w: &Wff) -> Option<bool> {
+    let atoms: Vec<AtomId> = w.atom_set().into_iter().collect();
+    if atoms.len() > MAX_SAT_SWEEP_ATOMS {
+        return None;
+    }
+    let index: FxHashMap<AtomId, usize> = atoms
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(i, a)| (a, i))
+        .collect();
+    for mask in 0u32..(1u32 << atoms.len()) {
+        let ok = w.eval(&mut |a: &AtomId| index.get(a).is_some_and(|&i| (mask >> i) & 1 == 1));
+        if ok {
+            return Some(true);
+        }
+    }
+    Some(false)
+}
+
+/// Computes the footprint of an update from its INSERT form.
+///
+/// A statement whose φ is unsatisfiable selects no world and therefore
+/// does nothing; it gets the empty footprint (independent of everything).
+///
+/// ```
+/// use winslett_ldml::{update_footprint, Update};
+/// use winslett_logic::{AtomId, Wff};
+///
+/// // DELETE t WHERE φ ∧ t: writes {t}, reads {φ's atoms, t}.
+/// let fp = update_footprint(&Update::delete(AtomId(0), Wff::Atom(AtomId(1))));
+/// assert!(fp.writes.contains(&AtomId(0)));
+/// assert!(fp.reads.contains(&AtomId(0)) && fp.reads.contains(&AtomId(1)));
+/// assert!(!fp.prunes);
+///
+/// // ASSERT φ reduces to INSERT F WHERE ¬φ: it deletes worlds.
+/// assert!(update_footprint(&Update::assert(Wff::Atom(AtomId(0)))).prunes);
+/// ```
+pub fn update_footprint(u: &Update) -> AccessSet {
+    let form = u.to_insert();
+    if satisfiable_bounded(&form.phi) == Some(false) {
+        return AccessSet::default(); // selects no world: a guaranteed no-op
+    }
+    let prunes = satisfiable_bounded(&form.omega) != Some(true);
+    AccessSet::new(form.phi.atom_set(), form.omega.atom_set()).with_prunes(prunes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use winslett_logic::Formula;
+
+    fn a(i: u32) -> Wff {
+        Formula::Atom(AtomId(i))
+    }
+
+    #[test]
+    fn insert_reads_phi_writes_omega() {
+        let fp = update_footprint(&Update::insert(Wff::or2(a(0), a(1)), a(2)));
+        assert_eq!(fp.writes, [AtomId(0), AtomId(1)].into_iter().collect());
+        assert_eq!(fp.reads, [AtomId(2)].into_iter().collect());
+        assert!(!fp.prunes);
+    }
+
+    #[test]
+    fn modify_without_t_in_omega_writes_t() {
+        // MODIFY t TO BE ω WHERE φ ∧ t with t ∉ ω carries ¬t in ω.
+        let fp = update_footprint(&Update::modify(AtomId(0), a(1), a(2)));
+        assert_eq!(fp.writes, [AtomId(0), AtomId(1)].into_iter().collect());
+        assert_eq!(fp.reads, [AtomId(0), AtomId(2)].into_iter().collect());
+        assert!(!fp.prunes);
+    }
+
+    #[test]
+    fn unsatisfiable_omega_prunes() {
+        let fp = update_footprint(&Update::insert(Wff::and2(a(0), a(0).not()), Wff::t()));
+        assert!(fp.prunes);
+        let fp = update_footprint(&Update::assert(a(0)));
+        assert!(fp.prunes);
+    }
+
+    #[test]
+    fn unsatisfiable_phi_yields_empty_footprint() {
+        let dead = Update::insert(a(3), Wff::and2(a(0), a(0).not()));
+        let fp = update_footprint(&dead);
+        assert_eq!(fp, winslett_logic::AccessSet::default());
+        // A vacuous ASSERT (valid φ) likewise selects nothing.
+        let vac = Update::assert(Wff::or2(a(0), a(0).not()));
+        assert_eq!(update_footprint(&vac), winslett_logic::AccessSet::default());
+        // The no-op is independent even of a pruning statement.
+        assert!(fp.independent(&update_footprint(&Update::assert(a(1)))));
+    }
+
+    #[test]
+    fn independent_updates_per_footprint() {
+        let u1 = update_footprint(&Update::insert(a(0), a(1)));
+        let u2 = update_footprint(&Update::insert(a(2), a(3)));
+        assert!(u1.independent(&u2));
+        // Shared guard atom is read-read: still independent.
+        let u3 = update_footprint(&Update::insert(a(4), a(1)));
+        assert!(u1.independent(&u3));
+        // u4 writes u1's guard atom: conflict.
+        let u4 = update_footprint(&Update::insert(a(1), Wff::t()));
+        assert!(!u1.independent(&u4));
+    }
+}

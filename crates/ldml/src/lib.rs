@@ -15,15 +15,17 @@
 
 pub mod equivalence;
 pub mod error;
+pub mod footprint;
 pub mod parser;
 pub mod semantics;
 pub mod update;
 
 pub use equivalence::{
-    equivalent_brute, equivalent_updates, equivalent_updates_with, theorem2_sufficient, theorem3,
-    theorem3_with, theorem4, theorem4_with, EquivalenceVerdict,
+    commutes_brute, equivalent_brute, equivalent_updates, equivalent_updates_with,
+    theorem2_sufficient, theorem3, theorem3_with, theorem4, theorem4_with, EquivalenceVerdict,
 };
 pub use error::LdmlError;
+pub use footprint::update_footprint;
 pub use parser::parse_update;
 pub use semantics::{
     apply_insert, apply_simultaneous, apply_simultaneous_cached, apply_update, apply_update_direct,

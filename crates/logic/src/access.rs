@@ -1,0 +1,195 @@
+//! Read/write access sets over ground atoms — the pairwise-independence
+//! primitive behind conflict graphs.
+//!
+//! A ground statement's *footprint* is the pair of atom sets it reads
+//! (atoms whose values select its behaviour) and writes (atoms whose
+//! values it can change). Two footprints are **independent** when each
+//! one's write set is disjoint from the other's read∪write set — the
+//! classic conflict-serializability condition, instantiated at ground-atom
+//! granularity. Independence of ground LDML updates at this level is
+//! *sound* for commutation: unmentioned atoms persist under the §3.2
+//! minimal-change semantics, so two updates whose footprints are
+//! independent act on disjoint coordinates of every world and compose in
+//! either order to the same world set (`winslett-ldml` cross-validates
+//! this against the per-world semantics).
+//!
+//! The sets are kept at atom granularity — for ground updates every atom
+//! is a fully-applied constant tuple, so this *is* the constant-argument
+//! refinement (`InStock(p3)` conflicts with `InStock(p3)` but not with
+//! `InStock(p7)`). [`AccessSet::read_preds`]/[`AccessSet::write_preds`]
+//! project to predicate granularity (`InStock(*)`) for coarser consumers
+//! such as lock tables.
+
+use crate::atoms::AtomTable;
+use crate::symbols::PredId;
+use crate::AtomId;
+use std::collections::BTreeSet;
+
+/// The read and write atom sets of one ground statement.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct AccessSet {
+    /// Atoms whose current values the statement observes.
+    pub reads: BTreeSet<AtomId>,
+    /// Atoms whose values the statement can change.
+    pub writes: BTreeSet<AtomId>,
+    /// Whether the statement can delete worlds outright (an `ASSERT`, or
+    /// an INSERT whose ω is the constant `F`). World deletion changes the
+    /// certain/possible status of arbitrary atoms at the theory level, so
+    /// a pruning statement conflicts with everything except other pure
+    /// no-ops — the conservative over-approximation documented in
+    /// `docs/analyzer.md`.
+    pub prunes: bool,
+}
+
+impl AccessSet {
+    /// Builds an access set from explicit atom collections.
+    pub fn new(
+        reads: impl IntoIterator<Item = AtomId>,
+        writes: impl IntoIterator<Item = AtomId>,
+    ) -> Self {
+        AccessSet {
+            reads: reads.into_iter().collect(),
+            writes: writes.into_iter().collect(),
+            prunes: false,
+        }
+    }
+
+    /// Marks the statement as world-pruning (see [`AccessSet::prunes`]).
+    pub fn with_prunes(mut self, prunes: bool) -> Self {
+        self.prunes = prunes;
+        self
+    }
+
+    /// All atoms the statement touches, read or write.
+    pub fn touched(&self) -> BTreeSet<AtomId> {
+        self.reads.union(&self.writes).copied().collect()
+    }
+
+    /// The read set projected to predicate granularity.
+    pub fn read_preds(&self, atoms: &AtomTable) -> BTreeSet<PredId> {
+        self.reads.iter().map(|&a| atoms.resolve(a).pred).collect()
+    }
+
+    /// The write set projected to predicate granularity.
+    pub fn write_preds(&self, atoms: &AtomTable) -> BTreeSet<PredId> {
+        self.writes.iter().map(|&a| atoms.resolve(a).pred).collect()
+    }
+
+    /// Whether `self`'s writes intersect `other`'s read∪write set.
+    fn writes_into(&self, other: &AccessSet) -> bool {
+        self.writes
+            .iter()
+            .any(|a| other.reads.contains(a) || other.writes.contains(a))
+    }
+
+    /// Whether the statement is the identity transformation: it writes no
+    /// atom and prunes no world, so regardless of what it reads it maps
+    /// every world to itself and commutes with everything.
+    pub fn is_noop(&self) -> bool {
+        !self.prunes && self.writes.is_empty()
+    }
+
+    /// The pairwise commutativity entry point: two statements are
+    /// syntactically independent iff each one's write set is disjoint
+    /// from the other's read∪write set and neither prunes worlds. A
+    /// statement that is a [no-op](AccessSet::is_noop) is independent of
+    /// everything; otherwise a pruning statement conflicts with everything
+    /// — it can remove the very worlds the other statement's selection
+    /// observes.
+    ///
+    /// Symmetric: `a.independent(b) == b.independent(a)`.
+    pub fn independent(&self, other: &AccessSet) -> bool {
+        if self.is_noop() || other.is_noop() {
+            return true;
+        }
+        if self.prunes || other.prunes {
+            return false;
+        }
+        !self.writes_into(other) && !other.writes_into(self)
+    }
+
+    /// The complement of [`AccessSet::independent`], with the shared atoms
+    /// that witness the conflict (empty when the conflict is due to
+    /// pruning alone).
+    pub fn conflict_witness(&self, other: &AccessSet) -> Option<Vec<AtomId>> {
+        if self.independent(other) {
+            return None;
+        }
+        let mut shared: BTreeSet<AtomId> = BTreeSet::new();
+        for a in &self.writes {
+            if other.reads.contains(a) || other.writes.contains(a) {
+                shared.insert(*a);
+            }
+        }
+        for a in &other.writes {
+            if self.reads.contains(a) || self.writes.contains(a) {
+                shared.insert(*a);
+            }
+        }
+        Some(shared.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(xs: &[u32]) -> Vec<AtomId> {
+        xs.iter().map(|&i| AtomId(i)).collect()
+    }
+
+    #[test]
+    fn disjoint_footprints_are_independent() {
+        let a = AccessSet::new(ids(&[0]), ids(&[1]));
+        let b = AccessSet::new(ids(&[2]), ids(&[3]));
+        assert!(a.independent(&b));
+        assert!(b.independent(&a));
+        assert_eq!(a.conflict_witness(&b), None);
+    }
+
+    #[test]
+    fn write_read_overlap_conflicts() {
+        // a writes atom 1; b reads atom 1.
+        let a = AccessSet::new(ids(&[0]), ids(&[1]));
+        let b = AccessSet::new(ids(&[1]), ids(&[2]));
+        assert!(!a.independent(&b));
+        assert!(!b.independent(&a));
+        assert_eq!(a.conflict_witness(&b), Some(ids(&[1])));
+    }
+
+    #[test]
+    fn write_write_overlap_conflicts() {
+        let a = AccessSet::new(ids(&[]), ids(&[1]));
+        let b = AccessSet::new(ids(&[]), ids(&[1]));
+        assert!(!a.independent(&b));
+        assert_eq!(a.conflict_witness(&b), Some(ids(&[1])));
+    }
+
+    #[test]
+    fn read_read_overlap_is_independent() {
+        let a = AccessSet::new(ids(&[0]), ids(&[1]));
+        let b = AccessSet::new(ids(&[0]), ids(&[2]));
+        assert!(a.independent(&b));
+    }
+
+    #[test]
+    fn pruning_conflicts_with_everything_but_noops() {
+        let a = AccessSet::new(ids(&[0]), ids(&[])).with_prunes(true);
+        let b = AccessSet::new(ids(&[2]), ids(&[3]));
+        assert!(!a.independent(&b));
+        assert!(!b.independent(&a));
+        // The witness is empty: the conflict is the pruning itself.
+        assert_eq!(a.conflict_witness(&b), Some(Vec::new()));
+        // A no-op (no writes, no pruning) commutes even with a pruner.
+        let noop = AccessSet::new(ids(&[0, 2]), ids(&[]));
+        assert!(noop.is_noop());
+        assert!(a.independent(&noop) && noop.independent(&a));
+        assert!(!AccessSet::default().with_prunes(true).is_noop());
+    }
+
+    #[test]
+    fn touched_unions_both_sets() {
+        let a = AccessSet::new(ids(&[0, 1]), ids(&[1, 2]));
+        assert_eq!(a.touched(), ids(&[0, 1, 2]).into_iter().collect());
+    }
+}

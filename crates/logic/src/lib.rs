@@ -26,6 +26,7 @@
 //! that "in an implementation … we would not actually store any of these
 //! axioms".
 
+pub mod access;
 pub mod atoms;
 pub mod bitset;
 pub mod cnf;
@@ -42,6 +43,7 @@ pub mod span;
 pub mod symbols;
 pub mod valuation;
 
+pub use access::AccessSet;
 pub use atoms::{AtomTable, GroundAtom};
 pub use bitset::BitSet;
 pub use cnf::{CnfFormula, Tseitin};

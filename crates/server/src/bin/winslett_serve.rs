@@ -1,6 +1,8 @@
 //! The `winslett-serve` binary: serve a durable LDML database over TCP,
 //! talk to one from a line-oriented REPL, or run the CI smoke script.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
@@ -12,13 +14,16 @@ winslett-serve — a concurrent LDML database server
 
 USAGE:
   winslett-serve serve --dir PATH [--addr HOST:PORT] [--idle-secs N]
-                       [--max-conns N] [--group-commit N]
+                       [--max-conns N] [--group-commit N] [--no-batch]
   winslett-serve repl  --addr HOST:PORT
   winslett-serve smoke
 
 serve   Serve a durable database from PATH (created if missing).
         Default --addr 127.0.0.1:7171. SIGTERM/SIGINT and the protocol
         Shutdown request both drain connections and flush the WAL.
+        --no-batch disables the conflict-aware write batcher (queued
+        pairwise-independent writes coalesced into one fsync and one
+        snapshot publication).
 repl    Interactive client. Lines are LDML statements; prefixed
         commands: query / check / explain / pin / unpin / stats /
         checkpoint / shutdown / quit.
@@ -109,6 +114,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let server_options = ServerOptions {
         max_connections: max_conns,
         idle_timeout: Duration::from_secs(idle_secs.max(1)),
+        batch_writes: !args.iter().any(|a| a == "--no-batch"),
     };
     let (server, report) = Server::bind(
         addr,
@@ -268,6 +274,7 @@ fn cmd_smoke() -> Result<(), String> {
         ServerOptions {
             max_connections: 8,
             idle_timeout: Duration::from_secs(10),
+            ..ServerOptions::default()
         },
     )
     .map_err(|e| format!("bind: {e}"))?;

@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //! # winslett-serve
 //!
 //! A concurrent LDML database server over the Winslett (PODS 1986)

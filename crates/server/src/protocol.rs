@@ -120,8 +120,8 @@ pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
         8 => {}
         got => return Err(FrameError::Torn { got, want: 8 }),
     }
-    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
-    let expected = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    let expected = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
     if len > MAX_FRAME_LEN {
         return Err(FrameError::Oversized { len });
     }
@@ -290,6 +290,11 @@ pub struct StatsReply {
     pub idle_closes: u64,
     /// Malformed frames / undecodable requests observed.
     pub protocol_errors: u64,
+    /// Write batches flushed by the batching leader (each batch = one
+    /// sync + one snapshot publication).
+    pub write_batches: u64,
+    /// Writes that shared a batch with at least one other write.
+    pub coalesced_writes: u64,
     /// Current theory generation at the writer.
     pub generation: u64,
     /// Next WAL LSN.

@@ -6,6 +6,18 @@
 //! * **Writes** serialize through a `Mutex<DurableDatabase>`. Each
 //!   acknowledged update is journaled (WAL) *before* GUA applies it, and
 //!   its reply carries the WAL LSN — the serialization order.
+//! * **Write batching** (on by default, [`ServerOptions::batch_writes`]):
+//!   writes enqueue into a shared queue and whichever thread wins the
+//!   writer lock drains it as the *leader*, applying everyone's writes
+//!   and handing replies back through per-job slots. The leader runs the
+//!   queued statements through [`winslett_analyze::ConflictAnalyzer`] and
+//!   coalesces a run of pairwise-independent updates into one batch:
+//!   applied in arrival order (never reordered), made durable with **one
+//!   `fsync`**, and published as **one snapshot**. Conflicting or
+//!   unanalyzable statements close the batch, so a reader can only ever
+//!   miss intermediate states that provably-independent writes would have
+//!   produced. Batched acks are sent *after* the batch's sync — at least
+//!   as durable as the unbatched path.
 //! * **Reads** never take the writer lock. After every update the writer
 //!   publishes a [`TheorySnapshot`] (theory cloned once behind an `Arc`)
 //!   into an `RwLock` slot; connections grab the `Arc` and answer from a
@@ -25,14 +37,17 @@ use crate::protocol::{
     read_frame, send, CheckpointReply, ErrorKindWire, ExecReply, ExplainReply, FrameError,
     QueryReply, Request, Response, SnapshotReply, StatsReply, TruthReply, WireError, WireVerdict,
 };
+use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock, TryLockError};
 use std::time::Duration;
+use winslett_analyze::ConflictAnalyzer;
 use winslett_core::explain::Verdict;
 use winslett_core::snapshot::{SnapshotReader, TheorySnapshot};
 use winslett_core::wal::{DurableDatabase, RecoveryReport, Storage, WalOptions};
 use winslett_core::{DbError, DbOptions};
+use winslett_logic::AccessSet;
 
 /// Tunables.
 #[derive(Clone, Debug)]
@@ -42,6 +57,12 @@ pub struct ServerOptions {
     pub max_connections: usize,
     /// A connection idle (or stalled mid-frame) this long is closed.
     pub idle_timeout: Duration,
+    /// Coalesce pairwise-independent queued writes into group-commit
+    /// batches (one fsync, one snapshot publication per batch). Apply
+    /// order is always arrival order; batching only changes *when*
+    /// durability and snapshot publication happen. Off = the classic
+    /// one-publication-per-write path.
+    pub batch_writes: bool,
 }
 
 impl Default for ServerOptions {
@@ -49,6 +70,7 @@ impl Default for ServerOptions {
         ServerOptions {
             max_connections: 64,
             idle_timeout: Duration::from_secs(30),
+            batch_writes: true,
         }
     }
 }
@@ -72,6 +94,10 @@ pub struct ServerStats {
     pub idle_closes: AtomicU64,
     /// Malformed frames / undecodable requests observed.
     pub protocol_errors: AtomicU64,
+    /// Write batches flushed (each = one sync + one snapshot publication).
+    pub write_batches: AtomicU64,
+    /// Writes that shared a batch with at least one other write.
+    pub coalesced_writes: AtomicU64,
 }
 
 /// What the writer last published: an immutable snapshot plus its place
@@ -85,11 +111,65 @@ struct Published {
 struct Shared<S: Storage> {
     writer: Mutex<Option<DurableDatabase<S>>>,
     published: RwLock<Arc<Published>>,
+    /// Pending writes awaiting a leader (batched mode only).
+    queue: Mutex<VecDeque<WriteJob>>,
     stats: Arc<ServerStats>,
     shutdown: Arc<AtomicBool>,
     active: Arc<AtomicUsize>,
     options: ServerOptions,
     addr: SocketAddr,
+}
+
+/// Upper bound on writes coalesced into one batch, so a follower's ack
+/// latency stays bounded under a deep queue.
+const MAX_BATCH: usize = 32;
+
+/// A write request in database terms, detached from its connection so the
+/// leader can apply it on the submitter's behalf.
+enum WriteOp {
+    Execute(String),
+    DeclareRelation(String, u64),
+    DeclareAttribute(String),
+    LoadFact(String, Vec<String>),
+    LoadWff(String),
+}
+
+/// One queued write plus the slot its reply travels back through.
+struct WriteJob {
+    op: WriteOp,
+    slot: Arc<ReplySlot>,
+}
+
+/// A single-use mailbox: the leader fills it, the submitter waits on it.
+#[derive(Default)]
+struct ReplySlot {
+    resp: Mutex<Option<Response>>,
+    cv: Condvar,
+}
+
+impl ReplySlot {
+    fn fill(&self, r: Response) {
+        // The slot holds plain data; a poisoned lock can't corrupt it.
+        let mut guard = self.resp.lock().unwrap_or_else(PoisonError::into_inner);
+        *guard = Some(r);
+        self.cv.notify_all();
+    }
+
+    fn try_take(&self) -> Option<Response> {
+        self.resp
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+    }
+
+    fn wait(&self, timeout: Duration) -> Option<Response> {
+        let guard = self.resp.lock().unwrap_or_else(PoisonError::into_inner);
+        let (mut guard, _) = self
+            .cv
+            .wait_timeout(guard, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.take()
+    }
 }
 
 /// A cheap, clonable handle for poking a running server from outside its
@@ -157,6 +237,7 @@ impl<S: Storage + Send + 'static> Server<S> {
                 updates_applied: 0,
                 last_lsn,
             })),
+            queue: Mutex::new(VecDeque::new()),
             stats: Arc::new(ServerStats::default()),
             shutdown: Arc::new(AtomicBool::new(false)),
             active: Arc::new(AtomicUsize::new(0)),
@@ -216,13 +297,19 @@ impl<S: Storage + Send + 'static> Server<S> {
         while shared.active.load(Ordering::SeqCst) > 0 {
             std::thread::sleep(Duration::from_millis(2));
         }
+        // Even if a write panicked and poisoned the lock, closing is the
+        // best effort left: the WAL only ever holds intact records.
         let db = shared
             .writer
             .lock()
-            .expect("writer lock poisoned")
-            .take()
-            .expect("writer closed twice");
-        db.close()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        match db {
+            Some(db) => db.close(),
+            None => Err(DbError::Storage {
+                message: "writer already closed".into(),
+            }),
+        }
     }
 }
 
@@ -334,27 +421,13 @@ impl<S: Storage + Send + 'static> Connection<S> {
 
     fn dispatch(&mut self, request: Request) -> Response {
         match request {
-            Request::Execute(src) => self.write_op(|db| {
-                let report = db.execute(&src)?;
-                Ok((report.nodes_added as i64, report.completion_added as u64))
-            }),
-            Request::DeclareRelation(name, arity) => self.write_op(|db| {
-                db.declare_relation(&name, arity as usize)?;
-                Ok((0, 0))
-            }),
-            Request::DeclareAttribute(name) => self.write_op(|db| {
-                db.declare_attribute(&name)?;
-                Ok((0, 0))
-            }),
-            Request::LoadFact(pred, args) => self.write_op(|db| {
-                let refs: Vec<&str> = args.iter().map(String::as_str).collect();
-                db.load_fact(&pred, &refs)?;
-                Ok((0, 0))
-            }),
-            Request::LoadWff(src) => self.write_op(|db| {
-                db.load_wff(&src)?;
-                Ok((0, 0))
-            }),
+            Request::Execute(src) => self.write(WriteOp::Execute(src)),
+            Request::DeclareRelation(name, arity) => {
+                self.write(WriteOp::DeclareRelation(name, arity))
+            }
+            Request::DeclareAttribute(name) => self.write(WriteOp::DeclareAttribute(name)),
+            Request::LoadFact(pred, args) => self.write(WriteOp::LoadFact(pred, args)),
+            Request::LoadWff(src) => self.write(WriteOp::LoadWff(src)),
             Request::Query(src) => self.read(|r| {
                 let generation = r.generation();
                 r.query(&src).map(|a| {
@@ -387,7 +460,7 @@ impl<S: Storage + Send + 'static> Connection<S> {
                 })
             }),
             Request::Pin => {
-                let published = Arc::clone(&self.shared.published.read().expect("published lock"));
+                let published = read_published(&self.shared);
                 let reply = SnapshotReply {
                     generation: published.snapshot.generation(),
                     updates_applied: published.updates_applied,
@@ -412,43 +485,46 @@ impl<S: Storage + Send + 'static> Connection<S> {
         }
     }
 
-    /// Runs one journaled write under the writer lock, then publishes the
-    /// new snapshot for readers. `f` returns `(nodes_added,
-    /// completion_added)` for the reply.
-    fn write_op(
-        &mut self,
-        f: impl FnOnce(&mut DurableDatabase<S>) -> Result<(i64, u64), DbError>,
-    ) -> Response {
+    /// One write request: refused during drain, then routed to the
+    /// batching queue or the classic direct path.
+    fn write(&mut self, op: WriteOp) -> Response {
         if self.shared.shutdown.load(Ordering::SeqCst) {
             return Response::Error(WireError {
                 kind: ErrorKindWire::ShuttingDown,
                 message: "server is draining; write refused".into(),
             });
         }
-        let mut guard = self.shared.writer.lock().expect("writer lock poisoned");
+        if self.shared.options.batch_writes {
+            self.enqueue_write(op)
+        } else {
+            self.write_direct(op)
+        }
+    }
+
+    /// The unbatched path: one journaled write under the writer lock, one
+    /// snapshot publication, ack.
+    fn write_direct(&mut self, op: WriteOp) -> Response {
+        let mut guard = match self.shared.writer.lock() {
+            Ok(g) => g,
+            Err(_) => return Response::Error(poisoned_writer()),
+        };
         let Some(db) = guard.as_mut() else {
-            return Response::Error(WireError {
-                kind: ErrorKindWire::ShuttingDown,
-                message: "database already closed".into(),
-            });
+            return Response::Error(closed_writer());
         };
         let lsn = db.next_lsn();
-        match f(db) {
+        match apply_op(db, &op) {
             Ok((nodes_added, completion_added)) => {
                 let generation = db.db().theory().generation();
                 let snapshot = TheorySnapshot::capture(db.db().theory());
-                let prev = self.shared.published.read().expect("published lock");
-                let updates_applied = prev.updates_applied + 1;
-                drop(prev);
-                *self.shared.published.write().expect("published lock") = Arc::new(Published {
-                    snapshot,
-                    updates_applied,
-                    last_lsn: lsn,
-                });
-                self.shared
-                    .stats
-                    .snapshots_published
-                    .fetch_add(1, Ordering::Relaxed);
+                let updates_applied = read_published(&self.shared).updates_applied + 1;
+                publish(
+                    &self.shared,
+                    Published {
+                        snapshot,
+                        updates_applied,
+                        last_lsn: lsn,
+                    },
+                );
                 self.shared.stats.updates.fetch_add(1, Ordering::Relaxed);
                 Response::Executed(ExecReply {
                     lsn,
@@ -458,6 +534,53 @@ impl<S: Storage + Send + 'static> Connection<S> {
                 })
             }
             Err(e) => Response::Error(wire_error(&e)),
+        }
+    }
+
+    /// The batched path: enqueue the job, then either win the writer lock
+    /// and drain the queue as leader (serving everyone, ourselves
+    /// included) or wait as follower for a leader to fill our slot. A
+    /// follower re-arms with a short timeout so the one race — a leader
+    /// finishing its drain just before our job landed — resolves by us
+    /// becoming the next leader instead of waiting forever.
+    fn enqueue_write(&mut self, op: WriteOp) -> Response {
+        let slot = Arc::new(ReplySlot::default());
+        {
+            let mut q = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            q.push_back(WriteJob {
+                op,
+                slot: Arc::clone(&slot),
+            });
+        }
+        loop {
+            if let Some(r) = slot.try_take() {
+                return r;
+            }
+            match self.shared.writer.try_lock() {
+                Ok(mut guard) => {
+                    if let Some(r) = slot.try_take() {
+                        return r; // served between the check and the lock
+                    }
+                    match guard.as_mut() {
+                        Some(db) => drain_writes(&self.shared, db),
+                        None => fail_pending(&self.shared, &closed_writer()),
+                    }
+                }
+                Err(TryLockError::WouldBlock) => {
+                    if let Some(r) = slot.wait(Duration::from_millis(2)) {
+                        return r;
+                    }
+                }
+                Err(TryLockError::Poisoned(_)) => {
+                    // No leader can ever serve the queue again: fail every
+                    // pending job (ours included) rather than strand them.
+                    fail_pending(&self.shared, &poisoned_writer());
+                }
+            }
         }
     }
 
@@ -472,16 +595,13 @@ impl<S: Storage + Send + 'static> Connection<S> {
         let reader = if let Some(pinned) = self.pinned.as_mut() {
             pinned
         } else {
-            let published = Arc::clone(&self.shared.published.read().expect("published lock"));
+            let published = read_published(&self.shared);
             let current = published.snapshot.generation();
-            let stale = self
-                .latest
-                .as_ref()
-                .is_none_or(|r| r.generation() != current);
-            if stale {
-                self.latest = Some(published.snapshot.reader());
-            }
-            self.latest.as_mut().expect("latest reader")
+            let session = match self.latest.take() {
+                Some(r) if r.generation() == current => r,
+                _ => published.snapshot.reader(),
+            };
+            self.latest.insert(session)
         };
         match f(reader) {
             Ok(resp) => resp,
@@ -500,32 +620,30 @@ impl<S: Storage + Send + 'static> Connection<S> {
             snapshots_published: s.snapshots_published.load(Ordering::Relaxed),
             idle_closes: s.idle_closes.load(Ordering::Relaxed),
             protocol_errors: s.protocol_errors.load(Ordering::Relaxed),
+            write_batches: s.write_batches.load(Ordering::Relaxed),
+            coalesced_writes: s.coalesced_writes.load(Ordering::Relaxed),
             ..StatsReply::default()
         };
-        if let Some(db) = self
-            .shared
-            .writer
-            .lock()
-            .expect("writer lock poisoned")
-            .as_ref()
-        {
-            let wal = db.stats();
-            reply.generation = db.db().theory().generation();
-            reply.next_lsn = db.next_lsn();
-            reply.wal_records = wal.records;
-            reply.wal_syncs = wal.syncs;
-            reply.wal_checkpoints = wal.checkpoints;
+        if let Ok(guard) = self.shared.writer.lock() {
+            if let Some(db) = guard.as_ref() {
+                let wal = db.stats();
+                reply.generation = db.db().theory().generation();
+                reply.next_lsn = db.next_lsn();
+                reply.wal_records = wal.records;
+                reply.wal_syncs = wal.syncs;
+                reply.wal_checkpoints = wal.checkpoints;
+            }
         }
         Response::Stats(reply)
     }
 
     fn checkpoint(&mut self) -> Response {
-        let mut guard = self.shared.writer.lock().expect("writer lock poisoned");
+        let mut guard = match self.shared.writer.lock() {
+            Ok(g) => g,
+            Err(_) => return Response::Error(poisoned_writer()),
+        };
         let Some(db) = guard.as_mut() else {
-            return Response::Error(WireError {
-                kind: ErrorKindWire::ShuttingDown,
-                message: "database already closed".into(),
-            });
+            return Response::Error(closed_writer());
         };
         match db.checkpoint() {
             Ok(()) => Response::Checkpointed(CheckpointReply {
@@ -533,6 +651,209 @@ impl<S: Storage + Send + 'static> Connection<S> {
             }),
             Err(e) => Response::Error(wire_error(&e)),
         }
+    }
+}
+
+// ----- the write leader -----------------------------------------------------
+
+/// The current published snapshot (the lock only ever guards an `Arc`
+/// swap, so a poisoned lock still holds a consistent value).
+fn read_published<S: Storage>(shared: &Shared<S>) -> Arc<Published> {
+    Arc::clone(
+        &shared
+            .published
+            .read()
+            .unwrap_or_else(PoisonError::into_inner),
+    )
+}
+
+/// Swaps in a new published snapshot and counts the publication.
+fn publish<S: Storage>(shared: &Shared<S>, p: Published) {
+    *shared
+        .published
+        .write()
+        .unwrap_or_else(PoisonError::into_inner) = Arc::new(p);
+    shared
+        .stats
+        .snapshots_published
+        .fetch_add(1, Ordering::Relaxed);
+}
+
+/// Applies one write op to the database; `(nodes_added, completion_added)`
+/// feed the ack.
+fn apply_op<S: Storage>(db: &mut DurableDatabase<S>, op: &WriteOp) -> Result<(i64, u64), DbError> {
+    match op {
+        WriteOp::Execute(src) => {
+            let report = db.execute(src)?;
+            Ok((report.nodes_added as i64, report.completion_added as u64))
+        }
+        WriteOp::DeclareRelation(name, arity) => {
+            db.declare_relation(name, *arity as usize)?;
+            Ok((0, 0))
+        }
+        WriteOp::DeclareAttribute(name) => {
+            db.declare_attribute(name)?;
+            Ok((0, 0))
+        }
+        WriteOp::LoadFact(pred, args) => {
+            let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+            db.load_fact(pred, &refs)?;
+            Ok((0, 0))
+        }
+        WriteOp::LoadWff(src) => {
+            db.load_wff(src)?;
+            Ok((0, 0))
+        }
+    }
+}
+
+/// The leader loop: repeatedly empties the queue, slicing it into batches
+/// of consecutive pairwise-independent `Execute` statements. Statements
+/// are *never reordered* — the footprint analysis only decides where one
+/// batch ends and the next begins, so coalescing is always semantically
+/// invisible; independence additionally guarantees that the intermediate
+/// snapshots a batch skips publishing are ones no reader could
+/// distinguish from a reordering of independent writes. Anything the
+/// analyzer cannot parse (or any non-`Execute` op, which changes the
+/// language itself) is a barrier that runs in a batch of its own.
+fn drain_writes<S: Storage>(shared: &Shared<S>, db: &mut DurableDatabase<S>) {
+    loop {
+        let jobs: Vec<WriteJob> = {
+            let mut q = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            q.drain(..).collect()
+        };
+        if jobs.is_empty() {
+            return;
+        }
+        // Fresh per drain: footprints only need to be comparable within
+        // one drain, and a long-lived analyzer would intern atoms forever.
+        let mut analyzer = ConflictAnalyzer::default();
+        let mut batch: Vec<WriteJob> = Vec::new();
+        let mut feet: Vec<AccessSet> = Vec::new();
+        for job in jobs {
+            let footprint = match &job.op {
+                WriteOp::Execute(src) => analyzer.footprint(src),
+                _ => None,
+            };
+            match footprint {
+                Some(fp) if batch.len() < MAX_BATCH && feet.iter().all(|f| f.independent(&fp)) => {
+                    batch.push(job);
+                    feet.push(fp);
+                }
+                Some(fp) => {
+                    flush_batch(shared, db, std::mem::take(&mut batch));
+                    feet.clear();
+                    batch.push(job);
+                    feet.push(fp);
+                }
+                None => {
+                    flush_batch(shared, db, std::mem::take(&mut batch));
+                    feet.clear();
+                    flush_batch(shared, db, vec![job]);
+                }
+            }
+        }
+        flush_batch(shared, db, batch);
+    }
+}
+
+/// Applies one batch in arrival order, then makes it durable with a
+/// single sync and publishes a single snapshot before acking anyone.
+/// Per-job failures (parse errors, refused updates) ack individually and
+/// don't abort the rest of the batch — identical to what the unbatched
+/// path would have done serving them back to back.
+fn flush_batch<S: Storage>(shared: &Shared<S>, db: &mut DurableDatabase<S>, batch: Vec<WriteJob>) {
+    if batch.is_empty() {
+        return;
+    }
+    let size = batch.len();
+    let mut results: Vec<(Arc<ReplySlot>, Result<ExecReply, DbError>)> = Vec::with_capacity(size);
+    let mut applied = 0u64;
+    let mut last_lsn = None;
+    for job in batch {
+        let lsn = db.next_lsn();
+        match apply_op(db, &job.op) {
+            Ok((nodes_added, completion_added)) => {
+                applied += 1;
+                last_lsn = Some(lsn);
+                let generation = db.db().theory().generation();
+                results.push((
+                    job.slot,
+                    Ok(ExecReply {
+                        lsn,
+                        generation,
+                        nodes_added,
+                        completion_added,
+                    }),
+                ));
+            }
+            Err(e) => results.push((job.slot, Err(e))),
+        }
+    }
+    if let Some(last_lsn) = last_lsn {
+        // One durability point for the whole batch. If it fails, no ack
+        // may claim success: the records are applied in memory but not
+        // guaranteed on storage.
+        if let Err(e) = db.sync() {
+            let failure = wire_error(&e);
+            for (slot, result) in results {
+                slot.fill(Response::Error(match result {
+                    Ok(_) => failure.clone(),
+                    Err(own) => wire_error(&own),
+                }));
+            }
+            return;
+        }
+        let snapshot = TheorySnapshot::capture(db.db().theory());
+        let updates_applied = read_published(shared).updates_applied + applied;
+        publish(
+            shared,
+            Published {
+                snapshot,
+                updates_applied,
+                last_lsn,
+            },
+        );
+        shared.stats.updates.fetch_add(applied, Ordering::Relaxed);
+    }
+    shared.stats.write_batches.fetch_add(1, Ordering::Relaxed);
+    if size > 1 {
+        shared
+            .stats
+            .coalesced_writes
+            .fetch_add(size as u64, Ordering::Relaxed);
+    }
+    for (slot, result) in results {
+        slot.fill(match result {
+            Ok(reply) => Response::Executed(reply),
+            Err(e) => Response::Error(wire_error(&e)),
+        });
+    }
+}
+
+/// Fails every queued job with `err` — used when no leader can ever run
+/// again (database closed or writer state poisoned).
+fn fail_pending<S: Storage>(shared: &Shared<S>, err: &WireError) {
+    let jobs: Vec<WriteJob> = {
+        let mut q = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        q.drain(..).collect()
+    };
+    for job in jobs {
+        job.slot.fill(Response::Error(err.clone()));
+    }
+}
+
+fn closed_writer() -> WireError {
+    WireError {
+        kind: ErrorKindWire::ShuttingDown,
+        message: "database already closed".into(),
+    }
+}
+
+fn poisoned_writer() -> WireError {
+    WireError {
+        kind: ErrorKindWire::Internal,
+        message: "writer state poisoned by a previous panic".into(),
     }
 }
 
@@ -558,5 +879,128 @@ fn wire_error(e: &DbError) -> WireError {
     WireError {
         kind,
         message: e.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use winslett_core::wal::MemStorage;
+
+    /// A `Shared` with an open in-memory database, no listener attached —
+    /// enough to drive the leader's drain loop directly.
+    fn shared_with_db(relations: &[(&str, usize)]) -> Arc<Shared<MemStorage>> {
+        let (mut db, _report) = DurableDatabase::open(
+            MemStorage::new(),
+            DbOptions::default(),
+            WalOptions::default(),
+        )
+        .expect("open");
+        for (name, arity) in relations {
+            db.declare_relation(name, *arity).expect("declare");
+        }
+        let snapshot = TheorySnapshot::capture(db.db().theory());
+        let last_lsn = db.next_lsn().saturating_sub(1);
+        Arc::new(Shared {
+            writer: Mutex::new(Some(db)),
+            published: RwLock::new(Arc::new(Published {
+                snapshot,
+                updates_applied: 0,
+                last_lsn,
+            })),
+            queue: Mutex::new(VecDeque::new()),
+            stats: Arc::new(ServerStats::default()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            active: Arc::new(AtomicUsize::new(0)),
+            options: ServerOptions::default(),
+            addr: "127.0.0.1:0".parse().expect("addr"),
+        })
+    }
+
+    fn enqueue(shared: &Shared<MemStorage>, op: WriteOp) -> Arc<ReplySlot> {
+        let slot = Arc::new(ReplySlot::default());
+        shared.queue.lock().expect("queue").push_back(WriteJob {
+            op,
+            slot: Arc::clone(&slot),
+        });
+        slot
+    }
+
+    fn drain(shared: &Shared<MemStorage>) {
+        let mut guard = shared.writer.lock().expect("writer");
+        let db = guard.as_mut().expect("db");
+        drain_writes(shared, db);
+    }
+
+    #[test]
+    fn independent_writes_coalesce_into_one_publication() {
+        let shared = shared_with_db(&[("R", 1)]);
+        let slots: Vec<_> = ["a", "b", "c"]
+            .iter()
+            .map(|c| enqueue(&shared, WriteOp::Execute(format!("INSERT R({c}) WHERE T"))))
+            .collect();
+        drain(&shared);
+        for slot in &slots {
+            match slot.try_take() {
+                Some(Response::Executed(_)) => {}
+                other => panic!("expected Executed, got {other:?}"),
+            }
+        }
+        let stats = &shared.stats;
+        assert_eq!(stats.write_batches.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.coalesced_writes.load(Ordering::Relaxed), 3);
+        assert_eq!(stats.snapshots_published.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.updates.load(Ordering::Relaxed), 3);
+        // The one published snapshot reflects every write in the batch.
+        let published = read_published(&shared);
+        assert_eq!(published.updates_applied, 3);
+        let mut reader = published.snapshot.reader();
+        for c in ["a", "b", "c"] {
+            let (_possible, certain) = reader.decide(&format!("R({c})")).expect("decide");
+            assert!(certain, "R({c}) must be certain after the batch");
+        }
+    }
+
+    #[test]
+    fn conflicting_writes_split_batches() {
+        let shared = shared_with_db(&[("R", 1)]);
+        // s2 reads R(a), which s1 writes: order-sensitive pair, so the
+        // leader must publish between them.
+        let s1 = enqueue(&shared, WriteOp::Execute("INSERT R(a) WHERE T".into()));
+        let s2 = enqueue(&shared, WriteOp::Execute("INSERT R(b) WHERE R(a)".into()));
+        drain(&shared);
+        assert!(matches!(s1.try_take(), Some(Response::Executed(_))));
+        assert!(matches!(s2.try_take(), Some(Response::Executed(_))));
+        let stats = &shared.stats;
+        assert_eq!(stats.write_batches.load(Ordering::Relaxed), 2);
+        assert_eq!(stats.coalesced_writes.load(Ordering::Relaxed), 0);
+        assert_eq!(stats.snapshots_published.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn barriers_and_errors_flush_correctly() {
+        let shared = shared_with_db(&[("R", 1)]);
+        // Independent, barrier (declare), independent again, one bad op.
+        let w1 = enqueue(&shared, WriteOp::Execute("INSERT R(a) WHERE T".into()));
+        let w2 = enqueue(&shared, WriteOp::Execute("INSERT R(b) WHERE T".into()));
+        let barrier = enqueue(&shared, WriteOp::DeclareRelation("S".into(), 1));
+        let w3 = enqueue(&shared, WriteOp::Execute("INSERT S(x) WHERE T".into()));
+        let bad = enqueue(&shared, WriteOp::Execute("INSERT nonsense((".into()));
+        drain(&shared);
+        assert!(matches!(w1.try_take(), Some(Response::Executed(_))));
+        assert!(matches!(w2.try_take(), Some(Response::Executed(_))));
+        assert!(matches!(barrier.try_take(), Some(Response::Executed(_))));
+        assert!(matches!(w3.try_take(), Some(Response::Executed(_))));
+        match bad.try_take() {
+            Some(Response::Error(e)) => assert_eq!(e.kind, ErrorKindWire::Parse),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        // Batches: [w1, w2], [declare], [w3], [bad]. The bad batch
+        // applies nothing, so it publishes no snapshot.
+        let stats = &shared.stats;
+        assert_eq!(stats.write_batches.load(Ordering::Relaxed), 4);
+        assert_eq!(stats.coalesced_writes.load(Ordering::Relaxed), 2);
+        assert_eq!(stats.snapshots_published.load(Ordering::Relaxed), 3);
+        assert_eq!(stats.updates.load(Ordering::Relaxed), 4);
     }
 }

@@ -2,7 +2,10 @@
 //! diagnostic code fires on a minimal reproduction, and the paper
 //! walkthrough script is completely clean.
 
-use winslett::analyze::{analyze_batch, analyze_script, Code, Severity};
+use winslett::analyze::{
+    analyze_batch, analyze_script, analyze_script_with, Code, ConflictOptions, ScriptOptions,
+    Severity,
+};
 use winslett::ldml::Update;
 use winslett::logic::Wff;
 use winslett::theory::{Dependency, Theory};
@@ -137,13 +140,38 @@ fn lint_showcase_script_matches_its_annotations() {
         report.expected,
         report.emitted_codes()
     );
-    // Every code of the catalogue appears exactly once.
-    let mut want: Vec<Code> = Code::ALL.to_vec();
+    // Every base-pass code appears exactly once; W007–W010 belong to the
+    // conflict pass and are covered below.
+    let mut want: Vec<Code> = Code::ALL
+        .into_iter()
+        .filter(|c| !matches!(c, Code::W007 | Code::W008 | Code::W009 | Code::W010))
+        .collect();
     want.sort();
     assert_eq!(report.emitted_codes(), want);
     // All spans are file-absolute and in range.
     for d in &report.diagnostics {
         let span = d.span.expect("span");
         assert!(span.end <= src.len() && span.start < span.end, "{d:?}");
+    }
+
+    // Under the conflict pass the `expect-conflicts:` annotations join the
+    // contract, and together the two modes cover the whole catalogue.
+    let with_conflicts = analyze_script_with(
+        src,
+        &ScriptOptions {
+            conflicts: Some(ConflictOptions::default()),
+        },
+    );
+    assert!(
+        with_conflicts.matches_expectations(),
+        "expected {:?}, emitted {:?}",
+        with_conflicts.expected_codes(),
+        with_conflicts.emitted_codes()
+    );
+    for code in [Code::W007, Code::W008, Code::W009, Code::W010] {
+        assert!(
+            with_conflicts.emitted_codes().contains(&code),
+            "showcase never triggers {code:?} under --conflicts"
+        );
     }
 }

@@ -1,0 +1,228 @@
+//! The conflict graph's soundness contract, proptest edition.
+//!
+//! [`analyze_conflicts`] promises: whenever it declares an adjacent pair
+//! of statements independent — no edge in the conflict graph, or an edge
+//! escalated to a commutativity proof — swapping that pair cannot change
+//! the database. The property here replays arbitrary small programs both
+//! ways through the real §4 update engine (GUA) over arbitrary small
+//! theories and compares the alternative-world sets, so a footprint
+//! widening bug, a broken escalation, or a missed coupling channel shows
+//! up as a concrete reordering counterexample.
+//!
+//! Worlds are compared projected onto the pre-interned visible atoms:
+//! GUA may mint predicate constants in a different order under the two
+//! application orders, so raw model bitsets are not comparable, but the
+//! visible atoms are interned before any update runs and keep their
+//! indices in both.
+
+use proptest::prelude::*;
+use winslett::analyze::{analyze_conflicts, ConflictOptions};
+use winslett::gua::{GuaEngine, GuaOptions, SimplifyLevel};
+use winslett::ldml::Update;
+use winslett::logic::{AtomId, Formula, ModelLimit, Wff};
+use winslett::theory::{Dependency, Theory};
+
+const NUM_ATOMS: usize = 5;
+
+/// A strategy producing wffs over atoms `0..NUM_ATOMS`.
+fn wff_strategy() -> impl Strategy<Value = Wff> {
+    let leaf = prop_oneof![
+        Just(Wff::t()),
+        Just(Wff::f()),
+        (0..NUM_ATOMS as u32).prop_map(|i| Wff::Atom(AtomId(i))),
+        (0..NUM_ATOMS as u32).prop_map(|i| Wff::Atom(AtomId(i)).not()),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|w: Wff| w.not()),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Formula::And),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Formula::Or),
+            (inner.clone(), inner).prop_map(|(a, b)| Wff::implies(a, b)),
+        ]
+    })
+}
+
+fn update_strategy() -> impl Strategy<Value = Update> {
+    prop_oneof![
+        (wff_strategy(), wff_strategy()).prop_map(|(o, p)| Update::insert(o, p)),
+        (0..NUM_ATOMS as u32, wff_strategy()).prop_map(|(t, p)| Update::delete(AtomId(t), p)),
+        (0..NUM_ATOMS as u32, wff_strategy(), wff_strategy()).prop_map(|(t, o, p)| Update::modify(
+            AtomId(t),
+            o,
+            p
+        )),
+        wff_strategy().prop_map(Update::assert),
+    ]
+}
+
+fn build_theory(wffs: &[Wff]) -> Theory {
+    let mut t = Theory::new();
+    let r = t.declare_relation("R", 1).unwrap();
+    for i in 0..NUM_ATOMS {
+        let c = t.constant(&format!("c{i}"));
+        let id = t.atom(r, &[c]);
+        assert_eq!(id, AtomId(i as u32));
+    }
+    for w in wffs {
+        t.assert_wff(w);
+    }
+    for i in 0..NUM_ATOMS {
+        t.register_atom(AtomId(i as u32));
+    }
+    t
+}
+
+/// Applies `program` in order through GUA and returns the final visible
+/// world set, canonicalized to sorted membership vectors over the
+/// pre-interned atoms. `None` if any update is refused.
+fn final_worlds(theory: &Theory, program: &[Update]) -> Option<Vec<Vec<bool>>> {
+    let mut engine = GuaEngine::new(
+        theory.clone(),
+        GuaOptions::simplify_always(SimplifyLevel::Fast),
+    );
+    for u in program {
+        engine.apply(u).ok()?;
+    }
+    let worlds = engine
+        .theory
+        .alternative_worlds(ModelLimit::default())
+        .ok()?;
+    let mut vis: Vec<Vec<bool>> = worlds
+        .iter()
+        .map(|w| (0..NUM_ATOMS).map(|i| w.get(i)).collect())
+        .collect();
+    vis.sort();
+    vis.dedup();
+    Some(vis)
+}
+
+/// The soundness property for one generated case: every adjacent pair the
+/// analyzer calls independent must be swappable without changing the
+/// final world set.
+fn check_independent_swaps(
+    wffs: Vec<Wff>,
+    program: Vec<Update>,
+    options: &ConflictOptions,
+) -> Result<(), TestCaseError> {
+    let theory = build_theory(&wffs);
+    if !theory.is_consistent() {
+        return Ok(());
+    }
+    let analysis = analyze_conflicts(&theory, &program, options);
+    let Some(reference) = final_worlds(&theory, &program) else {
+        return Ok(());
+    };
+    for i in 0..program.len().saturating_sub(1) {
+        if !analysis.independent(i, i + 1) {
+            continue;
+        }
+        let mut swapped = program.clone();
+        swapped.swap(i, i + 1);
+        let swapped_worlds = final_worlds(&theory, &swapped);
+        prop_assert_eq!(
+            Some(&reference),
+            swapped_worlds.as_ref(),
+            "analyzer declared {} and {} independent, but swapping them changed \
+             the final world set\nprogram: {:?}\nsection: {:?}",
+            i,
+            i + 1,
+            &program,
+            &wffs
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Syntactic-only graph (no SAT escalation): disjointness alone must
+    /// already be a sound reordering license.
+    #[test]
+    fn syntactic_independence_licenses_swaps(
+        wffs in prop::collection::vec(wff_strategy(), 0..3),
+        program in prop::collection::vec(update_strategy(), 2..5),
+    ) {
+        let options = ConflictOptions { escalate: false, ..ConflictOptions::default() };
+        check_independent_swaps(wffs, program, &options)?;
+    }
+
+    /// Full pipeline: escalated commutativity proofs must also be sound.
+    #[test]
+    fn escalated_independence_licenses_swaps(
+        wffs in prop::collection::vec(wff_strategy(), 0..3),
+        program in prop::collection::vec(update_strategy(), 2..4),
+    ) {
+        check_independent_swaps(wffs, program, &ConflictOptions::default())?;
+    }
+}
+
+/// The §1 motivating pair: inserting two different tuples of the same
+/// relation is syntactically independent, and swapping it really is
+/// invisible.
+#[test]
+fn disjoint_inserts_swap_cleanly() {
+    let theory = build_theory(&[]);
+    let program = vec![
+        Update::insert(Wff::Atom(AtomId(0)), Wff::t()),
+        Update::insert(Wff::Atom(AtomId(1)), Wff::t()),
+    ];
+    let analysis = analyze_conflicts(&theory, &program, &ConflictOptions::default());
+    assert!(analysis.independent(0, 1));
+    let fwd = final_worlds(&theory, &program).unwrap();
+    let mut swapped = program.clone();
+    swapped.swap(0, 1);
+    assert_eq!(fwd, final_worlds(&theory, &swapped).unwrap());
+}
+
+/// A genuinely order-sensitive pair must keep its edge: `INSERT R(c1)
+/// WHERE R(c0)` reads what `INSERT R(c0) WHERE T` writes, and the two
+/// orders end in different theories.
+#[test]
+fn order_sensitive_pair_keeps_its_edge() {
+    let mut theory = build_theory(&[]);
+    theory.assert_not_atom(AtomId(0));
+    theory.assert_not_atom(AtomId(1));
+    let program = vec![
+        Update::insert(Wff::Atom(AtomId(0)), Wff::t()),
+        Update::insert(Wff::Atom(AtomId(1)), Wff::Atom(AtomId(0))),
+    ];
+    let analysis = analyze_conflicts(&theory, &program, &ConflictOptions::default());
+    assert!(!analysis.independent(0, 1));
+    let fwd = final_worlds(&theory, &program).unwrap();
+    let mut swapped = program.clone();
+    swapped.swap(0, 1);
+    // The reordering really does diverge — the edge is not spurious.
+    assert_ne!(fwd, final_worlds(&theory, &swapped).unwrap());
+}
+
+/// The axiom-coupling caveat from `docs/analyzer.md`: two inserts into an
+/// FD-constrained relation have disjoint atom footprints, but rule 3 can
+/// couple them through the dependency, so the analyzer must widen both to
+/// pruning and refuse to call them independent.
+#[test]
+fn fd_constrained_writes_are_never_independent() {
+    let mut t = Theory::new();
+    let p = t.declare_relation("P", 2).unwrap();
+    t.add_dependency(Dependency::functional("fd", p, 2, &[0]).unwrap());
+    let (ca, cb, cc, cd) = (
+        t.constant("a"),
+        t.constant("b"),
+        t.constant("c"),
+        t.constant("d"),
+    );
+    let ab = t.atom(p, &[ca, cb]);
+    let cd_atom = t.atom(p, &[cc, cd]);
+    t.assert_not_atom(ab);
+    t.assert_not_atom(cd_atom);
+    let program = vec![
+        Update::insert(Wff::Atom(ab), Wff::t()),
+        Update::insert(Wff::Atom(cd_atom), Wff::t()),
+    ];
+    let analysis = analyze_conflicts(&t, &program, &ConflictOptions::default());
+    assert!(analysis.footprints.iter().all(|f| f.constrained));
+    assert!(
+        !analysis.independent(0, 1),
+        "axiom-constrained writes must stay conservatively ordered"
+    );
+}

@@ -61,6 +61,7 @@ fn boot() -> (JoinHandle<Result<MemStorage, DbError>>, SocketAddr) {
         ServerOptions {
             max_connections: 32,
             idle_timeout: Duration::from_secs(10),
+            ..ServerOptions::default()
         },
     )
     .expect("bind");

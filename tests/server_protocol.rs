@@ -36,6 +36,7 @@ fn default_options() -> ServerOptions {
     ServerOptions {
         max_connections: 8,
         idle_timeout: Duration::from_secs(2),
+        ..ServerOptions::default()
     }
 }
 
@@ -150,6 +151,7 @@ fn admission_cap_rejects_with_typed_busy() {
     let running = boot(ServerOptions {
         max_connections: 1,
         idle_timeout: Duration::from_secs(2),
+        ..ServerOptions::default()
     });
     let mut first = Client::connect(running.addr).expect("first");
     first.ping().expect("first ping");
@@ -170,6 +172,7 @@ fn idle_connections_are_reaped() {
     let running = boot(ServerOptions {
         max_connections: 8,
         idle_timeout: Duration::from_millis(150),
+        ..ServerOptions::default()
     });
     let mut lazy = Client::connect(running.addr).expect("connect");
     lazy.ping().expect("ping");
