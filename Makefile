@@ -7,9 +7,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt fmt-check clippy build test faults lint lint-conflicts bench-smoke serve-smoke
+.PHONY: ci fmt fmt-check clippy build test faults lint lint-conflicts bench-smoke serve-smoke compaction-smoke
 
-ci: fmt-check clippy build test faults lint lint-conflicts bench-smoke serve-smoke
+ci: fmt-check clippy build test faults lint lint-conflicts bench-smoke compaction-smoke serve-smoke
 	@echo "ci: all checks passed"
 
 fmt:
@@ -52,6 +52,13 @@ lint-conflicts:
 # not validate.
 bench-smoke:
 	$(CARGO) run --release -q -p winslett-bench --bin harness -- worlds wal query server conflicts --quick --out target/bench-smoke
+
+# Short compaction-on vs compaction-off run of the sustained-update
+# stream; the harness writes BENCH_compaction.json and fails unless the
+# compacted run plateaus, the uncompacted one grows, and every sampled
+# probe verdict matches between the two.
+compaction-smoke:
+	$(CARGO) run --release -q -p winslett-bench --bin harness -- compaction --quick --out target/bench-smoke
 
 # Boots a winslett-serve instance on an ephemeral port and drives a full
 # scripted client session against it: schema declares, an LDML update, a

@@ -11,7 +11,8 @@
 
 use winslett_bench::Table;
 use winslett_bench::{
-    conflicts_bench, experiments, query_bench, server_bench, wal_bench, worlds_bench,
+    compaction_bench, conflicts_bench, experiments, query_bench, server_bench, wal_bench,
+    worlds_bench,
 };
 
 fn main() {
@@ -149,6 +150,24 @@ fn main() {
         // Same re-read-and-validate gate as BENCH_worlds.json.
         let reread = std::fs::read_to_string(&path).expect("read back BENCH_server.json");
         match server_bench::validate_server_bench(&reread) {
+            Ok(_) => eprintln!("{path}: shape OK"),
+            Err(e) => {
+                eprintln!("{path}: shape validation FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if want("compaction") {
+        let bench = compaction_bench::run_compaction_bench(if quick { 240 } else { 1200 }, 25);
+        tables.push(compaction_bench::compaction_table(&bench));
+        let path = match &out_dir {
+            Some(dir) => format!("{dir}/BENCH_compaction.json"),
+            None => "BENCH_compaction.json".to_owned(),
+        };
+        let text = serde_json::to_string_pretty(&bench).expect("serializable");
+        std::fs::write(&path, &text).expect("write BENCH_compaction.json");
+        let reread = std::fs::read_to_string(&path).expect("read back BENCH_compaction.json");
+        match compaction_bench::validate_compaction_bench(&reread) {
             Ok(_) => eprintln!("{path}: shape OK"),
             Err(e) => {
                 eprintln!("{path}: shape validation FAILED: {e}");

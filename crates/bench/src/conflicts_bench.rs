@@ -156,6 +156,9 @@ fn run_side(batch: bool, writers: usize, window: Duration) -> (SideResult, Vec<(
             max_connections: 64,
             idle_timeout: Duration::from_secs(30),
             batch_writes: batch,
+            // This experiment isolates the batching effect; the compactor
+            // would add its own publications to the counts under test.
+            compaction: None,
         },
     )
     .expect("bench server bind");

@@ -6,6 +6,7 @@
 //! the `harness` binary (which prints the rows recorded in EXPERIMENTS.md)
 //! and the Criterion benches (which time the same hot paths rigorously).
 
+pub mod compaction_bench;
 pub mod conflicts_bench;
 pub mod experiments;
 pub mod query_bench;
@@ -14,6 +15,9 @@ pub mod server_bench;
 pub mod wal_bench;
 pub mod worlds_bench;
 
+pub use compaction_bench::{
+    compaction_table, run_compaction_bench, validate_compaction_bench, CompactionBench,
+};
 pub use conflicts_bench::{
     conflicts_table, run_conflicts_bench, validate_conflicts_bench, ConflictsBench,
 };

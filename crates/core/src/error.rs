@@ -58,6 +58,13 @@ pub enum DbError {
         /// What was found wrong.
         message: String,
     },
+    /// Misuse of the background-compaction protocol on
+    /// [`crate::DurableDatabase`] (e.g. installing a compacted theory
+    /// without an outstanding capture).
+    Compaction {
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for DbError {
@@ -88,6 +95,7 @@ impl fmt::Display for DbError {
             ),
             DbError::Storage { message } => write!(f, "storage error: {message}"),
             DbError::Corrupt { message } => write!(f, "corrupt artifact: {message}"),
+            DbError::Compaction { message } => write!(f, "compaction error: {message}"),
         }
     }
 }

@@ -39,7 +39,7 @@ pub use replay::{replay_updates, ReplayDatabase};
 pub use snapshot::{SnapshotReader, TheorySnapshot};
 pub use vars::{PatternWff, VarAtom, VarStatement, VarTerm, VarUpdate};
 pub use wal::{
-    DirStorage, DurableDatabase, FailpointStorage, MemStorage, RecoveryReport, Storage, SyncPolicy,
-    WalOptions, WalStats,
+    CompactionOutcome, DirStorage, DurableDatabase, FailpointStorage, MemStorage, RecoveryReport,
+    Storage, SyncPolicy, WalOptions, WalStats,
 };
 pub use workload::Workload;

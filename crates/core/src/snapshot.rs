@@ -220,6 +220,28 @@ mod tests {
     }
 
     #[test]
+    fn dropping_reader_and_snapshot_releases_the_theory_generation() {
+        // The retention contract behind the server's pinned snapshots: a
+        // pinned generation is held alive by exactly the reader + snapshot
+        // Arc clones, so reaping an abandoned connection (which drops its
+        // reader) must actually free the pre-compaction theory.
+        let db = orders_db();
+        let snap = TheorySnapshot::capture(db.theory());
+        let weak = std::sync::Arc::downgrade(&snap.theory);
+        let reader = snap.reader();
+        drop(snap);
+        assert!(
+            weak.upgrade().is_some(),
+            "reader must keep its snapshot's theory alive"
+        );
+        drop(reader);
+        assert!(
+            weak.upgrade().is_none(),
+            "dropping the last reader must release the pinned generation"
+        );
+    }
+
+    #[test]
     fn reader_matches_live_database_verdicts() {
         let mut db = orders_db();
         db.execute("INSERT Orders(100,32,1) | Orders(100,32,7) WHERE T")

@@ -40,7 +40,7 @@ use crate::replay::replay_updates;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::collections::HashSet;
-use winslett_gua::UpdateReport;
+use winslett_gua::{SimplifyReport, UpdateReport};
 use winslett_ldml::Update;
 use winslett_logic::{display_wff, parse_wff, AtomId, Formula, ParseContext, PredId, Wff};
 use winslett_theory::{Dependency, Theory};
@@ -645,6 +645,8 @@ pub struct WalStats {
     pub checkpoints: u64,
     /// Bytes appended to the log.
     pub bytes_appended: u64,
+    /// Background-compaction swaps installed.
+    pub compactions: u64,
 }
 
 /// What [`DurableDatabase::open`] found and did.
@@ -667,6 +669,51 @@ pub struct RecoveryReport {
     /// Whether `open` took a repair checkpoint (truncation or replay
     /// error observed) to make the on-storage files consistent again.
     pub repaired: bool,
+    /// What the post-replay simplification pass accomplished. Replay runs
+    /// unsimplified (the §4 configuration), so recovery folds the store
+    /// back down afterwards; this is that pass's report — all zeros when
+    /// `open` initialized fresh storage and never replayed.
+    pub simplify: SimplifyReport,
+}
+
+impl RecoveryReport {
+    /// Store nodes reclaimed by the post-replay simplification pass.
+    pub fn nodes_reclaimed(&self) -> usize {
+        self.simplify
+            .nodes_before
+            .saturating_sub(self.simplify.nodes_after)
+    }
+}
+
+/// What one background-compaction swap accomplished
+/// ([`DurableDatabase::install_compacted`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompactionOutcome {
+    /// First LSN that was *not* reflected in the captured theory; the
+    /// swap replayed every retained record at or past it.
+    pub from_lsn: u64,
+    /// Records replayed onto the compacted copy during the swap.
+    pub replayed: usize,
+    /// Live store nodes at swap time (§3.6 measure).
+    pub nodes_before: usize,
+    /// Store nodes after the swap.
+    pub nodes_after: usize,
+    /// Live theory generation the swap retired.
+    pub generation_before: u64,
+    /// Generation of the installed theory — strictly greater than
+    /// `generation_before`, always.
+    pub generation_after: u64,
+    /// Whether the swap also took a checkpoint, so the on-storage
+    /// snapshot shrank with the theory.
+    pub checkpointed: bool,
+}
+
+impl CompactionOutcome {
+    /// Net store nodes reclaimed by the swap (zero if the suffix replay
+    /// out-grew the simplification savings).
+    pub fn nodes_reclaimed(&self) -> usize {
+        self.nodes_before.saturating_sub(self.nodes_after)
+    }
 }
 
 // ----- the durable database -------------------------------------------------
@@ -686,6 +733,12 @@ pub struct DurableDatabase<S: Storage> {
     snapshot_lsn: u64,
     unsynced: usize,
     nodes_at_snapshot: usize,
+    /// `Some` while a background-compaction capture is outstanding: every
+    /// appended record is also retained here so
+    /// [`DurableDatabase::install_compacted`] can replay the delta at
+    /// swap time without re-reading (and re-parsing) the whole on-storage
+    /// log under the writer lock. Bounded by the capture→install window.
+    compaction_tail: Option<Vec<WalEntry>>,
     stats: WalStats,
 }
 
@@ -713,6 +766,7 @@ impl<S: Storage> DurableDatabase<S> {
                 snapshot_lsn: 0,
                 unsynced: 0,
                 nodes_at_snapshot: nodes,
+                compaction_tail: None,
                 stats: WalStats::default(),
             };
             return Ok((me, RecoveryReport::default()));
@@ -731,6 +785,7 @@ impl<S: Storage> DurableDatabase<S> {
             snapshot_lsn,
             unsynced: 0,
             nodes_at_snapshot: 0,
+            compaction_tail: None,
             stats: WalStats::default(),
         };
         me.nodes_at_snapshot = me.db.theory().store_nodes();
@@ -812,8 +867,10 @@ impl<S: Storage> DurableDatabase<S> {
             }
         }
         // Replay ran unsimplified (the §4 configuration); fold the store
-        // back down to what the live database would carry.
-        let _ = db.simplify(db_options.simplify);
+        // back down to what the live database would carry. `simplify` is
+        // infallible (it returns a report, not a Result), so the only
+        // thing to lose here is the report itself — surface it.
+        report.simplify = db.simplify(db_options.simplify);
         Ok((db, next_lsn, snapshot_lsn, report))
     }
 
@@ -877,8 +934,12 @@ impl<S: Storage> DurableDatabase<S> {
 
     fn append_entry(&mut self, record: WalRecord) -> Result<u64, DbError> {
         let lsn = self.next_lsn;
-        let bytes = encode_entry(&WalEntry { lsn, record })?;
+        let entry = WalEntry { lsn, record };
+        let bytes = encode_entry(&entry)?;
         self.storage_mut().append(WAL_FILE, &bytes)?;
+        if let Some(tail) = self.compaction_tail.as_mut() {
+            tail.push(entry);
+        }
         self.next_lsn += 1;
         self.unsynced += 1;
         self.stats.records += 1;
@@ -1046,6 +1107,131 @@ impl<S: Storage> DurableDatabase<S> {
         self.nodes_at_snapshot = self.db.theory().store_nodes();
         self.stats.checkpoints += 1;
         Ok(())
+    }
+
+    // ----- background compaction --------------------------------------------
+    //
+    // The LSM-style three-phase protocol. Phase 1 (`begin_compaction`,
+    // under the writer lock) captures a deep copy of the live theory and
+    // starts retaining every subsequently journaled record in memory.
+    // Phase 2 (off-lock, owned by the caller) runs full `gua::simplify`
+    // on the copy while the writer keeps committing. Phase 3
+    // (`install_compacted`, under the writer lock again) replays the
+    // retained LSN delta onto the compacted copy and swaps it in — so the
+    // swap pause is proportional to the capture→install write volume,
+    // never to the theory or log size.
+
+    /// Phase 1: captures a deep copy of the live theory plus the first
+    /// LSN not reflected in it, and starts retaining appended records so
+    /// [`DurableDatabase::install_compacted`] can replay the delta. The
+    /// copy costs the same as one snapshot publication. A previously
+    /// outstanding capture is silently superseded.
+    pub fn begin_compaction(&mut self) -> (Theory, u64) {
+        self.compaction_tail = Some(Vec::new());
+        (self.db.theory().clone(), self.next_lsn)
+    }
+
+    /// Abandons an outstanding capture, releasing the retained tail.
+    /// Harmless when none is outstanding.
+    pub fn abort_compaction(&mut self) {
+        self.compaction_tail = None;
+    }
+
+    /// Whether a [`DurableDatabase::begin_compaction`] capture is
+    /// outstanding (and records are being retained for it).
+    pub fn compaction_pending(&self) -> bool {
+        self.compaction_tail.is_some()
+    }
+
+    /// Phase 3: atomically swaps `compacted` (the
+    /// [`DurableDatabase::begin_compaction`] copy after the caller's
+    /// simplification pass) in for the live theory, first replaying the
+    /// records journaled since the capture onto it. On any replay error
+    /// the live database is untouched and the round is simply abandoned.
+    ///
+    /// The installed theory's [`Theory::generation`] is forced strictly
+    /// past the retired theory's, so cached entailment sessions and
+    /// per-snapshot readers keyed on the old generation can never mistake
+    /// the swapped encoding for the one they saw. With `checkpoint` set,
+    /// the on-storage snapshot is rewritten from the compacted theory in
+    /// the same critical section — checkpoints shrink with the theory.
+    pub fn install_compacted(
+        &mut self,
+        compacted: Theory,
+        from_lsn: u64,
+        checkpoint: bool,
+    ) -> Result<CompactionOutcome, DbError> {
+        let tail = self
+            .compaction_tail
+            .take()
+            .ok_or_else(|| DbError::Compaction {
+                message: "install_compacted without an outstanding begin_compaction capture".into(),
+            })?;
+        if tail.first().map(|e| e.lsn > from_lsn).unwrap_or(false) {
+            return Err(DbError::Compaction {
+                message: format!(
+                    "retained tail starts at lsn {} but the capture was taken at lsn {from_lsn}",
+                    tail[0].lsn
+                ),
+            });
+        }
+        let generation_before = self.db.theory().generation();
+        let nodes_before = self.db.theory().store_nodes();
+        // Records annulled by a compensating abort never reached the live
+        // theory; skip them exactly as recovery does.
+        let aborted: HashSet<u64> = tail
+            .iter()
+            .filter_map(|e| match e.record {
+                WalRecord::Abort(lsn) => Some(lsn),
+                _ => None,
+            })
+            .collect();
+        let mut scratch = LogicalDatabase::from_theory(compacted, self.db.options());
+        let mut replayed = 0usize;
+        for entry in &tail {
+            if entry.lsn < from_lsn
+                || aborted.contains(&entry.lsn)
+                || matches!(entry.record, WalRecord::Abort(_))
+            {
+                continue;
+            }
+            // Unlike crash recovery (which replays through the §4
+            // unsimplified path and folds once at the end), replay the
+            // suffix exactly as the live writer applied it — inline
+            // simplify at the configured level — so the installed theory
+            // is never bulkier than the one it replaces.
+            if let WalRecord::Apply(ud) = &entry.record {
+                let u = restore_update(ud, scratch.theory_mut())?;
+                scratch.apply_effective(&u)?;
+            } else {
+                Self::replay_entry(&mut scratch, &entry.record)?;
+            }
+            replayed += 1;
+        }
+        // The live log already contains the suffix ops (they were applied
+        // live); carry it over whole for provenance rather than keeping
+        // only the replayed tail.
+        scratch.log = std::mem::take(&mut self.db.log);
+        scratch
+            .theory_mut()
+            .advance_generation_past(generation_before);
+        self.db = scratch;
+        let nodes_after = self.db.theory().store_nodes();
+        let generation_after = self.db.theory().generation();
+        debug_assert!(generation_after > generation_before);
+        if checkpoint {
+            self.checkpoint()?;
+        }
+        self.stats.compactions += 1;
+        Ok(CompactionOutcome {
+            from_lsn,
+            replayed,
+            nodes_before,
+            nodes_after,
+            generation_before,
+            generation_after,
+            checkpointed: checkpoint,
+        })
     }
 
     /// The inner database, read-only.
@@ -1610,5 +1796,127 @@ mod tests {
         // ...but the process-crash survivor (OS cache intact) has it all.
         let (warm, _) = reopen(fp.survivor());
         assert_eq!(world_set(warm.db()), live);
+    }
+
+    // ----- background compaction -------------------------------------------
+
+    #[test]
+    fn recovery_report_surfaces_simplification() {
+        let mut ddb = seeded(opts_nocompact());
+        for i in 0..4 {
+            ddb.execute(&format!("DELETE Orders(700,32,9) WHERE InStock(32,{i})"))
+                .unwrap();
+        }
+        let (_, report) = reopen(ddb.into_storage());
+        // The replay produced an unsimplified store; the post-replay pass
+        // must have seen it and its report must be visible, not discarded.
+        assert!(report.simplify.nodes_before > 0, "{report:?}");
+        assert!(report.simplify.nodes_after <= report.simplify.nodes_before);
+        assert_eq!(
+            report.nodes_reclaimed(),
+            report.simplify.nodes_before - report.simplify.nodes_after
+        );
+    }
+
+    #[test]
+    fn compaction_swap_preserves_worlds_and_replays_racing_writes() {
+        let mut ddb = seeded(opts_nocompact());
+        ddb.execute("INSERT Orders(100,32,1) | Orders(100,32,7) WHERE T")
+            .unwrap();
+        let (mut copy, from_lsn) = ddb.begin_compaction();
+        assert!(ddb.compaction_pending());
+        // Writes racing the off-lock simplification...
+        ddb.execute("INSERT InStock(40,2) WHERE T").unwrap();
+        ddb.execute("DELETE Orders(100,32,7) WHERE InStock(40,2)")
+            .unwrap();
+        let live = world_set(ddb.db());
+        let nodes_live = ddb.db().theory().store_nodes();
+        // ...while the copy gets the full pass.
+        winslett_gua::simplify(&mut copy, SimplifyLevel::Full);
+        let outcome = ddb.install_compacted(copy, from_lsn, false).unwrap();
+        assert!(!ddb.compaction_pending());
+        assert_eq!(outcome.replayed, 2);
+        assert_eq!(outcome.nodes_before, nodes_live);
+        assert!(outcome.nodes_after <= outcome.nodes_before);
+        assert_eq!(world_set(ddb.db()), live);
+        assert_eq!(ddb.stats().compactions, 1);
+        // The swapped theory must still recover identically.
+        ddb.sync().unwrap();
+        let (recovered, _) = reopen(ddb.into_storage());
+        assert_eq!(world_set(recovered.db()), live);
+    }
+
+    #[test]
+    fn compaction_generation_strictly_advances_across_swap() {
+        let mut ddb = seeded(opts_nocompact());
+        ddb.execute("INSERT Orders(100,32,1) | Orders(100,32,7) WHERE T")
+            .unwrap();
+        // No racing writes at all: the compacted clone's component
+        // counters tie the live theory's, the worst case for stale-session
+        // detection — only the epoch can break the tie.
+        let (copy, from_lsn) = ddb.begin_compaction();
+        let before = ddb.db().theory().generation();
+        let outcome = ddb.install_compacted(copy, from_lsn, false).unwrap();
+        assert_eq!(outcome.generation_before, before);
+        assert!(outcome.generation_after > outcome.generation_before);
+        assert_eq!(ddb.db().theory().generation(), outcome.generation_after);
+    }
+
+    #[test]
+    fn compaction_checkpoint_shrinks_snapshot() {
+        let mut ddb = seeded(opts_nocompact());
+        for i in 0..6 {
+            ddb.execute(&format!("DELETE Orders(700,32,9) WHERE InStock(32,{i})"))
+                .unwrap();
+        }
+        ddb.checkpoint().unwrap();
+        let fat = ddb.storage().get(SNAPSHOT_FILE).unwrap().len();
+        let (mut copy, from_lsn) = ddb.begin_compaction();
+        winslett_gua::simplify(&mut copy, SimplifyLevel::Full);
+        let live = world_set(ddb.db());
+        let outcome = ddb.install_compacted(copy, from_lsn, true).unwrap();
+        assert!(outcome.checkpointed);
+        let slim = ddb.storage().get(SNAPSHOT_FILE).unwrap().len();
+        assert!(
+            slim <= fat,
+            "checkpoint grew across compaction: {fat} -> {slim}"
+        );
+        // The compacted snapshot alone (log was just reset) recovers the
+        // same worlds.
+        let (recovered, report) = reopen(ddb.into_storage());
+        assert_eq!(report.replayed, 0);
+        assert_eq!(world_set(recovered.db()), live);
+    }
+
+    #[test]
+    fn compaction_swap_skips_aborted_suffix_records() {
+        let mut ddb = seeded(opts_nocompact());
+        let (copy, from_lsn) = ddb.begin_compaction();
+        // A refused update journals an intent then a compensating abort;
+        // neither may replay onto the compacted copy. Choke the store so
+        // GUA fails after the intent was journaled.
+        let len = ddb.db().theory().store.len() as u32;
+        ddb.db_mut().theory_mut().store.set_capacity(u32::MAX, len);
+        assert!(ddb.execute("INSERT Orders(800,32,5) WHERE T").is_err());
+        ddb.db_mut()
+            .theory_mut()
+            .store
+            .set_capacity(u32::MAX, u32::MAX);
+        ddb.execute("INSERT InStock(50,5) WHERE T").unwrap();
+        let live = world_set(ddb.db());
+        let outcome = ddb.install_compacted(copy, from_lsn, false).unwrap();
+        assert_eq!(outcome.replayed, 1); // only the surviving insert
+        assert_eq!(world_set(ddb.db()), live);
+    }
+
+    #[test]
+    fn install_without_capture_is_a_typed_error() {
+        let mut ddb = seeded(opts_nocompact());
+        let copy = ddb.db().theory().clone();
+        let err = ddb.install_compacted(copy, 0, false).unwrap_err();
+        assert!(matches!(err, DbError::Compaction { .. }), "{err:?}");
+        // abort_compaction on an idle database is harmless.
+        ddb.abort_compaction();
+        assert!(!ddb.compaction_pending());
     }
 }

@@ -19,8 +19,12 @@
 //!   (`∃p F ≡ F[p:=T]` when `F` is monotone in `p`), and a `p` confined to
 //!   a single formula `f` may be eliminated by Shannon expansion
 //!   (`∃p f ≡ f[p:=T] ∨ f[p:=F]`);
-//! * at [`SimplifyLevel::Full`], a formula entailed by the remaining
-//!   formulas is removed (SAT-checked), again preserving equivalence.
+//! * at [`SimplifyLevel::Full`], a predicate constant *spanning* a small
+//!   group of formulas is eliminated by Shannon-expanding the group's
+//!   conjunction (`∃p (f₁∧…∧fₖ) ≡ (∧f)[p:=T] ∨ (∧f)[p:=F]`) — this is what
+//!   reclaims the chained frame residue a long uncertain-update history
+//!   leaves behind — and a formula entailed by the remaining formulas is
+//!   removed (SAT-checked), again preserving equivalence.
 //!
 //! The world-preservation property is verified against the possible-worlds
 //! baseline over randomized theories in the integration tests (E6's
@@ -88,195 +92,237 @@ pub fn simplify(theory: &mut Theory, level: SimplifyLevel) -> SimplifyReport {
             == PredicateKind::PredicateConstant
     };
 
-    loop {
-        let mut changed = false;
+    // Smallest coherent state seen across spanning rounds, with the
+    // pcs_eliminated count that produced it: (total nodes, wffs, count).
+    let mut best: Option<(usize, Vec<Wff>, usize)> = None;
 
-        // ---- inconsistency short-circuit -----------------------------
-        if wffs.iter().any(|w| *w == Wff::f()) {
-            wffs = vec![Wff::f()];
-            break;
-        }
+    'rounds: loop {
+        loop {
+            let mut changed = false;
 
-        // ---- unit propagation ----------------------------------------
-        let mut units: FxHashMap<AtomId, bool> = FxHashMap::default();
-        let mut conflict = false;
-        for w in &wffs {
-            let (atom, value) = match w {
-                Formula::Atom(a) => (*a, true),
-                Formula::Not(inner) => match inner.as_ref() {
-                    Formula::Atom(a) => (*a, false),
+            // ---- inconsistency short-circuit -----------------------------
+            if wffs.iter().any(|w| *w == Wff::f()) {
+                wffs = vec![Wff::f()];
+                break 'rounds;
+            }
+
+            // ---- unit propagation ----------------------------------------
+            let mut units: FxHashMap<AtomId, bool> = FxHashMap::default();
+            let mut conflict = false;
+            for w in &wffs {
+                let (atom, value) = match w {
+                    Formula::Atom(a) => (*a, true),
+                    Formula::Not(inner) => match inner.as_ref() {
+                        Formula::Atom(a) => (*a, false),
+                        _ => continue,
+                    },
                     _ => continue,
-                },
-                _ => continue,
-            };
-            if let Some(prev) = units.insert(atom, value) {
-                if prev != value {
-                    conflict = true;
-                    break;
+                };
+                if let Some(prev) = units.insert(atom, value) {
+                    if prev != value {
+                        conflict = true;
+                        break;
+                    }
                 }
             }
-        }
-        if conflict {
-            wffs = vec![Wff::f()];
-            break;
-        }
-        if !units.is_empty() {
-            let mut next: Vec<Wff> = Vec::with_capacity(wffs.len());
-            for w in wffs.drain(..) {
-                let unit_shape = matches!(&w, Formula::Atom(_))
-                    || matches!(&w, Formula::Not(x) if matches!(x.as_ref(), Formula::Atom(_)));
-                if unit_shape {
-                    next.push(w);
-                    continue;
+            if conflict {
+                wffs = vec![Wff::f()];
+                break 'rounds;
+            }
+            if !units.is_empty() {
+                let mut next: Vec<Wff> = Vec::with_capacity(wffs.len());
+                for w in wffs.drain(..) {
+                    let unit_shape = matches!(&w, Formula::Atom(_))
+                        || matches!(&w, Formula::Not(x) if matches!(x.as_ref(), Formula::Atom(_)));
+                    if unit_shape {
+                        next.push(w);
+                        continue;
+                    }
+                    let mut rewritten = w.clone();
+                    for (&a, &v) in &units {
+                        if rewritten.contains_atom(a) {
+                            rewritten = rewritten.assign(a, v);
+                            report.units_propagated += 1;
+                            changed = true;
+                        }
+                    }
+                    if rewritten != Wff::t() {
+                        next.push(rewritten);
+                    }
                 }
-                let mut rewritten = w.clone();
-                for (&a, &v) in &units {
-                    if rewritten.contains_atom(a) {
-                        rewritten = rewritten.assign(a, v);
-                        report.units_propagated += 1;
+                wffs = next;
+            }
+
+            // ---- forced-literal extraction ---------------------------------
+            // For small formulas, split out literals the formula itself forces:
+            // f ≡ lit₁ ∧ … ∧ litₖ ∧ f[lits], which turns hidden certainties
+            // (e.g. `a ∧ (b ∨ c)` after cofactoring) into units the next round
+            // can propagate.
+            {
+                let mut extracted: Vec<Wff> = Vec::new();
+                for w in &mut wffs {
+                    let unit_shape = matches!(&*w, Formula::Atom(_))
+                        || matches!(&*w, Formula::Not(x) if matches!(x.as_ref(), Formula::Atom(_)));
+                    if unit_shape {
+                        continue;
+                    }
+                    if let Some(forced) = winslett_logic::forced_literals(w, 8) {
+                        if forced.is_empty() {
+                            continue;
+                        }
+                        let mut reduced = w.clone();
+                        for &(a, v) in &forced {
+                            reduced = reduced.assign(a, v);
+                            extracted.push(if v { Wff::Atom(a) } else { Wff::Atom(a).not() });
+                            report.units_propagated += 1;
+                        }
+                        *w = reduced;
                         changed = true;
                     }
                 }
-                if rewritten != Wff::t() {
-                    next.push(rewritten);
+                wffs.extend(extracted);
+                if changed {
+                    wffs.retain(|w| *w != Wff::t());
                 }
             }
-            wffs = next;
-        }
 
-        // ---- forced-literal extraction ---------------------------------
-        // For small formulas, split out literals the formula itself forces:
-        // f ≡ lit₁ ∧ … ∧ litₖ ∧ f[lits], which turns hidden certainties
-        // (e.g. `a ∧ (b ∨ c)` after cofactoring) into units the next round
-        // can propagate.
-        {
-            let mut extracted: Vec<Wff> = Vec::new();
-            for w in &mut wffs {
-                let unit_shape = matches!(&*w, Formula::Atom(_))
-                    || matches!(&*w, Formula::Not(x) if matches!(x.as_ref(), Formula::Atom(_)));
-                if unit_shape {
-                    continue;
-                }
-                if let Some(forced) = winslett_logic::forced_literals(w, 8) {
-                    if forced.is_empty() {
-                        continue;
-                    }
-                    let mut reduced = w.clone();
-                    for &(a, v) in &forced {
-                        reduced = reduced.assign(a, v);
-                        extracted.push(if v { Wff::Atom(a) } else { Wff::Atom(a).not() });
-                        report.units_propagated += 1;
-                    }
-                    *w = reduced;
+            // ---- duplicate removal ----------------------------------------
+            {
+                let mut seen: FxHashSet<Wff> = FxHashSet::default();
+                let before = wffs.len();
+                wffs.retain(|w| seen.insert(w.clone()));
+                if wffs.len() != before {
                     changed = true;
                 }
             }
-            wffs.extend(extracted);
-            if changed {
-                wffs.retain(|w| *w != Wff::t());
-            }
-        }
 
-        // ---- duplicate removal ----------------------------------------
-        {
-            let mut seen: FxHashSet<Wff> = FxHashSet::default();
-            let before = wffs.len();
-            wffs.retain(|w| seen.insert(w.clone()));
-            if wffs.len() != before {
-                changed = true;
-            }
-        }
-
-        // ---- predicate-constant elimination ----------------------------
-        // Pure polarity: assign the favourable value.
-        let mut polarity: FxHashMap<AtomId, Polarity> = FxHashMap::default();
-        let mut occurrences: FxHashMap<AtomId, usize> = FxHashMap::default();
-        for (idx, w) in wffs.iter().enumerate() {
-            for a in w.atom_set() {
-                if !is_pc(theory, a) {
-                    continue;
-                }
-                if let Some(p) = w.polarity_of(a) {
-                    polarity
+            // ---- predicate-constant elimination ----------------------------
+            // Pure polarity: assign the favourable value.
+            let mut polarity: FxHashMap<AtomId, Polarity> = FxHashMap::default();
+            let mut occurrences: FxHashMap<AtomId, usize> = FxHashMap::default();
+            for (idx, w) in wffs.iter().enumerate() {
+                for a in w.atom_set() {
+                    if !is_pc(theory, a) {
+                        continue;
+                    }
+                    if let Some(p) = w.polarity_of(a) {
+                        polarity
+                            .entry(a)
+                            .and_modify(|q| {
+                                if *q != p {
+                                    *q = Polarity::Both;
+                                }
+                            })
+                            .or_insert(p);
+                    }
+                    // Track the single formula index holding the atom, encoded
+                    // as idx+1; 0 = multiple.
+                    occurrences
                         .entry(a)
-                        .and_modify(|q| {
-                            if *q != p {
-                                *q = Polarity::Both;
+                        .and_modify(|e| {
+                            if *e != idx + 1 {
+                                *e = 0;
                             }
                         })
-                        .or_insert(p);
+                        .or_insert(idx + 1);
                 }
-                // Track the single formula index holding the atom, encoded
-                // as idx+1; 0 = multiple.
-                occurrences
-                    .entry(a)
-                    .and_modify(|e| {
-                        if *e != idx + 1 {
-                            *e = 0;
+            }
+            let mut assigned: FxHashMap<AtomId, bool> = FxHashMap::default();
+            for (&a, &p) in &polarity {
+                match p {
+                    Polarity::Positive => {
+                        assigned.insert(a, true);
+                    }
+                    Polarity::Negative => {
+                        assigned.insert(a, false);
+                    }
+                    Polarity::Both => {}
+                }
+            }
+            if !assigned.is_empty() {
+                report.pcs_eliminated += assigned.len();
+                changed = true;
+                let mut next: Vec<Wff> = Vec::with_capacity(wffs.len());
+                for w in wffs.drain(..) {
+                    let mut rewritten = w;
+                    for (&a, &v) in &assigned {
+                        if rewritten.contains_atom(a) {
+                            rewritten = rewritten.assign(a, v);
                         }
-                    })
-                    .or_insert(idx + 1);
-            }
-        }
-        let mut assigned: FxHashMap<AtomId, bool> = FxHashMap::default();
-        for (&a, &p) in &polarity {
-            match p {
-                Polarity::Positive => {
-                    assigned.insert(a, true);
-                }
-                Polarity::Negative => {
-                    assigned.insert(a, false);
-                }
-                Polarity::Both => {}
-            }
-        }
-        if !assigned.is_empty() {
-            report.pcs_eliminated += assigned.len();
-            changed = true;
-            let mut next: Vec<Wff> = Vec::with_capacity(wffs.len());
-            for w in wffs.drain(..) {
-                let mut rewritten = w;
-                for (&a, &v) in &assigned {
-                    if rewritten.contains_atom(a) {
-                        rewritten = rewritten.assign(a, v);
+                    }
+                    if rewritten != Wff::t() {
+                        next.push(rewritten);
                     }
                 }
-                if rewritten != Wff::t() {
-                    next.push(rewritten);
+                wffs = next;
+            } else {
+                // Confined predicate constants: Shannon-expand within their
+                // single formula (skip oversized formulas to avoid blow-up).
+                let confined: Vec<(AtomId, usize)> = occurrences
+                    .iter()
+                    .filter(|&(a, &idx1)| idx1 != 0 && polarity.get(a) == Some(&Polarity::Both))
+                    .map(|(&a, &idx1)| (a, idx1 - 1))
+                    .collect();
+                for (a, idx) in confined {
+                    if idx >= wffs.len() || wffs[idx].size() > 64 {
+                        continue;
+                    }
+                    let f = &wffs[idx];
+                    if !f.contains_atom(a) {
+                        continue; // already rewritten this round
+                    }
+                    let expanded = Wff::or2(f.assign(a, true), f.assign(a, false));
+                    wffs[idx] = expanded;
+                    report.pcs_eliminated += 1;
+                    changed = true;
+                }
+                // Drop any formulas that folded to T.
+                let before = wffs.len();
+                wffs.retain(|w| *w != Wff::t());
+                if wffs.len() != before {
+                    changed = true;
                 }
             }
-            wffs = next;
-        } else {
-            // Confined predicate constants: Shannon-expand within their
-            // single formula (skip oversized formulas to avoid blow-up).
-            let confined: Vec<(AtomId, usize)> = occurrences
-                .iter()
-                .filter(|&(a, &idx1)| idx1 != 0 && polarity.get(a) == Some(&Polarity::Both))
-                .map(|(&a, &idx1)| (a, idx1 - 1))
-                .collect();
-            for (a, idx) in confined {
-                if idx >= wffs.len() || wffs[idx].size() > 64 {
-                    continue;
-                }
-                let f = &wffs[idx];
-                if !f.contains_atom(a) {
-                    continue; // already rewritten this round
-                }
-                let expanded = Wff::or2(f.assign(a, true), f.assign(a, false));
-                wffs[idx] = expanded;
-                report.pcs_eliminated += 1;
-                changed = true;
-            }
-            // Drop any formulas that folded to T.
-            let before = wffs.len();
-            wffs.retain(|w| *w != Wff::t());
-            if wffs.len() != before {
-                changed = true;
+
+            if !changed {
+                break;
             }
         }
 
-        if !changed {
+        if level != SimplifyLevel::Full {
             break;
+        }
+
+        // The inner fixpoint has converged, so this state is a coherent
+        // local minimum; remember the smallest one. The spanning expansion
+        // below may grow the section transiently while a chain collapses —
+        // if the cascade never pays off, the final answer reverts to the
+        // best state, so `Full` can never hand back a bigger store than
+        // the cheap fixpoint alone produced.
+        let size: usize = wffs.iter().map(|w| w.size()).sum();
+        if best.as_ref().is_none_or(|(s, _, _)| size < *s) {
+            best = Some((size, wffs.clone(), report.pcs_eliminated));
+        }
+
+        // ---- Full: spanning predicate-constant elimination ---------------
+        // A constant chained across several formulas (the frame residue a
+        // long uncertain-update history leaves behind) defeats both the
+        // pure-polarity and the confined passes: it occurs in two or more
+        // formulas with both polarities. Each elimination removes at least
+        // one distinct predicate constant from the section, so the round
+        // loop terminates.
+        if !eliminate_spanning_pcs(theory, &mut wffs, &mut report) {
+            break;
+        }
+    }
+
+    // Revert to the best coherent state if the spanning cascade ended up
+    // net-negative (an entangled constant whose expansion never folded).
+    if let Some((size, saved, pcs)) = best {
+        let current: usize = wffs.iter().map(|w| w.size()).sum();
+        if current > size {
+            wffs = saved;
+            report.pcs_eliminated = pcs;
         }
     }
 
@@ -318,6 +364,81 @@ pub fn simplify(theory: &mut Theory, level: SimplifyLevel) -> SimplifyReport {
     report.nodes_after = theory.store.size_nodes();
     report.formulas_after = theory.store.len();
     report
+}
+
+/// Existentially eliminates predicate constants that span a small group of
+/// formulas: `∃p (f₁ ∧ … ∧ fₖ) ≡ (∧f)[p:=T] ∨ (∧f)[p:=F]`. The group's
+/// formulas are replaced by the folded expansion. Bounded by formula count
+/// and total group size so a genuinely entangled constant is left alone
+/// rather than blowing the store up; a single batch may still grow the
+/// section transiently (a chain collapse pays off only after several
+/// rounds), which is why `simplify` keeps the smallest coherent state seen
+/// and reverts to it if the cascade never converges below it. Returns
+/// whether anything was eliminated; callers should re-run the cheap
+/// fixpoint afterwards to fold and propagate what the expansion exposed.
+fn eliminate_spanning_pcs(
+    theory: &Theory,
+    wffs: &mut Vec<Wff>,
+    report: &mut SimplifyReport,
+) -> bool {
+    /// Most formulas a group may have before the constant is left alone.
+    const MAX_GROUP_FORMULAS: usize = 4;
+    /// Largest total node count of a group's formulas; the expansion is at
+    /// most twice this before folding.
+    const MAX_GROUP_NODES: usize = 128;
+
+    let mut occurrences: FxHashMap<AtomId, Vec<usize>> = FxHashMap::default();
+    for (idx, w) in wffs.iter().enumerate() {
+        for a in w.atom_set() {
+            if theory.vocab.predicate(theory.atoms.resolve(a).pred).kind
+                == PredicateKind::PredicateConstant
+            {
+                occurrences.entry(a).or_default().push(idx);
+            }
+        }
+    }
+    // Cheapest groups first; the AtomId tiebreak keeps runs deterministic.
+    let mut candidates: Vec<(usize, AtomId)> = occurrences
+        .iter()
+        .filter(|(_, idxs)| idxs.len() >= 2 && idxs.len() <= MAX_GROUP_FORMULAS)
+        .map(|(&a, idxs)| (idxs.iter().map(|&i| wffs[i].size()).sum::<usize>(), a))
+        .filter(|&(cost, _)| cost <= MAX_GROUP_NODES)
+        .collect();
+    candidates.sort_unstable();
+
+    let mut consumed: FxHashSet<usize> = FxHashSet::default();
+    let mut fresh: Vec<Wff> = Vec::new();
+    let mut any = false;
+    for (_, a) in candidates {
+        let idxs = &occurrences[&a];
+        // Groups must be disjoint within a batch: a consumed formula's
+        // replacement may no longer mention this constant at all.
+        if idxs.iter().any(|i| consumed.contains(i)) {
+            continue;
+        }
+        let Some(conjunction) = idxs.iter().map(|&i| wffs[i].clone()).reduce(Wff::and2) else {
+            continue;
+        };
+        let expanded =
+            Wff::or2(conjunction.assign(a, true), conjunction.assign(a, false)).fold_constants();
+        consumed.extend(idxs.iter().copied());
+        if expanded != Wff::t() {
+            fresh.push(expanded);
+        }
+        report.pcs_eliminated += 1;
+        any = true;
+    }
+    if any {
+        let mut next: Vec<Wff> = wffs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !consumed.contains(i))
+            .map(|(_, w)| w.clone())
+            .collect();
+        next.append(&mut fresh);
+        *wffs = next;
+    }
+    any
 }
 
 #[cfg(test)]
@@ -417,6 +538,55 @@ mod tests {
         let report = simplify(&mut t, SimplifyLevel::Fast);
         assert!(report.pcs_eliminated >= 1);
         assert!(t.store.wffs().iter().all(|x| !x.contains_atom(p)));
+        assert_eq!(worlds(&t), before);
+    }
+
+    #[test]
+    fn spanning_predicate_constant_eliminated_at_full() {
+        let (mut t, a, b) = fixture();
+        let pc = t.vocab.fresh_predicate_constant();
+        let p = t.atoms.intern(GroundAtom::nullary(pc));
+        // (p → a) and (¬p → b) as *separate* formulas: p has both
+        // polarities (not pure) and spans two formulas (not confined), so
+        // only the Full spanning pass can touch it. ∃p … ≡ a ∨ b.
+        t.assert_wff(&Wff::implies(Wff::Atom(p), Wff::Atom(a)));
+        t.assert_wff(&Wff::implies(Wff::Atom(p).not(), Wff::Atom(b)));
+        let before = worlds(&t);
+
+        let mut fast = t.clone();
+        simplify(&mut fast, SimplifyLevel::Fast);
+        assert!(
+            fast.store.wffs().iter().any(|w| w.contains_atom(p)),
+            "Fast must leave a spanning constant alone"
+        );
+
+        let report = simplify(&mut t, SimplifyLevel::Full);
+        assert!(report.pcs_eliminated >= 1);
+        assert!(t.store.wffs().iter().all(|w| !w.contains_atom(p)));
+        assert_eq!(worlds(&t), before);
+    }
+
+    #[test]
+    fn spanning_chain_collapses_at_full() {
+        // A three-link history chain p₀ ↔ p₁ ↔ p₂ with only the newest
+        // constant tied to a visible atom — the shape sustained uncertain
+        // updates leave behind. Full must project every link out.
+        let (mut t, a, _) = fixture();
+        let ps: Vec<AtomId> = (0..3)
+            .map(|_| {
+                let pc = t.vocab.fresh_predicate_constant();
+                t.atoms.intern(GroundAtom::nullary(pc))
+            })
+            .collect();
+        t.assert_wff(&Wff::iff(Wff::Atom(ps[0]), Wff::Atom(ps[1])));
+        t.assert_wff(&Wff::iff(Wff::Atom(ps[1]), Wff::Atom(ps[2])));
+        t.assert_wff(&Wff::implies(Wff::Atom(ps[2]), Wff::Atom(a)));
+        let before = worlds(&t);
+        let report = simplify(&mut t, SimplifyLevel::Full);
+        assert!(report.pcs_eliminated >= 3);
+        for &p in &ps {
+            assert!(t.store.wffs().iter().all(|w| !w.contains_atom(p)));
+        }
         assert_eq!(worlds(&t), before);
     }
 

@@ -7,7 +7,7 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 use winslett_core::{DbOptions, DirStorage, MemStorage, SyncPolicy, WalOptions};
-use winslett_serve::{Client, Server, ServerOptions};
+use winslett_serve::{Client, CompactionPolicy, Server, ServerOptions};
 
 const USAGE: &str = "\
 winslett-serve — a concurrent LDML database server
@@ -15,6 +15,7 @@ winslett-serve — a concurrent LDML database server
 USAGE:
   winslett-serve serve --dir PATH [--addr HOST:PORT] [--idle-secs N]
                        [--max-conns N] [--group-commit N] [--no-batch]
+                       [--compact | --no-compact]
   winslett-serve repl  --addr HOST:PORT
   winslett-serve smoke
 
@@ -24,6 +25,10 @@ serve   Serve a durable database from PATH (created if missing).
         --no-batch disables the conflict-aware write batcher (queued
         pairwise-independent writes coalesced into one fsync and one
         snapshot publication).
+        --no-compact disables the background compactor (on by default /
+        --compact): a thread that snapshots the theory, runs full
+        simplification off the writer lock, and atomically swaps the
+        compacted theory back in, replaying the writes that raced it.
 repl    Interactive client. Lines are LDML statements; prefixed
         commands: query / check / explain / pin / unpin / stats /
         checkpoint / shutdown / quit.
@@ -111,10 +116,18 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         },
         ..WalOptions::default()
     };
+    // `--compact` is the (default) explicit opt-in, `--no-compact`
+    // disables the background compactor thread.
+    let compaction = if args.iter().any(|a| a == "--no-compact") {
+        None
+    } else {
+        Some(CompactionPolicy::default())
+    };
     let server_options = ServerOptions {
         max_connections: max_conns,
         idle_timeout: Duration::from_secs(idle_secs.max(1)),
         batch_writes: !args.iter().any(|a| a == "--no-batch"),
+        compaction,
     };
     let (server, report) = Server::bind(
         addr,
@@ -126,8 +139,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     .map_err(|e| e.to_string())?;
     if report.records_seen > 0 || report.snapshot_lsn > 0 {
         eprintln!(
-            "recovered: snapshot lsn {}, {} wal records ({} replayed)",
-            report.snapshot_lsn, report.records_seen, report.replayed
+            "recovered: snapshot lsn {}, {} wal records ({} replayed, {} nodes reclaimed by the post-replay simplify)",
+            report.snapshot_lsn,
+            report.records_seen,
+            report.replayed,
+            report.nodes_reclaimed()
         );
     }
     eprintln!("serving on {}", server.local_addr());

@@ -164,7 +164,7 @@ impl Client {
     /// Server + WAL counters.
     pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
         self.expect(Request::Stats, |r| match r {
-            Response::Stats(x) => Ok(x),
+            Response::Stats(x) => Ok(*x),
             other => Err(other),
         })
     }

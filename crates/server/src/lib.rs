@@ -45,4 +45,4 @@ pub use protocol::{
     CheckpointReply, ErrorKindWire, ExecReply, ExplainReply, FrameError, QueryReply, Request,
     Response, SnapshotReply, StatsReply, TruthReply, WireError, WireVerdict, MAX_FRAME_LEN,
 };
-pub use server::{Server, ServerHandle, ServerOptions, ServerStats};
+pub use server::{CompactionPolicy, Server, ServerHandle, ServerOptions, ServerStats};

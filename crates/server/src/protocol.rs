@@ -305,6 +305,20 @@ pub struct StatsReply {
     pub wal_syncs: u64,
     /// WAL checkpoints taken.
     pub wal_checkpoints: u64,
+    /// Snapshot generations currently held pinned by connections (gauge:
+    /// rises on `Pin`, falls on `Unpin` *and* when a pinned connection is
+    /// closed or reaped).
+    pub pinned_generations: u64,
+    /// Background-compaction swaps installed.
+    pub compactions: u64,
+    /// Compaction rounds abandoned (swap-time replay failure).
+    pub compaction_aborts: u64,
+    /// Store nodes reclaimed across all compaction swaps.
+    pub compaction_nodes_reclaimed: u64,
+    /// Total writer-lock pause spent in compaction swaps, µs.
+    pub compaction_swap_pause_us: u64,
+    /// Longest single compaction swap pause, µs.
+    pub compaction_swap_pause_max_us: u64,
 }
 
 /// What a `Checkpoint` accomplished.
@@ -365,7 +379,7 @@ pub enum Response {
     /// `Unpin` released it.
     Unpinned,
     /// `Stats` counters.
-    Stats(StatsReply),
+    Stats(Box<StatsReply>),
     /// `Checkpoint` completed.
     Checkpointed(CheckpointReply),
     /// `Shutdown` acknowledged; the server is draining.

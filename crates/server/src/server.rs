@@ -41,12 +41,13 @@ use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock, TryLockError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use winslett_analyze::ConflictAnalyzer;
 use winslett_core::explain::Verdict;
 use winslett_core::snapshot::{SnapshotReader, TheorySnapshot};
 use winslett_core::wal::{DurableDatabase, RecoveryReport, Storage, WalOptions};
 use winslett_core::{DbError, DbOptions};
+use winslett_gua::SimplifyLevel;
 use winslett_logic::AccessSet;
 
 /// Tunables.
@@ -63,6 +64,10 @@ pub struct ServerOptions {
     /// durability and snapshot publication happen. Off = the classic
     /// one-publication-per-write path.
     pub batch_writes: bool,
+    /// Background-compaction policy; `None` disables the compactor
+    /// thread. On by default — the trigger thresholds keep it dormant on
+    /// small databases.
+    pub compaction: Option<CompactionPolicy>,
 }
 
 impl Default for ServerOptions {
@@ -71,6 +76,46 @@ impl Default for ServerOptions {
             max_connections: 64,
             idle_timeout: Duration::from_secs(30),
             batch_writes: true,
+            compaction: Some(CompactionPolicy::default()),
+        }
+    }
+}
+
+/// When and how the background compactor runs.
+///
+/// A round fires when the published theory is past `min_nodes` *and*
+/// either its store has grown by `growth_factor` over the size left by
+/// the previous round, or `max_lsn_lag` records have committed since the
+/// previous round (so sustained small writes still get folded down even
+/// when each one barely grows the store).
+#[derive(Clone, Debug)]
+pub struct CompactionPolicy {
+    /// Trigger when live store nodes ≥ this factor × the post-compaction
+    /// baseline (§3.6 store-size measure).
+    pub growth_factor: f64,
+    /// Node floor below which the compactor never runs.
+    pub min_nodes: usize,
+    /// Trigger regardless of growth once this many records have
+    /// committed since the last round.
+    pub max_lsn_lag: u64,
+    /// How often the trigger is evaluated.
+    pub poll_interval: Duration,
+    /// Simplification depth for the off-lock pass.
+    pub level: SimplifyLevel,
+    /// Take a checkpoint from the compacted theory inside the swap's
+    /// critical section, so the on-storage snapshot shrinks too.
+    pub checkpoint: bool,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy {
+            growth_factor: 2.0,
+            min_nodes: 512,
+            max_lsn_lag: 4096,
+            poll_interval: Duration::from_millis(20),
+            level: SimplifyLevel::Full,
+            checkpoint: true,
         }
     }
 }
@@ -98,6 +143,19 @@ pub struct ServerStats {
     pub write_batches: AtomicU64,
     /// Writes that shared a batch with at least one other write.
     pub coalesced_writes: AtomicU64,
+    /// Snapshot generations currently pinned by connections (gauge:
+    /// `Pin` raises it, `Unpin` and pinned-connection teardown lower it).
+    pub pinned_generations: AtomicU64,
+    /// Background-compaction swaps installed.
+    pub compactions: AtomicU64,
+    /// Compaction rounds abandoned at swap time.
+    pub compaction_aborts: AtomicU64,
+    /// Store nodes reclaimed across all swaps.
+    pub compaction_nodes_reclaimed: AtomicU64,
+    /// Cumulative writer-lock pause across swaps, µs.
+    pub compaction_swap_pause_us: AtomicU64,
+    /// Longest single swap pause, µs.
+    pub compaction_swap_pause_max_us: AtomicU64,
 }
 
 /// What the writer last published: an immutable snapshot plus its place
@@ -267,6 +325,10 @@ impl<S: Storage + Send + 'static> Server<S> {
     /// and returns the storage (tests reopen it to inspect final state).
     pub fn run(self) -> Result<S, DbError> {
         let Server { listener, shared } = self;
+        let compactor = shared.options.compaction.clone().map(|policy| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || run_compactor(&shared, &policy))
+        });
         loop {
             let stream = match listener.accept() {
                 Ok((stream, _)) => stream,
@@ -296,6 +358,11 @@ impl<S: Storage + Send + 'static> Server<S> {
         // timeout); writes arriving during the drain are refused.
         while shared.active.load(Ordering::SeqCst) > 0 {
             std::thread::sleep(Duration::from_millis(2));
+        }
+        // The compactor observes the shutdown flag; join it before taking
+        // the writer so an in-flight swap completes or aborts cleanly.
+        if let Some(handle) = compactor {
+            let _ = handle.join();
         }
         // Even if a write panicked and poisoned the lock, closing is the
         // best effort left: the WAL only ever holds intact records.
@@ -334,6 +401,22 @@ struct Connection<S: Storage + Send + 'static> {
     /// Follow-the-latest reader, rebuilt only when the published
     /// generation moves (so repeated reads reuse one entailment session).
     latest: Option<SnapshotReader>,
+}
+
+impl<S: Storage + Send + 'static> Drop for Connection<S> {
+    /// Releases the pinned-generation gauge entry if the connection dies
+    /// while holding a pin — covers clients that disconnect (or are
+    /// idle-timeout reaped) without sending `Unpin`. The reader itself
+    /// drops with the struct, which is what actually frees the pinned
+    /// `Arc<Theory>` generation.
+    fn drop(&mut self) {
+        if self.pinned.is_some() {
+            self.shared
+                .stats
+                .pinned_generations
+                .fetch_sub(1, Ordering::Relaxed);
+        }
+    }
 }
 
 impl<S: Storage + Send + 'static> Connection<S> {
@@ -466,11 +549,24 @@ impl<S: Storage + Send + 'static> Connection<S> {
                     updates_applied: published.updates_applied,
                     last_lsn: published.last_lsn,
                 };
+                if self.pinned.is_none() {
+                    // Re-pinning swaps generations without changing the
+                    // count of connections holding one.
+                    self.shared
+                        .stats
+                        .pinned_generations
+                        .fetch_add(1, Ordering::Relaxed);
+                }
                 self.pinned = Some(published.snapshot.reader());
                 Response::Pinned(reply)
             }
             Request::Unpin => {
-                self.pinned = None;
+                if self.pinned.take().is_some() {
+                    self.shared
+                        .stats
+                        .pinned_generations
+                        .fetch_sub(1, Ordering::Relaxed);
+                }
                 Response::Unpinned
             }
             Request::Stats => self.stats(),
@@ -622,6 +718,12 @@ impl<S: Storage + Send + 'static> Connection<S> {
             protocol_errors: s.protocol_errors.load(Ordering::Relaxed),
             write_batches: s.write_batches.load(Ordering::Relaxed),
             coalesced_writes: s.coalesced_writes.load(Ordering::Relaxed),
+            pinned_generations: s.pinned_generations.load(Ordering::Relaxed),
+            compactions: s.compactions.load(Ordering::Relaxed),
+            compaction_aborts: s.compaction_aborts.load(Ordering::Relaxed),
+            compaction_nodes_reclaimed: s.compaction_nodes_reclaimed.load(Ordering::Relaxed),
+            compaction_swap_pause_us: s.compaction_swap_pause_us.load(Ordering::Relaxed),
+            compaction_swap_pause_max_us: s.compaction_swap_pause_max_us.load(Ordering::Relaxed),
             ..StatsReply::default()
         };
         if let Ok(guard) = self.shared.writer.lock() {
@@ -634,7 +736,7 @@ impl<S: Storage + Send + 'static> Connection<S> {
                 reply.wal_checkpoints = wal.checkpoints;
             }
         }
-        Response::Stats(reply)
+        Response::Stats(Box::new(reply))
     }
 
     fn checkpoint(&mut self) -> Response {
@@ -843,6 +945,91 @@ fn fail_pending<S: Storage>(shared: &Shared<S>, err: &WireError) {
     }
 }
 
+// ----- the background compactor ---------------------------------------------
+
+/// The compactor thread: polls the published snapshot (never touching the
+/// writer lock to *decide*), and when the trigger fires runs one
+/// capture → off-lock full-simplify → swap round. The baseline for the
+/// growth trigger is the store size the previous round left behind.
+fn run_compactor<S: Storage>(shared: &Shared<S>, policy: &CompactionPolicy) {
+    let mut baseline = read_published(shared).snapshot.theory().store_nodes();
+    let mut last_round_lsn = read_published(shared).last_lsn;
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(policy.poll_interval);
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let published = read_published(shared);
+        let nodes = published.snapshot.theory().store_nodes();
+        let lag = published.last_lsn.saturating_sub(last_round_lsn);
+        let grown = nodes as f64 >= policy.growth_factor * baseline.max(1) as f64;
+        if nodes < policy.min_nodes || !(grown || lag >= policy.max_lsn_lag) {
+            continue;
+        }
+        match compact_once(shared, policy) {
+            Some(post_nodes) => baseline = post_nodes,
+            // Swap abandoned (replay failure) or writer gone: don't spin
+            // on the same trigger every poll tick.
+            None => baseline = nodes,
+        }
+        last_round_lsn = read_published(shared).last_lsn;
+    }
+}
+
+/// One compaction round. Returns the post-swap store size, or `None` if
+/// the round was abandoned (writer closed/poisoned, or the swap-time
+/// replay failed — in which case the live database is untouched).
+fn compact_once<S: Storage>(shared: &Shared<S>, policy: &CompactionPolicy) -> Option<usize> {
+    // Phase 1: capture under the writer lock (cost: one theory clone).
+    let (mut copy, from_lsn) = {
+        let mut guard = shared.writer.lock().ok()?;
+        let db = guard.as_mut()?;
+        db.begin_compaction()
+    };
+    // Phase 2: simplify off-lock; the writer keeps committing and every
+    // record it journals is retained for the swap-time replay.
+    winslett_gua::simplify(&mut copy, policy.level);
+    // Phase 3: replay the delta and swap, under the writer lock.
+    let mut guard = shared.writer.lock().ok()?;
+    let db = guard.as_mut()?;
+    let swap_started = Instant::now();
+    match db.install_compacted(copy, from_lsn, policy.checkpoint) {
+        Ok(outcome) => {
+            let pause = swap_started.elapsed().as_micros() as u64;
+            // Republish so readers move to the compacted generation even
+            // if no write follows for a while. `updates_applied` is
+            // untouched: compaction applies no updates.
+            let updates_applied = read_published(shared).updates_applied;
+            let snapshot = TheorySnapshot::capture(db.db().theory());
+            publish(
+                shared,
+                Published {
+                    snapshot,
+                    updates_applied,
+                    last_lsn: db.next_lsn().saturating_sub(1),
+                },
+            );
+            let s = &shared.stats;
+            s.compactions.fetch_add(1, Ordering::Relaxed);
+            s.compaction_nodes_reclaimed
+                .fetch_add(outcome.nodes_reclaimed() as u64, Ordering::Relaxed);
+            s.compaction_swap_pause_us
+                .fetch_add(pause, Ordering::Relaxed);
+            s.compaction_swap_pause_max_us
+                .fetch_max(pause, Ordering::Relaxed);
+            Some(outcome.nodes_after)
+        }
+        Err(_) => {
+            db.abort_compaction();
+            shared
+                .stats
+                .compaction_aborts
+                .fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+}
+
 fn closed_writer() -> WireError {
     WireError {
         kind: ErrorKindWire::ShuttingDown,
@@ -930,6 +1117,54 @@ mod tests {
         let mut guard = shared.writer.lock().expect("writer");
         let db = guard.as_mut().expect("db");
         drain_writes(shared, db);
+    }
+
+    #[test]
+    fn compactor_round_swaps_invisibly_and_republishes() {
+        let shared = shared_with_db(&[("R", 1), ("S", 1)]);
+        let slots: Vec<_> = (0..6)
+            .map(|i| {
+                enqueue(
+                    &shared,
+                    WriteOp::Execute(format!("INSERT R(a{i}) | S(b{i}) WHERE T")),
+                )
+            })
+            .collect();
+        drain(&shared);
+        for slot in &slots {
+            assert!(matches!(slot.try_take(), Some(Response::Executed(_))));
+        }
+        let before = read_published(&shared);
+        let before_gen = before.snapshot.generation();
+        let mut reader = before.snapshot.reader();
+        let probes = ["R(a0)", "R(a0) | S(b0)", "S(b5)", "R(a3) & S(b3)"];
+        let want: Vec<_> = probes.iter().map(|p| reader.decide(p).unwrap()).collect();
+
+        let policy = CompactionPolicy {
+            min_nodes: 0,
+            growth_factor: 1.0,
+            ..CompactionPolicy::default()
+        };
+        let post_nodes = compact_once(&shared, &policy).expect("round must install");
+        let after = read_published(&shared);
+        // Strictly advanced generation: no reader can confuse the
+        // compacted encoding with the one it pinned.
+        assert!(after.snapshot.generation() > before_gen);
+        assert_eq!(after.updates_applied, before.updates_applied);
+        assert!(post_nodes <= before.snapshot.theory().store_nodes());
+        let mut compacted = after.snapshot.reader();
+        for (probe, expected) in probes.iter().zip(&want) {
+            assert_eq!(&compacted.decide(probe).unwrap(), expected, "{probe}");
+        }
+        let s = &shared.stats;
+        assert_eq!(s.compactions.load(Ordering::Relaxed), 1);
+        assert_eq!(s.compaction_aborts.load(Ordering::Relaxed), 0);
+        // The checkpointing swap rewrote the on-storage snapshot from the
+        // compacted theory.
+        let guard = shared.writer.lock().unwrap();
+        let db = guard.as_ref().unwrap();
+        assert_eq!(db.stats().checkpoints, 1);
+        assert_eq!(db.snapshot_lsn(), db.next_lsn());
     }
 
     #[test]

@@ -113,6 +113,15 @@ pub struct Theory {
     pub registry: CompletionRegistry,
     /// The non-axiomatic section.
     pub store: FormulaStore,
+    /// Extra generation ticks folded into [`Theory::generation`]. The
+    /// component version counters only count mutations *of this theory
+    /// value*; when a separately-evolved copy (e.g. a background-compacted
+    /// clone) is swapped in for a live theory, its counters may trail the
+    /// live ones even though its encoding differs. The swap bumps this
+    /// epoch past the retired theory's generation so every cached
+    /// [`EntailmentSession`] and per-snapshot reader sees a strictly
+    /// larger generation and rebuilds.
+    epoch: u64,
     /// Cached entailment session, invalidated on generation mismatch.
     session: SessionSlot,
 }
@@ -287,13 +296,28 @@ impl Theory {
     /// strictly increases whenever any component changes — the cached
     /// session compares generations and rebuilds on mismatch.
     pub fn generation(&self) -> u64 {
-        self.store.version()
+        self.epoch
+            + self.store.version()
             + self.registry.version()
             + self.schema.version()
             + self.deps.len() as u64
             + self.atoms.len() as u64
             + self.vocab.num_constants() as u64
             + self.vocab.num_predicates() as u64
+    }
+
+    /// Bumps the generation epoch until `self.generation() > floor`.
+    ///
+    /// Used when this theory value replaces another one whose generation
+    /// it did not inherit (background compaction swaps a
+    /// separately-simplified clone in for the live theory). Guarantees
+    /// strict advance so no consumer keyed on the retired theory's
+    /// generation can mistake the replacement for an unchanged theory.
+    pub fn advance_generation_past(&mut self, floor: u64) {
+        let current = self.generation();
+        if current <= floor {
+            self.epoch += floor - current + 1;
+        }
     }
 
     /// Builds a fresh [`EntailmentSession`] over the current model
@@ -769,6 +793,24 @@ mod tests {
         let _ = t.is_consistent();
         let _ = t.stats();
         assert_eq!(t.generation(), g);
+    }
+
+    #[test]
+    fn advance_generation_past_forces_strict_advance() {
+        let (t, _, _) = paper_theory();
+        // A clone shares every component counter, so its generation ties
+        // the original's — exactly the case the epoch exists to break.
+        let mut clone = t.clone();
+        assert_eq!(clone.generation(), t.generation());
+        clone.advance_generation_past(t.generation());
+        assert!(clone.generation() > t.generation());
+        // Already past the floor: a no-op, never a regression.
+        let g = clone.generation();
+        clone.advance_generation_past(0);
+        assert_eq!(clone.generation(), g);
+        // Large floors are cleared in one step.
+        clone.advance_generation_past(g + 1000);
+        assert!(clone.generation() > g + 1000);
     }
 
     #[test]

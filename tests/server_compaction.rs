@@ -1,0 +1,185 @@
+//! The background compactor end to end over TCP: the server must bound
+//! theory growth under a sustained client update stream without changing
+//! one answer, and a client that pins a snapshot and goes silent must not
+//! keep its generation alive past the idle-timeout reap.
+
+use std::net::SocketAddr;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use winslett::db::{DbError, DbOptions, MemStorage, SyncPolicy, WalOptions};
+use winslett_gua::SimplifyLevel;
+use winslett_serve::{Client, CompactionPolicy, Server, ServerOptions};
+
+struct Running {
+    handle: JoinHandle<Result<MemStorage, DbError>>,
+    addr: SocketAddr,
+}
+
+fn boot(options: ServerOptions) -> Running {
+    let wal = WalOptions {
+        policy: SyncPolicy::Manual,
+        compact_growth_factor: None,
+        compact_min_nodes: 0,
+    };
+    let (server, _report) = Server::bind(
+        ("127.0.0.1", 0),
+        MemStorage::new(),
+        DbOptions::default(),
+        wal,
+        options,
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    Running {
+        handle: std::thread::spawn(move || server.run()),
+        addr,
+    }
+}
+
+fn shut_down(running: Running) {
+    let mut c = Client::connect(running.addr).expect("shutdown connect");
+    c.shutdown().expect("shutdown");
+    running.handle.join().expect("join").expect("run");
+}
+
+/// An eager compactor: no size floor, tiny poll interval, so a test-sized
+/// theory triggers rounds within milliseconds.
+fn eager_compaction() -> CompactionPolicy {
+    CompactionPolicy {
+        growth_factor: 1.2,
+        min_nodes: 8,
+        max_lsn_lag: 64,
+        poll_interval: Duration::from_millis(2),
+        level: SimplifyLevel::Full,
+        checkpoint: true,
+    }
+}
+
+#[test]
+fn compactor_bounds_growth_under_client_load_without_changing_answers() {
+    let running = boot(ServerOptions {
+        compaction: Some(eager_compaction()),
+        ..ServerOptions::default()
+    });
+    let mut c = Client::connect(running.addr).expect("connect");
+    c.declare_relation("Item", 2).expect("declare");
+    c.declare_relation("Flag", 1).expect("declare");
+    c.execute("INSERT Flag(0) | Flag(1) WHERE T").expect("seed");
+
+    // The growth workload: conditional churn under persistent uncertainty,
+    // with a known certain resolution at the end of each lap.
+    for lap in 0..6 {
+        for k in 0..4 {
+            c.execute(&format!("INSERT Item({k},v0) WHERE Flag({})", k % 2))
+                .expect("insert");
+            c.execute(&format!(
+                "MODIFY Item({k},v0) TO BE Item({k},v1) WHERE Flag({})",
+                k % 2
+            ))
+            .expect("modify");
+        }
+        c.execute(&format!("ASSERT Flag({})", lap % 2))
+            .expect("assert");
+        c.execute(&format!(
+            "INSERT Flag({}) | !Flag({}) WHERE T",
+            lap % 2,
+            (lap + 1) % 2
+        ))
+        .expect("reopen");
+    }
+
+    // ASSERT Flag(lap) resolved every conditional on that flag: the final
+    // lap's items must have become certainly v1.
+    let verdict = c.check("Item(0,v1)").expect("check");
+    assert!(verdict.certain, "resolved MODIFY must be certain");
+    let verdict = c.check("Item(0,v0)").expect("check");
+    assert!(!verdict.possible, "overwritten value must be impossible");
+
+    // The compactor runs on its own clock; give it a bounded window to
+    // observe the growth and swap at least once.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let stats = loop {
+        let stats = c.stats().expect("stats");
+        if stats.compactions > 0 || Instant::now() > deadline {
+            break stats;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert!(stats.compactions > 0, "compactor never ran");
+    assert!(stats.compaction_nodes_reclaimed > 0, "no nodes reclaimed");
+    assert_eq!(stats.compaction_aborts, 0, "a swap aborted");
+
+    // Same verdicts from the compacted theory.
+    let verdict = c.check("Item(0,v1)").expect("check after compaction");
+    assert!(verdict.certain);
+    let verdict = c.check("Item(0,v0)").expect("check after compaction");
+    assert!(!verdict.possible);
+    drop(c);
+    shut_down(running);
+}
+
+#[test]
+fn silent_pinned_client_is_reaped_and_releases_its_generation() {
+    let running = boot(ServerOptions {
+        idle_timeout: Duration::from_millis(300),
+        compaction: None,
+        ..ServerOptions::default()
+    });
+    let mut watcher = Client::connect(running.addr).expect("watcher connect");
+    watcher.declare_relation("R", 1).expect("declare");
+    watcher
+        .execute("INSERT R(a) | R(b) WHERE T")
+        .expect("write");
+
+    let mut pinner = Client::connect(running.addr).expect("pinner connect");
+    let snap = pinner.pin().expect("pin");
+    assert!(snap.generation > 0);
+    let stats = watcher.stats().expect("stats");
+    assert_eq!(stats.pinned_generations, 1, "pin must raise the gauge");
+
+    // The pinner goes silent without Unpin. The idle reaper must close the
+    // connection and its Drop must release the pinned generation.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let stats = loop {
+        let stats = watcher.stats().expect("stats");
+        if stats.pinned_generations == 0 || Instant::now() > deadline {
+            break stats;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    assert_eq!(
+        stats.pinned_generations, 0,
+        "reaped connection left its snapshot pinned"
+    );
+    assert!(stats.idle_closes >= 1, "idle reaper never fired");
+    drop(pinner);
+    drop(watcher);
+    shut_down(running);
+}
+
+#[test]
+fn explicit_unpin_lowers_the_gauge_and_repin_does_not_double_count() {
+    let running = boot(ServerOptions {
+        compaction: None,
+        ..ServerOptions::default()
+    });
+    let mut c = Client::connect(running.addr).expect("connect");
+    c.declare_relation("R", 1).expect("declare");
+    c.execute("INSERT R(a) WHERE T").expect("write");
+
+    c.pin().expect("pin");
+    c.pin().expect("re-pin replaces, not stacks");
+    let stats = c.stats().expect("stats");
+    assert_eq!(stats.pinned_generations, 1);
+
+    c.unpin().expect("unpin");
+    let stats = c.stats().expect("stats");
+    assert_eq!(stats.pinned_generations, 0);
+
+    // Unpin when nothing is pinned must not underflow the gauge.
+    c.unpin().expect("idempotent unpin");
+    let stats = c.stats().expect("stats");
+    assert_eq!(stats.pinned_generations, 0);
+    drop(c);
+    shut_down(running);
+}
