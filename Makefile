@@ -7,9 +7,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt fmt-check clippy build test faults lint lint-conflicts bench-smoke serve-smoke compaction-smoke
+.PHONY: ci fmt fmt-check clippy build test faults lint lint-conflicts bench-smoke serve-smoke compaction-smoke replication-smoke
 
-ci: fmt-check clippy build test faults lint lint-conflicts bench-smoke compaction-smoke serve-smoke
+ci: fmt-check clippy build test faults lint lint-conflicts bench-smoke compaction-smoke replication-smoke serve-smoke
 	@echo "ci: all checks passed"
 
 fmt:
@@ -59,6 +59,14 @@ bench-smoke:
 # probe verdict matches between the two.
 compaction-smoke:
 	$(CARGO) run --release -q -p winslett-bench --bin harness -- compaction --quick --out target/bench-smoke
+
+# Boots a primary plus two in-process WAL-shipping replicas, runs the
+# pinned-read sweep under a live writer, and re-runs the kill-byte
+# catch-up sweep; the harness writes BENCH_replication.json and fails
+# unless every sampled replica verdict matches the serial prefix and
+# every kill point recovered consistently.
+replication-smoke:
+	$(CARGO) run --release -q -p winslett-bench --bin harness -- replication --quick --out target/bench-smoke
 
 # Boots a winslett-serve instance on an ephemeral port and drives a full
 # scripted client session against it: schema declares, an LDML update, a

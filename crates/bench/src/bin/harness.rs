@@ -11,8 +11,8 @@
 
 use winslett_bench::Table;
 use winslett_bench::{
-    compaction_bench, conflicts_bench, experiments, query_bench, server_bench, wal_bench,
-    worlds_bench,
+    compaction_bench, conflicts_bench, experiments, query_bench, replication_bench, server_bench,
+    wal_bench, worlds_bench,
 };
 
 fn main() {
@@ -168,6 +168,28 @@ fn main() {
         std::fs::write(&path, &text).expect("write BENCH_compaction.json");
         let reread = std::fs::read_to_string(&path).expect("read back BENCH_compaction.json");
         match compaction_bench::validate_compaction_bench(&reread) {
+            Ok(_) => eprintln!("{path}: shape OK"),
+            Err(e) => {
+                eprintln!("{path}: shape validation FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if want("replication") {
+        let bench = replication_bench::run_replication_bench(
+            if quick { &[1, 2] } else { &[1, 2, 4] },
+            if quick { 150 } else { 1000 },
+        );
+        tables.push(replication_bench::replication_table(&bench));
+        let path = match &out_dir {
+            Some(dir) => format!("{dir}/BENCH_replication.json"),
+            None => "BENCH_replication.json".to_owned(),
+        };
+        let text = serde_json::to_string_pretty(&bench).expect("serializable");
+        std::fs::write(&path, &text).expect("write BENCH_replication.json");
+        // Same re-read-and-validate gate as BENCH_worlds.json.
+        let reread = std::fs::read_to_string(&path).expect("read back BENCH_replication.json");
+        match replication_bench::validate_replication_bench(&reread) {
             Ok(_) => eprintln!("{path}: shape OK"),
             Err(e) => {
                 eprintln!("{path}: shape validation FAILED: {e}");

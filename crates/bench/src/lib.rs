@@ -10,6 +10,7 @@ pub mod compaction_bench;
 pub mod conflicts_bench;
 pub mod experiments;
 pub mod query_bench;
+pub mod replication_bench;
 pub mod report;
 pub mod server_bench;
 pub mod wal_bench;
@@ -22,6 +23,9 @@ pub use conflicts_bench::{
     conflicts_table, run_conflicts_bench, validate_conflicts_bench, ConflictsBench,
 };
 pub use query_bench::{query_table, run_query_bench, validate_query_bench, QueryBench};
+pub use replication_bench::{
+    replication_table, run_replication_bench, validate_replication_bench, ReplicationBench,
+};
 pub use report::Table;
 pub use server_bench::{run_server_bench, server_table, validate_server_bench, ServerBench};
 pub use wal_bench::{run_wal_bench, validate_wal_bench, wal_table, WalBench};

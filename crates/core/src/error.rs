@@ -47,6 +47,27 @@ pub enum DbError {
         /// The number of atoms interned in the replay theory.
         num_atoms: usize,
     },
+    /// The WAL suffix does not meet the checkpoint: the first surviving
+    /// record's LSN skips past the LSN the snapshot is current through,
+    /// so replaying it would reconstruct a state the primary never
+    /// acknowledged. Raised by recovery and by replica catch-up.
+    LsnGap {
+        /// Highest LSN the suffix may start at (the snapshot's LSN, or
+        /// the subscriber's requested cursor).
+        expected: u64,
+        /// The LSN actually found at the boundary.
+        found: u64,
+    },
+    /// A record was refused at mint time because its serialized payload
+    /// exceeds [`crate::wal::MAX_RECORD_LEN`] — the bound that keeps every
+    /// WAL record shippable inside one wire frame. The database state is
+    /// unchanged; nothing was journaled.
+    RecordTooLarge {
+        /// Serialized payload length.
+        len: usize,
+        /// The enforced maximum.
+        max: usize,
+    },
     /// A storage-layer failure (I/O error, or an injected fault in tests).
     Storage {
         /// Stringified cause.
@@ -92,6 +113,17 @@ impl fmt::Display for DbError {
                 "update references atom id {atom_id} but only {num_atoms} atoms are interned \
                  in this theory; the update was built against a different theory \
                  (use update_synced)"
+            ),
+            DbError::LsnGap { expected, found } => write!(
+                f,
+                "lsn gap at the checkpoint boundary: suffix starts at lsn {found} but the \
+                 snapshot is only current through lsn {expected}; replaying it would skip \
+                 acknowledged operations"
+            ),
+            DbError::RecordTooLarge { len, max } => write!(
+                f,
+                "record refused at write time: serialized payload is {len} bytes \
+                 (max {max}); nothing was journaled"
             ),
             DbError::Storage { message } => write!(f, "storage error: {message}"),
             DbError::Corrupt { message } => write!(f, "corrupt artifact: {message}"),

@@ -39,7 +39,8 @@ pub use replay::{replay_updates, ReplayDatabase};
 pub use snapshot::{SnapshotReader, TheorySnapshot};
 pub use vars::{PatternWff, VarAtom, VarStatement, VarTerm, VarUpdate};
 pub use wal::{
-    CompactionOutcome, DirStorage, DurableDatabase, FailpointStorage, MemStorage, RecoveryReport,
-    Storage, SyncPolicy, WalOptions, WalStats,
+    replay_record, Catchup, CompactionOutcome, DirStorage, DurableDatabase, FailpointStorage,
+    MemStorage, RecoveryReport, Storage, SyncPolicy, WalEntry, WalOptions, WalRecord, WalSnapshot,
+    WalStats, MAX_RECORD_LEN,
 };
 pub use workload::Workload;

@@ -21,7 +21,7 @@ use winslett_theory::{AtomPattern, Dependency, HeadFormula, Term, Theory};
 pub const DUMP_VERSION: u32 = 2;
 
 /// The serialized form of a theory.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct TheoryDump {
     /// Format version, for forward compatibility.
     pub version: u32,
@@ -73,7 +73,7 @@ impl serde::Deserialize for TheoryDump {
 }
 
 /// Portable form of a template dependency.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct DependencyDump {
     /// Label.
     pub name: String,
@@ -87,7 +87,7 @@ pub struct DependencyDump {
 }
 
 /// Portable term.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum TermDump {
     /// Variable index.
     V(u16),
@@ -96,7 +96,7 @@ pub enum TermDump {
 }
 
 /// Portable head formula.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum HeadDump {
     /// Truth constant.
     Truth(bool),

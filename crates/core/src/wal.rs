@@ -55,9 +55,16 @@ pub const WAL_MAGIC: [u8; 4] = *b"WWAL";
 pub const WAL_VERSION: u32 = 1;
 /// The newest snapshot format version this build writes and reads.
 pub const SNAPSHOT_VERSION: u32 = 1;
-/// Upper bound on a single record's payload; a larger length prefix is
-/// treated as tail corruption, not an allocation request.
-const MAX_RECORD_LEN: u32 = 1 << 26;
+/// Upper bound on a single record's payload, enforced when the record is
+/// minted (a typed [`DbError::RecordTooLarge`] refusal, before anything is
+/// journaled) and used by [`parse_wal`] as the corruption bound (a larger
+/// length prefix is treated as tail corruption, not an allocation
+/// request). Deliberately held 1 KiB under the server's 4 MiB wire-frame
+/// cap so any single record — JSON-wrapped into a replication batch —
+/// always fits in one frame; without the headroom a near-cap record would
+/// kill the subscription stream with a frame error instead of being
+/// refused up front at write time.
+pub const MAX_RECORD_LEN: u32 = (1 << 22) - 1024;
 
 // ----- CRC32 (IEEE, table-driven; no external dependency) -------------------
 
@@ -373,7 +380,7 @@ impl Storage for FailpointStorage {
 /// A journaled update, rendered in the portable name-based concrete
 /// syntax of [`winslett_logic::parse_wff`] (the same convention as
 /// [`TheoryDump`]), so records survive re-interning.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum UpdateDump {
     /// `INSERT ω WHERE φ` as `(ω, φ)`.
     Insert(String, String),
@@ -386,7 +393,7 @@ pub enum UpdateDump {
 }
 
 /// One journaled operation.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum WalRecord {
     /// `declare_attribute(name)`.
     DeclareAttribute(String),
@@ -410,7 +417,7 @@ pub enum WalRecord {
 }
 
 /// A WAL entry: an operation stamped with its log sequence number.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct WalEntry {
     /// Position in the logical log (monotonic across compactions).
     pub lsn: u64,
@@ -419,7 +426,7 @@ pub struct WalEntry {
 }
 
 /// The snapshot file: a theory dump plus the LSN it is current through.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct WalSnapshot {
     /// Snapshot format version.
     pub version: u32,
@@ -427,6 +434,59 @@ pub struct WalSnapshot {
     pub lsn: u64,
     /// The folded theory.
     pub theory: TheoryDump,
+}
+
+/// What a replication follower needs to catch up from a given LSN cursor
+/// ([`DurableDatabase::catchup_from`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Catchup {
+    /// The cursor is at or past the checkpoint: replaying the effective
+    /// log suffix (aborted pairs already removed) is enough.
+    Suffix(Vec<WalEntry>),
+    /// The cursor predates the checkpoint, so the intervening records are
+    /// gone from the log: bootstrap from the snapshot, then replay the
+    /// effective suffix from the snapshot's LSN onward.
+    Snapshot(Box<WalSnapshot>, Vec<WalEntry>),
+}
+
+/// Drops abort records and the records they annul: what remains is the
+/// *effective* log — exactly the records recovery would replay. Shipping
+/// only effective records means a follower never applies a state the
+/// primary refused; the resulting LSN holes are harmless because they
+/// correspond to operations with no effect.
+fn effective_entries(entries: Vec<WalEntry>) -> Vec<WalEntry> {
+    let aborted: HashSet<u64> = entries
+        .iter()
+        .filter_map(|e| match e.record {
+            WalRecord::Abort(lsn) => Some(lsn),
+            _ => None,
+        })
+        .collect();
+    entries
+        .into_iter()
+        .filter(|e| !aborted.contains(&e.lsn) && !matches!(e.record, WalRecord::Abort(_)))
+        .collect()
+}
+
+/// Reads and validates the snapshot file, without restoring the theory.
+fn read_snapshot<S: Storage>(storage: &S) -> Result<Option<WalSnapshot>, DbError> {
+    let Some(bytes) = storage.read(SNAPSHOT_FILE)? else {
+        return Ok(None);
+    };
+    let text = String::from_utf8(bytes).map_err(|e| DbError::Corrupt {
+        message: format!("snapshot is not UTF-8: {e}"),
+    })?;
+    let snap: WalSnapshot = serde_json::from_str(&text).map_err(|e| DbError::Corrupt {
+        message: format!("snapshot does not parse: {e}"),
+    })?;
+    if snap.version == 0 || snap.version > SNAPSHOT_VERSION {
+        return Err(DbError::UnsupportedVersion {
+            what: "wal snapshot",
+            found: snap.version,
+            supported: SNAPSHOT_VERSION,
+        });
+    }
+    Ok(Some(snap))
 }
 
 fn wal_header() -> [u8; 8] {
@@ -442,6 +502,12 @@ fn encode_entry(entry: &WalEntry) -> Result<Vec<u8>, DbError> {
             message: format!("wal record serialization failed: {e}"),
         })?
         .into_bytes();
+    if payload.len() > MAX_RECORD_LEN as usize {
+        return Err(DbError::RecordTooLarge {
+            len: payload.len(),
+            max: MAX_RECORD_LEN as usize,
+        });
+    }
     let mut out = Vec::with_capacity(payload.len() + 8);
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&crc32(&payload).to_le_bytes());
@@ -739,6 +805,12 @@ pub struct DurableDatabase<S: Storage> {
     /// swap time without re-reading (and re-parsing) the whole on-storage
     /// log under the writer lock. Bounded by the capture→install window.
     compaction_tail: Option<Vec<WalEntry>>,
+    /// `Some` once [`DurableDatabase::enable_shipping`] armed WAL
+    /// shipping: every appended record is also retained here until the
+    /// next [`DurableDatabase::drain_shipping`], which hands the batch to
+    /// the replication fan-out. Bounded by the append→drain window (one
+    /// write batch on the server).
+    shipping_tail: Option<Vec<WalEntry>>,
     stats: WalStats,
 }
 
@@ -767,6 +839,7 @@ impl<S: Storage> DurableDatabase<S> {
                 unsynced: 0,
                 nodes_at_snapshot: nodes,
                 compaction_tail: None,
+                shipping_tail: None,
                 stats: WalStats::default(),
             };
             return Ok((me, RecoveryReport::default()));
@@ -786,6 +859,7 @@ impl<S: Storage> DurableDatabase<S> {
             unsynced: 0,
             nodes_at_snapshot: 0,
             compaction_tail: None,
+            shipping_tail: None,
             stats: WalStats::default(),
         };
         me.nodes_at_snapshot = me.db.theory().store_nodes();
@@ -802,22 +876,8 @@ impl<S: Storage> DurableDatabase<S> {
         storage: &S,
         db_options: DbOptions,
     ) -> Result<(LogicalDatabase, u64, u64, RecoveryReport), DbError> {
-        let (mut db, snapshot_lsn) = match storage.read(SNAPSHOT_FILE)? {
-            Some(bytes) => {
-                let text = String::from_utf8(bytes).map_err(|e| DbError::Corrupt {
-                    message: format!("snapshot is not UTF-8: {e}"),
-                })?;
-                let snap: WalSnapshot =
-                    serde_json::from_str(&text).map_err(|e| DbError::Corrupt {
-                        message: format!("snapshot does not parse: {e}"),
-                    })?;
-                if snap.version == 0 || snap.version > SNAPSHOT_VERSION {
-                    return Err(DbError::UnsupportedVersion {
-                        what: "wal snapshot",
-                        found: snap.version,
-                        supported: SNAPSHOT_VERSION,
-                    });
-                }
+        let (mut db, snapshot_lsn) = match read_snapshot(storage)? {
+            Some(snap) => {
                 let theory = persist::restore_theory(&snap.theory)?;
                 (LogicalDatabase::from_theory(theory, db_options), snap.lsn)
             }
@@ -830,6 +890,21 @@ impl<S: Storage> DurableDatabase<S> {
                 truncated: None,
             },
         };
+        // The boundary contract: the suffix must *meet* the checkpoint.
+        // `parse_wal` enforces LSN contiguity only within the file, so a
+        // log whose first surviving record skips past the snapshot's LSN
+        // (a spliced or mis-rotated log) would otherwise replay a
+        // wrong-state suffix silently. A first LSN at or below the
+        // snapshot's is fine — that is the normal old-WAL-beside-new-
+        // snapshot window, and covered records are skipped below.
+        if let Some(first) = parsed.entries.first() {
+            if first.lsn > snapshot_lsn {
+                return Err(DbError::LsnGap {
+                    expected: snapshot_lsn,
+                    found: first.lsn,
+                });
+            }
+        }
         let mut report = RecoveryReport {
             snapshot_lsn,
             records_seen: parsed.entries.len(),
@@ -875,54 +950,66 @@ impl<S: Storage> DurableDatabase<S> {
     }
 
     fn replay_entry(db: &mut LogicalDatabase, record: &WalRecord) -> Result<(), DbError> {
-        match record {
-            WalRecord::DeclareAttribute(name) => {
-                db.declare_attribute(name)?;
-            }
-            WalRecord::DeclareRelation(name, arity) => {
-                db.declare_relation(name, *arity)?;
-            }
-            WalRecord::DeclareTypedRelation(name, attrs) => {
-                let ids: Result<Vec<PredId>, DbError> = attrs
-                    .iter()
-                    .map(|a| {
-                        db.theory()
-                            .vocab
-                            .find_predicate(a)
-                            .ok_or_else(|| DbError::Corrupt {
-                                message: format!(
-                                    "journaled type axiom references unknown attribute `{a}`"
-                                ),
-                            })
-                    })
-                    .collect();
-                db.declare_typed_relation(name, &ids?)?;
-            }
-            WalRecord::AddDependency(dd) => {
-                let dep = persist::restore_dependency(dd, db.theory_mut())?;
-                db.add_dependency(dep);
-            }
-            WalRecord::LoadFact(pred, args) => {
-                let refs: Vec<&str> = args.iter().map(String::as_str).collect();
-                db.load_fact(pred, &refs)?;
-            }
-            WalRecord::LoadWff(src) => {
-                db.load_wff(src)?;
-            }
-            WalRecord::Apply(ud) => {
-                let u = restore_update(ud, db.theory_mut())?;
-                let theory = replay_updates(db.theory(), std::slice::from_ref(&u))?;
-                let options = db.options();
-                let mut log = std::mem::take(&mut db.log);
-                log.push(u);
-                *db = LogicalDatabase::from_theory(theory, options);
-                db.log = log;
-            }
-            WalRecord::Abort(_) => {}
-        }
-        Ok(())
+        replay_record(db, record)
     }
+}
 
+/// Applies one journaled operation to `db` through the §4 replay path —
+/// the exact function crash recovery uses, exported so a replication
+/// follower replays shipped WAL records with the same semantics. `Apply`
+/// records go through [`replay_updates`] (unsimplified GUA); callers that
+/// replay long suffixes should fold the store down afterwards with
+/// [`LogicalDatabase::simplify`], as recovery does.
+pub fn replay_record(db: &mut LogicalDatabase, record: &WalRecord) -> Result<(), DbError> {
+    match record {
+        WalRecord::DeclareAttribute(name) => {
+            db.declare_attribute(name)?;
+        }
+        WalRecord::DeclareRelation(name, arity) => {
+            db.declare_relation(name, *arity)?;
+        }
+        WalRecord::DeclareTypedRelation(name, attrs) => {
+            let ids: Result<Vec<PredId>, DbError> = attrs
+                .iter()
+                .map(|a| {
+                    db.theory()
+                        .vocab
+                        .find_predicate(a)
+                        .ok_or_else(|| DbError::Corrupt {
+                            message: format!(
+                                "journaled type axiom references unknown attribute `{a}`"
+                            ),
+                        })
+                })
+                .collect();
+            db.declare_typed_relation(name, &ids?)?;
+        }
+        WalRecord::AddDependency(dd) => {
+            let dep = persist::restore_dependency(dd, db.theory_mut())?;
+            db.add_dependency(dep);
+        }
+        WalRecord::LoadFact(pred, args) => {
+            let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+            db.load_fact(pred, &refs)?;
+        }
+        WalRecord::LoadWff(src) => {
+            db.load_wff(src)?;
+        }
+        WalRecord::Apply(ud) => {
+            let u = restore_update(ud, db.theory_mut())?;
+            let theory = replay_updates(db.theory(), std::slice::from_ref(&u))?;
+            let options = db.options();
+            let mut log = std::mem::take(&mut db.log);
+            log.push(u);
+            *db = LogicalDatabase::from_theory(theory, options);
+            db.log = log;
+        }
+        WalRecord::Abort(_) => {}
+    }
+    Ok(())
+}
+
+impl<S: Storage> DurableDatabase<S> {
     // ----- journaling core --------------------------------------------------
 
     /// The storage, mutable. Panics only if called after `close`/
@@ -938,6 +1025,9 @@ impl<S: Storage> DurableDatabase<S> {
         let bytes = encode_entry(&entry)?;
         self.storage_mut().append(WAL_FILE, &bytes)?;
         if let Some(tail) = self.compaction_tail.as_mut() {
+            tail.push(entry.clone());
+        }
+        if let Some(tail) = self.shipping_tail.as_mut() {
             tail.push(entry);
         }
         self.next_lsn += 1;
@@ -1107,6 +1197,88 @@ impl<S: Storage> DurableDatabase<S> {
         self.nodes_at_snapshot = self.db.theory().store_nodes();
         self.stats.checkpoints += 1;
         Ok(())
+    }
+
+    // ----- wal shipping (replication) ---------------------------------------
+
+    /// Arms WAL shipping: from now on every appended record is also
+    /// retained in memory until the next
+    /// [`DurableDatabase::drain_shipping`]. Idempotent; an already-armed
+    /// tail is left in place (retained but undrained records are not
+    /// dropped).
+    pub fn enable_shipping(&mut self) {
+        if self.shipping_tail.is_none() {
+            self.shipping_tail = Some(Vec::new());
+        }
+    }
+
+    /// Takes the records retained since the last drain, reduced to the
+    /// *effective* log (abort records and the records they annul are
+    /// removed — a refused operation completes its journal pair before
+    /// the owning write returns, so pairs never straddle a drain). The
+    /// caller fans these out to subscribed followers. Empty when shipping
+    /// is not armed or nothing was appended.
+    pub fn drain_shipping(&mut self) -> Vec<WalEntry> {
+        match self.shipping_tail.as_mut() {
+            Some(tail) if !tail.is_empty() => effective_entries(std::mem::take(tail)),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Computes what a follower whose next-expected LSN is `from_lsn`
+    /// needs in order to catch up: the effective log suffix alone if the
+    /// cursor is at or past the on-storage checkpoint, or the checkpoint
+    /// snapshot plus the suffix when the log no longer reaches back that
+    /// far. Enforces the same boundary contract as recovery — a log whose
+    /// first surviving record skips past the checkpoint's LSN is a typed
+    /// [`DbError::LsnGap`], never a silently wrong suffix — and refuses a
+    /// cursor from the future (a follower of some other primary) the same
+    /// way.
+    pub fn catchup_from(&self, from_lsn: u64) -> Result<Catchup, DbError> {
+        if from_lsn > self.next_lsn {
+            return Err(DbError::LsnGap {
+                expected: self.next_lsn,
+                found: from_lsn,
+            });
+        }
+        let parsed = match self.storage().read(WAL_FILE)? {
+            Some(bytes) => parse_wal(&bytes)?,
+            None => ParsedWal {
+                entries: Vec::new(),
+                truncated: None,
+            },
+        };
+        if let Some(reason) = parsed.truncated {
+            // A live, recovered primary has no torn tail; finding one
+            // mid-flight means the storage under us is damaged.
+            return Err(DbError::Corrupt {
+                message: format!("wal tail unreadable during catch-up: {reason}"),
+            });
+        }
+        if let Some(first) = parsed.entries.first() {
+            if first.lsn > self.snapshot_lsn {
+                return Err(DbError::LsnGap {
+                    expected: self.snapshot_lsn,
+                    found: first.lsn,
+                });
+            }
+        }
+        let entries = effective_entries(parsed.entries);
+        if from_lsn >= self.snapshot_lsn {
+            Ok(Catchup::Suffix(
+                entries.into_iter().filter(|e| e.lsn >= from_lsn).collect(),
+            ))
+        } else {
+            let snap = read_snapshot(self.storage())?.ok_or_else(|| DbError::Corrupt {
+                message: format!(
+                    "catch-up from lsn {from_lsn} needs the checkpoint snapshot \
+                     (current through lsn {}), but no snapshot file exists",
+                    self.snapshot_lsn
+                ),
+            })?;
+            let suffix = entries.into_iter().filter(|e| e.lsn >= snap.lsn).collect();
+            Ok(Catchup::Snapshot(Box::new(snap), suffix))
+        }
     }
 
     // ----- background compaction --------------------------------------------
@@ -1918,5 +2090,219 @@ mod tests {
         // abort_compaction on an idle database is harmless.
         ddb.abort_compaction();
         assert!(!ddb.compaction_pending());
+    }
+
+    // ----- recovery-boundary and replication tests --------------------------
+
+    /// Splits a WAL image into (header, record byte ranges).
+    fn record_spans(bytes: &[u8]) -> Vec<std::ops::Range<usize>> {
+        let mut spans = Vec::new();
+        let mut off = 8usize;
+        while off < bytes.len() {
+            let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+            spans.push(off..off + 8 + len);
+            off += 8 + len;
+        }
+        spans
+    }
+
+    #[test]
+    fn spliced_suffix_past_the_checkpoint_is_a_typed_lsn_gap() {
+        let mut ddb = seeded(opts_nocompact());
+        ddb.execute("INSERT InStock(33,1) WHERE T").unwrap();
+        ddb.checkpoint().unwrap();
+        let boundary = ddb.snapshot_lsn();
+        ddb.execute("INSERT InStock(34,1) WHERE T").unwrap();
+        ddb.execute("INSERT InStock(35,1) WHERE T").unwrap();
+        let mut storage = ddb.close().unwrap();
+        // Splice out the first post-checkpoint record: the survivor now
+        // starts one LSN past what the snapshot is current through —
+        // within-file contiguity holds, so only the boundary check can
+        // catch it.
+        let bytes = storage.get(WAL_FILE).unwrap().clone();
+        let spans = record_spans(&bytes);
+        assert_eq!(spans.len(), 2);
+        let mut spliced = bytes[..8].to_vec();
+        spliced.extend_from_slice(&bytes[spans[1].clone()]);
+        storage.put(WAL_FILE, spliced);
+        let err = match DurableDatabase::open(storage, DbOptions::default(), opts_nocompact()) {
+            Err(e) => e,
+            Ok(_) => panic!("gap must be rejected"),
+        };
+        assert_eq!(
+            err,
+            DbError::LsnGap {
+                expected: boundary,
+                found: boundary + 1,
+            }
+        );
+    }
+
+    #[test]
+    fn spliced_log_without_a_snapshot_is_also_rejected() {
+        let ddb = seeded(opts_nocompact());
+        let mut storage = ddb.close().unwrap();
+        let bytes = storage.get(WAL_FILE).unwrap().clone();
+        let spans = record_spans(&bytes);
+        // Drop the first record (lsn 0): the survivor starts at lsn 1 but
+        // no snapshot covers lsn 0.
+        let mut spliced = bytes[..8].to_vec();
+        for span in &spans[1..] {
+            spliced.extend_from_slice(&bytes[span.clone()]);
+        }
+        storage.put(WAL_FILE, spliced);
+        let err = match DurableDatabase::open(storage, DbOptions::default(), opts_nocompact()) {
+            Err(e) => e,
+            Ok(_) => panic!("gap must be rejected"),
+        };
+        assert_eq!(
+            err,
+            DbError::LsnGap {
+                expected: 0,
+                found: 1
+            }
+        );
+    }
+
+    #[test]
+    fn old_wal_with_kill_byte_tails_still_recovers_after_checkpoint() {
+        // A torn tail (kill-byte damage) is *truncation*, not a gap: the
+        // surviving prefix still meets the checkpoint, so recovery must
+        // keep accepting it.
+        let mut ddb = seeded(opts_nocompact());
+        ddb.execute("INSERT InStock(33,1) WHERE T").unwrap();
+        let mut storage = ddb.close().unwrap();
+        let mut bytes = storage.get(WAL_FILE).unwrap().clone();
+        bytes.truncate(bytes.len() - 3); // tear the last record
+        storage.put(WAL_FILE, bytes);
+        let (recovered, report) = reopen(storage);
+        assert!(report.truncated.is_some());
+        assert!(report.repaired);
+        drop(recovered);
+    }
+
+    #[test]
+    fn record_cap_is_exact_at_the_mint_boundary() {
+        let overhead = {
+            let probe = WalEntry {
+                lsn: 0,
+                record: WalRecord::LoadWff(String::new()),
+            };
+            serde_json::to_string(&probe).unwrap().len()
+        };
+        let entry = |n: usize| WalEntry {
+            lsn: 0,
+            record: WalRecord::LoadWff("x".repeat(n)),
+        };
+        let fits = MAX_RECORD_LEN as usize - overhead;
+        assert!(encode_entry(&entry(fits)).is_ok());
+        match encode_entry(&entry(fits + 1)) {
+            Err(DbError::RecordTooLarge { len, max }) => {
+                assert_eq!(len, MAX_RECORD_LEN as usize + 1);
+                assert_eq!(max, MAX_RECORD_LEN as usize);
+            }
+            other => panic!("expected RecordTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_record_is_refused_before_anything_is_journaled() {
+        let mut ddb = seeded(opts_nocompact());
+        let before = ddb.next_lsn();
+        let wal_len = ddb.storage().get(WAL_FILE).unwrap().len();
+        let huge = format!("InStock({},1)", "9".repeat(MAX_RECORD_LEN as usize));
+        let err = ddb.load_wff(&huge).unwrap_err();
+        assert!(matches!(err, DbError::RecordTooLarge { .. }), "{err:?}");
+        // Nothing was appended, no LSN burned, and the database stays
+        // fully usable.
+        assert_eq!(ddb.next_lsn(), before);
+        assert_eq!(ddb.storage().get(WAL_FILE).unwrap().len(), wal_len);
+        ddb.execute("INSERT InStock(36,1) WHERE T").unwrap();
+    }
+
+    #[test]
+    fn drain_shipping_carries_only_effective_records() {
+        let mut ddb = seeded(opts_nocompact());
+        ddb.enable_shipping();
+        // Records journaled before arming were not retained; the first
+        // drain starts empty.
+        assert!(ddb.drain_shipping().is_empty());
+        ddb.execute("INSERT InStock(40,1) WHERE T").unwrap();
+        // Choke the store so GUA refuses after journaling the intent: the
+        // Apply/Abort pair must be filtered out of the shipped batch.
+        let len = ddb.db().theory().store.len() as u32;
+        ddb.db_mut().theory_mut().store.set_capacity(u32::MAX, len);
+        assert!(ddb.execute("INSERT Orders(800,32,5) WHERE T").is_err());
+        ddb.db_mut()
+            .theory_mut()
+            .store
+            .set_capacity(u32::MAX, u32::MAX);
+        ddb.execute("INSERT InStock(41,1) WHERE T").unwrap();
+        let batch = ddb.drain_shipping();
+        assert_eq!(batch.len(), 2, "{batch:?}");
+        assert!(batch
+            .iter()
+            .all(|e| matches!(e.record, WalRecord::Apply(_))));
+        // Drained means gone.
+        assert!(ddb.drain_shipping().is_empty());
+        // A follower replaying the batch (plus the pre-arm prefix via
+        // catch-up) reaches the primary's exact world set.
+        let mut follower = LogicalDatabase::with_options(DbOptions::default());
+        match ddb.catchup_from(0).unwrap() {
+            Catchup::Suffix(entries) => {
+                for e in entries {
+                    replay_record(&mut follower, &e.record).unwrap();
+                }
+            }
+            other => panic!("no checkpoint yet, expected Suffix: {other:?}"),
+        }
+        follower.simplify(DbOptions::default().simplify);
+        assert_eq!(world_set(&follower), world_set(ddb.db()));
+    }
+
+    #[test]
+    fn catchup_serves_suffix_or_snapshot_depending_on_cursor() {
+        let mut ddb = seeded(opts_nocompact());
+        ddb.execute("INSERT InStock(42,1) WHERE T").unwrap();
+        ddb.checkpoint().unwrap();
+        let boundary = ddb.snapshot_lsn();
+        ddb.execute("INSERT InStock(43,1) WHERE T").unwrap();
+        let live = world_set(ddb.db());
+
+        // A cursor at/past the checkpoint gets the bare suffix.
+        match ddb.catchup_from(boundary).unwrap() {
+            Catchup::Suffix(entries) => {
+                assert_eq!(entries.len(), 1);
+                assert_eq!(entries[0].lsn, boundary);
+            }
+            other => panic!("expected Suffix: {other:?}"),
+        }
+        // A cursor from before the checkpoint needs the snapshot, and the
+        // rebuilt follower matches the live world set exactly.
+        match ddb.catchup_from(0).unwrap() {
+            Catchup::Snapshot(snap, entries) => {
+                assert_eq!(snap.lsn, boundary);
+                let theory = persist::restore_theory(&snap.theory).unwrap();
+                let mut follower = LogicalDatabase::from_theory(theory, DbOptions::default());
+                for e in entries {
+                    assert!(e.lsn >= boundary);
+                    replay_record(&mut follower, &e.record).unwrap();
+                }
+                follower.simplify(DbOptions::default().simplify);
+                assert_eq!(world_set(&follower), live);
+            }
+            other => panic!("expected Snapshot: {other:?}"),
+        }
+        // A cursor from the future is a typed gap (wrong primary).
+        let next = ddb.next_lsn();
+        assert_eq!(
+            ddb.catchup_from(next + 5).unwrap_err(),
+            DbError::LsnGap {
+                expected: next,
+                found: next + 5,
+            }
+        );
+        // Catch-up at exactly next_lsn is an empty suffix, not an error.
+        assert_eq!(ddb.catchup_from(next).unwrap(), Catchup::Suffix(vec![]));
     }
 }

@@ -16,6 +16,8 @@ USAGE:
   winslett-serve serve --dir PATH [--addr HOST:PORT] [--idle-secs N]
                        [--max-conns N] [--group-commit N] [--no-batch]
                        [--compact | --no-compact]
+  winslett-serve serve --replica-of HOST:PORT [--addr HOST:PORT]
+                       [--idle-secs N] [--max-conns N]
   winslett-serve repl  --addr HOST:PORT
   winslett-serve smoke
 
@@ -29,6 +31,12 @@ serve   Serve a durable database from PATH (created if missing).
         --compact): a thread that snapshots the theory, runs full
         simplification off the writer lock, and atomically swaps the
         compacted theory back in, replaying the writes that raced it.
+        With --replica-of, serve a read-only WAL-shipping replica of the
+        primary at HOST:PORT instead: the database is rebuilt in memory
+        from the primary's checkpoint and WAL stream, reads (query /
+        check / explain / pin) are served locally, PinAt gives
+        pinned-LSN consistency, and every write is a typed ReadOnly
+        refusal. --dir is not used in replica mode.
 repl    Interactive client. Lines are LDML statements; prefixed
         commands: query / check / explain / pin / unpin / stats /
         checkpoint / shutdown / quit.
@@ -101,10 +109,13 @@ fn install_signal_handlers() {
 fn install_signal_handlers() {}
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    let dir = flag_value(args, "--dir").ok_or("serve requires --dir PATH")?;
     let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:7171");
     let idle_secs: u64 = parsed_flag(args, "--idle-secs")?.unwrap_or(30);
     let max_conns: usize = parsed_flag(args, "--max-conns")?.unwrap_or(64);
+    if let Some(primary) = flag_value(args, "--replica-of") {
+        return cmd_replica(primary, addr, idle_secs, max_conns);
+    }
+    let dir = flag_value(args, "--dir").ok_or("serve requires --dir PATH (or --replica-of)")?;
     let group_commit: usize = parsed_flag(args, "--group-commit")?.unwrap_or(1);
 
     let storage = DirStorage::new(dir).map_err(|e| e.to_string())?;
@@ -161,6 +172,48 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 
     server.run().map(|_storage| ()).map_err(|e| e.to_string())?;
     eprintln!("shut down cleanly; WAL flushed");
+    Ok(())
+}
+
+/// `serve --replica-of`: a read-only WAL-shipping follower. The database
+/// lives in memory, rebuilt from the primary's catch-up material and
+/// shipped batches; the tailer reconnects through primary restarts.
+fn cmd_replica(primary: &str, addr: &str, idle_secs: u64, max_conns: usize) -> Result<(), String> {
+    use std::net::ToSocketAddrs;
+    let primary_addr = primary
+        .to_socket_addrs()
+        .map_err(|e| format!("bad --replica-of address {primary}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("--replica-of {primary} resolved to no address"))?;
+    let replica = winslett_serve::Replica::bind(
+        addr,
+        primary_addr,
+        DbOptions::default(),
+        winslett_serve::ReplicaOptions {
+            max_connections: max_conns,
+            idle_timeout: Duration::from_secs(idle_secs.max(1)),
+            ..winslett_serve::ReplicaOptions::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    eprintln!(
+        "replica of {primary_addr}: serving reads on {}",
+        replica.local_addr()
+    );
+
+    install_signal_handlers();
+    let handle = replica.handle();
+    std::thread::spawn(move || loop {
+        if SIGNALED.load(Ordering::SeqCst) {
+            eprintln!("signal received: draining");
+            handle.request_shutdown();
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    });
+
+    replica.run().map_err(|e| e.to_string())?;
+    eprintln!("replica shut down cleanly");
     Ok(())
 }
 

@@ -153,6 +153,17 @@ impl Client {
         })
     }
 
+    /// Pins only if the server's snapshot has acknowledged `min_lsn`;
+    /// otherwise the call fails with a typed `LagBehind` server error.
+    /// Against a replica this is the pinned-LSN consistency primitive:
+    /// retry (or fall back to the primary) until the replica catches up.
+    pub fn pin_at(&mut self, min_lsn: u64) -> Result<SnapshotReply, ClientError> {
+        self.expect(Request::PinAt(min_lsn), |r| match r {
+            Response::Pinned(x) => Ok(x),
+            other => Err(other),
+        })
+    }
+
     /// Releases the pinned snapshot.
     pub fn unpin(&mut self) -> Result<(), ClientError> {
         self.expect(Request::Unpin, |r| match r {

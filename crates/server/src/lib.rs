@@ -5,9 +5,14 @@
 //! reproduction: one journaled writer, MVCC-style snapshot readers, and a
 //! length-prefixed CRC-checked wire protocol on plain `std::net` TCP.
 //!
-//! * [`protocol`] — the frame format and request/response vocabulary.
+//! * [`protocol`] — the frame format and request/response vocabulary,
+//!   including the WAL-subscription kinds (`Subscribe` / `Catchup` /
+//!   `WalBatch`).
 //! * [`server`] — [`Server`]: accept loop, admission control, per-request
-//!   dispatch, snapshot publication, graceful drain.
+//!   dispatch, snapshot publication, WAL shipping to subscribers,
+//!   graceful drain.
+//! * [`replica`] — [`Replica`]: a WAL-shipping read replica serving
+//!   pinned-LSN consistent reads (see `docs/replication.md`).
 //! * [`client`] — [`Client`]: a blocking request/response client.
 //!
 //! ```no_run
@@ -38,11 +43,16 @@
 
 pub mod client;
 pub mod protocol;
+pub mod replica;
 pub mod server;
 
 pub use client::{Client, ClientError};
 pub use protocol::{
-    CheckpointReply, ErrorKindWire, ExecReply, ExplainReply, FrameError, QueryReply, Request,
-    Response, SnapshotReply, StatsReply, TruthReply, WireError, WireVerdict, MAX_FRAME_LEN,
+    CatchupReply, CheckpointReply, ErrorKindWire, ExecReply, ExplainReply, FrameError, QueryReply,
+    Request, Response, SnapshotReply, StatsReply, TruthReply, WalBatchReply, WireError,
+    WireVerdict, MAX_FRAME_LEN,
 };
-pub use server::{CompactionPolicy, Server, ServerHandle, ServerOptions, ServerStats};
+pub use replica::{Replica, ReplicaHandle, ReplicaOptions, ReplicaStats};
+pub use server::{
+    CompactionPolicy, Server, ServerHandle, ServerOptions, ServerStats, HEARTBEAT_INTERVAL,
+};

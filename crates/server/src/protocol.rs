@@ -17,6 +17,7 @@
 use serde::{Deserialize, Serialize};
 use std::io::{ErrorKind, Read, Write};
 use winslett_core::wal::crc32;
+use winslett_core::{WalEntry, WalSnapshot};
 
 /// Hard ceiling on a frame payload (4 MiB): a length word above this is
 /// treated as garbage rather than obeyed as an allocation request.
@@ -101,9 +102,16 @@ fn fill(r: &mut impl Read, buf: &mut [u8]) -> Result<usize, FrameError> {
     Ok(got)
 }
 
-/// Writes one frame around `payload`.
+/// Writes one frame around `payload`. An over-cap payload is a typed
+/// [`FrameError::Oversized`] before any byte hits the wire — the peer
+/// would refuse it anyway, and half a giant frame would poison the
+/// stream.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FrameError> {
-    debug_assert!(payload.len() as u64 <= MAX_FRAME_LEN as u64);
+    if payload.len() as u64 > MAX_FRAME_LEN as u64 {
+        return Err(FrameError::Oversized {
+            len: payload.len().min(u32::MAX as usize) as u32,
+        });
+    }
     let mut frame = Vec::with_capacity(8 + payload.len());
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     frame.extend_from_slice(&crc32(payload).to_le_bytes());
@@ -195,6 +203,18 @@ pub enum Request {
     Shutdown,
     /// Liveness probe.
     Ping,
+    /// Pin the connection to a snapshot whose last acknowledged LSN is
+    /// **at least** the given value — the replica-consistency handshake.
+    /// Refused with [`ErrorKindWire::LagBehind`] when the serving node
+    /// has not caught up that far yet; the client retries or falls back
+    /// to the primary.
+    PinAt(u64),
+    /// Become a WAL subscriber from the given LSN cursor (a replica's
+    /// next-expected LSN). The server answers with one
+    /// [`Response::Catchup`], then the backlog and all future records as
+    /// a stream of [`Response::WalBatch`] frames; the connection speaks
+    /// nothing else afterwards. Only the primary accepts this.
+    Subscribe(u64),
 }
 
 /// What an [`Request::Execute`] did.
@@ -319,6 +339,46 @@ pub struct StatsReply {
     pub compaction_swap_pause_us: u64,
     /// Longest single compaction swap pause, µs.
     pub compaction_swap_pause_max_us: u64,
+    /// Primary: live WAL subscribers (replicas currently streaming).
+    pub subscribers: u64,
+    /// Primary: WAL records shipped to subscribers (sum over subscribers).
+    pub records_shipped: u64,
+    /// Replica: WAL batches applied from the subscription stream.
+    pub replica_batches: u64,
+    /// Replica: records replayed from the stream.
+    pub replica_records: u64,
+    /// Replica: snapshot bootstraps performed (initial + after falling
+    /// behind the primary's checkpoint).
+    pub replica_snapshots_loaded: u64,
+    /// Replica: subscription reconnects after a broken stream.
+    pub replica_reconnects: u64,
+    /// `PinAt` requests refused with [`ErrorKindWire::LagBehind`].
+    pub lag_refusals: u64,
+}
+
+/// The opening answer to a [`Request::Subscribe`]: everything the
+/// follower needs before the live stream starts.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CatchupReply {
+    /// `Some` when the subscriber's cursor predates the primary's
+    /// checkpoint — the log no longer reaches back that far, so the
+    /// follower must rebuild from this snapshot (records with
+    /// `lsn < snapshot.lsn` are already folded in). `None` when the log
+    /// suffix alone suffices.
+    pub snapshot: Option<WalSnapshot>,
+    /// The primary's next LSN at subscription time; the follower is
+    /// caught up once it has applied everything below this.
+    pub next_lsn: u64,
+}
+
+/// One batch of shipped WAL records — the backlog during catch-up, then
+/// each write batch as the primary commits it. An empty batch is a
+/// heartbeat: the stream is alive, there is just nothing to ship.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WalBatchReply {
+    /// Effective records (aborted pairs already removed), in LSN order.
+    /// LSN holes mark annulled operations and are harmless.
+    pub entries: Vec<WalEntry>,
 }
 
 /// What a `Checkpoint` accomplished.
@@ -344,6 +404,17 @@ pub enum ErrorKindWire {
     ShuttingDown,
     /// Storage-layer failure underneath the write path.
     Storage,
+    /// The node serving this request is a read replica that has not yet
+    /// replayed up to the LSN a [`Request::PinAt`] demanded. Retry after
+    /// the lag closes, or read from the primary.
+    LagBehind,
+    /// The node is a read replica; writes, checkpoints, and subscriptions
+    /// must go to the primary.
+    ReadOnly,
+    /// The journaled form of the statement would exceed the WAL record
+    /// cap (and therefore the wire-frame cap); the operation was refused
+    /// before anything was written.
+    TooLarge,
     /// Anything else; the message says what.
     Internal,
 }
@@ -386,6 +457,10 @@ pub enum Response {
     ShuttingDown,
     /// `Ping` reply.
     Pong,
+    /// First answer on a subscription stream: catch-up material.
+    Catchup(Box<CatchupReply>),
+    /// One shipped batch on a subscription stream (empty = heartbeat).
+    WalBatch(WalBatchReply),
     /// The request failed; the connection stays usable.
     Error(WireError),
 }
@@ -462,6 +537,57 @@ mod tests {
             read_frame(&mut &buf[..]),
             Err(FrameError::BadCrc { .. })
         ));
+    }
+
+    #[test]
+    fn oversized_write_is_refused_before_the_wire() {
+        let mut buf = Vec::new();
+        let err = write_frame(&mut buf, &vec![0u8; MAX_FRAME_LEN as usize + 1]).unwrap_err();
+        assert_eq!(
+            err,
+            FrameError::Oversized {
+                len: MAX_FRAME_LEN + 1
+            }
+        );
+        assert!(buf.is_empty(), "nothing may reach the stream");
+    }
+
+    #[test]
+    fn record_cap_leaves_batch_headroom_inside_the_frame_cap() {
+        // A single max-size WAL record, JSON-wrapped into a WalBatch
+        // response, must still fit in one frame — that is the whole point
+        // of holding MAX_RECORD_LEN under MAX_FRAME_LEN. 1 KiB of
+        // headroom covers the enum wrapper, the entries array, and the
+        // LSN field with two orders of magnitude to spare.
+        const { assert!(winslett_core::MAX_RECORD_LEN + 1024 <= MAX_FRAME_LEN) };
+    }
+
+    #[test]
+    fn subscription_vocabulary_roundtrips() {
+        let mut buf = Vec::new();
+        send(&mut buf, &Request::Subscribe(42)).unwrap();
+        send(&mut buf, &Request::PinAt(7)).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(recv::<Request>(&mut r).unwrap(), Request::Subscribe(42));
+        assert_eq!(recv::<Request>(&mut r).unwrap(), Request::PinAt(7));
+
+        let batch = Response::WalBatch(WalBatchReply {
+            entries: vec![winslett_core::WalEntry {
+                lsn: 9,
+                record: winslett_core::WalRecord::LoadFact("R".into(), vec!["1".into()]),
+            }],
+        });
+        let mut buf = Vec::new();
+        send(&mut buf, &batch).unwrap();
+        assert_eq!(recv::<Response>(&mut &buf[..]).unwrap(), batch);
+
+        let catchup = Response::Catchup(Box::new(CatchupReply {
+            snapshot: None,
+            next_lsn: 10,
+        }));
+        let mut buf = Vec::new();
+        send(&mut buf, &catchup).unwrap();
+        assert_eq!(recv::<Response>(&mut &buf[..]).unwrap(), catchup);
     }
 
     #[test]

@@ -34,21 +34,27 @@
 //!   group-commit buffered WAL records — and hands the storage back.
 
 use crate::protocol::{
-    read_frame, send, CheckpointReply, ErrorKindWire, ExecReply, ExplainReply, FrameError,
-    QueryReply, Request, Response, SnapshotReply, StatsReply, TruthReply, WireError, WireVerdict,
+    read_frame, send, CatchupReply, CheckpointReply, ErrorKindWire, ExecReply, ExplainReply,
+    FrameError, QueryReply, Request, Response, SnapshotReply, StatsReply, TruthReply,
+    WalBatchReply, WireError, WireVerdict, MAX_FRAME_LEN,
 };
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock, TryLockError};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError, RwLock, TryLockError};
 use std::time::{Duration, Instant};
 use winslett_analyze::ConflictAnalyzer;
 use winslett_core::explain::Verdict;
 use winslett_core::snapshot::{SnapshotReader, TheorySnapshot};
-use winslett_core::wal::{DurableDatabase, RecoveryReport, Storage, WalOptions};
-use winslett_core::{DbError, DbOptions};
+use winslett_core::wal::{Catchup, DurableDatabase, RecoveryReport, Storage, WalOptions};
+use winslett_core::{DbError, DbOptions, WalEntry};
 use winslett_gua::SimplifyLevel;
 use winslett_logic::AccessSet;
+
+/// How often an idle subscription stream emits an empty heartbeat batch,
+/// proving liveness to the follower (whose read timeout is a multiple of
+/// this).
+pub const HEARTBEAT_INTERVAL: Duration = Duration::from_millis(250);
 
 /// Tunables.
 #[derive(Clone, Debug)]
@@ -156,6 +162,11 @@ pub struct ServerStats {
     pub compaction_swap_pause_us: AtomicU64,
     /// Longest single swap pause, µs.
     pub compaction_swap_pause_max_us: AtomicU64,
+    /// WAL records shipped to subscribers (summed over subscribers).
+    pub records_shipped: AtomicU64,
+    /// `PinAt` requests refused because the published snapshot had not
+    /// reached the demanded LSN.
+    pub lag_refusals: AtomicU64,
 }
 
 /// What the writer last published: an immutable snapshot plus its place
@@ -171,6 +182,12 @@ struct Shared<S: Storage> {
     published: RwLock<Arc<Published>>,
     /// Pending writes awaiting a leader (batched mode only).
     queue: Mutex<VecDeque<WriteJob>>,
+    /// Live WAL subscribers: each holds the sending half of its
+    /// subscription channel. Registration happens under the writer lock
+    /// (atomically with the catch-up computation), so no committed record
+    /// can fall between the backlog and the stream. Dead subscribers are
+    /// pruned when a send fails.
+    subscribers: Mutex<Vec<mpsc::Sender<Vec<WalEntry>>>>,
     stats: Arc<ServerStats>,
     shutdown: Arc<AtomicBool>,
     active: Arc<AtomicUsize>,
@@ -285,7 +302,12 @@ impl<S: Storage + Send + 'static> Server<S> {
     ) -> Result<(Self, RecoveryReport), DbError> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let (db, report) = DurableDatabase::open(storage, db_options, wal_options)?;
+        let (mut db, report) = DurableDatabase::open(storage, db_options, wal_options)?;
+        // Arm WAL shipping up front: the retained tail is drained to
+        // subscribers (or discarded when there are none) after every
+        // write batch, so the cost of arming before any replica connects
+        // is one Vec push per record.
+        db.enable_shipping();
         let snapshot = TheorySnapshot::capture(db.db().theory());
         let last_lsn = db.next_lsn().saturating_sub(1);
         let shared = Arc::new(Shared {
@@ -296,6 +318,7 @@ impl<S: Storage + Send + 'static> Server<S> {
                 last_lsn,
             })),
             queue: Mutex::new(VecDeque::new()),
+            subscribers: Mutex::new(Vec::new()),
             stats: Arc::new(ServerStats::default()),
             shutdown: Arc::new(AtomicBool::new(false)),
             active: Arc::new(AtomicUsize::new(0)),
@@ -435,6 +458,10 @@ impl<S: Storage + Send + 'static> Connection<S> {
             .stream
             .set_read_timeout(Some(self.shared.options.idle_timeout));
         loop {
+            // Sampled before blocking: a request that arrives during the
+            // drain is still answered (typed refusal for writes), and
+            // only then is the connection closed.
+            let draining = self.shared.shutdown.load(Ordering::SeqCst);
             let payload = match read_frame(&mut self.stream) {
                 Ok(p) => p,
                 Err(FrameError::Closed) => break,
@@ -491,12 +518,23 @@ impl<S: Storage + Send + 'static> Connection<S> {
                 }
             };
             self.shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+            if let Request::Subscribe(from_lsn) = request {
+                // The connection turns into a one-way WAL stream and never
+                // returns to request/response service.
+                self.serve_subscription(from_lsn);
+                break;
+            }
             let is_shutdown = matches!(request, Request::Shutdown);
             let response = self.dispatch(request);
             if send(&mut self.stream, &response).is_err() {
                 break;
             }
-            if is_shutdown {
+            // During a drain, close after answering the request that was
+            // in flight when the drain started instead of letting a
+            // chatty client hold the drain open: the drain is bounded by
+            // the idle timeout OR one request round-trip per connection,
+            // whichever ends first.
+            if is_shutdown || draining {
                 break;
             }
         }
@@ -542,24 +580,8 @@ impl<S: Storage + Send + 'static> Connection<S> {
                     })
                 })
             }),
-            Request::Pin => {
-                let published = read_published(&self.shared);
-                let reply = SnapshotReply {
-                    generation: published.snapshot.generation(),
-                    updates_applied: published.updates_applied,
-                    last_lsn: published.last_lsn,
-                };
-                if self.pinned.is_none() {
-                    // Re-pinning swaps generations without changing the
-                    // count of connections holding one.
-                    self.shared
-                        .stats
-                        .pinned_generations
-                        .fetch_add(1, Ordering::Relaxed);
-                }
-                self.pinned = Some(published.snapshot.reader());
-                Response::Pinned(reply)
-            }
+            Request::Pin => self.pin(0),
+            Request::PinAt(min_lsn) => self.pin(min_lsn),
             Request::Unpin => {
                 if self.pinned.take().is_some() {
                     self.shared
@@ -578,6 +600,149 @@ impl<S: Storage + Send + 'static> Connection<S> {
                 Response::ShuttingDown
             }
             Request::Ping => Response::Pong,
+            // Intercepted in `serve` before dispatch; reaching here means
+            // a bug, answer typed rather than panic.
+            Request::Subscribe(_) => Response::Error(WireError {
+                kind: ErrorKindWire::BadRequest,
+                message: "subscription must be the stream's own request".into(),
+            }),
+        }
+    }
+
+    /// `Pin` / `PinAt`: nails the connection's reads to the current
+    /// published snapshot, refusing with a typed `LagBehind` when that
+    /// snapshot has not yet acknowledged `min_lsn` — on the primary that
+    /// only happens for an LSN from the future, but the identical check on
+    /// a replica is the pinned-LSN consistency contract.
+    fn pin(&mut self, min_lsn: u64) -> Response {
+        let published = read_published(&self.shared);
+        if min_lsn > 0 && published.last_lsn < min_lsn {
+            self.shared
+                .stats
+                .lag_refusals
+                .fetch_add(1, Ordering::Relaxed);
+            return Response::Error(WireError {
+                kind: ErrorKindWire::LagBehind,
+                message: format!(
+                    "snapshot covers lsn {} but the pin demands lsn {min_lsn}",
+                    published.last_lsn
+                ),
+            });
+        }
+        let reply = SnapshotReply {
+            generation: published.snapshot.generation(),
+            updates_applied: published.updates_applied,
+            last_lsn: published.last_lsn,
+        };
+        if self.pinned.is_none() {
+            // Re-pinning swaps generations without changing the count of
+            // connections holding one.
+            self.shared
+                .stats
+                .pinned_generations
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        self.pinned = Some(published.snapshot.reader());
+        Response::Pinned(reply)
+    }
+
+    /// Serves one WAL subscription: under the writer lock, computes the
+    /// catch-up material for `from_lsn` and registers the subscription
+    /// channel — atomically, so every committed record lands in exactly
+    /// one of the two. Then streams the backlog and every subsequent write
+    /// batch, with empty heartbeats while idle. Exits when the peer drops,
+    /// a send fails, or the server drains.
+    fn serve_subscription(&mut self, from_lsn: u64) {
+        let _ = self
+            .stream
+            .set_write_timeout(Some(self.shared.options.idle_timeout));
+        let (catchup, next_lsn, rx) = {
+            let mut guard = match self.shared.writer.lock() {
+                Ok(g) => g,
+                Err(_) => {
+                    let _ = send(&mut self.stream, &Response::Error(poisoned_writer()));
+                    return;
+                }
+            };
+            let Some(db) = guard.as_mut() else {
+                let _ = send(&mut self.stream, &Response::Error(closed_writer()));
+                return;
+            };
+            // Flush anything still in the shipping tail to the *existing*
+            // subscribers, so our registration point is exactly the
+            // storage state the catch-up reads.
+            ship(&self.shared, db);
+            match db.catchup_from(from_lsn) {
+                Ok(c) => {
+                    let (tx, rx) = mpsc::channel();
+                    self.shared
+                        .subscribers
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push(tx);
+                    (c, db.next_lsn(), rx)
+                }
+                Err(e) => {
+                    drop(guard);
+                    let _ = send(&mut self.stream, &Response::Error(wire_error(&e)));
+                    return;
+                }
+            }
+        };
+        let (snapshot, backlog) = match catchup {
+            Catchup::Suffix(entries) => (None, entries),
+            Catchup::Snapshot(snap, entries) => (Some(*snap), entries),
+        };
+        if send(
+            &mut self.stream,
+            &Response::Catchup(Box::new(CatchupReply { snapshot, next_lsn })),
+        )
+        .is_err()
+        {
+            return;
+        }
+        for chunk in chunk_entries(backlog) {
+            if send(
+                &mut self.stream,
+                &Response::WalBatch(WalBatchReply { entries: chunk }),
+            )
+            .is_err()
+            {
+                return;
+            }
+        }
+        loop {
+            match rx.recv_timeout(HEARTBEAT_INTERVAL) {
+                Ok(entries) => {
+                    for chunk in chunk_entries(entries) {
+                        if send(
+                            &mut self.stream,
+                            &Response::WalBatch(WalBatchReply { entries: chunk }),
+                        )
+                        .is_err()
+                        {
+                            return;
+                        }
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if self.shared.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    // Heartbeat: liveness, and how a dead peer is noticed.
+                    if send(
+                        &mut self.stream,
+                        &Response::WalBatch(WalBatchReply {
+                            entries: Vec::new(),
+                        }),
+                    )
+                    .is_err()
+                    {
+                        return;
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => return,
+            }
         }
     }
 
@@ -608,7 +773,7 @@ impl<S: Storage + Send + 'static> Connection<S> {
             return Response::Error(closed_writer());
         };
         let lsn = db.next_lsn();
-        match apply_op(db, &op) {
+        let response = match apply_op(db, &op) {
             Ok((nodes_added, completion_added)) => {
                 let generation = db.db().theory().generation();
                 let snapshot = TheorySnapshot::capture(db.db().theory());
@@ -630,7 +795,12 @@ impl<S: Storage + Send + 'static> Connection<S> {
                 })
             }
             Err(e) => Response::Error(wire_error(&e)),
-        }
+        };
+        // Fan the batch out to subscribers while still holding the writer
+        // lock, so shipped batches arrive in commit order. A refused op
+        // ships nothing (its abort pair is filtered by the drain).
+        ship(&self.shared, db);
+        response
     }
 
     /// The batched path: enqueue the job, then either win the writer lock
@@ -724,6 +894,14 @@ impl<S: Storage + Send + 'static> Connection<S> {
             compaction_nodes_reclaimed: s.compaction_nodes_reclaimed.load(Ordering::Relaxed),
             compaction_swap_pause_us: s.compaction_swap_pause_us.load(Ordering::Relaxed),
             compaction_swap_pause_max_us: s.compaction_swap_pause_max_us.load(Ordering::Relaxed),
+            records_shipped: s.records_shipped.load(Ordering::Relaxed),
+            lag_refusals: s.lag_refusals.load(Ordering::Relaxed),
+            subscribers: self
+                .shared
+                .subscribers
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .len() as u64,
             ..StatsReply::default()
         };
         if let Ok(guard) = self.shared.writer.lock() {
@@ -904,6 +1082,9 @@ fn flush_batch<S: Storage>(shared: &Shared<S>, db: &mut DurableDatabase<S>, batc
                     Err(own) => wire_error(&own),
                 }));
             }
+            // The records are still the writer's live (and WAL-appended)
+            // state; followers track the live primary.
+            ship(shared, db);
             return;
         }
         let snapshot = TheorySnapshot::capture(db.db().theory());
@@ -931,6 +1112,62 @@ fn flush_batch<S: Storage>(shared: &Shared<S>, db: &mut DurableDatabase<S>, batc
             Err(e) => Response::Error(wire_error(&e)),
         });
     }
+    // One shipped batch per flushed batch, in commit order (the writer
+    // lock is still held).
+    ship(shared, db);
+}
+
+/// Drains the shipping tail and fans it out to every live subscriber,
+/// pruning subscribers whose stream side is gone. Must be called with the
+/// writer lock held so batches are delivered in commit order. When no
+/// subscriber is registered the drained records are simply discarded — a
+/// later subscriber gets them from storage via catch-up.
+fn ship<S: Storage>(shared: &Shared<S>, db: &mut DurableDatabase<S>) {
+    let entries = db.drain_shipping();
+    if entries.is_empty() {
+        return;
+    }
+    let mut subs = shared
+        .subscribers
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    if subs.is_empty() {
+        return;
+    }
+    let shipped = (entries.len() * subs.len()) as u64;
+    subs.retain(|tx| tx.send(entries.clone()).is_ok());
+    shared
+        .stats
+        .records_shipped
+        .fetch_add(shipped, Ordering::Relaxed);
+}
+
+/// Splits a shipped batch into frame-sized chunks: entries are packed
+/// greedily by serialized size against the frame cap (minus wrapper
+/// headroom). A single entry always fits — [`winslett_core::MAX_RECORD_LEN`]
+/// is enforced at mint time precisely so this holds.
+fn chunk_entries(entries: Vec<WalEntry>) -> Vec<Vec<WalEntry>> {
+    let budget = MAX_FRAME_LEN as usize - 1024;
+    let mut chunks = Vec::new();
+    let mut chunk: Vec<WalEntry> = Vec::new();
+    let mut used = 0usize;
+    for entry in entries {
+        // Serialized size plus the array comma; cheap relative to the
+        // frame send that follows.
+        let cost = serde_json::to_string(&entry)
+            .map(|s| s.len() + 1)
+            .unwrap_or(budget);
+        if !chunk.is_empty() && used + cost > budget {
+            chunks.push(std::mem::take(&mut chunk));
+            used = 0;
+        }
+        used += cost;
+        chunk.push(entry);
+    }
+    if !chunk.is_empty() {
+        chunks.push(chunk);
+    }
+    chunks
 }
 
 /// Fails every queued job with `err` — used when no leader can ever run
@@ -992,6 +1229,18 @@ fn compact_once<S: Storage>(shared: &Shared<S>, policy: &CompactionPolicy) -> Op
     // Phase 3: replay the delta and swap, under the writer lock.
     let mut guard = shared.writer.lock().ok()?;
     let db = guard.as_mut()?;
+    // A shutdown may have begun while we simplified off-lock. Installing
+    // now would race the drain/close sequence (the final sync could land
+    // after the compacted swap republished a stale view), so abandon the
+    // round instead — the live database is untouched.
+    if shared.shutdown.load(Ordering::SeqCst) {
+        db.abort_compaction();
+        shared
+            .stats
+            .compaction_aborts
+            .fetch_add(1, Ordering::Relaxed);
+        return None;
+    }
     let swap_started = Instant::now();
     match db.install_compacted(copy, from_lsn, policy.checkpoint) {
         Ok(outcome) => {
@@ -1053,13 +1302,15 @@ fn wire_verdict(v: Verdict) -> WireVerdict {
     }
 }
 
-fn wire_error(e: &DbError) -> WireError {
+pub(crate) fn wire_error(e: &DbError) -> WireError {
     let kind = match e {
         DbError::Ldml(_)
         | DbError::Logic(_)
         | DbError::Query { .. }
         | DbError::Gua(winslett_gua::GuaError::Ldml(_)) => ErrorKindWire::Parse,
         DbError::Theory(_) | DbError::Gua(_) => ErrorKindWire::Refused,
+        DbError::RecordTooLarge { .. } => ErrorKindWire::TooLarge,
+        DbError::LsnGap { .. } => ErrorKindWire::BadRequest,
         DbError::Storage { .. } | DbError::Corrupt { .. } => ErrorKindWire::Storage,
         _ => ErrorKindWire::Internal,
     };
@@ -1096,6 +1347,7 @@ mod tests {
                 last_lsn,
             })),
             queue: Mutex::new(VecDeque::new()),
+            subscribers: Mutex::new(Vec::new()),
             stats: Arc::new(ServerStats::default()),
             shutdown: Arc::new(AtomicBool::new(false)),
             active: Arc::new(AtomicUsize::new(0)),
@@ -1237,5 +1489,93 @@ mod tests {
         assert_eq!(stats.coalesced_writes.load(Ordering::Relaxed), 2);
         assert_eq!(stats.snapshots_published.load(Ordering::Relaxed), 3);
         assert_eq!(stats.updates.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn flushed_batches_fan_out_to_subscribers_in_commit_order() {
+        let shared = shared_with_db(&[("R", 1)]);
+        {
+            let mut guard = shared.writer.lock().unwrap();
+            guard.as_mut().unwrap().enable_shipping();
+        }
+        let (tx, rx) = mpsc::channel();
+        let (dead_tx, dead_rx) = mpsc::channel::<Vec<WalEntry>>();
+        drop(dead_rx);
+        shared.subscribers.lock().unwrap().push(tx);
+        shared.subscribers.lock().unwrap().push(dead_tx);
+        for c in ["a", "b"] {
+            enqueue(&shared, WriteOp::Execute(format!("INSERT R({c}) WHERE T")));
+        }
+        drain(&shared);
+        let batch = rx.try_recv().expect("one shipped batch");
+        assert_eq!(batch.len(), 2, "both applies ship in one batch");
+        assert!(
+            batch.windows(2).all(|w| w[0].lsn < w[1].lsn),
+            "commit order preserved"
+        );
+        // The dead subscriber was pruned; the live one survived.
+        assert_eq!(shared.subscribers.lock().unwrap().len(), 1);
+        // Both entries went to both subscribers before the prune.
+        assert_eq!(shared.stats.records_shipped.load(Ordering::Relaxed), 4);
+        // A refused op leaves nothing in the shipping tail.
+        enqueue(&shared, WriteOp::Execute("INSERT nonsense((".into()));
+        drain(&shared);
+        assert!(rx.try_recv().is_err(), "refused op ships nothing");
+    }
+
+    #[test]
+    fn shutdown_between_compaction_phases_abandons_the_swap() {
+        let shared = shared_with_db(&[("R", 1)]);
+        enqueue(&shared, WriteOp::Execute("INSERT R(a) WHERE T".into()));
+        drain(&shared);
+        let before = read_published(&shared).snapshot.generation();
+        // Shutdown lands while phase 2 runs off-lock; the gate in phase 3
+        // must abandon the round instead of installing over the drain.
+        shared.shutdown.store(true, Ordering::SeqCst);
+        let policy = CompactionPolicy::default();
+        assert_eq!(compact_once(&shared, &policy), None);
+        assert_eq!(shared.stats.compactions.load(Ordering::Relaxed), 0);
+        assert_eq!(shared.stats.compaction_aborts.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            read_published(&shared).snapshot.generation(),
+            before,
+            "no republish after an abandoned round"
+        );
+        // The live database is untouched and still writable.
+        shared.shutdown.store(false, Ordering::SeqCst);
+        let slot = enqueue(&shared, WriteOp::Execute("INSERT R(b) WHERE T".into()));
+        drain(&shared);
+        assert!(matches!(slot.try_take(), Some(Response::Executed(_))));
+    }
+
+    #[test]
+    fn chunking_packs_greedily_and_never_splits_an_entry() {
+        assert!(chunk_entries(Vec::new()).is_empty());
+        let entries: Vec<WalEntry> = (0..5)
+            .map(|i| WalEntry {
+                lsn: i,
+                record: winslett_core::WalRecord::LoadFact("R".into(), vec![format!("{i}")]),
+            })
+            .collect();
+        let chunks = chunk_entries(entries.clone());
+        assert_eq!(chunks.len(), 1, "small entries pack into one chunk");
+        assert_eq!(chunks[0], entries);
+        // A payload near the record cap forces one entry per chunk.
+        let big = "x".repeat((MAX_FRAME_LEN as usize - 1024) / 2);
+        let entries: Vec<WalEntry> = (0..3)
+            .map(|i| WalEntry {
+                lsn: i,
+                record: winslett_core::WalRecord::LoadFact(big.clone(), Vec::new()),
+            })
+            .collect();
+        let chunks = chunk_entries(entries);
+        assert_eq!(chunks.len(), 3, "near-cap entries go one per frame");
+        for chunk in &chunks {
+            let wire = serde_json::to_string(&Response::WalBatch(WalBatchReply {
+                entries: chunk.clone(),
+            }))
+            .expect("serialize");
+            assert!(wire.len() <= MAX_FRAME_LEN as usize);
+        }
     }
 }

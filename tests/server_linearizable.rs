@@ -29,7 +29,7 @@ use winslett::db::{
     replay_updates, DbError, DbOptions, DurableDatabase, LogicalDatabase, MemStorage, SyncPolicy,
     WalOptions,
 };
-use winslett_serve::{Client, Server, ServerOptions};
+use winslett_serve::{Client, Replica, ReplicaHandle, ReplicaOptions, Server, ServerOptions};
 
 /// The write pool: consistent-by-construction LDML over a tiny universe,
 /// so any interleaving is legal and the SAT work stays trivial.
@@ -233,4 +233,290 @@ proptest! {
 fn dense_interleaving_linearizes() {
     let scripts = vec![vec![0, 1, 2, 3], vec![4, 5, 6, 0], vec![2, 1, 0, 5]];
     run_scenario(scripts, 2);
+}
+
+// ----- cross-replica consistency --------------------------------------------
+//
+// The same serialization witness, extended over WAL-shipping replicas:
+// every state a replica ever publishes (observed by sampling `PinAt`
+// during the live run) must answer the probes exactly as the LSN-order
+// prefix through its pinned LSN — replicas never expose a torn or
+// reordered state, only (possibly stale) serial prefixes.
+
+/// How long a replica may lag before the test calls it broken.
+const CATCHUP_DEADLINE: Duration = Duration::from_secs(10);
+
+/// One sampled replica read: the LSN the pin actually landed on and the
+/// probe verdicts at that snapshot (`None` per probe = strict-parse
+/// error, legal on a snapshot whose vocabulary predates the probe).
+#[derive(Debug)]
+struct ReplicaRead {
+    last_lsn: u64,
+    truths: Vec<Option<(bool, bool)>>,
+}
+
+fn boot_replica(primary: SocketAddr) -> (ReplicaHandle, JoinHandle<()>, SocketAddr) {
+    let replica = Replica::bind(
+        ("127.0.0.1", 0),
+        primary,
+        DbOptions::default(),
+        ReplicaOptions {
+            idle_timeout: Duration::from_secs(10),
+            reconnect_backoff: Duration::from_millis(10),
+            ..ReplicaOptions::default()
+        },
+    )
+    .expect("bind replica");
+    let addr = replica.local_addr();
+    let handle = replica.handle();
+    let thread = std::thread::spawn(move || {
+        let _ = replica.run();
+    });
+    (handle, thread, addr)
+}
+
+/// Retries `pin_at(min_lsn)` until the replica catches up (or the
+/// deadline calls it broken). Returns the pinned snapshot reply; the pin
+/// is left held so the caller's reads stay on it.
+fn pin_when_caught_up(client: &mut Client, min_lsn: u64) -> winslett_serve::SnapshotReply {
+    let start = std::time::Instant::now();
+    loop {
+        match client.pin_at(min_lsn) {
+            Ok(snap) => return snap,
+            Err(winslett_serve::ClientError::Server(e))
+                if e.kind == winslett_serve::ErrorKindWire::LagBehind =>
+            {
+                assert!(
+                    start.elapsed() < CATCHUP_DEADLINE,
+                    "replica never reached lsn {min_lsn}: {e}"
+                );
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => panic!("pin_at({min_lsn}) failed: {e}"),
+        }
+    }
+}
+
+/// Probes the replica's pinned snapshot. A probe whose constants the
+/// young snapshot has not interned yet is a strict-parse error — legal,
+/// recorded as `None` per probe, and the serial prefix must reproduce
+/// it. Returns `None` overall only when the replica disappears mid-read
+/// (the mid-stream restart).
+fn probe_pinned(client: &mut Client, generation: u64) -> Option<Vec<Option<(bool, bool)>>> {
+    let mut truths = Vec::new();
+    for probe in PROBES {
+        match client.check(probe) {
+            Ok(t) => {
+                assert_eq!(
+                    t.generation, generation,
+                    "pinned replica read answered at a different generation"
+                );
+                truths.push(Some((t.possible, t.certain)));
+            }
+            Err(winslett_serve::ClientError::Server(e)) => {
+                assert_eq!(
+                    e.kind,
+                    winslett_serve::ErrorKindWire::Parse,
+                    "only strict-parse errors are legal on a replica read: {e}"
+                );
+                truths.push(None);
+            }
+            Err(winslett_serve::ClientError::Frame(_)) => return None,
+            Err(e) => panic!("check on replica failed: {e}"),
+        }
+    }
+    Some(truths)
+}
+
+/// Asserts one sampled replica state against the serial prefix through
+/// its LSN.
+fn assert_read_matches_prefix(sources: &[&str], read: &ReplicaRead) {
+    assert!(
+        read.last_lsn + 1 >= SETUP_WRITES,
+        "a pinned replica state predates the setup declares"
+    );
+    let prefix = (read.last_lsn + 1 - SETUP_WRITES) as usize;
+    assert!(
+        prefix <= sources.len(),
+        "replica pinned lsn {} beyond the acknowledged history",
+        read.last_lsn
+    );
+    let mut at_pin = replayed_prefix(sources, prefix);
+    for (probe, got) in PROBES.iter().zip(&read.truths) {
+        let want = match (at_pin.is_possible(probe), at_pin.is_certain(probe)) {
+            (Ok(p), Ok(c)) => Some((p, c)),
+            _ => None,
+        };
+        assert_eq!(
+            *got, want,
+            "replica verdict for {probe} at lsn {} diverged from the serial prefix",
+            read.last_lsn
+        );
+    }
+}
+
+/// Runs writers against a primary with two live replicas sampling reads
+/// throughout; optionally restarts the second follower mid-stream (fresh
+/// process, checkpoint-forced snapshot bootstrap). Verifies every sampled
+/// replica state, final convergence on both replicas, and the typed
+/// `LagBehind` refusal for an LSN from the future.
+fn run_replica_scenario(writer_scripts: Vec<Vec<usize>>, restart_follower: bool) {
+    let (running, addr) = boot();
+    let mut setup = Client::connect(addr).expect("connect setup");
+    setup.declare_relation("R", 1).expect("declare R");
+    setup.declare_relation("S", 1).expect("declare S");
+
+    let (handle_a, thread_a, addr_a) = boot_replica(addr);
+    let (mut handle_b, mut thread_b, mut addr_b) = boot_replica(addr);
+
+    // Samplers: race the live stream on both replicas, recording every
+    // distinct state they manage to pin.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut samplers = Vec::new();
+    for replica_addr in [addr_a, addr_b] {
+        let stop = Arc::clone(&stop);
+        samplers.push(std::thread::spawn(move || {
+            let mut client = Client::connect(replica_addr).expect("connect sampler");
+            let mut reads: Vec<ReplicaRead> = Vec::new();
+            while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                match client.pin_at(1) {
+                    Ok(snap) => {
+                        let Some(truths) = probe_pinned(&mut client, snap.generation) else {
+                            break; // replica went away mid-read
+                        };
+                        if client.unpin().is_err() {
+                            break;
+                        }
+                        if reads.last().map(|r| r.last_lsn) != Some(snap.last_lsn) {
+                            reads.push(ReplicaRead {
+                                last_lsn: snap.last_lsn,
+                                truths,
+                            });
+                        }
+                    }
+                    Err(winslett_serve::ClientError::Server(e))
+                        if e.kind == winslett_serve::ErrorKindWire::LagBehind => {}
+                    // The follower this sampler watched was shut down
+                    // (the mid-stream restart): stop sampling, everything
+                    // recorded so far still gets verified.
+                    Err(winslett_serve::ClientError::Frame(_)) => break,
+                    Err(e) => panic!("sampler pin failed: {e}"),
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            reads
+        }));
+    }
+
+    // Phase 1 writes.
+    let mut acked: Vec<(u64, usize)> = Vec::new();
+    let mut writer = Client::connect(addr).expect("connect writer");
+    let split = writer_scripts.len() / 2;
+    for script in &writer_scripts[..split.max(1).min(writer_scripts.len())] {
+        for &idx in script {
+            let reply = writer.execute(POOL[idx]).expect("execute");
+            acked.push((reply.lsn, idx));
+        }
+    }
+
+    if restart_follower {
+        // Kill follower B mid-stream, then force the snapshot bootstrap
+        // path for its replacement: the checkpoint folds the whole log,
+        // so a fresh subscription from 0 predates it.
+        handle_b.request_shutdown();
+        thread_b.join().expect("replica b thread");
+        setup.checkpoint().expect("checkpoint");
+        let (hb, tb, ab) = boot_replica(addr);
+        handle_b = hb;
+        thread_b = tb;
+        addr_b = ab;
+    }
+
+    // Phase 2 writes.
+    for script in &writer_scripts[split.max(1).min(writer_scripts.len())..] {
+        for &idx in script {
+            let reply = writer.execute(POOL[idx]).expect("execute");
+            acked.push((reply.lsn, idx));
+        }
+    }
+
+    acked.sort();
+    let lsns: Vec<u64> = acked.iter().map(|&(lsn, _)| lsn).collect();
+    let expected: Vec<u64> = (SETUP_WRITES..SETUP_WRITES + acked.len() as u64).collect();
+    assert_eq!(lsns, expected, "acked LSNs must be a contiguous sequence");
+    let sources: Vec<&str> = acked.iter().map(|&(_, idx)| POOL[idx]).collect();
+    let final_lsn = lsns.last().copied().unwrap_or(SETUP_WRITES - 1);
+
+    // Final convergence: both replicas reach the last acknowledged LSN
+    // and answer exactly as the full serial replay (the restarted
+    // follower included — its bootstrap ran through the checkpoint
+    // snapshot plus the suffix).
+    for replica_addr in [addr_a, addr_b] {
+        let mut client = Client::connect(replica_addr).expect("connect verifier");
+        let snap = pin_when_caught_up(&mut client, final_lsn);
+        let truths =
+            probe_pinned(&mut client, snap.generation).expect("replica died during verification");
+        client.unpin().expect("unpin verifier");
+        assert_read_matches_prefix(
+            &sources,
+            &ReplicaRead {
+                last_lsn: snap.last_lsn,
+                truths,
+            },
+        );
+        // An LSN from the future is a typed refusal, not a hang or a lie.
+        match client.pin_at(final_lsn + 1000) {
+            Err(winslett_serve::ClientError::Server(e)) => {
+                assert_eq!(e.kind, winslett_serve::ErrorKindWire::LagBehind);
+            }
+            other => panic!("expected LagBehind for a future LSN, got {other:?}"),
+        }
+    }
+    if restart_follower {
+        let mut client = Client::connect(addr_b).expect("connect stats");
+        let stats = client.stats().expect("replica stats");
+        assert_eq!(
+            stats.replica_snapshots_loaded, 1,
+            "the restarted follower must have bootstrapped from the checkpoint snapshot"
+        );
+    }
+
+    // Every state either replica ever exposed was a serial prefix.
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    for sampler in samplers {
+        let reads = sampler.join().expect("sampler thread");
+        for read in &reads {
+            assert_read_matches_prefix(&sources, read);
+        }
+    }
+
+    handle_a.request_shutdown();
+    handle_b.request_shutdown();
+    thread_a.join().expect("replica a thread");
+    thread_b.join().expect("replica b thread");
+    drop(writer);
+    setup.shutdown().expect("shutdown");
+    running.join().expect("server thread").expect("run");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn replicas_only_expose_serial_prefixes(
+        writer_scripts in prop::collection::vec(
+            prop::collection::vec(0..POOL.len(), 1..4),
+            1..4,
+        ),
+        restart_follower in any::<bool>(),
+    ) {
+        run_replica_scenario(writer_scripts, restart_follower);
+    }
+}
+
+/// Deterministic dense shape with a follower restart mid-stream.
+#[test]
+fn follower_restart_mid_stream_converges() {
+    let scripts = vec![vec![0, 1, 2, 3], vec![4, 5, 6, 0], vec![2, 1, 0, 5]];
+    run_replica_scenario(scripts, true);
 }
