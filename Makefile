@@ -7,9 +7,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt fmt-check clippy build test faults lint lint-conflicts bench-smoke serve-smoke compaction-smoke replication-smoke
+.PHONY: ci fmt fmt-check clippy build test faults lint lint-conflicts bench-smoke serve-smoke compaction-smoke replication-smoke connections-smoke
 
-ci: fmt-check clippy build test faults lint lint-conflicts bench-smoke compaction-smoke replication-smoke serve-smoke
+ci: fmt-check clippy build test faults lint lint-conflicts bench-smoke compaction-smoke replication-smoke connections-smoke serve-smoke
 	@echo "ci: all checks passed"
 
 fmt:
@@ -67,6 +67,13 @@ compaction-smoke:
 # every kill point recovered consistently.
 replication-smoke:
 	$(CARGO) run --release -q -p winslett-bench --bin harness -- replication --quick --out target/bench-smoke
+
+# Short concurrent-socket run (small tiers) of the epoll reactor vs the
+# --threaded baseline; the harness writes BENCH_connections.json and
+# fails unless the shape validates — in particular, unless the epoll
+# rows actually held every socket their tier asked for.
+connections-smoke:
+	$(CARGO) run --release -q -p winslett-bench --bin harness -- connections --quick --out target/bench-smoke
 
 # Boots a winslett-serve instance on an ephemeral port and drives a full
 # scripted client session against it: schema declares, an LDML update, a

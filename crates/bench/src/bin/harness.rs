@@ -11,8 +11,8 @@
 
 use winslett_bench::Table;
 use winslett_bench::{
-    compaction_bench, conflicts_bench, experiments, query_bench, replication_bench, server_bench,
-    wal_bench, worlds_bench,
+    compaction_bench, conflicts_bench, connections_bench, experiments, query_bench,
+    replication_bench, server_bench, wal_bench, worlds_bench,
 };
 
 fn main() {
@@ -190,6 +190,32 @@ fn main() {
         // Same re-read-and-validate gate as BENCH_worlds.json.
         let reread = std::fs::read_to_string(&path).expect("read back BENCH_replication.json");
         match replication_bench::validate_replication_bench(&reread) {
+            Ok(_) => eprintln!("{path}: shape OK"),
+            Err(e) => {
+                eprintln!("{path}: shape validation FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if want("connections") {
+        let bench = connections_bench::run_connections_bench(
+            if quick {
+                &[50, 200]
+            } else {
+                &[100, 1000, 10000]
+            },
+            if quick { 60 } else { 200 },
+        );
+        tables.push(connections_bench::connections_table(&bench));
+        let path = match &out_dir {
+            Some(dir) => format!("{dir}/BENCH_connections.json"),
+            None => "BENCH_connections.json".to_owned(),
+        };
+        let text = serde_json::to_string_pretty(&bench).expect("serializable");
+        std::fs::write(&path, &text).expect("write BENCH_connections.json");
+        // Same re-read-and-validate gate as BENCH_worlds.json.
+        let reread = std::fs::read_to_string(&path).expect("read back BENCH_connections.json");
+        match connections_bench::validate_connections_bench(&reread) {
             Ok(_) => eprintln!("{path}: shape OK"),
             Err(e) => {
                 eprintln!("{path}: shape validation FAILED: {e}");

@@ -159,6 +159,7 @@ fn run_side(batch: bool, writers: usize, window: Duration) -> (SideResult, Vec<(
             // This experiment isolates the batching effect; the compactor
             // would add its own publications to the counts under test.
             compaction: None,
+            threaded: false,
         },
     )
     .expect("bench server bind");

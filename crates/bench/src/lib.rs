@@ -8,6 +8,7 @@
 
 pub mod compaction_bench;
 pub mod conflicts_bench;
+pub mod connections_bench;
 pub mod experiments;
 pub mod query_bench;
 pub mod replication_bench;
@@ -21,6 +22,9 @@ pub use compaction_bench::{
 };
 pub use conflicts_bench::{
     conflicts_table, run_conflicts_bench, validate_conflicts_bench, ConflictsBench,
+};
+pub use connections_bench::{
+    connections_table, run_connections_bench, validate_connections_bench, ConnectionsBench,
 };
 pub use query_bench::{query_table, run_query_bench, validate_query_bench, QueryBench};
 pub use replication_bench::{

@@ -64,6 +64,14 @@ impl TheorySnapshot {
         self.generation
     }
 
+    /// A weak handle on the frozen theory's allocation: lets an observer
+    /// (the server's retained-generation gauge) test whether this
+    /// generation is still held alive anywhere — by a snapshot clone or a
+    /// [`SnapshotReader`] — without extending its lifetime.
+    pub fn theory_weak(&self) -> std::sync::Weak<Theory> {
+        Arc::downgrade(&self.theory)
+    }
+
     /// A fresh per-connection reader over this snapshot.
     pub fn reader(&self) -> SnapshotReader {
         SnapshotReader::new(self.clone())

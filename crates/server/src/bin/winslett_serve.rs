@@ -15,7 +15,7 @@ winslett-serve — a concurrent LDML database server
 USAGE:
   winslett-serve serve --dir PATH [--addr HOST:PORT] [--idle-secs N]
                        [--max-conns N] [--group-commit N] [--no-batch]
-                       [--compact | --no-compact]
+                       [--compact | --no-compact] [--threaded]
   winslett-serve serve --replica-of HOST:PORT [--addr HOST:PORT]
                        [--idle-secs N] [--max-conns N]
   winslett-serve repl  --addr HOST:PORT
@@ -31,6 +31,9 @@ serve   Serve a durable database from PATH (created if missing).
         --compact): a thread that snapshots the theory, runs full
         simplification off the writer lock, and atomically swaps the
         compacted theory back in, replaying the writes that raced it.
+        --threaded serves with the classic blocking
+        thread-per-connection loop instead of the default nonblocking
+        epoll reactor (kept as the benchmarking baseline).
         With --replica-of, serve a read-only WAL-shipping replica of the
         primary at HOST:PORT instead: the database is rebuilt in memory
         from the primary's checkpoint and WAL stream, reads (query /
@@ -139,6 +142,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         idle_timeout: Duration::from_secs(idle_secs.max(1)),
         batch_writes: !args.iter().any(|a| a == "--no-batch"),
         compaction,
+        threaded: args.iter().any(|a| a == "--threaded"),
     };
     let (server, report) = Server::bind(
         addr,

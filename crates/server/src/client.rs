@@ -51,6 +51,42 @@ impl Client {
         Ok(Client { stream })
     }
 
+    /// Connects with a bounded dial, then installs `read` as the
+    /// socket-level response deadline (`SO_RCVTIMEO`; `None` blocks
+    /// forever). A response that misses the deadline surfaces as the
+    /// typed [`FrameError::TimedOut`] instead of hanging the caller —
+    /// this is how the replica's tailer notices a dead primary.
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        connect: Duration,
+        read: Option<Duration>,
+    ) -> Result<Self, ClientError> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(|e| FrameError::Io(e.to_string()))?
+            .next()
+            .ok_or_else(|| FrameError::Io("address resolved to nothing".into()))?;
+        let stream = TcpStream::connect_timeout(&addr, connect)
+            .map_err(|e| FrameError::Io(e.to_string()))?;
+        let _ = stream.set_nodelay(true);
+        stream
+            .set_read_timeout(read)
+            .map_err(|e| FrameError::Io(e.to_string()))?;
+        Ok(Client { stream })
+    }
+
+    /// Surrenders the underlying stream — for protocol flows that leave
+    /// request/response framing (the replica's subscription stream).
+    pub fn into_stream(self) -> TcpStream {
+        self.stream
+    }
+
+    /// Borrows the underlying stream, e.g. to tune socket options the
+    /// typed API does not cover.
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
     /// Sets the read timeout for responses (`None` blocks forever).
     pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
         self.stream

@@ -43,6 +43,7 @@
 
 pub mod client;
 pub mod protocol;
+mod reactor;
 pub mod replica;
 pub mod server;
 

@@ -167,6 +167,207 @@ pub fn decode<T: Deserialize>(payload: &[u8]) -> Result<T, FrameError> {
     serde_json::from_str(text).map_err(|e| FrameError::Decode(e.to_string()))
 }
 
+// ----- nonblocking incremental framing ---------------------------------------
+
+/// How a nonblocking fill ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FillStatus {
+    /// Bytes appended to the buffer by this call.
+    pub received: usize,
+    /// The peer closed its write side (EOF observed).
+    pub eof: bool,
+}
+
+/// Per-connection receive buffer for a nonblocking socket: bytes
+/// accumulate across partial reads and frames are decoded **in place** —
+/// [`FrameBuf::next_frame`] parses the length/CRC header straight out of
+/// the buffer and hands back the payload's range, so the only copy a
+/// request ever makes is the kernel's copy into this buffer. The range
+/// feeds [`decode`] as a borrowed `&[u8]` slice; no intermediate `Vec`.
+#[derive(Debug, Default)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    /// Start of the unconsumed region; everything before it belongs to
+    /// frames already handed out and is reclaimed by `compact`.
+    start: usize,
+}
+
+impl FrameBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drains the readable bytes of `r` (which must be nonblocking) into
+    /// the buffer. `WouldBlock` is the normal stop, not an error; EOF is
+    /// reported in the status so the caller can distinguish a clean close
+    /// (no pending bytes) from a torn frame.
+    pub fn fill_nonblocking(&mut self, r: &mut impl Read) -> std::io::Result<FillStatus> {
+        const CHUNK: usize = 16 * 1024;
+        let mut received = 0usize;
+        loop {
+            let len = self.buf.len();
+            self.buf.resize(len + CHUNK, 0);
+            match r.read(&mut self.buf[len..]) {
+                Ok(0) => {
+                    self.buf.truncate(len);
+                    return Ok(FillStatus {
+                        received,
+                        eof: true,
+                    });
+                }
+                Ok(n) => {
+                    self.buf.truncate(len + n);
+                    received += n;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => self.buf.truncate(len),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    self.buf.truncate(len);
+                    return Ok(FillStatus {
+                        received,
+                        eof: false,
+                    });
+                }
+                Err(e) => {
+                    self.buf.truncate(len);
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Parses the next complete frame in place. `Ok(Some(range))` is the
+    /// payload's position (valid until the next fill or `compact`);
+    /// `Ok(None)` means more bytes are needed. Oversized lengths and
+    /// checksum mismatches are the same typed errors the blocking
+    /// [`read_frame`] reports.
+    pub fn next_frame(&mut self) -> Result<Option<std::ops::Range<usize>>, FrameError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 8 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]);
+        if len > MAX_FRAME_LEN {
+            return Err(FrameError::Oversized { len });
+        }
+        let expected = u32::from_le_bytes([avail[4], avail[5], avail[6], avail[7]]);
+        let total = 8 + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let payload_start = self.start + 8;
+        let range = payload_start..payload_start + len as usize;
+        let found = crc32(&self.buf[range.clone()]);
+        if found != expected {
+            return Err(FrameError::BadCrc { expected, found });
+        }
+        self.start += total;
+        Ok(Some(range))
+    }
+
+    /// The payload bytes of a range returned by [`FrameBuf::next_frame`].
+    pub fn payload(&self, range: std::ops::Range<usize>) -> &[u8] {
+        &self.buf[range]
+    }
+
+    /// Unconsumed bytes currently buffered: a partial frame, or complete
+    /// frames not yet parsed.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Reclaims consumed space. Call between pump rounds — never between
+    /// `next_frame` and the use of its range.
+    pub fn compact(&mut self) {
+        if self.start == 0 {
+            return;
+        }
+        if self.start == self.buf.len() {
+            self.buf.clear();
+        } else {
+            self.buf.drain(..self.start);
+        }
+        self.start = 0;
+    }
+}
+
+/// Per-connection transmit buffer: responses are framed into it and
+/// flushed opportunistically; whatever the socket won't take stays queued
+/// until the reactor sees `EPOLLOUT`.
+#[derive(Debug, Default)]
+pub struct OutBuf {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl OutBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// No bytes awaiting the socket.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.buf.len()
+    }
+
+    /// Bytes awaiting the socket.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Frames `payload` into the buffer — same refusal as [`write_frame`]:
+    /// an over-cap payload never reaches the stream.
+    pub fn push_frame(&mut self, payload: &[u8]) -> Result<(), FrameError> {
+        if payload.len() as u64 > MAX_FRAME_LEN as u64 {
+            return Err(FrameError::Oversized {
+                len: payload.len().min(u32::MAX as usize) as u32,
+            });
+        }
+        self.buf.reserve(8 + payload.len());
+        self.buf
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&crc32(payload).to_le_bytes());
+        self.buf.extend_from_slice(payload);
+        Ok(())
+    }
+
+    /// Serializes `value` into one queued frame.
+    pub fn push_value<T: Serialize>(&mut self, value: &T) -> Result<(), FrameError> {
+        let json = serde_json::to_string(value).map_err(|e| FrameError::Decode(e.to_string()))?;
+        self.push_frame(json.as_bytes())
+    }
+
+    /// Writes as much as the (nonblocking) socket will take and returns
+    /// the byte count; `WouldBlock` is the normal stop. A fully drained
+    /// buffer resets so its capacity is reused.
+    pub fn flush_nonblocking(&mut self, w: &mut impl Write) -> std::io::Result<usize> {
+        let mut wrote = 0usize;
+        while self.start < self.buf.len() {
+            match w.write(&self.buf[self.start..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => {
+                    self.start += n;
+                    wrote += n;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+        Ok(wrote)
+    }
+}
+
 // ----- request/response vocabulary ------------------------------------------
 
 /// One client request.
@@ -329,6 +530,12 @@ pub struct StatsReply {
     /// rises on `Pin`, falls on `Unpin` *and* when a pinned connection is
     /// closed or reaped).
     pub pinned_generations: u64,
+    /// Superseded snapshot generations whose `Arc<Theory>` allocation is
+    /// still alive — retained by a pin, an in-flight read, or a cached
+    /// session (gauge; 0 once eager release has let them all go). Absent
+    /// from older servers.
+    #[serde(default)]
+    pub retained_generations: u64,
     /// Background-compaction swaps installed.
     pub compactions: u64,
     /// Compaction rounds abandoned (swap-time replay failure).
@@ -369,6 +576,23 @@ pub struct CatchupReply {
     /// The primary's next LSN at subscription time; the follower is
     /// caught up once it has applied everything below this.
     pub next_lsn: u64,
+    /// `true` when the snapshot was too large to ride inline: `snapshot`
+    /// is `None` and the document follows as a series of
+    /// [`Response::CatchupChunk`] frames, terminated by the chunk whose
+    /// `done` flag is set. Absent (false) from older primaries.
+    #[serde(default)]
+    pub chunked: bool,
+}
+
+/// One piece of a chunked catch-up snapshot: the JSON document of the
+/// [`WalSnapshot`], split on character boundaries into frame-sized parts.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CatchupChunkReply {
+    /// The next run of the snapshot document.
+    pub part: String,
+    /// Set on the final chunk — the stream's terminator; the `WalBatch`
+    /// backlog begins after it.
+    pub done: bool,
 }
 
 /// One batch of shipped WAL records — the backlog during catch-up, then
@@ -459,10 +683,85 @@ pub enum Response {
     Pong,
     /// First answer on a subscription stream: catch-up material.
     Catchup(Box<CatchupReply>),
+    /// One piece of a chunked catch-up snapshot; follows a
+    /// `Catchup { chunked: true, .. }` reply.
+    CatchupChunk(CatchupChunkReply),
     /// One shipped batch on a subscription stream (empty = heartbeat).
     WalBatch(WalBatchReply),
     /// The request failed; the connection stays usable.
     Error(WireError),
+}
+
+// ----- catch-up snapshot chunking --------------------------------------------
+
+/// Headroom for the `Catchup` wrapper around an inline snapshot: the enum
+/// tag, the `next_lsn` and `chunked` fields, and frame overhead.
+const CATCHUP_WRAPPER_HEADROOM: usize = 256;
+
+/// Plans the opening frames of a subscription stream. A snapshot that
+/// fits the frame cap rides inline in the `Catchup` reply exactly as it
+/// always has; a larger one is announced with `chunked: true` and then
+/// streamed as [`Response::CatchupChunk`] frames, split on character
+/// boundaries, terminated by the chunk whose `done` flag is set.
+pub fn catchup_frames(
+    snapshot: Option<WalSnapshot>,
+    next_lsn: u64,
+) -> Result<Vec<Response>, FrameError> {
+    catchup_frames_with_budget(snapshot, next_lsn, MAX_FRAME_LEN as usize)
+}
+
+/// The budget-parameterized core, so tests can probe the cap boundary
+/// exactly (±1 byte) without minting a 4 MiB theory.
+fn catchup_frames_with_budget(
+    snapshot: Option<WalSnapshot>,
+    next_lsn: u64,
+    budget: usize,
+) -> Result<Vec<Response>, FrameError> {
+    let Some(snap) = snapshot else {
+        return Ok(vec![Response::Catchup(Box::new(CatchupReply {
+            snapshot: None,
+            next_lsn,
+            chunked: false,
+        }))]);
+    };
+    let json = serde_json::to_string(&snap).map_err(|e| FrameError::Decode(e.to_string()))?;
+    if json.len() + CATCHUP_WRAPPER_HEADROOM <= budget {
+        return Ok(vec![Response::Catchup(Box::new(CatchupReply {
+            snapshot: Some(snap),
+            next_lsn,
+            chunked: false,
+        }))]);
+    }
+    let mut frames = vec![Response::Catchup(Box::new(CatchupReply {
+        snapshot: None,
+        next_lsn,
+        chunked: true,
+    }))];
+    // Conservative raw size per part: JSON string escaping at most
+    // doubles a JSON document (quotes and backslashes), so a quarter of
+    // the budget leaves the escaped part plus its wrapper far under cap.
+    let part_raw = (budget / 4).max(1);
+    let mut rest = json.as_str();
+    while !rest.is_empty() {
+        let mut cut = part_raw.min(rest.len());
+        while !rest.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let (part, tail) = rest.split_at(cut);
+        rest = tail;
+        frames.push(Response::CatchupChunk(CatchupChunkReply {
+            part: part.to_string(),
+            done: rest.is_empty(),
+        }));
+    }
+    Ok(frames)
+}
+
+/// Reassembles the parts collected from a chunked catch-up into the
+/// snapshot document they were split from.
+pub fn assemble_snapshot(parts: &[String]) -> Result<WalSnapshot, FrameError> {
+    let joined: String = parts.concat();
+    serde_json::from_str(&joined).map_err(|e| FrameError::Decode(e.to_string()))
 }
 
 #[cfg(test)]
@@ -584,10 +883,204 @@ mod tests {
         let catchup = Response::Catchup(Box::new(CatchupReply {
             snapshot: None,
             next_lsn: 10,
+            chunked: false,
         }));
         let mut buf = Vec::new();
         send(&mut buf, &catchup).unwrap();
         assert_eq!(recv::<Response>(&mut &buf[..]).unwrap(), catchup);
+
+        // A wire image without the chunked flag (an older primary) still
+        // decodes, defaulting to the inline interpretation.
+        let legacy = br#"{"Catchup":{"snapshot":null,"next_lsn":10}}"#;
+        let mut buf = Vec::new();
+        write_frame(&mut buf, legacy).unwrap();
+        assert_eq!(recv::<Response>(&mut &buf[..]).unwrap(), catchup);
+    }
+
+    /// A reader that hands out one byte per call, then `WouldBlock` —
+    /// the pathological peer the incremental decoder must handle.
+    struct Dribble {
+        data: Vec<u8>,
+        at: usize,
+        ready: bool,
+    }
+
+    impl Read for Dribble {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.at >= self.data.len() {
+                return Ok(0);
+            }
+            if !self.ready {
+                self.ready = true;
+                return Err(std::io::Error::from(ErrorKind::WouldBlock));
+            }
+            self.ready = false;
+            buf[0] = self.data[self.at];
+            self.at += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn framebuf_decodes_across_partial_reads() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"first").unwrap();
+        write_frame(&mut wire, b"second").unwrap();
+        let total = wire.len();
+        let mut src = Dribble {
+            data: wire,
+            at: 0,
+            ready: false,
+        };
+        let mut fb = FrameBuf::new();
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        let mut eof = false;
+        let mut rounds = 0;
+        while !eof {
+            rounds += 1;
+            assert!(rounds <= 2 * total + 4, "dribble must terminate");
+            let status = fb.fill_nonblocking(&mut src).unwrap();
+            eof = status.eof;
+            while let Some(range) = fb.next_frame().unwrap() {
+                got.push(fb.payload(range).to_vec());
+            }
+            fb.compact();
+        }
+        assert_eq!(got, vec![b"first".to_vec(), b"second".to_vec()]);
+        assert_eq!(fb.pending(), 0, "clean EOF leaves nothing buffered");
+    }
+
+    #[test]
+    fn framebuf_reports_oversized_and_bad_crc_in_place() {
+        let mut fb = FrameBuf::new();
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        wire.extend_from_slice(&0u32.to_le_bytes());
+        fb.fill_nonblocking(&mut &wire[..]).unwrap();
+        assert_eq!(
+            fb.next_frame().unwrap_err(),
+            FrameError::Oversized { len: u32::MAX }
+        );
+
+        let mut fb = FrameBuf::new();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"abcdef").unwrap();
+        let last = wire.len() - 1;
+        wire[last] ^= 0x40;
+        fb.fill_nonblocking(&mut &wire[..]).unwrap();
+        assert!(matches!(fb.next_frame(), Err(FrameError::BadCrc { .. })));
+    }
+
+    /// A writer that takes at most three bytes per call, then `WouldBlock`.
+    struct Throttle {
+        out: Vec<u8>,
+        ready: bool,
+    }
+
+    impl Write for Throttle {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if !self.ready {
+                self.ready = true;
+                return Err(std::io::Error::from(ErrorKind::WouldBlock));
+            }
+            self.ready = false;
+            let n = buf.len().min(3);
+            self.out.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn outbuf_flushes_incrementally_and_refuses_oversized() {
+        let mut ob = OutBuf::new();
+        ob.push_value(&Response::Pong).unwrap();
+        ob.push_frame(b"tail").unwrap();
+        let want_len = ob.pending();
+        let mut sink = Throttle {
+            out: Vec::new(),
+            ready: false,
+        };
+        let mut rounds = 0;
+        while !ob.is_empty() {
+            rounds += 1;
+            assert!(rounds <= want_len + 4, "throttle must drain");
+            ob.flush_nonblocking(&mut sink).unwrap();
+        }
+        assert_eq!(sink.out.len(), want_len);
+        let mut r = &sink.out[..];
+        assert_eq!(recv::<Response>(&mut r).unwrap(), Response::Pong);
+        assert_eq!(read_frame(&mut r).unwrap(), b"tail");
+
+        let err = ob
+            .push_frame(&vec![0u8; MAX_FRAME_LEN as usize + 1])
+            .unwrap_err();
+        assert!(matches!(err, FrameError::Oversized { .. }));
+        assert!(ob.is_empty(), "refused payload leaves nothing queued");
+    }
+
+    fn sample_snapshot() -> winslett_core::WalSnapshot {
+        let mut db = winslett_core::LogicalDatabase::new();
+        db.declare_relation("R", 1).unwrap();
+        db.load_fact("R", &["chunky"]).unwrap();
+        winslett_core::WalSnapshot {
+            version: 1,
+            lsn: 7,
+            theory: winslett_core::dump_theory(db.theory()),
+        }
+    }
+
+    #[test]
+    fn catchup_chunking_splits_exactly_at_the_cap() {
+        let snap = sample_snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let fits = json.len() + 256; // CATCHUP_WRAPPER_HEADROOM
+                                     // One byte of budget decides inline vs chunked: at the cap the
+                                     // snapshot rides inline, one under it streams as chunks.
+        let inline = catchup_frames_with_budget(Some(snap.clone()), 9, fits).unwrap();
+        assert_eq!(inline.len(), 1);
+        match &inline[0] {
+            Response::Catchup(c) => {
+                assert!(!c.chunked);
+                assert_eq!(c.next_lsn, 9);
+                assert_eq!(c.snapshot.as_ref().map(|s| s.lsn), Some(7));
+            }
+            other => panic!("expected Catchup, got {other:?}"),
+        }
+        let chunked = catchup_frames_with_budget(Some(snap.clone()), 9, fits - 1).unwrap();
+        assert!(chunked.len() >= 2, "announcement plus at least one chunk");
+        match &chunked[0] {
+            Response::Catchup(c) => {
+                assert!(c.chunked);
+                assert!(c.snapshot.is_none());
+                assert_eq!(c.next_lsn, 9);
+            }
+            other => panic!("expected Catchup, got {other:?}"),
+        }
+        let mut parts = Vec::new();
+        for (i, frame) in chunked[1..].iter().enumerate() {
+            match frame {
+                Response::CatchupChunk(c) => {
+                    assert_eq!(
+                        c.done,
+                        i == chunked.len() - 2,
+                        "done terminates the sequence"
+                    );
+                    parts.push(c.part.clone());
+                }
+                other => panic!("expected CatchupChunk, got {other:?}"),
+            }
+        }
+        let back = assemble_snapshot(&parts).unwrap();
+        assert_eq!(back.lsn, snap.lsn);
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+        // Every planned frame must itself fit the real cap.
+        for frame in catchup_frames(Some(snap), 9).unwrap() {
+            let wire = serde_json::to_string(&frame).unwrap();
+            assert!(wire.len() <= MAX_FRAME_LEN as usize);
+        }
     }
 
     #[test]

@@ -32,9 +32,14 @@
 //! `PinAt(x)` pins a state that agrees with the primary's history at `x`
 //! on every verdict.
 
+use crate::client::Client;
 use crate::protocol::{
-    read_frame, recv, send, CatchupReply, ErrorKindWire, ExplainReply, FrameError, QueryReply,
-    Request, Response, SnapshotReply, StatsReply, TruthReply, WalBatchReply, WireError,
+    assemble_snapshot, read_frame, recv, send, CatchupReply, ErrorKindWire, ExplainReply,
+    FrameError, QueryReply, Request, Response, SnapshotReply, StatsReply, TruthReply,
+    WalBatchReply, WireError,
+};
+use crate::reactor::{
+    Completions, NetCounters, PublishedView, Reactor, ReactorConfig, Role, RoleAction,
 };
 use crate::server::HEARTBEAT_INTERVAL;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -57,6 +62,10 @@ pub struct ReplicaOptions {
     /// path would run. On by default; benches may disable it to measure
     /// raw apply throughput.
     pub simplify_after_batch: bool,
+    /// Serve reads with the classic blocking thread-per-connection loop
+    /// instead of the epoll reactor (benchmarking baseline; the reactor
+    /// is the default).
+    pub threaded: bool,
 }
 
 impl Default for ReplicaOptions {
@@ -66,6 +75,7 @@ impl Default for ReplicaOptions {
             idle_timeout: Duration::from_secs(30),
             reconnect_backoff: Duration::from_millis(50),
             simplify_after_batch: true,
+            threaded: false,
         }
     }
 }
@@ -216,8 +226,54 @@ impl Replica {
     }
 
     /// Serves reads until shutdown is requested, then drains live
-    /// connections and joins the tailer.
+    /// connections and joins the tailer. The default I/O core is the
+    /// same epoll reactor the primary uses;
+    /// [`ReplicaOptions::threaded`] selects the classic blocking loop.
     pub fn run(self) -> Result<(), DbError> {
+        if self.shared.options.threaded {
+            self.run_threaded()
+        } else {
+            self.run_epoll()
+        }
+    }
+
+    /// The epoll event-loop read server (the tailer stays its own
+    /// thread in both modes — it is a client of the primary, not a
+    /// served connection).
+    fn run_epoll(self) -> Result<(), DbError> {
+        let Replica {
+            listener,
+            shared,
+            db_options,
+        } = self;
+        let tailer = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || run_tailer(&shared, db_options))
+        };
+        let run_result = Completions::new().and_then(|completions| {
+            Reactor::new(
+                listener,
+                ReplicaRole {
+                    shared: Arc::clone(&shared),
+                },
+                completions,
+                ReactorConfig {
+                    max_connections: shared.options.max_connections,
+                    idle_timeout: shared.options.idle_timeout,
+                },
+                Arc::clone(&shared.shutdown),
+                Arc::clone(&shared.active),
+            )
+            .and_then(Reactor::run)
+        });
+        shared.shutdown.store(true, Ordering::SeqCst);
+        let _ = tailer.join();
+        run_result?;
+        Ok(())
+    }
+
+    /// The classic blocking loop: one kernel thread per connection.
+    fn run_threaded(self) -> Result<(), DbError> {
         let Replica {
             listener,
             shared,
@@ -257,6 +313,67 @@ impl Replica {
         let _ = tailer.join();
         Ok(())
     }
+}
+
+/// The replica half of the reactor: reads, pins, and liveness are the
+/// reactor's own; everything the role sees is either `Stats` (answered
+/// inline — all counters are atomics) or write-shaped, refused with the
+/// typed `ReadOnly` error. No writer thread exists on a replica, so no
+/// request is ever deferred.
+struct ReplicaRole {
+    shared: Arc<ReplicaShared>,
+}
+
+impl Role for ReplicaRole {
+    fn counters(&self) -> NetCounters<'_> {
+        let s = &self.shared.stats;
+        NetCounters {
+            accepted: &s.accepted,
+            rejected_busy: &s.rejected_busy,
+            requests: &s.requests,
+            reads: &s.reads,
+            idle_closes: &s.idle_closes,
+            protocol_errors: &s.protocol_errors,
+            pinned_generations: &s.pinned_generations,
+            lag_refusals: &s.lag_refusals,
+        }
+    }
+
+    fn published(&self) -> PublishedView {
+        let p = published(&self.shared);
+        PublishedView {
+            snapshot: p.snapshot.clone(),
+            updates_applied: self.shared.stats.replica_records.load(Ordering::Relaxed),
+            last_lsn: p.last_lsn,
+        }
+    }
+
+    fn busy_message(&self, active: usize, cap: usize) -> String {
+        format!("replica busy: {active} connections, cap {cap}")
+    }
+
+    fn lag_message(&self, have: u64, want: u64) -> String {
+        format!("replica applied through lsn {have} but the pin demands lsn {want}")
+    }
+
+    fn handle(&self, _token: u64, _seq: u64, _draining: bool, request: Request) -> RoleAction {
+        RoleAction::Reply(match request {
+            Request::Stats => Response::Stats(Box::new(stats_reply(&self.shared))),
+            Request::Execute(_)
+            | Request::DeclareRelation(..)
+            | Request::DeclareAttribute(_)
+            | Request::LoadFact(..)
+            | Request::LoadWff(_)
+            | Request::Checkpoint
+            | Request::Subscribe(_) => read_only(),
+            other => Response::Error(WireError {
+                kind: ErrorKindWire::BadRequest,
+                message: format!("unroutable request: {other:?}"),
+            }),
+        })
+    }
+
+    fn generation_moved(&self) {}
 }
 
 /// Sends the typed `Busy` rejection (best-effort) and closes.
@@ -322,14 +439,17 @@ fn tail_once(
     db: &mut LogicalDatabase,
     next_lsn: &mut u64,
 ) -> TailExit {
-    let mut stream = match TcpStream::connect_timeout(&shared.primary, Duration::from_secs(2)) {
-        Ok(s) => s,
+    // The primary heartbeats every HEARTBEAT_INTERVAL while idle; four
+    // missed beats means the stream (or the primary) is gone — the
+    // client's read deadline turns that into a typed `TimedOut` below.
+    let mut stream = match Client::connect_with_timeout(
+        shared.primary,
+        Duration::from_secs(2),
+        Some(HEARTBEAT_INTERVAL * 4),
+    ) {
+        Ok(c) => c.into_stream(),
         Err(_) => return TailExit::NeverConnected,
     };
-    let _ = stream.set_nodelay(true);
-    // The primary heartbeats every HEARTBEAT_INTERVAL while idle; four
-    // missed beats means the stream (or the primary) is gone.
-    let _ = stream.set_read_timeout(Some(HEARTBEAT_INTERVAL * 4));
     if send(&mut stream, &Request::Subscribe(*next_lsn)).is_err() {
         return TailExit::NeverConnected;
     }
@@ -337,7 +457,30 @@ fn tail_once(
         Ok(Response::Catchup(c)) => *c,
         Ok(Response::Error(_)) | Ok(_) | Err(_) => return TailExit::NeverConnected,
     };
-    if let Some(snap) = catchup.snapshot {
+    // A snapshot past the frame cap arrives as CatchupChunk frames after
+    // a `chunked: true` announcement; reassemble before restoring.
+    let snapshot = if catchup.chunked {
+        let mut parts = Vec::new();
+        loop {
+            match recv::<Response>(&mut stream) {
+                Ok(Response::CatchupChunk(c)) => {
+                    let done = c.done;
+                    parts.push(c.part);
+                    if done {
+                        break;
+                    }
+                }
+                Ok(_) | Err(_) => return TailExit::NeverConnected,
+            }
+        }
+        match assemble_snapshot(&parts) {
+            Ok(s) => Some(s),
+            Err(_) => return TailExit::NeverConnected,
+        }
+    } else {
+        catchup.snapshot
+    };
+    if let Some(snap) = snapshot {
         // Our cursor predates the primary's checkpoint: restart from the
         // checkpoint image, exactly as recovery would.
         match restore_theory(&snap.theory) {
@@ -664,26 +807,31 @@ impl ReplicaConnection {
     }
 
     fn stats(&mut self) -> Response {
-        let s = &self.shared.stats;
-        let p = published(&self.shared);
-        let reply = StatsReply {
-            accepted: s.accepted.load(Ordering::Relaxed),
-            rejected_busy: s.rejected_busy.load(Ordering::Relaxed),
-            requests: s.requests.load(Ordering::Relaxed),
-            reads: s.reads.load(Ordering::Relaxed),
-            idle_closes: s.idle_closes.load(Ordering::Relaxed),
-            protocol_errors: s.protocol_errors.load(Ordering::Relaxed),
-            pinned_generations: s.pinned_generations.load(Ordering::Relaxed),
-            replica_batches: s.replica_batches.load(Ordering::Relaxed),
-            replica_records: s.replica_records.load(Ordering::Relaxed),
-            replica_snapshots_loaded: s.replica_snapshots_loaded.load(Ordering::Relaxed),
-            replica_reconnects: s.replica_reconnects.load(Ordering::Relaxed),
-            lag_refusals: s.lag_refusals.load(Ordering::Relaxed),
-            generation: p.snapshot.generation(),
-            next_lsn: s.next_lsn.load(Ordering::Relaxed),
-            ..StatsReply::default()
-        };
-        Response::Stats(Box::new(reply))
+        Response::Stats(Box::new(stats_reply(&self.shared)))
+    }
+}
+
+/// Builds the replica's stats reply — everything is an atomic or the
+/// published snapshot, so no lock beyond the publication slot is taken.
+fn stats_reply(shared: &ReplicaShared) -> StatsReply {
+    let s = &shared.stats;
+    let p = published(shared);
+    StatsReply {
+        accepted: s.accepted.load(Ordering::Relaxed),
+        rejected_busy: s.rejected_busy.load(Ordering::Relaxed),
+        requests: s.requests.load(Ordering::Relaxed),
+        reads: s.reads.load(Ordering::Relaxed),
+        idle_closes: s.idle_closes.load(Ordering::Relaxed),
+        protocol_errors: s.protocol_errors.load(Ordering::Relaxed),
+        pinned_generations: s.pinned_generations.load(Ordering::Relaxed),
+        replica_batches: s.replica_batches.load(Ordering::Relaxed),
+        replica_records: s.replica_records.load(Ordering::Relaxed),
+        replica_snapshots_loaded: s.replica_snapshots_loaded.load(Ordering::Relaxed),
+        replica_reconnects: s.replica_reconnects.load(Ordering::Relaxed),
+        lag_refusals: s.lag_refusals.load(Ordering::Relaxed),
+        generation: p.snapshot.generation(),
+        next_lsn: s.next_lsn.load(Ordering::Relaxed),
+        ..StatsReply::default()
     }
 }
 
@@ -821,6 +969,100 @@ mod tests {
         replica_thread.join().expect("replica thread");
         writer.shutdown().expect("shutdown primary");
         primary_thread.join().expect("primary thread");
+    }
+
+    #[test]
+    fn replica_assembles_a_chunked_catchup_bootstrap() {
+        use crate::protocol::{CatchupChunkReply, CatchupReply};
+        use winslett_core::wal::{Catchup, DurableDatabase};
+        use winslett_core::{MemStorage, WalOptions};
+
+        // Real checkpoint material to serve, prepared in-process.
+        let (mut db, _) = DurableDatabase::open(
+            MemStorage::new(),
+            DbOptions::default(),
+            WalOptions::default(),
+        )
+        .expect("open");
+        db.declare_relation("R", 1).expect("declare");
+        db.execute("INSERT R(a) WHERE T").expect("insert");
+        db.checkpoint().expect("checkpoint");
+        let next_lsn = db.next_lsn();
+        let snap = match db.catchup_from(0).expect("catchup") {
+            Catchup::Snapshot(snap, _) => *snap,
+            Catchup::Suffix(_) => panic!("checkpoint must force the snapshot path"),
+        };
+        let pin_lsn = snap.lsn.saturating_sub(1);
+
+        // A hand-rolled primary: one subscription, answered with the
+        // snapshot split into deliberately tiny CatchupChunk parts — the
+        // exact wire shape a >4 MiB bootstrap produces, without the 4 MiB.
+        let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind fake primary");
+        let primary_addr = listener.local_addr().expect("addr");
+        let fake = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().expect("accept");
+            match recv::<Request>(&mut s) {
+                Ok(Request::Subscribe(0)) => {}
+                other => panic!("expected Subscribe(0), got {other:?}"),
+            }
+            send(
+                &mut s,
+                &Response::Catchup(Box::new(CatchupReply {
+                    snapshot: None,
+                    next_lsn,
+                    chunked: true,
+                })),
+            )
+            .expect("announce");
+            let json = serde_json::to_string(&snap).expect("encode");
+            let bytes = json.as_bytes();
+            let mut at = 0usize;
+            while at < bytes.len() {
+                let mut cut = (at + 64).min(bytes.len());
+                while !json.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                let part = json[at..cut].to_string();
+                at = cut;
+                send(
+                    &mut s,
+                    &Response::CatchupChunk(CatchupChunkReply {
+                        part,
+                        done: at == bytes.len(),
+                    }),
+                )
+                .expect("chunk");
+            }
+            // Heartbeats until the replica hangs up.
+            while send(
+                &mut s,
+                &Response::WalBatch(WalBatchReply {
+                    entries: Vec::new(),
+                }),
+            )
+            .is_ok()
+            {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        });
+
+        let (replica, handle) = boot_replica(primary_addr);
+        let replica_addr = replica.local_addr();
+        let replica_thread = std::thread::spawn(move || {
+            let _ = replica.run();
+        });
+        let mut reader = Client::connect(replica_addr).expect("connect replica");
+        let _ = pin_until_caught_up(&mut reader, pin_lsn, Duration::from_secs(5));
+        let truth = reader.check("R(a)").expect("check");
+        assert!(truth.certain, "R(a) folded into the chunked snapshot");
+        reader.unpin().expect("unpin");
+        let stats = reader.stats().expect("stats");
+        assert_eq!(stats.replica_snapshots_loaded, 1, "snapshot path taken");
+
+        drop(reader);
+        handle.request_shutdown();
+        replica_thread.join().expect("replica thread");
+        fake.join().expect("fake primary thread");
     }
 
     #[test]

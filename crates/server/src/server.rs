@@ -34,14 +34,18 @@
 //!   group-commit buffered WAL records — and hands the storage back.
 
 use crate::protocol::{
-    read_frame, send, CatchupReply, CheckpointReply, ErrorKindWire, ExecReply, ExplainReply,
+    catchup_frames, read_frame, send, CheckpointReply, ErrorKindWire, ExecReply, ExplainReply,
     FrameError, QueryReply, Request, Response, SnapshotReply, StatsReply, TruthReply,
     WalBatchReply, WireError, WireVerdict, MAX_FRAME_LEN,
+};
+use crate::reactor::{
+    Completions, Done, NetCounters, PublishedView, Reactor, ReactorConfig, Role, RoleAction,
+    TOKEN_NONE,
 };
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError, RwLock, TryLockError};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError, RwLock, TryLockError, Weak};
 use std::time::{Duration, Instant};
 use winslett_analyze::ConflictAnalyzer;
 use winslett_core::explain::Verdict;
@@ -50,6 +54,7 @@ use winslett_core::wal::{Catchup, DurableDatabase, RecoveryReport, Storage, WalO
 use winslett_core::{DbError, DbOptions, WalEntry};
 use winslett_gua::SimplifyLevel;
 use winslett_logic::AccessSet;
+use winslett_theory::Theory;
 
 /// How often an idle subscription stream emits an empty heartbeat batch,
 /// proving liveness to the follower (whose read timeout is a multiple of
@@ -74,6 +79,11 @@ pub struct ServerOptions {
     /// thread. On by default — the trigger thresholds keep it dormant on
     /// small databases.
     pub compaction: Option<CompactionPolicy>,
+    /// Serve with the classic blocking thread-per-connection loop
+    /// instead of the epoll reactor. Kept as the benchmarking baseline
+    /// (`BENCH_connections.json` compares the two); the reactor is the
+    /// default and the gated path.
+    pub threaded: bool,
 }
 
 impl Default for ServerOptions {
@@ -83,6 +93,7 @@ impl Default for ServerOptions {
             idle_timeout: Duration::from_secs(30),
             batch_writes: true,
             compaction: Some(CompactionPolicy::default()),
+            threaded: false,
         }
     }
 }
@@ -152,6 +163,9 @@ pub struct ServerStats {
     /// Snapshot generations currently pinned by connections (gauge:
     /// `Pin` raises it, `Unpin` and pinned-connection teardown lower it).
     pub pinned_generations: AtomicU64,
+    /// Superseded published generations whose `Arc<Theory>` is still
+    /// alive (gauge, refreshed on publication and stats reads).
+    pub retained_generations: AtomicU64,
     /// Background-compaction swaps installed.
     pub compactions: AtomicU64,
     /// Compaction rounds abandoned at swap time.
@@ -193,6 +207,16 @@ struct Shared<S: Storage> {
     active: Arc<AtomicUsize>,
     options: ServerOptions,
     addr: SocketAddr,
+    /// The reactor's completion queue, installed in epoll mode so
+    /// [`ship`] can wake the event loop when records land for streaming
+    /// subscribers. `None` in threaded mode (subscription threads block
+    /// on their channels directly).
+    notify: Mutex<Option<Arc<Completions>>>,
+    /// Weak handles on superseded published generations, backing the
+    /// `retained_generations` gauge: an entry whose upgrade fails has
+    /// been fully released (no pin, cached session, or in-flight read
+    /// holds its `Arc<Theory>` anymore) and is pruned.
+    retained: Mutex<Vec<(u64, Weak<Theory>)>>,
 }
 
 /// Upper bound on writes coalesced into one batch, so a follower's ack
@@ -209,10 +233,37 @@ enum WriteOp {
     LoadWff(String),
 }
 
-/// One queued write plus the slot its reply travels back through.
+/// Where a write's reply goes: a blocking connection thread's slot, or
+/// the reactor's completion queue.
+#[derive(Clone)]
+enum WriteDone {
+    /// Fill the slot and wake the waiting connection thread.
+    Slot(Arc<ReplySlot>),
+    /// Post to the reactor, tagged for the awaiting connection.
+    Reactor {
+        token: u64,
+        seq: u64,
+        completions: Arc<Completions>,
+    },
+}
+
+impl WriteDone {
+    fn fill(&self, r: Response) {
+        match self {
+            WriteDone::Slot(slot) => slot.fill(r),
+            WriteDone::Reactor {
+                token,
+                seq,
+                completions,
+            } => completions.post(*token, *seq, Done::Resp(r)),
+        }
+    }
+}
+
+/// One queued write plus the path its reply travels back through.
 struct WriteJob {
     op: WriteOp,
-    slot: Arc<ReplySlot>,
+    done: WriteDone,
 }
 
 /// A single-use mailbox: the leader fills it, the submitter waits on it.
@@ -324,6 +375,8 @@ impl<S: Storage + Send + 'static> Server<S> {
             active: Arc::new(AtomicUsize::new(0)),
             options,
             addr,
+            notify: Mutex::new(None),
+            retained: Mutex::new(Vec::new()),
         });
         Ok((Server { listener, shared }, report))
     }
@@ -346,7 +399,81 @@ impl<S: Storage + Send + 'static> Server<S> {
     /// Serves until shutdown is requested, drains live connections, then
     /// closes the durable database — **flushing buffered WAL records** —
     /// and returns the storage (tests reopen it to inspect final state).
+    ///
+    /// The default I/O core is the nonblocking epoll reactor (one thread
+    /// owning every socket, writes funneled to a single writer thread,
+    /// SAT reads on a small worker pool); `ServerOptions::threaded`
+    /// selects the classic blocking thread-per-connection loop instead.
     pub fn run(self) -> Result<S, DbError> {
+        if self.shared.options.threaded {
+            self.run_threaded()
+        } else {
+            self.run_epoll()
+        }
+    }
+
+    /// The epoll event-loop server.
+    fn run_epoll(self) -> Result<S, DbError> {
+        let Server { listener, shared } = self;
+        let compactor = shared.options.compaction.clone().map(|policy| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || run_compactor(&shared, &policy))
+        });
+        let completions = Completions::new()?;
+        *shared.notify.lock().unwrap_or_else(PoisonError::into_inner) =
+            Some(Arc::clone(&completions));
+        let chan = Arc::new(WriterChan::default());
+        let writer_thread = {
+            let shared = Arc::clone(&shared);
+            let chan = Arc::clone(&chan);
+            let completions = Arc::clone(&completions);
+            std::thread::spawn(move || run_writer(&shared, &chan, &completions))
+        };
+        let role = PrimaryRole {
+            shared: Arc::clone(&shared),
+            chan: Arc::clone(&chan),
+            completions: Arc::clone(&completions),
+        };
+        let config = ReactorConfig {
+            max_connections: shared.options.max_connections,
+            idle_timeout: shared.options.idle_timeout,
+        };
+        let run_result = Reactor::new(
+            listener,
+            role,
+            Arc::clone(&completions),
+            config,
+            Arc::clone(&shared.shutdown),
+            Arc::clone(&shared.active),
+        )
+        .and_then(Reactor::run);
+        // Whether the reactor drained cleanly or died on an epoll error,
+        // the teardown discipline is the same: flag the shutdown so the
+        // compactor exits, stop the writer thread after it finishes the
+        // queued work, then close the database.
+        shared.shutdown.store(true, Ordering::SeqCst);
+        chan.close();
+        let _ = writer_thread.join();
+        *shared.notify.lock().unwrap_or_else(PoisonError::into_inner) = None;
+        if let Some(handle) = compactor {
+            let _ = handle.join();
+        }
+        run_result?;
+        let db = shared
+            .writer
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        match db {
+            Some(db) => db.close(),
+            None => Err(DbError::Storage {
+                message: "writer already closed".into(),
+            }),
+        }
+    }
+
+    /// The classic blocking loop: one kernel thread per connection.
+    fn run_threaded(self) -> Result<S, DbError> {
         let Server { listener, shared } = self;
         let compactor = shared.options.compaction.clone().map(|policy| {
             let shared = Arc::clone(&shared);
@@ -693,13 +820,25 @@ impl<S: Storage + Send + 'static> Connection<S> {
             Catchup::Suffix(entries) => (None, entries),
             Catchup::Snapshot(snap, entries) => (Some(*snap), entries),
         };
-        if send(
-            &mut self.stream,
-            &Response::Catchup(Box::new(CatchupReply { snapshot, next_lsn })),
-        )
-        .is_err()
-        {
-            return;
+        // A snapshot too large for one frame streams as CatchupChunk
+        // frames after a `chunked: true` announcement.
+        let opening = match catchup_frames(snapshot, next_lsn) {
+            Ok(frames) => frames,
+            Err(_) => {
+                let _ = send(
+                    &mut self.stream,
+                    &Response::Error(WireError {
+                        kind: ErrorKindWire::Internal,
+                        message: "catch-up snapshot serialization failed".into(),
+                    }),
+                );
+                return;
+            }
+        };
+        for frame in &opening {
+            if send(&mut self.stream, frame).is_err() {
+                return;
+            }
         }
         for chunk in chunk_entries(backlog) {
             if send(
@@ -772,35 +911,7 @@ impl<S: Storage + Send + 'static> Connection<S> {
         let Some(db) = guard.as_mut() else {
             return Response::Error(closed_writer());
         };
-        let lsn = db.next_lsn();
-        let response = match apply_op(db, &op) {
-            Ok((nodes_added, completion_added)) => {
-                let generation = db.db().theory().generation();
-                let snapshot = TheorySnapshot::capture(db.db().theory());
-                let updates_applied = read_published(&self.shared).updates_applied + 1;
-                publish(
-                    &self.shared,
-                    Published {
-                        snapshot,
-                        updates_applied,
-                        last_lsn: lsn,
-                    },
-                );
-                self.shared.stats.updates.fetch_add(1, Ordering::Relaxed);
-                Response::Executed(ExecReply {
-                    lsn,
-                    generation,
-                    nodes_added,
-                    completion_added,
-                })
-            }
-            Err(e) => Response::Error(wire_error(&e)),
-        };
-        // Fan the batch out to subscribers while still holding the writer
-        // lock, so shipped batches arrive in commit order. A refused op
-        // ships nothing (its abort pair is filtered by the drain).
-        ship(&self.shared, db);
-        response
+        write_one(&self.shared, db, &op)
     }
 
     /// The batched path: enqueue the job, then either win the writer lock
@@ -819,7 +930,7 @@ impl<S: Storage + Send + 'static> Connection<S> {
                 .unwrap_or_else(PoisonError::into_inner);
             q.push_back(WriteJob {
                 op,
-                slot: Arc::clone(&slot),
+                done: WriteDone::Slot(Arc::clone(&slot)),
             });
         }
         loop {
@@ -876,45 +987,9 @@ impl<S: Storage + Send + 'static> Connection<S> {
     }
 
     fn stats(&mut self) -> Response {
-        let s = &self.shared.stats;
-        let mut reply = StatsReply {
-            accepted: s.accepted.load(Ordering::Relaxed),
-            rejected_busy: s.rejected_busy.load(Ordering::Relaxed),
-            requests: s.requests.load(Ordering::Relaxed),
-            updates: s.updates.load(Ordering::Relaxed),
-            reads: s.reads.load(Ordering::Relaxed),
-            snapshots_published: s.snapshots_published.load(Ordering::Relaxed),
-            idle_closes: s.idle_closes.load(Ordering::Relaxed),
-            protocol_errors: s.protocol_errors.load(Ordering::Relaxed),
-            write_batches: s.write_batches.load(Ordering::Relaxed),
-            coalesced_writes: s.coalesced_writes.load(Ordering::Relaxed),
-            pinned_generations: s.pinned_generations.load(Ordering::Relaxed),
-            compactions: s.compactions.load(Ordering::Relaxed),
-            compaction_aborts: s.compaction_aborts.load(Ordering::Relaxed),
-            compaction_nodes_reclaimed: s.compaction_nodes_reclaimed.load(Ordering::Relaxed),
-            compaction_swap_pause_us: s.compaction_swap_pause_us.load(Ordering::Relaxed),
-            compaction_swap_pause_max_us: s.compaction_swap_pause_max_us.load(Ordering::Relaxed),
-            records_shipped: s.records_shipped.load(Ordering::Relaxed),
-            lag_refusals: s.lag_refusals.load(Ordering::Relaxed),
-            subscribers: self
-                .shared
-                .subscribers
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .len() as u64,
-            ..StatsReply::default()
-        };
-        if let Ok(guard) = self.shared.writer.lock() {
-            if let Some(db) = guard.as_ref() {
-                let wal = db.stats();
-                reply.generation = db.db().theory().generation();
-                reply.next_lsn = db.next_lsn();
-                reply.wal_records = wal.records;
-                reply.wal_syncs = wal.syncs;
-                reply.wal_checkpoints = wal.checkpoints;
-            }
-        }
-        Response::Stats(Box::new(reply))
+        let guard = self.shared.writer.lock().ok();
+        let db = guard.as_ref().and_then(|g| g.as_ref());
+        Response::Stats(Box::new(stats_reply(&self.shared, db)))
     }
 
     fn checkpoint(&mut self) -> Response {
@@ -936,6 +1011,50 @@ impl<S: Storage + Send + 'static> Connection<S> {
 
 // ----- the write leader -----------------------------------------------------
 
+/// Builds the stats reply from the shared counters, plus the durable
+/// figures when the caller could reach the database (pass `None` when the
+/// writer is closed or its lock unavailable).
+fn stats_reply<S: Storage>(shared: &Shared<S>, db: Option<&DurableDatabase<S>>) -> StatsReply {
+    refresh_retained(shared);
+    let s = &shared.stats;
+    let mut reply = StatsReply {
+        accepted: s.accepted.load(Ordering::Relaxed),
+        rejected_busy: s.rejected_busy.load(Ordering::Relaxed),
+        requests: s.requests.load(Ordering::Relaxed),
+        updates: s.updates.load(Ordering::Relaxed),
+        reads: s.reads.load(Ordering::Relaxed),
+        snapshots_published: s.snapshots_published.load(Ordering::Relaxed),
+        idle_closes: s.idle_closes.load(Ordering::Relaxed),
+        protocol_errors: s.protocol_errors.load(Ordering::Relaxed),
+        write_batches: s.write_batches.load(Ordering::Relaxed),
+        coalesced_writes: s.coalesced_writes.load(Ordering::Relaxed),
+        pinned_generations: s.pinned_generations.load(Ordering::Relaxed),
+        retained_generations: s.retained_generations.load(Ordering::Relaxed),
+        compactions: s.compactions.load(Ordering::Relaxed),
+        compaction_aborts: s.compaction_aborts.load(Ordering::Relaxed),
+        compaction_nodes_reclaimed: s.compaction_nodes_reclaimed.load(Ordering::Relaxed),
+        compaction_swap_pause_us: s.compaction_swap_pause_us.load(Ordering::Relaxed),
+        compaction_swap_pause_max_us: s.compaction_swap_pause_max_us.load(Ordering::Relaxed),
+        records_shipped: s.records_shipped.load(Ordering::Relaxed),
+        lag_refusals: s.lag_refusals.load(Ordering::Relaxed),
+        subscribers: shared
+            .subscribers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len() as u64,
+        ..StatsReply::default()
+    };
+    if let Some(db) = db {
+        let wal = db.stats();
+        reply.generation = db.db().theory().generation();
+        reply.next_lsn = db.next_lsn();
+        reply.wal_records = wal.records;
+        reply.wal_syncs = wal.syncs;
+        reply.wal_checkpoints = wal.checkpoints;
+    }
+    reply
+}
+
 /// The current published snapshot (the lock only ever guards an `Arc`
 /// swap, so a poisoned lock still holds a consistent value).
 fn read_published<S: Storage>(shared: &Shared<S>) -> Arc<Published> {
@@ -947,16 +1066,52 @@ fn read_published<S: Storage>(shared: &Shared<S>) -> Arc<Published> {
     )
 }
 
-/// Swaps in a new published snapshot and counts the publication.
+/// Swaps in a new published snapshot and counts the publication. The
+/// superseded generation is recorded as a weak reference so the
+/// `retained_generations` gauge can report how many old `Arc<Theory>`
+/// allocations are still pinned alive by readers or cached sessions.
 fn publish<S: Storage>(shared: &Shared<S>, p: Published) {
-    *shared
-        .published
-        .write()
-        .unwrap_or_else(PoisonError::into_inner) = Arc::new(p);
+    let current = p.snapshot.generation();
+    let superseded = {
+        let mut slot = shared
+            .published
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        std::mem::replace(&mut *slot, Arc::new(p))
+    };
     shared
         .stats
         .snapshots_published
         .fetch_add(1, Ordering::Relaxed);
+    let old_gen = superseded.snapshot.generation();
+    if old_gen != current {
+        let mut retained = shared
+            .retained
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if retained.iter().all(|(g, _)| *g != old_gen) {
+            retained.push((old_gen, superseded.snapshot.theory_weak()));
+        }
+    }
+    refresh_retained(shared);
+}
+
+/// Prunes the superseded-generation registry of entries whose theory has
+/// actually been dropped (or that became current again after a no-op
+/// publication) and refreshes the `retained_generations` gauge.
+fn refresh_retained<S: Storage>(shared: &Shared<S>) -> u64 {
+    let current = read_published(shared).snapshot.generation();
+    let mut retained = shared
+        .retained
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    retained.retain(|(g, w)| *g != current && w.strong_count() > 0);
+    let count = retained.len() as u64;
+    shared
+        .stats
+        .retained_generations
+        .store(count, Ordering::Relaxed);
+    count
 }
 
 /// Applies one write op to the database; `(nodes_added, completion_added)`
@@ -987,6 +1142,47 @@ fn apply_op<S: Storage>(db: &mut DurableDatabase<S>, op: &WriteOp) -> Result<(i6
     }
 }
 
+/// Applies one write op under the (held) writer lock — the unbatched
+/// path shared by the thread-per-connection loop and the epoll writer
+/// thread. One journaled write, one snapshot publication, one shipped
+/// batch; no group sync and no batch accounting (the `write_batches`
+/// counter is a batched-path metric).
+fn write_one<S: Storage>(
+    shared: &Shared<S>,
+    db: &mut DurableDatabase<S>,
+    op: &WriteOp,
+) -> Response {
+    let lsn = db.next_lsn();
+    let response = match apply_op(db, op) {
+        Ok((nodes_added, completion_added)) => {
+            let generation = db.db().theory().generation();
+            let snapshot = TheorySnapshot::capture(db.db().theory());
+            let updates_applied = read_published(shared).updates_applied + 1;
+            publish(
+                shared,
+                Published {
+                    snapshot,
+                    updates_applied,
+                    last_lsn: lsn,
+                },
+            );
+            shared.stats.updates.fetch_add(1, Ordering::Relaxed);
+            Response::Executed(ExecReply {
+                lsn,
+                generation,
+                nodes_added,
+                completion_added,
+            })
+        }
+        Err(e) => Response::Error(wire_error(&e)),
+    };
+    // Fan the batch out to subscribers while still holding the writer
+    // lock, so shipped batches arrive in commit order. A refused op
+    // ships nothing (its abort pair is filtered by the drain).
+    ship(shared, db);
+    response
+}
+
 /// The leader loop: repeatedly empties the queue, slicing it into batches
 /// of consecutive pairwise-independent `Execute` statements. Statements
 /// are *never reordered* — the footprint analysis only decides where one
@@ -1005,36 +1201,43 @@ fn drain_writes<S: Storage>(shared: &Shared<S>, db: &mut DurableDatabase<S>) {
         if jobs.is_empty() {
             return;
         }
-        // Fresh per drain: footprints only need to be comparable within
-        // one drain, and a long-lived analyzer would intern atoms forever.
-        let mut analyzer = ConflictAnalyzer::default();
-        let mut batch: Vec<WriteJob> = Vec::new();
-        let mut feet: Vec<AccessSet> = Vec::new();
-        for job in jobs {
-            let footprint = match &job.op {
-                WriteOp::Execute(src) => analyzer.footprint(src),
-                _ => None,
-            };
-            match footprint {
-                Some(fp) if batch.len() < MAX_BATCH && feet.iter().all(|f| f.independent(&fp)) => {
-                    batch.push(job);
-                    feet.push(fp);
-                }
-                Some(fp) => {
-                    flush_batch(shared, db, std::mem::take(&mut batch));
-                    feet.clear();
-                    batch.push(job);
-                    feet.push(fp);
-                }
-                None => {
-                    flush_batch(shared, db, std::mem::take(&mut batch));
-                    feet.clear();
-                    flush_batch(shared, db, vec![job]);
-                }
+        apply_batched(shared, db, jobs);
+    }
+}
+
+/// Slices one drained job list into conflict-free batches and flushes
+/// each — the shared core of the connection-thread leader above and the
+/// epoll writer thread.
+fn apply_batched<S: Storage>(shared: &Shared<S>, db: &mut DurableDatabase<S>, jobs: Vec<WriteJob>) {
+    // Fresh per drain: footprints only need to be comparable within
+    // one drain, and a long-lived analyzer would intern atoms forever.
+    let mut analyzer = ConflictAnalyzer::default();
+    let mut batch: Vec<WriteJob> = Vec::new();
+    let mut feet: Vec<AccessSet> = Vec::new();
+    for job in jobs {
+        let footprint = match &job.op {
+            WriteOp::Execute(src) => analyzer.footprint(src),
+            _ => None,
+        };
+        match footprint {
+            Some(fp) if batch.len() < MAX_BATCH && feet.iter().all(|f| f.independent(&fp)) => {
+                batch.push(job);
+                feet.push(fp);
+            }
+            Some(fp) => {
+                flush_batch(shared, db, std::mem::take(&mut batch));
+                feet.clear();
+                batch.push(job);
+                feet.push(fp);
+            }
+            None => {
+                flush_batch(shared, db, std::mem::take(&mut batch));
+                feet.clear();
+                flush_batch(shared, db, vec![job]);
             }
         }
-        flush_batch(shared, db, batch);
     }
+    flush_batch(shared, db, batch);
 }
 
 /// Applies one batch in arrival order, then makes it durable with a
@@ -1047,7 +1250,7 @@ fn flush_batch<S: Storage>(shared: &Shared<S>, db: &mut DurableDatabase<S>, batc
         return;
     }
     let size = batch.len();
-    let mut results: Vec<(Arc<ReplySlot>, Result<ExecReply, DbError>)> = Vec::with_capacity(size);
+    let mut results: Vec<(WriteDone, Result<ExecReply, DbError>)> = Vec::with_capacity(size);
     let mut applied = 0u64;
     let mut last_lsn = None;
     for job in batch {
@@ -1058,7 +1261,7 @@ fn flush_batch<S: Storage>(shared: &Shared<S>, db: &mut DurableDatabase<S>, batc
                 last_lsn = Some(lsn);
                 let generation = db.db().theory().generation();
                 results.push((
-                    job.slot,
+                    job.done,
                     Ok(ExecReply {
                         lsn,
                         generation,
@@ -1067,7 +1270,7 @@ fn flush_batch<S: Storage>(shared: &Shared<S>, db: &mut DurableDatabase<S>, batc
                     }),
                 ));
             }
-            Err(e) => results.push((job.slot, Err(e))),
+            Err(e) => results.push((job.done, Err(e))),
         }
     }
     if let Some(last_lsn) = last_lsn {
@@ -1076,8 +1279,8 @@ fn flush_batch<S: Storage>(shared: &Shared<S>, db: &mut DurableDatabase<S>, batc
         // guaranteed on storage.
         if let Err(e) = db.sync() {
             let failure = wire_error(&e);
-            for (slot, result) in results {
-                slot.fill(Response::Error(match result {
+            for (done, result) in results {
+                done.fill(Response::Error(match result {
                     Ok(_) => failure.clone(),
                     Err(own) => wire_error(&own),
                 }));
@@ -1106,8 +1309,8 @@ fn flush_batch<S: Storage>(shared: &Shared<S>, db: &mut DurableDatabase<S>, batc
             .coalesced_writes
             .fetch_add(size as u64, Ordering::Relaxed);
     }
-    for (slot, result) in results {
-        slot.fill(match result {
+    for (done, result) in results {
+        done.fill(match result {
             Ok(reply) => Response::Executed(reply),
             Err(e) => Response::Error(wire_error(&e)),
         });
@@ -1136,17 +1339,30 @@ fn ship<S: Storage>(shared: &Shared<S>, db: &mut DurableDatabase<S>) {
     }
     let shipped = (entries.len() * subs.len()) as u64;
     subs.retain(|tx| tx.send(entries.clone()).is_ok());
+    drop(subs);
     shared
         .stats
         .records_shipped
         .fetch_add(shipped, Ordering::Relaxed);
+    // Under the reactor the subscriber channels are drained by the event
+    // loop, not by per-connection threads: poke it awake.
+    notify_shipped(shared);
+}
+
+/// Wakes the epoll reactor (if one is serving) so it pumps freshly
+/// shipped entries out to streaming connections.
+fn notify_shipped<S: Storage>(shared: &Shared<S>) {
+    let notify = shared.notify.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(completions) = notify.as_ref() {
+        completions.post(TOKEN_NONE, 0, Done::Shipped);
+    }
 }
 
 /// Splits a shipped batch into frame-sized chunks: entries are packed
 /// greedily by serialized size against the frame cap (minus wrapper
 /// headroom). A single entry always fits — [`winslett_core::MAX_RECORD_LEN`]
 /// is enforced at mint time precisely so this holds.
-fn chunk_entries(entries: Vec<WalEntry>) -> Vec<Vec<WalEntry>> {
+pub(crate) fn chunk_entries(entries: Vec<WalEntry>) -> Vec<Vec<WalEntry>> {
     let budget = MAX_FRAME_LEN as usize - 1024;
     let mut chunks = Vec::new();
     let mut chunk: Vec<WalEntry> = Vec::new();
@@ -1178,7 +1394,339 @@ fn fail_pending<S: Storage>(shared: &Shared<S>, err: &WireError) {
         q.drain(..).collect()
     };
     for job in jobs {
-        job.slot.fill(Response::Error(err.clone()));
+        job.done.fill(Response::Error(err.clone()));
+    }
+}
+
+// ----- the epoll writer thread -----------------------------------------------
+
+/// One unit of work for the epoll server's single writer thread.
+enum WriterWork {
+    /// A write bound for the conflict-aware batcher.
+    Write(WriteJob),
+    /// `Stats` — a control op that must see the post-write counters, so
+    /// it acts as a barrier: pending writes flush first.
+    Stats { token: u64, seq: u64 },
+    /// `Checkpoint` — barrier for the same reason.
+    Checkpoint { token: u64, seq: u64 },
+    /// `Subscribe` — registered under the writer lock so the catch-up
+    /// point is exact; also a barrier.
+    Subscribe { token: u64, seq: u64, from_lsn: u64 },
+}
+
+/// The channel the reactor pushes [`WriterWork`] into: a mutex-guarded
+/// deque with a condvar, so the writer thread batches everything that
+/// accumulated while it was applying (group commit for free).
+#[derive(Default)]
+struct WriterChan {
+    queue: Mutex<VecDeque<WriterWork>>,
+    cv: Condvar,
+    exit: AtomicBool,
+}
+
+impl WriterChan {
+    fn push(&self, work: WriterWork) {
+        self.queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_back(work);
+        self.cv.notify_one();
+    }
+
+    /// Signals the writer thread to exit once the queue is empty.
+    fn close(&self) {
+        self.exit.store(true, Ordering::SeqCst);
+        self.cv.notify_all();
+    }
+
+    /// Blocks for the next run of work; `None` means closed and empty.
+    fn pop_all(&self) -> Option<Vec<WriterWork>> {
+        let mut q = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if !q.is_empty() {
+                return Some(q.drain(..).collect());
+            }
+            if self.exit.load(Ordering::SeqCst) {
+                return None;
+            }
+            q = self.cv.wait(q).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// The epoll server's writer thread: consumes [`WriterWork`] runs,
+/// flushing accumulated writes through the conflict-aware batcher and
+/// treating control ops as barriers. A panic while applying fails every
+/// sink in the run with a typed `Internal` error instead of wedging the
+/// connections awaiting completions.
+fn run_writer<S: Storage>(
+    shared: &Arc<Shared<S>>,
+    chan: &WriterChan,
+    completions: &Arc<Completions>,
+) {
+    while let Some(run) = chan.pop_all() {
+        // Sinks pre-cloned so the panic path can still reach them.
+        let sinks: Vec<WriteDone> = run
+            .iter()
+            .map(|w| match w {
+                WriterWork::Write(job) => job.done.clone(),
+                WriterWork::Stats { token, seq }
+                | WriterWork::Checkpoint { token, seq }
+                | WriterWork::Subscribe { token, seq, .. } => WriteDone::Reactor {
+                    token: *token,
+                    seq: *seq,
+                    completions: Arc::clone(completions),
+                },
+            })
+            .collect();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut pending: Vec<WriteJob> = Vec::new();
+            for work in run {
+                match work {
+                    WriterWork::Write(job) => pending.push(job),
+                    control => {
+                        flush_writes(shared, std::mem::take(&mut pending));
+                        run_control(shared, completions, control);
+                    }
+                }
+            }
+            flush_writes(shared, pending);
+        }));
+        if outcome.is_err() {
+            for sink in sinks {
+                sink.fill(Response::Error(poisoned_writer()));
+            }
+        }
+    }
+}
+
+/// Applies one accumulated run of writes under the writer lock — through
+/// the batcher when enabled, else one publication per write.
+fn flush_writes<S: Storage>(shared: &Arc<Shared<S>>, jobs: Vec<WriteJob>) {
+    if jobs.is_empty() {
+        return;
+    }
+    let mut guard = match shared.writer.lock() {
+        Ok(g) => g,
+        Err(_) => {
+            for job in jobs {
+                job.done.fill(Response::Error(poisoned_writer()));
+            }
+            return;
+        }
+    };
+    let Some(db) = guard.as_mut() else {
+        drop(guard);
+        for job in jobs {
+            job.done.fill(Response::Error(closed_writer()));
+        }
+        return;
+    };
+    if shared.options.batch_writes {
+        apply_batched(shared, db, jobs);
+    } else {
+        for job in jobs {
+            let resp = write_one(shared, db, &job.op);
+            job.done.fill(resp);
+        }
+    }
+}
+
+/// One control op on the writer thread; the reply goes back to the
+/// reactor as a completion.
+fn run_control<S: Storage>(
+    shared: &Arc<Shared<S>>,
+    completions: &Arc<Completions>,
+    work: WriterWork,
+) {
+    match work {
+        WriterWork::Write(_) => {} // routed by the caller
+        WriterWork::Stats { token, seq } => {
+            let guard = shared.writer.lock().ok();
+            let db = guard.as_ref().and_then(|g| g.as_ref());
+            let reply = stats_reply(shared, db);
+            completions.post(token, seq, Done::Resp(Response::Stats(Box::new(reply))));
+        }
+        WriterWork::Checkpoint { token, seq } => {
+            let resp = {
+                let mut guard = match shared.writer.lock() {
+                    Ok(g) => g,
+                    Err(_) => {
+                        completions.post(
+                            token,
+                            seq,
+                            Done::Resp(Response::Error(poisoned_writer())),
+                        );
+                        return;
+                    }
+                };
+                match guard.as_mut() {
+                    Some(db) => match db.checkpoint() {
+                        Ok(()) => Response::Checkpointed(CheckpointReply {
+                            lsn: db.snapshot_lsn(),
+                        }),
+                        Err(e) => Response::Error(wire_error(&e)),
+                    },
+                    None => Response::Error(closed_writer()),
+                }
+            };
+            completions.post(token, seq, Done::Resp(resp));
+        }
+        WriterWork::Subscribe {
+            token,
+            seq,
+            from_lsn,
+        } => match subscription_start(shared, from_lsn) {
+            Ok((frames, rx)) => completions.post(token, seq, Done::SubStart { frames, rx }),
+            Err(e) => completions.post(token, seq, Done::RespClose(Response::Error(e))),
+        },
+    }
+}
+
+/// Registers a subscription under the writer lock: ships the tail to the
+/// existing subscribers so the registration point is exactly the storage
+/// state the catch-up reads, then plans the opening frames (catch-up,
+/// chunked if oversized, plus the backlog batches).
+fn subscription_start<S: Storage>(
+    shared: &Arc<Shared<S>>,
+    from_lsn: u64,
+) -> Result<(Vec<Response>, mpsc::Receiver<Vec<WalEntry>>), WireError> {
+    let mut guard = shared.writer.lock().map_err(|_| poisoned_writer())?;
+    let db = guard.as_mut().ok_or_else(closed_writer)?;
+    ship(shared, db);
+    let catchup = db.catchup_from(from_lsn).map_err(|e| wire_error(&e))?;
+    let next_lsn = db.next_lsn();
+    let (tx, rx) = mpsc::channel();
+    shared
+        .subscribers
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(tx);
+    drop(guard);
+    let (snapshot, backlog) = match catchup {
+        Catchup::Suffix(entries) => (None, entries),
+        Catchup::Snapshot(snap, entries) => (Some(*snap), entries),
+    };
+    let mut frames = catchup_frames(snapshot, next_lsn).map_err(|_| WireError {
+        kind: ErrorKindWire::Internal,
+        message: "catch-up snapshot serialization failed".into(),
+    })?;
+    for chunk in chunk_entries(backlog) {
+        frames.push(Response::WalBatch(WalBatchReply { entries: chunk }));
+    }
+    Ok((frames, rx))
+}
+
+// ----- the primary's reactor role ---------------------------------------------
+
+/// The primary half of the reactor: writes, stats, checkpoints, and
+/// subscriptions go to the writer thread; everything else the reactor
+/// already owns.
+struct PrimaryRole<S: Storage> {
+    shared: Arc<Shared<S>>,
+    chan: Arc<WriterChan>,
+    completions: Arc<Completions>,
+}
+
+impl<S: Storage> PrimaryRole<S> {
+    fn defer_write(&self, token: u64, seq: u64, draining: bool, op: WriteOp) -> RoleAction {
+        if draining {
+            return RoleAction::Reply(Response::Error(WireError {
+                kind: ErrorKindWire::ShuttingDown,
+                message: "server is draining; write refused".into(),
+            }));
+        }
+        self.chan.push(WriterWork::Write(WriteJob {
+            op,
+            done: WriteDone::Reactor {
+                token,
+                seq,
+                completions: Arc::clone(&self.completions),
+            },
+        }));
+        RoleAction::Deferred
+    }
+}
+
+impl<S: Storage> Role for PrimaryRole<S> {
+    fn counters(&self) -> NetCounters<'_> {
+        let s = &self.shared.stats;
+        NetCounters {
+            accepted: &s.accepted,
+            rejected_busy: &s.rejected_busy,
+            requests: &s.requests,
+            reads: &s.reads,
+            idle_closes: &s.idle_closes,
+            protocol_errors: &s.protocol_errors,
+            pinned_generations: &s.pinned_generations,
+            lag_refusals: &s.lag_refusals,
+        }
+    }
+
+    fn published(&self) -> PublishedView {
+        let p = read_published(&self.shared);
+        PublishedView {
+            snapshot: p.snapshot.clone(),
+            updates_applied: p.updates_applied,
+            last_lsn: p.last_lsn,
+        }
+    }
+
+    fn busy_message(&self, active: usize, cap: usize) -> String {
+        format!("server busy: {active} connections, cap {cap}")
+    }
+
+    fn lag_message(&self, have: u64, want: u64) -> String {
+        format!("snapshot covers lsn {have} but the pin demands lsn {want}")
+    }
+
+    fn handle(&self, token: u64, seq: u64, draining: bool, request: Request) -> RoleAction {
+        match request {
+            Request::Execute(src) => self.defer_write(token, seq, draining, WriteOp::Execute(src)),
+            Request::DeclareRelation(name, arity) => {
+                self.defer_write(token, seq, draining, WriteOp::DeclareRelation(name, arity))
+            }
+            Request::DeclareAttribute(name) => {
+                self.defer_write(token, seq, draining, WriteOp::DeclareAttribute(name))
+            }
+            Request::LoadFact(pred, args) => {
+                self.defer_write(token, seq, draining, WriteOp::LoadFact(pred, args))
+            }
+            Request::LoadWff(src) => self.defer_write(token, seq, draining, WriteOp::LoadWff(src)),
+            // Stats and checkpoints are answered even mid-drain — a
+            // draining operator still wants the final counters.
+            Request::Stats => {
+                self.chan.push(WriterWork::Stats { token, seq });
+                RoleAction::Deferred
+            }
+            Request::Checkpoint => {
+                self.chan.push(WriterWork::Checkpoint { token, seq });
+                RoleAction::Deferred
+            }
+            Request::Subscribe(from_lsn) => {
+                if draining {
+                    return RoleAction::Reply(Response::Error(WireError {
+                        kind: ErrorKindWire::ShuttingDown,
+                        message: "server is draining; subscription refused".into(),
+                    }));
+                }
+                self.chan.push(WriterWork::Subscribe {
+                    token,
+                    seq,
+                    from_lsn,
+                });
+                RoleAction::Deferred
+            }
+            // Reads, pins, liveness, and shutdown never reach the role.
+            other => RoleAction::Reply(Response::Error(WireError {
+                kind: ErrorKindWire::BadRequest,
+                message: format!("unroutable request: {other:?}"),
+            })),
+        }
+    }
+
+    fn generation_moved(&self) {
+        refresh_retained(&self.shared);
     }
 }
 
@@ -1293,7 +1841,7 @@ fn poisoned_writer() -> WireError {
     }
 }
 
-fn wire_verdict(v: Verdict) -> WireVerdict {
+pub(crate) fn wire_verdict(v: Verdict) -> WireVerdict {
     match v {
         Verdict::Certain => WireVerdict::Certain,
         Verdict::Uncertain => WireVerdict::Uncertain,
@@ -1353,6 +1901,8 @@ mod tests {
             active: Arc::new(AtomicUsize::new(0)),
             options: ServerOptions::default(),
             addr: "127.0.0.1:0".parse().expect("addr"),
+            notify: Mutex::new(None),
+            retained: Mutex::new(Vec::new()),
         })
     }
 
@@ -1360,7 +1910,7 @@ mod tests {
         let slot = Arc::new(ReplySlot::default());
         shared.queue.lock().expect("queue").push_back(WriteJob {
             op,
-            slot: Arc::clone(&slot),
+            done: WriteDone::Slot(Arc::clone(&slot)),
         });
         slot
     }
@@ -1369,6 +1919,39 @@ mod tests {
         let mut guard = shared.writer.lock().expect("writer");
         let db = guard.as_mut().expect("db");
         drain_writes(shared, db);
+    }
+
+    #[test]
+    fn superseded_generations_release_eagerly() {
+        let shared = shared_with_db(&[("R", 1)]);
+        // Hold a session on the initial generation — the pin-shaped
+        // retention the gauge must report.
+        let held = read_published(&shared).snapshot.clone();
+        let weak_held = held.theory_weak();
+        let reader = held.reader();
+        drop(held);
+
+        // Two separate publications: the middle generation has no holder
+        // and must be released the moment it is superseded.
+        enqueue(&shared, WriteOp::Execute("INSERT R(a) WHERE T".into()));
+        drain(&shared);
+        let weak_mid = read_published(&shared).snapshot.theory_weak();
+        enqueue(&shared, WriteOp::Execute("INSERT R(b) WHERE T".into()));
+        drain(&shared);
+
+        assert_eq!(
+            weak_mid.strong_count(),
+            0,
+            "unheld superseded generation must drop eagerly"
+        );
+        assert_eq!(refresh_retained(&shared), 1, "only the held generation");
+        assert_eq!(shared.stats.retained_generations.load(Ordering::Relaxed), 1);
+
+        // Releasing the last session releases the generation's theory.
+        drop(reader);
+        assert_eq!(weak_held.strong_count(), 0, "released with the session");
+        assert_eq!(refresh_retained(&shared), 0);
+        assert_eq!(shared.stats.retained_generations.load(Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -184,6 +184,57 @@ fn idle_connections_are_reaped() {
 }
 
 #[test]
+fn slow_loris_dribbler_is_reaped_and_frees_its_slot() {
+    // max_connections: 1 makes the follow-up probe a proof that the
+    // reaped connection's admission slot was released, not leaked.
+    let running = boot(ServerOptions {
+        max_connections: 1,
+        idle_timeout: Duration::from_millis(150),
+        ..ServerOptions::default()
+    });
+    let mut raw = TcpStream::connect(running.addr).expect("connect");
+    // A perfectly valid Ping frame — dribbled one byte per write, too
+    // slowly to ever complete before the idle deadline.
+    let payload = br#""Ping""#;
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    for b in frame {
+        if raw.write_all(&[b]).is_err() {
+            break; // the server already hung up on us
+        }
+        std::thread::sleep(Duration::from_millis(40));
+    }
+    // The reaper killed the stalled connection without an answer.
+    assert!(recv::<Response>(&mut raw).is_err(), "dribbler must be cut");
+    drop(raw);
+    assert_serving(running.addr);
+    shut_down(running);
+}
+
+#[test]
+fn mid_length_prefix_stall_is_reaped_and_frees_its_slot() {
+    let running = boot(ServerOptions {
+        max_connections: 1,
+        idle_timeout: Duration::from_millis(150),
+        ..ServerOptions::default()
+    });
+    let mut raw = TcpStream::connect(running.addr).expect("connect");
+    // Two bytes of the length prefix, then silence.
+    raw.write_all(&[0x06, 0x00]).expect("partial length");
+    std::thread::sleep(Duration::from_millis(500));
+    assert!(
+        recv::<Response>(&mut raw).is_err(),
+        "stalled peer must be cut"
+    );
+    drop(raw);
+    // The slot is free again (cap is 1) and the loop is not wedged.
+    assert_serving(running.addr);
+    shut_down(running);
+}
+
+#[test]
 fn writes_during_drain_are_refused_typed() {
     let running = boot(default_options());
     let mut setup = Client::connect(running.addr).expect("connect");
