@@ -7,9 +7,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt fmt-check clippy build test faults lint lint-conflicts bench-smoke serve-smoke compaction-smoke replication-smoke connections-smoke
+.PHONY: ci fmt fmt-check clippy build test faults lint lint-conflicts bench-smoke serve-smoke compaction-smoke replication-smoke connections-smoke txn-smoke
 
-ci: fmt-check clippy build test faults lint lint-conflicts bench-smoke compaction-smoke replication-smoke connections-smoke serve-smoke
+ci: fmt-check clippy build test faults lint lint-conflicts bench-smoke compaction-smoke replication-smoke connections-smoke txn-smoke serve-smoke
 	@echo "ci: all checks passed"
 
 fmt:
@@ -74,6 +74,15 @@ replication-smoke:
 # rows actually held every socket their tier asked for.
 connections-smoke:
 	$(CARGO) run --release -q -p winslett-bench --bin harness -- connections --quick --out target/bench-smoke
+
+# Short three-shape transaction run (plain vs disjoint vs contended);
+# the harness writes BENCH_txn.json and fails unless the shape
+# validates — in particular, unless disjoint-footprint transactions
+# sustained the plain batched baseline, no disjoint transaction ever
+# hit the lock table, and every side's reopened storage replayed to
+# the server's final verdicts.
+txn-smoke:
+	$(CARGO) run --release -q -p winslett-bench --bin harness -- txn --quick --out target/bench-smoke
 
 # Boots a winslett-serve instance on an ephemeral port and drives a full
 # scripted client session against it: schema declares, an LDML update, a

@@ -609,6 +609,59 @@ impl ConflictAnalyzer {
         let update = parse_update(src, &mut ctx).ok()?;
         Some(update_footprint(&update))
     }
+
+    /// The lock profile of `src`: canonical renderings of the atoms the
+    /// statement reads and writes, suitable as lock keys for a lock table
+    /// keyed by strings. Atom renderings are stable across handles (they
+    /// come from the statement text itself), so two analyzers produce the
+    /// same keys for the same atom — unlike raw [`AtomId`]s, which are
+    /// per-handle interning artifacts.
+    ///
+    /// World-pruning statements (`ASSERT`/`DENY`, or anything unparseable)
+    /// escalate to the global key: rule 3 filtering can couple them to
+    /// atoms outside their syntactic footprint, so no finer lock is sound.
+    pub fn lock_profile(&mut self, src: &str) -> LockProfile {
+        let Some(access) = self.footprint(src) else {
+            return LockProfile::global();
+        };
+        if access.prunes {
+            return LockProfile::global();
+        }
+        let render = |set: &BTreeSet<AtomId>| {
+            set.iter()
+                .map(|&a| display_wff(&Wff::Atom(a), &self.vocab, &self.atoms).to_string())
+                .collect()
+        };
+        LockProfile {
+            reads: render(&access.reads),
+            writes: render(&access.writes),
+            global: false,
+        }
+    }
+}
+
+/// The lock keys of one statement, as string renderings of its footprint
+/// atoms (see [`ConflictAnalyzer::lock_profile`]). `global` statements
+/// conflict with everything and must take the table's global key.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LockProfile {
+    /// Atoms the guard reads — shared locks.
+    pub reads: Vec<String>,
+    /// Atoms the update writes — exclusive locks.
+    pub writes: Vec<String>,
+    /// Whether the statement escalates to the global lock key.
+    pub global: bool,
+}
+
+impl LockProfile {
+    /// The profile of a statement that conflicts with everything.
+    pub fn global() -> Self {
+        LockProfile {
+            reads: Vec::new(),
+            writes: Vec::new(),
+            global: true,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -815,5 +868,23 @@ mod tests {
         assert!(b.independent(&c));
         assert!(cx.footprint(".relation R/1").is_none());
         assert!(cx.footprint("INSERT R(a WHERE T").is_none());
+    }
+
+    #[test]
+    fn lock_profile_renders_stable_keys() {
+        let mut cx = ConflictAnalyzer::new();
+        let p = cx.lock_profile("INSERT Stock(p3) WHERE Ord(p3)");
+        assert!(!p.global);
+        assert_eq!(p.writes, vec!["Stock(p3)"]);
+        assert_eq!(p.reads, vec!["Ord(p3)"]);
+        // A second handle interns in a different order but renders the
+        // same keys: the keys are text, not ids.
+        let mut cy = ConflictAnalyzer::new();
+        cy.lock_profile("INSERT Zzz(q) WHERE T");
+        let q = cy.lock_profile("INSERT Stock(p3) WHERE Ord(p3)");
+        assert_eq!(p, q);
+        // Pruning statements and unparseable text escalate to global.
+        assert!(cx.lock_profile("ASSERT Stock(p3)").global);
+        assert!(cx.lock_profile("not ldml").global);
     }
 }

@@ -66,7 +66,7 @@ pub mod script;
 pub use diagnostics::{Batch, Code, Diagnostic, FixHint, Severity};
 pub use footprint::{
     analyze_conflicts, constrained_predicates, statement_footprint, ConflictAnalysis,
-    ConflictAnalyzer, ConflictEdge, ConflictOptions, StatementFootprint,
+    ConflictAnalyzer, ConflictEdge, ConflictOptions, LockProfile, StatementFootprint,
 };
 pub use passes::{analyze_batch, analyze_program};
 pub use render::{render_diagnostic, render_summary};

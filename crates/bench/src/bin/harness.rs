@@ -12,7 +12,7 @@
 use winslett_bench::Table;
 use winslett_bench::{
     compaction_bench, conflicts_bench, connections_bench, experiments, query_bench,
-    replication_bench, server_bench, wal_bench, worlds_bench,
+    replication_bench, server_bench, txn_bench, wal_bench, worlds_bench,
 };
 
 fn main() {
@@ -241,6 +241,26 @@ fn main() {
         // Same re-read-and-validate gate as BENCH_worlds.json.
         let reread = std::fs::read_to_string(&path).expect("read back BENCH_conflicts.json");
         match conflicts_bench::validate_conflicts_bench(&reread) {
+            Ok(_) => eprintln!("{path}: shape OK"),
+            Err(e) => {
+                eprintln!("{path}: shape validation FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if want("txn") {
+        let bench =
+            txn_bench::run_txn_bench(if quick { 3 } else { 4 }, if quick { 150 } else { 1000 });
+        tables.push(txn_bench::txn_table(&bench));
+        let path = match &out_dir {
+            Some(dir) => format!("{dir}/BENCH_txn.json"),
+            None => "BENCH_txn.json".to_owned(),
+        };
+        let text = serde_json::to_string_pretty(&bench).expect("serializable");
+        std::fs::write(&path, &text).expect("write BENCH_txn.json");
+        // Same re-read-and-validate gate as BENCH_worlds.json.
+        let reread = std::fs::read_to_string(&path).expect("read back BENCH_txn.json");
+        match txn_bench::validate_txn_bench(&reread) {
             Ok(_) => eprintln!("{path}: shape OK"),
             Err(e) => {
                 eprintln!("{path}: shape validation FAILED: {e}");

@@ -160,6 +160,7 @@ fn run_side(batch: bool, writers: usize, window: Duration) -> (SideResult, Vec<(
             // would add its own publications to the counts under test.
             compaction: None,
             threaded: false,
+            ..ServerOptions::default()
         },
     )
     .expect("bench server bind");

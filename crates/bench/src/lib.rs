@@ -14,6 +14,7 @@ pub mod query_bench;
 pub mod replication_bench;
 pub mod report;
 pub mod server_bench;
+pub mod txn_bench;
 pub mod wal_bench;
 pub mod worlds_bench;
 
@@ -32,5 +33,6 @@ pub use replication_bench::{
 };
 pub use report::Table;
 pub use server_bench::{run_server_bench, server_table, validate_server_bench, ServerBench};
+pub use txn_bench::{run_txn_bench, txn_table, validate_txn_bench, TxnBench};
 pub use wal_bench::{run_wal_bench, validate_wal_bench, wal_table, WalBench};
 pub use worlds_bench::{run_worlds_bench, validate_worlds_bench, worlds_table, WorldsBench};

@@ -86,6 +86,31 @@ pub enum DbError {
         /// What went wrong.
         message: String,
     },
+    /// A write conflicts with locks held by an open transaction and the
+    /// caller cannot (or will not) wait for them.
+    TxnConflict {
+        /// What conflicted, naming the contended lock key.
+        message: String,
+    },
+    /// A lock acquisition gave up at its deadline — the deadlock-avoidance
+    /// bound of [`crate::txn::LockTable::lock_wait`].
+    TxnTimeout {
+        /// What timed out, naming the contended lock key.
+        message: String,
+    },
+    /// A transaction operation referenced an id that is not open (never
+    /// begun, or already committed/rolled back).
+    TxnUnknown {
+        /// The offending transaction id.
+        txn: u64,
+    },
+    /// A checkpoint was refused because transactions are open: a snapshot
+    /// boundary must never strand the early intents of a transaction that
+    /// later commits.
+    TxnOpen {
+        /// How many transactions were open.
+        active: usize,
+    },
 }
 
 impl fmt::Display for DbError {
@@ -128,6 +153,17 @@ impl fmt::Display for DbError {
             DbError::Storage { message } => write!(f, "storage error: {message}"),
             DbError::Corrupt { message } => write!(f, "corrupt artifact: {message}"),
             DbError::Compaction { message } => write!(f, "compaction error: {message}"),
+            DbError::TxnConflict { message } => write!(f, "transaction conflict: {message}"),
+            DbError::TxnTimeout { message } => write!(f, "transaction timeout: {message}"),
+            DbError::TxnUnknown { txn } => {
+                write!(f, "transaction {txn} is not open on this database")
+            }
+            DbError::TxnOpen { active } => write!(
+                f,
+                "refused while {active} transaction(s) are open: a checkpoint here could \
+                 strand a committing transaction's journaled intents behind the snapshot \
+                 boundary"
+            ),
         }
     }
 }

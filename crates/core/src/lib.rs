@@ -22,6 +22,7 @@ pub mod query;
 pub mod relational;
 pub mod replay;
 pub mod snapshot;
+pub mod txn;
 pub mod vars;
 pub mod wal;
 pub mod workload;
@@ -37,6 +38,7 @@ pub use query::{Answers, Query, QueryAtom, QueryTerm, SupportedAnswer};
 pub use relational::{certain_database, from_world, possible_database, RelationalDatabase};
 pub use replay::{replay_updates, ReplayDatabase};
 pub use snapshot::{SnapshotReader, TheorySnapshot};
+pub use txn::{LockMode, LockRequest, LockTable, GLOBAL_KEY};
 pub use vars::{PatternWff, VarAtom, VarStatement, VarTerm, VarUpdate};
 pub use wal::{
     replay_record, Catchup, CompactionOutcome, DirStorage, DurableDatabase, FailpointStorage,

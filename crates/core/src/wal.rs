@@ -40,6 +40,7 @@ use crate::replay::replay_updates;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::collections::HashSet;
+use std::collections::VecDeque;
 use winslett_gua::{SimplifyReport, UpdateReport};
 use winslett_ldml::Update;
 use winslett_logic::{display_wff, parse_wff, AtomId, Formula, ParseContext, PredId, Wff};
@@ -414,6 +415,28 @@ pub enum WalRecord {
     /// the intent but GUA refused the operation, so recovery must skip
     /// it instead of replaying a state the live system never reached.
     Abort(u64),
+    /// Opens a transaction. The id is the LSN of this record, so ids are
+    /// unique across the log's lifetime without extra bookkeeping.
+    TxnBegin(u64),
+    /// Commits a transaction: every intact [`WalRecord::TxnOp`] carrying
+    /// this id becomes effective. The commit marker's durability *is* the
+    /// transaction's durability — a WAL whose tail lacks it rolls the
+    /// transaction back on recovery.
+    TxnCommit(u64),
+    /// Aborts a transaction: every [`WalRecord::TxnOp`] carrying this id
+    /// is annulled. Written by explicit rollback, by a failed commit
+    /// re-application, and by recovery itself as the compensation record
+    /// for a transaction left unfinished by a crash.
+    TxnAbort(u64),
+    /// One operation journaled inside an open transaction, as
+    /// `(owning txn id, operation)` — an intent that recovery and
+    /// followers must buffer until the transaction's commit marker
+    /// arrives. Replaying a committed transaction's ops at their journal
+    /// positions (rather than at the commit point) is correct because
+    /// the lock table guarantees everything interleaved between them is
+    /// footprint-disjoint, hence commutative with them (Theorems 3/4).
+    /// The inner record is never itself a txn record.
+    TxnOp(u64, Box<WalRecord>),
 }
 
 /// A WAL entry: an operation stamped with its log sequence number.
@@ -735,6 +758,10 @@ pub struct RecoveryReport {
     /// Whether `open` took a repair checkpoint (truncation or replay
     /// error observed) to make the on-storage files consistent again.
     pub repaired: bool,
+    /// Transactions found unfinished at the end of the log (begun, never
+    /// committed or aborted) and rolled back by `open`, which appends a
+    /// compensating [`WalRecord::TxnAbort`] for each.
+    pub rolled_back: usize,
     /// What the post-replay simplification pass accomplished. Replay runs
     /// unsimplified (the §4 configuration), so recovery folds the store
     /// back down afterwards; this is that pass's report — all zeros when
@@ -811,7 +838,58 @@ pub struct DurableDatabase<S: Storage> {
     /// the replication fan-out. Bounded by the append→drain window (one
     /// write batch on the server).
     shipping_tail: Option<Vec<WalEntry>>,
+    /// Open transactions, keyed by id (= the begin record's LSN). Each
+    /// holds a read-your-writes workspace and the redo list its commit
+    /// re-applies to the live database.
+    txns: HashMap<u64, OpenTxn>,
+    /// Bumped whenever the *live* database mutates (plain journaled
+    /// writes, transaction commits, compaction swaps) — the staleness
+    /// stamp transaction workspaces are rebuilt against.
+    applied_version: u64,
+    /// The records behind the most recent `applied_version` bumps,
+    /// tagged with the version each one produced — the delta a stale
+    /// transaction workspace catches up on without cloning the live
+    /// database (everything here is footprint-disjoint from any open
+    /// transaction's held atoms, hence commutative with its ops —
+    /// Theorems 3/4). Bounded by [`RECENT_CAP`]; compaction swaps clear
+    /// it (the delta cannot express a re-encoding).
+    recent: VecDeque<(u64, WalRecord)>,
+    /// Highest version evicted from (or never covered by) `recent`: the
+    /// deque covers exactly `(recent_floor, applied_version]`. A
+    /// workspace whose basis fell below the floor takes the full
+    /// clone-and-redo rebuild instead.
+    recent_floor: u64,
     stats: WalStats,
+}
+
+/// How many live-mutation records [`DurableDatabase::recent`] retains
+/// for delta workspace refreshes before falling back to full rebuilds.
+const RECENT_CAP: usize = 256;
+
+/// One open transaction's private state.
+#[derive(Clone, Debug)]
+struct OpenTxn {
+    /// The live database as of `basis_version`, plus this transaction's
+    /// own ops — what its statements parse and apply against, giving
+    /// read-your-writes without touching the shared state.
+    workspace: LogicalDatabase,
+    /// [`DurableDatabase::applied_version`] the workspace was built at;
+    /// when the live database has advanced past it, the workspace is
+    /// rebuilt (fresh clone + redo replay) before the next statement.
+    basis_version: u64,
+    /// Journaled intents in order — the redo list commit re-applies to
+    /// the live database.
+    ops: Vec<WalRecord>,
+}
+
+/// How a journaled transactional statement failed.
+enum TxnJournalErr {
+    /// The statement was refused; the workspace was restored and the
+    /// transaction stays open.
+    Refused(DbError),
+    /// The workspace could not be restored after a refused apply; the
+    /// transaction must self-abort.
+    Broken(DbError),
 }
 
 impl<S: Storage> DurableDatabase<S> {
@@ -840,11 +918,16 @@ impl<S: Storage> DurableDatabase<S> {
                 nodes_at_snapshot: nodes,
                 compaction_tail: None,
                 shipping_tail: None,
+                txns: HashMap::new(),
+                applied_version: 0,
+                recent: VecDeque::new(),
+                recent_floor: 0,
                 stats: WalStats::default(),
             };
             return Ok((me, RecoveryReport::default()));
         }
-        let (db, next_lsn, snapshot_lsn, mut report) = Self::recover(&storage, db_options)?;
+        let (db, next_lsn, snapshot_lsn, mut report, unfinished) =
+            Self::recover(&storage, db_options)?;
         if wal_missing {
             // Snapshot-only storage (e.g. the WAL was lost with the
             // snapshot intact): start a fresh log.
@@ -860,9 +943,23 @@ impl<S: Storage> DurableDatabase<S> {
             nodes_at_snapshot: 0,
             compaction_tail: None,
             shipping_tail: None,
+            txns: HashMap::new(),
+            applied_version: 0,
+            recent: VecDeque::new(),
+            recent_floor: 0,
             stats: WalStats::default(),
         };
         me.nodes_at_snapshot = me.db.theory().store_nodes();
+        // Roll back transactions the crash left in flight: append the
+        // compensating abort marker so the *next* recovery skips their
+        // intents without rescanning for an unfinished tail.
+        for txn in &unfinished {
+            me.append_entry(WalRecord::TxnAbort(*txn))?;
+        }
+        if !unfinished.is_empty() {
+            me.sync()?;
+            report.rolled_back = unfinished.len();
+        }
         if report.truncated.is_some() || report.replay_error.is_some() {
             me.checkpoint()?;
             report.repaired = true;
@@ -872,10 +969,11 @@ impl<S: Storage> DurableDatabase<S> {
 
     /// Loads the snapshot (if any) and replays the WAL suffix through the
     /// §4 replay path, stopping at the first failing record.
+    #[allow(clippy::type_complexity)]
     fn recover(
         storage: &S,
         db_options: DbOptions,
-    ) -> Result<(LogicalDatabase, u64, u64, RecoveryReport), DbError> {
+    ) -> Result<(LogicalDatabase, u64, u64, RecoveryReport, Vec<u64>), DbError> {
         let (mut db, snapshot_lsn) = match read_snapshot(storage)? {
             Some(snap) => {
                 let theory = persist::restore_theory(&snap.theory)?;
@@ -925,6 +1023,36 @@ impl<S: Storage> DurableDatabase<S> {
                 _ => None,
             })
             .collect();
+        // Transaction outcomes: a TxnOp is effective only if its commit
+        // marker made it into the intact log. Anything begun but neither
+        // committed nor aborted is an in-flight transaction the crash
+        // interrupted — its intents are skipped here and `open` appends
+        // the compensating abort marker.
+        let mut txn_seen: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        let mut txn_committed: HashSet<u64> = HashSet::new();
+        let mut txn_aborted: HashSet<u64> = HashSet::new();
+        for entry in &parsed.entries {
+            match &entry.record {
+                WalRecord::TxnBegin(t) => {
+                    txn_seen.insert(*t);
+                }
+                WalRecord::TxnOp(txn, _) => {
+                    txn_seen.insert(*txn);
+                }
+                WalRecord::TxnCommit(t) => {
+                    txn_committed.insert(*t);
+                }
+                WalRecord::TxnAbort(t) => {
+                    txn_aborted.insert(*t);
+                }
+                _ => {}
+            }
+        }
+        let unfinished: Vec<u64> = txn_seen
+            .iter()
+            .copied()
+            .filter(|t| !txn_committed.contains(t) && !txn_aborted.contains(t))
+            .collect();
         for entry in &parsed.entries {
             if entry.lsn < snapshot_lsn
                 || aborted.contains(&entry.lsn)
@@ -933,7 +1061,24 @@ impl<S: Storage> DurableDatabase<S> {
                 report.skipped += 1;
                 continue;
             }
-            match Self::replay_entry(&mut db, &entry.record) {
+            // Committed transactions replay their intents at journal
+            // position: the lock table made everything interleaved with
+            // them footprint-disjoint, so this equals replaying them at
+            // the commit point (Theorems 3/4). Uncommitted intents and
+            // the markers themselves replay nothing.
+            let effective: Option<&WalRecord> = match &entry.record {
+                WalRecord::TxnOp(txn, op) if txn_committed.contains(txn) => Some(op),
+                WalRecord::TxnOp(..)
+                | WalRecord::TxnBegin(_)
+                | WalRecord::TxnCommit(_)
+                | WalRecord::TxnAbort(_) => None,
+                other => Some(other),
+            };
+            let Some(record) = effective else {
+                report.skipped += 1;
+                continue;
+            };
+            match Self::replay_entry(&mut db, record) {
                 Ok(()) => report.replayed += 1,
                 Err(e) => {
                     report.replay_error = Some(e.to_string());
@@ -946,7 +1091,7 @@ impl<S: Storage> DurableDatabase<S> {
         // infallible (it returns a report, not a Result), so the only
         // thing to lose here is the report itself — surface it.
         report.simplify = db.simplify(db_options.simplify);
-        Ok((db, next_lsn, snapshot_lsn, report))
+        Ok((db, next_lsn, snapshot_lsn, report, unfinished))
     }
 
     fn replay_entry(db: &mut LogicalDatabase, record: &WalRecord) -> Result<(), DbError> {
@@ -1005,6 +1150,12 @@ pub fn replay_record(db: &mut LogicalDatabase, record: &WalRecord) -> Result<(),
             db.log = log;
         }
         WalRecord::Abort(_) => {}
+        // Transaction markers carry no state transition of their own. A
+        // `TxnOp` applies its inner operation — callers (recovery, the
+        // replica's tailer) gate on the commit marker *before* handing
+        // the op here, buffering or dropping uncommitted intents.
+        WalRecord::TxnBegin(_) | WalRecord::TxnCommit(_) | WalRecord::TxnAbort(_) => {}
+        WalRecord::TxnOp(_, op) => replay_record(db, op)?,
     }
     Ok(())
 }
@@ -1057,10 +1208,15 @@ impl<S: Storage> DurableDatabase<S> {
         record: WalRecord,
         apply: impl FnOnce(&mut LogicalDatabase) -> Result<T, DbError>,
     ) -> Result<T, DbError> {
+        let copy = record.clone();
         let lsn = self.append_entry(record)?;
         let before = self.db.clone();
         match apply(&mut self.db) {
-            Ok(v) => Ok(v),
+            Ok(v) => {
+                self.applied_version += 1;
+                self.push_recent(self.applied_version, copy);
+                Ok(v)
+            }
             Err(e) => {
                 // GUA's apply is not atomic in memory (a store-capacity
                 // error can strike mid-step), so restore the pre-intent
@@ -1075,6 +1231,11 @@ impl<S: Storage> DurableDatabase<S> {
     }
 
     fn maybe_compact(&mut self) -> Result<(), DbError> {
+        // A checkpoint taken mid-transaction would strand a later commit's
+        // early intents below the snapshot boundary; wait for quiescence.
+        if !self.txns.is_empty() {
+            return Ok(());
+        }
         let Some(factor) = self.wal_options.compact_growth_factor else {
             return Ok(());
         };
@@ -1165,6 +1326,399 @@ impl<S: Storage> DurableDatabase<S> {
         Ok(report)
     }
 
+    // ----- multi-statement transactions -------------------------------------
+    //
+    // A transaction is a private workspace (clone of the live database)
+    // plus a redo list of journaled `TxnOp` intents. Statements parse and
+    // apply against the workspace — read-your-writes, with no effect on
+    // the live state — and commit re-applies the redo list to the live
+    // database under the caller's writer lock, then appends the commit
+    // marker whose durability *is* the transaction's durability.
+    //
+    // Correctness of deferred re-application rests on the server's lock
+    // discipline: every statement's footprint atoms are locked (strict
+    // 2PL) before its intent is journaled, and every non-transactional
+    // write checks the lock table under the same writer lock before it
+    // applies. Everything that commits between a statement's workspace
+    // application and its transaction's commit is therefore
+    // footprint-disjoint from it, hence commutative with it (Theorems
+    // 3/4) — so replaying the redo list at commit lands the same state
+    // the workspace computed.
+
+    /// Opens a transaction, returning its id (the begin record's LSN).
+    pub fn txn_begin(&mut self) -> Result<u64, DbError> {
+        let id = self.next_lsn;
+        self.append_entry(WalRecord::TxnBegin(id))?;
+        self.txns.insert(
+            id,
+            OpenTxn {
+                workspace: self.db.clone(),
+                basis_version: self.applied_version,
+                ops: Vec::new(),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Number of open transactions.
+    pub fn txn_active(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// Whether `txn` is open.
+    pub fn txn_open(&self, txn: u64) -> bool {
+        self.txns.contains_key(&txn)
+    }
+
+    /// Ids of every open transaction (the drain path aborts them all).
+    pub fn txn_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.txns.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The transaction's read-your-writes view, if it is open. The
+    /// workspace may lag the live database by concurrently committed
+    /// footprint-disjoint writes until the next statement rebuilds it.
+    pub fn txn_view(&self, txn: u64) -> Option<&LogicalDatabase> {
+        self.txns.get(&txn).map(|s| &s.workspace)
+    }
+
+    /// Re-applies one journaled op to `db` the way the live writer would
+    /// (inline simplify), rather than through the unsimplified §4 replay.
+    fn reapply(db: &mut LogicalDatabase, op: &WalRecord) -> Result<(), DbError> {
+        if let WalRecord::Apply(ud) = op {
+            let u = restore_update(ud, db.theory_mut())?;
+            db.apply_effective(&u)?;
+            Ok(())
+        } else {
+            replay_record(db, op)
+        }
+    }
+
+    /// Retains one live-mutation record for delta refreshes, evicting
+    /// whole version groups (a transaction commit lands several records
+    /// under one version; covering a version partially is useless) and
+    /// advancing the floor past what was evicted.
+    fn push_recent(&mut self, version: u64, record: WalRecord) {
+        self.recent.push_back((version, record));
+        while self.recent.len() > RECENT_CAP {
+            let Some(&(v, _)) = self.recent.front() else {
+                break;
+            };
+            while self.recent.front().is_some_and(|(f, _)| *f == v) {
+                self.recent.pop_front();
+            }
+            self.recent_floor = v;
+        }
+    }
+
+    /// Brings the workspace current when the live database has advanced
+    /// under it. Fast path: replay just the foreign delta from
+    /// [`DurableDatabase::recent`] onto the workspace in place — sound
+    /// because everything committed while this transaction is open is
+    /// footprint-disjoint from every atom it holds (the server's lock
+    /// discipline), hence commutative with its ops (Theorems 3/4).
+    /// Fallback when the delta was evicted (or a delta op refuses):
+    /// fresh clone plus redo replay. Either way the refreshed view
+    /// agrees with the old one on every atom the transaction touches.
+    fn refresh_workspace(&mut self, state: &mut OpenTxn) -> Result<(), DbError> {
+        if state.basis_version == self.applied_version {
+            return Ok(());
+        }
+        let delta_len = if state.basis_version >= self.recent_floor {
+            self.recent
+                .iter()
+                .filter(|(v, _)| *v > state.basis_version)
+                .count()
+        } else {
+            usize::MAX
+        };
+        // Both paths cost one replayed op per record; take the shorter
+        // list (the rebuild's clone is worth about one op).
+        if delta_len <= state.ops.len() + 1 {
+            let mut ok = true;
+            for (v, r) in &self.recent {
+                if *v <= state.basis_version {
+                    continue;
+                }
+                if Self::reapply(&mut state.workspace, r).is_err() {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                state.basis_version = self.applied_version;
+                return Ok(());
+            }
+            // A refused delta op leaves the workspace partially caught
+            // up; the full rebuild below replaces it wholesale.
+        }
+        let mut ws = self.db.clone();
+        for op in &state.ops {
+            Self::reapply(&mut ws, op)?;
+        }
+        state.workspace = ws;
+        state.basis_version = self.applied_version;
+        Ok(())
+    }
+
+    /// Journals one intent for `txn` and applies it to the workspace,
+    /// with the same intent/compensation pairing as the plain
+    /// [`DurableDatabase::journaled`] path: a refused op appends
+    /// [`WalRecord::Abort`] for its own LSN, so recovery and followers
+    /// drop it even when the transaction later commits.
+    ///
+    /// Unlike the plain path, no defensive pre-apply clone is paid per
+    /// statement: a refused apply (which can strike mid-step) is undone
+    /// by rebuilding the workspace from the live database plus the redo
+    /// list — the rare failure pays the clone instead of every success.
+    /// If that rebuild itself fails, the workspace is unrecoverable and
+    /// the error is [`TxnJournalErr::Broken`]: the caller must not keep
+    /// the transaction open (see [`DurableDatabase::txn_settle`]).
+    fn txn_journal<T>(
+        &mut self,
+        state: &mut OpenTxn,
+        txn: u64,
+        inner: WalRecord,
+        apply: impl FnOnce(&mut LogicalDatabase) -> Result<T, DbError>,
+    ) -> Result<T, TxnJournalErr> {
+        let lsn = self
+            .append_entry(WalRecord::TxnOp(txn, Box::new(inner.clone())))
+            .map_err(TxnJournalErr::Refused)?;
+        match apply(&mut state.workspace) {
+            Ok(v) => {
+                state.ops.push(inner);
+                Ok(v)
+            }
+            Err(e) => {
+                if self.append_entry(WalRecord::Abort(lsn)).is_ok() {
+                    let _ = self.sync();
+                }
+                let mut ws = self.db.clone();
+                for op in &state.ops {
+                    if let Err(re) = Self::reapply(&mut ws, op) {
+                        return Err(TxnJournalErr::Broken(re));
+                    }
+                }
+                state.workspace = ws;
+                state.basis_version = self.applied_version;
+                Err(TxnJournalErr::Refused(e))
+            }
+        }
+    }
+
+    /// Puts a transaction back in the open map after a statement —
+    /// unless its workspace could not be restored, in which case the
+    /// transaction self-aborts (compensating marker journaled) exactly
+    /// like a failed re-application at commit.
+    fn txn_settle<T>(
+        &mut self,
+        txn: u64,
+        state: OpenTxn,
+        result: Result<T, TxnJournalErr>,
+    ) -> Result<T, DbError> {
+        match result {
+            Ok(v) => {
+                self.txns.insert(txn, state);
+                Ok(v)
+            }
+            Err(TxnJournalErr::Refused(e)) => {
+                self.txns.insert(txn, state);
+                Err(e)
+            }
+            Err(TxnJournalErr::Broken(e)) => {
+                if self.append_entry(WalRecord::TxnAbort(txn)).is_ok() {
+                    let _ = self.sync();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Takes the open transaction out of the map (so `self` can journal
+    /// while the state is borrowed) with a typed error when it is not
+    /// open, refreshing its workspace on the way out.
+    fn txn_take(&mut self, txn: u64) -> Result<OpenTxn, DbError> {
+        self.txn_take_with(txn, true)
+    }
+
+    /// [`Self::txn_take`] with the workspace refresh made optional.
+    /// Skipping is sound only when the caller can prove the statement
+    /// about to run cannot observe anything committed since the last
+    /// refresh — see [`Self::txn_execute_covered`].
+    fn txn_take_with(&mut self, txn: u64, refresh: bool) -> Result<OpenTxn, DbError> {
+        let mut state = self.txns.remove(&txn).ok_or(DbError::TxnUnknown { txn })?;
+        if refresh {
+            if let Err(e) = self.refresh_workspace(&mut state) {
+                self.txns.insert(txn, state);
+                return Err(e);
+            }
+        }
+        Ok(state)
+    }
+
+    /// Executes one LDML statement inside `txn`: parsed, widened, and
+    /// validated against the transaction's workspace, journaled as a
+    /// [`WalRecord::TxnOp`] intent, applied to the workspace only.
+    pub fn txn_execute(&mut self, txn: u64, src: &str) -> Result<UpdateReport, DbError> {
+        self.txn_execute_inner(txn, src, true)
+    }
+
+    /// [`Self::txn_execute`] for a statement whose entire lock
+    /// footprint is already held by `txn` (see
+    /// [`crate::txn::LockTable::holds_all`]). Held atoms cannot have
+    /// been changed by another writer since they were first locked —
+    /// and the statement that first locked each atom ran through the
+    /// refreshing path — so the workspace is current on every atom this
+    /// statement reads or writes and the clone-and-redo rebuild can be
+    /// skipped even when other transactions committed in between.
+    pub fn txn_execute_covered(&mut self, txn: u64, src: &str) -> Result<UpdateReport, DbError> {
+        self.txn_execute_inner(txn, src, false)
+    }
+
+    fn txn_execute_inner(
+        &mut self,
+        txn: u64,
+        src: &str,
+        refresh: bool,
+    ) -> Result<UpdateReport, DbError> {
+        let mut state = self.txn_take_with(txn, refresh)?;
+        let result = (|| {
+            let parsed = state
+                .workspace
+                .parse_update(src)
+                .map_err(TxnJournalErr::Refused)?;
+            let effective = state.workspace.effective_update(&parsed);
+            {
+                let t = state.workspace.theory();
+                effective
+                    .validate(&t.vocab, &t.atoms)
+                    .map_err(|e| TxnJournalErr::Refused(e.into()))?;
+            }
+            let dump = dump_update(&effective, state.workspace.theory());
+            self.txn_journal(&mut state, txn, WalRecord::Apply(dump), move |db| {
+                db.apply_effective(&effective)
+            })
+        })();
+        self.txn_settle(txn, state, result)
+    }
+
+    /// Declares an untyped relation inside `txn` (journaled intent).
+    pub fn txn_declare_relation(
+        &mut self,
+        txn: u64,
+        name: &str,
+        arity: usize,
+    ) -> Result<(), DbError> {
+        let mut state = self.txn_take(txn)?;
+        let result = self.txn_journal(
+            &mut state,
+            txn,
+            WalRecord::DeclareRelation(name.to_string(), arity),
+            |db| db.declare_relation(name, arity).map(|_| ()),
+        );
+        self.txn_settle(txn, state, result)
+    }
+
+    /// Declares a unary attribute predicate inside `txn` (journaled
+    /// intent).
+    pub fn txn_declare_attribute(&mut self, txn: u64, name: &str) -> Result<(), DbError> {
+        let mut state = self.txn_take(txn)?;
+        let result = self.txn_journal(
+            &mut state,
+            txn,
+            WalRecord::DeclareAttribute(name.to_string()),
+            |db| db.declare_attribute(name).map(|_| ()),
+        );
+        self.txn_settle(txn, state, result)
+    }
+
+    /// Loads a ground fact inside `txn` (journaled intent).
+    pub fn txn_load_fact(&mut self, txn: u64, pred: &str, args: &[&str]) -> Result<(), DbError> {
+        let mut state = self.txn_take(txn)?;
+        let record = WalRecord::LoadFact(
+            pred.to_string(),
+            args.iter().map(|s| s.to_string()).collect(),
+        );
+        let result = self.txn_journal(&mut state, txn, record, |db| {
+            db.load_fact(pred, args).map(|_| ())
+        });
+        self.txn_settle(txn, state, result)
+    }
+
+    /// Loads a ground wff inside `txn` (journaled intent).
+    pub fn txn_load_wff(&mut self, txn: u64, src: &str) -> Result<(), DbError> {
+        let mut state = self.txn_take(txn)?;
+        let result = self.txn_journal(&mut state, txn, WalRecord::LoadWff(src.to_string()), |db| {
+            db.load_wff(src)
+        });
+        self.txn_settle(txn, state, result)
+    }
+
+    /// Commits `txn`: brings the workspace current (a no-op unless a
+    /// foreign commit landed since its last rebuild — then it is one
+    /// clone-and-redo refresh), installs it as the live database, appends
+    /// the commit marker, and makes it durable (the transaction's single
+    /// fsync point). The install is sound because every live mutation
+    /// bumps `applied_version`, so a current-basis workspace *is* the
+    /// live database plus this transaction's redo list — the same state
+    /// the old re-apply-at-commit loop computed, without cloning the
+    /// live theory on the happy path. Returns the commit LSN and the
+    /// number of ops made effective. A redo re-application failure
+    /// during the refresh (possible only if the lock discipline was
+    /// bypassed, or on a store-capacity class error) leaves the live
+    /// state untouched and aborts the transaction instead.
+    pub fn txn_commit(&mut self, txn: u64) -> Result<(u64, usize), DbError> {
+        let mut state = self.txns.remove(&txn).ok_or(DbError::TxnUnknown { txn })?;
+        if let Err(e) = self.refresh_workspace(&mut state) {
+            if self.append_entry(WalRecord::TxnAbort(txn)).is_ok() {
+                let _ = self.sync();
+            }
+            return Err(e);
+        }
+        let ops = state.ops.len();
+        // A workspace cloned this version shares the retired theory's
+        // generation counters; force the installed generation strictly
+        // past it so snapshot readers keyed on the old generation can
+        // never mistake one encoding for the other (same discipline as
+        // the compaction swap).
+        let generation_before = self.db.theory().generation();
+        state
+            .workspace
+            .theory_mut()
+            .advance_generation_past(generation_before);
+        let before = std::mem::replace(&mut self.db, state.workspace);
+        let lsn = match self.append_entry(WalRecord::TxnCommit(txn)) {
+            Ok(lsn) => lsn,
+            Err(e) => {
+                // Unacknowledged and unmarked: recovery rolls it back, so
+                // the live view must match.
+                self.db = before;
+                return Err(e);
+            }
+        };
+        self.sync()?;
+        self.applied_version += 1;
+        // The redo list is the delta other open workspaces need to catch
+        // up on this commit — one version group.
+        for op in state.ops {
+            self.push_recent(self.applied_version, op);
+        }
+        self.maybe_compact()?;
+        Ok((lsn, ops))
+    }
+
+    /// Rolls `txn` back: the workspace is dropped, the abort marker is
+    /// journaled, and the live database is untouched (nothing to undo —
+    /// intents never applied to it).
+    pub fn txn_rollback(&mut self, txn: u64) -> Result<(), DbError> {
+        let state = self.txns.remove(&txn).ok_or(DbError::TxnUnknown { txn })?;
+        drop(state);
+        self.append_entry(WalRecord::TxnAbort(txn))?;
+        self.sync()
+    }
+
     /// Durably flushes all appended records (a group-commit sync point).
     pub fn sync(&mut self) -> Result<(), DbError> {
         if self.unsynced > 0 {
@@ -1181,6 +1735,14 @@ impl<S: Storage> DurableDatabase<S> {
     /// current, so an old WAL alongside a new snapshot merely replays
     /// zero records.
     pub fn checkpoint(&mut self) -> Result<(), DbError> {
+        // Refused while transactions are open: the snapshot would fold in
+        // only the *live* state, and resetting the log would drop the
+        // journaled intents a still-open transaction needs to commit.
+        if !self.txns.is_empty() {
+            return Err(DbError::TxnOpen {
+                active: self.txns.len(),
+            });
+        }
         self.sync()?;
         let snap = WalSnapshot {
             version: SNAPSHOT_VERSION,
@@ -1358,6 +1920,17 @@ impl<S: Storage> DurableDatabase<S> {
                 _ => None,
             })
             .collect();
+        // Transactions begun during the capture→install window: only ops
+        // whose commit marker is in the tail reached the live theory (the
+        // server never captures while transactions are open, so no
+        // transaction straddles the capture point).
+        let committed: HashSet<u64> = tail
+            .iter()
+            .filter_map(|e| match e.record {
+                WalRecord::TxnCommit(t) => Some(t),
+                _ => None,
+            })
+            .collect();
         let mut scratch = LogicalDatabase::from_theory(compacted, self.db.options());
         let mut replayed = 0usize;
         for entry in &tail {
@@ -1367,16 +1940,24 @@ impl<S: Storage> DurableDatabase<S> {
             {
                 continue;
             }
+            let record = match &entry.record {
+                WalRecord::TxnOp(txn, op) if committed.contains(txn) => op.as_ref(),
+                WalRecord::TxnOp(..)
+                | WalRecord::TxnBegin(_)
+                | WalRecord::TxnCommit(_)
+                | WalRecord::TxnAbort(_) => continue,
+                other => other,
+            };
             // Unlike crash recovery (which replays through the §4
             // unsimplified path and folds once at the end), replay the
             // suffix exactly as the live writer applied it — inline
             // simplify at the configured level — so the installed theory
             // is never bulkier than the one it replaces.
-            if let WalRecord::Apply(ud) = &entry.record {
+            if let WalRecord::Apply(ud) = record {
                 let u = restore_update(ud, scratch.theory_mut())?;
                 scratch.apply_effective(&u)?;
             } else {
-                Self::replay_entry(&mut scratch, &entry.record)?;
+                Self::replay_entry(&mut scratch, record)?;
             }
             replayed += 1;
         }
@@ -1388,9 +1969,18 @@ impl<S: Storage> DurableDatabase<S> {
             .theory_mut()
             .advance_generation_past(generation_before);
         self.db = scratch;
+        self.applied_version += 1;
+        // A compaction swap re-encodes the whole theory; no record delta
+        // can express it, so stale workspaces must take the full rebuild.
+        self.recent.clear();
+        self.recent_floor = self.applied_version;
         let nodes_after = self.db.theory().store_nodes();
         let generation_after = self.db.theory().generation();
         debug_assert!(generation_after > generation_before);
+        // A transaction may have begun after the capture; checkpointing
+        // now would hit the open-transaction refusal, so skip it and let
+        // the next quiescent round (or auto-compaction) fold the log.
+        let checkpoint = checkpoint && self.txns.is_empty();
         if checkpoint {
             self.checkpoint()?;
         }
@@ -2304,5 +2894,163 @@ mod tests {
         );
         // Catch-up at exactly next_lsn is an empty suffix, not an error.
         assert_eq!(ddb.catchup_from(next).unwrap(), Catchup::Suffix(vec![]));
+    }
+
+    // ----- transactions -----------------------------------------------------
+
+    #[test]
+    fn txn_commit_applies_and_rollback_discards() {
+        let mut ddb = seeded(opts_nocompact());
+        let before = world_set(ddb.db());
+
+        // A rolled-back transaction leaves no trace on the live state.
+        let t1 = ddb.txn_begin().unwrap();
+        ddb.txn_execute(t1, "INSERT Orders(1,1,1) WHERE T").unwrap();
+        assert_eq!(world_set(ddb.db()), before, "intents stay in the workspace");
+        ddb.txn_rollback(t1).unwrap();
+        assert_eq!(world_set(ddb.db()), before);
+        assert_eq!(ddb.txn_active(), 0);
+
+        // A committed transaction lands atomically, and its workspace gave
+        // read-your-writes along the way.
+        let t2 = ddb.txn_begin().unwrap();
+        ddb.txn_execute(t2, "INSERT Orders(2,2,2) WHERE T").unwrap();
+        ddb.txn_execute(t2, "DELETE Orders(2,2,2) WHERE T").unwrap();
+        ddb.txn_execute(t2, "INSERT Orders(3,3,3) WHERE T").unwrap();
+        let view = ddb.txn_view(t2).unwrap();
+        assert_ne!(world_set(view), before, "workspace sees own writes");
+        let (lsn, ops) = ddb.txn_commit(t2).unwrap();
+        assert_eq!(ops, 3);
+        assert!(lsn > t2);
+        let committed = world_set(ddb.db());
+        assert_ne!(committed, before);
+
+        // Recovery reconstructs exactly the committed state.
+        let (recovered, report) = reopen(ddb.into_storage());
+        assert_eq!(world_set(recovered.db()), committed);
+        assert_eq!(report.rolled_back, 0);
+    }
+
+    #[test]
+    fn txn_interleaves_with_plain_writes_on_disjoint_atoms() {
+        let mut ddb = seeded(opts_nocompact());
+        let txn = ddb.txn_begin().unwrap();
+        ddb.txn_execute(txn, "INSERT Orders(5,5,5) WHERE T")
+            .unwrap();
+        // A disjoint plain write commits mid-transaction; the next
+        // statement rebuilds the workspace over it.
+        ddb.execute("INSERT InStock(9,9) WHERE T").unwrap();
+        ddb.txn_execute(txn, "INSERT Orders(6,6,6) WHERE InStock(9,9)")
+            .unwrap();
+        ddb.txn_commit(txn).unwrap();
+        let live = world_set(ddb.db());
+        let (recovered, _) = reopen(ddb.into_storage());
+        assert_eq!(world_set(recovered.db()), live);
+        let mut probe = recovered;
+        for wff in ["Orders(5,5,5)", "Orders(6,6,6)", "InStock(9,9)"] {
+            assert!(
+                probe.db_mut().is_certain(wff).unwrap(),
+                "{wff} must be certain after commit"
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_rolls_back_unfinished_transaction() {
+        let mut ddb = seeded(opts_nocompact());
+        let base = world_set(ddb.db());
+        let txn = ddb.txn_begin().unwrap();
+        ddb.txn_execute(txn, "INSERT Orders(7,7,7) WHERE T")
+            .unwrap();
+        ddb.txn_execute(txn, "DELETE Orders(700,32,9) WHERE T")
+            .unwrap();
+        // Crash before commit: the storage holds begin + two intents and
+        // no marker.
+        let (recovered, report) = reopen(ddb.into_storage());
+        assert_eq!(report.rolled_back, 1, "one in-flight txn rolled back");
+        assert_eq!(world_set(recovered.db()), base);
+        // The compensation marker is durable: a second recovery sees a
+        // finished (aborted) transaction, not another rollback.
+        let (again, report2) = reopen(recovered.into_storage());
+        assert_eq!(report2.rolled_back, 0);
+        assert_eq!(world_set(again.db()), base);
+    }
+
+    #[test]
+    fn txn_statement_refusal_journals_compensation_inside_txn() {
+        let mut ddb = seeded(opts_nocompact());
+        let txn = ddb.txn_begin().unwrap();
+        ddb.txn_execute(txn, "INSERT Orders(8,8,8) WHERE T")
+            .unwrap();
+        // An unparseable statement refuses without killing the txn.
+        assert!(ddb.txn_execute(txn, "INSERT nonsense((").is_err());
+        assert!(ddb.txn_open(txn));
+        ddb.txn_commit(txn).unwrap();
+        let live = world_set(ddb.db());
+        let (recovered, _) = reopen(ddb.into_storage());
+        assert_eq!(world_set(recovered.db()), live);
+    }
+
+    #[test]
+    fn checkpoint_refused_while_txn_open_then_allowed() {
+        let mut ddb = seeded(opts_nocompact());
+        let txn = ddb.txn_begin().unwrap();
+        ddb.txn_execute(txn, "INSERT Orders(9,9,9) WHERE T")
+            .unwrap();
+        assert!(matches!(
+            ddb.checkpoint(),
+            Err(DbError::TxnOpen { active: 1 })
+        ));
+        ddb.txn_commit(txn).unwrap();
+        ddb.checkpoint().unwrap();
+        let live = world_set(ddb.db());
+        let (recovered, report) = reopen(ddb.into_storage());
+        assert_eq!(report.replayed, 0, "checkpoint folded everything");
+        assert_eq!(world_set(recovered.db()), live);
+    }
+
+    #[test]
+    fn txn_unknown_ids_are_typed_errors() {
+        let mut ddb = seeded(opts_nocompact());
+        assert!(matches!(
+            ddb.txn_commit(999),
+            Err(DbError::TxnUnknown { txn: 999 })
+        ));
+        assert!(matches!(
+            ddb.txn_rollback(999),
+            Err(DbError::TxnUnknown { txn: 999 })
+        ));
+        assert!(matches!(
+            ddb.txn_execute(999, "INSERT Orders(1,1,1) WHERE T"),
+            Err(DbError::TxnUnknown { txn: 999 })
+        ));
+        // Double-commit: the first consumes the txn.
+        let txn = ddb.txn_begin().unwrap();
+        ddb.txn_commit(txn).unwrap();
+        assert!(matches!(
+            ddb.txn_commit(txn),
+            Err(DbError::TxnUnknown { .. })
+        ));
+    }
+
+    #[test]
+    fn concurrent_txns_with_disjoint_footprints_both_commit() {
+        let mut ddb = seeded(opts_nocompact());
+        let t1 = ddb.txn_begin().unwrap();
+        let t2 = ddb.txn_begin().unwrap();
+        ddb.txn_execute(t1, "INSERT Orders(10,1,1) WHERE T")
+            .unwrap();
+        ddb.txn_execute(t2, "INSERT InStock(20,2) WHERE T").unwrap();
+        ddb.txn_execute(t1, "INSERT Orders(11,1,1) WHERE T")
+            .unwrap();
+        ddb.txn_commit(t2).unwrap();
+        ddb.txn_commit(t1).unwrap();
+        let live = world_set(ddb.db());
+        let (mut recovered, report) = reopen(ddb.into_storage());
+        assert_eq!(report.rolled_back, 0);
+        assert_eq!(world_set(recovered.db()), live);
+        for wff in ["Orders(10,1,1)", "Orders(11,1,1)", "InStock(20,2)"] {
+            assert!(recovered.db_mut().is_certain(wff).unwrap(), "{wff}");
+        }
     }
 }

@@ -16,6 +16,7 @@ USAGE:
   winslett-serve serve --dir PATH [--addr HOST:PORT] [--idle-secs N]
                        [--max-conns N] [--group-commit N] [--no-batch]
                        [--compact | --no-compact] [--threaded]
+                       [--lock-timeout-ms N]
   winslett-serve serve --replica-of HOST:PORT [--addr HOST:PORT]
                        [--idle-secs N] [--max-conns N]
   winslett-serve repl  --addr HOST:PORT
@@ -34,6 +35,10 @@ serve   Serve a durable database from PATH (created if missing).
         --threaded serves with the classic blocking
         thread-per-connection loop instead of the default nonblocking
         epoll reactor (kept as the benchmarking baseline).
+        --lock-timeout-ms bounds how long a transaction statement waits
+        for a contended footprint lock before the transaction is rolled
+        back with a typed TxnTimeout (default 2000; doubles as the
+        deadlock-avoidance bound).
         With --replica-of, serve a read-only WAL-shipping replica of the
         primary at HOST:PORT instead: the database is rebuilt in memory
         from the primary's checkpoint and WAL stream, reads (query /
@@ -41,8 +46,8 @@ serve   Serve a durable database from PATH (created if missing).
         pinned-LSN consistency, and every write is a typed ReadOnly
         refusal. --dir is not used in replica mode.
 repl    Interactive client. Lines are LDML statements; prefixed
-        commands: query / check / explain / pin / unpin / stats /
-        checkpoint / shutdown / quit.
+        commands: query / check / explain / pin / unpin / begin /
+        commit / rollback / stats / checkpoint / shutdown / quit.
 smoke   In-process end-to-end session against an ephemeral-port server
         (the `make serve-smoke` gate). Exits non-zero on any mismatch.
 ";
@@ -137,12 +142,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     } else {
         Some(CompactionPolicy::default())
     };
+    let lock_timeout_ms: u64 = parsed_flag(args, "--lock-timeout-ms")?.unwrap_or(2000);
     let server_options = ServerOptions {
         max_connections: max_conns,
         idle_timeout: Duration::from_secs(idle_secs.max(1)),
         batch_writes: !args.iter().any(|a| a == "--no-batch"),
         compaction,
         threaded: args.iter().any(|a| a == "--threaded"),
+        lock_timeout: Duration::from_millis(lock_timeout_ms.max(1)),
     };
     let (server, report) = Server::bind(
         addr,
@@ -257,6 +264,7 @@ fn cmd_repl(args: &[String]) -> Result<(), String> {
                      check <wff>           entailment check\n  \
                      explain <wff>         verdict + witness worlds\n  \
                      pin | unpin           snapshot isolation\n  \
+                     begin | commit | rollback  multi-statement transaction\n  \
                      stats | checkpoint | shutdown | quit"
                 );
                 continue;
@@ -290,6 +298,18 @@ fn cmd_repl(args: &[String]) -> Result<(), String> {
                 )
             }),
             ("unpin", _) => client.unpin().map(|()| "unpinned".to_string()),
+            ("begin", _) => client
+                .begin()
+                .map(|t| format!("transaction {} open", t.txn)),
+            ("commit", _) => client.commit().map(|t| {
+                format!(
+                    "transaction {} committed: {} statements, lsn {}",
+                    t.txn, t.statements, t.lsn
+                )
+            }),
+            ("rollback", _) => client
+                .rollback()
+                .map(|t| format!("transaction {} rolled back", t.txn)),
             ("stats", _) => client.stats().map(|s| format!("{s:#?}")),
             ("checkpoint", _) => client
                 .checkpoint()
@@ -424,6 +444,28 @@ fn cmd_smoke() -> Result<(), String> {
     let ckpt = c.checkpoint().map_err(|e| format!("checkpoint: {e}"))?;
     expect(ckpt.lsn == 6, "checkpoint current through lsn 6")?;
 
+    // A multi-statement transaction: invisible until commit, atomic and
+    // durable after.
+    let txn = c.begin().map_err(|e| format!("begin: {e}"))?;
+    c.execute("INSERT InStock(700,9) WHERE T")
+        .map_err(|e| format!("txn insert: {e}"))?;
+    let peek = writer
+        .check("InStock(700,9)")
+        .map_err(|e| format!("txn peek: {e}"))?;
+    expect(
+        !peek.possible,
+        "uncommitted transaction effects must be invisible to other connections",
+    )?;
+    let committed = c.commit().map_err(|e| format!("commit: {e}"))?;
+    expect(
+        committed.txn == txn.txn && committed.statements == 1,
+        "commit acknowledges the one-statement transaction",
+    )?;
+    let seen = writer
+        .check("InStock(700,9)")
+        .map_err(|e| format!("post-commit check: {e}"))?;
+    expect(seen.certain, "committed transaction effects are visible")?;
+
     c.shutdown().map_err(|e| format!("shutdown: {e}"))?;
     let storage = running
         .join()
@@ -441,6 +483,14 @@ fn cmd_smoke() -> Result<(), String> {
         .is_certain("Orders(100,32,7)")
         .map_err(|e| format!("reopen check: {e}"))?;
     expect(certain, "reopened database remembers the ASSERT")?;
+    let txn_fact = db
+        .db_mut()
+        .is_certain("InStock(700,9)")
+        .map_err(|e| format!("reopen txn check: {e}"))?;
+    expect(
+        txn_fact,
+        "reopened database remembers the committed transaction",
+    )?;
 
     println!("serve-smoke: ok");
     Ok(())

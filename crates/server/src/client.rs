@@ -2,7 +2,7 @@
 
 use crate::protocol::{
     recv, send, CheckpointReply, ExecReply, ExplainReply, FrameError, QueryReply, Request,
-    Response, SnapshotReply, StatsReply, TruthReply, WireError,
+    Response, SnapshotReply, StatsReply, TruthReply, TxnReply, WireError,
 };
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -212,6 +212,37 @@ impl Client {
     pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
         self.expect(Request::Stats, |r| match r {
             Response::Stats(x) => Ok(*x),
+            other => Err(other),
+        })
+    }
+
+    /// Opens a multi-statement transaction on this connection. Until
+    /// [`Client::commit`] or [`Client::rollback`], every write-shaped
+    /// request on this connection joins the transaction: effects are
+    /// visible to the transaction's own statements (read-your-writes on
+    /// the server side) but to no other connection, and the whole group
+    /// lands atomically at commit.
+    pub fn begin(&mut self) -> Result<TxnReply, ClientError> {
+        self.expect(Request::Begin, |r| match r {
+            Response::TxnBegun(x) => Ok(x),
+            other => Err(other),
+        })
+    }
+
+    /// Commits the connection's open transaction; the reply carries the
+    /// commit LSN and the number of statements applied.
+    pub fn commit(&mut self) -> Result<TxnReply, ClientError> {
+        self.expect(Request::Commit, |r| match r {
+            Response::TxnCommitted(x) => Ok(x),
+            other => Err(other),
+        })
+    }
+
+    /// Rolls back the connection's open transaction, discarding every
+    /// statement since [`Client::begin`].
+    pub fn rollback(&mut self) -> Result<TxnReply, ClientError> {
+        self.expect(Request::Rollback, |r| match r {
+            Response::TxnRolledBack(x) => Ok(x),
             other => Err(other),
         })
     }

@@ -50,7 +50,7 @@ pub mod server;
 pub use client::{Client, ClientError};
 pub use protocol::{
     CatchupReply, CheckpointReply, ErrorKindWire, ExecReply, ExplainReply, FrameError, QueryReply,
-    Request, Response, SnapshotReply, StatsReply, TruthReply, WalBatchReply, WireError,
+    Request, Response, SnapshotReply, StatsReply, TruthReply, TxnReply, WalBatchReply, WireError,
     WireVerdict, MAX_FRAME_LEN,
 };
 pub use replica::{Replica, ReplicaHandle, ReplicaOptions, ReplicaStats};

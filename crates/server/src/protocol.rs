@@ -416,6 +416,18 @@ pub enum Request {
     /// a stream of [`Response::WalBatch`] frames; the connection speaks
     /// nothing else afterwards. Only the primary accepts this.
     Subscribe(u64),
+    /// Open a multi-statement transaction on this connection. Until
+    /// `Commit`/`Rollback`, every Execute/Declare/Load runs against a
+    /// private workspace under footprint-granularity locks; reads on the
+    /// same connection still see the published snapshot (the transaction's
+    /// own writes are visible only to its statements). One transaction per
+    /// connection; a second `Begin` is refused.
+    Begin,
+    /// Commit the connection's open transaction: reapply its statements
+    /// to the live theory, journal the commit marker, fsync, publish.
+    Commit,
+    /// Abandon the connection's open transaction, releasing its locks.
+    Rollback,
 }
 
 /// What an [`Request::Execute`] did.
@@ -492,6 +504,20 @@ pub struct SnapshotReply {
     pub last_lsn: u64,
 }
 
+/// What a transaction-control request accomplished.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TxnReply {
+    /// The transaction id (the LSN of its begin record).
+    pub txn: u64,
+    /// For `Commit`: the LSN of the commit marker (0 for begin/rollback).
+    #[serde(default)]
+    pub lsn: u64,
+    /// For `Commit`: how many journaled statements the transaction
+    /// reapplied (0 for begin/rollback).
+    #[serde(default)]
+    pub statements: u64,
+}
+
 /// Server + WAL counters, over the wire.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct StatsReply {
@@ -561,6 +587,29 @@ pub struct StatsReply {
     pub replica_reconnects: u64,
     /// `PinAt` requests refused with [`ErrorKindWire::LagBehind`].
     pub lag_refusals: u64,
+    /// Transactions begun. Absent from older servers.
+    #[serde(default)]
+    pub txn_begun: u64,
+    /// Transactions committed.
+    #[serde(default)]
+    pub txn_committed: u64,
+    /// Transactions rolled back (client request, statement failure,
+    /// timeout auto-abort, disconnect, or drain).
+    #[serde(default)]
+    pub txn_aborted: u64,
+    /// Transactions currently open (gauge).
+    #[serde(default)]
+    pub txn_active: u64,
+    /// Lock acquisitions that had to wait for a holder.
+    #[serde(default)]
+    pub lock_waits: u64,
+    /// Lock acquisitions that gave up at their deadline.
+    #[serde(default)]
+    pub lock_timeouts: u64,
+    /// Plain (non-transactional) writes refused or requeued because an
+    /// open transaction held a conflicting lock.
+    #[serde(default)]
+    pub txn_conflicts: u64,
 }
 
 /// The opening answer to a [`Request::Subscribe`]: everything the
@@ -639,6 +688,14 @@ pub enum ErrorKindWire {
     /// cap (and therefore the wire-frame cap); the operation was refused
     /// before anything was written.
     TooLarge,
+    /// The operation conflicts with locks held by an open transaction and
+    /// could not proceed within its patience. Retry once the holder
+    /// commits or rolls back.
+    TxnConflict,
+    /// A lock acquisition inside a transaction gave up at its
+    /// deadlock-avoidance deadline. The transaction has been rolled back;
+    /// begin again and retry.
+    TxnTimeout,
     /// Anything else; the message says what.
     Internal,
 }
@@ -688,6 +745,13 @@ pub enum Response {
     CatchupChunk(CatchupChunkReply),
     /// One shipped batch on a subscription stream (empty = heartbeat).
     WalBatch(WalBatchReply),
+    /// `Begin` opened a transaction.
+    TxnBegun(TxnReply),
+    /// `Commit` made the transaction durable.
+    TxnCommitted(TxnReply),
+    /// `Rollback` abandoned the transaction (also sent when the server
+    /// itself aborted it, e.g. on a lock timeout).
+    TxnRolledBack(TxnReply),
     /// The request failed; the connection stays usable.
     Error(WireError),
 }
@@ -1081,6 +1145,33 @@ mod tests {
             let wire = serde_json::to_string(&frame).unwrap();
             assert!(wire.len() <= MAX_FRAME_LEN as usize);
         }
+    }
+
+    #[test]
+    fn txn_vocabulary_roundtrips() {
+        let mut buf = Vec::new();
+        send(&mut buf, &Request::Begin).unwrap();
+        send(&mut buf, &Request::Commit).unwrap();
+        send(&mut buf, &Request::Rollback).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(recv::<Request>(&mut r).unwrap(), Request::Begin);
+        assert_eq!(recv::<Request>(&mut r).unwrap(), Request::Commit);
+        assert_eq!(recv::<Request>(&mut r).unwrap(), Request::Rollback);
+
+        let resp = Response::TxnCommitted(TxnReply {
+            txn: 12,
+            lsn: 19,
+            statements: 3,
+        });
+        let mut buf = Vec::new();
+        send(&mut buf, &resp).unwrap();
+        assert_eq!(recv::<Response>(&mut &buf[..]).unwrap(), resp);
+
+        // Stats from an older server (no txn counters) still decode.
+        let legacy = br#"{"accepted":1,"rejected_busy":0,"requests":2,"updates":0,"reads":0,"snapshots_published":0,"idle_closes":0,"protocol_errors":0,"write_batches":0,"coalesced_writes":0,"generation":0,"next_lsn":1,"wal_records":0,"wal_syncs":0,"wal_checkpoints":0,"pinned_generations":0,"compactions":0,"compaction_aborts":0,"compaction_nodes_reclaimed":0,"compaction_swap_pause_us":0,"compaction_swap_pause_max_us":0,"subscribers":0,"records_shipped":0,"replica_batches":0,"replica_records":0,"replica_snapshots_loaded":0,"replica_reconnects":0,"lag_refusals":0}"#;
+        let stats: StatsReply = decode(legacy).unwrap();
+        assert_eq!(stats.txn_begun, 0);
+        assert_eq!(stats.txn_active, 0);
     }
 
     #[test]

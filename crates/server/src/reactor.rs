@@ -30,7 +30,7 @@ use crate::protocol::{
 };
 use crate::server::{chunk_entries, wire_error, wire_verdict, HEARTBEAT_INTERVAL};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::{AsRawFd, RawFd};
@@ -436,6 +436,10 @@ pub(crate) trait Role {
     fn handle(&self, token: u64, seq: u64, draining: bool, request: Request) -> RoleAction;
     /// The published generation moved: prune retention bookkeeping.
     fn generation_moved(&self);
+    /// An admitted connection is gone (drained, errored, or idle-reaped).
+    /// Roles with per-connection server-side state (the primary's open
+    /// transactions) release it here.
+    fn closed(&self, _token: u64) {}
 }
 
 // ----- per-connection state --------------------------------------------------
@@ -505,6 +509,12 @@ struct Conn {
     base_events: u32,
     /// Peer closed its write side.
     eof: bool,
+    /// Version stamp of this connection's live timer-heap entry. Each
+    /// re-arm bumps it, so superseded heap entries are recognized (and
+    /// dropped) on pop instead of resolving against stale state — the
+    /// heap holds at most one live entry per connection regardless of
+    /// how often deadlines move.
+    timer_gen: u64,
 }
 
 impl Conn {
@@ -550,7 +560,15 @@ pub(crate) struct Reactor<R: Role> {
     shutdown: Arc<AtomicBool>,
     active: Arc<AtomicUsize>,
     conns: HashMap<u64, Conn>,
-    timers: BinaryHeap<Reverse<(Instant, u64)>>,
+    /// `(deadline, token, timer_gen)` — entries whose gen no longer
+    /// matches their connection's are stale and dropped on pop.
+    timers: BinaryHeap<Reverse<(Instant, u64, u64)>>,
+    /// Tokens currently in `Mode::Streaming`, so a shipped batch pumps
+    /// only subscribers instead of scanning every connection.
+    streaming: HashSet<u64>,
+    /// Tokens whose follow-the-latest slot holds a `Ready` session, so a
+    /// generation move sweeps only the connections that cached one.
+    cached_latest: HashSet<u64>,
     read_tx: Option<mpsc::Sender<ReadTask>>,
     read_workers: Vec<std::thread::JoinHandle<()>>,
     next_token: u64,
@@ -599,6 +617,8 @@ impl<R: Role> Reactor<R> {
             active,
             conns: HashMap::new(),
             timers: BinaryHeap::new(),
+            streaming: HashSet::new(),
+            cached_latest: HashSet::new(),
             read_tx: Some(read_tx),
             read_workers,
             next_token: TOKEN_FIRST_CONN,
@@ -644,22 +664,33 @@ impl<R: Role> Reactor<R> {
 
     /// Milliseconds until the nearest timer, or a heartbeat-scale default.
     fn next_timeout(&mut self) -> i32 {
-        // Skip timer entries for connections that no longer exist so a
-        // pile of dead deadlines doesn't cause spurious zero-timeouts.
-        while let Some(Reverse((_, token))) = self.timers.peek() {
-            if self.conns.contains_key(token) {
+        // Skip entries that are dead (connection gone) or superseded (a
+        // newer re-arm bumped the gen) so they can't cause spurious
+        // zero-timeouts.
+        while let Some(Reverse((_, token, gen))) = self.timers.peek() {
+            if self.conns.get(token).map(|c| c.timer_gen) == Some(*gen) {
                 break;
             }
             self.timers.pop();
         }
         let default = HEARTBEAT_INTERVAL.as_millis() as i32;
         match self.timers.peek() {
-            Some(Reverse((t, _))) => match t.checked_duration_since(Instant::now()) {
+            Some(Reverse((t, _, _))) => match t.checked_duration_since(Instant::now()) {
                 Some(d) => (d.as_millis() as i32).saturating_add(1).min(default),
                 None => 0,
             },
             None => default,
         }
+    }
+
+    /// (Re-)arms `token`'s single live timer entry at `due`, superseding
+    /// any entry already in the heap for it.
+    fn arm_timer(&mut self, token: u64, due: Instant) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        conn.timer_gen += 1;
+        self.timers.push(Reverse((due, token, conn.timer_gen)));
     }
 
     // ----- accept path -----
@@ -728,6 +759,7 @@ impl<R: Role> Reactor<R> {
                 0
             },
             eof: false,
+            timer_gen: 0,
         };
         if let Some(message) = refusal {
             let _ = conn.wbuf.push_value(&Response::Error(WireError {
@@ -746,13 +778,11 @@ impl<R: Role> Reactor<R> {
             }
             return;
         }
-        if let Some(due) = conn.due(self.config.idle_timeout) {
-            self.timers.push(Reverse((due, token)));
-        } else {
-            self.timers
-                .push(Reverse((now + self.config.idle_timeout, token)));
-        }
+        let due = conn
+            .due(self.config.idle_timeout)
+            .unwrap_or(now + self.config.idle_timeout);
         self.conns.insert(token, conn);
+        self.arm_timer(token, due);
         if !admitted {
             self.flush_conn(token);
         }
@@ -989,6 +1019,7 @@ impl<R: Role> Reactor<R> {
                 };
                 (ReadOrigin::Pinned, source)
             } else {
+                self.cached_latest.remove(&token);
                 let source = match std::mem::replace(&mut conn.latest, ReaderSlot::Lent) {
                     ReaderSlot::Ready(reader) if reader.generation() == current => {
                         ReadSource::Reader(reader)
@@ -1103,9 +1134,13 @@ impl<R: Role> Reactor<R> {
                             // here, releasing its `Arc<Theory>` eagerly.
                             conn.latest = match reader {
                                 Some(r) if r.generation() == self.seen_generation => {
+                                    self.cached_latest.insert(token);
                                     ReaderSlot::Ready(r)
                                 }
-                                _ => ReaderSlot::Empty,
+                                _ => {
+                                    self.cached_latest.remove(&token);
+                                    ReaderSlot::Empty
+                                }
                             };
                         }
                     }
@@ -1125,7 +1160,10 @@ impl<R: Role> Reactor<R> {
                     if ok {
                         let next_heartbeat = Instant::now() + HEARTBEAT_INTERVAL;
                         conn.mode = Mode::Streaming { rx, next_heartbeat };
-                        self.timers.push(Reverse((next_heartbeat, token)));
+                        conn.timer_gen += 1;
+                        self.timers
+                            .push(Reverse((next_heartbeat, token, conn.timer_gen)));
+                        self.streaming.insert(token);
                     } else {
                         conn.mode = Mode::Idle;
                         conn.close_after_flush = true;
@@ -1150,15 +1188,18 @@ impl<R: Role> Reactor<R> {
     /// Drains every streaming connection's shipping channel into
     /// frame-sized `WalBatch` responses.
     fn pump_streams(&mut self) {
-        let tokens: Vec<u64> = self
-            .conns
-            .iter()
-            .filter(|(_, c)| matches!(c.mode, Mode::Streaming { .. }))
-            .map(|(t, _)| *t)
-            .collect();
+        // The `streaming` index keeps this from scanning every socket:
+        // at 10k mostly-idle connections a full `conns` walk per shipped
+        // batch dominated the reactor's tail latency.
+        let tokens: Vec<u64> = self.streaming.iter().copied().collect();
         for token in tokens {
-            if let Some(conn) = self.conns.get_mut(&token) {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                self.streaming.remove(&token);
+                continue;
+            };
+            {
                 let Mode::Streaming { rx, next_heartbeat } = &mut conn.mode else {
+                    self.streaming.remove(&token);
                     continue;
                 };
                 loop {
@@ -1208,16 +1249,21 @@ impl<R: Role> Reactor<R> {
         let idle = self.config.idle_timeout;
         loop {
             match self.timers.peek() {
-                Some(Reverse((t, _))) if *t <= now => {}
+                Some(Reverse((t, _, _))) if *t <= now => {}
                 _ => break,
             }
-            let Some(Reverse((_, token))) = self.timers.pop() else {
+            let Some(Reverse((_, token, gen))) = self.timers.pop() else {
                 break;
             };
             let action = {
                 let Some(conn) = self.conns.get_mut(&token) else {
                     continue;
                 };
+                if conn.timer_gen != gen {
+                    // Superseded by a later re-arm; the live entry for
+                    // this connection is still in the heap.
+                    continue;
+                }
                 match &conn.mode {
                     Mode::Idle => {
                         if now >= conn.idle_deadline {
@@ -1273,11 +1319,11 @@ impl<R: Role> Reactor<R> {
                             *next_heartbeat = now + HEARTBEAT_INTERVAL;
                         }
                     }
-                    self.timers.push(Reverse((now + HEARTBEAT_INTERVAL, token)));
+                    self.arm_timer(token, now + HEARTBEAT_INTERVAL);
                     self.flush_conn(token);
                 }
                 TimerAction::Rearm(due) => {
-                    self.timers.push(Reverse((due, token)));
+                    self.arm_timer(token, due);
                 }
             }
         }
@@ -1378,10 +1424,16 @@ impl<R: Role> Reactor<R> {
     /// slot and pin gauge entry, drops its sessions (freeing whatever
     /// `Arc<Theory>` generations they held).
     fn close_conn(&mut self, token: u64) {
+        self.streaming.remove(&token);
+        self.cached_latest.remove(&token);
         if let Some(conn) = self.conns.remove(&token) {
             let _ = self.poller.delete(conn.stream.as_raw_fd());
             if conn.admitted {
                 self.active.fetch_sub(1, Ordering::SeqCst);
+                // Let the role reclaim per-connection state (an open
+                // transaction's locks, for one) now that no further
+                // requests can arrive on this token.
+                self.role.closed(token);
             }
             if conn.pinned.holds_pin() {
                 self.role
@@ -1404,12 +1456,7 @@ impl<R: Role> Reactor<R> {
         if let Some(listener) = self.listener.take() {
             let _ = self.poller.delete(listener.as_raw_fd());
         }
-        let streaming: Vec<u64> = self
-            .conns
-            .iter()
-            .filter(|(_, c)| matches!(c.mode, Mode::Streaming { .. }))
-            .map(|(t, _)| *t)
-            .collect();
+        let streaming: Vec<u64> = self.streaming.iter().copied().collect();
         for token in streaming {
             if let Some(conn) = self.conns.get_mut(&token) {
                 conn.close_after_flush = true;
@@ -1427,13 +1474,21 @@ impl<R: Role> Reactor<R> {
             return;
         }
         self.seen_generation = current;
-        for conn in self.conns.values_mut() {
-            if let ReaderSlot::Ready(reader) = &conn.latest {
-                if reader.generation() != current {
+        // Only connections actually holding a cached session are visited
+        // — the index spares the 10k-idle-socket scan on every publish.
+        self.cached_latest.retain(|token| {
+            let Some(conn) = self.conns.get_mut(token) else {
+                return false;
+            };
+            match &conn.latest {
+                ReaderSlot::Ready(reader) if reader.generation() != current => {
                     conn.latest = ReaderSlot::Empty;
+                    false
                 }
+                ReaderSlot::Ready(_) => true,
+                _ => false,
             }
-        }
+        });
         self.role.generation_moved();
     }
 }

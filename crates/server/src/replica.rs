@@ -42,11 +42,13 @@ use crate::reactor::{
     Completions, NetCounters, PublishedView, Reactor, ReactorConfig, Role, RoleAction,
 };
 use crate::server::HEARTBEAT_INTERVAL;
+use std::collections::{HashMap, HashSet};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
 use std::time::Duration;
 use winslett_core::snapshot::{SnapshotReader, TheorySnapshot};
+use winslett_core::wal::WalRecord;
 use winslett_core::{replay_record, restore_theory, DbError, DbOptions, LogicalDatabase};
 
 /// Replica tunables.
@@ -365,6 +367,9 @@ impl Role for ReplicaRole {
             | Request::LoadFact(..)
             | Request::LoadWff(_)
             | Request::Checkpoint
+            | Request::Begin
+            | Request::Commit
+            | Request::Rollback
             | Request::Subscribe(_) => read_only(),
             other => Response::Error(WireError {
                 kind: ErrorKindWire::BadRequest,
@@ -390,14 +395,40 @@ fn reject_busy(mut stream: TcpStream, active: usize, cap: usize) {
 
 // ----- the tailer -----------------------------------------------------------
 
+/// Transaction intents held back until their outcome marker arrives, plus
+/// the bookkeeping that keeps the replication cursor honest while they
+/// are held. Carried across reconnects by the tailer.
+///
+/// A follower must never expose effects the primary has not committed:
+/// shipped [`WalRecord::TxnOp`] intents are buffered here and applied,
+/// in order, only when the `TxnCommit` marker lands (dropped on
+/// `TxnAbort`). While any transaction is open, the subscription cursor
+/// is pinned at the oldest open transaction's begin LSN — a reconnect
+/// then replays the held intents from the primary's log — and `applied`
+/// remembers which LSNs past that pin are already folded in so the
+/// resubscription overlap is not applied twice.
+#[derive(Default)]
+struct TxnBuffer {
+    /// Ops of still-open transactions, keyed by txn id (= begin LSN),
+    /// each tagged with the shipped LSN it arrived under.
+    pending: HashMap<u64, Vec<(u64, WalRecord)>>,
+    /// LSNs at or past the pinned cursor whose effects already reached
+    /// the replica's database.
+    applied: HashSet<u64>,
+}
+
 /// The WAL tailer: subscribe, catch up, apply, republish; reconnect from
 /// the current cursor on any stream failure until shutdown.
 fn run_tailer(shared: &ReplicaShared, db_options: DbOptions) {
     let mut db = LogicalDatabase::with_options(db_options);
     let mut next_lsn: u64 = 0;
+    let mut buffer = TxnBuffer::default();
     let mut ever_connected = false;
     while !shared.shutdown.load(Ordering::SeqCst) {
-        match tail_once(shared, &db_options, &mut db, &mut next_lsn) {
+        // The held intents will be re-shipped from the pinned cursor on
+        // the next subscription; a stale copy must not double-buffer.
+        buffer.pending.clear();
+        match tail_once(shared, &db_options, &mut db, &mut next_lsn, &mut buffer) {
             TailExit::Shutdown => return,
             TailExit::StreamLost => {
                 if ever_connected {
@@ -438,6 +469,7 @@ fn tail_once(
     db_options: &DbOptions,
     db: &mut LogicalDatabase,
     next_lsn: &mut u64,
+    buffer: &mut TxnBuffer,
 ) -> TailExit {
     // The primary heartbeats every HEARTBEAT_INTERVAL while idle; four
     // missed beats means the stream (or the primary) is gone — the
@@ -489,11 +521,16 @@ fn tail_once(
                 *db = LogicalDatabase::from_theory(theory, *db_options);
                 db.theory_mut().advance_generation_past(generation);
                 *next_lsn = snap.lsn;
+                // Checkpoints refuse while transactions are open, so the
+                // snapshot boundary is transaction-clean: nothing held
+                // back before it can still matter.
+                buffer.pending.clear();
+                buffer.applied.clear();
                 shared
                     .stats
                     .replica_snapshots_loaded
                     .fetch_add(1, Ordering::Relaxed);
-                republish(shared, db, next_lsn);
+                republish(shared, db, *next_lsn, snap.lsn.saturating_sub(1));
             }
             Err(_) => return TailExit::NeverConnected,
         }
@@ -518,24 +555,65 @@ fn tail_once(
             continue; // heartbeat
         }
         let mut applied = 0u64;
-        for entry in &batch.entries {
-            if entry.lsn < *next_lsn {
-                continue; // resubscription overlap, already applied
-            }
+        let mut apply = |db: &mut LogicalDatabase, record: &WalRecord| {
             // The stream is the effective log: holes at abort sites are
-            // expected, so any entry at or past the cursor advances it.
-            if replay_record(db, &entry.record).is_err() {
-                // Mirrors recovery's deterministic-refusal accounting:
-                // the record was journaled but deterministically refused,
-                // so skipping keeps us aligned with the primary.
+            // expected. A record that still refuses mirrors recovery's
+            // deterministic-refusal accounting — it was journaled but
+            // deterministically refused, so skipping keeps us aligned
+            // with the primary.
+            if replay_record(db, record).is_err() {
                 shared
                     .stats
                     .replica_apply_errors
                     .fetch_add(1, Ordering::Relaxed);
             }
-            *next_lsn = entry.lsn + 1;
             applied += 1;
+        };
+        let mut hi = *next_lsn;
+        for entry in &batch.entries {
+            if entry.lsn < *next_lsn || buffer.applied.contains(&entry.lsn) {
+                continue; // resubscription overlap, already applied
+            }
+            hi = hi.max(entry.lsn + 1);
+            match &entry.record {
+                // Transaction intents are held back, never applied on
+                // sight: a reader on this replica must not observe
+                // effects the primary has not committed.
+                WalRecord::TxnBegin(t) => {
+                    buffer.pending.insert(*t, Vec::new());
+                }
+                WalRecord::TxnOp(t, op) => {
+                    buffer
+                        .pending
+                        .entry(*t)
+                        .or_default()
+                        .push((entry.lsn, (**op).clone()));
+                }
+                WalRecord::TxnAbort(t) => {
+                    buffer.pending.remove(t);
+                }
+                WalRecord::TxnCommit(t) => {
+                    let Some(ops) = buffer.pending.remove(t) else {
+                        continue; // overlap replay of an already-applied commit
+                    };
+                    buffer.applied.insert(*t);
+                    buffer.applied.insert(entry.lsn);
+                    for (lsn, op) in ops {
+                        apply(db, &op);
+                        buffer.applied.insert(lsn);
+                    }
+                }
+                record => {
+                    apply(db, record);
+                    buffer.applied.insert(entry.lsn);
+                }
+            }
         }
+        // Advance the cursor — but never past an open transaction's begin
+        // LSN, so a reconnect re-ships its held intents.
+        *next_lsn = buffer.pending.keys().min().copied().unwrap_or(hi);
+        let cursor = *next_lsn;
+        buffer.applied.retain(|l| *l >= cursor);
         if applied == 0 {
             continue;
         }
@@ -547,7 +625,13 @@ fn tail_once(
             .replica_records
             .fetch_add(applied, Ordering::Relaxed);
         shared.stats.replica_batches.fetch_add(1, Ordering::Relaxed);
-        republish(shared, db, next_lsn);
+        // `last_lsn` advances through every *processed* entry, held-back
+        // intents included: the published state agrees with the
+        // primary's durable history at each of those LSNs (an
+        // uncommitted intent has no effects there either), so pins need
+        // not wait for an unrelated open transaction. Only the
+        // resubscription cursor stays pinned.
+        republish(shared, db, *next_lsn, hi.saturating_sub(1));
     }
 }
 
@@ -565,12 +649,14 @@ fn published(shared: &ReplicaShared) -> Arc<ReplicaPublished> {
 /// the previous publication's: connection read sessions are cached by
 /// generation, and `replay_record` rebuilds the database through
 /// `from_theory` on `Apply` records, which would otherwise reset it.
-fn republish(shared: &ReplicaShared, db: &mut LogicalDatabase, next_lsn: &u64) {
+/// `cursor` is the resubscription point (pinned at the oldest open
+/// transaction while intents are held); `last_lsn` is the highest
+/// shipped LSN the published state agrees with.
+fn republish(shared: &ReplicaShared, db: &mut LogicalDatabase, cursor: u64, last_lsn: u64) {
     let previous = published(shared).snapshot.generation();
     db.theory_mut().advance_generation_past(previous);
     let snapshot = TheorySnapshot::capture(db.theory());
-    let last_lsn = next_lsn.saturating_sub(1);
-    shared.stats.next_lsn.store(*next_lsn, Ordering::Relaxed);
+    shared.stats.next_lsn.store(cursor, Ordering::Relaxed);
     *shared
         .published
         .write()
@@ -744,6 +830,9 @@ impl ReplicaConnection {
             | Request::LoadFact(..)
             | Request::LoadWff(_)
             | Request::Checkpoint
+            | Request::Begin
+            | Request::Commit
+            | Request::Rollback
             | Request::Subscribe(_) => read_only(),
         }
     }

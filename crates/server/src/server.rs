@@ -35,14 +35,14 @@
 
 use crate::protocol::{
     catchup_frames, read_frame, send, CheckpointReply, ErrorKindWire, ExecReply, ExplainReply,
-    FrameError, QueryReply, Request, Response, SnapshotReply, StatsReply, TruthReply,
+    FrameError, QueryReply, Request, Response, SnapshotReply, StatsReply, TruthReply, TxnReply,
     WalBatchReply, WireError, WireVerdict, MAX_FRAME_LEN,
 };
 use crate::reactor::{
     Completions, Done, NetCounters, PublishedView, Reactor, ReactorConfig, Role, RoleAction,
     TOKEN_NONE,
 };
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError, RwLock, TryLockError, Weak};
@@ -51,7 +51,7 @@ use winslett_analyze::ConflictAnalyzer;
 use winslett_core::explain::Verdict;
 use winslett_core::snapshot::{SnapshotReader, TheorySnapshot};
 use winslett_core::wal::{Catchup, DurableDatabase, RecoveryReport, Storage, WalOptions};
-use winslett_core::{DbError, DbOptions, WalEntry};
+use winslett_core::{DbError, DbOptions, LockRequest, LockTable, WalEntry};
 use winslett_gua::SimplifyLevel;
 use winslett_logic::AccessSet;
 use winslett_theory::Theory;
@@ -84,6 +84,11 @@ pub struct ServerOptions {
     /// (`BENCH_connections.json` compares the two); the reactor is the
     /// default and the gated path.
     pub threaded: bool,
+    /// How long a transactional statement may wait for its footprint
+    /// locks before the transaction is aborted with a typed `TxnTimeout`.
+    /// The timeout doubles as deadlock avoidance: two transactions that
+    /// wait on each other both die at the deadline instead of hanging.
+    pub lock_timeout: Duration,
 }
 
 impl Default for ServerOptions {
@@ -94,6 +99,7 @@ impl Default for ServerOptions {
             batch_writes: true,
             compaction: Some(CompactionPolicy::default()),
             threaded: false,
+            lock_timeout: Duration::from_secs(2),
         }
     }
 }
@@ -181,6 +187,18 @@ pub struct ServerStats {
     /// `PinAt` requests refused because the published snapshot had not
     /// reached the demanded LSN.
     pub lag_refusals: AtomicU64,
+    /// Transactions opened with `Begin`.
+    pub txn_begun: AtomicU64,
+    /// Transactions committed.
+    pub txn_committed: AtomicU64,
+    /// Transactions rolled back — client `Rollback`, lock timeout,
+    /// drain abort, or connection teardown.
+    pub txn_aborted: AtomicU64,
+    /// Transactions currently open (gauge).
+    pub txn_active: AtomicU64,
+    /// Plain (non-transactional) writes refused because they collided
+    /// with locks held by an open transaction.
+    pub txn_conflicts: AtomicU64,
 }
 
 /// What the writer last published: an immutable snapshot plus its place
@@ -217,6 +235,14 @@ struct Shared<S: Storage> {
     /// been fully released (no pin, cached session, or in-flight read
     /// holds its `Arc<Theory>` anymore) and is pruned.
     retained: Mutex<Vec<(u64, Weak<Theory>)>>,
+    /// The lock table: S/X locks at footprint-atom granularity, held by
+    /// open transactions under strict two-phase locking.
+    locks: LockTable,
+    /// Reactor-mode bookkeeping: which connection token owns which open
+    /// transaction. Value `0` reserves the slot while the `Begin` is in
+    /// flight to the writer thread (real transaction ids are WAL LSNs,
+    /// which start at 1).
+    txn_by_token: Mutex<HashMap<u64, u64>>,
 }
 
 /// Upper bound on writes coalesced into one batch, so a follower's ack
@@ -377,6 +403,8 @@ impl<S: Storage + Send + 'static> Server<S> {
             addr,
             notify: Mutex::new(None),
             retained: Mutex::new(Vec::new()),
+            locks: LockTable::new(),
+            txn_by_token: Mutex::new(HashMap::new()),
         });
         Ok((Server { listener, shared }, report))
     }
@@ -458,6 +486,7 @@ impl<S: Storage + Send + 'static> Server<S> {
         if let Some(handle) = compactor {
             let _ = handle.join();
         }
+        rollback_orphans(&shared);
         run_result?;
         let db = shared
             .writer
@@ -514,6 +543,7 @@ impl<S: Storage + Send + 'static> Server<S> {
         if let Some(handle) = compactor {
             let _ = handle.join();
         }
+        rollback_orphans(&shared);
         // Even if a write panicked and poisoned the lock, closing is the
         // best effort left: the WAL only ever holds intact records.
         let db = shared
@@ -551,6 +581,9 @@ struct Connection<S: Storage + Send + 'static> {
     /// Follow-the-latest reader, rebuilt only when the published
     /// generation moves (so repeated reads reuse one entailment session).
     latest: Option<SnapshotReader>,
+    /// The transaction this connection holds open, if any. All writes
+    /// route into it until `Commit`/`Rollback`; teardown rolls it back.
+    txn: Option<u64>,
 }
 
 impl<S: Storage + Send + 'static> Drop for Connection<S> {
@@ -576,6 +609,7 @@ impl<S: Storage + Send + 'static> Connection<S> {
             shared,
             pinned: None,
             latest: None,
+            txn: None,
         }
     }
 
@@ -665,6 +699,11 @@ impl<S: Storage + Send + 'static> Connection<S> {
                 break;
             }
         }
+        // A connection that exits (peer gone, idle-reaped, or drained)
+        // with a transaction open must not leave its locks behind.
+        if let Some(txn) = self.txn.take() {
+            txn_rollback_shared(&self.shared, txn);
+        }
     }
 
     fn dispatch(&mut self, request: Request) -> Response {
@@ -676,6 +715,9 @@ impl<S: Storage + Send + 'static> Connection<S> {
             Request::DeclareAttribute(name) => self.write(WriteOp::DeclareAttribute(name)),
             Request::LoadFact(pred, args) => self.write(WriteOp::LoadFact(pred, args)),
             Request::LoadWff(src) => self.write(WriteOp::LoadWff(src)),
+            Request::Begin => self.begin(),
+            Request::Commit => self.commit(),
+            Request::Rollback => self.rollback(),
             Request::Query(src) => self.read(|r| {
                 let generation = r.generation();
                 r.query(&src).map(|a| {
@@ -885,20 +927,98 @@ impl<S: Storage + Send + 'static> Connection<S> {
         }
     }
 
-    /// One write request: refused during drain, then routed to the
+    /// One write request: refused during drain (aborting any open
+    /// transaction, so its locks cannot outlive the drain), routed into
+    /// the connection's open transaction if one exists, else to the
     /// batching queue or the classic direct path.
     fn write(&mut self, op: WriteOp) -> Response {
         if self.shared.shutdown.load(Ordering::SeqCst) {
+            if let Some(txn) = self.txn.take() {
+                txn_rollback_shared(&self.shared, txn);
+                return Response::Error(drain_abort());
+            }
             return Response::Error(WireError {
                 kind: ErrorKindWire::ShuttingDown,
                 message: "server is draining; write refused".into(),
             });
+        }
+        if let Some(txn) = self.txn {
+            return self.txn_statement(txn, op);
         }
         if self.shared.options.batch_writes {
             self.enqueue_write(op)
         } else {
             self.write_direct(op)
         }
+    }
+
+    /// One statement inside this connection's open transaction: acquire
+    /// the statement's footprint locks first (blocking, bounded by
+    /// `lock_timeout`), then journal the intent and grow the private
+    /// workspace under the writer lock. The order matters — waiting
+    /// while holding the writer lock would block every other
+    /// connection's commit, including the one that would release the
+    /// very locks we wait for.
+    fn txn_statement(&mut self, txn: u64, op: WriteOp) -> Response {
+        let requests = lock_requests_for(&op);
+        // Checked before acquisition: locks taken for *this* statement
+        // must not count as "already held" (workspace refresh skip).
+        let covered = self.shared.locks.holds_all(txn, &requests);
+        if let Err(e) =
+            self.shared
+                .locks
+                .lock_wait(txn, &requests, self.shared.options.lock_timeout)
+        {
+            // Deadlock avoidance: past the deadline the transaction dies
+            // so the locks it already holds cannot wedge the system.
+            self.txn = None;
+            txn_rollback_shared(&self.shared, txn);
+            return Response::Error(wire_error(&e));
+        }
+        txn_apply(&self.shared, txn, &op, covered)
+    }
+
+    /// `Begin`: opens a transaction and binds it to this connection.
+    fn begin(&mut self) -> Response {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Response::Error(WireError {
+                kind: ErrorKindWire::ShuttingDown,
+                message: "server is draining; transaction refused".into(),
+            });
+        }
+        if self.txn.is_some() {
+            return Response::Error(WireError {
+                kind: ErrorKindWire::BadRequest,
+                message: "a transaction is already open on this connection".into(),
+            });
+        }
+        let resp = txn_begin_shared(&self.shared);
+        if let Response::TxnBegun(reply) = &resp {
+            self.txn = Some(reply.txn);
+        }
+        resp
+    }
+
+    /// `Commit`. During a drain the commit is refused and the
+    /// transaction aborted — commits are writes, and the drain
+    /// discipline is that no new write lands after the flag.
+    fn commit(&mut self) -> Response {
+        let Some(txn) = self.txn.take() else {
+            return Response::Error(no_open_txn());
+        };
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            txn_rollback_shared(&self.shared, txn);
+            return Response::Error(drain_abort());
+        }
+        txn_commit_shared(&self.shared, txn)
+    }
+
+    /// `Rollback`: always honored — it only releases state.
+    fn rollback(&mut self) -> Response {
+        let Some(txn) = self.txn.take() else {
+            return Response::Error(no_open_txn());
+        };
+        txn_rollback_shared(&self.shared, txn)
     }
 
     /// The unbatched path: one journaled write under the writer lock, one
@@ -1037,6 +1157,13 @@ fn stats_reply<S: Storage>(shared: &Shared<S>, db: Option<&DurableDatabase<S>>) 
         compaction_swap_pause_max_us: s.compaction_swap_pause_max_us.load(Ordering::Relaxed),
         records_shipped: s.records_shipped.load(Ordering::Relaxed),
         lag_refusals: s.lag_refusals.load(Ordering::Relaxed),
+        txn_begun: s.txn_begun.load(Ordering::Relaxed),
+        txn_committed: s.txn_committed.load(Ordering::Relaxed),
+        txn_aborted: s.txn_aborted.load(Ordering::Relaxed),
+        txn_active: s.txn_active.load(Ordering::Relaxed),
+        txn_conflicts: s.txn_conflicts.load(Ordering::Relaxed),
+        lock_waits: shared.locks.stats.waits.load(Ordering::Relaxed),
+        lock_timeouts: shared.locks.stats.timeouts.load(Ordering::Relaxed),
         subscribers: shared
             .subscribers
             .lock()
@@ -1152,6 +1279,9 @@ fn write_one<S: Storage>(
     db: &mut DurableDatabase<S>,
     op: &WriteOp,
 ) -> Response {
+    if let Some(e) = plain_write_conflict(shared, op) {
+        return Response::Error(wire_error(&e));
+    }
     let lsn = db.next_lsn();
     let response = match apply_op(db, op) {
         Ok((nodes_added, completion_added)) => {
@@ -1254,6 +1384,10 @@ fn flush_batch<S: Storage>(shared: &Shared<S>, db: &mut DurableDatabase<S>, batc
     let mut applied = 0u64;
     let mut last_lsn = None;
     for job in batch {
+        if let Some(e) = plain_write_conflict(shared, &job.op) {
+            results.push((job.done, Err(e)));
+            continue;
+        }
         let lsn = db.next_lsn();
         match apply_op(db, &job.op) {
             Ok((nodes_added, completion_added)) => {
@@ -1398,6 +1532,256 @@ fn fail_pending<S: Storage>(shared: &Shared<S>, err: &WireError) {
     }
 }
 
+// ----- transactions ----------------------------------------------------------
+
+/// Lock requests for one write op, at footprint-atom granularity where
+/// the analyzer can prove them (Theorem 4: updates with disjoint
+/// footprints commute) and the global key where it cannot. Keys are the
+/// atoms' textual rendering, stable across analyzer instances, so a
+/// `LoadFact` and an `Execute` touching the same ground atom contend.
+fn lock_requests_for(op: &WriteOp) -> Vec<LockRequest> {
+    match op {
+        WriteOp::Execute(src) => {
+            let profile = ConflictAnalyzer::default().lock_profile(src);
+            if profile.global {
+                return vec![LockRequest::global()];
+            }
+            profile
+                .writes
+                .iter()
+                .map(|k| LockRequest::exclusive(k.clone()))
+                .chain(profile.reads.iter().map(|k| LockRequest::shared(k.clone())))
+                .collect()
+        }
+        WriteOp::LoadFact(pred, args) if !args.is_empty() => {
+            vec![LockRequest::exclusive(format!(
+                "{pred}({})",
+                args.join(",")
+            ))]
+        }
+        WriteOp::LoadFact(pred, _) => vec![LockRequest::exclusive(pred.clone())],
+        // Declarations and raw wffs change the language itself.
+        _ => vec![LockRequest::global()],
+    }
+}
+
+/// Refuses a plain (non-transactional) write that would collide with
+/// locks held by an open transaction. Waiting is not an option here:
+/// plain writes are applied by whichever thread holds the writer lock,
+/// and on the epoll path that is the same thread that processes the
+/// commits that would release the locks.
+fn plain_write_conflict<S: Storage>(shared: &Shared<S>, op: &WriteOp) -> Option<DbError> {
+    if shared.locks.holders() == 0 {
+        return None; // fast path: no transaction holds anything
+    }
+    let key = shared.locks.would_block(&lock_requests_for(op))?;
+    shared.stats.txn_conflicts.fetch_add(1, Ordering::Relaxed);
+    Some(DbError::TxnConflict {
+        message: format!(
+            "write collides with lock `{key}` held by an open transaction; \
+             retry after it finishes"
+        ),
+    })
+}
+
+/// Decrements a gauge without wrapping below zero (teardown paths can
+/// race each other harmlessly).
+fn gauge_dec(gauge: &AtomicU64) {
+    let _ = gauge.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1));
+}
+
+fn no_open_txn() -> WireError {
+    WireError {
+        kind: ErrorKindWire::BadRequest,
+        message: "no transaction is open on this connection".into(),
+    }
+}
+
+fn drain_abort() -> WireError {
+    WireError {
+        kind: ErrorKindWire::ShuttingDown,
+        message: "server is draining; transaction aborted".into(),
+    }
+}
+
+/// Opens a transaction on the shared writer: journals the begin marker
+/// and bumps the gauges. The reply carries the new id (its `TxnBegin`
+/// record's LSN).
+fn txn_begin_shared<S: Storage>(shared: &Shared<S>) -> Response {
+    let mut guard = match shared.writer.lock() {
+        Ok(g) => g,
+        Err(_) => return Response::Error(poisoned_writer()),
+    };
+    let Some(db) = guard.as_mut() else {
+        return Response::Error(closed_writer());
+    };
+    match db.txn_begin() {
+        Ok(txn) => {
+            shared.stats.txn_begun.fetch_add(1, Ordering::Relaxed);
+            shared.stats.txn_active.fetch_add(1, Ordering::Relaxed);
+            Response::TxnBegun(TxnReply {
+                txn,
+                lsn: 0,
+                statements: 0,
+            })
+        }
+        Err(e) => Response::Error(wire_error(&e)),
+    }
+}
+
+/// Applies one statement inside an open transaction. The caller already
+/// holds the transaction's locks on the statement's footprint; this
+/// journals the intent and grows the private workspace — the live
+/// database (and published snapshot) are untouched until commit.
+/// `covered` means every footprint lock was held *before* this
+/// statement acquired anything, so the workspace is provably current on
+/// every atom it touches and the clone-and-redo refresh is skipped.
+fn txn_apply<S: Storage>(shared: &Shared<S>, txn: u64, op: &WriteOp, covered: bool) -> Response {
+    let mut guard = match shared.writer.lock() {
+        Ok(g) => g,
+        Err(_) => return Response::Error(poisoned_writer()),
+    };
+    let Some(db) = guard.as_mut() else {
+        return Response::Error(closed_writer());
+    };
+    let lsn = db.next_lsn();
+    let result = match op {
+        WriteOp::Execute(src) if covered => db
+            .txn_execute_covered(txn, src)
+            .map(|r| (r.nodes_added as i64, r.completion_added as u64)),
+        WriteOp::Execute(src) => db
+            .txn_execute(txn, src)
+            .map(|r| (r.nodes_added as i64, r.completion_added as u64)),
+        WriteOp::DeclareRelation(name, arity) => db
+            .txn_declare_relation(txn, name, *arity as usize)
+            .map(|_| (0, 0)),
+        WriteOp::DeclareAttribute(name) => db.txn_declare_attribute(txn, name).map(|_| (0, 0)),
+        WriteOp::LoadFact(pred, args) => {
+            let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+            db.txn_load_fact(txn, pred, &refs).map(|_| (0, 0))
+        }
+        WriteOp::LoadWff(src) => db.txn_load_wff(txn, src).map(|_| (0, 0)),
+    };
+    match result {
+        Ok((nodes_added, completion_added)) => {
+            let generation = db
+                .txn_view(txn)
+                .map(|w| w.theory().generation())
+                .unwrap_or_default();
+            Response::Executed(ExecReply {
+                lsn,
+                generation,
+                nodes_added,
+                completion_added,
+            })
+        }
+        // A refused statement does not kill the transaction: its
+        // compensation is journaled and the workspace is unchanged.
+        Err(e) => Response::Error(wire_error(&e)),
+    }
+}
+
+/// Commits: reapplies the statements against the live database, journals
+/// the commit marker, syncs (the transaction's single durability point),
+/// publishes one snapshot, ships — then releases every lock the
+/// transaction held, whatever the outcome (strict two-phase locking).
+fn txn_commit_shared<S: Storage>(shared: &Shared<S>, txn: u64) -> Response {
+    let resp = 'commit: {
+        let mut guard = match shared.writer.lock() {
+            Ok(g) => g,
+            Err(_) => break 'commit Response::Error(poisoned_writer()),
+        };
+        let Some(db) = guard.as_mut() else {
+            break 'commit Response::Error(closed_writer());
+        };
+        match db.txn_commit(txn) {
+            Ok((lsn, ops)) => {
+                let snapshot = TheorySnapshot::capture(db.db().theory());
+                let updates_applied = read_published(shared).updates_applied + ops as u64;
+                publish(
+                    shared,
+                    Published {
+                        snapshot,
+                        updates_applied,
+                        last_lsn: lsn,
+                    },
+                );
+                shared
+                    .stats
+                    .updates
+                    .fetch_add(ops as u64, Ordering::Relaxed);
+                shared.stats.txn_committed.fetch_add(1, Ordering::Relaxed);
+                ship(shared, db);
+                Response::TxnCommitted(TxnReply {
+                    txn,
+                    lsn,
+                    statements: ops as u64,
+                })
+            }
+            Err(e) => {
+                // The core rolled the transaction back (reapply or
+                // journaling failure): surface the typed refusal.
+                shared.stats.txn_aborted.fetch_add(1, Ordering::Relaxed);
+                ship(shared, db);
+                Response::Error(wire_error(&e))
+            }
+        }
+    };
+    shared.locks.release_all(txn);
+    gauge_dec(&shared.stats.txn_active);
+    resp
+}
+
+/// Rolls back: journals the abort marker and discards the workspace
+/// (the live database never saw the intents), then releases the locks.
+fn txn_rollback_shared<S: Storage>(shared: &Shared<S>, txn: u64) -> Response {
+    let resp = 'rollback: {
+        let mut guard = match shared.writer.lock() {
+            Ok(g) => g,
+            Err(_) => break 'rollback Response::Error(poisoned_writer()),
+        };
+        let Some(db) = guard.as_mut() else {
+            break 'rollback Response::Error(closed_writer());
+        };
+        match db.txn_rollback(txn) {
+            Ok(()) => {
+                shared.stats.txn_aborted.fetch_add(1, Ordering::Relaxed);
+                ship(shared, db);
+                Response::TxnRolledBack(TxnReply {
+                    txn,
+                    lsn: 0,
+                    statements: 0,
+                })
+            }
+            Err(e) => Response::Error(wire_error(&e)),
+        }
+    };
+    shared.locks.release_all(txn);
+    gauge_dec(&shared.stats.txn_active);
+    resp
+}
+
+/// Rolls back every transaction still open on the writer — the teardown
+/// safety net, run after connections have drained so an in-flight
+/// transaction's journaled intents are compensated before the final
+/// close (recovery would do the same, but doing it live keeps the WAL's
+/// final state self-describing).
+fn rollback_orphans<S: Storage>(shared: &Shared<S>) {
+    let Ok(mut guard) = shared.writer.lock() else {
+        return;
+    };
+    let Some(db) = guard.as_mut() else {
+        return;
+    };
+    for txn in db.txn_ids() {
+        if db.txn_rollback(txn).is_ok() {
+            shared.stats.txn_aborted.fetch_add(1, Ordering::Relaxed);
+        }
+        shared.locks.release_all(txn);
+        gauge_dec(&shared.stats.txn_active);
+    }
+}
+
 // ----- the epoll writer thread -----------------------------------------------
 
 /// One unit of work for the epoll server's single writer thread.
@@ -1412,6 +1796,28 @@ enum WriterWork {
     /// `Subscribe` — registered under the writer lock so the catch-up
     /// point is exact; also a barrier.
     Subscribe { token: u64, seq: u64, from_lsn: u64 },
+    /// `Begin` — opens a transaction and binds it to the connection's
+    /// reserved `txn_by_token` slot.
+    TxnBegin { token: u64, seq: u64 },
+    /// A statement inside an open transaction. The writer thread must
+    /// never condvar-wait on locks (it is the only thread that releases
+    /// them), so a contended statement parks and retries until
+    /// `deadline`, then aborts the transaction with a typed timeout.
+    TxnStatement {
+        token: u64,
+        seq: u64,
+        txn: u64,
+        op: WriteOp,
+        deadline: Instant,
+    },
+    /// `Commit`.
+    TxnCommit { token: u64, seq: u64, txn: u64 },
+    /// `Rollback`.
+    TxnRollback { token: u64, seq: u64, txn: u64 },
+    /// The connection is gone (drained, errored, idle-closed) with a
+    /// transaction open or pending: roll it back, release its locks,
+    /// no reply.
+    TxnAbandon { token: u64 },
 }
 
 /// The channel the reactor pushes [`WriterWork`] into: a mutex-guarded
@@ -1452,6 +1858,28 @@ impl WriterChan {
             q = self.cv.wait(q).unwrap_or_else(PoisonError::into_inner);
         }
     }
+
+    /// Like [`WriterChan::pop_all`], but gives up after `wait` and
+    /// returns an empty run, so a caller with parked transactional
+    /// statements can retry them (and fire their deadlines) even when no
+    /// new work arrives. `None` still means closed-and-empty.
+    fn pop_all_within(&self, wait: Duration) -> Option<Vec<WriterWork>> {
+        let mut q = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        if q.is_empty() && !self.exit.load(Ordering::SeqCst) {
+            let (guard, _) = self
+                .cv
+                .wait_timeout(q, wait)
+                .unwrap_or_else(PoisonError::into_inner);
+            q = guard;
+        }
+        if !q.is_empty() {
+            return Some(q.drain(..).collect());
+        }
+        if self.exit.load(Ordering::SeqCst) {
+            return None;
+        }
+        Some(Vec::new())
+    }
 }
 
 /// The epoll server's writer thread: consumes [`WriterWork`] runs,
@@ -1464,26 +1892,64 @@ fn run_writer<S: Storage>(
     chan: &WriterChan,
     completions: &Arc<Completions>,
 ) {
-    while let Some(run) = chan.pop_all() {
+    // Contended transactional statements waiting for another
+    // transaction's commit/rollback (processed by this same thread) to
+    // release their locks.
+    let mut parked: Vec<WriterWork> = Vec::new();
+    loop {
+        let run = if parked.is_empty() {
+            match chan.pop_all() {
+                Some(r) => r,
+                None => break,
+            }
+        } else {
+            // Poll with a short wait so parked deadlines fire even when
+            // no new work arrives.
+            match chan.pop_all_within(Duration::from_millis(3)) {
+                Some(r) => r,
+                None => break,
+            }
+        };
+        // Retry parked statements first (their locks may have been
+        // released by work in the previous run), then the new arrivals.
+        let work: Vec<WriterWork> = parked.drain(..).chain(run).collect();
         // Sinks pre-cloned so the panic path can still reach them.
-        let sinks: Vec<WriteDone> = run
+        let sinks: Vec<WriteDone> = work
             .iter()
-            .map(|w| match w {
-                WriterWork::Write(job) => job.done.clone(),
+            .filter_map(|w| match w {
+                WriterWork::Write(job) => Some(job.done.clone()),
+                WriterWork::TxnAbandon { .. } => None,
                 WriterWork::Stats { token, seq }
                 | WriterWork::Checkpoint { token, seq }
-                | WriterWork::Subscribe { token, seq, .. } => WriteDone::Reactor {
+                | WriterWork::Subscribe { token, seq, .. }
+                | WriterWork::TxnBegin { token, seq }
+                | WriterWork::TxnStatement { token, seq, .. }
+                | WriterWork::TxnCommit { token, seq, .. }
+                | WriterWork::TxnRollback { token, seq, .. } => Some(WriteDone::Reactor {
                     token: *token,
                     seq: *seq,
                     completions: Arc::clone(completions),
-                },
+                }),
             })
             .collect();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut pending: Vec<WriteJob> = Vec::new();
-            for work in run {
+            let mut still_parked: Vec<WriterWork> = Vec::new();
+            for work in work {
                 match work {
                     WriterWork::Write(job) => pending.push(job),
+                    txn @ (WriterWork::TxnBegin { .. }
+                    | WriterWork::TxnStatement { .. }
+                    | WriterWork::TxnCommit { .. }
+                    | WriterWork::TxnRollback { .. }
+                    | WriterWork::TxnAbandon { .. }) => {
+                        // Transactional ops are barriers too: plain
+                        // writes queued before them flush first, so the
+                        // conflict gate sees the lock table the client
+                        // observed when it pipelined the requests.
+                        flush_writes(shared, std::mem::take(&mut pending));
+                        run_txn_work(shared, completions, txn, &mut still_parked);
+                    }
                     control => {
                         flush_writes(shared, std::mem::take(&mut pending));
                         run_control(shared, completions, control);
@@ -1491,13 +1957,170 @@ fn run_writer<S: Storage>(
                 }
             }
             flush_writes(shared, pending);
+            still_parked
         }));
-        if outcome.is_err() {
-            for sink in sinks {
-                sink.fill(Response::Error(poisoned_writer()));
+        match outcome {
+            Ok(still_parked) => parked = still_parked,
+            Err(_) => {
+                for sink in sinks {
+                    sink.fill(Response::Error(poisoned_writer()));
+                }
             }
         }
     }
+    // The writer is exiting: parked statements can never be served.
+    for work in parked {
+        if let WriterWork::TxnStatement { token, seq, .. } = work {
+            completions.post(token, seq, Done::Resp(Response::Error(closed_writer())));
+        }
+    }
+}
+
+/// One transactional op on the writer thread. This thread is the only
+/// one that releases reactor-side locks, so acquisition here is strictly
+/// non-blocking: contended statements go back to `parked`.
+fn run_txn_work<S: Storage>(
+    shared: &Arc<Shared<S>>,
+    completions: &Arc<Completions>,
+    work: WriterWork,
+    parked: &mut Vec<WriterWork>,
+) {
+    match work {
+        WriterWork::TxnBegin { token, seq } => {
+            let resp = txn_begin_shared(shared);
+            let mut map = shared
+                .txn_by_token
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            match &resp {
+                // Fill the slot the reactor reserved — unless the
+                // connection already died and `TxnAbandon` cleared it
+                // (impossible before this runs, since the abandon is
+                // queued behind us; the guard is cheap regardless).
+                Response::TxnBegun(r) if map.contains_key(&token) => {
+                    map.insert(token, r.txn);
+                }
+                Response::TxnBegun(r) => {
+                    let txn = r.txn;
+                    drop(map);
+                    txn_rollback_shared(shared, txn);
+                    map = shared
+                        .txn_by_token
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                _ => {
+                    map.remove(&token);
+                }
+            }
+            drop(map);
+            completions.post(token, seq, Done::Resp(resp));
+        }
+        WriterWork::TxnStatement {
+            token,
+            seq,
+            txn,
+            op,
+            deadline,
+        } => {
+            if !txn_mapping_current(shared, token, txn) {
+                // Aborted underneath us (drain or timeout on an earlier
+                // parked statement of the same transaction).
+                let e = DbError::TxnUnknown { txn };
+                completions.post(token, seq, Done::Resp(Response::Error(wire_error(&e))));
+                return;
+            }
+            let requests = lock_requests_for(&op);
+            // Checked before acquisition: locks taken for *this*
+            // statement must not count as "already held" (refresh skip).
+            let covered = shared.locks.holds_all(txn, &requests);
+            match shared.locks.try_lock(txn, &requests) {
+                Ok(()) => {
+                    let resp = txn_apply(shared, txn, &op, covered);
+                    completions.post(token, seq, Done::Resp(resp));
+                }
+                Err(_) if Instant::now() < deadline => {
+                    shared.locks.stats.waits.fetch_add(1, Ordering::Relaxed);
+                    parked.push(WriterWork::TxnStatement {
+                        token,
+                        seq,
+                        txn,
+                        op,
+                        deadline,
+                    });
+                }
+                Err(key) => {
+                    // Deadline passed: abort the transaction so its held
+                    // locks cannot wedge the system (deadlock avoidance).
+                    shared.locks.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .txn_by_token
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .remove(&token);
+                    txn_rollback_shared(shared, txn);
+                    let e = DbError::TxnTimeout {
+                        message: format!(
+                            "lock `{key}` still contended at the deadline; \
+                             transaction {txn} rolled back"
+                        ),
+                    };
+                    completions.post(token, seq, Done::Resp(Response::Error(wire_error(&e))));
+                }
+            }
+        }
+        WriterWork::TxnCommit { token, seq, txn } => {
+            let resp = if txn_mapping_current(shared, token, txn) {
+                shared
+                    .txn_by_token
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .remove(&token);
+                txn_commit_shared(shared, txn)
+            } else {
+                Response::Error(no_open_txn())
+            };
+            completions.post(token, seq, Done::Resp(resp));
+        }
+        WriterWork::TxnRollback { token, seq, txn } => {
+            let resp = if txn_mapping_current(shared, token, txn) {
+                shared
+                    .txn_by_token
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .remove(&token);
+                txn_rollback_shared(shared, txn)
+            } else {
+                Response::Error(no_open_txn())
+            };
+            completions.post(token, seq, Done::Resp(resp));
+        }
+        WriterWork::TxnAbandon { token } => {
+            let txn = shared
+                .txn_by_token
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .remove(&token);
+            // Queue order guarantees the `TxnBegin` that reserved the
+            // slot ran before us, so a pending (0) mapping cannot be
+            // observed here.
+            if let Some(txn) = txn.filter(|&t| t != 0) {
+                txn_rollback_shared(shared, txn);
+            }
+        }
+        _ => {} // non-transactional work is routed by the caller
+    }
+}
+
+/// Whether `token` still owns `txn` — false once a drain abort, timeout
+/// abort, or abandon has dissolved the binding.
+fn txn_mapping_current<S: Storage>(shared: &Shared<S>, token: u64, txn: u64) -> bool {
+    shared
+        .txn_by_token
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .get(&token)
+        == Some(&txn)
 }
 
 /// Applies one accumulated run of writes under the writer lock — through
@@ -1540,7 +2163,13 @@ fn run_control<S: Storage>(
     work: WriterWork,
 ) {
     match work {
-        WriterWork::Write(_) => {} // routed by the caller
+        // Writes and transaction work are routed by the caller.
+        WriterWork::Write(_)
+        | WriterWork::TxnBegin { .. }
+        | WriterWork::TxnStatement { .. }
+        | WriterWork::TxnCommit { .. }
+        | WriterWork::TxnRollback { .. }
+        | WriterWork::TxnAbandon { .. } => {}
         WriterWork::Stats { token, seq } => {
             let guard = shared.writer.lock().ok();
             let db = guard.as_ref().and_then(|g| g.as_ref());
@@ -1630,11 +2259,29 @@ struct PrimaryRole<S: Storage> {
 
 impl<S: Storage> PrimaryRole<S> {
     fn defer_write(&self, token: u64, seq: u64, draining: bool, op: WriteOp) -> RoleAction {
+        let txn = self.open_txn(token);
         if draining {
+            if txn.is_some() {
+                // Satellite drain discipline: a statement inside an open
+                // transaction aborts it, releasing its locks now rather
+                // than at connection teardown.
+                self.chan.push(WriterWork::TxnAbandon { token });
+                return RoleAction::Reply(Response::Error(drain_abort()));
+            }
             return RoleAction::Reply(Response::Error(WireError {
                 kind: ErrorKindWire::ShuttingDown,
                 message: "server is draining; write refused".into(),
             }));
+        }
+        if let Some(txn) = txn {
+            self.chan.push(WriterWork::TxnStatement {
+                token,
+                seq,
+                txn,
+                op,
+                deadline: Instant::now() + self.shared.options.lock_timeout,
+            });
+            return RoleAction::Deferred;
         }
         self.chan.push(WriterWork::Write(WriteJob {
             op,
@@ -1645,6 +2292,19 @@ impl<S: Storage> PrimaryRole<S> {
             },
         }));
         RoleAction::Deferred
+    }
+
+    /// The transaction bound to `token`, if its `Begin` has completed.
+    /// A `0` (reserved) value cannot be observed here: the connection is
+    /// parked in `Await` until the `TxnBegin` completion fills it.
+    fn open_txn(&self, token: u64) -> Option<u64> {
+        self.shared
+            .txn_by_token
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&token)
+            .copied()
+            .filter(|&t| t != 0)
     }
 }
 
@@ -1693,6 +2353,51 @@ impl<S: Storage> Role for PrimaryRole<S> {
                 self.defer_write(token, seq, draining, WriteOp::LoadFact(pred, args))
             }
             Request::LoadWff(src) => self.defer_write(token, seq, draining, WriteOp::LoadWff(src)),
+            Request::Begin => {
+                if draining {
+                    return RoleAction::Reply(Response::Error(WireError {
+                        kind: ErrorKindWire::ShuttingDown,
+                        message: "server is draining; transaction refused".into(),
+                    }));
+                }
+                let mut map = self
+                    .shared
+                    .txn_by_token
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                if map.contains_key(&token) {
+                    return RoleAction::Reply(Response::Error(WireError {
+                        kind: ErrorKindWire::BadRequest,
+                        message: "a transaction is already open on this connection".into(),
+                    }));
+                }
+                // Reserve the slot on the reactor thread so a close that
+                // races the writer's `TxnBegin` still finds (and can
+                // abandon) the binding.
+                map.insert(token, 0);
+                drop(map);
+                self.chan.push(WriterWork::TxnBegin { token, seq });
+                RoleAction::Deferred
+            }
+            Request::Commit => match self.open_txn(token) {
+                None => RoleAction::Reply(Response::Error(no_open_txn())),
+                Some(_) if draining => {
+                    self.chan.push(WriterWork::TxnAbandon { token });
+                    RoleAction::Reply(Response::Error(drain_abort()))
+                }
+                Some(txn) => {
+                    self.chan.push(WriterWork::TxnCommit { token, seq, txn });
+                    RoleAction::Deferred
+                }
+            },
+            // Rollback is honored even mid-drain: it only releases state.
+            Request::Rollback => match self.open_txn(token) {
+                None => RoleAction::Reply(Response::Error(no_open_txn())),
+                Some(txn) => {
+                    self.chan.push(WriterWork::TxnRollback { token, seq, txn });
+                    RoleAction::Deferred
+                }
+            },
             // Stats and checkpoints are answered even mid-drain — a
             // draining operator still wants the final counters.
             Request::Stats => {
@@ -1727,6 +2432,22 @@ impl<S: Storage> Role for PrimaryRole<S> {
 
     fn generation_moved(&self) {
         refresh_retained(&self.shared);
+    }
+
+    fn closed(&self, token: u64) {
+        // A connection that dies with a transaction open (or a `Begin`
+        // in flight — the slot is reserved before the push) hands it to
+        // the writer thread for rollback; FIFO queue order guarantees
+        // the abandon runs after any in-flight op of the same token.
+        let open = self
+            .shared
+            .txn_by_token
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .contains_key(&token);
+        if open {
+            self.chan.push(WriterWork::TxnAbandon { token });
+        }
     }
 }
 
@@ -1860,6 +2581,10 @@ pub(crate) fn wire_error(e: &DbError) -> WireError {
         DbError::RecordTooLarge { .. } => ErrorKindWire::TooLarge,
         DbError::LsnGap { .. } => ErrorKindWire::BadRequest,
         DbError::Storage { .. } | DbError::Corrupt { .. } => ErrorKindWire::Storage,
+        DbError::TxnConflict { .. } => ErrorKindWire::TxnConflict,
+        DbError::TxnTimeout { .. } => ErrorKindWire::TxnTimeout,
+        DbError::TxnOpen { .. } => ErrorKindWire::Refused,
+        DbError::TxnUnknown { .. } => ErrorKindWire::BadRequest,
         _ => ErrorKindWire::Internal,
     };
     WireError {
@@ -1903,6 +2628,8 @@ mod tests {
             addr: "127.0.0.1:0".parse().expect("addr"),
             notify: Mutex::new(None),
             retained: Mutex::new(Vec::new()),
+            locks: LockTable::new(),
+            txn_by_token: Mutex::new(HashMap::new()),
         })
     }
 

@@ -520,3 +520,116 @@ fn follower_restart_mid_stream_converges() {
     let scripts = vec![vec![0, 1, 2, 3], vec![4, 5, 6, 0], vec![2, 1, 0, 5]];
     run_replica_scenario(scripts, true);
 }
+
+/// Followers never expose uncommitted transaction effects. A follower
+/// streaming live from before the transaction opened, and a follower
+/// bootstrapped *mid-transaction* (whose catch-up suffix begins with the
+/// open transaction's begin and ops), must both keep serving
+/// non-transactional writes that land while the transaction is open —
+/// the buffered intents stay invisible until the commit marker arrives,
+/// then appear atomically.
+#[test]
+fn follower_restart_mid_txn_never_exposes_uncommitted_effects() {
+    let (running, addr) = boot();
+    let mut setup = Client::connect(addr).expect("connect setup");
+    setup.declare_relation("R", 1).expect("declare R");
+    setup.declare_relation("S", 1).expect("declare S");
+    let seed_lsn = setup.execute("INSERT R(9) WHERE T").expect("seed").lsn;
+
+    // Follower A streams live from before the transaction opens.
+    let (handle_a, thread_a, addr_a) = boot_replica(addr);
+    let mut on_a = Client::connect(addr_a).expect("connect a");
+    pin_when_caught_up(&mut on_a, seed_lsn);
+    on_a.unpin().expect("unpin a");
+
+    // Replicas refuse transaction control outright: they are read-only.
+    match on_a.begin() {
+        Err(winslett_serve::ClientError::Server(e)) => {
+            assert_eq!(e.kind, winslett_serve::ErrorKindWire::ReadOnly, "{e}");
+        }
+        other => panic!("begin on a replica: {other:?}"),
+    }
+
+    // Open a transaction on the primary and leave it open.
+    let mut txn_conn = Client::connect(addr).expect("connect txn");
+    txn_conn.begin().expect("begin");
+    txn_conn.execute("INSERT R(1) WHERE T").expect("txn insert");
+    txn_conn
+        .execute("INSERT S(1) WHERE R(1)")
+        .expect("txn insert 2");
+
+    // A disjoint-footprint plain write proceeds despite the open
+    // transaction and must reach the followers without the txn intents.
+    let plain_lsn = setup.execute("INSERT S(7) WHERE T").expect("plain").lsn;
+
+    // Checkpoints refuse while a transaction is open — a capture would
+    // otherwise risk folding uncommitted intents into the snapshot.
+    match setup.checkpoint() {
+        Err(winslett_serve::ClientError::Server(e)) => {
+            assert_eq!(e.kind, winslett_serve::ErrorKindWire::Refused, "{e}");
+        }
+        other => panic!("checkpoint during open txn: {other:?}"),
+    }
+
+    // "Not exposed" on a follower is either not-possible or a strict
+    // parse error (the intent's constants never entered its vocabulary).
+    let assert_not_exposed = |client: &mut Client, wff: &str| match client.check(wff) {
+        Ok(t) => assert!(!t.possible, "{wff} leaked to a follower: {t:?}"),
+        Err(winslett_serve::ClientError::Server(e)) => {
+            assert_eq!(e.kind, winslett_serve::ErrorKindWire::Parse, "{wff}: {e}");
+        }
+        Err(e) => panic!("follower check {wff}: {e}"),
+    };
+
+    // Follower A advances past the plain write (its published LSN is not
+    // held back by the open transaction) yet hides the intents.
+    let snap = pin_when_caught_up(&mut on_a, plain_lsn);
+    assert!(snap.last_lsn >= plain_lsn);
+    assert_not_exposed(&mut on_a, "R(1)");
+    assert_not_exposed(&mut on_a, "S(1)");
+    assert!(on_a.check("S(7)").expect("S(7) on a").certain);
+    on_a.unpin().expect("unpin a");
+
+    // Follower B boots mid-transaction: its catch-up suffix starts with
+    // the open transaction's records; it must pin its shipping cursor at
+    // the transaction's begin, buffer the intents, and still publish
+    // everything non-transactional up to the plain write.
+    let (handle_b, thread_b, addr_b) = boot_replica(addr);
+    let mut on_b = Client::connect(addr_b).expect("connect b");
+    let snap = pin_when_caught_up(&mut on_b, plain_lsn);
+    assert!(snap.last_lsn >= plain_lsn);
+    assert_not_exposed(&mut on_b, "R(1)");
+    assert_not_exposed(&mut on_b, "S(1)");
+    assert!(on_b.check("S(7)").expect("S(7) on b").certain);
+    on_b.unpin().expect("unpin b");
+
+    // Commit: both followers expose the whole transaction atomically.
+    let commit_lsn = txn_conn.commit().expect("commit").lsn;
+    for client in [&mut on_a, &mut on_b] {
+        let snap = pin_when_caught_up(client, commit_lsn);
+        assert!(snap.last_lsn >= commit_lsn);
+        for wff in ["R(1)", "S(1)", "R(9)", "S(7)"] {
+            assert!(
+                client.check(wff).expect("post-commit check").certain,
+                "{wff} not certain on a follower after the commit"
+            );
+        }
+        client.unpin().expect("unpin");
+    }
+
+    // With the transaction resolved, checkpoints work again.
+    setup.checkpoint().expect("checkpoint after commit");
+
+    // Close the replica readers before the drain: a live idle reader
+    // would otherwise hold each follower's drain open until its read
+    // deadline.
+    drop(on_a);
+    drop(on_b);
+    handle_a.request_shutdown();
+    handle_b.request_shutdown();
+    thread_a.join().expect("replica a thread");
+    thread_b.join().expect("replica b thread");
+    drop(txn_conn);
+    setup.shutdown().expect("shutdown");
+    running.join().expect("server thread").expect("run");
+}

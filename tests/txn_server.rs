@@ -1,0 +1,388 @@
+//! Wire-level multi-statement transactions, end to end.
+//!
+//! `Begin` / `Commit` / `Rollback` group Execute/Declare/Load requests on
+//! one connection into an atomic, isolated unit: effects are invisible to
+//! every other connection until the commit marker lands, and a rollback
+//! (or any abort path) leaves no trace. Transactions with disjoint
+//! §2 update footprints (Theorem 4: commutative) run concurrently;
+//! conflicting ones block on the lock table and give up with a typed
+//! `TxnTimeout` at the deadlock-avoidance deadline. Every scenario runs
+//! against both I/O cores — the epoll reactor and the classic blocking
+//! thread-per-connection loop — which route transactions through
+//! different concurrency machinery (parked writer retries vs blocking
+//! condvar waits).
+
+use std::time::Duration;
+use winslett_core::{DbOptions, DurableDatabase, MemStorage, SyncPolicy, WalOptions};
+use winslett_serve::{Client, ClientError, ErrorKindWire, Server, ServerHandle, ServerOptions};
+
+fn boot(
+    threaded: bool,
+    lock_timeout: Duration,
+) -> (
+    std::thread::JoinHandle<Result<MemStorage, winslett_core::DbError>>,
+    ServerHandle,
+    std::net::SocketAddr,
+) {
+    let (server, _report) = Server::bind(
+        ("127.0.0.1", 0),
+        MemStorage::new(),
+        DbOptions::default(),
+        WalOptions {
+            policy: SyncPolicy::GroupCommit(4),
+            ..WalOptions::default()
+        },
+        ServerOptions {
+            max_connections: 16,
+            idle_timeout: Duration::from_secs(10),
+            compaction: None,
+            threaded,
+            lock_timeout,
+            ..ServerOptions::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    (std::thread::spawn(move || server.run()), handle, addr)
+}
+
+fn kind_of(err: ClientError) -> ErrorKindWire {
+    match err {
+        ClientError::Server(e) => e.kind,
+        other => panic!("expected a typed server error, got {other:?}"),
+    }
+}
+
+/// A probe for "this fact never escaped": either the fact is not even
+/// possible, or its constants never entered the vocabulary at all (a
+/// strict-parse refusal — the strongest form of invisibility).
+fn assert_never_seen(client: &mut Client, wff: &str) {
+    match client.check(wff) {
+        Ok(t) => assert!(!t.possible, "{wff} leaked: {t:?}"),
+        Err(ClientError::Server(e)) => assert_eq!(e.kind, ErrorKindWire::Parse, "{wff}: {e}"),
+        Err(e) => panic!("check {wff}: {e}"),
+    }
+}
+
+// ----- atomicity and isolation ----------------------------------------------
+
+fn atomic_commit_and_rollback(threaded: bool) {
+    let (running, _handle, addr) = boot(threaded, Duration::from_secs(2));
+    let mut txn_conn = Client::connect(addr).expect("connect");
+    let mut observer = Client::connect(addr).expect("connect observer");
+    txn_conn.declare_relation("R", 1).expect("declare R");
+    txn_conn.declare_relation("S", 1).expect("declare S");
+
+    // Committed transaction: two statements, the second reading the
+    // first's workspace effects (read-your-writes at statement level),
+    // invisible to the observer until the commit, then visible atomically.
+    let begun = txn_conn.begin().expect("begin");
+    assert!(begun.txn > 0, "txn id is the begin record's LSN");
+    txn_conn.execute("INSERT R(1) WHERE T").expect("txn insert");
+    txn_conn
+        .execute("INSERT S(1) WHERE R(1)")
+        .expect("txn insert over own effects");
+    assert_never_seen(&mut observer, "R(1)");
+    assert_never_seen(&mut observer, "S(1)");
+    let committed = txn_conn.commit().expect("commit");
+    assert_eq!(committed.txn, begun.txn);
+    assert_eq!(committed.statements, 2);
+    assert!(committed.lsn > begun.txn, "commit marker lands past begin");
+    for wff in ["R(1)", "S(1)"] {
+        let t = observer.check(wff).expect("post-commit check");
+        assert!(t.certain, "{wff} must be certain after the commit");
+    }
+
+    // Rolled-back transaction: nothing escapes, ever.
+    let begun = txn_conn.begin().expect("begin 2");
+    txn_conn.execute("INSERT R(2) WHERE T").expect("txn insert");
+    let rolled = txn_conn.rollback().expect("rollback");
+    assert_eq!(rolled.txn, begun.txn);
+    assert_never_seen(&mut observer, "R(2)");
+    assert_never_seen(&mut txn_conn, "R(2)");
+
+    // Transaction-state protocol errors are typed, not hangs.
+    assert_eq!(
+        kind_of(txn_conn.commit().unwrap_err()),
+        ErrorKindWire::BadRequest
+    );
+    assert_eq!(
+        kind_of(txn_conn.rollback().unwrap_err()),
+        ErrorKindWire::BadRequest
+    );
+    txn_conn.begin().expect("begin 3");
+    assert_eq!(
+        kind_of(txn_conn.begin().unwrap_err()),
+        ErrorKindWire::BadRequest
+    );
+    txn_conn.rollback().expect("rollback 3");
+
+    let stats = observer.stats().expect("stats");
+    assert_eq!(stats.txn_begun, 3);
+    assert_eq!(stats.txn_committed, 1);
+    assert_eq!(stats.txn_aborted, 2);
+    assert_eq!(stats.txn_active, 0);
+
+    // Durability: the committed transaction survives a restart; the
+    // rolled-back one left no trace in the recovered state.
+    observer.shutdown().expect("shutdown");
+    drop(txn_conn);
+    let storage = running.join().expect("server thread").expect("run");
+    let (mut db, report) =
+        DurableDatabase::open(storage, DbOptions::default(), WalOptions::default())
+            .expect("reopen");
+    assert_eq!(report.rolled_back, 0, "no unfinished txns at shutdown");
+    assert!(db.db_mut().is_certain("R(1)").expect("recovered R(1)"));
+    assert!(db.db_mut().is_certain("S(1)").expect("recovered S(1)"));
+    // An Err means its constant never entered the vocabulary: even better.
+    if let Ok(p) = db.db_mut().is_possible("R(2)") {
+        assert!(!p, "rolled-back R(2) resurfaced after recovery");
+    }
+}
+
+#[test]
+fn txn_atomic_commit_and_rollback_reactor() {
+    atomic_commit_and_rollback(false);
+}
+
+#[test]
+fn txn_atomic_commit_and_rollback_threaded() {
+    atomic_commit_and_rollback(true);
+}
+
+// ----- concurrency control ---------------------------------------------------
+
+fn conflicting_txns_time_out(threaded: bool) {
+    let (running, _handle, addr) = boot(threaded, Duration::from_millis(150));
+    let mut a = Client::connect(addr).expect("connect a");
+    let mut b = Client::connect(addr).expect("connect b");
+    let mut plain = Client::connect(addr).expect("connect plain");
+    a.declare_relation("R", 1).expect("declare R");
+    a.declare_relation("S", 1).expect("declare S");
+
+    a.begin().expect("a begin");
+    a.execute("INSERT R(1) WHERE T").expect("a insert");
+
+    // A plain (non-transactional) write on the locked atom is refused
+    // immediately with the typed conflict — it never queues behind the
+    // open transaction.
+    assert_eq!(
+        kind_of(plain.execute("INSERT R(1) WHERE T").unwrap_err()),
+        ErrorKindWire::TxnConflict
+    );
+    // A disjoint-footprint plain write proceeds concurrently.
+    plain
+        .execute("INSERT S(3) WHERE T")
+        .expect("disjoint plain");
+
+    // A second transaction on the same footprint waits, then gives up at
+    // the deadlock-avoidance deadline — and the timeout rolled it back.
+    b.begin().expect("b begin");
+    assert_eq!(
+        kind_of(b.execute("INSERT R(1) WHERE T").unwrap_err()),
+        ErrorKindWire::TxnTimeout
+    );
+    assert_eq!(kind_of(b.commit().unwrap_err()), ErrorKindWire::BadRequest);
+
+    // The holder is unaffected and commits.
+    let committed = a.commit().expect("a commit");
+    assert_eq!(committed.statements, 1);
+    assert!(a.check("R(1)").expect("check").certain);
+
+    // Once the lock is gone, the same statements sail through.
+    b.begin().expect("b begin again");
+    b.execute("INSERT R(1) WHERE T").expect("now unlocked");
+    b.commit().expect("b commit");
+
+    let stats = plain.stats().expect("stats");
+    assert!(stats.lock_timeouts >= 1, "timeout counted: {stats:?}");
+    assert!(
+        stats.txn_conflicts >= 1,
+        "plain conflict counted: {stats:?}"
+    );
+    assert_eq!(stats.txn_active, 0);
+
+    plain.shutdown().expect("shutdown");
+    drop(a);
+    drop(b);
+    running.join().expect("server thread").expect("run");
+}
+
+#[test]
+fn conflicting_txns_time_out_reactor() {
+    conflicting_txns_time_out(false);
+}
+
+#[test]
+fn conflicting_txns_time_out_threaded() {
+    conflicting_txns_time_out(true);
+}
+
+fn disjoint_txns_run_concurrently(threaded: bool) {
+    let (running, _handle, addr) = boot(threaded, Duration::from_secs(2));
+    let mut setup = Client::connect(addr).expect("connect setup");
+    setup.declare_relation("R", 1).expect("declare R");
+    setup.declare_relation("S", 1).expect("declare S");
+
+    // Two open transactions with disjoint footprints (Theorem 4:
+    // commutative updates) hold locks simultaneously; neither waits.
+    let mut a = Client::connect(addr).expect("connect a");
+    let mut b = Client::connect(addr).expect("connect b");
+    a.begin().expect("a begin");
+    b.begin().expect("b begin");
+    a.execute("INSERT R(1) WHERE T").expect("a insert");
+    b.execute("INSERT S(2) WHERE T").expect("b insert");
+    let stats = setup.stats().expect("stats");
+    assert_eq!(stats.txn_active, 2, "both transactions hold locks at once");
+    assert_eq!(stats.lock_waits, 0, "disjoint footprints never wait");
+    b.commit().expect("b commit");
+    a.commit().expect("a commit");
+    assert!(setup.check("R(1)").expect("check R").certain);
+    assert!(setup.check("S(2)").expect("check S").certain);
+
+    setup.shutdown().expect("shutdown");
+    drop(a);
+    drop(b);
+    running.join().expect("server thread").expect("run");
+}
+
+#[test]
+fn disjoint_txns_run_concurrently_reactor() {
+    disjoint_txns_run_concurrently(false);
+}
+
+#[test]
+fn disjoint_txns_run_concurrently_threaded() {
+    disjoint_txns_run_concurrently(true);
+}
+
+// ----- abort paths -----------------------------------------------------------
+
+/// A connection that disappears mid-transaction (client crash) must not
+/// leave its locks behind: the teardown rolls the transaction back and a
+/// new transaction on the same footprint proceeds immediately.
+fn dropped_connection_releases_locks(threaded: bool) {
+    let (running, _handle, addr) = boot(threaded, Duration::from_secs(5));
+    let mut setup = Client::connect(addr).expect("connect setup");
+    setup.declare_relation("R", 1).expect("declare R");
+
+    let mut doomed = Client::connect(addr).expect("connect doomed");
+    doomed.begin().expect("begin");
+    doomed.execute("INSERT R(1) WHERE T").expect("insert");
+    drop(doomed); // vanish without commit or rollback
+
+    // The replacement would deadlock for the full 5s lock timeout if the
+    // teardown leaked the lock; give the server a moment to notice the
+    // hangup, then demand the statement completes promptly.
+    let mut fresh = Client::connect(addr).expect("connect fresh");
+    let start = std::time::Instant::now();
+    let acquired = loop {
+        fresh.begin().expect("begin fresh");
+        match fresh.execute("INSERT R(1) WHERE T") {
+            Ok(_) => break true,
+            Err(ClientError::Server(e))
+                if matches!(
+                    e.kind,
+                    ErrorKindWire::TxnTimeout | ErrorKindWire::TxnConflict
+                ) =>
+            {
+                // Teardown raced us; the rolled-back txn must be re-begun.
+                if fresh.rollback().is_err() {
+                    // TxnTimeout already rolled it back server-side.
+                }
+                assert!(
+                    start.elapsed() < Duration::from_secs(10),
+                    "lock never released after the owner vanished"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => panic!("fresh insert: {e}"),
+        }
+    };
+    assert!(acquired);
+    fresh.commit().expect("commit fresh");
+    assert_never_seen(&mut setup, "R(2)");
+    assert!(setup.check("R(1)").expect("check").certain);
+    let stats = setup.stats().expect("stats");
+    assert_eq!(stats.txn_active, 0, "no orphaned transaction survives");
+
+    setup.shutdown().expect("shutdown");
+    drop(fresh);
+    running.join().expect("server thread").expect("run");
+}
+
+#[test]
+fn dropped_connection_releases_locks_reactor() {
+    dropped_connection_releases_locks(false);
+}
+
+#[test]
+fn dropped_connection_releases_locks_threaded() {
+    dropped_connection_releases_locks(true);
+}
+
+/// Satellite regression: the drain (protocol `Shutdown` or SIGTERM →
+/// `request_shutdown`) aborts in-flight transactions with a typed
+/// refusal, releases their locks, and the WAL the server leaves behind
+/// carries the compensating abort — recovery resurrects nothing.
+fn drain_aborts_open_transactions(threaded: bool) {
+    let (running, handle, addr) = boot(threaded, Duration::from_secs(2));
+    let mut txn_conn = Client::connect(addr).expect("connect");
+    txn_conn.declare_relation("R", 1).expect("declare R");
+    txn_conn.execute("INSERT R(7) WHERE T").expect("seed");
+
+    txn_conn.begin().expect("begin");
+    txn_conn.execute("INSERT R(1) WHERE T").expect("txn insert");
+
+    handle.request_shutdown();
+    // The next transactional request is answered with the typed drain
+    // refusal — the transaction is already rolled back server-side.
+    let err = loop {
+        match txn_conn.execute("INSERT R(2) WHERE T") {
+            Err(e) => break e,
+            // The drain flag may not be visible to this connection yet;
+            // statements that slip in before it are part of the txn that
+            // is about to be aborted anyway.
+            Ok(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    };
+    match err {
+        ClientError::Server(e) => {
+            assert_eq!(e.kind, ErrorKindWire::ShuttingDown, "typed refusal: {e}");
+            assert!(
+                e.message.contains("transaction aborted"),
+                "refusal names the aborted transaction: {}",
+                e.message
+            );
+        }
+        // The drain may also close the socket under the request once the
+        // refusal has been flushed.
+        ClientError::Frame(_) => {}
+        other => panic!("unexpected drain outcome: {other:?}"),
+    }
+    drop(txn_conn);
+    let storage = running.join().expect("server thread").expect("run");
+
+    // Recovery: the seed survives, nothing transactional does, and the
+    // log is balanced (the abort was journaled before exit, so recovery
+    // itself had nothing left to roll back).
+    let (mut db, report) =
+        DurableDatabase::open(storage, DbOptions::default(), WalOptions::default())
+            .expect("reopen");
+    assert_eq!(report.rolled_back, 0, "drain journaled the abort itself");
+    assert!(db.db_mut().is_certain("R(7)").expect("seed survives"));
+    if let Ok(p) = db.db_mut().is_possible("R(1)") {
+        assert!(!p, "aborted txn effects resurfaced after the drain");
+    }
+}
+
+#[test]
+fn drain_aborts_open_transactions_reactor() {
+    drain_aborts_open_transactions(false);
+}
+
+#[test]
+fn drain_aborts_open_transactions_threaded() {
+    drain_aborts_open_transactions(true);
+}
